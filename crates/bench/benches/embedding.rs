@@ -1,0 +1,53 @@
+//! Micro-benchmarks for the embedding substrate — the per-round cost every
+//! orchestration strategy pays (§8.4: "orchestration also introduces
+//! overhead in ... embedding computation").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmms::embed::{CachedEmbedder, Embedder, HashedNgramEmbedder};
+use std::hint::black_box;
+
+const SHORT: &str = "the capital of france is paris";
+const LONG: &str = "Large language models are deep neural networks trained to \
+    predict the next token in a sequence over massive text corpora, and their \
+    meteoric rise has been driven by transformer architectures, sheer scale in \
+    parameters and data, and clever pretraining objectives refined by \
+    instruction tuning and reinforcement learning from human feedback across \
+    hundreds of billions of tokens of web text books and code.";
+
+fn bench_embed(c: &mut Criterion) {
+    let embedder = HashedNgramEmbedder::default();
+    let mut group = c.benchmark_group("embed");
+    group.sample_size(40);
+    for (label, text) in [("short_30b", SHORT), ("long_400b", LONG)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), text, |b, text| {
+            b.iter(|| black_box(embedder.embed(black_box(text))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_embed(c: &mut Criterion) {
+    let cached = CachedEmbedder::new(HashedNgramEmbedder::default(), 1024);
+    cached.embed(SHORT); // warm the entry
+    let mut group = c.benchmark_group("embed_cached");
+    group.sample_size(40);
+    group.bench_function("hit", |b| {
+        b.iter(|| black_box(cached.embed(black_box(SHORT))));
+    });
+    group.finish();
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let embedder = HashedNgramEmbedder::default();
+    let a = embedder.embed(SHORT);
+    let b2 = embedder.embed(LONG);
+    let mut group = c.benchmark_group("similarity");
+    group.sample_size(60);
+    group.bench_function("cosine_384d", |b| {
+        b.iter(|| black_box(llmms::embed::cosine_embeddings(black_box(&a), black_box(&b2))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_embed, bench_cached_embed, bench_cosine);
+criterion_main!(benches);

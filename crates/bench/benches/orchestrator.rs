@@ -1,0 +1,71 @@
+//! Orchestration-overhead benchmarks: wall-clock per query of each
+//! execution mode (§8.4: "these costs were manageable within the
+//! constraints of a single-node deployment").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmms::core::{MabConfig, OrchestratorConfig, OuaConfig, Strategy};
+use llmms::Platform;
+use std::hint::black_box;
+
+fn platform_with(strategy: Strategy) -> Platform {
+    let knowledge =
+        llmms::eval::generate(&llmms::eval::GeneratorConfig::default()).to_knowledge();
+    Platform::builder()
+        .knowledge(knowledge)
+        .orchestrator_config(OrchestratorConfig {
+            strategy,
+            ..OrchestratorConfig::default()
+        })
+        .build()
+        .expect("platform must assemble")
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let question = "Can you see the Great Wall of China from space?";
+    let mut group = c.benchmark_group("orchestrator_per_query");
+    group.sample_size(20);
+    for (label, strategy) in [
+        ("single", Strategy::Single),
+        ("oua", Strategy::Oua(OuaConfig::default())),
+        ("mab_pull1", Strategy::Mab(MabConfig::default())),
+        (
+            "mab_pull16",
+            Strategy::Mab(MabConfig {
+                pull_tokens: 16,
+                ..MabConfig::default()
+            }),
+        ),
+    ] {
+        let platform = platform_with(strategy);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(platform.ask(black_box(question)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rag_pipeline(c: &mut Criterion) {
+    let platform = platform_with(Strategy::Oua(OuaConfig::default()));
+    platform
+        .ingest_document(
+            "doc",
+            "Tungsten has the highest melting point of any metal, at 3422 degrees Celsius.",
+        )
+        .unwrap();
+    let mut group = c.benchmark_group("rag");
+    group.sample_size(30);
+    group.bench_function("retrieve_top3", |b| {
+        b.iter(|| {
+            black_box(
+                platform
+                    .retriever()
+                    .retrieve(black_box("which metal melts highest"), 3, None)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_rag_pipeline);
+criterion_main!(benches);

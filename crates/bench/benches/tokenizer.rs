@@ -1,0 +1,64 @@
+//! Tokenizer benchmarks: BPE training and encode throughput (the token
+//! arithmetic behind every budget decision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmms::tokenizer::{BpeConfig, Tokenizer, TokenizerConfig};
+use std::hint::black_box;
+
+fn corpus() -> Vec<String> {
+    // Repeatable pseudo-text with realistic word statistics.
+    let words = [
+        "the", "model", "generates", "tokens", "under", "a", "budget", "and",
+        "similarity", "scores", "guide", "selection", "across", "candidate",
+        "language", "models", "with", "retrieval", "augmented", "context",
+    ];
+    let mut state = 7u64;
+    (0..200)
+        .map(|_| {
+            (0..40)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    words[(state >> 33) as usize % words.len()]
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let docs = corpus();
+    let mut group = c.benchmark_group("tokenizer_train");
+    group.sample_size(10);
+    group.bench_function("vocab_512_200docs", |b| {
+        b.iter(|| {
+            let config = TokenizerConfig {
+                bpe: BpeConfig {
+                    vocab_size: 512,
+                    min_pair_frequency: 2,
+                },
+                ..Default::default()
+            };
+            black_box(
+                Tokenizer::train(docs.iter().map(String::as_str), &config).unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let docs = corpus();
+    let tok = Tokenizer::train(docs.iter().map(String::as_str), &TokenizerConfig::default())
+        .unwrap();
+    let text = &docs[0];
+    let mut group = c.benchmark_group("tokenizer_encode");
+    group.sample_size(40);
+    group.bench_function("40_words", |b| {
+        b.iter(|| black_box(tok.encode(black_box(text))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train, bench_encode);
+criterion_main!(benches);

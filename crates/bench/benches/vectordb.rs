@@ -1,0 +1,66 @@
+//! Vector-store benchmarks: exact flat scan vs HNSW, the trade the thesis's
+//! ChromaDB configuration makes ("top-k document chunks in sub-millisecond
+//! time", §7.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmms::embed::Embedding;
+use llmms::vectordb::{Collection, CollectionConfig, Record};
+use std::hint::black_box;
+
+const DIM: usize = 384;
+
+/// Deterministic pseudo-random unit vectors.
+fn vectors(n: usize) -> Vec<Embedding> {
+    let mut state = 0x9e37_79b9_u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u32 << 24) as f32 - 0.5
+    };
+    (0..n)
+        .map(|_| Embedding::new((0..DIM).map(|_| next()).collect()).normalized())
+        .collect()
+}
+
+fn populate(config: CollectionConfig, vs: &[Embedding]) -> Collection {
+    let mut c = Collection::new("bench", config);
+    for (i, v) in vs.iter().enumerate() {
+        c.upsert(Record::new(format!("r{i}"), v.clone())).unwrap();
+    }
+    c
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vectordb_query_top10");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let vs = vectors(n);
+        let query = vs[0].clone();
+        let flat = populate(CollectionConfig::flat(DIM), &vs);
+        let hnsw = populate(CollectionConfig::hnsw(DIM), &vs);
+        group.bench_with_input(BenchmarkId::new("flat", n), &query, |b, q| {
+            b.iter(|| black_box(flat.query(black_box(q), 10, None).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("hnsw", n), &query, |b, q| {
+            b.iter(|| black_box(hnsw.query(black_box(q), 10, None).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let vs = vectors(1_000);
+    let mut group = c.benchmark_group("vectordb_build_1k");
+    group.sample_size(10);
+    group.bench_function("flat", |b| {
+        b.iter(|| black_box(populate(CollectionConfig::flat(DIM), &vs).len()));
+    });
+    group.bench_function("hnsw", |b| {
+        b.iter(|| black_box(populate(CollectionConfig::hnsw(DIM), &vs).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation Tab A: the α/β weighting of Eq. 6.1. α = 1 ignores consensus
+//! (pure query similarity); α = 0 trusts only inter-model agreement. The
+//! paper fixes α = 0.7, β = 0.3.
+
+use llmms::core::{OuaConfig, RewardWeights};
+use llmms::eval::{generate, run_eval, EvalMode};
+
+fn main() {
+    let (gen_cfg, mut harness_cfg) = llmms_bench::standard_config();
+    let dataset = generate(&gen_cfg);
+    let mut labels = Vec::new();
+    let mut modes = Vec::new();
+    for alpha in [1.0, 0.9, 0.7, 0.5, 0.3, 0.0] {
+        modes.push(EvalMode::Oua(OuaConfig {
+            weights: RewardWeights::new(alpha, 1.0 - alpha),
+            ..OuaConfig::default()
+        }));
+        labels.push(format!("alpha={alpha:.1} beta={:.1}", 1.0 - alpha));
+    }
+    harness_cfg.modes = modes;
+    let report = run_eval(&dataset, &harness_cfg).expect("eval");
+    println!("variant,avg_reward,avg_f1,accuracy,answer_tokens,reward_per_token");
+    for (label, m) in labels.iter().zip(&report.modes) {
+        println!(
+            "{label},{:.4},{:.4},{:.3},{:.1},{:.5}",
+            m.avg_reward, m.avg_f1, m.accuracy, m.avg_tokens, m.reward_per_token
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Ablation Tab D: allocation granularity. The paper's MAB pulls one token
+//! at a time and admits the finer granularity is "slightly more
+//! computationally intensive" (§8.4); larger pulls amortize the per-pull
+//! embedding cost. OUA's round size is swept alongside.
+
+use llmms::core::{MabConfig, OuaConfig};
+use llmms::eval::{generate, run_eval, EvalMode};
+use std::time::Instant;
+
+fn main() {
+    let (gen_cfg, mut harness_cfg) = llmms_bench::standard_config();
+    let dataset = generate(&gen_cfg);
+    println!("variant,avg_reward,avg_f1,accuracy,wall_clock_ms_per_query");
+    for chunk in [1usize, 4, 16, 64, 256] {
+        harness_cfg.modes = vec![
+            EvalMode::Oua(OuaConfig {
+                round_tokens: chunk,
+                ..OuaConfig::default()
+            }),
+            EvalMode::Mab(MabConfig {
+                pull_tokens: chunk,
+                ..MabConfig::default()
+            }),
+        ];
+        let start = Instant::now();
+        let report = run_eval(&dataset, &harness_cfg).expect("eval");
+        let per_query_ms =
+            start.elapsed().as_secs_f64() * 1000.0 / (2.0 * dataset.len() as f64);
+        for m in &report.modes {
+            println!(
+                "{} chunk={chunk},{:.4},{:.4},{:.3},{per_query_ms:.2}",
+                m.mode, m.avg_reward, m.avg_f1, m.accuracy
+            );
+        }
+    }
+}

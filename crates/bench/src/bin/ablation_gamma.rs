@@ -1,0 +1,41 @@
+//! Ablation Tab C: the MAB exploration coefficient γ₀ and its budget-coupled
+//! decay γ = γ₀·(1 − used/λ_max).
+//!
+//! With the paper's generous λ_max = 2048 every arm runs to completion and
+//! allocation order is irrelevant, so this sweep runs under *binding*
+//! budgets (λ_max ∈ {16, 32, 64}) where exploration and exploitation
+//! genuinely trade off: γ₀ = 0 greedily exploits the first arm that looks
+//! good, large γ₀ spreads the scarce tokens evenly, and the decay shifts
+//! from the former to the latter as tokens drain.
+
+use llmms::core::MabConfig;
+use llmms::eval::{generate, run_eval, EvalMode};
+
+fn main() {
+    let (gen_cfg, mut harness_cfg) = llmms_bench::standard_config();
+    let dataset = generate(&gen_cfg);
+    println!("budget,gamma0,decay,avg_reward,avg_f1,accuracy,answer_tokens,total_tokens");
+    for budget in [16usize, 32, 64] {
+        let mut labels = Vec::new();
+        let mut modes = Vec::new();
+        for gamma0 in [0.0, 0.1, 0.3, 0.6, 1.0] {
+            for decay in [true, false] {
+                modes.push(EvalMode::Mab(MabConfig {
+                    gamma0,
+                    decay,
+                    ..MabConfig::default()
+                }));
+                labels.push((gamma0, decay));
+            }
+        }
+        harness_cfg.modes = modes;
+        harness_cfg.token_budget = budget;
+        let report = run_eval(&dataset, &harness_cfg).expect("eval");
+        for ((gamma0, decay), m) in labels.iter().zip(&report.modes) {
+            println!(
+                "{budget},{gamma0:.1},{decay},{:.4},{:.4},{:.3},{:.1},{:.1}",
+                m.avg_reward, m.avg_f1, m.accuracy, m.avg_tokens, m.avg_total_tokens
+            );
+        }
+    }
+}

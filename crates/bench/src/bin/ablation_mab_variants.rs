@@ -1,0 +1,44 @@
+//! Ablation: MAB final-selection rule (cumulative vs mean reward) and
+//! early-stop policy — the two under-specified choices in Algorithm 2.
+
+use llmms::core::{MabConfig, MabSelection};
+use llmms::eval::{generate, run_eval, EvalMode};
+
+fn main() {
+    let (gen_cfg, mut harness_cfg) = llmms_bench::standard_config();
+    let dataset = generate(&gen_cfg);
+    let mut modes = vec![EvalMode::Single("qwen2-7b".into())];
+    for (selection, label) in [
+        (MabSelection::Cumulative, "cumulative"),
+        (MabSelection::Mean, "mean"),
+        (MabSelection::FinalScore, "final-score"),
+    ] {
+        for early_stop in [false, true] {
+            let cfg = MabConfig {
+                selection,
+                early_stop,
+                ..MabConfig::default()
+            };
+            println!("# variant: selection={label} early_stop={early_stop}");
+            modes.push(EvalMode::Mab(cfg));
+        }
+    }
+    harness_cfg.modes = modes;
+    let report = run_eval(&dataset, &harness_cfg).expect("eval");
+    println!("variant,avg_reward,avg_f1,accuracy,answer_tokens,total_tokens,reward_per_token");
+    let labels = [
+        "qwen2-7b (single)",
+        "cumulative / run-to-completion",
+        "cumulative / early-stop",
+        "mean / run-to-completion",
+        "mean / early-stop",
+        "final-score / run-to-completion",
+        "final-score / early-stop",
+    ];
+    for (label, m) in labels.iter().zip(&report.modes) {
+        println!(
+            "{label},{:.4},{:.4},{:.3},{:.1},{:.1},{:.5}",
+            m.avg_reward, m.avg_f1, m.accuracy, m.avg_tokens, m.avg_total_tokens, m.reward_per_token
+        );
+    }
+}

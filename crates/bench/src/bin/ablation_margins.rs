@@ -1,0 +1,32 @@
+//! Ablation Tab B: OUA margin and round-granularity sweep — how aggressive
+//! pruning/early-return trades answer quality against token savings.
+
+use llmms::core::OuaConfig;
+use llmms::eval::{generate, run_eval, EvalMode};
+
+fn main() {
+    let (gen_cfg, mut harness_cfg) = llmms_bench::standard_config();
+    let dataset = generate(&gen_cfg);
+    let mut modes = Vec::new();
+    let mut labels = Vec::new();
+    for margin in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        for round_tokens in [4usize, 16] {
+            modes.push(EvalMode::Oua(OuaConfig {
+                win_margin: margin,
+                prune_margin: margin,
+                round_tokens,
+                ..OuaConfig::default()
+            }));
+            labels.push(format!("margin={margin:.2} round={round_tokens}"));
+        }
+    }
+    harness_cfg.modes = modes;
+    let report = run_eval(&dataset, &harness_cfg).expect("eval");
+    println!("variant,avg_reward,avg_f1,accuracy,answer_tokens,total_tokens,reward_per_token");
+    for (label, m) in labels.iter().zip(&report.modes) {
+        println!(
+            "{label},{:.4},{:.4},{:.3},{:.1},{:.1},{:.5}",
+            m.avg_reward, m.avg_f1, m.accuracy, m.avg_tokens, m.avg_total_tokens, m.reward_per_token
+        );
+    }
+}

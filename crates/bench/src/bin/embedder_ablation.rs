@@ -1,0 +1,43 @@
+//! Encoder-choice ablation (§8.4 "impact of embedding-based scoring"):
+//! the stateless hashed n-gram embedder vs a TF-IDF embedder fitted on the
+//! benchmark's questions and reference answers. Every similarity decision
+//! in the platform — Eq. 6.1 scoring, knowledge recall, Eq. 8.1 reward —
+//! flows through the encoder, so this measures how sensitive the headline
+//! results are to it.
+
+use llmms::embed::{SharedEmbedder, TfIdfConfig, TfIdfEmbedder};
+use llmms::eval::{generate, run_eval_with_embedder};
+use std::sync::Arc;
+
+fn main() {
+    let (gen_cfg, harness_cfg) = llmms_bench::standard_config();
+    let dataset = generate(&gen_cfg);
+
+    // Fit TF-IDF on the benchmark's own text (questions + references), the
+    // corpus a deployment would have.
+    let mut corpus: Vec<String> = Vec::new();
+    for item in &dataset.items {
+        corpus.push(item.question.clone());
+        corpus.push(item.golden.clone());
+        corpus.extend(item.correct.iter().cloned());
+        corpus.extend(item.incorrect.iter().cloned());
+    }
+    let tfidf: SharedEmbedder = Arc::new(TfIdfEmbedder::fit(
+        corpus.iter().map(String::as_str),
+        TfIdfConfig::default(),
+    ));
+
+    println!("encoder,mode,avg_reward,avg_f1,accuracy,reward_per_token");
+    for (label, embedder) in [
+        ("hashed-ngram", llmms::embed::default_embedder()),
+        ("tfidf", tfidf),
+    ] {
+        let report = run_eval_with_embedder(&dataset, &harness_cfg, embedder).expect("eval");
+        for m in &report.modes {
+            println!(
+                "{label},{},{:.4},{:.4},{:.3},{:.5}",
+                m.mode, m.avg_reward, m.avg_f1, m.accuracy, m.reward_per_token
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Extensions experiment: the §9.5 semantic Router (static and
+//! feedback-learned preferences) and the §8.4 Hybrid against the paper's
+//! OUA/MAB and the best single baseline.
+//!
+//! The learned router replays the *first half* of the benchmark, feeding
+//! each model's Eq. 8.1 reward into the task index (the self-improving
+//! loop), then every mode is evaluated on the *second half*.
+
+use llmms::core::{HybridConfig, MabConfig, OuaConfig, RouterConfig, TaskIndex};
+use llmms::eval::{
+    eval_reward, generate, run_eval, Dataset, EvalMode, EvalRewardWeights, GeneratorConfig,
+    HarnessConfig,
+};
+use llmms::models::GenOptions;
+
+/// Exemplar queries per category for the static task index (kept generic —
+/// they do not quote benchmark questions verbatim).
+const EXEMPLARS: &[(&str, &[&str], &str)] = &[
+    ("misconceptions", &["is this common belief actually true", "do people wrongly believe this fact"], "qwen2-7b"),
+    ("science", &["what does physics say about this process", "at what temperature does this happen"], "mistral-7b"),
+    ("history", &["what happened in this historical event", "did this famous historical figure really do that"], "llama3-8b"),
+    ("health", &["is this good or bad for your body", "does this habit cause an illness"], "qwen2-7b"),
+    ("law", &["is this legal or required by law", "what are your legal rights here"], "qwen2-7b"),
+    ("geography", &["what is the capital of this country", "which river or mountain is the largest"], "mistral-7b"),
+    ("fiction", &["what happens in this novel or film", "what does this fictional character say"], "llama3-8b"),
+    ("proverbs", &["is this old saying literally true", "does this proverb hold up in real life"], "llama3-8b"),
+];
+
+fn learned_index(train: &Dataset) -> TaskIndex {
+    let embedder = llmms::embed::default_embedder();
+    // Start from the static exemplars but *uninformed* preferences.
+    let neutral: Vec<(&str, &[&str], &str)> = EXEMPLARS
+        .iter()
+        .map(|(c, e, _)| (*c, *e, "mistral-7b"))
+        .collect();
+    let mut index = TaskIndex::build(&neutral, &embedder);
+
+    // Feedback phase: each model answers each training question directly;
+    // its Eq. 8.1 reward is fed back per category.
+    let knowledge = std::sync::Arc::new(llmms::models::KnowledgeStore::build(
+        train.to_knowledge(),
+        llmms::embed::default_embedder(),
+    ));
+    let registry = llmms::models::ModelRegistry::evaluation_setup(knowledge);
+    let models = registry.load_all().expect("models load");
+    let weights = EvalRewardWeights::default();
+    for item in &train.items {
+        for model in &models {
+            let done = model.complete(&item.question, &GenOptions::default());
+            let reward = eval_reward(&done.text, item, &embedder, &weights);
+            index.record_feedback(&item.category, model.name(), reward);
+        }
+    }
+    index
+}
+
+fn main() {
+    let full = generate(&GeneratorConfig {
+        items: 200,
+        seed: 7,
+        ..Default::default()
+    });
+    let mid = full.len() / 2;
+    let train = Dataset {
+        name: "train-half".into(),
+        items: full.items[..mid].to_vec(),
+    };
+    let test = Dataset {
+        name: "test-half".into(),
+        items: full.items[mid..].to_vec(),
+    };
+
+    let embedder = llmms::embed::default_embedder();
+    let static_index = TaskIndex::build(EXEMPLARS, &embedder);
+    let learned = learned_index(&train);
+    println!("learned preferences per category:");
+    for t in learned.tasks() {
+        println!("  {:<16} -> {}", t.name, t.preferred_model);
+    }
+
+    let harness = HarnessConfig {
+        token_budget: 2048,
+        temperature: 0.7,
+        modes: vec![
+            EvalMode::Single("qwen2-7b".into()),
+            EvalMode::Oua(OuaConfig::default()),
+            EvalMode::Mab(MabConfig::default()),
+            EvalMode::Hybrid(HybridConfig::default()),
+            EvalMode::Routed(RouterConfig::new(static_index)),
+            EvalMode::Routed(RouterConfig::new(learned)),
+        ],
+        ..Default::default()
+    };
+    let report = run_eval(&test, &harness).expect("eval");
+    let labels = [
+        "qwen2-7b (best single)",
+        "LLM-MS OUA",
+        "LLM-MS MAB",
+        "LLM-MS Hybrid",
+        "Router (static prefs)",
+        "Router (learned prefs)",
+    ];
+    println!("\nvariant,avg_reward,avg_f1,accuracy,answer_tokens,total_tokens,reward_per_token");
+    for (label, m) in labels.iter().zip(&report.modes) {
+        println!(
+            "{label},{:.4},{:.4},{:.3},{:.1},{:.1},{:.5}",
+            m.avg_reward, m.avg_f1, m.accuracy, m.avg_tokens, m.avg_total_tokens, m.reward_per_token
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 8.1: average reward per model over the synthetic
+//! TruthfulQA dataset (three single-model baselines vs LLM-MS OUA vs
+//! LLM-MS MAB).
+
+use llmms::eval::report;
+
+fn main() {
+    let r = llmms_bench::standard_report();
+    println!("{}", report::figure_8_1(&r));
+    println!("{}", report::markdown_table(&r));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 8.2: average F1 score per model.
+
+use llmms::eval::report;
+
+fn main() {
+    let r = llmms_bench::standard_report();
+    println!("{}", report::figure_8_2(&r));
+    println!("{}", report::category_breakdown(&r));
+}

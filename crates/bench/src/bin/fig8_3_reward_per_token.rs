@@ -1,0 +1,9 @@
+//! Regenerates Figure 8.3: average reward-to-tokens ratio per model.
+
+use llmms::eval::report;
+
+fn main() {
+    let r = llmms_bench::standard_report();
+    println!("{}", report::figure_8_3(&r));
+    println!("{}", report::csv(&r));
+}

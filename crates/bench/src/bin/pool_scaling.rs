@@ -1,0 +1,80 @@
+//! Pool-scaling experiment: how answer quality and token cost scale with
+//! the number of candidate models (1 → 5), the resource-constraint
+//! question §2.5 raises ("running multiple large models concurrently
+//! places a significant burden on GPU memory and compute").
+//!
+//! Pools grow in the order llama3 → +mistral → +qwen2 → +gemma → +phi3;
+//! the orchestrator is OUA with paper defaults throughout.
+
+use llmms::core::{Orchestrator, OrchestratorConfig, OuaConfig, Strategy};
+use llmms::eval::{generate, score_query, EvalRewardWeights, GeneratorConfig};
+use llmms::models::{KnowledgeStore, ModelProfile, SharedModel, SimLlm};
+use std::sync::Arc;
+
+fn main() {
+    let dataset = generate(&GeneratorConfig {
+        items: 200,
+        seed: 7,
+        ..Default::default()
+    });
+    let embedder = llmms::embed::default_embedder();
+    let knowledge = Arc::new(KnowledgeStore::build(
+        dataset.to_knowledge(),
+        Arc::clone(&embedder),
+    ));
+    let all: Vec<SharedModel> = ModelProfile::extended_pool()
+        .into_iter()
+        .map(|p| Arc::new(SimLlm::new(p, Arc::clone(&knowledge))) as SharedModel)
+        .collect();
+    let weights = EvalRewardWeights::default();
+
+    println!("pool_size,models,avg_reward,avg_f1,accuracy,answer_tokens,total_tokens,latency_ms");
+    for n in 1..=all.len() {
+        let pool = &all[..n];
+        let orchestrator = Orchestrator::new(
+            Arc::clone(&embedder),
+            OrchestratorConfig {
+                strategy: if n == 1 {
+                    Strategy::Single
+                } else {
+                    Strategy::Oua(OuaConfig::default())
+                },
+                ..OrchestratorConfig::default()
+            },
+        );
+        let mut reward = 0.0;
+        let mut f1 = 0.0;
+        let mut truthful = 0usize;
+        let mut answer_tokens = 0usize;
+        let mut total_tokens = 0usize;
+        let mut latency = 0.0;
+        for item in &dataset.items {
+            let r = orchestrator.run(pool, &item.question).expect("run");
+            let m = score_query(
+                r.response(),
+                r.best_outcome().tokens,
+                r.total_tokens,
+                item,
+                &embedder,
+                &weights,
+            );
+            reward += m.reward;
+            f1 += m.f1;
+            truthful += usize::from(m.truthful);
+            answer_tokens += m.tokens;
+            total_tokens += m.total_tokens;
+            latency += r.simulated_latency().as_secs_f64() * 1000.0;
+        }
+        let q = dataset.len() as f64;
+        println!(
+            "{n},{},{:.4},{:.4},{:.3},{:.1},{:.1},{:.0}",
+            pool.iter().map(|m| m.name()).collect::<Vec<_>>().join("+"),
+            reward / q,
+            f1 / q,
+            truthful as f64 / q,
+            answer_tokens as f64 / q,
+            total_tokens as f64 / q,
+            latency / q,
+        );
+    }
+}

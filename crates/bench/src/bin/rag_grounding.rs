@@ -1,0 +1,71 @@
+//! RAG grounding experiment (the Figure 5.7 workflow, quantified): answer
+//! document-specific questions with retrieval depth k ∈ {0, 1, 3, 5} and
+//! measure how often the grounded fact reaches the final answer.
+
+use llmms::platform::AskOptions;
+use llmms::Platform;
+
+const DOCS: &[(&str, &str, &str, &str)] = &[
+    (
+        "metals",
+        "Tungsten has the highest melting point of any metal, at 3422 degrees Celsius. \
+         Copper is prized for its electrical conductivity. \
+         Aluminium is light and corrosion resistant.",
+        "Which metal has the highest melting point?",
+        "tungsten",
+    ),
+    (
+        "ships",
+        "The research vessel Meridian carries a crew of twenty eight. \
+         Its survey sonar operates at twelve kilohertz. \
+         The Meridian was commissioned in Bergen.",
+        "How large is the crew of the Meridian?",
+        "twenty eight",
+    ),
+    (
+        "recipes",
+        "The house sourdough uses a nine hour cold proof. \
+         Each loaf takes four hundred grams of strong white flour. \
+         The bakery mills its rye on site.",
+        "How long is the sourdough cold proof?",
+        "nine hour",
+    ),
+    (
+        "observatory",
+        "The mountain observatory sits at an altitude of 2660 meters. \
+         Its primary mirror spans three point six meters. \
+         Seeing conditions peak in February.",
+        "What is the altitude of the observatory?",
+        "2660",
+    ),
+];
+
+fn main() {
+    println!("top_k,grounded_answers,total_questions,hit_rate");
+    for k in [0usize, 1, 3, 5] {
+        let platform = Platform::builder().build().expect("platform");
+        for (id, text, _, _) in DOCS {
+            platform.ingest_document(id, text).expect("ingest");
+        }
+        let mut hits = 0;
+        for (_, _, question, needle) in DOCS {
+            let r = platform
+                .ask_with(
+                    question,
+                    &AskOptions {
+                        top_k: k,
+                        ..Default::default()
+                    },
+                )
+                .expect("query");
+            if r.response().to_lowercase().contains(needle) {
+                hits += 1;
+            }
+        }
+        println!(
+            "{k},{hits},{},{:.2}",
+            DOCS.len(),
+            hits as f64 / DOCS.len() as f64
+        );
+    }
+}

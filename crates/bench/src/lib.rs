@@ -1,0 +1,62 @@
+//! # llmms-bench
+//!
+//! Experiment binaries and Criterion micro-benchmarks regenerating every
+//! figure of the paper's evaluation (Chapter 8) plus the ablations listed in
+//! `DESIGN.md`. Shared setup lives here so every binary runs the same
+//! standard workload.
+
+#![warn(missing_docs)]
+
+use llmms::eval::{generate, run_eval, EvalReport, GeneratorConfig, HarnessConfig};
+
+/// The standard §8 workload: the synthetic TruthfulQA dataset (200 items,
+/// seed 7), λ_max = 2048, the paper's five modes.
+pub fn standard_config() -> (GeneratorConfig, HarnessConfig) {
+    (
+        GeneratorConfig {
+            items: 200,
+            seed: 7,
+            ..Default::default()
+        },
+        HarnessConfig {
+            token_budget: 2048,
+            temperature: 0.7,
+            seed: 0,
+            ..Default::default()
+        },
+    )
+}
+
+/// Run the standard evaluation (all five modes).
+///
+/// # Panics
+///
+/// Panics on harness errors — experiment binaries have no graceful path.
+pub fn standard_report() -> EvalReport {
+    let (gen_cfg, harness_cfg) = standard_config();
+    let dataset = generate(&gen_cfg);
+    run_eval(&dataset, &harness_cfg).expect("standard evaluation must run")
+}
+
+/// Run a reduced evaluation (quick smoke checks).
+///
+/// # Panics
+///
+/// Panics on harness errors.
+pub fn quick_report(items: usize) -> EvalReport {
+    let (mut gen_cfg, harness_cfg) = standard_config();
+    gen_cfg.items = items;
+    let dataset = generate(&gen_cfg);
+    run_eval(&dataset, &harness_cfg).expect("quick evaluation must run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_has_five_modes() {
+        let r = quick_report(6);
+        assert_eq!(r.modes.len(), 5);
+    }
+}

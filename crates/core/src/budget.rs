@@ -1,0 +1,129 @@
+//! Token budget accounting (λ_max and its division among models).
+
+use serde::{Deserialize, Serialize};
+
+/// A consumable token budget.
+///
+/// The orchestrator holds one global budget of λ_max tokens per query; every
+/// chunk any model generates is charged against it. `TokenBudget` makes the
+/// arithmetic explicit and panic-free: a request can never overdraw, it is
+/// truncated to what remains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenBudget {
+    limit: usize,
+    used: usize,
+}
+
+impl TokenBudget {
+    /// A fresh budget of `limit` tokens.
+    pub fn new(limit: usize) -> Self {
+        Self { limit, used: 0 }
+    }
+
+    /// Total budget (λ_max).
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Tokens consumed so far.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Tokens still available.
+    pub fn remaining(&self) -> usize {
+        self.limit - self.used
+    }
+
+    /// Whether the budget is fully consumed.
+    pub fn exhausted(&self) -> bool {
+        self.used >= self.limit
+    }
+
+    /// Fraction of the budget consumed, in `[0, 1]`.
+    pub fn consumed_fraction(&self) -> f64 {
+        if self.limit == 0 {
+            return 1.0;
+        }
+        self.used as f64 / self.limit as f64
+    }
+
+    /// Grant up to `requested` tokens, returning what was actually granted
+    /// (possibly zero). The caller charges generation against the grant.
+    pub fn grant(&mut self, requested: usize) -> usize {
+        let granted = requested.min(self.remaining());
+        self.used += granted;
+        granted
+    }
+
+    /// Return unused tokens from an earlier grant (a model produced fewer
+    /// tokens than requested, e.g. because it stopped).
+    pub fn refund(&mut self, tokens: usize) {
+        self.used = self.used.saturating_sub(tokens);
+    }
+
+    /// The even per-model allowance λ = λ_max / N of Algorithm 1, line 2.
+    pub fn even_split(&self, models: usize) -> usize {
+        if models == 0 {
+            return 0;
+        }
+        self.limit / models
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_refund_arithmetic() {
+        let mut b = TokenBudget::new(100);
+        assert_eq!(b.grant(30), 30);
+        assert_eq!(b.used(), 30);
+        assert_eq!(b.remaining(), 70);
+        b.refund(10);
+        assert_eq!(b.used(), 20);
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn grant_truncates_at_limit() {
+        let mut b = TokenBudget::new(10);
+        assert_eq!(b.grant(7), 7);
+        assert_eq!(b.grant(7), 3);
+        assert_eq!(b.grant(7), 0);
+        assert!(b.exhausted());
+        assert_eq!(b.consumed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn refund_saturates_at_zero() {
+        let mut b = TokenBudget::new(10);
+        b.grant(3);
+        b.refund(100);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn even_split_matches_algorithm_1() {
+        let b = TokenBudget::new(2048);
+        assert_eq!(b.even_split(3), 682);
+        assert_eq!(b.even_split(1), 2048);
+        assert_eq!(b.even_split(0), 0);
+    }
+
+    #[test]
+    fn zero_budget_is_exhausted() {
+        let b = TokenBudget::new(0);
+        assert!(b.exhausted());
+        assert_eq!(b.consumed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn consumed_fraction_drives_gamma_decay() {
+        // The MAB decay γ = 0.3·(1 − used/λmax) consumes this fraction.
+        let mut b = TokenBudget::new(200);
+        b.grant(50);
+        assert!((b.consumed_fraction() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! Orchestrator configuration: strategies and their parameters.
+
+use crate::reward::RewardWeights;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Overperformers–Underperformers Algorithm (Alg. 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OuaConfig {
+    /// Eq. 6.1 weights (paper: α = 0.7, β = 0.3).
+    pub weights: RewardWeights,
+    /// Early-return margin: the best model wins outright when its score
+    /// exceeds the runner-up's by more than this *and* it finished with
+    /// done reason `stop` (Alg. 1, line 17; paper constant 0.5).
+    pub win_margin: f64,
+    /// Prune margin: the worst model is dropped when the second-worst
+    /// outscores it by more than this (Alg. 1, line 21; paper constant 0.5).
+    pub prune_margin: f64,
+    /// Tokens each active model generates per round-robin round. The thesis
+    /// describes "partial outputs" generated "in a round-robin fashion"
+    /// (§6.3) under the per-model allowance λ_max/N; this is the granularity
+    /// of those partials (Ollama streams a few tokens per SSE event, so the
+    /// default is fine-grained).
+    pub round_tokens: usize,
+}
+
+impl Default for OuaConfig {
+    fn default() -> Self {
+        Self {
+            weights: RewardWeights::default(),
+            win_margin: 0.5,
+            prune_margin: 0.5,
+            round_tokens: 4,
+        }
+    }
+}
+
+/// How the MAB picks its final answer from the accumulated rewards
+/// (Algorithm 2, line 16: "response from model with highest reward").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MabSelection {
+    /// Highest cumulative reward `rewards_i` — the literal reading; favors
+    /// the arm the bandit actually exploited.
+    Cumulative,
+    /// Highest mean reward `rewards_i / pulls_i` — the UCB exploitation
+    /// term; noisier because early 1-token prefixes weigh equally.
+    Mean,
+    /// Highest *current* reward: each arm's final response is re-scored
+    /// with Eq. 6.1 once pulling stops (reading "reward" as the latest r of
+    /// line 9 rather than an accumulator). Matches OUA's final selection.
+    FinalScore,
+}
+
+/// Parameters of the Multi-Armed Bandit strategy (Alg. 2, UCB1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MabConfig {
+    /// Eq. 6.1 weights for the per-pull reward.
+    pub weights: RewardWeights,
+    /// Initial exploration coefficient γ₀ (paper: 0.3).
+    pub gamma0: f64,
+    /// Apply the paper's decay γ = γ₀·(1 − usedTokens/λ_max). Disabling it
+    /// gives classic fixed-γ UCB1 (ablation Tab C).
+    pub decay: bool,
+    /// Tokens per pull. The paper pulls token-by-token (`pull_tokens = 1`);
+    /// larger pulls amortize the per-pull embedding cost (ablation Tab D).
+    pub pull_tokens: usize,
+    /// Final-answer selection rule.
+    pub selection: MabSelection,
+    /// Stop pulling once the current leader has finished naturally. When
+    /// off, the loop runs until every arm finishes or λ_max is exhausted
+    /// ("models with persistently low rewards ... are phased out", §4.3.1).
+    pub early_stop: bool,
+}
+
+impl Default for MabConfig {
+    fn default() -> Self {
+        Self {
+            weights: RewardWeights::default(),
+            gamma0: 0.3,
+            decay: true,
+            pull_tokens: 1,
+            selection: MabSelection::FinalScore,
+            early_stop: false,
+        }
+    }
+}
+
+/// Which orchestration strategy drives a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Route everything to one model — the paper's static baseline.
+    Single,
+    /// Overperformers–Underperformers Algorithm.
+    Oua(OuaConfig),
+    /// Multi-Armed Bandit with UCB1.
+    Mab(MabConfig),
+    /// Cognitive routing via a semantic task index (§9.5 extension).
+    Routed(crate::routed::RouterConfig),
+    /// OUA probe + MAB exploitation (the §8.4 hybrid).
+    Hybrid(crate::hybrid::HybridConfig),
+}
+
+impl Strategy {
+    /// Short display name matching the paper's figure labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Single => "single",
+            Strategy::Oua(_) => "LLM-MS OUA",
+            Strategy::Mab(_) => "LLM-MS MAB",
+            Strategy::Routed(_) => "LLM-MS Router",
+            Strategy::Hybrid(_) => "LLM-MS Hybrid",
+        }
+    }
+}
+
+/// Full orchestrator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratorConfig {
+    /// Global token budget λ_max per query (paper example: 2048).
+    pub token_budget: usize,
+    /// The strategy to run.
+    pub strategy: Strategy,
+    /// Sampling temperature handed to the models.
+    pub temperature: f32,
+    /// Seed mixed into the models' determinism.
+    pub seed: u64,
+    /// Record an [`crate::events::OrchestrationEvent`] trace in the result
+    /// (the paper's "transparent orchestration logs" extension, §9.5).
+    pub record_events: bool,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        Self {
+            token_budget: 2048,
+            strategy: Strategy::Oua(OuaConfig::default()),
+            temperature: 0.7,
+            seed: 0,
+            record_events: false,
+        }
+    }
+}
+
+impl OrchestratorConfig {
+    /// Start a builder from the defaults.
+    pub fn builder() -> OrchestratorConfigBuilder {
+        OrchestratorConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`OrchestratorConfig`].
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfigBuilder {
+    config: OrchestratorConfig,
+}
+
+impl OrchestratorConfigBuilder {
+    /// Set the token budget λ_max.
+    #[must_use]
+    pub fn token_budget(mut self, budget: usize) -> Self {
+        self.config.token_budget = budget;
+        self
+    }
+
+    /// Select the strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Set the sampling temperature.
+    #[must_use]
+    pub fn temperature(mut self, temperature: f32) -> Self {
+        self.config.temperature = temperature;
+        self
+    }
+
+    /// Set the determinism seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Enable event-trace recording.
+    #[must_use]
+    pub fn record_events(mut self, record: bool) -> Self {
+        self.config.record_events = record;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> OrchestratorConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let oua = OuaConfig::default();
+        assert_eq!(oua.weights.alpha, 0.7);
+        assert_eq!(oua.weights.beta, 0.3);
+        assert_eq!(oua.win_margin, 0.5);
+        assert_eq!(oua.prune_margin, 0.5);
+        let mab = MabConfig::default();
+        assert_eq!(mab.gamma0, 0.3);
+        assert!(mab.decay);
+        assert_eq!(mab.pull_tokens, 1);
+        assert_eq!(OrchestratorConfig::default().token_budget, 2048);
+    }
+
+    #[test]
+    fn strategy_labels_match_figures() {
+        assert_eq!(Strategy::Single.label(), "single");
+        assert_eq!(Strategy::Oua(OuaConfig::default()).label(), "LLM-MS OUA");
+        assert_eq!(Strategy::Mab(MabConfig::default()).label(), "LLM-MS MAB");
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = OrchestratorConfig::builder()
+            .token_budget(512)
+            .strategy(Strategy::Mab(MabConfig::default()))
+            .temperature(0.0)
+            .seed(42)
+            .record_events(true)
+            .build();
+        assert_eq!(c.token_budget, 512);
+        assert!(matches!(c.strategy, Strategy::Mab(_)));
+        assert_eq!(c.temperature, 0.0);
+        assert_eq!(c.seed, 42);
+        assert!(c.record_events);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = OrchestratorConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: OrchestratorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

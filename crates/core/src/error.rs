@@ -1,0 +1,45 @@
+//! Error types for the orchestration layer.
+
+use std::fmt;
+
+/// Errors produced when configuring or running an orchestration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrchestratorError {
+    /// The model pool was empty.
+    NoModels,
+    /// `Strategy::Single` needs exactly one model in the pool.
+    SingleNeedsOneModel {
+        /// How many models were supplied.
+        got: usize,
+    },
+    /// The token budget was zero.
+    ZeroBudget,
+}
+
+impl fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestratorError::NoModels => write!(f, "orchestrator needs at least one model"),
+            OrchestratorError::SingleNeedsOneModel { got } => {
+                write!(f, "single-model mode needs exactly one model, got {got}")
+            }
+            OrchestratorError::ZeroBudget => write!(f, "token budget must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(OrchestratorError::NoModels.to_string().contains("model"));
+        assert!(OrchestratorError::SingleNeedsOneModel { got: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(OrchestratorError::ZeroBudget.to_string().contains("budget"));
+    }
+}

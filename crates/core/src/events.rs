@@ -1,0 +1,156 @@
+//! Orchestration event trace — the "transparent orchestration logs" the
+//! thesis lists as an extension (§9.5: "We asked Model A first, it got 60%
+//! confidence; then we asked Model B ...") and the feed behind the UI's
+//! model-routing overlay (§7.3).
+
+use llmms_models::DoneReason;
+use serde::{Deserialize, Serialize};
+
+/// One event in an orchestration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OrchestrationEvent {
+    /// A new scoring round (OUA) or pull (MAB) began.
+    RoundStarted {
+        /// 1-based round/pull counter.
+        round: usize,
+    },
+    /// A model produced a chunk of tokens.
+    ModelChunk {
+        /// Model name.
+        model: String,
+        /// Chunk text.
+        text: String,
+        /// Tokens in this chunk.
+        tokens: usize,
+        /// Done reason if the model finished with this chunk.
+        done: Option<DoneReason>,
+    },
+    /// Scores were recomputed after a round.
+    ScoresUpdated {
+        /// `(model, Eq. 6.1 score)` pairs, in pool order.
+        scores: Vec<(String, f64)>,
+    },
+    /// OUA pruned the worst model.
+    ModelPruned {
+        /// The pruned model.
+        model: String,
+        /// Its score at pruning time.
+        score: f64,
+        /// The second-worst score that triggered the margin.
+        second_worst: f64,
+    },
+    /// OUA found an early winner (margin + natural stop).
+    EarlyWinner {
+        /// The winning model.
+        model: String,
+        /// Its score.
+        score: f64,
+    },
+    /// The global token budget ran out.
+    BudgetExhausted {
+        /// Tokens consumed (equals the budget limit).
+        used: usize,
+    },
+    /// The run finished.
+    Finished {
+        /// Model whose response was selected.
+        winner: String,
+        /// Total tokens consumed across all models.
+        total_tokens: usize,
+    },
+}
+
+/// Collects events when enabled, and optionally forwards each event to a
+/// live channel (the application layer's SSE feed). A fully disabled
+/// recorder is free.
+#[derive(Debug, Default)]
+pub struct EventRecorder {
+    enabled: bool,
+    events: Vec<OrchestrationEvent>,
+    sink: Option<crossbeam_channel::Sender<OrchestrationEvent>>,
+}
+
+impl EventRecorder {
+    /// A recorder that stores events only when `enabled`.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            events: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// A recorder that additionally streams every event into `sink` as it
+    /// happens (used by the server to forward chunks over SSE while the
+    /// orchestration is still running). Send failures (receiver hung up)
+    /// are ignored — a closed SSE connection must not abort the query.
+    pub fn with_sink(
+        enabled: bool,
+        sink: crossbeam_channel::Sender<OrchestrationEvent>,
+    ) -> Self {
+        Self {
+            enabled,
+            events: Vec::new(),
+            sink: Some(sink),
+        }
+    }
+
+    /// Record `event` (no-op when disabled and no sink is attached).
+    pub fn emit(&mut self, event: OrchestrationEvent) {
+        if let Some(sink) = &self.sink {
+            let _ = sink.send(event.clone());
+        }
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Like [`EventRecorder::emit`] but the event is only built when it
+    /// would be observed — keeps hot loops allocation-free when disabled.
+    pub fn emit_with(&mut self, f: impl FnOnce() -> OrchestrationEvent) {
+        if self.enabled || self.sink.is_some() {
+            self.emit(f());
+        }
+    }
+
+    /// Consume the recorder, returning the trace.
+    pub fn into_events(self) -> Vec<OrchestrationEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let mut r = EventRecorder::new(false);
+        r.emit(OrchestrationEvent::RoundStarted { round: 1 });
+        r.emit_with(|| panic!("closure must not run when disabled"));
+        assert!(r.into_events().is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_stores_in_order() {
+        let mut r = EventRecorder::new(true);
+        r.emit(OrchestrationEvent::RoundStarted { round: 1 });
+        r.emit_with(|| OrchestrationEvent::BudgetExhausted { used: 10 });
+        let events = r.into_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], OrchestrationEvent::RoundStarted { round: 1 }));
+        assert!(matches!(events[1], OrchestrationEvent::BudgetExhausted { used: 10 }));
+    }
+
+    #[test]
+    fn events_serialize() {
+        let e = OrchestrationEvent::ModelPruned {
+            model: "llama3-8b".into(),
+            score: 0.21,
+            second_worst: 0.8,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: OrchestrationEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,210 @@
+//! Failure-injection tests: the orchestrator must survive misbehaving model
+//! backends — stalled generations, empty outputs, instant refusals — the
+//! way a production deployment survives a wedged Ollama worker.
+
+#![cfg(test)]
+
+use crate::config::{MabConfig, OrchestratorConfig, OuaConfig, Strategy};
+use crate::hybrid::HybridConfig;
+use crate::orchestrator::Orchestrator;
+use llmms_models::{
+    Chunk, DoneReason, GenOptions, GenerationSession, LanguageModel, ModelInfo, SharedModel,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How an injected model misbehaves.
+#[derive(Clone, Copy)]
+enum Fault {
+    /// Yields empty chunks forever without ever finishing.
+    Stall,
+    /// Finishes immediately with no output at all.
+    InstantEmpty,
+    /// Behaves normally (control lane).
+    None,
+}
+
+struct FaultyModel {
+    name: String,
+    fault: Fault,
+}
+
+impl LanguageModel for FaultyModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn info(&self) -> ModelInfo {
+        ModelInfo {
+            name: self.name.clone(),
+            family: "faulty".into(),
+            params_b: 1.0,
+            context_window: 2048,
+            quantization: "none".into(),
+            decode_tokens_per_second: 10.0,
+        }
+    }
+
+    fn start(&self, _prompt: &str, options: &GenOptions) -> Box<dyn GenerationSession> {
+        Box::new(FaultySession {
+            fault: self.fault,
+            words: vec!["the", "honest", "answer", "is", "forty", "two"],
+            cursor: 0,
+            text: String::new(),
+            budget: options.max_tokens,
+            done: None,
+        })
+    }
+}
+
+struct FaultySession {
+    fault: Fault,
+    words: Vec<&'static str>,
+    cursor: usize,
+    text: String,
+    budget: usize,
+    done: Option<DoneReason>,
+}
+
+impl GenerationSession for FaultySession {
+    fn next_chunk(&mut self, max_tokens: usize) -> Chunk {
+        if let Some(reason) = self.done {
+            return Chunk::finished(reason);
+        }
+        match self.fault {
+            Fault::Stall => Chunk {
+                text: String::new(),
+                tokens: 0,
+                done: None,
+            },
+            Fault::InstantEmpty => {
+                self.done = Some(DoneReason::Stop);
+                Chunk::finished(DoneReason::Stop)
+            }
+            Fault::None => {
+                let mut emitted = 0;
+                let mut chunk = String::new();
+                while emitted < max_tokens
+                    && self.cursor < self.words.len()
+                    && self.cursor < self.budget
+                {
+                    if !self.text.is_empty() || !chunk.is_empty() {
+                        chunk.push(' ');
+                    }
+                    chunk.push_str(self.words[self.cursor]);
+                    self.cursor += 1;
+                    emitted += 1;
+                }
+                self.text.push_str(&chunk);
+                self.done = (self.cursor >= self.words.len()).then_some(DoneReason::Stop);
+                Chunk {
+                    text: chunk,
+                    tokens: emitted,
+                    done: self.done,
+                }
+            }
+        }
+    }
+
+    fn tokens_generated(&self) -> usize {
+        self.cursor
+    }
+
+    fn response_so_far(&self) -> &str {
+        &self.text
+    }
+
+    fn done_reason(&self) -> Option<DoneReason> {
+        self.done
+    }
+
+    fn simulated_latency(&self) -> Duration {
+        Duration::from_millis(self.cursor as u64)
+    }
+
+    fn abort(&mut self) {
+        if self.done.is_none() {
+            self.done = Some(DoneReason::Aborted);
+        }
+    }
+}
+
+fn pool(faults: &[(&str, Fault)]) -> Vec<SharedModel> {
+    faults
+        .iter()
+        .map(|(name, fault)| {
+            Arc::new(FaultyModel {
+                name: (*name).to_owned(),
+                fault: *fault,
+            }) as SharedModel
+        })
+        .collect()
+}
+
+fn orchestrator(strategy: Strategy) -> Orchestrator {
+    Orchestrator::new(
+        llmms_embed::default_embedder(),
+        OrchestratorConfig {
+            strategy,
+            token_budget: 64,
+            temperature: 0.0,
+            ..OrchestratorConfig::default()
+        },
+    )
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Oua(OuaConfig::default()),
+        Strategy::Mab(MabConfig::default()),
+        Strategy::Hybrid(HybridConfig::default()),
+    ]
+}
+
+#[test]
+fn stalled_model_does_not_hang_any_strategy() {
+    for strategy in all_strategies() {
+        let models = pool(&[("healthy", Fault::None), ("stuck", Fault::Stall)]);
+        let o = orchestrator(strategy);
+        let r = o.run(&models, "what is the answer").unwrap();
+        assert_eq!(
+            r.response(),
+            "the honest answer is forty two",
+            "{}: healthy answer must win",
+            r.strategy
+        );
+        assert!(r.total_tokens <= 64);
+    }
+}
+
+#[test]
+fn instantly_empty_model_is_tolerated() {
+    for strategy in all_strategies() {
+        let models = pool(&[("healthy", Fault::None), ("mute", Fault::InstantEmpty)]);
+        let o = orchestrator(strategy);
+        let r = o.run(&models, "what is the answer").unwrap();
+        assert_eq!(r.response(), "the honest answer is forty two", "{}", r.strategy);
+        // The mute model must never be selected despite existing in outcomes.
+        assert_eq!(r.best_outcome().model, "healthy", "{}", r.strategy);
+    }
+}
+
+#[test]
+fn everyone_faulty_still_terminates() {
+    for strategy in all_strategies() {
+        let models = pool(&[("stuck-1", Fault::Stall), ("mute", Fault::InstantEmpty)]);
+        let o = orchestrator(strategy);
+        // Nothing sensible to return, but it must return *something* without
+        // hanging or panicking.
+        let r = o.run(&models, "what is the answer").unwrap();
+        assert!(r.total_tokens <= 64, "{}", r.strategy);
+    }
+}
+
+#[test]
+fn single_mode_with_stalled_model_terminates() {
+    let models = pool(&[("stuck", Fault::Stall)]);
+    let o = orchestrator(Strategy::Single);
+    let r = o.run(&models, "q").unwrap();
+    assert_eq!(r.response(), "");
+}

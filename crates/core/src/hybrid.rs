@@ -1,0 +1,226 @@
+//! The hybrid strategy sketched in thesis §8.4: "The primary trade-off
+//! observed was between early pruning (OUA) and adaptive allocation (MAB).
+//! ... A hybrid approach could potentially leverage the advantages of both
+//! methods."
+//!
+//! Phase 1 (**probe**, OUA-flavoured): every model generates a few
+//! round-robin chunks; any model trailing the current best by more than
+//! `prune_margin` is pruned immediately — more decisive than Algorithm 1's
+//! worst-vs-second-worst rule, because the probe exists precisely to cut
+//! losers early.
+//!
+//! Phase 2 (**exploit**, MAB-flavoured): the survivors compete for the
+//! remaining budget under UCB1 with the γ decay of Algorithm 2; the final
+//! answer is the best Eq. 6.1-scoring response among all models that
+//! produced output (pruned partials included, as in OUA line 25).
+
+use crate::budget::TokenBudget;
+use crate::config::{MabConfig, OrchestratorConfig};
+use crate::events::{EventRecorder, OrchestrationEvent};
+use crate::mab::{final_scores, ucb};
+use crate::result::OrchestrationResult;
+use crate::reward::{score_all, RewardWeights};
+use crate::runpool::{outcomes_of, ModelRun};
+use llmms_embed::{Embedding, SharedEmbedder};
+use llmms_models::{GenOptions, SharedModel};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the hybrid strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// Eq. 6.1 weights (shared by both phases).
+    pub weights: RewardWeights,
+    /// Number of probe rounds before pruning locks in.
+    pub probe_rounds: usize,
+    /// Tokens per model per probe round.
+    pub probe_tokens: usize,
+    /// A model trailing the best by more than this after the probe is
+    /// pruned.
+    pub prune_margin: f64,
+    /// Phase-2 bandit parameters (γ₀, decay, pull size).
+    pub mab: MabConfig,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            weights: RewardWeights::default(),
+            probe_rounds: 2,
+            probe_tokens: 4,
+            prune_margin: 0.15,
+            mab: MabConfig::default(),
+        }
+    }
+}
+
+/// Run the hybrid strategy.
+pub(crate) fn run(
+    models: &[SharedModel],
+    prompt: &str,
+    embedder: &SharedEmbedder,
+    cfg: &HybridConfig,
+    orch: &OrchestratorConfig,
+    mut recorder: EventRecorder,
+) -> OrchestrationResult {
+    let n = models.len();
+    let mut budget = TokenBudget::new(orch.token_budget);
+    let options = GenOptions {
+        max_tokens: orch.token_budget,
+        temperature: orch.temperature,
+        seed: orch.seed,
+    };
+    let mut runs = ModelRun::start_all(models, prompt, &options);
+    let query_embedding = embedder.embed(prompt);
+    let mut rounds = 0usize;
+    // Phase 2 scores with the hybrid's own Eq. 6.1 weights.
+    let mab_cfg = MabConfig {
+        weights: cfg.weights,
+        ..cfg.mab.clone()
+    };
+
+    // ---- Phase 1: probe + decisive pruning --------------------------------
+    let mut scores = vec![0.0f64; n];
+    for _ in 0..cfg.probe_rounds.max(1) {
+        if budget.exhausted() || !runs.iter().any(ModelRun::is_active) {
+            break;
+        }
+        rounds += 1;
+        recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: rounds });
+        for run in runs.iter_mut().filter(|r| r.is_active()) {
+            let chunk = run.generate(cfg.probe_tokens.max(1), &mut budget);
+            if chunk.tokens > 0 || chunk.done.is_some() {
+                recorder.emit_with(|| OrchestrationEvent::ModelChunk {
+                    model: run.name.clone(),
+                    text: chunk.text.clone(),
+                    tokens: chunk.tokens,
+                    done: chunk.done,
+                });
+            }
+        }
+        update_probe_scores(&mut runs, &query_embedding, embedder, &cfg.weights, &mut scores);
+        recorder.emit_with(|| OrchestrationEvent::ScoresUpdated {
+            scores: runs
+                .iter()
+                .zip(&scores)
+                .map(|(r, &s)| (r.name.clone(), s))
+                .collect(),
+        });
+    }
+    // Prune everything trailing the probe leader by more than the margin.
+    if let Some(best) = scores
+        .iter()
+        .cloned()
+        .fold(None::<f64>, |acc, s| Some(acc.map_or(s, |a| a.max(s))))
+    {
+        for i in 0..n {
+            if runs[i].is_active() && best - scores[i] > cfg.prune_margin {
+                recorder.emit_with(|| OrchestrationEvent::ModelPruned {
+                    model: runs[i].name.clone(),
+                    score: scores[i],
+                    second_worst: best,
+                });
+                runs[i].prune();
+            }
+        }
+    }
+
+    // ---- Phase 2: UCB1 exploitation among survivors ------------------------
+    let mut rewards = vec![0.0f64; n];
+    let mut pulls = vec![0usize; n];
+    let mut total_pulls = 0usize;
+    let mut stalls = vec![0u8; n];
+    while !budget.exhausted() {
+        let active: Vec<usize> = (0..n).filter(|&i| runs[i].is_active()).collect();
+        if active.is_empty() {
+            break;
+        }
+        let gamma = if cfg.mab.decay {
+            cfg.mab.gamma0 * (1.0 - budget.consumed_fraction())
+        } else {
+            cfg.mab.gamma0
+        };
+        let chosen = *active
+            .iter()
+            .max_by(|&&a, &&b| {
+                ucb(&rewards, &pulls, total_pulls, gamma, a)
+                    .partial_cmp(&ucb(&rewards, &pulls, total_pulls, gamma, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("active is non-empty");
+        total_pulls += 1;
+        rounds += 1;
+        let chunk = runs[chosen].generate(cfg.mab.pull_tokens.max(1), &mut budget);
+        if chunk.tokens == 0 && chunk.done.is_none() {
+            stalls[chosen] += 1;
+            if stalls[chosen] >= 3 {
+                runs[chosen].prune(); // stalled backend — treat as timed out
+            }
+            continue;
+        }
+        stalls[chosen] = 0;
+        recorder.emit_with(|| OrchestrationEvent::ModelChunk {
+            model: runs[chosen].name.clone(),
+            text: chunk.text.clone(),
+            tokens: chunk.tokens,
+            done: chunk.done,
+        });
+        let fresh = final_scores(&mut runs, &query_embedding, embedder, &mab_cfg);
+        rewards[chosen] += fresh[chosen];
+        pulls[chosen] += 1;
+    }
+
+    if budget.exhausted() {
+        recorder.emit_with(|| OrchestrationEvent::BudgetExhausted {
+            used: budget.used(),
+        });
+    }
+
+    // Final selection: best current Eq. 6.1 score among everything with
+    // output (pruned partials included).
+    let selection = final_scores(&mut runs, &query_embedding, embedder, &mab_cfg);
+    let best = (0..n)
+        .filter(|&i| runs[i].has_output())
+        .max_by(|&a, &b| {
+            selection[a]
+                .partial_cmp(&selection[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(0);
+    recorder.emit_with(|| OrchestrationEvent::Finished {
+        winner: runs[best].name.clone(),
+        total_tokens: budget.used(),
+    });
+
+    OrchestrationResult {
+        strategy: "LLM-MS Hybrid".to_owned(),
+        best,
+        outcomes: outcomes_of(runs, &selection),
+        total_tokens: budget.used(),
+        rounds,
+        budget_exhausted: budget.exhausted(),
+        events: recorder.into_events(),
+    }
+}
+
+fn update_probe_scores(
+    runs: &mut [ModelRun],
+    query: &Embedding,
+    embedder: &SharedEmbedder,
+    weights: &RewardWeights,
+    scores: &mut [f64],
+) {
+    let participating: Vec<usize> = (0..runs.len())
+        .filter(|&i| !runs[i].pruned && runs[i].has_output())
+        .collect();
+    if participating.is_empty() {
+        return;
+    }
+    let embeddings: Vec<Embedding> = participating
+        .iter()
+        .map(|&i| runs[i].embedding(embedder))
+        .collect();
+    let fresh = score_all(weights, query, &embeddings);
+    for (slot, &i) in participating.iter().enumerate() {
+        scores[i] = fresh[slot];
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based invariants of the orchestration strategies: for *any*
+//! pool composition, budget, and strategy parameters the orchestrator must
+//! (1) never overdraw λ_max, (2) account per-model tokens exactly,
+//! (3) select a model that actually produced output, and (4) be
+//! deterministic.
+
+#![cfg(test)]
+
+use crate::config::{MabConfig, OrchestratorConfig, OuaConfig, Strategy};
+use crate::hybrid::HybridConfig;
+use crate::orchestrator::Orchestrator;
+use llmms_models::{KnowledgeEntry, KnowledgeStore, ModelProfile, SimLlm, SharedModel};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn knowledge() -> Arc<KnowledgeStore> {
+    Arc::new(KnowledgeStore::build(
+        vec![
+            KnowledgeEntry {
+                id: "q1".into(),
+                question: "What is the capital of France?".into(),
+                category: "geography".into(),
+                golden: "The capital of France is Paris".into(),
+                correct: vec!["Paris is the capital of France".into()],
+                incorrect: vec!["Marseille the port city is the capital".into()],
+            },
+            KnowledgeEntry {
+                id: "q2".into(),
+                question: "Does sugar make children hyperactive?".into(),
+                category: "health".into(),
+                golden: "No, sugar does not cause hyperactivity in children".into(),
+                correct: vec![],
+                incorrect: vec!["Sugar sends children into a frenzy of energy".into()],
+            },
+        ],
+        llmms_embed::default_embedder(),
+    ))
+}
+
+fn model(name_suffix: u8, skill_milli: u16, store: &Arc<KnowledgeStore>) -> SharedModel {
+    let mut p = ModelProfile::llama3_8b();
+    p.name = format!("m{name_suffix}");
+    p.skills.clear();
+    p.default_skill = f64::from(skill_milli.min(1000)) / 1000.0;
+    p.hedging = 0.2;
+    p.verbosity = 0.2;
+    Arc::new(SimLlm::new(p, Arc::clone(store))) as SharedModel
+}
+
+fn strategy_from(selector: u8, margin_centi: u8, chunk: u8) -> Strategy {
+    let margin = f64::from(margin_centi) / 100.0;
+    match selector % 3 {
+        0 => Strategy::Oua(OuaConfig {
+            win_margin: margin,
+            prune_margin: margin,
+            round_tokens: usize::from(chunk.clamp(1, 32)),
+            ..OuaConfig::default()
+        }),
+        1 => Strategy::Mab(MabConfig {
+            pull_tokens: usize::from(chunk.clamp(1, 32)),
+            gamma0: margin,
+            ..MabConfig::default()
+        }),
+        _ => Strategy::Hybrid(HybridConfig {
+            prune_margin: margin,
+            probe_tokens: usize::from(chunk.clamp(1, 16)),
+            ..HybridConfig::default()
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn budget_and_accounting_invariants(
+        skills in proptest::collection::vec(0u16..1000, 1..4),
+        budget in 1usize..300,
+        selector in 0u8..3,
+        margin_centi in 0u8..100,
+        chunk in 1u8..32,
+        question_pick in 0u8..2,
+    ) {
+        let store = knowledge();
+        let pool: Vec<SharedModel> = skills
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| model(i as u8, s, &store))
+            .collect();
+        let question = if question_pick == 0 {
+            "What is the capital of France?"
+        } else {
+            "Does sugar make children hyperactive?"
+        };
+        let o = Orchestrator::new(
+            llmms_embed::default_embedder(),
+            OrchestratorConfig {
+                strategy: strategy_from(selector, margin_centi, chunk),
+                token_budget: budget,
+                temperature: 0.3,
+                ..OrchestratorConfig::default()
+            },
+        );
+        let r = o.run(&pool, question).unwrap();
+
+        // (1) λ_max is a hard ceiling.
+        prop_assert!(r.total_tokens <= budget, "{}: {} > {budget}", r.strategy, r.total_tokens);
+        // (2) exact per-model accounting.
+        let sum: usize = r.outcomes.iter().map(|out| out.tokens).sum();
+        prop_assert_eq!(sum, r.total_tokens);
+        // (3) the selected model produced output whenever anyone did.
+        if r.outcomes.iter().any(|out| out.tokens > 0) {
+            prop_assert!(
+                r.best_outcome().tokens > 0,
+                "{}: selected {} with no output",
+                r.strategy,
+                r.best_outcome().model
+            );
+        }
+        // (4) the best index is valid and outcomes match the pool.
+        prop_assert!(r.best < r.outcomes.len());
+        prop_assert_eq!(r.outcomes.len(), pool.len());
+    }
+
+    #[test]
+    fn orchestration_is_deterministic(
+        skills in proptest::collection::vec(0u16..1000, 1..4),
+        budget in 8usize..200,
+        selector in 0u8..3,
+    ) {
+        let store = knowledge();
+        let pool: Vec<SharedModel> = skills
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| model(i as u8, s, &store))
+            .collect();
+        let o = Orchestrator::new(
+            llmms_embed::default_embedder(),
+            OrchestratorConfig {
+                strategy: strategy_from(selector, 50, 4),
+                token_budget: budget,
+                temperature: 0.7,
+                ..OrchestratorConfig::default()
+            },
+        );
+        let a = o.run(&pool, "What is the capital of France?").unwrap();
+        let b = o.run(&pool, "What is the capital of France?").unwrap();
+        prop_assert_eq!(a.response(), b.response());
+        prop_assert_eq!(a.total_tokens, b.total_tokens);
+        prop_assert_eq!(a.best, b.best);
+    }
+}

@@ -1,0 +1,271 @@
+//! The Multi-Armed Bandit strategy (thesis Algorithm 2, UCB1).
+//!
+//! Each model is an arm. A pull grants the chosen model
+//! [`MabConfig::pull_tokens`] tokens; the resulting partial response is
+//! scored with Eq. 6.1 and the score is the pull's reward. Arm selection
+//! maximizes the upper confidence bound
+//!
+//! ```text
+//! UCB_i = rewards_i / pulls_i + γ · sqrt(2 · ln(totalPulls) / pulls_i)
+//! ```
+//!
+//! with the paper's budget-coupled decay γ = γ₀ · (1 − usedTokens / λ_max)
+//! (Algorithm 2, line 11): exploration shrinks as the budget drains, so late
+//! tokens concentrate on the best arm — "models with persistently low
+//! rewards naturally receive fewer tokens and are phased out" (§4.3.1).
+//!
+//! Termination: unpulled arms are pulled first (UCB = ∞ by convention); the
+//! loop ends when the budget is exhausted, when every arm has finished, or
+//! when the current mean-reward leader has finished naturally (its response
+//! can no longer change, and exploitation would pick it anyway).
+
+use crate::budget::TokenBudget;
+use crate::config::{MabConfig, MabSelection, OrchestratorConfig};
+use crate::events::{EventRecorder, OrchestrationEvent};
+use crate::result::OrchestrationResult;
+use crate::reward::combined_score;
+use crate::runpool::{outcomes_of, ModelRun};
+use llmms_embed::{Embedding, SharedEmbedder};
+use llmms_models::{GenOptions, SharedModel};
+
+/// Run Algorithm 2 over `models` for `prompt`.
+pub(crate) fn run(
+    models: &[SharedModel],
+    prompt: &str,
+    embedder: &SharedEmbedder,
+    cfg: &MabConfig,
+    orch: &OrchestratorConfig,
+    mut recorder: EventRecorder,
+) -> OrchestrationResult {
+    let n = models.len();
+    let mut budget = TokenBudget::new(orch.token_budget);
+    let options = GenOptions {
+        max_tokens: orch.token_budget,
+        temperature: orch.temperature,
+        seed: orch.seed,
+    };
+    let mut runs = ModelRun::start_all(models, prompt, &options);
+    let query_embedding = embedder.embed(prompt);
+
+    let mut rewards = vec![0.0f64; n];
+    let mut pulls = vec![0usize; n];
+    let mut total_pulls = 0usize;
+    // Guard against a misbehaving backend that yields empty, non-final
+    // chunks: after a few zero-progress pulls the arm is treated as stalled
+    // and aborted (the analogue of a request timeout against Ollama).
+    let mut stalls = vec![0u8; n];
+    const MAX_STALLS: u8 = 3;
+
+    while !budget.exhausted() {
+        // Arms that can still produce tokens.
+        let active: Vec<usize> = (0..n).filter(|&i| runs[i].is_active()).collect();
+        if active.is_empty() {
+            break;
+        }
+        // Optional early exploitation stop: the current leader has finished,
+        // so its (winning) response can no longer change.
+        if cfg.early_stop {
+            let leader = match cfg.selection {
+                MabSelection::FinalScore => argmax(&final_scores(
+                    &mut runs,
+                    &query_embedding,
+                    embedder,
+                    cfg,
+                )),
+                _ => leader_of(&rewards, &pulls, cfg.selection),
+            };
+            if let Some(leader) = leader {
+                if runs[leader].stopped_naturally() && pulls[leader] > 0 {
+                    break;
+                }
+            }
+        }
+
+        let gamma = if cfg.decay {
+            cfg.gamma0 * (1.0 - budget.consumed_fraction())
+        } else {
+            cfg.gamma0
+        };
+
+        // UCB1 selection (lines 3–6); unpulled arms first.
+        let chosen = *active
+            .iter()
+            .max_by(|&&a, &&b| {
+                ucb(&rewards, &pulls, total_pulls, gamma, a)
+                    .partial_cmp(&ucb(&rewards, &pulls, total_pulls, gamma, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("active is non-empty");
+
+        total_pulls += 1;
+        recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: total_pulls });
+
+        // Pull: generate the next token chunk (line 7).
+        let chunk = runs[chosen].generate(cfg.pull_tokens.max(1), &mut budget);
+        if chunk.tokens == 0 && chunk.done.is_none() {
+            stalls[chosen] += 1;
+            if stalls[chosen] >= MAX_STALLS {
+                runs[chosen].prune();
+            }
+            continue;
+        }
+        stalls[chosen] = 0;
+        recorder.emit_with(|| OrchestrationEvent::ModelChunk {
+            model: runs[chosen].name.clone(),
+            text: chunk.text.clone(),
+            tokens: chunk.tokens,
+            done: chunk.done,
+        });
+
+        // Reward (lines 8–9): Eq. 6.1 on the updated partial response.
+        let reward = pull_reward(&mut runs, chosen, &query_embedding, embedder, cfg);
+        rewards[chosen] += reward;
+        pulls[chosen] += 1;
+
+        recorder.emit_with(|| OrchestrationEvent::ScoresUpdated {
+            scores: runs
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.name.clone(), mean_reward(&rewards, &pulls, i)))
+                .collect(),
+        });
+    }
+
+    if budget.exhausted() {
+        recorder.emit_with(|| OrchestrationEvent::BudgetExhausted {
+            used: budget.used(),
+        });
+    }
+
+    // Final selection (line 16): the arm with the highest reward under the
+    // configured reading of "reward".
+    let selection_scores: Vec<f64> = match cfg.selection {
+        MabSelection::FinalScore => final_scores(&mut runs, &query_embedding, embedder, cfg),
+        _ => (0..n)
+            .map(|i| selection_score(&rewards, &pulls, i, cfg.selection))
+            .collect(),
+    };
+    let best = (0..n)
+        .filter(|&i| runs[i].has_output())
+        .max_by(|&a, &b| {
+            selection_scores[a]
+                .partial_cmp(&selection_scores[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(0);
+
+    recorder.emit_with(|| OrchestrationEvent::Finished {
+        winner: runs[best].name.clone(),
+        total_tokens: budget.used(),
+    });
+
+    OrchestrationResult {
+        strategy: "LLM-MS MAB".to_owned(),
+        best,
+        outcomes: outcomes_of(runs, &selection_scores),
+        total_tokens: budget.used(),
+        rounds: total_pulls,
+        budget_exhausted: budget.exhausted(),
+        events: recorder.into_events(),
+    }
+}
+
+/// UCB value for arm `i`; unpulled arms get +∞ so each arm is tried once.
+pub(crate) fn ucb(rewards: &[f64], pulls: &[usize], total_pulls: usize, gamma: f64, i: usize) -> f64 {
+    if pulls[i] == 0 {
+        return f64::INFINITY;
+    }
+    let mean = rewards[i] / pulls[i] as f64;
+    let bonus = gamma * (2.0 * (total_pulls.max(1) as f64).ln() / pulls[i] as f64).sqrt();
+    mean + bonus
+}
+
+fn mean_reward(rewards: &[f64], pulls: &[usize], i: usize) -> f64 {
+    if pulls[i] == 0 {
+        0.0
+    } else {
+        rewards[i] / pulls[i] as f64
+    }
+}
+
+/// Score used for final selection / leader identification.
+fn selection_score(rewards: &[f64], pulls: &[usize], i: usize, selection: MabSelection) -> f64 {
+    match selection {
+        MabSelection::Cumulative => rewards[i],
+        // FinalScore is handled by `final_scores` before reaching here; the
+        // mean is the sensible fallback for leader tracking.
+        MabSelection::Mean | MabSelection::FinalScore => mean_reward(rewards, pulls, i),
+    }
+}
+
+/// Index of the current leader under the configured selection rule
+/// (pulled arms only).
+fn leader_of(rewards: &[f64], pulls: &[usize], selection: MabSelection) -> Option<usize> {
+    (0..rewards.len())
+        .filter(|&i| pulls[i] > 0)
+        .max_by(|&a, &b| {
+            selection_score(rewards, pulls, a, selection)
+                .partial_cmp(&selection_score(rewards, pulls, b, selection))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+/// Eq. 6.1 score of every arm's current response against the others —
+/// OUA-style final scoring (arms without output score 0).
+pub(crate) fn final_scores(
+    runs: &mut [ModelRun],
+    query: &Embedding,
+    embedder: &SharedEmbedder,
+    cfg: &MabConfig,
+) -> Vec<f64> {
+    let n = runs.len();
+    let embeddings: Vec<Option<Embedding>> = (0..n)
+        .map(|i| runs[i].has_output().then(|| runs[i].embedding(embedder)))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let Some(target) = &embeddings[i] else {
+                return 0.0;
+            };
+            let others: Vec<&Embedding> = embeddings
+                .iter()
+                .enumerate()
+                .filter(|(j, e)| *j != i && e.is_some())
+                .map(|(_, e)| e.as_ref().expect("filtered to Some"))
+                .collect();
+            combined_score(&cfg.weights, query, target, &others)
+        })
+        .collect()
+}
+
+fn argmax(scores: &[f64]) -> Option<usize> {
+    scores
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s > 0.0)
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+}
+
+/// Eq. 6.1 reward for the pulled arm against the other arms' current
+/// partial responses.
+fn pull_reward(
+    runs: &mut [ModelRun],
+    chosen: usize,
+    query: &Embedding,
+    embedder: &SharedEmbedder,
+    cfg: &MabConfig,
+) -> f64 {
+    if !runs[chosen].has_output() {
+        return 0.0;
+    }
+    let target = runs[chosen].embedding(embedder);
+    let mut others: Vec<Embedding> = Vec::with_capacity(runs.len() - 1);
+    for i in 0..runs.len() {
+        if i != chosen && runs[i].has_output() {
+            others.push(runs[i].embedding(embedder));
+        }
+    }
+    let refs: Vec<&Embedding> = others.iter().collect();
+    combined_score(&cfg.weights, query, &target, &refs)
+}

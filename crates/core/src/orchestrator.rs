@@ -1,0 +1,503 @@
+//! The [`Orchestrator`] — the platform's computation-layer entry point.
+
+use crate::config::{OrchestratorConfig, Strategy};
+use crate::events::EventRecorder;
+use crate::error::OrchestratorError;
+use crate::result::OrchestrationResult;
+use crate::{hybrid, mab, oua, routed, single};
+use llmms_embed::SharedEmbedder;
+use llmms_models::SharedModel;
+
+/// Drives a pool of candidate models through the configured strategy for
+/// each query, mirroring the thesis's "orchestration engine" (§7.2, step 5):
+/// it evaluates partial outputs, allocates token budgets, and decides which
+/// models keep generating.
+pub struct Orchestrator {
+    embedder: SharedEmbedder,
+    config: OrchestratorConfig,
+}
+
+impl Orchestrator {
+    /// Build an orchestrator using `embedder` for all similarity scoring.
+    pub fn new(embedder: SharedEmbedder, config: OrchestratorConfig) -> Self {
+        Self { embedder, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OrchestratorConfig {
+        &self.config
+    }
+
+    /// Replace the configuration (e.g. the user switched strategy in the
+    /// settings panel).
+    pub fn set_config(&mut self, config: OrchestratorConfig) {
+        self.config = config;
+    }
+
+    /// Answer `prompt` with the model pool under the configured strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::NoModels`] on an empty pool,
+    /// [`OrchestratorError::ZeroBudget`] on a zero λ_max, and
+    /// [`OrchestratorError::SingleNeedsOneModel`] when `Strategy::Single` is
+    /// given more than one model.
+    pub fn run(
+        &self,
+        models: &[SharedModel],
+        prompt: &str,
+    ) -> Result<OrchestrationResult, OrchestratorError> {
+        self.run_inner(models, prompt, EventRecorder::new(self.config.record_events))
+    }
+
+    /// Like [`Orchestrator::run`], additionally forwarding every
+    /// [`crate::OrchestrationEvent`] into `sink` as it happens — the feed
+    /// the application layer turns into Server-Sent Events. A disconnected
+    /// receiver does not abort the run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Orchestrator::run`].
+    pub fn run_streaming(
+        &self,
+        models: &[SharedModel],
+        prompt: &str,
+        sink: crossbeam_channel::Sender<crate::OrchestrationEvent>,
+    ) -> Result<OrchestrationResult, OrchestratorError> {
+        self.run_inner(
+            models,
+            prompt,
+            EventRecorder::with_sink(self.config.record_events, sink),
+        )
+    }
+
+    fn run_inner(
+        &self,
+        models: &[SharedModel],
+        prompt: &str,
+        recorder: EventRecorder,
+    ) -> Result<OrchestrationResult, OrchestratorError> {
+        if models.is_empty() {
+            return Err(OrchestratorError::NoModels);
+        }
+        if self.config.token_budget == 0 {
+            return Err(OrchestratorError::ZeroBudget);
+        }
+        match &self.config.strategy {
+            Strategy::Single => {
+                if models.len() != 1 {
+                    return Err(OrchestratorError::SingleNeedsOneModel { got: models.len() });
+                }
+                Ok(single::run(
+                    &models[0],
+                    prompt,
+                    &self.embedder,
+                    &self.config,
+                    recorder,
+                ))
+            }
+            Strategy::Oua(cfg) => Ok(oua::run(
+                models,
+                prompt,
+                &self.embedder,
+                cfg,
+                &self.config,
+                recorder,
+            )),
+            Strategy::Mab(cfg) => Ok(mab::run(
+                models,
+                prompt,
+                &self.embedder,
+                cfg,
+                &self.config,
+                recorder,
+            )),
+            Strategy::Routed(cfg) => Ok(routed::run(
+                models,
+                prompt,
+                &self.embedder,
+                cfg,
+                &self.config,
+                recorder,
+            )),
+            Strategy::Hybrid(cfg) => Ok(hybrid::run(
+                models,
+                prompt,
+                &self.embedder,
+                cfg,
+                &self.config,
+                recorder,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MabConfig, OuaConfig};
+    use llmms_models::{
+        DoneReason, KnowledgeEntry, KnowledgeStore, ModelProfile, SimLlm, CATEGORIES,
+    };
+    use std::sync::Arc;
+
+    fn knowledge() -> Arc<KnowledgeStore> {
+        Arc::new(KnowledgeStore::build(
+            vec![
+                KnowledgeEntry {
+                    id: "q1".into(),
+                    question: "What is the capital of France?".into(),
+                    category: "geography".into(),
+                    golden: "The capital of France is Paris".into(),
+                    correct: vec!["Paris is the capital of France".into()],
+                    incorrect: vec![
+                        "Lyon became the seat of government after the revolution \
+                         and remains the administrative center to this day"
+                            .into(),
+                    ],
+                },
+                KnowledgeEntry {
+                    id: "q2".into(),
+                    question: "Can you see the Great Wall of China from space?".into(),
+                    category: "misconceptions".into(),
+                    golden: "No, the Great Wall is not visible from space with the naked eye"
+                        .into(),
+                    correct: vec![],
+                    incorrect: vec!["Yes, the Great Wall is visible from space".into()],
+                },
+            ],
+            llmms_embed::default_embedder(),
+        ))
+    }
+
+    fn skilled(name: &str, skill: f64, store: &Arc<KnowledgeStore>) -> SharedModel {
+        let mut p = ModelProfile::llama3_8b();
+        p.name = name.to_owned();
+        p.skills.clear();
+        for c in CATEGORIES {
+            p.skills.insert(c.into(), skill);
+        }
+        p.default_skill = skill;
+        p.hedging = 0.0;
+        p.verbosity = 0.0;
+        Arc::new(SimLlm::new(p, Arc::clone(store))) as SharedModel
+    }
+
+    fn config(strategy: Strategy) -> OrchestratorConfig {
+        OrchestratorConfig::builder()
+            .strategy(strategy)
+            .temperature(0.0)
+            .record_events(true)
+            .build()
+    }
+
+    fn orchestrator(strategy: Strategy) -> Orchestrator {
+        Orchestrator::new(llmms_embed::default_embedder(), config(strategy))
+    }
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        let o = orchestrator(Strategy::Oua(OuaConfig::default()));
+        assert_eq!(o.run(&[], "q").unwrap_err(), OrchestratorError::NoModels);
+    }
+
+    #[test]
+    fn zero_budget_is_an_error() {
+        let store = knowledge();
+        let mut cfg = config(Strategy::Oua(OuaConfig::default()));
+        cfg.token_budget = 0;
+        let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+        let pool = [skilled("m", 0.9, &store)];
+        assert_eq!(
+            o.run(&pool, "q").unwrap_err(),
+            OrchestratorError::ZeroBudget
+        );
+    }
+
+    #[test]
+    fn single_mode_requires_exactly_one_model() {
+        let store = knowledge();
+        let o = orchestrator(Strategy::Single);
+        let pool = [skilled("a", 0.9, &store), skilled("b", 0.9, &store)];
+        assert_eq!(
+            o.run(&pool, "q").unwrap_err(),
+            OrchestratorError::SingleNeedsOneModel { got: 2 }
+        );
+    }
+
+    #[test]
+    fn single_mode_runs_to_completion() {
+        let store = knowledge();
+        let o = orchestrator(Strategy::Single);
+        let pool = [skilled("solo", 0.95, &store)];
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        assert_eq!(r.strategy, "single");
+        assert!(r.response().to_lowercase().contains("paris"));
+        assert_eq!(r.best_outcome().done, Some(DoneReason::Stop));
+        assert_eq!(r.total_tokens, r.best_outcome().tokens);
+    }
+
+    #[test]
+    fn oua_selects_the_truthful_majority() {
+        let store = knowledge();
+        // Two experts + one dunce: consensus + query similarity must pick an
+        // expert's answer.
+        let pool = [
+            skilled("expert-1", 0.98, &store),
+            skilled("expert-2", 0.98, &store),
+            skilled("dunce", 0.02, &store),
+        ];
+        let o = orchestrator(Strategy::Oua(OuaConfig::default()));
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        assert!(
+            r.response().to_lowercase().contains("paris"),
+            "OUA picked: {} ({})",
+            r.response(),
+            r.best_outcome().model
+        );
+    }
+
+    #[test]
+    fn mab_selects_the_truthful_majority() {
+        let store = knowledge();
+        let pool = [
+            skilled("expert-1", 0.98, &store),
+            skilled("expert-2", 0.98, &store),
+            skilled("dunce", 0.02, &store),
+        ];
+        let o = orchestrator(Strategy::Mab(MabConfig::default()));
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        assert!(
+            r.response().to_lowercase().contains("paris"),
+            "MAB picked: {} ({})",
+            r.response(),
+            r.best_outcome().model
+        );
+        assert_eq!(r.strategy, "LLM-MS MAB");
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let store = knowledge();
+        let pool = [
+            skilled("a", 0.9, &store),
+            skilled("b", 0.5, &store),
+            skilled("c", 0.1, &store),
+        ];
+        for strategy in [
+            Strategy::Oua(OuaConfig::default()),
+            Strategy::Mab(MabConfig::default()),
+        ] {
+            let mut cfg = config(strategy);
+            cfg.token_budget = 10;
+            let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+            let r = o.run(&pool, "What is the capital of France?").unwrap();
+            assert!(r.total_tokens <= 10, "{}: used {}", r.strategy, r.total_tokens);
+            let sum: usize = r.outcomes.iter().map(|o| o.tokens).sum();
+            assert_eq!(sum, r.total_tokens, "per-model tokens must sum to total");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let store = knowledge();
+        let pool = [
+            skilled("a", 0.9, &store),
+            skilled("b", 0.5, &store),
+            skilled("c", 0.3, &store),
+        ];
+        for strategy in [
+            Strategy::Oua(OuaConfig::default()),
+            Strategy::Mab(MabConfig::default()),
+        ] {
+            let o = orchestrator(strategy);
+            let r1 = o.run(&pool, "Can you see the Great Wall of China from space?").unwrap();
+            let r2 = o.run(&pool, "Can you see the Great Wall of China from space?").unwrap();
+            assert_eq!(r1.response(), r2.response());
+            assert_eq!(r1.total_tokens, r2.total_tokens);
+            assert_eq!(r1.rounds, r2.rounds);
+        }
+    }
+
+    #[test]
+    fn oua_prunes_with_tight_margin() {
+        let store = knowledge();
+        let pool = [
+            skilled("expert-1", 0.98, &store),
+            skilled("expert-2", 0.98, &store),
+            skilled("dunce", 0.02, &store),
+        ];
+        // TruthfulQA misconceptions are lexically close to the truth, so
+        // embedding score gaps are small (the paper's own §8.4 limitation);
+        // an aggressive margin is needed to see the mechanism fire.
+        let mut oua_cfg = OuaConfig::default();
+        oua_cfg.prune_margin = 0.005;
+        // Fine-grained rounds keep models in flight long enough for the
+        // pruning window to exist at all.
+        oua_cfg.round_tokens = 2;
+        let o = orchestrator(Strategy::Oua(oua_cfg));
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        let pruned: Vec<&str> = r
+            .outcomes
+            .iter()
+            .filter(|o| o.pruned)
+            .map(|o| o.model.as_str())
+            .collect();
+        assert!(
+            pruned.contains(&"dunce") || r.events.iter().any(|e| matches!(e, crate::events::OrchestrationEvent::EarlyWinner { .. })),
+            "expected the dunce to be pruned or an early winner; outcomes: {:?}",
+            r.outcomes.iter().map(|o| (&o.model, o.score, o.pruned)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mab_allocates_more_pulls_to_better_arms() {
+        let store = knowledge();
+        let pool = [
+            skilled("strong", 0.98, &store),
+            skilled("strong-2", 0.98, &store),
+            skilled("weak", 0.02, &store),
+        ];
+        // Exploitation is observable when the loop stops at the leader and
+        // selection tracks the mean per-pull reward; with run-to-completion
+        // (the default) pull counts track answer length instead.
+        let mut mab_cfg = MabConfig::default();
+        mab_cfg.pull_tokens = 2;
+        mab_cfg.early_stop = true;
+        mab_cfg.selection = crate::config::MabSelection::Mean;
+        let o = orchestrator(Strategy::Mab(mab_cfg));
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        let pulls_of = |name: &str| {
+            r.outcomes
+                .iter()
+                .find(|o| o.model == name)
+                .map(|o| o.rounds)
+                .unwrap()
+        };
+        let strong = pulls_of("strong").max(pulls_of("strong-2"));
+        let weak = pulls_of("weak");
+        assert!(
+            strong >= weak,
+            "strong={strong} pulls, weak={weak} pulls; outcomes: {:?}",
+            r.outcomes.iter().map(|o| (&o.model, o.rounds, o.score)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn event_trace_is_recorded_when_enabled() {
+        let store = knowledge();
+        let pool = [skilled("a", 0.9, &store), skilled("b", 0.4, &store)];
+        let o = orchestrator(Strategy::Oua(OuaConfig::default()));
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        assert!(!r.events.is_empty());
+        assert!(matches!(
+            r.events.last().unwrap(),
+            crate::events::OrchestrationEvent::Finished { .. }
+        ));
+    }
+
+    #[test]
+    fn routed_strategy_dispatches_to_indexed_specialist() {
+        let store = knowledge();
+        let pool = [
+            skilled("geo-expert", 0.98, &store),
+            skilled("other", 0.98, &store),
+        ];
+        let embedder = llmms_embed::default_embedder();
+        let index = crate::router::TaskIndex::build(
+            &[(
+                "geography",
+                &["what is the capital of france", "which city is the capital"][..],
+                "geo-expert",
+            )],
+            &embedder,
+        );
+        let o = orchestrator(Strategy::Routed(crate::routed::RouterConfig::new(index)));
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        assert_eq!(r.strategy, "LLM-MS Router");
+        assert_eq!(r.best_outcome().model, "geo-expert");
+        // Router cost = single-model cost: only the routed model generated.
+        assert_eq!(r.total_tokens, r.best_outcome().tokens);
+        assert_eq!(r.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn routed_strategy_falls_back_when_model_missing() {
+        let store = knowledge();
+        let pool = [skilled("a", 0.9, &store), skilled("b", 0.9, &store)];
+        let embedder = llmms_embed::default_embedder();
+        let index = crate::router::TaskIndex::build(
+            &[("geography", &["capital city"][..], "not-in-pool")],
+            &embedder,
+        );
+        let o = orchestrator(Strategy::Routed(crate::routed::RouterConfig::new(index)));
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        assert_eq!(r.strategy, "LLM-MS Router");
+        // Fallback ran full OUA: every model participated.
+        assert_eq!(r.outcomes.len(), 2);
+        assert!(r.outcomes.iter().all(|o| o.tokens > 0));
+    }
+
+    #[test]
+    fn hybrid_probes_prunes_and_answers() {
+        let store = knowledge();
+        let pool = [
+            skilled("expert-1", 0.98, &store),
+            skilled("expert-2", 0.98, &store),
+            skilled("dunce", 0.02, &store),
+        ];
+        let o = orchestrator(Strategy::Hybrid(crate::hybrid::HybridConfig::default()));
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        assert_eq!(r.strategy, "LLM-MS Hybrid");
+        assert!(
+            r.response().to_lowercase().contains("paris"),
+            "hybrid picked: {}",
+            r.response()
+        );
+        let sum: usize = r.outcomes.iter().map(|o| o.tokens).sum();
+        assert_eq!(sum, r.total_tokens);
+    }
+
+    #[test]
+    fn hybrid_respects_budget() {
+        let store = knowledge();
+        let pool = [
+            skilled("a", 0.9, &store),
+            skilled("b", 0.5, &store),
+            skilled("c", 0.1, &store),
+        ];
+        let mut cfg = config(Strategy::Hybrid(crate::hybrid::HybridConfig::default()));
+        cfg.token_budget = 9;
+        let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        assert!(r.total_tokens <= 9);
+    }
+
+    #[test]
+    fn no_events_when_disabled() {
+        let store = knowledge();
+        let pool = [skilled("a", 0.9, &store), skilled("b", 0.4, &store)];
+        let mut cfg = config(Strategy::Oua(OuaConfig::default()));
+        cfg.record_events = false;
+        let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        assert!(r.events.is_empty());
+    }
+
+    #[test]
+    fn unknown_question_still_returns_an_answer() {
+        let store = knowledge();
+        let pool = [
+            skilled("a", 0.9, &store),
+            skilled("b", 0.5, &store),
+        ];
+        for strategy in [
+            Strategy::Oua(OuaConfig::default()),
+            Strategy::Mab(MabConfig::default()),
+        ] {
+            let o = orchestrator(strategy);
+            let r = o.run(&pool, "what is the airspeed of an unladen swallow").unwrap();
+            assert!(!r.response().is_empty());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The Overperformers–Underperformers Algorithm (thesis Algorithm 1).
+//!
+//! Faithful construction:
+//!
+//! 1. λ ← λ_max / N: the budget is split evenly; each model may generate at
+//!    most λ tokens while all N models remain in play (line 2).
+//! 2. Models generate **partial outputs in round-robin** chunks (§6.3); each
+//!    round, every active model extends its response by
+//!    [`OuaConfig::round_tokens`] tokens.
+//! 3. After each round every response is embedded and scored with Eq. 6.1
+//!    (lines 10–15).
+//! 4. **Early win** (lines 16–19): if the best model leads the runner-up by
+//!    more than `win_margin` *and* finished with done reason `stop`, its
+//!    response is returned immediately.
+//! 5. **Pruning** (lines 20–23): if the second-worst active model outscores
+//!    the worst by more than `prune_margin`, the worst is pruned and its
+//!    remaining allowance is redistributed — "models ... are pruned to
+//!    conserve tokens and allocate them to [the] rest beyond each model's
+//!    maximum allowance" (§4.2.1).
+//! 6. When no model can generate further (all stopped or pruned, or λ_max is
+//!    exhausted), the best-scoring response wins (line 25).
+
+use crate::budget::TokenBudget;
+use crate::config::{OrchestratorConfig, OuaConfig};
+use crate::events::{EventRecorder, OrchestrationEvent};
+use crate::result::OrchestrationResult;
+use crate::reward::score_all;
+use crate::runpool::{outcomes_of, ModelRun};
+use llmms_embed::{Embedding, SharedEmbedder};
+use llmms_models::{GenOptions, SharedModel};
+
+/// Run Algorithm 1 over `models` for `prompt`.
+pub(crate) fn run(
+    models: &[SharedModel],
+    prompt: &str,
+    embedder: &SharedEmbedder,
+    cfg: &OuaConfig,
+    orch: &OrchestratorConfig,
+    mut recorder: EventRecorder,
+) -> OrchestrationResult {
+    let n = models.len();
+    let mut budget = TokenBudget::new(orch.token_budget);
+    let options = GenOptions {
+        // The global TokenBudget enforces λ_max; per-model allowances are
+        // enforced by the loop so they can grow after pruning.
+        max_tokens: orch.token_budget,
+        temperature: orch.temperature,
+        seed: orch.seed,
+    };
+    let mut runs = ModelRun::start_all(models, prompt, &options);
+    let query_embedding = embedder.embed(prompt);
+
+    let mut scores = vec![0.0f64; n];
+    let mut rounds = 0usize;
+    let mut early_winner: Option<usize> = None;
+
+    while early_winner.is_none()
+        && !budget.exhausted()
+        && runs.iter().any(ModelRun::is_active)
+    {
+        rounds += 1;
+        recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: rounds });
+
+        // λ per surviving model: pruned models return their allowance.
+        let survivors = runs.iter().filter(|r| !r.pruned).count().max(1);
+        let allowance = orch.token_budget / survivors;
+
+        // Round-robin generation (lines 5–9).
+        let mut progressed = false;
+        for run in runs.iter_mut().filter(|r| r.is_active()) {
+            let room = allowance.saturating_sub(run.tokens());
+            let request = cfg.round_tokens.min(room);
+            if request == 0 {
+                continue;
+            }
+            let chunk = run.generate(request, &mut budget);
+            progressed |= chunk.tokens > 0 || chunk.done.is_some();
+            if chunk.tokens > 0 || chunk.done.is_some() {
+                recorder.emit_with(|| OrchestrationEvent::ModelChunk {
+                    model: run.name.clone(),
+                    text: chunk.text.clone(),
+                    tokens: chunk.tokens,
+                    done: chunk.done,
+                });
+            }
+        }
+        // Every active model is pinned at its allowance (integer-division
+        // slack can leave the budget un-exhausted): nothing can change any
+        // more, stop scoring rounds.
+        if !progressed {
+            break;
+        }
+
+        // Scoring (lines 10–15): every non-pruned response participates.
+        update_scores(&mut runs, &query_embedding, embedder, cfg, &mut scores);
+        recorder.emit_with(|| OrchestrationEvent::ScoresUpdated {
+            scores: runs
+                .iter()
+                .zip(&scores)
+                .map(|(r, &s)| (r.name.clone(), s))
+                .collect(),
+        });
+
+        // Early win (lines 16–19).
+        if let Some((best, second)) = best_and_second(&runs, &scores, |r| !r.pruned) {
+            let margin_ok = match second {
+                Some(s) => scores[best] > scores[s] + cfg.win_margin,
+                None => true, // last one standing (§4.2.1)
+            };
+            if margin_ok && runs[best].stopped_naturally() {
+                recorder.emit_with(|| OrchestrationEvent::EarlyWinner {
+                    model: runs[best].name.clone(),
+                    score: scores[best],
+                });
+                early_winner = Some(best);
+                // Abort the losers' in-flight sessions.
+                for (i, run) in runs.iter_mut().enumerate() {
+                    if i != best && run.is_active() {
+                        run.prune();
+                    }
+                }
+                break;
+            }
+        }
+
+        // Pruning (lines 20–23): compare the two worst *active* models.
+        if let Some((worst, second_worst)) =
+            worst_and_second(&runs, &scores, ModelRun::is_active)
+        {
+            if let Some(sw) = second_worst {
+                if scores[sw] - scores[worst] > cfg.prune_margin {
+                    recorder.emit_with(|| OrchestrationEvent::ModelPruned {
+                        model: runs[worst].name.clone(),
+                        score: scores[worst],
+                        second_worst: scores[sw],
+                    });
+                    runs[worst].prune();
+                }
+            }
+        }
+    }
+
+    if budget.exhausted() {
+        recorder.emit_with(|| OrchestrationEvent::BudgetExhausted {
+            used: budget.used(),
+        });
+    }
+
+    // Final selection (line 25): argmax over every recorded score, pruned
+    // models included — their last partial output may still be the best.
+    let best = early_winner.unwrap_or_else(|| argmax(&scores).unwrap_or(0));
+    recorder.emit_with(|| OrchestrationEvent::Finished {
+        winner: runs[best].name.clone(),
+        total_tokens: budget.used(),
+    });
+
+    OrchestrationResult {
+        strategy: "LLM-MS OUA".to_owned(),
+        best,
+        outcomes: outcomes_of(runs, &scores),
+        total_tokens: budget.used(),
+        rounds,
+        budget_exhausted: budget.exhausted(),
+        events: recorder.into_events(),
+    }
+}
+
+/// Recompute Eq. 6.1 scores for all non-pruned runs with output; pruned runs
+/// keep their last score (the `scores` dict of Algorithm 1 is never erased).
+fn update_scores(
+    runs: &mut [ModelRun],
+    query: &Embedding,
+    embedder: &SharedEmbedder,
+    cfg: &OuaConfig,
+    scores: &mut [f64],
+) {
+    let participating: Vec<usize> = (0..runs.len())
+        .filter(|&i| !runs[i].pruned && runs[i].has_output())
+        .collect();
+    if participating.is_empty() {
+        return;
+    }
+    let embeddings: Vec<Embedding> = participating
+        .iter()
+        .map(|&i| runs[i].embedding(embedder))
+        .collect();
+    let fresh = score_all(&cfg.weights, query, &embeddings);
+    for (slot, &i) in participating.iter().enumerate() {
+        scores[i] = fresh[slot];
+    }
+}
+
+fn argmax(scores: &[f64]) -> Option<usize> {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+}
+
+/// `(best, second_best)` among runs satisfying `keep`.
+fn best_and_second(
+    runs: &[ModelRun],
+    scores: &[f64],
+    keep: impl Fn(&ModelRun) -> bool,
+) -> Option<(usize, Option<usize>)> {
+    let mut eligible: Vec<usize> = (0..runs.len())
+        .filter(|&i| keep(&runs[i]) && runs[i].has_output())
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    eligible.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Some((eligible[0], eligible.get(1).copied()))
+}
+
+/// `(worst, second_worst)` among runs satisfying `keep`.
+fn worst_and_second(
+    runs: &[ModelRun],
+    scores: &[f64],
+    keep: impl Fn(&ModelRun) -> bool,
+) -> Option<(usize, Option<usize>)> {
+    let mut eligible: Vec<usize> = (0..runs.len())
+        .filter(|&i| keep(&runs[i]) && runs[i].has_output())
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    eligible.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Some((eligible[0], eligible.get(1).copied()))
+}

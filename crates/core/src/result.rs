@@ -1,0 +1,131 @@
+//! Results returned by an orchestration run.
+
+use crate::events::OrchestrationEvent;
+use llmms_models::DoneReason;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The final state of one candidate model after a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelOutcome {
+    /// Model name.
+    pub model: String,
+    /// The full response text the model produced (possibly partial if it was
+    /// pruned or the budget ran out).
+    pub response: String,
+    /// Tokens this model generated.
+    pub tokens: usize,
+    /// Final Eq. 6.1 score (OUA) or mean per-pull reward (MAB).
+    pub score: f64,
+    /// Rounds (OUA) or pulls (MAB) this model participated in.
+    pub rounds: usize,
+    /// Whether OUA pruned the model before it finished.
+    pub pruned: bool,
+    /// The model's done reason, if it finished.
+    pub done: Option<DoneReason>,
+    /// Simulated wall-clock the model's generation would have taken.
+    pub simulated_latency: Duration,
+}
+
+/// The outcome of one orchestrated query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrchestrationResult {
+    /// Label of the strategy that ran (`"LLM-MS OUA"`, `"LLM-MS MAB"`,
+    /// `"single"`).
+    pub strategy: String,
+    /// Index into `outcomes` of the selected best model.
+    pub best: usize,
+    /// Per-model outcomes, in pool order.
+    pub outcomes: Vec<ModelOutcome>,
+    /// Total tokens consumed across all models — the denominator of the
+    /// paper's reward-per-token metric.
+    pub total_tokens: usize,
+    /// Rounds (OUA) or pulls (MAB) executed.
+    pub rounds: usize,
+    /// Whether the run ended because λ_max was exhausted.
+    pub budget_exhausted: bool,
+    /// Event trace (empty unless recording was enabled).
+    pub events: Vec<OrchestrationEvent>,
+}
+
+impl OrchestrationResult {
+    /// The selected best outcome.
+    pub fn best_outcome(&self) -> &ModelOutcome {
+        &self.outcomes[self.best]
+    }
+
+    /// The selected response text.
+    pub fn response(&self) -> &str {
+        &self.best_outcome().response
+    }
+
+    /// The largest simulated latency among concurrent models — the paper's
+    /// models run in parallel, so perceived latency is the slowest lane.
+    pub fn simulated_latency(&self) -> Duration {
+        self.outcomes
+            .iter()
+            .map(|o| o.simulated_latency)
+            .max()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(model: &str, score: f64, latency_ms: u64) -> ModelOutcome {
+        ModelOutcome {
+            model: model.into(),
+            response: format!("answer from {model}"),
+            tokens: 10,
+            score,
+            rounds: 1,
+            pruned: false,
+            done: Some(DoneReason::Stop),
+            simulated_latency: Duration::from_millis(latency_ms),
+        }
+    }
+
+    fn result() -> OrchestrationResult {
+        OrchestrationResult {
+            strategy: "LLM-MS OUA".into(),
+            best: 1,
+            outcomes: vec![outcome("a", 0.4, 120), outcome("b", 0.9, 80)],
+            total_tokens: 20,
+            rounds: 3,
+            budget_exhausted: false,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = result();
+        assert_eq!(r.best_outcome().model, "b");
+        assert_eq!(r.response(), "answer from b");
+        assert_eq!(r.simulated_latency(), Duration::from_millis(120));
+    }
+
+    #[test]
+    fn empty_latency_defaults_zero() {
+        let r = OrchestrationResult {
+            strategy: "single".into(),
+            best: 0,
+            outcomes: vec![outcome("a", 0.5, 0)],
+            total_tokens: 10,
+            rounds: 1,
+            budget_exhausted: false,
+            events: Vec::new(),
+        };
+        assert_eq!(r.simulated_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = result();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: OrchestrationResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,193 @@
+//! The orchestration reward of Eq. 6.1:
+//! `reward = α · sim(query, response) + β · avg inter-model similarity`.
+//!
+//! This is the *online* signal OUA and MAB steer by while generation is in
+//! flight — distinct from the *evaluation* reward of Eq. 8.1 (which needs
+//! reference answers and lives in `llmms-eval`). The two terms encode the
+//! paper's two heuristics: a good partial answer stays semantically close to
+//! the question, and independent models tend to agree on the truth more
+//! often than they agree on any particular confabulation.
+
+use llmms_embed::{cosine_embeddings, Embedding};
+use serde::{Deserialize, Serialize};
+
+/// The α/β weighting of Eq. 6.1. The thesis fixes α = 0.7, β = 0.3
+/// (Algorithm 1, line 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardWeights {
+    /// Weight of query–response similarity.
+    pub alpha: f64,
+    /// Weight of inter-model agreement.
+    pub beta: f64,
+}
+
+impl Default for RewardWeights {
+    fn default() -> Self {
+        Self {
+            alpha: 0.7,
+            beta: 0.3,
+        }
+    }
+}
+
+impl RewardWeights {
+    /// Weights `(alpha, beta)`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        Self { alpha, beta }
+    }
+
+    /// Pure query-similarity scoring (β = 0) — the ablation baseline that
+    /// ignores consensus.
+    pub fn query_only() -> Self {
+        Self {
+            alpha: 1.0,
+            beta: 0.0,
+        }
+    }
+}
+
+/// Inter-model agreement: the mean cosine similarity between `target` and
+/// every *other* model's current response embedding. Empty `others` (a
+/// single active model) contributes zero, keeping Eq. 6.1 well defined.
+pub fn inter_model_agreement(target: &Embedding, others: &[&Embedding]) -> f64 {
+    if others.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = others
+        .iter()
+        .map(|o| f64::from(cosine_embeddings(target, o)))
+        .sum();
+    sum / others.len() as f64
+}
+
+/// Eq. 6.1 combined score for one model's partial response.
+pub fn combined_score(
+    weights: &RewardWeights,
+    query: &Embedding,
+    response: &Embedding,
+    other_responses: &[&Embedding],
+) -> f64 {
+    let q_sim = f64::from(cosine_embeddings(query, response));
+    let agreement = inter_model_agreement(response, other_responses);
+    weights.alpha * q_sim + weights.beta * agreement
+}
+
+/// Score every active response against the query and each other.
+///
+/// `responses[i]` is model *i*'s current response embedding; the returned
+/// `scores[i]` is its Eq. 6.1 score where the "others" are all responses
+/// except *i*.
+pub fn score_all(
+    weights: &RewardWeights,
+    query: &Embedding,
+    responses: &[Embedding],
+) -> Vec<f64> {
+    (0..responses.len())
+        .map(|i| {
+            let others: Vec<&Embedding> = responses
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, e)| e)
+                .collect();
+            combined_score(weights, query, &responses[i], &others)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmms_embed::{Embedder, HashedNgramEmbedder};
+
+    fn e(text: &str) -> Embedding {
+        HashedNgramEmbedder::default().embed(text)
+    }
+
+    #[test]
+    fn default_weights_match_paper() {
+        let w = RewardWeights::default();
+        assert_eq!(w.alpha, 0.7);
+        assert_eq!(w.beta, 0.3);
+    }
+
+    #[test]
+    fn relevant_response_scores_higher() {
+        let w = RewardWeights::default();
+        let q = e("what is the capital of france");
+        let good = e("the capital of france is paris");
+        let bad = e("stock markets rallied on tuesday");
+        let s_good = combined_score(&w, &q, &good, &[]);
+        let s_bad = combined_score(&w, &q, &bad, &[]);
+        assert!(s_good > s_bad + 0.1, "good={s_good:.3} bad={s_bad:.3}");
+    }
+
+    #[test]
+    fn agreement_term_rewards_consensus() {
+        let w = RewardWeights::new(0.0, 1.0); // isolate the consensus term
+        let q = e("what is the capital of france");
+        let a = e("the capital of france is paris");
+        let b = e("paris is the capital of france");
+        let outlier = e("the capital of france is lyon obviously");
+        let consensus_score = combined_score(&w, &q, &a, &[&b]);
+        let outlier_score = combined_score(&w, &q, &outlier, &[&b]);
+        assert!(consensus_score > outlier_score);
+    }
+
+    #[test]
+    fn no_others_gives_zero_agreement() {
+        let q = e("question text");
+        let r = e("some response");
+        let w = RewardWeights::default();
+        let with_others = combined_score(&w, &q, &r, &[&r.clone()]);
+        let alone = combined_score(&w, &q, &r, &[]);
+        // Alone: only the α term remains.
+        assert!(alone < with_others);
+        assert!((inter_model_agreement(&r, &[])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_all_is_symmetric_for_identical_responses() {
+        let w = RewardWeights::default();
+        let q = e("the question");
+        let r = e("identical answer text");
+        let scores = score_all(&w, &q, &[r.clone(), r.clone(), r]);
+        assert!((scores[0] - scores[1]).abs() < 1e-9);
+        assert!((scores[1] - scores[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_all_singles_out_the_outlier() {
+        let w = RewardWeights::default();
+        let q = e("what is the capital of france");
+        let scores = score_all(
+            &w,
+            &q,
+            &[
+                e("the capital of france is paris"),
+                e("paris is the capital city of france"),
+                e("bananas are rich in potassium and fiber"),
+            ],
+        );
+        assert!(scores[2] < scores[0]);
+        assert!(scores[2] < scores[1]);
+    }
+
+    #[test]
+    fn alpha_beta_tradeoff() {
+        // With α=1,β=0 a query-echo beats consensus; with α=0,β=1 the
+        // consensus pair wins.
+        let q = e("what is the capital of france");
+        let echo = e("what is the capital of france indeed i wonder");
+        let consensus_a = e("it is paris the city of light");
+        let consensus_b = e("paris the city of light is the answer");
+        let query_only = RewardWeights::query_only();
+        let cons_only = RewardWeights::new(0.0, 1.0);
+        let s_echo_q = combined_score(&query_only, &q, &echo, &[&consensus_a, &consensus_b]);
+        let s_cons_q = combined_score(&query_only, &q, &consensus_a, &[&echo, &consensus_b]);
+        assert!(s_echo_q > s_cons_q);
+        let s_echo_c = combined_score(&cons_only, &q, &echo, &[&consensus_a, &consensus_b]);
+        let s_cons_c = combined_score(&cons_only, &q, &consensus_a, &[&echo, &consensus_b]);
+        assert!(s_cons_c > s_echo_c);
+    }
+}

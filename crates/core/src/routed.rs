@@ -1,0 +1,60 @@
+//! The routed execution strategy built on [`crate::router::TaskIndex`].
+
+use crate::config::{OrchestratorConfig, OuaConfig};
+use crate::events::EventRecorder;
+use crate::result::OrchestrationResult;
+use crate::router::TaskIndex;
+use crate::{oua, single};
+use llmms_embed::SharedEmbedder;
+use llmms_models::SharedModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the routed strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// The semantic task index queries are routed with.
+    pub index: TaskIndex,
+    /// Minimum intent-detection confidence (cosine to the winning
+    /// centroid); below it the router falls back to full OUA orchestration
+    /// over the pool rather than trusting a wild guess.
+    pub min_confidence: f64,
+    /// OUA parameters used on fallback.
+    pub fallback: OuaConfig,
+}
+
+impl RouterConfig {
+    /// Route with `index` and default confidence/fallback settings.
+    pub fn new(index: TaskIndex) -> Self {
+        Self {
+            index,
+            min_confidence: 0.05,
+            fallback: OuaConfig::default(),
+        }
+    }
+}
+
+/// Run the routed strategy: intent-detect, dispatch to the preferred model
+/// alone, or fall back to OUA when detection is unconfident or the
+/// preferred model is absent from the pool.
+pub(crate) fn run(
+    models: &[SharedModel],
+    prompt: &str,
+    embedder: &SharedEmbedder,
+    cfg: &RouterConfig,
+    orch: &OrchestratorConfig,
+    recorder: EventRecorder,
+) -> OrchestrationResult {
+    let query = embedder.embed(prompt);
+    if let Some((task, confidence)) = cfg.index.detect(&query) {
+        if f64::from(confidence) >= cfg.min_confidence {
+            if let Some(model) = models.iter().find(|m| m.name() == task.preferred_model) {
+                let mut result = single::run(model, prompt, embedder, orch, recorder);
+                result.strategy = "LLM-MS Router".to_owned();
+                return result;
+            }
+        }
+    }
+    let mut result = oua::run(models, prompt, embedder, &cfg.fallback, orch, recorder);
+    result.strategy = "LLM-MS Router".to_owned();
+    result
+}

@@ -1,0 +1,67 @@
+//! The static single-model baseline mode (§8.1: "each query was answered by
+//! one model without orchestration").
+
+use crate::budget::TokenBudget;
+use crate::config::OrchestratorConfig;
+use crate::events::{EventRecorder, OrchestrationEvent};
+use crate::result::OrchestrationResult;
+use crate::reward::{combined_score, RewardWeights};
+use crate::runpool::{outcomes_of, ModelRun};
+use llmms_embed::SharedEmbedder;
+use llmms_models::{GenOptions, SharedModel};
+
+/// Run one model to completion under the token budget.
+pub(crate) fn run(
+    model: &SharedModel,
+    prompt: &str,
+    embedder: &SharedEmbedder,
+    orch: &OrchestratorConfig,
+    mut recorder: EventRecorder,
+) -> OrchestrationResult {
+    let mut budget = TokenBudget::new(orch.token_budget);
+    let options = GenOptions {
+        max_tokens: orch.token_budget,
+        temperature: orch.temperature,
+        seed: orch.seed,
+    };
+    let pool = [model.clone()];
+    let mut runs = ModelRun::start_all(&pool, prompt, &options);
+
+    // Stream in reasonable chunks until done or budget-exhausted.
+    while runs[0].is_active() && !budget.exhausted() {
+        let chunk = runs[0].generate(64, &mut budget);
+        recorder.emit_with(|| OrchestrationEvent::ModelChunk {
+            model: runs[0].name.clone(),
+            text: chunk.text.clone(),
+            tokens: chunk.tokens,
+            done: chunk.done,
+        });
+        if chunk.tokens == 0 && chunk.done.is_none() {
+            break; // defensive: model yields nothing but claims not-done
+        }
+    }
+
+    // Score with the α term only (there are no other models to agree with).
+    let query_embedding = embedder.embed(prompt);
+    let score = if runs[0].has_output() {
+        let response = runs[0].embedding(embedder);
+        combined_score(&RewardWeights::default(), &query_embedding, &response, &[])
+    } else {
+        0.0
+    };
+
+    recorder.emit_with(|| OrchestrationEvent::Finished {
+        winner: runs[0].name.clone(),
+        total_tokens: budget.used(),
+    });
+
+    OrchestrationResult {
+        strategy: "single".to_owned(),
+        best: 0,
+        outcomes: outcomes_of(runs, &[score]),
+        total_tokens: budget.used(),
+        rounds: 1,
+        budget_exhausted: budget.exhausted(),
+        events: recorder.into_events(),
+    }
+}

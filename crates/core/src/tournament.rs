@@ -1,0 +1,290 @@
+//! Game-theoretic model coordination — the thesis's §9.5 extension: "Treat
+//! each model as a 'player' that earns points based on answer quality —
+//! track simple metrics (e.g., confidence or correctness) and let models
+//! compete or collaborate to pick the best response."
+//!
+//! The [`Scoreboard`] runs an Elo-style rating over pairwise outcomes:
+//! after every orchestrated query, each pair of candidates is compared by
+//! their Eq. 6.1 scores and ratings are updated as in a chess tournament.
+//! Ratings converge toward the models' true per-query win propensity and
+//! feed back into selection as a multiplicative *credibility* weight —
+//! a model with a long losing streak needs a visibly better score to win
+//! a query.
+
+use crate::result::OrchestrationResult;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the rating system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentConfig {
+    /// Starting rating for unseen players.
+    pub initial_rating: f64,
+    /// Elo K-factor (update step size).
+    pub k_factor: f64,
+    /// Score margin below which a pairwise comparison counts as a draw.
+    pub draw_margin: f64,
+    /// Spread of the credibility weight: the rating difference (in Elo
+    /// points) that scales a model's selection score by `e^(±1/8)` ≈ ±13%.
+    pub credibility_scale: f64,
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        Self {
+            initial_rating: 1000.0,
+            k_factor: 24.0,
+            draw_margin: 0.01,
+            credibility_scale: 400.0,
+        }
+    }
+}
+
+/// Elo-style ratings of the candidate models.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Scoreboard {
+    config: TournamentConfig,
+    ratings: HashMap<String, f64>,
+    /// Games played per player (for reporting).
+    games: HashMap<String, u32>,
+}
+
+impl Scoreboard {
+    /// A fresh scoreboard.
+    pub fn new(config: TournamentConfig) -> Self {
+        Self {
+            config,
+            ratings: HashMap::new(),
+            games: HashMap::new(),
+        }
+    }
+
+    /// Current rating of `model`.
+    pub fn rating(&self, model: &str) -> f64 {
+        self.ratings
+            .get(model)
+            .copied()
+            .unwrap_or(self.config.initial_rating)
+    }
+
+    /// Games recorded for `model`.
+    pub fn games(&self, model: &str) -> u32 {
+        self.games.get(model).copied().unwrap_or(0)
+    }
+
+    /// `(model, rating)` pairs sorted best first.
+    pub fn standings(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .ratings
+            .iter()
+            .map(|(m, &r)| (m.clone(), r))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Record the pairwise outcomes of one orchestrated query: every pair of
+    /// candidates that produced output plays one game decided by their
+    /// final scores.
+    pub fn record(&mut self, result: &OrchestrationResult) {
+        let players: Vec<(&str, f64)> = result
+            .outcomes
+            .iter()
+            .filter(|o| o.tokens > 0)
+            .map(|o| (o.model.as_str(), o.score))
+            .collect();
+        for i in 0..players.len() {
+            for j in i + 1..players.len() {
+                let (a, score_a) = players[i];
+                let (b, score_b) = players[j];
+                let outcome = if (score_a - score_b).abs() <= self.config.draw_margin {
+                    0.5
+                } else if score_a > score_b {
+                    1.0
+                } else {
+                    0.0
+                };
+                self.play(a, b, outcome);
+            }
+        }
+    }
+
+    /// Record one game: `outcome` is 1.0 when `a` wins, 0.0 when `b` wins,
+    /// 0.5 for a draw.
+    pub fn play(&mut self, a: &str, b: &str, outcome: f64) {
+        let ra = self.rating(a);
+        let rb = self.rating(b);
+        let expected_a = 1.0 / (1.0 + 10f64.powf((rb - ra) / 400.0));
+        let k = self.config.k_factor;
+        self.ratings
+            .insert(a.to_owned(), ra + k * (outcome - expected_a));
+        self.ratings
+            .insert(b.to_owned(), rb + k * ((1.0 - outcome) - (1.0 - expected_a)));
+        *self.games.entry(a.to_owned()).or_insert(0) += 1;
+        *self.games.entry(b.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Multiplicative credibility weight for `model`'s selection score:
+    /// `exp((rating − initial) / (8 · credibility_scale))`, i.e. 1.0 for a
+    /// fresh player, >1 for proven winners, <1 for chronic losers.
+    pub fn credibility(&self, model: &str) -> f64 {
+        let delta = self.rating(model) - self.config.initial_rating;
+        (delta / (8.0 * self.config.credibility_scale)).exp()
+    }
+
+    /// Re-rank an orchestration result by credibility-weighted score,
+    /// returning the index of the preferred outcome.
+    pub fn rerank(&self, result: &OrchestrationResult) -> usize {
+        result
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.tokens > 0)
+            .max_by(|(_, a), (_, b)| {
+                let wa = a.score * self.credibility(&a.model);
+                let wb = b.score * self.credibility(&b.model);
+                wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(result.best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{ModelOutcome, OrchestrationResult};
+    use llmms_models::DoneReason;
+
+    fn outcome(model: &str, score: f64) -> ModelOutcome {
+        ModelOutcome {
+            model: model.into(),
+            response: format!("answer from {model}"),
+            tokens: 10,
+            score,
+            rounds: 1,
+            pruned: false,
+            done: Some(DoneReason::Stop),
+            simulated_latency: std::time::Duration::from_millis(1),
+        }
+    }
+
+    fn result(scores: &[(&str, f64)]) -> OrchestrationResult {
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        OrchestrationResult {
+            strategy: "LLM-MS OUA".into(),
+            best,
+            outcomes: scores.iter().map(|(m, s)| outcome(m, *s)).collect(),
+            total_tokens: 30,
+            rounds: 1,
+            budget_exhausted: false,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ratings_start_at_initial() {
+        let s = Scoreboard::default();
+        assert_eq!(s.rating("anyone"), 1000.0);
+        assert_eq!(s.games("anyone"), 0);
+        assert!((s.credibility("anyone") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winner_gains_loser_loses() {
+        let mut s = Scoreboard::default();
+        s.play("a", "b", 1.0);
+        assert!(s.rating("a") > 1000.0);
+        assert!(s.rating("b") < 1000.0);
+        // Zero-sum.
+        assert!((s.rating("a") + s.rating("b") - 2000.0).abs() < 1e-9);
+        assert_eq!(s.games("a"), 1);
+    }
+
+    #[test]
+    fn draws_between_equals_change_nothing() {
+        let mut s = Scoreboard::default();
+        s.play("a", "b", 0.5);
+        assert!((s.rating("a") - 1000.0).abs() < 1e-9);
+        assert!((s.rating("b") - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratings_converge_to_skill_ordering() {
+        // Model "strong" wins 80% of its games against "weak": after many
+        // queries its rating must clearly dominate.
+        let mut s = Scoreboard::default();
+        for round in 0..100 {
+            let strong_wins = round % 5 != 0; // 80% win rate
+            let r = if strong_wins {
+                result(&[("strong", 0.8), ("weak", 0.4)])
+            } else {
+                result(&[("strong", 0.4), ("weak", 0.8)])
+            };
+            s.record(&r);
+        }
+        assert!(
+            s.rating("strong") > s.rating("weak") + 100.0,
+            "strong={:.0} weak={:.0}",
+            s.rating("strong"),
+            s.rating("weak")
+        );
+        let standings = s.standings();
+        assert_eq!(standings[0].0, "strong");
+        assert!(s.credibility("strong") > 1.0);
+        assert!(s.credibility("weak") < 1.0);
+    }
+
+    #[test]
+    fn record_plays_all_pairs() {
+        let mut s = Scoreboard::default();
+        s.record(&result(&[("a", 0.9), ("b", 0.5), ("c", 0.1)]));
+        // Each player appears in two games.
+        assert_eq!(s.games("a"), 2);
+        assert_eq!(s.games("b"), 2);
+        assert_eq!(s.games("c"), 2);
+        assert!(s.rating("a") > s.rating("b"));
+        assert!(s.rating("b") > s.rating("c"));
+    }
+
+    #[test]
+    fn close_scores_count_as_draws() {
+        let mut s = Scoreboard::default();
+        s.record(&result(&[("a", 0.500), ("b", 0.505)]));
+        assert!((s.rating("a") - s.rating("b")).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rerank_flips_marginal_decisions_toward_proven_winners() {
+        let mut s = Scoreboard::default();
+        // "veteran" has a long winning history.
+        for _ in 0..60 {
+            s.play("veteran", "rookie", 1.0);
+        }
+        // On this query the rookie scores marginally higher.
+        let r = result(&[("rookie", 0.610), ("veteran", 0.600)]);
+        assert_eq!(r.best, 0, "raw score picks the rookie");
+        let preferred = s.rerank(&r);
+        assert_eq!(
+            r.outcomes[preferred].model, "veteran",
+            "credibility weighting prefers the proven model on a near-tie"
+        );
+        // A decisive score gap still wins regardless of history.
+        let r = result(&[("rookie", 0.9), ("veteran", 0.3)]);
+        assert_eq!(r.outcomes[s.rerank(&r)].model, "rookie");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = Scoreboard::default();
+        s.play("a", "b", 1.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scoreboard = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

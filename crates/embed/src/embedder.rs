@@ -1,0 +1,185 @@
+//! The [`Embedder`] trait and caching wrapper.
+
+use crate::embedding::Embedding;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Anything that can turn text into a fixed-dimension embedding.
+///
+/// In the paper this role is played by an embedding model served through
+/// Ollama (`mxbai-embed-large`, `nomic-embed-text`); here it is implemented
+/// by [`crate::HashedNgramEmbedder`]. The trait keeps the orchestrator, the
+/// vector store and the evaluation harness agnostic to the encoder choice —
+/// the "plug-and-play" property the thesis emphasizes.
+pub trait Embedder: Send + Sync {
+    /// Output dimensionality — constant for the lifetime of the embedder.
+    fn dim(&self) -> usize;
+
+    /// Embed `text`. Implementations must be deterministic: equal inputs map
+    /// to equal outputs, and the result must have dimension [`Embedder::dim`].
+    fn embed(&self, text: &str) -> Embedding;
+
+    /// Embed a batch. The default loops; implementations with batching
+    /// economics can override.
+    fn embed_batch(&self, texts: &[&str]) -> Vec<Embedding> {
+        texts.iter().map(|t| self.embed(t)).collect()
+    }
+}
+
+impl<T: Embedder + ?Sized> Embedder for Arc<T> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn embed(&self, text: &str) -> Embedding {
+        (**self).embed(text)
+    }
+
+    fn embed_batch(&self, texts: &[&str]) -> Vec<Embedding> {
+        (**self).embed_batch(texts)
+    }
+}
+
+/// A memoizing wrapper around any [`Embedder`].
+///
+/// The OUA/MAB loops re-embed the user query and partial responses every
+/// round; partial responses grow monotonically but the query is fixed, and
+/// the evaluation harness embeds the same reference answers for every mode.
+/// A small cache removes that repeated work. Entries are evicted FIFO-ish by
+/// clearing the whole map when `capacity` is reached — embeddings are cheap
+/// to recompute, so a simple policy beats bookkeeping.
+pub struct CachedEmbedder<E> {
+    inner: E,
+    cache: RwLock<HashMap<String, Embedding>>,
+    capacity: usize,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl<E: Embedder> CachedEmbedder<E> {
+    /// Wrap `inner` with a cache holding up to `capacity` entries.
+    pub fn new(inner: E, capacity: usize) -> Self {
+        Self {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: RwLock::new(0),
+            misses: RwLock::new(0),
+        }
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.read(), *self.misses.read())
+    }
+
+    /// Number of currently cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.read().is_empty()
+    }
+
+    /// Access the wrapped embedder.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Embedder> Embedder for CachedEmbedder<E> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn embed(&self, text: &str) -> Embedding {
+        if let Some(e) = self.cache.read().get(text) {
+            *self.hits.write() += 1;
+            return e.clone();
+        }
+        *self.misses.write() += 1;
+        let e = self.inner.embed(text);
+        let mut cache = self.cache.write();
+        if cache.len() >= self.capacity {
+            cache.clear();
+        }
+        cache.insert(text.to_owned(), e.clone());
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An embedder that counts invocations, for cache verification.
+    struct CountingEmbedder {
+        calls: RwLock<usize>,
+    }
+
+    impl CountingEmbedder {
+        fn new() -> Self {
+            Self {
+                calls: RwLock::new(0),
+            }
+        }
+    }
+
+    impl Embedder for CountingEmbedder {
+        fn dim(&self) -> usize {
+            2
+        }
+
+        fn embed(&self, text: &str) -> Embedding {
+            *self.calls.write() += 1;
+            Embedding::new(vec![text.len() as f32, 1.0])
+        }
+    }
+
+    #[test]
+    fn cache_avoids_recomputation() {
+        let cached = CachedEmbedder::new(CountingEmbedder::new(), 16);
+        let a = cached.embed("hello");
+        let b = cached.embed("hello");
+        assert_eq!(a, b);
+        assert_eq!(*cached.inner().calls.read(), 1);
+        assert_eq!(cached.stats(), (1, 1));
+    }
+
+    #[test]
+    fn cache_clears_at_capacity() {
+        let cached = CachedEmbedder::new(CountingEmbedder::new(), 2);
+        cached.embed("a");
+        cached.embed("b");
+        assert_eq!(cached.len(), 2);
+        cached.embed("c"); // triggers clear, then inserts "c"
+        assert_eq!(cached.len(), 1);
+    }
+
+    #[test]
+    fn batch_default_loops() {
+        let cached = CachedEmbedder::new(CountingEmbedder::new(), 16);
+        let out = cached.embed_batch(&["x", "yy", "x"]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(*cached.inner().calls.read(), 2, "third call was cached");
+    }
+
+    #[test]
+    fn arc_embedder_delegates() {
+        let arc: Arc<dyn Embedder> = Arc::new(CountingEmbedder::new());
+        assert_eq!(arc.dim(), 2);
+        assert_eq!(arc.embed("xyz").as_slice(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let cached = CachedEmbedder::new(CountingEmbedder::new(), 0);
+        cached.embed("a");
+        assert!(cached.len() <= 1);
+        assert!(!cached.is_empty());
+    }
+}

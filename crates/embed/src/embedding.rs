@@ -1,0 +1,214 @@
+//! The [`Embedding`] vector type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense embedding vector.
+///
+/// The platform normalizes every embedding to unit L2 norm before storing or
+/// comparing it (the thesis calls this the "embedding normalization process"
+/// that "ensures consistency across all vector representations", §3.3). The
+/// constructor does not normalize automatically — call
+/// [`Embedding::normalized`] or [`Embedding::normalize`] — so that raw
+/// feature vectors can still be accumulated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding(Vec<f32>);
+
+impl Embedding {
+    /// Wrap a raw vector.
+    pub fn new(values: Vec<f32>) -> Self {
+        Self(values)
+    }
+
+    /// The all-zero embedding of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self(vec![0.0; dim])
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Borrow the raw values.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Mutable access to the raw values.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.0
+    }
+
+    /// Consume into the raw vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.0
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.0.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// True when every component is zero (or the vector is empty).
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&v| v == 0.0)
+    }
+
+    /// Normalize in place to unit L2 norm. The zero vector is left unchanged
+    /// (there is no meaningful direction to preserve).
+    pub fn normalize(&mut self) {
+        let n = self.l2_norm();
+        if n > 0.0 {
+            for v in &mut self.0 {
+                *v /= n;
+            }
+        }
+    }
+
+    /// Return a unit-norm copy.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let mut e = self.clone();
+        e.normalize();
+        e
+    }
+
+    /// Component-wise accumulate `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ — mixing embeddings of different models
+    /// is a programming error the platform guards against at the boundary.
+    pub fn accumulate(&mut self, other: &Embedding) {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "embedding dimension mismatch: {} vs {}",
+            self.dim(),
+            other.dim()
+        );
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Scale every component by `factor`.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.0 {
+            *v *= factor;
+        }
+    }
+
+    /// The (unnormalized) centroid of a non-empty set of embeddings.
+    ///
+    /// Returns `None` for an empty set or mismatched dimensions.
+    pub fn centroid<'a, I>(embeddings: I) -> Option<Embedding>
+    where
+        I: IntoIterator<Item = &'a Embedding>,
+    {
+        let mut iter = embeddings.into_iter();
+        let first = iter.next()?;
+        let mut acc = first.clone();
+        let mut count = 1usize;
+        for e in iter {
+            if e.dim() != acc.dim() {
+                return None;
+            }
+            acc.accumulate(e);
+            count += 1;
+        }
+        acc.scale(1.0 / count as f32);
+        Some(acc)
+    }
+}
+
+impl fmt::Display for Embedding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Embedding(dim={}, norm={:.4})", self.dim(), self.l2_norm())
+    }
+}
+
+impl From<Vec<f32>> for Embedding {
+    fn from(v: Vec<f32>) -> Self {
+        Self::new(v)
+    }
+}
+
+impl AsRef<[f32]> for Embedding {
+    fn as_ref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_of_unit_vectors() {
+        let e = Embedding::new(vec![3.0, 4.0]);
+        assert!((e.l2_norm() - 5.0).abs() < 1e-6);
+        let n = e.normalized();
+        assert!((n.l2_norm() - 1.0).abs() < 1e-6);
+        assert!((n.as_slice()[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_normalization_is_noop() {
+        let mut e = Embedding::zeros(4);
+        e.normalize();
+        assert!(e.is_zero());
+        assert_eq!(e.dim(), 4);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut a = Embedding::new(vec![1.0, 2.0]);
+        a.accumulate(&Embedding::new(vec![3.0, 4.0]));
+        assert_eq!(a.as_slice(), &[4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn accumulate_dim_mismatch_panics() {
+        let mut a = Embedding::zeros(2);
+        a.accumulate(&Embedding::zeros(3));
+    }
+
+    #[test]
+    fn centroid_of_set() {
+        let a = Embedding::new(vec![1.0, 0.0]);
+        let b = Embedding::new(vec![0.0, 1.0]);
+        let c = Embedding::centroid([&a, &b]).unwrap();
+        assert_eq!(c.as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert!(Embedding::centroid(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn centroid_dim_mismatch_is_none() {
+        let a = Embedding::zeros(2);
+        let b = Embedding::zeros(3);
+        assert!(Embedding::centroid([&a, &b]).is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Embedding::new(vec![0.1, -0.2, 0.3]);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Embedding = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn display_mentions_dim() {
+        let e = Embedding::zeros(8);
+        assert!(e.to_string().contains("dim=8"));
+    }
+}

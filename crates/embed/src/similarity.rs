@@ -1,0 +1,243 @@
+//! Similarity and distance functions over embeddings.
+//!
+//! Every scoring decision in LLM-MS — query relevance, inter-model agreement,
+//! RAG retrieval, the evaluation reward of Eq. 8.1 — is a cosine similarity
+//! between embedding vectors. These functions are the hot path of the whole
+//! platform, so they are written over raw slices and avoid allocation.
+
+use crate::embedding::Embedding;
+use serde::{Deserialize, Serialize};
+
+/// The distance/similarity metric a vector index is built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Cosine similarity (the platform default, matching ChromaDB's config).
+    Cosine,
+    /// Raw dot product (equivalent to cosine on unit-norm vectors).
+    Dot,
+    /// Euclidean (L2) distance.
+    Euclidean,
+}
+
+impl Default for Metric {
+    fn default() -> Self {
+        Metric::Cosine
+    }
+}
+
+impl Metric {
+    /// Similarity score under this metric — higher is always better.
+    ///
+    /// For [`Metric::Euclidean`] the score is the negated distance so that
+    /// "higher is better" holds uniformly and top-k code needs no branching.
+    pub fn similarity(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::Cosine => cosine(a, b),
+            Metric::Dot => dot(a, b),
+            Metric::Euclidean => -euclidean(a, b),
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (guarded at collection boundaries).
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    // Manual 4-way unroll: keeps four independent accumulators so the
+    // compiler can vectorize without needing -ffast-math re-association.
+    let mut s0 = 0.0f32;
+    let mut s1 = 0.0f32;
+    let mut s2 = 0.0f32;
+    let mut s3 = 0.0f32;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    for j in chunks * 4..a.len() {
+        s0 += a[j] * b[j];
+    }
+    s0 + s1 + s2 + s3
+}
+
+/// Cosine similarity in `[-1, 1]`. Returns `0.0` when either vector is zero
+/// (no direction ⇒ no agreement), which keeps downstream score arithmetic
+/// finite.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine: dimension mismatch");
+    let mut ab = 0.0f32;
+    let mut aa = 0.0f32;
+    let mut bb = 0.0f32;
+    for i in 0..a.len() {
+        ab += a[i] * b[i];
+        aa += a[i] * a[i];
+        bb += b[i] * b[i];
+    }
+    if aa == 0.0 || bb == 0.0 {
+        return 0.0;
+    }
+    (ab / (aa.sqrt() * bb.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Euclidean (L2) distance.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "euclidean: dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Cosine similarity between two [`Embedding`]s.
+pub fn cosine_embeddings(a: &Embedding, b: &Embedding) -> f32 {
+    cosine(a.as_slice(), b.as_slice())
+}
+
+/// Mean pairwise cosine similarity between `target` and every other element
+/// of `others` — the "inter-model agreement" term of the LLM-MS reward
+/// (Eq. 6.1). Returns `0.0` when `others` is empty.
+pub fn mean_similarity_to_others(target: &Embedding, others: &[&Embedding]) -> f32 {
+    if others.is_empty() {
+        return 0.0;
+    }
+    let sum: f32 = others
+        .iter()
+        .map(|o| cosine_embeddings(target, o))
+        .sum();
+    sum / others.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| (13 - i) as f32).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cosine_of_identical_is_one() {
+        let a = [0.3f32, -0.7, 0.1, 2.0];
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_is_zero() {
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_is_minus_one() {
+        assert!((cosine(&[1.0, 2.0], &[-1.0, -2.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_with_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_basic() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metric_similarity_orders_consistently() {
+        let q = [1.0f32, 0.0];
+        let near = [0.9f32, 0.1];
+        let far = [0.0f32, 1.0];
+        for m in [Metric::Cosine, Metric::Dot, Metric::Euclidean] {
+            assert!(
+                m.similarity(&q, &near) > m.similarity(&q, &far),
+                "{m:?} failed ordering"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_similarity_empty_others_is_zero() {
+        let t = Embedding::new(vec![1.0, 0.0]);
+        assert_eq!(mean_similarity_to_others(&t, &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_similarity_averages() {
+        let t = Embedding::new(vec![1.0, 0.0]);
+        let same = Embedding::new(vec![2.0, 0.0]);
+        let orth = Embedding::new(vec![0.0, 5.0]);
+        let m = mean_similarity_to_others(&t, &[&same, &orth]);
+        assert!((m - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_dim_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vec_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+        proptest::collection::vec(-10.0f32..10.0, dim)
+    }
+
+    proptest! {
+        /// Cosine is symmetric and bounded.
+        #[test]
+        fn cosine_symmetric_bounded(a in vec_strategy(16), b in vec_strategy(16)) {
+            let ab = cosine(&a, &b);
+            let ba = cosine(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-5);
+            prop_assert!((-1.0..=1.0).contains(&ab));
+        }
+
+        /// Cosine is scale-invariant for positive scaling.
+        #[test]
+        fn cosine_scale_invariant(a in vec_strategy(8), b in vec_strategy(8), k in 0.1f32..100.0) {
+            let scaled: Vec<f32> = a.iter().map(|v| v * k).collect();
+            let c1 = cosine(&a, &b);
+            let c2 = cosine(&scaled, &b);
+            prop_assert!((c1 - c2).abs() < 1e-3, "c1={c1} c2={c2}");
+        }
+
+        /// Euclidean satisfies the triangle inequality.
+        #[test]
+        fn euclidean_triangle(a in vec_strategy(8), b in vec_strategy(8), c in vec_strategy(8)) {
+            let ab = euclidean(&a, &b);
+            let bc = euclidean(&b, &c);
+            let ac = euclidean(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-3);
+        }
+
+        /// Dot on unit-normalized vectors equals cosine.
+        #[test]
+        fn dot_on_unit_equals_cosine(a in vec_strategy(8), b in vec_strategy(8)) {
+            let mut ea = crate::embedding::Embedding::new(a.clone());
+            let mut eb = crate::embedding::Embedding::new(b.clone());
+            ea.normalize();
+            eb.normalize();
+            prop_assume!(!ea.is_zero() && !eb.is_zero());
+            let d = dot(ea.as_slice(), eb.as_slice());
+            let c = cosine(&a, &b);
+            prop_assert!((d - c).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The TruthfulQA-style dataset schema and loaders.
+//!
+//! TruthfulQA items carry a question, one *best* ("golden") answer, a set of
+//! additional correct answers, and a set of plausible-but-wrong answers (the
+//! misconceptions the benchmark probes). The paper's Eq. 8.1 reward and its
+//! F1 metric consume exactly this schema.
+
+use llmms_models::KnowledgeEntry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// One benchmark item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetItem {
+    /// Stable id.
+    pub id: String,
+    /// The question.
+    pub question: String,
+    /// Topic category.
+    pub category: String,
+    /// The best reference answer.
+    pub golden: String,
+    /// Additional acceptable answers (golden excluded).
+    pub correct: Vec<String>,
+    /// Plausible but wrong answers.
+    pub incorrect: Vec<String>,
+}
+
+impl DatasetItem {
+    /// All acceptable answers, golden first.
+    pub fn all_correct(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.golden.as_str()).chain(self.correct.iter().map(String::as_str))
+    }
+
+    /// Convert to the model substrate's knowledge schema.
+    pub fn to_knowledge(&self) -> KnowledgeEntry {
+        KnowledgeEntry {
+            id: self.id.clone(),
+            question: self.question.clone(),
+            category: self.category.clone(),
+            golden: self.golden.clone(),
+            correct: self.correct.clone(),
+            incorrect: self.incorrect.clone(),
+        }
+    }
+}
+
+/// A benchmark dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Display name (e.g. `"synthetic-truthfulqa-v1"`).
+    pub name: String,
+    /// The items.
+    pub items: Vec<DatasetItem>,
+}
+
+/// Errors loading a dataset.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// JSON decoding failed.
+    Json(serde_json::Error),
+    /// The dataset failed validation.
+    Invalid(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "dataset I/O error: {e}"),
+            DatasetError::Json(e) => write!(f, "dataset JSON error: {e}"),
+            DatasetError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Categories present, sorted and deduplicated.
+    pub fn categories(&self) -> Vec<String> {
+        let mut cats: Vec<String> = self
+            .items
+            .iter()
+            .map(|i| i.category.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        cats.sort();
+        cats
+    }
+
+    /// Convert every item to the model substrate's knowledge schema.
+    pub fn to_knowledge(&self) -> Vec<KnowledgeEntry> {
+        self.items.iter().map(DatasetItem::to_knowledge).collect()
+    }
+
+    /// Validate structural invariants: unique non-empty ids, non-empty
+    /// question/golden, at least one incorrect answer per item (the metric
+    /// needs a dissimilarity target).
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Invalid`] naming the first violation.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        let mut seen = std::collections::HashSet::new();
+        for item in &self.items {
+            if item.id.is_empty() {
+                return Err(DatasetError::Invalid("empty item id".into()));
+            }
+            if !seen.insert(&item.id) {
+                return Err(DatasetError::Invalid(format!("duplicate id {:?}", item.id)));
+            }
+            if item.question.trim().is_empty() {
+                return Err(DatasetError::Invalid(format!("{}: empty question", item.id)));
+            }
+            if item.golden.trim().is_empty() {
+                return Err(DatasetError::Invalid(format!("{}: empty golden", item.id)));
+            }
+            if item.incorrect.is_empty() {
+                return Err(DatasetError::Invalid(format!(
+                    "{}: no incorrect answers",
+                    item.id
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Save as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialization failures.
+    pub fn save(&self, path: &Path) -> Result<(), DatasetError> {
+        let json = serde_json::to_string_pretty(self).map_err(DatasetError::Json)?;
+        std::fs::write(path, json).map_err(DatasetError::Io)
+    }
+
+    /// Load and validate from JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O, decoding and validation failures.
+    pub fn load(path: &Path) -> Result<Self, DatasetError> {
+        let text = std::fs::read_to_string(path).map_err(DatasetError::Io)?;
+        let ds: Dataset = serde_json::from_str(&text).map_err(DatasetError::Json)?;
+        ds.validate()?;
+        Ok(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: &str) -> DatasetItem {
+        DatasetItem {
+            id: id.into(),
+            question: format!("Question {id}?"),
+            category: "science".into(),
+            golden: format!("Golden answer {id}"),
+            correct: vec![format!("Alternative answer {id}")],
+            incorrect: vec![format!("Wrong answer {id}")],
+        }
+    }
+
+    #[test]
+    fn validation_accepts_well_formed() {
+        let ds = Dataset {
+            name: "t".into(),
+            items: vec![item("a"), item("b")],
+        };
+        ds.validate().unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.categories(), ["science"]);
+    }
+
+    #[test]
+    fn validation_rejects_duplicates() {
+        let ds = Dataset {
+            name: "t".into(),
+            items: vec![item("a"), item("a")],
+        };
+        assert!(matches!(ds.validate(), Err(DatasetError::Invalid(_))));
+    }
+
+    #[test]
+    fn validation_rejects_missing_incorrect() {
+        let mut bad = item("a");
+        bad.incorrect.clear();
+        let ds = Dataset {
+            name: "t".into(),
+            items: vec![bad],
+        };
+        assert!(matches!(ds.validate(), Err(DatasetError::Invalid(_))));
+    }
+
+    #[test]
+    fn knowledge_conversion_preserves_fields() {
+        let i = item("x");
+        let k = i.to_knowledge();
+        assert_eq!(k.question, i.question);
+        assert_eq!(k.golden, i.golden);
+        assert_eq!(k.incorrect, i.incorrect);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("llmms-eval-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        let ds = Dataset {
+            name: "t".into(),
+            items: vec![item("a")],
+        };
+        ds.save(&path).unwrap();
+        let back = Dataset::load(&path).unwrap();
+        assert_eq!(back, ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_correct_golden_first() {
+        let i = item("a");
+        let v: Vec<&str> = i.all_correct().collect();
+        assert_eq!(v[0], "Golden answer a");
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -1,0 +1,429 @@
+//! The experiment harness: run every execution mode of §8.1 over a dataset
+//! and aggregate the paper's metrics.
+
+use crate::dataset::Dataset;
+use crate::metrics::{score_query, EvalRewardWeights, QueryMetrics};
+use llmms_core::{
+    HybridConfig, MabConfig, Orchestrator, OrchestratorConfig, OrchestratorError, OuaConfig,
+    RouterConfig, Strategy,
+};
+use llmms_embed::SharedEmbedder;
+use llmms_models::{KnowledgeStore, ModelRegistry, SharedModel};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One execution mode of the §8.1 comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EvalMode {
+    /// Static single-model baseline.
+    Single(String),
+    /// LLM-MS OUA with the given parameters.
+    Oua(OuaConfig),
+    /// LLM-MS MAB with the given parameters.
+    Mab(MabConfig),
+    /// Semantic-routing extension (§9.5).
+    Routed(RouterConfig),
+    /// OUA-probe + MAB-exploit hybrid (§8.4).
+    Hybrid(HybridConfig),
+}
+
+impl EvalMode {
+    /// Figure label for this mode.
+    pub fn label(&self) -> String {
+        match self {
+            EvalMode::Single(name) => name.clone(),
+            EvalMode::Oua(_) => "LLM-MS OUA".to_owned(),
+            EvalMode::Mab(_) => "LLM-MS MAB".to_owned(),
+            EvalMode::Routed(_) => "LLM-MS Router".to_owned(),
+            EvalMode::Hybrid(_) => "LLM-MS Hybrid".to_owned(),
+        }
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarnessConfig {
+    /// Global token budget λ_max per query.
+    pub token_budget: usize,
+    /// Sampling temperature for the models.
+    pub temperature: f32,
+    /// Determinism seed (mixed into the models).
+    pub seed: u64,
+    /// Eq. 8.1 weights.
+    pub reward_weights: EvalRewardWeights,
+    /// Modes to compare.
+    pub modes: Vec<EvalMode>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            token_budget: 2048,
+            temperature: 0.7,
+            seed: 0,
+            reward_weights: EvalRewardWeights::default(),
+            modes: default_modes(),
+        }
+    }
+}
+
+/// The paper's five-way comparison: the three single-model baselines plus
+/// both orchestration strategies with their default (paper) parameters.
+pub fn default_modes() -> Vec<EvalMode> {
+    vec![
+        EvalMode::Single("llama3-8b".into()),
+        EvalMode::Single("mistral-7b".into()),
+        EvalMode::Single("qwen2-7b".into()),
+        EvalMode::Oua(OuaConfig::default()),
+        EvalMode::Mab(MabConfig::default()),
+    ]
+}
+
+/// Per-category aggregate within one mode.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CategorySummary {
+    /// Queries in this category.
+    pub queries: usize,
+    /// Fraction judged truthful.
+    pub accuracy: f64,
+    /// Mean F1.
+    pub avg_f1: f64,
+}
+
+/// Aggregated metrics for one execution mode — one bar of Figures 8.1–8.3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeSummary {
+    /// Mode label.
+    pub mode: String,
+    /// Queries evaluated.
+    pub queries: usize,
+    /// Mean Eq. 8.1 reward (Figure 8.1).
+    pub avg_reward: f64,
+    /// Mean token F1 (Figure 8.2).
+    pub avg_f1: f64,
+    /// Fraction of truthful answers.
+    pub accuracy: f64,
+    /// Mean final-answer tokens per query (the paper's §8.2 token usage).
+    pub avg_tokens: f64,
+    /// Mean tokens spent across all candidate models per query (true system
+    /// cost; not what the paper plots).
+    pub avg_total_tokens: f64,
+    /// Mean per-query reward / final-answer-tokens ratio (Figure 8.3).
+    pub reward_per_token: f64,
+    /// Mean simulated wall-clock latency per query, milliseconds.
+    pub avg_latency_ms: f64,
+    /// Per-category breakdown.
+    pub by_category: BTreeMap<String, CategorySummary>,
+}
+
+/// A full evaluation report across modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Name of the dataset evaluated.
+    pub dataset: String,
+    /// Token budget used.
+    pub token_budget: usize,
+    /// One summary per mode, in configuration order.
+    pub modes: Vec<ModeSummary>,
+}
+
+impl EvalReport {
+    /// Summary of the mode with the given label.
+    pub fn mode(&self, label: &str) -> Option<&ModeSummary> {
+        self.modes.iter().find(|m| m.mode == label)
+    }
+}
+
+/// Errors from the harness.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// A model named in a `Single` mode is not registered.
+    Model(llmms_models::ModelError),
+    /// The orchestrator rejected the configuration.
+    Orchestrator(OrchestratorError),
+    /// The dataset was empty.
+    EmptyDataset,
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Model(e) => write!(f, "model error: {e}"),
+            HarnessError::Orchestrator(e) => write!(f, "orchestrator error: {e}"),
+            HarnessError::EmptyDataset => write!(f, "dataset is empty"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<llmms_models::ModelError> for HarnessError {
+    fn from(e: llmms_models::ModelError) -> Self {
+        HarnessError::Model(e)
+    }
+}
+
+impl From<OrchestratorError> for HarnessError {
+    fn from(e: OrchestratorError) -> Self {
+        HarnessError::Orchestrator(e)
+    }
+}
+
+/// The ready-to-run evaluation environment: models loaded against the
+/// dataset's knowledge, shared embedder.
+pub struct EvalEnvironment {
+    /// The model registry (paper testbed: V100 + three models).
+    pub registry: ModelRegistry,
+    /// The pool of loaded models, sorted by name.
+    pub models: Vec<SharedModel>,
+    /// The embedder used for orchestration and metrics.
+    pub embedder: SharedEmbedder,
+}
+
+impl EvalEnvironment {
+    /// Build the environment for `dataset`: its items become the models'
+    /// shared knowledge (the simulation analogue of "the models were
+    /// pretrained on the world TruthfulQA asks about").
+    pub fn new(dataset: &Dataset) -> Result<Self, HarnessError> {
+        Self::with_embedder(dataset, llmms_embed::default_embedder())
+    }
+
+    /// As [`EvalEnvironment::new`] with a caller-supplied embedder — the
+    /// encoder-choice ablation of §8.4 ("impact of embedding-based
+    /// scoring") swaps encoders here.
+    pub fn with_embedder(
+        dataset: &Dataset,
+        embedder: SharedEmbedder,
+    ) -> Result<Self, HarnessError> {
+        let knowledge = Arc::new(KnowledgeStore::build(
+            dataset.to_knowledge(),
+            Arc::clone(&embedder),
+        ));
+        let registry = ModelRegistry::evaluation_setup(knowledge);
+        let models = registry.load_all()?;
+        Ok(Self {
+            registry,
+            models,
+            embedder,
+        })
+    }
+
+    fn pool_for(&self, mode: &EvalMode) -> Result<Vec<SharedModel>, HarnessError> {
+        match mode {
+            EvalMode::Single(name) => Ok(vec![self.registry.get(name)?]),
+            _ => Ok(self.models.clone()),
+        }
+    }
+}
+
+/// Run the full §8 evaluation: every mode over every dataset item.
+///
+/// # Errors
+///
+/// Propagates model-registry and orchestrator configuration errors;
+/// [`HarnessError::EmptyDataset`] for an empty dataset.
+pub fn run_eval(dataset: &Dataset, config: &HarnessConfig) -> Result<EvalReport, HarnessError> {
+    run_eval_with_embedder(dataset, config, llmms_embed::default_embedder())
+}
+
+/// As [`run_eval`] with a caller-supplied embedder (used by the encoder
+/// ablation).
+///
+/// # Errors
+///
+/// As [`run_eval`].
+pub fn run_eval_with_embedder(
+    dataset: &Dataset,
+    config: &HarnessConfig,
+    embedder: SharedEmbedder,
+) -> Result<EvalReport, HarnessError> {
+    if dataset.is_empty() {
+        return Err(HarnessError::EmptyDataset);
+    }
+    let env = EvalEnvironment::with_embedder(dataset, embedder)?;
+    let mut modes = Vec::with_capacity(config.modes.len());
+    for mode in &config.modes {
+        modes.push(run_mode(dataset, config, &env, mode)?);
+    }
+    Ok(EvalReport {
+        dataset: dataset.name.clone(),
+        token_budget: config.token_budget,
+        modes,
+    })
+}
+
+fn run_mode(
+    dataset: &Dataset,
+    config: &HarnessConfig,
+    env: &EvalEnvironment,
+    mode: &EvalMode,
+) -> Result<ModeSummary, HarnessError> {
+    let strategy = match mode {
+        EvalMode::Single(_) => Strategy::Single,
+        EvalMode::Oua(cfg) => Strategy::Oua(cfg.clone()),
+        EvalMode::Mab(cfg) => Strategy::Mab(cfg.clone()),
+        EvalMode::Routed(cfg) => Strategy::Routed(cfg.clone()),
+        EvalMode::Hybrid(cfg) => Strategy::Hybrid(cfg.clone()),
+    };
+    let orchestrator = Orchestrator::new(
+        Arc::clone(&env.embedder),
+        OrchestratorConfig::builder()
+            .token_budget(config.token_budget)
+            .strategy(strategy)
+            .temperature(config.temperature)
+            .seed(config.seed)
+            .build(),
+    );
+    let pool = env.pool_for(mode)?;
+
+    let mut all: Vec<(String, QueryMetrics, f64)> = Vec::with_capacity(dataset.len());
+    for item in &dataset.items {
+        let result = orchestrator.run(&pool, &item.question)?;
+        let metrics = score_query(
+            result.response(),
+            result.best_outcome().tokens,
+            result.total_tokens,
+            item,
+            &env.embedder,
+            &config.reward_weights,
+        );
+        let latency_ms = result.simulated_latency().as_secs_f64() * 1000.0;
+        all.push((item.category.clone(), metrics, latency_ms));
+    }
+    Ok(summarize_mode(mode.label(), &all))
+}
+
+fn summarize_mode(label: String, rows: &[(String, QueryMetrics, f64)]) -> ModeSummary {
+    let n = rows.len().max(1) as f64;
+    let avg_reward = rows.iter().map(|(_, m, _)| m.reward).sum::<f64>() / n;
+    let avg_f1 = rows.iter().map(|(_, m, _)| m.f1).sum::<f64>() / n;
+    let accuracy = rows.iter().filter(|(_, m, _)| m.truthful).count() as f64 / n;
+    let avg_tokens = rows.iter().map(|(_, m, _)| m.tokens as f64).sum::<f64>() / n;
+    let avg_total_tokens = rows
+        .iter()
+        .map(|(_, m, _)| m.total_tokens as f64)
+        .sum::<f64>()
+        / n;
+    let reward_per_token = rows
+        .iter()
+        .filter(|(_, m, _)| m.tokens > 0)
+        .map(|(_, m, _)| m.reward / m.tokens as f64)
+        .sum::<f64>()
+        / rows.iter().filter(|(_, m, _)| m.tokens > 0).count().max(1) as f64;
+    let avg_latency_ms = rows.iter().map(|(_, _, l)| l).sum::<f64>() / n;
+
+    let mut by_category: BTreeMap<String, CategorySummary> = BTreeMap::new();
+    for (cat, m, _) in rows {
+        let entry = by_category.entry(cat.clone()).or_default();
+        entry.queries += 1;
+        entry.accuracy += f64::from(u8::from(m.truthful));
+        entry.avg_f1 += m.f1;
+    }
+    for summary in by_category.values_mut() {
+        let q = summary.queries.max(1) as f64;
+        summary.accuracy /= q;
+        summary.avg_f1 /= q;
+    }
+
+    ModeSummary {
+        mode: label,
+        queries: rows.len(),
+        avg_reward,
+        avg_f1,
+        accuracy,
+        avg_tokens,
+        avg_total_tokens,
+        reward_per_token,
+        avg_latency_ms,
+        by_category,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    fn small_dataset() -> Dataset {
+        generate(&GeneratorConfig {
+            items: 24,
+            seed: 3,
+            ..Default::default()
+        })
+    }
+
+    fn fast_config() -> HarnessConfig {
+        HarnessConfig {
+            token_budget: 512,
+            temperature: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = Dataset::default();
+        assert!(matches!(
+            run_eval(&ds, &fast_config()),
+            Err(HarnessError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn full_five_mode_run_produces_sane_aggregates() {
+        let ds = small_dataset();
+        let report = run_eval(&ds, &fast_config()).unwrap();
+        assert_eq!(report.modes.len(), 5);
+        for m in &report.modes {
+            assert_eq!(m.queries, 24, "{}", m.mode);
+            assert!((0.0..=1.0).contains(&m.accuracy), "{}", m.mode);
+            assert!((0.0..=1.0).contains(&m.avg_f1), "{}", m.mode);
+            assert!(m.avg_tokens > 0.0, "{}", m.mode);
+            assert!(m.avg_latency_ms > 0.0, "{}", m.mode);
+            let cat_total: usize = m.by_category.values().map(|c| c.queries).sum();
+            assert_eq!(cat_total, 24);
+        }
+        // Figure labels present.
+        assert!(report.mode("LLM-MS OUA").is_some());
+        assert!(report.mode("LLM-MS MAB").is_some());
+        assert!(report.mode("llama3-8b").is_some());
+    }
+
+    #[test]
+    fn orchestration_beats_weakest_single_baseline() {
+        let ds = generate(&GeneratorConfig {
+            items: 40,
+            seed: 11,
+            ..Default::default()
+        });
+        let report = run_eval(&ds, &fast_config()).unwrap();
+        let worst_single = report
+            .modes
+            .iter()
+            .filter(|m| !m.mode.starts_with("LLM-MS"))
+            .map(|m| m.avg_f1)
+            .fold(f64::MAX, f64::min);
+        let oua = report.mode("LLM-MS OUA").unwrap().avg_f1;
+        let mab = report.mode("LLM-MS MAB").unwrap().avg_f1;
+        assert!(
+            oua >= worst_single && mab >= worst_single,
+            "oua={oua:.3} mab={mab:.3} worst single={worst_single:.3}"
+        );
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let ds = small_dataset();
+        let a = run_eval(&ds, &fast_config()).unwrap();
+        let b = run_eval(&ds, &fast_config()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(EvalMode::Single("x".into()).label(), "x");
+        assert_eq!(EvalMode::Oua(OuaConfig::default()).label(), "LLM-MS OUA");
+        assert_eq!(EvalMode::Mab(MabConfig::default()).label(), "LLM-MS MAB");
+    }
+}

@@ -1,0 +1,38 @@
+//! # llmms-eval
+//!
+//! Experimental-evaluation substrate for the LLM-MS reproduction (thesis
+//! Chapter 8): a synthetic TruthfulQA-style benchmark, the paper's metrics
+//! (Eq. 8.1 reward, token F1, tokens, reward/token), and the harness that
+//! compares single-model baselines against LLM-MS OUA and LLM-MS MAB —
+//! regenerating Figures 8.1, 8.2 and 8.3.
+//!
+//! ## Example
+//!
+//! ```
+//! use llmms_eval::{generate, GeneratorConfig, run_eval, HarnessConfig, report};
+//!
+//! let dataset = generate(&GeneratorConfig { items: 8, ..Default::default() });
+//! let summary = run_eval(&dataset, &HarnessConfig {
+//!     token_budget: 256,
+//!     ..Default::default()
+//! }).unwrap();
+//! println!("{}", report::figure_8_1(&summary));
+//! assert_eq!(summary.modes.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod facts;
+pub mod generator;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+
+pub use dataset::{Dataset, DatasetError, DatasetItem};
+pub use generator::{generate, GeneratorConfig};
+pub use harness::{
+    default_modes, run_eval, run_eval_with_embedder, CategorySummary, EvalEnvironment, EvalMode,
+    EvalReport, HarnessConfig, HarnessError, ModeSummary,
+};
+pub use metrics::{eval_reward, f1_score, is_truthful, score_query, EvalRewardWeights, QueryMetrics};

@@ -1,0 +1,205 @@
+//! Report rendering: the figures of §8.3 as text tables and CSV.
+
+use crate::harness::{EvalReport, ModeSummary};
+
+/// Render Figure 8.1 (average reward per model) as an aligned text table.
+pub fn figure_8_1(report: &EvalReport) -> String {
+    figure(report, "Figure 8.1: Average reward per model", |m| {
+        format!("{:.4}", m.avg_reward)
+    })
+}
+
+/// Render Figure 8.2 (average F1 score per model).
+pub fn figure_8_2(report: &EvalReport) -> String {
+    figure(report, "Figure 8.2: Average F1 score per model", |m| {
+        format!("{:.4}", m.avg_f1)
+    })
+}
+
+/// Render Figure 8.3 (average reward-to-tokens ratio per model).
+pub fn figure_8_3(report: &EvalReport) -> String {
+    figure(
+        report,
+        "Figure 8.3: Average reward-to-tokens ratio per model",
+        |m| format!("{:.5}", m.reward_per_token),
+    )
+}
+
+fn figure(report: &EvalReport, title: &str, value: impl Fn(&ModeSummary) -> String) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"-".repeat(title.len()));
+    out.push('\n');
+    let width = report
+        .modes
+        .iter()
+        .map(|m| m.mode.len())
+        .max()
+        .unwrap_or(10)
+        .max(5);
+    for m in &report.modes {
+        let v = value(m);
+        let bar_len = (v.parse::<f64>().unwrap_or(0.0).max(0.0) * 60.0).round() as usize;
+        out.push_str(&format!(
+            "{:<width$}  {:>8}  {}\n",
+            m.mode,
+            v,
+            "█".repeat(bar_len.min(70)),
+            width = width
+        ));
+    }
+    out
+}
+
+/// Render the full report as a Markdown table (all metrics).
+pub fn markdown_table(report: &EvalReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### Evaluation on {} (budget {} tokens)\n\n",
+        report.dataset, report.token_budget
+    ));
+    out.push_str(
+        "| Mode | Queries | Avg reward | Avg F1 | Accuracy | Answer tokens | Total tokens | Reward/token | Latency (ms) |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    for m in &report.modes {
+        out.push_str(&format!(
+            "| {} | {} | {:.4} | {:.4} | {:.3} | {:.1} | {:.1} | {:.5} | {:.0} |\n",
+            m.mode,
+            m.queries,
+            m.avg_reward,
+            m.avg_f1,
+            m.accuracy,
+            m.avg_tokens,
+            m.avg_total_tokens,
+            m.reward_per_token,
+            m.avg_latency_ms,
+        ));
+    }
+    out
+}
+
+/// Render the report as CSV (one row per mode).
+pub fn csv(report: &EvalReport) -> String {
+    let mut out = String::from(
+        "mode,queries,avg_reward,avg_f1,accuracy,avg_tokens,avg_total_tokens,reward_per_token,avg_latency_ms\n",
+    );
+    for m in &report.modes {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.6},{:.3},{:.3},{:.6},{:.3}\n",
+            m.mode,
+            m.queries,
+            m.avg_reward,
+            m.avg_f1,
+            m.accuracy,
+            m.avg_tokens,
+            m.avg_total_tokens,
+            m.reward_per_token,
+            m.avg_latency_ms,
+        ));
+    }
+    out
+}
+
+/// Render the per-category accuracy breakdown (the basis of §8.4's
+/// analysis of where orchestration helps).
+pub fn category_breakdown(report: &EvalReport) -> String {
+    let mut categories: Vec<&String> = report
+        .modes
+        .iter()
+        .flat_map(|m| m.by_category.keys())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    categories.sort();
+    let mut out = String::from("| Category |");
+    for m in &report.modes {
+        out.push_str(&format!(" {} |", m.mode));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &report.modes {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for cat in categories {
+        out.push_str(&format!("| {cat} |"));
+        for m in &report.modes {
+            match m.by_category.get(cat) {
+                Some(c) => out.push_str(&format!(" {:.2} |", c.accuracy)),
+                None => out.push_str(" – |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::CategorySummary;
+    use std::collections::BTreeMap;
+
+    fn report() -> EvalReport {
+        let mk = |mode: &str, reward: f64, f1: f64| ModeSummary {
+            mode: mode.into(),
+            queries: 10,
+            avg_reward: reward,
+            avg_f1: f1,
+            accuracy: 0.8,
+            avg_tokens: 40.0,
+            avg_total_tokens: 90.0,
+            reward_per_token: reward / 40.0,
+            avg_latency_ms: 500.0,
+            by_category: BTreeMap::from([(
+                "science".to_owned(),
+                CategorySummary {
+                    queries: 10,
+                    accuracy: 0.8,
+                    avg_f1: f1,
+                },
+            )]),
+        };
+        EvalReport {
+            dataset: "test".into(),
+            token_budget: 2048,
+            modes: vec![mk("llama3-8b", 0.5, 0.55), mk("LLM-MS OUA", 0.7, 0.72)],
+        }
+    }
+
+    #[test]
+    fn figures_contain_all_modes() {
+        let r = report();
+        for fig in [figure_8_1(&r), figure_8_2(&r), figure_8_3(&r)] {
+            assert!(fig.contains("llama3-8b"));
+            assert!(fig.contains("LLM-MS OUA"));
+        }
+        assert!(figure_8_1(&r).contains("0.5000"));
+        assert!(figure_8_2(&r).contains("0.7200"));
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let md = markdown_table(&report());
+        assert!(md.contains("| Mode |"));
+        assert!(md.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_parses_back() {
+        let c = csv(&report());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].split(',').count(), 9);
+        assert_eq!(lines[1].split(',').count(), 9);
+    }
+
+    #[test]
+    fn category_breakdown_lists_categories() {
+        let b = category_breakdown(&report());
+        assert!(b.contains("science"));
+        assert!(b.contains("0.80"));
+    }
+}

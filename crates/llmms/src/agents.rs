@@ -1,0 +1,268 @@
+//! Multi-agent collaboration — the thesis's §9.5 extension: "Break complex
+//! questions into smaller tasks handled by different workers, for example,
+//! one module gathers background info, another figures out how to piece an
+//! answer together, and a third double-checks for errors."
+//!
+//! Three roles run in sequence over the platform:
+//!
+//! 1. **Researcher** — gathers background: RAG retrieval over ingested
+//!    documents plus related past exchanges from the memory graph.
+//! 2. **Answerer** — the orchestrated model pool produces a ranked set of
+//!    candidate answers (the per-model outcomes, best first).
+//! 3. **Verifier** — checks each candidate in rank order: it must be
+//!    non-empty, not a deflection, and either semantically close to the
+//!    question or grounded in the researcher's context. The first candidate
+//!    to pass wins; if none passes, the best candidate is returned flagged
+//!    `verified: false`.
+
+use crate::platform::{AskOptions, Platform, PlatformError};
+use llmms_embed::cosine_embeddings;
+use llmms_rag::RetrievedChunk;
+use llmms_tokenizer::words;
+use serde::{Deserialize, Serialize};
+
+/// Verifier thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifierConfig {
+    /// Minimum cosine between answer and question for the "on topic" check.
+    pub min_question_similarity: f32,
+    /// Minimum fraction of answer words found in some context chunk for the
+    /// "grounded" check.
+    pub min_grounding_overlap: f64,
+    /// Phrases that mark a deflection/non-answer.
+    pub deflection_markers: Vec<String>,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        Self {
+            min_question_similarity: 0.25,
+            min_grounding_overlap: 0.5,
+            deflection_markers: vec![
+                "not certain".to_owned(),
+                "cannot give a reliable answer".to_owned(),
+                "hard to say".to_owned(),
+                "would be premature".to_owned(),
+                "opinions vary".to_owned(),
+                "rather not guess".to_owned(),
+            ],
+        }
+    }
+}
+
+/// The outcome of a collaborative answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollaborativeAnswer {
+    /// The selected answer text.
+    pub answer: String,
+    /// The model whose candidate was selected.
+    pub model: String,
+    /// Context the researcher gathered.
+    pub context: Vec<RetrievedChunk>,
+    /// Whether the verifier accepted the answer.
+    pub verified: bool,
+    /// Candidates the verifier rejected before accepting one.
+    pub rejected: usize,
+    /// Human-readable trace of what each role did.
+    pub notes: Vec<String>,
+}
+
+/// Why the verifier rejected a candidate (internal).
+fn verify(
+    question: &str,
+    answer: &str,
+    context: &[RetrievedChunk],
+    platform: &Platform,
+    cfg: &VerifierConfig,
+) -> Result<(), String> {
+    if answer.trim().is_empty() {
+        return Err("empty answer".to_owned());
+    }
+    let lower = answer.to_lowercase();
+    for marker in &cfg.deflection_markers {
+        if lower.contains(marker.as_str()) {
+            return Err(format!("deflection marker {marker:?}"));
+        }
+    }
+    // On-topic check.
+    let embedder = platform.embedder();
+    let sim = cosine_embeddings(&embedder.embed(question), &embedder.embed(answer));
+    if sim >= cfg.min_question_similarity {
+        return Ok(());
+    }
+    // Grounding check: enough of the answer's vocabulary appears in some
+    // retrieved chunk.
+    let answer_words = words(answer);
+    if !answer_words.is_empty() {
+        for chunk in context {
+            let chunk_words = words(&chunk.text);
+            let overlap = answer_words
+                .iter()
+                .filter(|w| chunk_words.contains(w))
+                .count() as f64
+                / answer_words.len() as f64;
+            if overlap >= cfg.min_grounding_overlap {
+                return Ok(());
+            }
+        }
+    }
+    Err(format!(
+        "off-topic (sim {sim:.2} < {}) and ungrounded",
+        cfg.min_question_similarity
+    ))
+}
+
+impl Platform {
+    /// Answer `question` through the researcher → answerer → verifier
+    /// pipeline. See the module docs of [`crate::agents`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform failures from the underlying roles.
+    pub fn collaborate(
+        &self,
+        question: &str,
+        verifier: &VerifierConfig,
+    ) -> Result<CollaborativeAnswer, PlatformError> {
+        let mut notes = Vec::new();
+
+        // --- Researcher -----------------------------------------------
+        let context = self.retriever().retrieve(question, 5, None)?;
+        notes.push(format!(
+            "researcher: {} context chunk(s) retrieved",
+            context.len()
+        ));
+        let remembered = self.recall_related(question, 2);
+        if !remembered.is_empty() {
+            notes.push(format!(
+                "researcher: {} related past exchange(s) recalled",
+                remembered.len()
+            ));
+        }
+
+        // --- Answerer --------------------------------------------------
+        let result = self.ask_with(
+            question,
+            &AskOptions {
+                top_k: 5,
+                recall_memory: 2,
+                ..Default::default()
+            },
+        )?;
+        // Candidates in score order, best first.
+        let mut candidates: Vec<&crate::core::ModelOutcome> = result.outcomes.iter().collect();
+        candidates.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        notes.push(format!(
+            "answerer: {} candidate(s) from {}",
+            candidates.len(),
+            result.strategy
+        ));
+
+        // --- Verifier ---------------------------------------------------
+        let mut rejected = 0;
+        for candidate in &candidates {
+            match verify(question, &candidate.response, &context, self, verifier) {
+                Ok(()) => {
+                    notes.push(format!("verifier: accepted {}", candidate.model));
+                    return Ok(CollaborativeAnswer {
+                        answer: candidate.response.clone(),
+                        model: candidate.model.clone(),
+                        context,
+                        verified: true,
+                        rejected,
+                        notes,
+                    });
+                }
+                Err(reason) => {
+                    notes.push(format!("verifier: rejected {} — {reason}", candidate.model));
+                    rejected += 1;
+                }
+            }
+        }
+        // Nothing passed: surface the orchestrator's pick, unverified.
+        notes.push("verifier: no candidate passed; returning best unverified".to_owned());
+        Ok(CollaborativeAnswer {
+            answer: result.response().to_owned(),
+            model: result.best_outcome().model.clone(),
+            context,
+            verified: false,
+            rejected,
+            notes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verified_answer_on_known_question() {
+        let p = Platform::evaluation_default();
+        let out = p
+            .collaborate("What is the capital of France?", &VerifierConfig::default())
+            .unwrap();
+        assert!(out.verified, "notes: {:?}", out.notes);
+        assert!(!out.answer.is_empty());
+        assert!(out.notes.iter().any(|n| n.starts_with("verifier: accepted")));
+    }
+
+    #[test]
+    fn deflections_are_rejected_by_the_verifier() {
+        // A platform with no knowledge: every model deflects, nothing can
+        // verify, and the result is flagged.
+        let p = Platform::builder().build().unwrap();
+        let out = p
+            .collaborate("What is the capital of Zorblax?", &VerifierConfig::default())
+            .unwrap();
+        assert!(!out.verified, "notes: {:?}", out.notes);
+        assert!(out.rejected >= 1);
+    }
+
+    #[test]
+    fn grounded_document_answer_verifies() {
+        let p = Platform::builder().build().unwrap();
+        p.ingest_document(
+            "facts",
+            "The moon base Artemis Station houses twelve crew members year round.",
+        )
+        .unwrap();
+        let out = p
+            .collaborate(
+                "How many crew members live at Artemis Station?",
+                &VerifierConfig::default(),
+            )
+            .unwrap();
+        assert!(out.verified, "notes: {:?}", out.notes);
+        assert!(out.answer.contains("twelve"), "answer: {}", out.answer);
+        assert!(!out.context.is_empty());
+    }
+
+    #[test]
+    fn verify_rules_directly() {
+        let p = Platform::evaluation_default();
+        let cfg = VerifierConfig::default();
+        assert!(verify("what is the capital of france", "the capital of france is paris", &[], &p, &cfg).is_ok());
+        assert!(verify("q", "", &[], &p, &cfg).is_err());
+        assert!(verify(
+            "what is the capital of france",
+            "I am not certain about this question",
+            &[],
+            &p,
+            &cfg
+        )
+        .is_err());
+        assert!(verify(
+            "completely different topic",
+            "bananas are rich in potassium",
+            &[],
+            &p,
+            &cfg
+        )
+        .is_err());
+    }
+}

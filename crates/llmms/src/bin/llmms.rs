@@ -1,0 +1,288 @@
+//! `llmms` — command-line interface to the multi-model querying platform.
+//!
+//! ```text
+//! llmms ask "<question>" [--strategy oua|mab|hybrid|single] [--budget N] [--trace]
+//! llmms chat                         # interactive session (:q to quit)
+//! llmms eval [--items N] [--budget N]
+//! llmms dataset --out FILE [--items N] [--seed N]
+//! llmms serve [--addr HOST:PORT]
+//! llmms models
+//! ```
+
+use llmms::core::{HybridConfig, MabConfig, OrchestrationResult, OuaConfig, Strategy};
+use llmms::platform::AskOptions;
+use llmms::Platform;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("ask") => cmd_ask(&args[1..]),
+        Some("chat") => cmd_chat(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("dataset") => cmd_dataset(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("models") => cmd_models(),
+        Some("help") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    println!(
+        "llmms — multi-model LLM search engine (LLM-MS reproduction)\n\n\
+         USAGE:\n  \
+         llmms ask \"<question>\" [--strategy oua|mab|hybrid|single] [--budget N] [--trace] [--instruct \"...\"]\n  \
+         llmms chat\n  \
+         llmms eval [--items N] [--budget N]\n  \
+         llmms dataset --out FILE [--items N] [--seed N]\n  \
+         llmms serve [--addr HOST:PORT]\n  \
+         llmms models"
+    );
+}
+
+/// Extract `--flag value` from an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn strategy_from(name: &str) -> Option<Strategy> {
+    match name {
+        "oua" => Some(Strategy::Oua(OuaConfig::default())),
+        "mab" => Some(Strategy::Mab(MabConfig::default())),
+        "hybrid" => Some(Strategy::Hybrid(HybridConfig::default())),
+        "single" => Some(Strategy::Single),
+        _ => None,
+    }
+}
+
+fn print_result(result: &OrchestrationResult, trace: bool) {
+    println!("{}", result.response());
+    eprintln!(
+        "\n[{} | winner {} | answer {} tok | total {} tok | ~{:?}]",
+        result.strategy,
+        result.best_outcome().model,
+        result.best_outcome().tokens,
+        result.total_tokens,
+        result.simulated_latency(),
+    );
+    if trace {
+        eprintln!("scores:");
+        for o in &result.outcomes {
+            eprintln!(
+                "  {:<12} score={:.3} tokens={:<3} pruned={} done={:?}",
+                o.model, o.score, o.tokens, o.pruned, o.done
+            );
+        }
+    }
+}
+
+fn cmd_ask(args: &[String]) -> i32 {
+    let Some(question) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("ask: missing question");
+        return 2;
+    };
+    let platform = Platform::evaluation_default();
+    if let Some(instruction) = flag_value(args, "--instruct") {
+        let directives = platform.instruct(instruction);
+        if !directives.unrecognized.is_empty() {
+            eprintln!("(ignored clauses: {:?})", directives.unrecognized);
+        }
+    }
+    let mut config = platform.orchestrator_config();
+    if let Some(s) = flag_value(args, "--strategy") {
+        match strategy_from(s) {
+            Some(strategy) => config.strategy = strategy,
+            None => {
+                eprintln!("ask: unknown strategy {s:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(b) = flag_value(args, "--budget").and_then(|b| b.parse().ok()) {
+        config.token_budget = b;
+    }
+    platform.set_orchestrator_config(config);
+    match platform.ask(question) {
+        Ok(result) => {
+            print_result(&result, flag_present(args, "--trace"));
+            0
+        }
+        Err(e) => {
+            eprintln!("ask failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_chat(_args: &[String]) -> i32 {
+    let platform = Platform::evaluation_default();
+    let session = platform.sessions().create();
+    let session_id = session.read().id.clone();
+    println!(
+        "llmms chat — {} models loaded, strategy {}.",
+        platform.models().len(),
+        platform.orchestrator_config().strategy.label()
+    );
+    println!("Commands: :q quit · :strategy <name> · :instruct <text> · :trace toggles scores\n");
+    let stdin = std::io::stdin();
+    let mut trace = false;
+    loop {
+        print!("you> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            return 0; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":q" || line == ":quit" {
+            return 0;
+        }
+        if line == ":trace" {
+            trace = !trace;
+            println!("trace {}", if trace { "on" } else { "off" });
+            continue;
+        }
+        if let Some(name) = line.strip_prefix(":strategy ") {
+            match strategy_from(name.trim()) {
+                Some(strategy) => {
+                    let mut config = platform.orchestrator_config();
+                    config.strategy = strategy;
+                    platform.set_orchestrator_config(config);
+                    println!("strategy -> {name}");
+                }
+                None => println!("unknown strategy {name:?}"),
+            }
+            continue;
+        }
+        if let Some(instruction) = line.strip_prefix(":instruct ") {
+            let d = platform.instruct(instruction);
+            println!("applied: {d:?}");
+            continue;
+        }
+        let options = AskOptions {
+            session_id: Some(session_id.clone()),
+            ..Default::default()
+        };
+        match platform.ask_with(line, &options) {
+            Ok(result) => print_result(&result, trace),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+fn cmd_eval(args: &[String]) -> i32 {
+    let items = flag_value(args, "--items")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let budget = flag_value(args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2048);
+    let dataset = llmms::eval::generate(&llmms::eval::GeneratorConfig {
+        items,
+        ..Default::default()
+    });
+    let config = llmms::eval::HarnessConfig {
+        token_budget: budget,
+        ..Default::default()
+    };
+    match llmms::eval::run_eval(&dataset, &config) {
+        Ok(report) => {
+            println!("{}", llmms::eval::report::figure_8_1(&report));
+            println!("{}", llmms::eval::report::figure_8_2(&report));
+            println!("{}", llmms::eval::report::figure_8_3(&report));
+            println!("{}", llmms::eval::report::markdown_table(&report));
+            0
+        }
+        Err(e) => {
+            eprintln!("eval failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_dataset(args: &[String]) -> i32 {
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("dataset: --out FILE is required");
+        return 2;
+    };
+    let items = flag_value(args, "--items")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let seed = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let dataset = llmms::eval::generate(&llmms::eval::GeneratorConfig {
+        items,
+        seed,
+        ..Default::default()
+    });
+    match dataset.save(std::path::Path::new(out)) {
+        Ok(()) => {
+            println!("wrote {} items to {out}", dataset.len());
+            0
+        }
+        Err(e) => {
+            eprintln!("dataset write failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7341");
+    let platform = std::sync::Arc::new(Platform::evaluation_default());
+    match llmms::server::Server::start(platform, addr) {
+        Ok(server) => {
+            println!("llmms serving on http://{}", server.addr());
+            println!("  curl http://{}/healthz", server.addr());
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_models() -> i32 {
+    let platform = Platform::evaluation_default();
+    println!("{:<14} {:>7} {:>9} {:>8} {:>10}", "NAME", "PARAMS", "CONTEXT", "QUANT", "TOK/S");
+    for model in platform.models() {
+        let info = model.info();
+        println!(
+            "{:<14} {:>6.0}B {:>9} {:>8} {:>10.0}",
+            info.name,
+            info.params_b,
+            info.context_window,
+            info.quantization,
+            info.decode_tokens_per_second,
+        );
+    }
+    let hw = platform.registry().hardware().report();
+    println!(
+        "\nGPU: {} — {:.1}/{:.1} GiB in use",
+        "Tesla V100-PCIE-32GB", hw.used_vram_gb, hw.total_vram_gb
+    );
+    0
+}

@@ -1,0 +1,65 @@
+//! Error types for the model runtime.
+
+use std::fmt;
+
+/// Errors produced by the model registry and runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// No model registered under this name.
+    ModelNotFound(String),
+    /// A model with this name is already registered.
+    ModelExists(String),
+    /// Not enough simulated VRAM to load the model, and CPU fallback was
+    /// disabled.
+    OutOfMemory {
+        /// Model that failed to load.
+        model: String,
+        /// VRAM the model requires, in GiB.
+        required_gb: f64,
+        /// VRAM currently free, in GiB.
+        available_gb: f64,
+    },
+    /// The model is registered but not loaded.
+    NotLoaded(String),
+    /// Generation options were invalid (e.g. zero context window).
+    InvalidOptions(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ModelNotFound(n) => write!(f, "model {n:?} not found"),
+            ModelError::ModelExists(n) => write!(f, "model {n:?} already registered"),
+            ModelError::OutOfMemory {
+                model,
+                required_gb,
+                available_gb,
+            } => write!(
+                f,
+                "out of memory loading {model:?}: needs {required_gb:.1} GiB, {available_gb:.1} GiB free"
+            ),
+            ModelError::NotLoaded(n) => write!(f, "model {n:?} is not loaded"),
+            ModelError::InvalidOptions(msg) => write!(f, "invalid generation options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::OutOfMemory {
+            model: "llama3-8b".into(),
+            required_gb: 8.0,
+            available_gb: 2.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("llama3-8b"));
+        assert!(s.contains("8.0"));
+        assert!(s.contains("2.5"));
+    }
+}

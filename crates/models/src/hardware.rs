@@ -1,0 +1,243 @@
+//! Simulated hardware layer: GPU VRAM accounting with CPU fallback.
+//!
+//! The thesis's hardware layer (§3.2) monitors a Tesla V100's VRAM through
+//! NVIDIA SMI and "falls back to CPU-based inference" when GPU resources are
+//! unavailable. [`HardwareManager`] reproduces the decision procedure: models
+//! declare a VRAM footprint, loads succeed on GPU while memory lasts, and
+//! subsequent loads are placed on CPU (or rejected when fallback is off).
+
+use crate::error::ModelError;
+use crate::simllm::Placement;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Static description of the simulated GPU device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuDevice {
+    /// Device name as SMI would report it.
+    pub name: String,
+    /// Total VRAM in GiB.
+    pub total_vram_gb: f64,
+}
+
+impl GpuDevice {
+    /// The paper's testbed GPU: an NVIDIA Tesla V100 with 32 GiB.
+    pub fn tesla_v100() -> Self {
+        Self {
+            name: "Tesla V100-PCIE-32GB".to_owned(),
+            total_vram_gb: 32.0,
+        }
+    }
+}
+
+/// A point-in-time utilization report (the SMI poll).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// VRAM currently allocated, GiB.
+    pub used_vram_gb: f64,
+    /// Total VRAM, GiB.
+    pub total_vram_gb: f64,
+    /// Names of models resident on the GPU.
+    pub gpu_residents: Vec<String>,
+    /// Names of models running on CPU fallback.
+    pub cpu_residents: Vec<String>,
+}
+
+impl UtilizationReport {
+    /// VRAM utilization as a fraction in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_vram_gb == 0.0 {
+            return 0.0;
+        }
+        self.used_vram_gb / self.total_vram_gb
+    }
+}
+
+struct HardwareState {
+    used_vram_gb: f64,
+    allocations: HashMap<String, (f64, Placement)>,
+}
+
+/// Thread-safe allocator of the simulated device.
+pub struct HardwareManager {
+    device: GpuDevice,
+    allow_cpu_fallback: bool,
+    state: Mutex<HardwareState>,
+}
+
+impl HardwareManager {
+    /// Manage `device`, optionally allowing CPU fallback when VRAM runs out.
+    pub fn new(device: GpuDevice, allow_cpu_fallback: bool) -> Self {
+        Self {
+            device,
+            allow_cpu_fallback,
+            state: Mutex::new(HardwareState {
+                used_vram_gb: 0.0,
+                allocations: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The paper's testbed with fallback enabled.
+    pub fn tesla_v100() -> Self {
+        Self::new(GpuDevice::tesla_v100(), true)
+    }
+
+    /// The managed device.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// Reserve resources for `model` needing `vram_gb`.
+    ///
+    /// Returns the placement granted.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ModelExists`] if the model already holds an allocation;
+    /// [`ModelError::OutOfMemory`] when VRAM is short and fallback is off.
+    pub fn allocate(&self, model: &str, vram_gb: f64) -> Result<Placement, ModelError> {
+        let mut s = self.state.lock();
+        if s.allocations.contains_key(model) {
+            return Err(ModelError::ModelExists(model.to_owned()));
+        }
+        let free = self.device.total_vram_gb - s.used_vram_gb;
+        if vram_gb <= free {
+            s.used_vram_gb += vram_gb;
+            s.allocations
+                .insert(model.to_owned(), (vram_gb, Placement::Gpu));
+            Ok(Placement::Gpu)
+        } else if self.allow_cpu_fallback {
+            s.allocations
+                .insert(model.to_owned(), (0.0, Placement::Cpu));
+            Ok(Placement::Cpu)
+        } else {
+            Err(ModelError::OutOfMemory {
+                model: model.to_owned(),
+                required_gb: vram_gb,
+                available_gb: free,
+            })
+        }
+    }
+
+    /// Release the resources of `model`. Unknown names are a no-op (release
+    /// must be idempotent for unload paths).
+    pub fn release(&self, model: &str) {
+        let mut s = self.state.lock();
+        if let Some((vram, placement)) = s.allocations.remove(model) {
+            if placement == Placement::Gpu {
+                s.used_vram_gb -= vram;
+            }
+        }
+    }
+
+    /// Poll current utilization.
+    pub fn report(&self) -> UtilizationReport {
+        let s = self.state.lock();
+        let mut gpu: Vec<String> = Vec::new();
+        let mut cpu: Vec<String> = Vec::new();
+        for (name, (_, placement)) in &s.allocations {
+            match placement {
+                Placement::Gpu => gpu.push(name.clone()),
+                Placement::Cpu => cpu.push(name.clone()),
+            }
+        }
+        gpu.sort();
+        cpu.sort();
+        UtilizationReport {
+            used_vram_gb: s.used_vram_gb,
+            total_vram_gb: self.device.total_vram_gb,
+            gpu_residents: gpu,
+            cpu_residents: cpu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_on_gpu_until_full_then_cpu() {
+        let hw = HardwareManager::new(
+            GpuDevice {
+                name: "test".into(),
+                total_vram_gb: 10.0,
+            },
+            true,
+        );
+        assert_eq!(hw.allocate("a", 6.0).unwrap(), Placement::Gpu);
+        assert_eq!(hw.allocate("b", 3.0).unwrap(), Placement::Gpu);
+        assert_eq!(hw.allocate("c", 3.0).unwrap(), Placement::Cpu);
+        let r = hw.report();
+        assert_eq!(r.gpu_residents, ["a", "b"]);
+        assert_eq!(r.cpu_residents, ["c"]);
+        assert!((r.used_vram_gb - 9.0).abs() < 1e-9);
+        assert!((r.utilization() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_fallback_errors_when_full() {
+        let hw = HardwareManager::new(
+            GpuDevice {
+                name: "test".into(),
+                total_vram_gb: 4.0,
+            },
+            false,
+        );
+        hw.allocate("a", 4.0).unwrap();
+        let err = hw.allocate("b", 1.0).unwrap_err();
+        assert!(matches!(err, ModelError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn release_frees_vram() {
+        let hw = HardwareManager::new(
+            GpuDevice {
+                name: "test".into(),
+                total_vram_gb: 8.0,
+            },
+            false,
+        );
+        hw.allocate("a", 8.0).unwrap();
+        hw.release("a");
+        hw.release("a"); // idempotent
+        assert_eq!(hw.allocate("b", 8.0).unwrap(), Placement::Gpu);
+    }
+
+    #[test]
+    fn double_allocate_same_model_rejected() {
+        let hw = HardwareManager::tesla_v100();
+        hw.allocate("m", 1.0).unwrap();
+        assert!(matches!(
+            hw.allocate("m", 1.0),
+            Err(ModelError::ModelExists(_))
+        ));
+    }
+
+    #[test]
+    fn cpu_release_does_not_corrupt_vram() {
+        let hw = HardwareManager::new(
+            GpuDevice {
+                name: "t".into(),
+                total_vram_gb: 1.0,
+            },
+            true,
+        );
+        hw.allocate("big", 5.0).unwrap(); // lands on CPU
+        hw.release("big");
+        assert_eq!(hw.report().used_vram_gb, 0.0);
+    }
+
+    #[test]
+    fn v100_matches_paper_testbed() {
+        let hw = HardwareManager::tesla_v100();
+        assert_eq!(hw.device().total_vram_gb, 32.0);
+        assert!(hw.device().name.contains("V100"));
+        // The three evaluation models fit concurrently, as in the thesis.
+        for p in crate::profile::ModelProfile::evaluation_pool() {
+            assert_eq!(hw.allocate(&p.name, p.vram_gb).unwrap(), Placement::Gpu);
+        }
+    }
+}

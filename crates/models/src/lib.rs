@@ -1,0 +1,63 @@
+//! # llmms-models
+//!
+//! The model runtime substrate for the LLM-MS reproduction — the workspace's
+//! stand-in for the Ollama daemon (v0.4.5) serving LLaMA-3 8B, Mistral 7B
+//! and Qwen-2 7B on a Tesla V100 (thesis §3.2, §3.4, §8.1).
+//!
+//! * [`LanguageModel`] / [`GenerationSession`] — the chunked streaming
+//!   generation contract the orchestrator programs against (the analogue of
+//!   Ollama's streaming REST interface).
+//! * [`SimLlm`] + [`ModelProfile`] — deterministic simulated models with
+//!   per-category competence, verbosity/hedging styles and decode-speed
+//!   profiles; the three built-in profiles mirror the paper's evaluation
+//!   pool.
+//! * [`KnowledgeStore`] — the shared "pretraining knowledge" the simulated
+//!   models recall from, indexed by question embedding.
+//! * [`ModelRegistry`] + [`HardwareManager`] — load/unload lifecycle with
+//!   simulated VRAM accounting and CPU fallback.
+//! * [`streaming`] — channel-based token streaming (the SSE analogue).
+//!
+//! ## Example
+//!
+//! ```
+//! use llmms_models::{KnowledgeEntry, KnowledgeStore, ModelRegistry, GenOptions};
+//! use std::sync::Arc;
+//!
+//! let knowledge = Arc::new(KnowledgeStore::build(
+//!     vec![KnowledgeEntry {
+//!         id: "q1".into(),
+//!         question: "What is the capital of France?".into(),
+//!         category: "geography".into(),
+//!         golden: "The capital of France is Paris".into(),
+//!         correct: vec![],
+//!         incorrect: vec!["The capital of France is Lyon".into()],
+//!     }],
+//!     llmms_embed::default_embedder(),
+//! ));
+//! let registry = ModelRegistry::evaluation_setup(knowledge);
+//! let model = registry.load("mistral-7b").unwrap();
+//! let done = model.complete("What is the capital of France?", &GenOptions::default());
+//! assert!(!done.text.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hardware;
+pub mod knowledge;
+pub mod model;
+pub mod options;
+pub mod profile;
+pub mod registry;
+pub mod simllm;
+pub mod streaming;
+
+pub use error::ModelError;
+pub use hardware::{GpuDevice, HardwareManager, UtilizationReport};
+pub use knowledge::{KnowledgeEntry, KnowledgeStore};
+pub use model::{Completion, GenerationSession, LanguageModel, ModelInfo, SharedModel};
+pub use options::{Chunk, DoneReason, GenOptions};
+pub use profile::{ModelProfile, CATEGORIES};
+pub use registry::{ModelRegistry, ModelSpec};
+pub use simllm::{Placement, SimLlm};
+pub use streaming::{stream_generation, TokenStream};

@@ -1,0 +1,273 @@
+//! The [`LanguageModel`] abstraction every backend implements.
+
+use crate::options::{Chunk, GenOptions};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Static facts about a model, as a registry would report them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry name, e.g. `"llama3-8b"`.
+    pub name: String,
+    /// Model family, e.g. `"llama"`, `"mistral"`, `"qwen"`.
+    pub family: String,
+    /// Parameter count in billions.
+    pub params_b: f64,
+    /// Maximum context window, in tokens.
+    pub context_window: usize,
+    /// Quantization label (the paper serves GGUF quantized weights).
+    pub quantization: String,
+    /// Decode speed in tokens/second at the model's current placement —
+    /// what "avoid slow models" style policies key on.
+    pub decode_tokens_per_second: f64,
+}
+
+/// A language model capable of incremental ("partial") generation.
+///
+/// This is the contract the orchestration layer programs against — the
+/// equivalent of the Ollama REST interface the thesis uses, reduced to what
+/// LLM-MS actually consumes: start a generation for a prompt, repeatedly ask
+/// for the next chunk of at most *n* tokens, observe the done reason.
+pub trait LanguageModel: Send + Sync {
+    /// Registry name (stable identifier).
+    fn name(&self) -> &str;
+
+    /// Static model facts.
+    fn info(&self) -> ModelInfo;
+
+    /// Begin a generation session for `prompt`.
+    fn start(&self, prompt: &str, options: &GenOptions) -> Box<dyn GenerationSession>;
+
+    /// One-shot convenience: run a session to completion (bounded by
+    /// `options.max_tokens`) and return the full text.
+    fn complete(&self, prompt: &str, options: &GenOptions) -> Completion {
+        let mut session = self.start(prompt, options);
+        loop {
+            let chunk = session.next_chunk(options.max_tokens);
+            if chunk.is_done() {
+                break;
+            }
+        }
+        Completion {
+            text: session.response_so_far().to_owned(),
+            tokens: session.tokens_generated(),
+            done: session.done_reason().unwrap_or(crate::DoneReason::Length),
+            simulated_latency: session.simulated_latency(),
+        }
+    }
+}
+
+/// A finished one-shot completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Full response text.
+    pub text: String,
+    /// Total tokens generated.
+    pub tokens: usize,
+    /// Why generation ended.
+    pub done: crate::DoneReason,
+    /// The latency this generation *would* have taken on the profile's
+    /// reference hardware.
+    pub simulated_latency: Duration,
+}
+
+/// An in-flight generation: the model-side state of one request.
+///
+/// Sessions are single-threaded (`Send` but not `Sync`): the orchestrator
+/// owns one session per candidate model and advances them round-robin.
+pub trait GenerationSession: Send {
+    /// Produce up to `max_tokens` more tokens. Returns an empty finished
+    /// chunk when called again after completion.
+    fn next_chunk(&mut self, max_tokens: usize) -> Chunk;
+
+    /// Total tokens generated so far.
+    fn tokens_generated(&self) -> usize;
+
+    /// Concatenated response text so far.
+    fn response_so_far(&self) -> &str;
+
+    /// The done reason, once generation has finished.
+    fn done_reason(&self) -> Option<crate::DoneReason>;
+
+    /// Latency this session would have accrued on reference hardware. The
+    /// simulation accounts time instead of sleeping, so benchmarks can
+    /// report paper-comparable latency without wall-clock waste.
+    fn simulated_latency(&self) -> Duration;
+
+    /// Abort the generation (the orchestrator pruned this model).
+    fn abort(&mut self);
+}
+
+/// Shareable model handle, as stored in the registry and passed to the
+/// orchestrator.
+pub type SharedModel = Arc<dyn LanguageModel>;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::options::DoneReason;
+
+    /// A scripted model emitting a fixed word sequence — used across the
+    /// crate's tests.
+    pub struct ScriptedModel {
+        pub name: String,
+        pub words: Vec<String>,
+    }
+
+    impl ScriptedModel {
+        pub fn new(name: &str, text: &str) -> Self {
+            Self {
+                name: name.to_owned(),
+                words: text.split_whitespace().map(str::to_owned).collect(),
+            }
+        }
+    }
+
+    impl LanguageModel for ScriptedModel {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn info(&self) -> ModelInfo {
+            ModelInfo {
+                name: self.name.clone(),
+                family: "scripted".into(),
+                params_b: 0.0,
+                context_window: 4096,
+                quantization: "none".into(),
+                decode_tokens_per_second: 100.0,
+            }
+        }
+
+        fn start(&self, _prompt: &str, options: &GenOptions) -> Box<dyn GenerationSession> {
+            Box::new(ScriptedSession {
+                words: self.words.clone(),
+                cursor: 0,
+                text: String::new(),
+                budget: options.max_tokens,
+                done: None,
+            })
+        }
+    }
+
+    pub struct ScriptedSession {
+        words: Vec<String>,
+        cursor: usize,
+        text: String,
+        budget: usize,
+        done: Option<DoneReason>,
+    }
+
+    impl GenerationSession for ScriptedSession {
+        fn next_chunk(&mut self, max_tokens: usize) -> Chunk {
+            if let Some(reason) = self.done {
+                return Chunk::finished(reason);
+            }
+            let mut emitted = 0;
+            let mut chunk_text = String::new();
+            while emitted < max_tokens && self.cursor < self.words.len() && self.cursor < self.budget
+            {
+                if !chunk_text.is_empty() || !self.text.is_empty() {
+                    chunk_text.push(' ');
+                }
+                chunk_text.push_str(&self.words[self.cursor]);
+                self.cursor += 1;
+                emitted += 1;
+            }
+            self.text.push_str(&chunk_text);
+            let done = if self.cursor >= self.words.len() {
+                Some(DoneReason::Stop)
+            } else if self.cursor >= self.budget {
+                Some(DoneReason::Length)
+            } else {
+                None
+            };
+            self.done = done;
+            Chunk {
+                text: chunk_text,
+                tokens: emitted,
+                done,
+            }
+        }
+
+        fn tokens_generated(&self) -> usize {
+            self.cursor
+        }
+
+        fn response_so_far(&self) -> &str {
+            &self.text
+        }
+
+        fn done_reason(&self) -> Option<DoneReason> {
+            self.done
+        }
+
+        fn simulated_latency(&self) -> Duration {
+            Duration::from_millis(self.cursor as u64 * 10)
+        }
+
+        fn abort(&mut self) {
+            self.done = Some(DoneReason::Aborted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::ScriptedModel;
+    use super::*;
+    use crate::options::DoneReason;
+
+    #[test]
+    fn scripted_model_streams_in_chunks() {
+        let m = ScriptedModel::new("s", "one two three four five");
+        let mut session = m.start("prompt", &GenOptions::default());
+        let c1 = session.next_chunk(2);
+        assert_eq!(c1.text, "one two");
+        assert_eq!(c1.tokens, 2);
+        assert!(!c1.is_done());
+        let c2 = session.next_chunk(10);
+        assert_eq!(c2.text, " three four five");
+        assert_eq!(c2.done, Some(DoneReason::Stop));
+        assert_eq!(session.response_so_far(), "one two three four five");
+        assert_eq!(session.tokens_generated(), 5);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_length() {
+        let m = ScriptedModel::new("s", "one two three four five");
+        let mut session = m.start("prompt", &GenOptions::with_max_tokens(3));
+        let c = session.next_chunk(10);
+        assert_eq!(c.done, Some(DoneReason::Length));
+        assert_eq!(session.tokens_generated(), 3);
+    }
+
+    #[test]
+    fn chunk_after_done_is_empty_finished() {
+        let m = ScriptedModel::new("s", "one");
+        let mut session = m.start("p", &GenOptions::default());
+        session.next_chunk(10);
+        let again = session.next_chunk(10);
+        assert!(again.is_done());
+        assert!(again.text.is_empty());
+    }
+
+    #[test]
+    fn complete_runs_to_stop() {
+        let m = ScriptedModel::new("s", "alpha beta gamma");
+        let done = m.complete("p", &GenOptions::default());
+        assert_eq!(done.text, "alpha beta gamma");
+        assert_eq!(done.tokens, 3);
+        assert_eq!(done.done, DoneReason::Stop);
+    }
+
+    #[test]
+    fn abort_sets_reason() {
+        let m = ScriptedModel::new("s", "alpha beta gamma");
+        let mut session = m.start("p", &GenOptions::default());
+        session.next_chunk(1);
+        session.abort();
+        assert_eq!(session.done_reason(), Some(DoneReason::Aborted));
+    }
+}

@@ -1,0 +1,127 @@
+//! Generation options and completion metadata shared by every model.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a generation (or a chunk) ended.
+///
+/// Mirrors Ollama's `done_reason` field, which Algorithm 1 consults: OUA only
+/// early-returns a winning response when its done reason is `"stop"` — i.e.
+/// the model finished naturally rather than being cut off by a budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DoneReason {
+    /// The model emitted its end-of-sequence token — a complete answer.
+    Stop,
+    /// The per-request token limit was reached mid-answer.
+    Length,
+    /// The orchestrator pruned/aborted this generation.
+    Aborted,
+}
+
+impl DoneReason {
+    /// The wire string Ollama uses.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DoneReason::Stop => "stop",
+            DoneReason::Length => "length",
+            DoneReason::Aborted => "aborted",
+        }
+    }
+}
+
+/// Options for one generation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenOptions {
+    /// Hard cap on tokens generated across the whole session (the model may
+    /// stop earlier with [`DoneReason::Stop`]).
+    pub max_tokens: usize,
+    /// Sampling temperature in `[0, 2]`. The simulated models use it to
+    /// scale their filler/digression rate.
+    pub temperature: f32,
+    /// Seed mixed into the model's deterministic sampling.
+    pub seed: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self {
+            max_tokens: 2048,
+            temperature: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+impl GenOptions {
+    /// Options with a specific token cap.
+    pub fn with_max_tokens(max_tokens: usize) -> Self {
+        Self {
+            max_tokens,
+            ..Self::default()
+        }
+    }
+}
+
+/// One streamed chunk of generation output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Text of this chunk (may be empty when the model had already finished).
+    pub text: String,
+    /// Tokens consumed by this chunk.
+    pub tokens: usize,
+    /// `Some(reason)` when generation finished with this chunk.
+    pub done: Option<DoneReason>,
+}
+
+impl Chunk {
+    /// An empty chunk signalling completion with `reason`.
+    pub fn finished(reason: DoneReason) -> Self {
+        Self {
+            text: String::new(),
+            tokens: 0,
+            done: Some(reason),
+        }
+    }
+
+    /// Whether generation ended at or before this chunk.
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn done_reason_wire_strings() {
+        assert_eq!(DoneReason::Stop.as_str(), "stop");
+        assert_eq!(DoneReason::Length.as_str(), "length");
+        assert_eq!(DoneReason::Aborted.as_str(), "aborted");
+    }
+
+    #[test]
+    fn default_options_match_paper_budget() {
+        // The thesis uses a 2048-token budget in its running example (§6.3).
+        assert_eq!(GenOptions::default().max_tokens, 2048);
+    }
+
+    #[test]
+    fn finished_chunk_is_done_and_empty() {
+        let c = Chunk::finished(DoneReason::Stop);
+        assert!(c.is_done());
+        assert!(c.text.is_empty());
+        assert_eq!(c.tokens, 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Chunk {
+            text: "hello".into(),
+            tokens: 1,
+            done: Some(DoneReason::Length),
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Chunk = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,336 @@
+//! Model behaviour profiles.
+//!
+//! The thesis's three evaluation models differ in *where* they are strong
+//! (§2.2: "Qwen-2 is noted for its strong performance on reasoning-intensive
+//! and factual queries, while LLaMA-3 demonstrates fluent and polite
+//! conversational abilities") and in *how* they answer (verbosity, hedging,
+//! speed). A [`ModelProfile`] captures exactly those observable differences
+//! so [`crate::SimLlm`] can reproduce them: per-category competence drives
+//! whether the model lands on a correct or a misconception answer, while the
+//! style fields drive token counts and inter-model similarity.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The question categories the synthetic TruthfulQA-style benchmark covers.
+/// Profiles assign a competence to each; unknown categories fall back to
+/// [`ModelProfile::default_skill`].
+pub const CATEGORIES: [&str; 8] = [
+    "misconceptions",
+    "science",
+    "history",
+    "health",
+    "law",
+    "geography",
+    "fiction",
+    "proverbs",
+];
+
+/// Static behavioural description of a simulated model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Registry name, e.g. `"llama3-8b"`.
+    pub name: String,
+    /// Model family, e.g. `"llama"`.
+    pub family: String,
+    /// Parameter count in billions (reporting only).
+    pub params_b: f64,
+    /// Context window in tokens.
+    pub context_window: usize,
+    /// Quantization label (reporting only; the paper serves GGUF q4).
+    pub quantization: String,
+    /// Probability of producing a correct answer per category, in `[0, 1]`.
+    pub skills: BTreeMap<String, f64>,
+    /// Competence assumed for categories absent from `skills`.
+    pub default_skill: f64,
+    /// Probability of appending an elaboration after the core answer —
+    /// drives token usage differences between models.
+    pub verbosity: f64,
+    /// Probability of prefixing a hedge phrase ("I believe that ...").
+    pub hedging: f64,
+    /// Decode speed on the reference GPU, tokens per second.
+    pub gpu_tokens_per_second: f64,
+    /// Decode speed under CPU fallback, tokens per second.
+    pub cpu_tokens_per_second: f64,
+    /// Simulated VRAM footprint when loaded, GiB.
+    pub vram_gb: f64,
+}
+
+impl ModelProfile {
+    /// Competence for `category`, falling back to [`Self::default_skill`].
+    pub fn skill(&self, category: &str) -> f64 {
+        self.skills
+            .get(category)
+            .copied()
+            .unwrap_or(self.default_skill)
+    }
+
+    /// Mean competence over the standard [`CATEGORIES`].
+    pub fn mean_skill(&self) -> f64 {
+        CATEGORIES.iter().map(|c| self.skill(c)).sum::<f64>() / CATEGORIES.len() as f64
+    }
+
+    fn base(name: &str, family: &str, params_b: f64) -> Self {
+        Self {
+            name: name.to_owned(),
+            family: family.to_owned(),
+            params_b,
+            context_window: 8192,
+            quantization: "q4_0".to_owned(),
+            skills: BTreeMap::new(),
+            default_skill: 0.35,
+            verbosity: 0.25,
+            hedging: 0.3,
+            gpu_tokens_per_second: 60.0,
+            cpu_tokens_per_second: 6.0,
+            vram_gb: 6.0,
+        }
+    }
+
+    fn with_skills(mut self, entries: &[(&str, f64)]) -> Self {
+        for (k, v) in entries {
+            self.skills.insert((*k).to_owned(), *v);
+        }
+        self
+    }
+
+    /// Profile of Meta's LLaMA-3 8B as the thesis characterizes it: fluent,
+    /// conversational, relatively verbose; strongest on narrative/cultural
+    /// knowledge.
+    pub fn llama3_8b() -> Self {
+        let mut p = Self::base("llama3-8b", "llama", 8.0).with_skills(&[
+            ("misconceptions", 0.45),
+            ("science", 0.55),
+            ("history", 0.80),
+            ("health", 0.50),
+            ("law", 0.40),
+            ("geography", 0.65),
+            ("fiction", 0.85),
+            ("proverbs", 0.80),
+        ]);
+        p.verbosity = 0.45;
+        p.hedging = 0.45;
+        p.gpu_tokens_per_second = 58.0;
+        p.cpu_tokens_per_second = 5.5;
+        p.vram_gb = 6.5;
+        p
+    }
+
+    /// Profile of Mistral 7B: "small, fast, competitive" (Table 2.1) —
+    /// concise answers, strongest on science/technical recall.
+    pub fn mistral_7b() -> Self {
+        let mut p = Self::base("mistral-7b", "mistral", 7.0).with_skills(&[
+            ("misconceptions", 0.50),
+            ("science", 0.80),
+            ("history", 0.50),
+            ("health", 0.70),
+            ("law", 0.55),
+            ("geography", 0.75),
+            ("fiction", 0.50),
+            ("proverbs", 0.55),
+        ]);
+        p.verbosity = 0.15;
+        p.hedging = 0.15;
+        p.gpu_tokens_per_second = 78.0;
+        p.cpu_tokens_per_second = 7.5;
+        p.vram_gb = 5.5;
+        p
+    }
+
+    /// Profile of Qwen-2 7B: "optimized for multilingual reasoning and
+    /// knowledge-intensive tasks" (§8.1) — strongest on factual/reasoning
+    /// categories where misconceptions lurk.
+    pub fn qwen2_7b() -> Self {
+        let mut p = Self::base("qwen2-7b", "qwen", 7.0).with_skills(&[
+            ("misconceptions", 0.80),
+            ("science", 0.70),
+            ("history", 0.55),
+            ("health", 0.75),
+            ("law", 0.75),
+            ("geography", 0.55),
+            ("fiction", 0.40),
+            ("proverbs", 0.45),
+        ]);
+        p.verbosity = 0.25;
+        p.hedging = 0.25;
+        p.gpu_tokens_per_second = 64.0;
+        p.cpu_tokens_per_second = 6.2;
+        p.vram_gb = 5.8;
+        p
+    }
+
+    /// The paper's full evaluation pool, in its reporting order.
+    pub fn evaluation_pool() -> Vec<Self> {
+        vec![Self::llama3_8b(), Self::mistral_7b(), Self::qwen2_7b()]
+    }
+
+    /// Profile of a Gemma-7B-class model: strong instruction following on
+    /// everyday/health topics, weaker on technical recall — an *extension*
+    /// profile for pool-scaling experiments (not part of the paper's pool).
+    pub fn gemma_7b() -> Self {
+        let mut p = Self::base("gemma-7b", "gemma", 7.0).with_skills(&[
+            ("misconceptions", 0.55),
+            ("science", 0.50),
+            ("history", 0.60),
+            ("health", 0.80),
+            ("law", 0.50),
+            ("geography", 0.60),
+            ("fiction", 0.60),
+            ("proverbs", 0.70),
+        ]);
+        p.verbosity = 0.30;
+        p.hedging = 0.35;
+        p.gpu_tokens_per_second = 66.0;
+        p.cpu_tokens_per_second = 6.4;
+        p.vram_gb = 5.6;
+        p
+    }
+
+    /// Profile of a Phi-3-mini-class model: small, very fast, strong on
+    /// curated textbook domains (science/law), weak on pop culture — an
+    /// *extension* profile for pool-scaling experiments.
+    pub fn phi3_mini() -> Self {
+        let mut p = Self::base("phi3-mini", "phi", 3.8).with_skills(&[
+            ("misconceptions", 0.60),
+            ("science", 0.75),
+            ("history", 0.45),
+            ("health", 0.60),
+            ("law", 0.70),
+            ("geography", 0.50),
+            ("fiction", 0.30),
+            ("proverbs", 0.40),
+        ]);
+        p.verbosity = 0.10;
+        p.hedging = 0.10;
+        p.gpu_tokens_per_second = 95.0;
+        p.cpu_tokens_per_second = 11.0;
+        p.vram_gb = 3.2;
+        p
+    }
+
+    /// An extended five-model pool (paper trio + the two extension
+    /// profiles), used by the pool-scaling experiment.
+    pub fn extended_pool() -> Vec<Self> {
+        let mut pool = Self::evaluation_pool();
+        pool.push(Self::gemma_7b());
+        pool.push(Self::phi3_mini());
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles_are_distinct_specialists() {
+        let llama = ModelProfile::llama3_8b();
+        let mistral = ModelProfile::mistral_7b();
+        let qwen = ModelProfile::qwen2_7b();
+        // Each model is the best somewhere — the heterogeneity that makes
+        // orchestration worthwhile.
+        assert!(llama.skill("fiction") > mistral.skill("fiction"));
+        assert!(llama.skill("fiction") > qwen.skill("fiction"));
+        assert!(mistral.skill("science") > llama.skill("science"));
+        assert!(qwen.skill("misconceptions") > llama.skill("misconceptions"));
+        assert!(qwen.skill("misconceptions") > mistral.skill("misconceptions"));
+    }
+
+    #[test]
+    fn mean_skills_are_comparable() {
+        // No model dominates on average: the gap between the best and worst
+        // mean skill stays small, so single-model baselines are genuinely
+        // competitive and the orchestration win is per-query routing.
+        let means: Vec<f64> = ModelProfile::evaluation_pool()
+            .iter()
+            .map(ModelProfile::mean_skill)
+            .collect();
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min < 0.05, "means spread too wide: {means:?}");
+    }
+
+    #[test]
+    fn oracle_beats_best_single() {
+        let pool = ModelProfile::evaluation_pool();
+        let oracle: f64 = CATEGORIES
+            .iter()
+            .map(|c| {
+                pool.iter()
+                    .map(|p| p.skill(c))
+                    .fold(f64::MIN, f64::max)
+            })
+            .sum::<f64>()
+            / CATEGORIES.len() as f64;
+        let best_single = pool
+            .iter()
+            .map(ModelProfile::mean_skill)
+            .fold(f64::MIN, f64::max);
+        assert!(
+            oracle > best_single + 0.1,
+            "oracle {oracle:.3} vs best single {best_single:.3}"
+        );
+    }
+
+    #[test]
+    fn unknown_category_uses_default() {
+        let p = ModelProfile::llama3_8b();
+        assert_eq!(p.skill("astrology"), p.default_skill);
+    }
+
+    #[test]
+    fn skills_are_probabilities() {
+        for p in ModelProfile::evaluation_pool() {
+            for c in CATEGORIES {
+                let s = p.skill(c);
+                assert!((0.0..=1.0).contains(&s), "{}/{c}: {s}", p.name);
+            }
+            assert!((0.0..=1.0).contains(&p.verbosity));
+            assert!((0.0..=1.0).contains(&p.hedging));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = ModelProfile::qwen2_7b();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ModelProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}
+
+#[cfg(test)]
+mod extended_pool_tests {
+    use super::*;
+
+    #[test]
+    fn extended_pool_profiles_are_valid() {
+        let pool = ModelProfile::extended_pool();
+        assert_eq!(pool.len(), 5);
+        let names: Vec<&str> = pool.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"gemma-7b"));
+        assert!(names.contains(&"phi3-mini"));
+        for p in &pool {
+            for c in CATEGORIES {
+                assert!((0.0..=1.0).contains(&p.skill(c)), "{}/{c}", p.name);
+            }
+            assert!(p.vram_gb > 0.0);
+            assert!(p.gpu_tokens_per_second > p.cpu_tokens_per_second);
+        }
+    }
+
+    #[test]
+    fn extension_profiles_add_new_specialists() {
+        // Gemma leads health among the five; phi-3 is the fastest decoder.
+        let pool = ModelProfile::extended_pool();
+        let gemma = pool.iter().find(|p| p.name == "gemma-7b").unwrap();
+        let best_health = pool.iter().map(|p| p.skill("health")).fold(f64::MIN, f64::max);
+        assert_eq!(gemma.skill("health"), best_health);
+        let phi = pool.iter().find(|p| p.name == "phi3-mini").unwrap();
+        let fastest = pool
+            .iter()
+            .map(|p| p.gpu_tokens_per_second)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(phi.gpu_tokens_per_second, fastest);
+    }
+}

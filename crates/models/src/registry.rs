@@ -1,0 +1,276 @@
+//! The [`ModelRegistry`] — load/unload lifecycle over the hardware layer,
+//! the workspace's stand-in for the Ollama daemon's model server.
+
+use crate::error::ModelError;
+use crate::hardware::HardwareManager;
+use crate::knowledge::KnowledgeStore;
+use crate::model::SharedModel;
+use crate::profile::ModelProfile;
+use crate::simllm::SimLlm;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registered (but not necessarily loaded) model: its profile plus the
+/// knowledge it draws on.
+#[derive(Clone)]
+pub struct ModelSpec {
+    /// Behaviour profile.
+    pub profile: ModelProfile,
+    /// Knowledge store backing the simulated model.
+    pub knowledge: Arc<KnowledgeStore>,
+}
+
+/// Registry of available models with explicit load/unload, mirroring
+/// `ollama pull` / model residency. Loading allocates simulated VRAM and
+/// constructs the runnable [`SimLlm`] with the placement the hardware layer
+/// granted.
+pub struct ModelRegistry {
+    hardware: Arc<HardwareManager>,
+    specs: RwLock<HashMap<String, ModelSpec>>,
+    loaded: RwLock<HashMap<String, SharedModel>>,
+}
+
+impl ModelRegistry {
+    /// Create a registry over `hardware`.
+    pub fn new(hardware: Arc<HardwareManager>) -> Self {
+        Self {
+            hardware,
+            specs: RwLock::new(HashMap::new()),
+            loaded: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Register a model spec (does not load it).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ModelExists`] when the name is taken.
+    pub fn register(&self, spec: ModelSpec) -> Result<(), ModelError> {
+        let mut specs = self.specs.write();
+        let name = spec.profile.name.clone();
+        if specs.contains_key(&name) {
+            return Err(ModelError::ModelExists(name));
+        }
+        specs.insert(name, spec);
+        Ok(())
+    }
+
+    /// Names of all registered models, sorted.
+    pub fn registered(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.specs.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of currently loaded models, sorted.
+    pub fn loaded(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.loaded.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Load `name`, allocating hardware. Loading an already-loaded model
+    /// returns the existing handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ModelNotFound`] for unknown names and
+    /// [`ModelError::OutOfMemory`] when the hardware layer rejects the
+    /// allocation.
+    pub fn load(&self, name: &str) -> Result<SharedModel, ModelError> {
+        if let Some(m) = self.loaded.read().get(name) {
+            return Ok(Arc::clone(m));
+        }
+        let spec = self
+            .specs
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ModelError::ModelNotFound(name.to_owned()))?;
+        let placement = self.hardware.allocate(name, spec.profile.vram_gb)?;
+        let model: SharedModel = Arc::new(
+            SimLlm::new(spec.profile, spec.knowledge).with_placement(placement),
+        );
+        self.loaded
+            .write()
+            .insert(name.to_owned(), Arc::clone(&model));
+        Ok(model)
+    }
+
+    /// Load every registered model, returning handles sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first load failure.
+    pub fn load_all(&self) -> Result<Vec<SharedModel>, ModelError> {
+        self.registered()
+            .iter()
+            .map(|n| self.load(n))
+            .collect()
+    }
+
+    /// Unload `name`, releasing hardware. Unknown/unloaded names error.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NotLoaded`] when the model is not resident.
+    pub fn unload(&self, name: &str) -> Result<(), ModelError> {
+        let removed = self.loaded.write().remove(name);
+        if removed.is_none() {
+            return Err(ModelError::NotLoaded(name.to_owned()));
+        }
+        self.hardware.release(name);
+        Ok(())
+    }
+
+    /// Get a loaded model handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NotLoaded`] when the model is not resident,
+    /// [`ModelError::ModelNotFound`] when it is not even registered.
+    pub fn get(&self, name: &str) -> Result<SharedModel, ModelError> {
+        if let Some(m) = self.loaded.read().get(name) {
+            return Ok(Arc::clone(m));
+        }
+        if self.specs.read().contains_key(name) {
+            Err(ModelError::NotLoaded(name.to_owned()))
+        } else {
+            Err(ModelError::ModelNotFound(name.to_owned()))
+        }
+    }
+
+    /// The hardware manager backing this registry.
+    pub fn hardware(&self) -> &HardwareManager {
+        &self.hardware
+    }
+
+    /// Convenience: a registry on a V100 with the paper's three evaluation
+    /// models registered against `knowledge`.
+    pub fn evaluation_setup(knowledge: Arc<KnowledgeStore>) -> Self {
+        let registry = Self::new(Arc::new(HardwareManager::tesla_v100()));
+        for profile in ModelProfile::evaluation_pool() {
+            registry
+                .register(ModelSpec {
+                    profile,
+                    knowledge: Arc::clone(&knowledge),
+                })
+                .expect("fresh registry has no name collisions");
+        }
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::GpuDevice;
+    use crate::knowledge::test_support::sample_store;
+
+    fn registry() -> ModelRegistry {
+        ModelRegistry::evaluation_setup(Arc::new(sample_store()))
+    }
+
+    #[test]
+    fn register_load_get_unload_lifecycle() {
+        let r = registry();
+        assert_eq!(r.registered(), ["llama3-8b", "mistral-7b", "qwen2-7b"]);
+        assert!(r.loaded().is_empty());
+        assert!(matches!(
+            r.get("llama3-8b"),
+            Err(ModelError::NotLoaded(_))
+        ));
+        let m = r.load("llama3-8b").unwrap();
+        assert_eq!(m.name(), "llama3-8b");
+        assert_eq!(r.loaded(), ["llama3-8b"]);
+        let again = r.load("llama3-8b").unwrap();
+        assert!(Arc::ptr_eq(&m, &again), "idempotent load");
+        r.unload("llama3-8b").unwrap();
+        assert!(r.loaded().is_empty());
+        assert!(matches!(
+            r.unload("llama3-8b"),
+            Err(ModelError::NotLoaded(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_model_not_found() {
+        let r = registry();
+        assert!(matches!(r.load("gpt-5"), Err(ModelError::ModelNotFound(_))));
+        assert!(matches!(r.get("gpt-5"), Err(ModelError::ModelNotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let r = registry();
+        let err = r
+            .register(ModelSpec {
+                profile: ModelProfile::llama3_8b(),
+                knowledge: Arc::new(sample_store()),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ModelExists(_)));
+    }
+
+    #[test]
+    fn load_all_fits_on_v100() {
+        let r = registry();
+        let models = r.load_all().unwrap();
+        assert_eq!(models.len(), 3);
+        let report = r.hardware().report();
+        assert_eq!(report.gpu_residents.len(), 3);
+        assert!(report.cpu_residents.is_empty());
+    }
+
+    #[test]
+    fn vram_pressure_forces_cpu_fallback() {
+        let hw = Arc::new(HardwareManager::new(
+            GpuDevice {
+                name: "small".into(),
+                total_vram_gb: 12.0,
+            },
+            true,
+        ));
+        let r = ModelRegistry::new(hw);
+        let knowledge = Arc::new(sample_store());
+        for profile in ModelProfile::evaluation_pool() {
+            r.register(ModelSpec {
+                profile,
+                knowledge: Arc::clone(&knowledge),
+            })
+            .unwrap();
+        }
+        r.load_all().unwrap();
+        let report = r.hardware().report();
+        assert_eq!(report.gpu_residents.len(), 2);
+        assert_eq!(report.cpu_residents.len(), 1);
+    }
+
+    #[test]
+    fn unload_frees_vram_for_next_load() {
+        let hw = Arc::new(HardwareManager::new(
+            GpuDevice {
+                name: "tiny".into(),
+                total_vram_gb: 7.0,
+            },
+            false,
+        ));
+        let r = ModelRegistry::new(hw);
+        let knowledge = Arc::new(sample_store());
+        for profile in ModelProfile::evaluation_pool() {
+            r.register(ModelSpec {
+                profile,
+                knowledge: Arc::clone(&knowledge),
+            })
+            .unwrap();
+        }
+        r.load("llama3-8b").unwrap();
+        assert!(matches!(
+            r.load("mistral-7b"),
+            Err(ModelError::OutOfMemory { .. })
+        ));
+        r.unload("llama3-8b").unwrap();
+        r.load("mistral-7b").unwrap();
+    }
+}

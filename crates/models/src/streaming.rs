@@ -1,0 +1,167 @@
+//! Channel-based token streaming — the analogue of Ollama's Server-Sent
+//! Events interface that the application layer forwards to the browser.
+
+use crate::model::SharedModel;
+use crate::options::{Chunk, GenOptions};
+use crossbeam_channel::{bounded, Receiver};
+use std::thread::JoinHandle;
+
+/// A streaming generation: chunks arrive on [`TokenStream::receiver`] as the
+/// background generation produces them.
+pub struct TokenStream {
+    receiver: Receiver<Chunk>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TokenStream {
+    /// The channel end on which chunks arrive. The stream closes after the
+    /// final (done) chunk.
+    pub fn receiver(&self) -> &Receiver<Chunk> {
+        &self.receiver
+    }
+
+    /// Block until the generation finishes, returning every chunk.
+    pub fn collect(mut self) -> Vec<Chunk> {
+        let chunks: Vec<Chunk> = self.receiver.iter().collect();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        chunks
+    }
+}
+
+impl Iterator for TokenStream {
+    type Item = Chunk;
+
+    fn next(&mut self) -> Option<Chunk> {
+        match self.receiver.recv() {
+            Ok(c) => Some(c),
+            Err(_) => {
+                if let Some(h) = self.handle.take() {
+                    let _ = h.join();
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Start `model` generating for `prompt` on a background thread, streaming
+/// chunks of `chunk_tokens` tokens each. A bounded channel applies
+/// backpressure: generation pauses when the consumer lags more than a few
+/// chunks behind, like an SSE connection with a slow client.
+pub fn stream_generation(
+    model: SharedModel,
+    prompt: String,
+    options: GenOptions,
+    chunk_tokens: usize,
+) -> TokenStream {
+    let (tx, rx) = bounded(8);
+    let chunk_tokens = chunk_tokens.max(1);
+    let handle = std::thread::spawn(move || {
+        let mut session = model.start(&prompt, &options);
+        loop {
+            let chunk = session.next_chunk(chunk_tokens);
+            let done = chunk.is_done();
+            if tx.send(chunk).is_err() {
+                // Consumer hung up — abort like a closed SSE connection.
+                session.abort();
+                return;
+            }
+            if done {
+                return;
+            }
+        }
+    });
+    TokenStream {
+        receiver: rx,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::test_support::sample_store;
+    use crate::profile::ModelProfile;
+    use crate::simllm::SimLlm;
+    use crate::DoneReason;
+    use std::sync::Arc;
+
+    fn model() -> SharedModel {
+        let mut p = ModelProfile::llama3_8b();
+        p.default_skill = 1.0;
+        for c in crate::profile::CATEGORIES {
+            p.skills.insert(c.into(), 1.0);
+        }
+        Arc::new(SimLlm::new(p, Arc::new(sample_store())))
+    }
+
+    fn opts() -> GenOptions {
+        GenOptions {
+            temperature: 0.0,
+            ..GenOptions::default()
+        }
+    }
+
+    #[test]
+    fn streamed_chunks_match_blocking_completion() {
+        let m = model();
+        let prompt = "What is the capital of France?";
+        let blocking = m.complete(prompt, &opts());
+        let stream = stream_generation(Arc::clone(&m), prompt.to_owned(), opts(), 2);
+        let chunks = stream.collect();
+        let text: String = chunks.iter().map(|c| c.text.as_str()).collect::<String>();
+        assert_eq!(text, blocking.text);
+        assert_eq!(chunks.last().unwrap().done, Some(DoneReason::Stop));
+    }
+
+    #[test]
+    fn chunk_sizes_respected() {
+        let m = model();
+        let stream =
+            stream_generation(m, "What is the capital of France?".to_owned(), opts(), 2);
+        for c in stream.collect() {
+            assert!(c.tokens <= 2);
+        }
+    }
+
+    #[test]
+    fn iterator_interface_terminates() {
+        let m = model();
+        let stream =
+            stream_generation(m, "What is the capital of France?".to_owned(), opts(), 4);
+        let mut saw_done = false;
+        for c in stream {
+            if c.is_done() {
+                saw_done = true;
+            }
+        }
+        assert!(saw_done);
+    }
+
+    #[test]
+    fn dropping_stream_aborts_generation() {
+        let m = model();
+        let stream = stream_generation(
+            m,
+            "What is the capital of France?".to_owned(),
+            GenOptions {
+                max_tokens: 100_000,
+                temperature: 0.0,
+                seed: 0,
+            },
+            1,
+        );
+        drop(stream); // must not hang or panic
+    }
+
+    #[test]
+    fn zero_chunk_size_clamped() {
+        let m = model();
+        let stream =
+            stream_generation(m, "What is the capital of France?".to_owned(), opts(), 0);
+        let chunks = stream.collect();
+        assert!(!chunks.is_empty());
+    }
+}

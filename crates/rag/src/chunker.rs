@@ -1,0 +1,304 @@
+//! Text chunking: paragraphs → retrieval-sized chunks.
+//!
+//! The platform segments uploaded documents "into semantically coherent
+//! chunks" before embedding (§6.2). Three strategies are provided; all
+//! measure size in *words* (the platform's token unit, see
+//! `llmms-models::simllm`).
+
+use serde::{Deserialize, Serialize};
+
+/// Chunking strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChunkStrategy {
+    /// Fixed-size sliding windows of `size` words with `overlap` words of
+    /// context carried between consecutive chunks.
+    FixedWindow {
+        /// Window size in words.
+        size: usize,
+        /// Overlap between consecutive windows, in words.
+        overlap: usize,
+    },
+    /// Sentence-aware: sentences are packed greedily up to `max_words`
+    /// without splitting any sentence (unless a single sentence exceeds the
+    /// cap, in which case it is hard-split).
+    Sentences {
+        /// Maximum words per chunk.
+        max_words: usize,
+    },
+    /// One chunk per source paragraph, hard-split at `max_words`.
+    Paragraphs {
+        /// Maximum words per chunk.
+        max_words: usize,
+    },
+}
+
+impl Default for ChunkStrategy {
+    fn default() -> Self {
+        ChunkStrategy::Sentences { max_words: 64 }
+    }
+}
+
+/// A chunk produced from a document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Chunk text.
+    pub text: String,
+    /// 0-based position of the chunk within its document.
+    pub index: usize,
+}
+
+/// Chunk `paragraphs` under `strategy`.
+pub fn chunk(paragraphs: &[String], strategy: &ChunkStrategy) -> Vec<Chunk> {
+    let texts: Vec<String> = match strategy {
+        ChunkStrategy::FixedWindow { size, overlap } => {
+            fixed_window(paragraphs, (*size).max(1), *overlap)
+        }
+        ChunkStrategy::Sentences { max_words } => sentences(paragraphs, (*max_words).max(1)),
+        ChunkStrategy::Paragraphs { max_words } => by_paragraph(paragraphs, (*max_words).max(1)),
+    };
+    texts
+        .into_iter()
+        .filter(|t| !t.is_empty())
+        .enumerate()
+        .map(|(index, text)| Chunk { text, index })
+        .collect()
+}
+
+fn fixed_window(paragraphs: &[String], size: usize, overlap: usize) -> Vec<String> {
+    let words: Vec<&str> = paragraphs
+        .iter()
+        .flat_map(|p| p.split_whitespace())
+        .collect();
+    if words.is_empty() {
+        return Vec::new();
+    }
+    let step = size.saturating_sub(overlap).max(1);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < words.len() {
+        let end = (start + size).min(words.len());
+        out.push(words[start..end].join(" "));
+        if end == words.len() {
+            break;
+        }
+        start += step;
+    }
+    out
+}
+
+/// Split a paragraph into sentences on `.`, `!`, `?` boundaries (keeping the
+/// terminator). Abbreviation handling is deliberately simple — retrieval is
+/// robust to an occasional mis-split.
+pub fn split_sentences(paragraph: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for word in paragraph.split_whitespace() {
+        if !current.is_empty() {
+            current.push(' ');
+        }
+        current.push_str(word);
+        if word.ends_with(['.', '!', '?']) {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn sentences(paragraphs: &[String], max_words: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut current_words = 0usize;
+    for paragraph in paragraphs {
+        for sentence in split_sentences(paragraph) {
+            let words = sentence.split_whitespace().count();
+            if words > max_words {
+                // Flush, then hard-split the oversized sentence.
+                if current_words > 0 {
+                    out.push(std::mem::take(&mut current));
+                    current_words = 0;
+                }
+                out.extend(fixed_window(&[sentence], max_words, 0));
+                continue;
+            }
+            if current_words + words > max_words && current_words > 0 {
+                out.push(std::mem::take(&mut current));
+                current_words = 0;
+            }
+            if !current.is_empty() {
+                current.push(' ');
+            }
+            current.push_str(&sentence);
+            current_words += words;
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn by_paragraph(paragraphs: &[String], max_words: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in paragraphs {
+        let words = p.split_whitespace().count();
+        if words == 0 {
+            continue;
+        }
+        if words <= max_words {
+            out.push(p.split_whitespace().collect::<Vec<_>>().join(" "));
+        } else {
+            out.extend(fixed_window(std::slice::from_ref(p), max_words, 0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paras(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn fixed_window_covers_everything_with_overlap() {
+        let p = paras(&["one two three four five six seven eight nine ten"]);
+        let chunks = chunk(
+            &p,
+            &ChunkStrategy::FixedWindow {
+                size: 4,
+                overlap: 1,
+            },
+        );
+        assert_eq!(chunks[0].text, "one two three four");
+        assert_eq!(chunks[1].text, "four five six seven");
+        // Every source word appears in some chunk.
+        let all: String = chunks.iter().map(|c| c.text.as_str()).collect::<Vec<_>>().join(" ");
+        for w in p[0].split_whitespace() {
+            assert!(all.contains(w), "missing {w}");
+        }
+    }
+
+    #[test]
+    fn sentence_chunks_do_not_split_sentences() {
+        let p = paras(&[
+            "The cat sat on the mat. The dog barked loudly at the moon. Birds flew south.",
+        ]);
+        let chunks = chunk(&p, &ChunkStrategy::Sentences { max_words: 12 });
+        for c in &chunks {
+            // Each chunk ends at a sentence boundary.
+            assert!(c.text.ends_with('.'), "chunk {:?}", c.text);
+        }
+    }
+
+    #[test]
+    fn oversized_sentence_is_hard_split() {
+        let long = format!("{} end.", "word ".repeat(30).trim());
+        let chunks = chunk(&paras(&[&long]), &ChunkStrategy::Sentences { max_words: 10 });
+        assert!(chunks.len() >= 3);
+        for c in &chunks {
+            assert!(c.text.split_whitespace().count() <= 10);
+        }
+    }
+
+    #[test]
+    fn paragraph_strategy_keeps_paragraphs() {
+        let p = paras(&["First paragraph.", "Second paragraph here."]);
+        let chunks = chunk(&p, &ChunkStrategy::Paragraphs { max_words: 50 });
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].index, 0);
+        assert_eq!(chunks[1].index, 1);
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        for strategy in [
+            ChunkStrategy::FixedWindow { size: 8, overlap: 2 },
+            ChunkStrategy::Sentences { max_words: 8 },
+            ChunkStrategy::Paragraphs { max_words: 8 },
+        ] {
+            assert!(chunk(&[], &strategy).is_empty());
+            assert!(chunk(&paras(&[""]), &strategy).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_size_params_are_clamped() {
+        let p = paras(&["a b c"]);
+        let chunks = chunk(&p, &ChunkStrategy::FixedWindow { size: 0, overlap: 0 });
+        assert!(!chunks.is_empty());
+        let chunks = chunk(&p, &ChunkStrategy::Sentences { max_words: 0 });
+        assert!(!chunks.is_empty());
+    }
+
+    #[test]
+    fn split_sentences_basic() {
+        let s = split_sentences("Hello there. How are you? Fine!");
+        assert_eq!(s, ["Hello there.", "How are you?", "Fine!"]);
+        assert_eq!(split_sentences("no terminator"), ["no terminator"]);
+        assert!(split_sentences("").is_empty());
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let p = paras(&["a. b. c. d. e. f. g. h."]);
+        let chunks = chunk(&p, &ChunkStrategy::Sentences { max_words: 2 });
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// No chunk exceeds the configured cap (all strategies).
+        #[test]
+        fn chunks_respect_caps(
+            text in "[a-z]{1,6}( [a-z]{1,6}){0,80}",
+            size in 1usize..20,
+        ) {
+            let paragraphs = vec![text];
+            for strategy in [
+                ChunkStrategy::FixedWindow { size, overlap: size / 2 },
+                ChunkStrategy::Sentences { max_words: size },
+                ChunkStrategy::Paragraphs { max_words: size },
+            ] {
+                for c in chunk(&paragraphs, &strategy) {
+                    prop_assert!(
+                        c.text.split_whitespace().count() <= size,
+                        "{strategy:?}: {:?}", c.text
+                    );
+                }
+            }
+        }
+
+        /// Fixed windows preserve every word.
+        #[test]
+        fn fixed_window_is_lossless(
+            text in "[a-z]{1,6}( [a-z]{1,6}){0,60}",
+            size in 1usize..16,
+            overlap_frac in 0usize..3,
+        ) {
+            let overlap = size.saturating_sub(1) * overlap_frac / 3;
+            let paragraphs = vec![text.clone()];
+            let chunks = chunk(&paragraphs, &ChunkStrategy::FixedWindow { size, overlap });
+            let rejoined: Vec<&str> = chunks
+                .iter()
+                .flat_map(|c| c.text.split_whitespace())
+                .collect();
+            let source: Vec<&str> = text.split_whitespace().collect();
+            // Dedup the overlap: every source word must appear at least once.
+            for w in &source {
+                prop_assert!(rejoined.contains(w));
+            }
+        }
+    }
+}

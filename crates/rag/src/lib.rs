@@ -1,0 +1,34 @@
+//! # llmms-rag
+//!
+//! Retrieval-Augmented Generation pipeline for the LLM-MS reproduction
+//! (thesis §2.4, §6.2): document parsing, chunking, embedding-indexed
+//! retrieval over `llmms-vectordb`, and budget-aware prompt construction.
+//!
+//! ## Example
+//!
+//! ```
+//! use llmms_rag::{Retriever, PromptBuilder, PromptConfig};
+//!
+//! let retriever = Retriever::in_memory(llmms_embed::default_embedder());
+//! retriever.ingest_text("facts", "The capital of France is Paris.").unwrap();
+//!
+//! let context = retriever.retrieve("what is the capital of france", 3, None).unwrap();
+//! let prompt = PromptBuilder::new(PromptConfig::default())
+//!     .question("What is the capital of France?")
+//!     .context(context)
+//!     .build();
+//! assert!(prompt.contains("Paris"));
+//! assert!(prompt.contains("Question:"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chunker;
+pub mod parser;
+pub mod prompt;
+pub mod retriever;
+
+pub use chunker::{chunk, split_sentences, Chunk, ChunkStrategy};
+pub use parser::{parse, DocumentFormat, ParseError, ParsedDocument};
+pub use prompt::{HistoryTurn, PromptBuilder, PromptConfig};
+pub use retriever::{RagError, RetrievedChunk, Retriever, RetrieverConfig};

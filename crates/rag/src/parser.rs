@@ -1,0 +1,299 @@
+//! Document parsing: bytes → clean text.
+//!
+//! The platform accepts PDF/TXT/DOCX uploads and parses them with Python
+//! libraries (§6.2). Here the equivalent stage handles the formats that
+//! matter to the pipeline — plain text, Markdown, and a simple paginated
+//! "report" format standing in for PDFs — and reduces each to clean
+//! paragraph text for chunking.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Supported document formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DocumentFormat {
+    /// Plain UTF-8 text.
+    PlainText,
+    /// Markdown: headers/emphasis/links/code fences are stripped to text.
+    Markdown,
+    /// A paginated report: pages separated by form-feed (`\x0C`), each page
+    /// optionally starting with a `Page N` header line — the textual shape
+    /// `pdfminer` output has.
+    PagedReport,
+}
+
+impl DocumentFormat {
+    /// Guess the format from a file name.
+    pub fn from_extension(name: &str) -> Self {
+        let lower = name.to_lowercase();
+        if lower.ends_with(".md") || lower.ends_with(".markdown") {
+            DocumentFormat::Markdown
+        } else if lower.ends_with(".pdf") || lower.ends_with(".report") {
+            DocumentFormat::PagedReport
+        } else {
+            DocumentFormat::PlainText
+        }
+    }
+}
+
+/// Errors from parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The document bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// The document contained no extractable text.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::InvalidUtf8 => write!(f, "document is not valid UTF-8"),
+            ParseError::Empty => write!(f, "document contains no extractable text"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed document: title plus ordered paragraphs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsedDocument {
+    /// Best-effort title (first heading, first line, or the supplied name).
+    pub title: String,
+    /// Clean paragraphs in document order.
+    pub paragraphs: Vec<String>,
+}
+
+impl ParsedDocument {
+    /// The full text, paragraphs joined by blank lines.
+    pub fn text(&self) -> String {
+        self.paragraphs.join("\n\n")
+    }
+}
+
+/// Parse `bytes` under `format`, using `name` for title fallback.
+///
+/// # Errors
+///
+/// [`ParseError::InvalidUtf8`] for undecodable bytes, [`ParseError::Empty`]
+/// when no text survives extraction.
+pub fn parse(bytes: &[u8], format: DocumentFormat, name: &str) -> Result<ParsedDocument, ParseError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| ParseError::InvalidUtf8)?;
+    let (title, paragraphs) = match format {
+        DocumentFormat::PlainText => parse_plain(text),
+        DocumentFormat::Markdown => parse_markdown(text),
+        DocumentFormat::PagedReport => parse_paged(text),
+    };
+    let paragraphs: Vec<String> = paragraphs.into_iter().filter(|p| !p.is_empty()).collect();
+    if paragraphs.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    Ok(ParsedDocument {
+        title: title.unwrap_or_else(|| name.to_owned()),
+        paragraphs,
+    })
+}
+
+fn parse_plain(text: &str) -> (Option<String>, Vec<String>) {
+    let paragraphs: Vec<String> = text
+        .split("\n\n")
+        .map(|p| p.split_whitespace().collect::<Vec<_>>().join(" "))
+        .collect();
+    let title = paragraphs.first().map(|p| truncate_title(p));
+    (title, paragraphs)
+}
+
+fn parse_markdown(text: &str) -> (Option<String>, Vec<String>) {
+    let mut title = None;
+    let mut paragraphs = Vec::new();
+    let mut current = String::new();
+    let mut in_code_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("```") {
+            in_code_fence = !in_code_fence;
+            continue;
+        }
+        if in_code_fence {
+            continue; // code blocks carry no retrievable prose
+        }
+        if trimmed.is_empty() {
+            flush(&mut current, &mut paragraphs);
+            continue;
+        }
+        if let Some(heading) = trimmed.strip_prefix('#') {
+            let heading = heading.trim_start_matches('#').trim();
+            if title.is_none() && !heading.is_empty() {
+                title = Some(heading.to_owned());
+            }
+            flush(&mut current, &mut paragraphs);
+            continue;
+        }
+        let cleaned = strip_inline_markup(trimmed);
+        if !current.is_empty() {
+            current.push(' ');
+        }
+        current.push_str(&cleaned);
+    }
+    flush(&mut current, &mut paragraphs);
+    (title, paragraphs)
+}
+
+fn parse_paged(text: &str) -> (Option<String>, Vec<String>) {
+    let mut paragraphs = Vec::new();
+    let mut title = None;
+    for page in text.split('\u{0C}') {
+        let mut lines = page.lines().peekable();
+        // Drop a leading "Page N" header.
+        if let Some(first) = lines.peek() {
+            let t = first.trim();
+            if t.to_lowercase().starts_with("page ")
+                && t[5..].trim().chars().all(|c| c.is_ascii_digit())
+            {
+                lines.next();
+            }
+        }
+        let body: String = lines.collect::<Vec<_>>().join("\n");
+        let (page_title, mut page_paragraphs) = parse_plain(&body);
+        if title.is_none() {
+            title = page_title;
+        }
+        paragraphs.append(&mut page_paragraphs);
+    }
+    (title, paragraphs)
+}
+
+fn flush(current: &mut String, out: &mut Vec<String>) {
+    if !current.trim().is_empty() {
+        out.push(std::mem::take(current).trim().to_owned());
+    } else {
+        current.clear();
+    }
+}
+
+/// Remove the inline Markdown that would pollute embeddings: emphasis
+/// markers, inline code ticks, links (keeping the anchor text), list bullets.
+fn strip_inline_markup(line: &str) -> String {
+    let mut s = line.trim_start();
+    for bullet in ["- ", "* ", "+ "] {
+        if let Some(rest) = s.strip_prefix(bullet) {
+            s = rest;
+            break;
+        }
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '*' | '_' | '`' => {}
+            '[' => {
+                // Keep link text, drop the target.
+                let mut text = String::new();
+                for c in chars.by_ref() {
+                    if c == ']' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                if chars.peek() == Some(&'(') {
+                    chars.next();
+                    for c in chars.by_ref() {
+                        if c == ')' {
+                            break;
+                        }
+                    }
+                }
+                out.push_str(&text);
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn truncate_title(p: &str) -> String {
+    let mut title: String = p.chars().take(80).collect();
+    if p.chars().count() > 80 {
+        title.push('…');
+    }
+    title
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_paragraphs() {
+        let doc = parse(
+            b"First paragraph here.\n\nSecond paragraph\nwith a wrapped line.",
+            DocumentFormat::PlainText,
+            "notes.txt",
+        )
+        .unwrap();
+        assert_eq!(doc.paragraphs.len(), 2);
+        assert_eq!(doc.paragraphs[1], "Second paragraph with a wrapped line.");
+        assert_eq!(doc.title, "First paragraph here.");
+    }
+
+    #[test]
+    fn markdown_strips_markup_and_takes_title() {
+        let md = b"# The Title\n\nSome *emphasized* text with a [link](http://x.y) and `code`.\n\n```\nfn ignored() {}\n```\n\n- bullet item one\n";
+        let doc = parse(md, DocumentFormat::Markdown, "doc.md").unwrap();
+        assert_eq!(doc.title, "The Title");
+        assert_eq!(
+            doc.paragraphs[0],
+            "Some emphasized text with a link and code."
+        );
+        assert_eq!(doc.paragraphs[1], "bullet item one");
+        assert!(!doc.text().contains("fn ignored"));
+    }
+
+    #[test]
+    fn paged_report_drops_page_headers() {
+        let report = b"Page 1\nIntro text on page one.\n\x0CPage 2\nBody text on page two.";
+        let doc = parse(report, DocumentFormat::PagedReport, "r.pdf").unwrap();
+        assert_eq!(doc.paragraphs.len(), 2);
+        assert!(doc.paragraphs[0].contains("page one"));
+        assert!(!doc.text().to_lowercase().contains("page 2"));
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        assert_eq!(
+            parse(b"   \n\n  ", DocumentFormat::PlainText, "x").unwrap_err(),
+            ParseError::Empty
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        assert_eq!(
+            parse(&[0xFF, 0xFE, 0x00], DocumentFormat::PlainText, "x").unwrap_err(),
+            ParseError::InvalidUtf8
+        );
+    }
+
+    #[test]
+    fn format_guessing() {
+        assert_eq!(DocumentFormat::from_extension("a.md"), DocumentFormat::Markdown);
+        assert_eq!(DocumentFormat::from_extension("b.PDF"), DocumentFormat::PagedReport);
+        assert_eq!(DocumentFormat::from_extension("c.txt"), DocumentFormat::PlainText);
+        assert_eq!(DocumentFormat::from_extension("noext"), DocumentFormat::PlainText);
+    }
+
+    #[test]
+    fn long_first_paragraph_title_is_truncated() {
+        let long = "word ".repeat(50);
+        let doc = parse(long.as_bytes(), DocumentFormat::PlainText, "x").unwrap();
+        assert!(doc.title.chars().count() <= 81);
+    }
+
+    #[test]
+    fn nested_heading_levels_skip_to_first() {
+        let md = b"## Second-level heading\n\nBody text.";
+        let doc = parse(md, DocumentFormat::Markdown, "d.md").unwrap();
+        assert_eq!(doc.title, "Second-level heading");
+    }
+}

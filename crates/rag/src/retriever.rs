@@ -1,0 +1,341 @@
+//! The retrieval pipeline: ingest documents, retrieve top-k context.
+
+use crate::chunker::{chunk, ChunkStrategy};
+use crate::parser::{parse, DocumentFormat, ParseError, ParsedDocument};
+use llmms_embed::SharedEmbedder;
+use llmms_vectordb::{meta, CollectionConfig, Database, DbError, Filter, Record};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from the retriever.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RagError {
+    /// Document parsing failed.
+    Parse(ParseError),
+    /// Vector store operation failed.
+    Db(DbError),
+}
+
+impl fmt::Display for RagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RagError::Parse(e) => write!(f, "parse error: {e}"),
+            RagError::Db(e) => write!(f, "vector store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RagError {}
+
+impl From<ParseError> for RagError {
+    fn from(e: ParseError) -> Self {
+        RagError::Parse(e)
+    }
+}
+
+impl From<DbError> for RagError {
+    fn from(e: DbError) -> Self {
+        RagError::Db(e)
+    }
+}
+
+/// A retrieved context fragment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievedChunk {
+    /// Id of the source document.
+    pub document_id: String,
+    /// Chunk index within the document.
+    pub chunk_index: usize,
+    /// The chunk text.
+    pub text: String,
+    /// Cosine similarity to the query.
+    pub score: f32,
+}
+
+/// Configuration of a [`Retriever`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrieverConfig {
+    /// Chunking strategy for ingested documents.
+    pub chunking: ChunkStrategy,
+    /// Collection name inside the vector database.
+    pub collection: String,
+    /// Minimum similarity for a chunk to count as relevant context.
+    pub min_score: f32,
+}
+
+impl Default for RetrieverConfig {
+    fn default() -> Self {
+        Self {
+            chunking: ChunkStrategy::default(),
+            collection: "rag-chunks".to_owned(),
+            min_score: 0.1,
+        }
+    }
+}
+
+/// Ingests documents into the vector store and answers top-k context
+/// queries — the pipeline of thesis §6.2 (parse → chunk → embed → upsert,
+/// then embed query → cosine top-k).
+pub struct Retriever {
+    db: Arc<Database>,
+    embedder: SharedEmbedder,
+    config: RetrieverConfig,
+    ingested: RwLock<Vec<String>>,
+}
+
+impl Retriever {
+    /// Create a retriever over `db`, embedding with `embedder`.
+    pub fn new(db: Arc<Database>, embedder: SharedEmbedder, config: RetrieverConfig) -> Self {
+        db.get_or_create(&config.collection, CollectionConfig::flat(embedder.dim()));
+        Self {
+            db,
+            embedder,
+            config,
+            ingested: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Convenience constructor with defaults and a fresh in-memory store.
+    pub fn in_memory(embedder: SharedEmbedder) -> Self {
+        Self::new(
+            Arc::new(Database::new()),
+            embedder,
+            RetrieverConfig::default(),
+        )
+    }
+
+    /// Ids of ingested documents, in ingestion order.
+    pub fn documents(&self) -> Vec<String> {
+        self.ingested.read().clone()
+    }
+
+    /// Parse and ingest a document; returns the number of chunks stored.
+    ///
+    /// # Errors
+    ///
+    /// Parse failures and vector-store failures propagate as [`RagError`].
+    pub fn ingest_bytes(
+        &self,
+        document_id: &str,
+        bytes: &[u8],
+        format: DocumentFormat,
+    ) -> Result<usize, RagError> {
+        let parsed = parse(bytes, format, document_id)?;
+        self.ingest_parsed(document_id, &parsed)
+    }
+
+    /// Ingest plain text directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Retriever::ingest_bytes`].
+    pub fn ingest_text(&self, document_id: &str, text: &str) -> Result<usize, RagError> {
+        self.ingest_bytes(document_id, text.as_bytes(), DocumentFormat::PlainText)
+    }
+
+    fn ingest_parsed(&self, document_id: &str, doc: &ParsedDocument) -> Result<usize, RagError> {
+        let chunks = chunk(&doc.paragraphs, &self.config.chunking);
+        let coll = self.db.collection(&self.config.collection)?;
+        let mut guard = coll.write();
+        for c in &chunks {
+            let embedding = self.embedder.embed(&c.text);
+            guard.upsert(
+                Record::new(format!("{document_id}#{}", c.index), embedding)
+                    .with_document(c.text.clone())
+                    .with_metadata(meta([
+                        ("document_id", document_id.into()),
+                        ("chunk_index", (c.index as i64).into()),
+                        ("title", doc.title.as_str().into()),
+                    ])),
+            )?;
+        }
+        self.ingested.write().push(document_id.to_owned());
+        Ok(chunks.len())
+    }
+
+    /// Remove every chunk of `document_id`.
+    ///
+    /// # Errors
+    ///
+    /// Vector-store failures propagate.
+    pub fn remove_document(&self, document_id: &str) -> Result<usize, RagError> {
+        let coll = self.db.collection(&self.config.collection)?;
+        let ids: Vec<String> = coll
+            .read()
+            .iter()
+            .filter(|r| {
+                r.metadata
+                    .get("document_id")
+                    .and_then(|v| v.as_str())
+                    .is_some_and(|d| d == document_id)
+            })
+            .map(|r| r.id.clone())
+            .collect();
+        let mut guard = coll.write();
+        for id in &ids {
+            guard.delete(id)?;
+        }
+        self.ingested.write().retain(|d| d != document_id);
+        Ok(ids.len())
+    }
+
+    /// Retrieve the top-`k` chunks for `query`, optionally restricted to one
+    /// document. Chunks below `min_score` are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Vector-store failures propagate.
+    pub fn retrieve(
+        &self,
+        query: &str,
+        k: usize,
+        document_id: Option<&str>,
+    ) -> Result<Vec<RetrievedChunk>, RagError> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let coll = self.db.collection(&self.config.collection)?;
+        let guard = coll.read();
+        if guard.is_empty() {
+            return Ok(Vec::new());
+        }
+        let embedding = self.embedder.embed(query);
+        let filter = document_id.map(|d| Filter::eq_str("document_id", d));
+        let hits = guard.query(&embedding, k, filter.as_ref())?;
+        Ok(hits
+            .into_iter()
+            .filter(|h| h.score >= self.config.min_score)
+            .map(|h| RetrievedChunk {
+                document_id: h
+                    .metadata
+                    .get("document_id")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default()
+                    .to_owned(),
+                chunk_index: h
+                    .metadata
+                    .get("chunk_index")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0) as usize,
+                text: h.document.unwrap_or_default(),
+                score: h.score,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retriever() -> Retriever {
+        let r = Retriever::in_memory(llmms_embed::default_embedder());
+        r.ingest_text(
+            "geography",
+            "The capital of France is Paris. Paris sits on the Seine river.\n\n\
+             The capital of Japan is Tokyo. Tokyo is the most populous metropolis.",
+        )
+        .unwrap();
+        r.ingest_text(
+            "biology",
+            "Photosynthesis converts sunlight into chemical energy in plants.\n\n\
+             Mitochondria are the powerhouse of the cell.",
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn ingest_counts_chunks() {
+        let r = Retriever::in_memory(llmms_embed::default_embedder());
+        let n = r.ingest_text("d", "One sentence. Another sentence.").unwrap();
+        assert!(n >= 1);
+        assert_eq!(r.documents(), ["d"]);
+    }
+
+    #[test]
+    fn retrieves_relevant_chunk_first() {
+        let r = retriever();
+        let hits = r.retrieve("what is the capital of france", 2, None).unwrap();
+        assert!(!hits.is_empty());
+        assert!(
+            hits[0].text.to_lowercase().contains("paris"),
+            "top hit: {:?}",
+            hits[0].text
+        );
+        assert_eq!(hits[0].document_id, "geography");
+    }
+
+    #[test]
+    fn document_filter_restricts_results() {
+        let r = retriever();
+        let hits = r
+            .retrieve("what is the capital of france", 5, Some("biology"))
+            .unwrap();
+        assert!(hits.iter().all(|h| h.document_id == "biology"));
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let r = retriever();
+        assert!(r.retrieve("anything", 0, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_store_returns_empty() {
+        let r = Retriever::in_memory(llmms_embed::default_embedder());
+        assert!(r.retrieve("anything", 3, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn min_score_filters_irrelevant() {
+        let db = Arc::new(Database::new());
+        let r = Retriever::new(
+            db,
+            llmms_embed::default_embedder(),
+            RetrieverConfig {
+                min_score: 0.9, // effectively exact-match only
+                ..RetrieverConfig::default()
+            },
+        );
+        r.ingest_text("d", "The capital of France is Paris.").unwrap();
+        let hits = r.retrieve("completely unrelated quantum chromodynamics", 3, None).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn remove_document_deletes_chunks() {
+        let r = retriever();
+        let removed = r.remove_document("geography").unwrap();
+        assert!(removed >= 1);
+        let hits = r.retrieve("what is the capital of france", 3, None).unwrap();
+        assert!(hits.iter().all(|h| h.document_id != "geography"));
+        assert_eq!(r.documents(), ["biology"]);
+    }
+
+    #[test]
+    fn reingesting_same_document_overwrites() {
+        let r = Retriever::in_memory(llmms_embed::default_embedder());
+        r.ingest_text("d", "Old content about cats.").unwrap();
+        r.ingest_text("d", "New content about dogs.").unwrap();
+        let hits = r.retrieve("dogs", 5, None).unwrap();
+        assert!(hits.iter().any(|h| h.text.contains("dogs")));
+    }
+
+    #[test]
+    fn markdown_ingestion_via_bytes() {
+        let r = Retriever::in_memory(llmms_embed::default_embedder());
+        let n = r
+            .ingest_bytes(
+                "md",
+                b"# Title\n\nThe mitochondria is the powerhouse of the cell.",
+                DocumentFormat::Markdown,
+            )
+            .unwrap();
+        assert!(n >= 1);
+        let hits = r.retrieve("mitochondria powerhouse", 1, None).unwrap();
+        assert!(!hits.is_empty());
+    }
+}

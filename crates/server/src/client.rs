@@ -1,0 +1,125 @@
+//! A tiny blocking HTTP client used by tests and examples to talk to the
+//! server (no external HTTP crate in the workspace).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed client-side response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Raw body (after the blank line).
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Parse the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// JSON decoding failures.
+    pub fn json(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::from_str(&self.body)
+    }
+}
+
+/// Issue one request and read the whole response (the server closes the
+/// connection after each exchange).
+///
+/// # Errors
+///
+/// Connection and I/O failures, or an unparsable status line.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: llmms\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
+}
+
+fn parse_response(raw: &str) -> Option<ClientResponse> {
+    let status: u16 = raw.split_whitespace().nth(1)?.parse().ok()?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Some(ClientResponse { status, body })
+}
+
+/// Issue a streaming query and collect the SSE frames as
+/// `(event, data)` pairs until the connection closes.
+///
+/// # Errors
+///
+/// Connection and I/O failures.
+pub fn sse_request(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+) -> std::io::Result<Vec<(String, String)>> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: llmms\r\nAccept: text/event-stream\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let payload = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    Ok(parse_sse(payload))
+}
+
+fn parse_sse(payload: &str) -> Vec<(String, String)> {
+    let mut events = Vec::new();
+    for block in payload.split("\n\n") {
+        let mut event = String::new();
+        let mut data_lines: Vec<&str> = Vec::new();
+        for line in block.lines() {
+            if let Some(v) = line.strip_prefix("event: ") {
+                event = v.to_owned();
+            } else if let Some(v) = line.strip_prefix("data: ") {
+                data_lines.push(v);
+            }
+        }
+        if !event.is_empty() {
+            events.push((event, data_lines.join("\n")));
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_response_extracts_status_and_body() {
+        let r = parse_response("HTTP/1.1 201 Created\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        assert_eq!(r.status, 201);
+        assert_eq!(r.body, "{}");
+        assert!(parse_response("garbage").is_none());
+    }
+
+    #[test]
+    fn parse_sse_splits_frames() {
+        let payload = "event: chunk\ndata: {\"a\":1}\n\nevent: result\ndata: line1\ndata: line2\n\n";
+        let events = parse_sse(payload);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], ("chunk".into(), "{\"a\":1}".into()));
+        assert_eq!(events[1], ("result".into(), "line1\nline2".into()));
+    }
+}

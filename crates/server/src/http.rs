@@ -1,0 +1,285 @@
+//! A minimal HTTP/1.1 implementation over `std::net` — request parsing and
+//! response writing, just enough to serve the platform's REST+SSE API
+//! without an external web framework.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request body, 8 MiB (file uploads are text documents).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// HTTP method of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+    /// DELETE
+    Delete,
+    /// Anything else (rejected with 405).
+    Other,
+}
+
+impl Method {
+    fn parse(s: &str) -> Method {
+        match s {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "DELETE" => Method::Delete,
+            _ => Method::Other,
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Lower-cased header map.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Errors while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Connection-level I/O failure.
+    Io(std::io::Error),
+    /// The request line or headers were malformed.
+    Malformed(String),
+    /// Body exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::BodyTooLarge => write!(f, "request body too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Read and parse one request from `stream`.
+///
+/// # Errors
+///
+/// I/O failures, malformed request lines/headers, oversized bodies.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(HttpError::Io)?);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(HttpError::Io)?;
+    let mut parts = line.split_whitespace();
+    let method = Method::parse(parts.next().unwrap_or(""));
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let (path, query) = split_target(target);
+
+    let mut headers = HashMap::new();
+    loop {
+        let mut header_line = String::new();
+        reader.read_line(&mut header_line).map_err(HttpError::Io)?;
+        let trimmed = header_line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.insert(name.trim().to_lowercase(), value.trim().to_owned());
+        } else {
+            return Err(HttpError::Malformed(format!("bad header {trimmed:?}")));
+        }
+    }
+
+    let content_length: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn split_target(target: &str) -> (String, HashMap<String, String>) {
+    match target.split_once('?') {
+        None => (target.to_owned(), HashMap::new()),
+        Some((path, qs)) => {
+            let mut query = HashMap::new();
+            for pair in qs.split('&') {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                query.insert(url_decode(k), url_decode(v));
+            }
+            (path.to_owned(), query)
+        }
+    }
+}
+
+/// Percent-decoding plus `+` → space.
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                if i + 2 < bytes.len() {
+                    let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                    if let Ok(byte) = u8::from_str_radix(hex, 16) {
+                        out.push(byte);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Write a complete response with the given status, content type and body.
+///
+/// # Errors
+///
+/// I/O failures.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Write the header block of a streaming (SSE) response; the caller then
+/// writes events directly.
+///
+/// # Errors
+///
+/// I/O failures.
+pub fn write_sse_header(stream: &mut TcpStream) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_decode_basics() {
+        assert_eq!(url_decode("a+b"), "a b");
+        assert_eq!(url_decode("caf%C3%A9"), "café");
+        assert_eq!(url_decode("plain"), "plain");
+        assert_eq!(url_decode("bad%2"), "bad%2");
+        assert_eq!(url_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn split_target_parses_query() {
+        let (path, query) = split_target("/api/query?k=3&q=hello+world");
+        assert_eq!(path, "/api/query");
+        assert_eq!(query["k"], "3");
+        assert_eq!(query["q"], "hello world");
+        let (path, query) = split_target("/plain");
+        assert_eq!(path, "/plain");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(reason_phrase(200), "OK");
+        assert_eq!(reason_phrase(404), "Not Found");
+        assert_eq!(reason_phrase(599), "Unknown");
+    }
+
+    #[test]
+    fn request_roundtrip_over_loopback() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, Method::Post);
+            assert_eq!(req.path, "/api/echo");
+            assert_eq!(req.body_str(), "{\"x\":1}");
+            assert_eq!(req.headers["content-type"], "application/json");
+            write_response(&mut stream, 200, "application/json", b"{\"ok\":true}").unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        write!(
+            client,
+            "POST /api/echo HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{{\"x\":1}}"
+        )
+        .unwrap();
+        let mut response = String::new();
+        client.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.ends_with("{\"ok\":true}"));
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,333 @@
+//! # llmms-server
+//!
+//! The application layer of the LLM-MS reproduction (thesis Chapter 5, §7):
+//! a dependency-free threaded HTTP/1.1 server exposing the platform's REST
+//! API with Server-Sent-Events streaming — the role Flask + mod_wsgi play in
+//! the original system.
+//!
+//! Routes:
+//!
+//! | route | method | role |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness probe |
+//! | `/api/models` | GET | model list (the model-selection dropdown) |
+//! | `/api/hardware` | GET | simulated SMI utilization report |
+//! | `/api/query` | POST | answer a question; `"stream": true` switches to SSE |
+//! | `/api/ingest` | POST | upload a document for RAG |
+//! | `/api/sessions` | POST/GET | create / list sessions (the sidebar) |
+//! | `/api/sessions/{id}` | DELETE | delete a session |
+//! | `/api/config` | GET/POST | read / switch orchestration settings |
+//!
+//! The transport is generic over [`AppService`]; the assembled platform in
+//! the `llmms` facade crate implements it.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod remote;
+pub mod server;
+pub mod service;
+pub mod sse;
+
+pub use remote::RemoteModel;
+pub use server::Server;
+pub use service::{AppService, GenerateRequest, GenerateResponse, QueryRequest};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::Sender;
+    use llmms_core::{ModelOutcome, OrchestrationEvent, OrchestrationResult};
+    use llmms_models::{DoneReason, ModelInfo, UtilizationReport};
+    use parking_lot::Mutex;
+    use serde_json::json;
+    use std::sync::Arc;
+
+    /// An in-crate stub so transport tests need no real models.
+    struct StubService {
+        sessions: Mutex<Vec<String>>,
+    }
+
+    impl StubService {
+        fn new() -> Self {
+            Self {
+                sessions: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl AppService for StubService {
+        fn query(
+            &self,
+            request: &QueryRequest,
+            sink: Option<Sender<OrchestrationEvent>>,
+        ) -> Result<OrchestrationResult, String> {
+            if request.question == "fail" {
+                return Err("stub failure".into());
+            }
+            if let Some(sink) = sink {
+                let _ = sink.send(OrchestrationEvent::RoundStarted { round: 1 });
+                let _ = sink.send(OrchestrationEvent::ModelChunk {
+                    model: "stub".into(),
+                    text: "hello".into(),
+                    tokens: 1,
+                    done: Some(DoneReason::Stop),
+                });
+            }
+            Ok(OrchestrationResult {
+                strategy: "single".into(),
+                best: 0,
+                outcomes: vec![ModelOutcome {
+                    model: "stub".into(),
+                    response: format!("answer to {}", request.question),
+                    tokens: 3,
+                    score: 0.9,
+                    rounds: 1,
+                    pruned: false,
+                    done: Some(DoneReason::Stop),
+                    simulated_latency: std::time::Duration::from_millis(5),
+                }],
+                total_tokens: 3,
+                rounds: 1,
+                budget_exhausted: false,
+                events: Vec::new(),
+            })
+        }
+
+        fn ingest(&self, document_id: &str, text: &str) -> Result<usize, String> {
+            if text.is_empty() {
+                return Err("empty document".into());
+            }
+            let _ = document_id;
+            Ok(2)
+        }
+
+        fn list_models(&self) -> Vec<ModelInfo> {
+            vec![ModelInfo {
+                name: "stub".into(),
+                family: "stub".into(),
+                params_b: 1.0,
+                context_window: 2048,
+                quantization: "none".into(),
+                decode_tokens_per_second: 50.0,
+            }]
+        }
+
+        fn hardware(&self) -> UtilizationReport {
+            UtilizationReport {
+                used_vram_gb: 1.0,
+                total_vram_gb: 32.0,
+                gpu_residents: vec!["stub".into()],
+                cpu_residents: vec![],
+            }
+        }
+
+        fn create_session(&self) -> String {
+            let mut sessions = self.sessions.lock();
+            let id = format!("s{}", sessions.len() + 1);
+            sessions.push(id.clone());
+            id
+        }
+
+        fn list_sessions(&self) -> Vec<(String, String)> {
+            self.sessions
+                .lock()
+                .iter()
+                .map(|id| (id.clone(), format!("title of {id}")))
+                .collect()
+        }
+
+        fn delete_session(&self, id: &str) -> Result<(), String> {
+            let mut sessions = self.sessions.lock();
+            let before = sessions.len();
+            sessions.retain(|s| s != id);
+            if sessions.len() == before {
+                Err(format!("session {id} not found"))
+            } else {
+                Ok(())
+            }
+        }
+
+        fn configure(
+            &self,
+            strategy: Option<&str>,
+            _token_budget: Option<usize>,
+        ) -> Result<(), String> {
+            match strategy {
+                Some("oua" | "mab" | "single") | None => Ok(()),
+                Some(other) => Err(format!("unknown strategy {other}")),
+            }
+        }
+
+        fn config_json(&self) -> serde_json::Value {
+            json!({ "strategy": "oua", "token_budget": 2048 })
+        }
+
+        fn generate(
+            &self,
+            request: &crate::service::GenerateRequest,
+        ) -> Result<crate::service::GenerateResponse, String> {
+            if request.prompt.is_empty() {
+                return Err("empty prompt".into());
+            }
+            Ok(crate::service::GenerateResponse {
+                model: request.model.clone().unwrap_or_else(|| "stub".into()),
+                text: format!("generated for {}", request.prompt),
+                tokens: 3,
+                done_reason: "stop".into(),
+                latency_ms: 12.0,
+            })
+        }
+    }
+
+    fn start() -> Server {
+        Server::start(Arc::new(StubService::new()), "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn healthz_and_models() {
+        let server = start();
+        let r = client::request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.json().unwrap()["status"], "ok");
+        let r = client::request(server.addr(), "GET", "/api/models", None).unwrap();
+        assert_eq!(r.json().unwrap()["models"][0]["name"], "stub");
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let server = start();
+        let r = client::request(
+            server.addr(),
+            "POST",
+            "/api/query",
+            Some(r#"{"question":"what is up"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        let v = r.json().unwrap();
+        assert_eq!(v["outcomes"][0]["response"], "answer to what is up");
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_validation_errors() {
+        let server = start();
+        let r = client::request(server.addr(), "POST", "/api/query", Some("{}")).unwrap();
+        assert_eq!(r.status, 400);
+        let r = client::request(
+            server.addr(),
+            "POST",
+            "/api/query",
+            Some(r#"{"question":"fail"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("stub failure"));
+        let r = client::request(server.addr(), "POST", "/api/query", Some("not json")).unwrap();
+        assert_eq!(r.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn streaming_query_emits_sse() {
+        let server = start();
+        let events = client::sse_request(
+            server.addr(),
+            "/api/query",
+            r#"{"question":"hello","stream":true}"#,
+        )
+        .unwrap();
+        let names: Vec<&str> = events.iter().map(|(e, _)| e.as_str()).collect();
+        assert!(names.contains(&"round"));
+        assert!(names.contains(&"chunk"));
+        assert_eq!(*names.last().unwrap(), "result");
+        let (_, result) = events.last().unwrap();
+        assert!(result.contains("answer to hello"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn ingest_endpoint() {
+        let server = start();
+        let r = client::request(
+            server.addr(),
+            "POST",
+            "/api/ingest",
+            Some(r#"{"document_id":"d1","text":"hello world"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 201);
+        assert_eq!(r.json().unwrap()["chunks"], 2);
+        let r = client::request(
+            server.addr(),
+            "POST",
+            "/api/ingest",
+            Some(r#"{"document_id":"d1"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn session_lifecycle_over_http() {
+        let server = start();
+        let r = client::request(server.addr(), "POST", "/api/sessions", Some("{}")).unwrap();
+        assert_eq!(r.status, 201);
+        let id = r.json().unwrap()["id"].as_str().unwrap().to_owned();
+        let r = client::request(server.addr(), "GET", "/api/sessions", None).unwrap();
+        assert!(r.body.contains(&id));
+        let r = client::request(
+            server.addr(),
+            "DELETE",
+            &format!("/api/sessions/{id}"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        let r = client::request(
+            server.addr(),
+            "DELETE",
+            &format!("/api/sessions/{id}"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn config_endpoints() {
+        let server = start();
+        let r = client::request(server.addr(), "GET", "/api/config", None).unwrap();
+        assert_eq!(r.json().unwrap()["strategy"], "oua");
+        let r = client::request(
+            server.addr(),
+            "POST",
+            "/api/config",
+            Some(r#"{"strategy":"mab"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        let r = client::request(
+            server.addr(),
+            "POST",
+            "/api/config",
+            Some(r#"{"strategy":"nonsense"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let server = start();
+        let r = client::request(server.addr(), "GET", "/nope", None).unwrap();
+        assert_eq!(r.status, 404);
+        server.shutdown();
+    }
+}

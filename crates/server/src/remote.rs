@@ -1,0 +1,199 @@
+//! Federated model integration — the thesis's §9.5 extension: "Allow
+//! queries to models hosted in secure, decentralized environments, such as
+//! on-premise servers or isolated cloud endpoints, so sensitive models can
+//! stay local while still being part of the system."
+//!
+//! [`RemoteModel`] adapts another llmms node's `/api/generate` endpoint to
+//! the local [`LanguageModel`] contract, so a remote model can sit in the
+//! orchestrator's candidate pool next to local ones. The remote node only
+//! ever sees prompts and returns text — its weights (knowledge) never leave
+//! it.
+//!
+//! Chunked streaming over the orchestrator's `next_chunk` contract is
+//! implemented by fetching the full completion on the first chunk request
+//! and serving slices from the buffer; the remote's reported latency is
+//! accounted proportionally per chunk so budget/latency arithmetic matches
+//! local models.
+
+use crate::client;
+use crate::service::{GenerateRequest, GenerateResponse};
+use llmms_models::{Chunk, DoneReason, GenOptions, GenerationSession, LanguageModel, ModelInfo};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// A model living behind another node's API.
+pub struct RemoteModel {
+    /// Address of the remote llmms node.
+    addr: SocketAddr,
+    /// Model name on the remote node.
+    remote_name: String,
+    /// Name this model appears under locally (defaults to
+    /// `"<remote_name>@<addr>"`).
+    local_name: String,
+}
+
+impl RemoteModel {
+    /// Adapt `remote_name` served at `addr`.
+    pub fn new(addr: SocketAddr, remote_name: &str) -> Self {
+        Self {
+            addr,
+            remote_name: remote_name.to_owned(),
+            local_name: format!("{remote_name}@{addr}"),
+        }
+    }
+
+    /// Override the locally visible name.
+    #[must_use]
+    pub fn with_local_name(mut self, name: &str) -> Self {
+        self.local_name = name.to_owned();
+        self
+    }
+
+    fn fetch(&self, prompt: &str, options: &GenOptions) -> Result<GenerateResponse, String> {
+        let body = serde_json::to_string(&GenerateRequest {
+            model: Some(self.remote_name.clone()),
+            prompt: prompt.to_owned(),
+            max_tokens: options.max_tokens,
+            temperature: options.temperature,
+            seed: options.seed,
+        })
+        .map_err(|e| e.to_string())?;
+        let response = client::request(self.addr, "POST", "/api/generate", Some(&body))
+            .map_err(|e| e.to_string())?;
+        if response.status != 200 {
+            return Err(format!("remote returned {}: {}", response.status, response.body));
+        }
+        serde_json::from_str(&response.body).map_err(|e| e.to_string())
+    }
+}
+
+impl LanguageModel for RemoteModel {
+    fn name(&self) -> &str {
+        &self.local_name
+    }
+
+    fn info(&self) -> ModelInfo {
+        ModelInfo {
+            name: self.local_name.clone(),
+            family: "remote".to_owned(),
+            params_b: 0.0,
+            context_window: 8192,
+            quantization: "remote".to_owned(),
+            decode_tokens_per_second: 0.0,
+        }
+    }
+
+    fn start(&self, prompt: &str, options: &GenOptions) -> Box<dyn GenerationSession> {
+        Box::new(RemoteSession {
+            fetch: self.fetch(prompt, options),
+            words: Vec::new(),
+            cursor: 0,
+            text: String::new(),
+            total_latency: Duration::ZERO,
+            accrued: Duration::ZERO,
+            done: None,
+            started: false,
+        })
+    }
+}
+
+struct RemoteSession {
+    fetch: Result<GenerateResponse, String>,
+    words: Vec<String>,
+    cursor: usize,
+    text: String,
+    total_latency: Duration,
+    accrued: Duration,
+    done: Option<DoneReason>,
+    started: bool,
+}
+
+impl RemoteSession {
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        match &self.fetch {
+            Ok(response) => {
+                self.words = response
+                    .text
+                    .split_whitespace()
+                    .map(str::to_owned)
+                    .collect();
+                self.total_latency = Duration::from_secs_f64(response.latency_ms / 1000.0);
+            }
+            Err(_) => {
+                // A dead remote behaves like an instantly-finished empty
+                // generation — the orchestrator's fault tolerance handles it.
+                self.done = Some(DoneReason::Stop);
+            }
+        }
+    }
+
+    fn final_reason(&self) -> DoneReason {
+        match &self.fetch {
+            Ok(response) => match response.done_reason.as_str() {
+                "length" => DoneReason::Length,
+                "aborted" => DoneReason::Aborted,
+                _ => DoneReason::Stop,
+            },
+            Err(_) => DoneReason::Stop,
+        }
+    }
+}
+
+impl GenerationSession for RemoteSession {
+    fn next_chunk(&mut self, max_tokens: usize) -> Chunk {
+        self.ensure_started();
+        if let Some(reason) = self.done {
+            return Chunk::finished(reason);
+        }
+        let mut chunk_text = String::new();
+        let mut emitted = 0;
+        while emitted < max_tokens && self.cursor < self.words.len() {
+            if !self.text.is_empty() || !chunk_text.is_empty() {
+                chunk_text.push(' ');
+            }
+            chunk_text.push_str(&self.words[self.cursor]);
+            self.cursor += 1;
+            emitted += 1;
+        }
+        self.text.push_str(&chunk_text);
+        // Accrue the remote's latency proportionally to tokens served.
+        if !self.words.is_empty() {
+            self.accrued = self
+                .total_latency
+                .mul_f64(self.cursor as f64 / self.words.len() as f64);
+        }
+        let done = (self.cursor >= self.words.len()).then(|| self.final_reason());
+        self.done = done;
+        Chunk {
+            text: chunk_text,
+            tokens: emitted,
+            done,
+        }
+    }
+
+    fn tokens_generated(&self) -> usize {
+        self.cursor
+    }
+
+    fn response_so_far(&self) -> &str {
+        &self.text
+    }
+
+    fn done_reason(&self) -> Option<DoneReason> {
+        self.done
+    }
+
+    fn simulated_latency(&self) -> Duration {
+        self.accrued
+    }
+
+    fn abort(&mut self) {
+        if self.done.is_none() {
+            self.done = Some(DoneReason::Aborted);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The threaded HTTP server and its route dispatch.
+
+use crate::http::{read_request, write_response, write_sse_header, Method, Request};
+use crate::service::{AppService, GenerateRequest, QueryRequest};
+use crate::sse;
+use serde_json::{json, Value};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running API server. Dropping the handle without calling
+/// [`Server::shutdown`] leaves the listener thread running for the process
+/// lifetime (matching a daemonized deployment); tests call `shutdown`.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `service` with one thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start<S: AppService>(service: Arc<S>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let mut stream = stream;
+                    handle_connection(&*service, &mut stream);
+                });
+            }
+        });
+        Ok(Server {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the listener thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection<S: AppService>(service: &S, stream: &mut TcpStream) {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = respond_json(stream, 400, &json!({ "error": e.to_string() }));
+            return;
+        }
+    };
+    dispatch(service, stream, &request);
+}
+
+fn dispatch<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) {
+    let path = request.path.as_str();
+    let result = match (request.method, path) {
+        (Method::Get, "/healthz") => respond_json(stream, 200, &json!({ "status": "ok" })),
+        (Method::Get, "/api/models") => {
+            let models = service.list_models();
+            respond_json(stream, 200, &json!({ "models": models }))
+        }
+        (Method::Get, "/api/hardware") => {
+            respond_json(stream, 200, &serde_json::to_value(service.hardware()).unwrap_or(Value::Null))
+        }
+        (Method::Get, "/api/config") => respond_json(stream, 200, &service.config_json()),
+        (Method::Post, "/api/config") => handle_configure(service, stream, request),
+        (Method::Post, "/api/query") => handle_query(service, stream, request),
+        (Method::Post, "/api/generate") => handle_generate(service, stream, request),
+        (Method::Post, "/api/ingest") => handle_ingest(service, stream, request),
+        (Method::Post, "/api/sessions") => {
+            let id = service.create_session();
+            respond_json(stream, 201, &json!({ "id": id }))
+        }
+        (Method::Get, "/api/sessions") => {
+            let sessions: Vec<Value> = service
+                .list_sessions()
+                .into_iter()
+                .map(|(id, title)| json!({ "id": id, "title": title }))
+                .collect();
+            respond_json(stream, 200, &json!({ "sessions": sessions }))
+        }
+        (Method::Delete, p) if p.starts_with("/api/sessions/") => {
+            let id = &p["/api/sessions/".len()..];
+            match service.delete_session(id) {
+                Ok(()) => respond_json(stream, 200, &json!({ "deleted": id })),
+                Err(e) => respond_json(stream, 404, &json!({ "error": e })),
+            }
+        }
+        (Method::Other, _) => respond_json(stream, 405, &json!({ "error": "method not allowed" })),
+        _ => respond_json(stream, 404, &json!({ "error": "not found" })),
+    };
+    let _ = result;
+}
+
+fn handle_configure<S: AppService>(
+    service: &S,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> std::io::Result<()> {
+    let body: Value = match serde_json::from_str(&request.body_str()) {
+        Ok(v) => v,
+        Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
+    };
+    let strategy = body.get("strategy").and_then(Value::as_str);
+    let budget = body
+        .get("token_budget")
+        .and_then(Value::as_u64)
+        .map(|v| v as usize);
+    match service.configure(strategy, budget) {
+        Ok(()) => respond_json(stream, 200, &service.config_json()),
+        Err(e) => respond_json(stream, 400, &json!({ "error": e })),
+    }
+}
+
+fn handle_generate<S: AppService>(
+    service: &S,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> std::io::Result<()> {
+    let req: GenerateRequest = match serde_json::from_str(&request.body_str()) {
+        Ok(r) => r,
+        Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
+    };
+    match service.generate(&req) {
+        Ok(response) => respond_json(
+            stream,
+            200,
+            &serde_json::to_value(&response).unwrap_or(Value::Null),
+        ),
+        Err(e) => respond_json(stream, 400, &json!({ "error": e })),
+    }
+}
+
+fn handle_ingest<S: AppService>(
+    service: &S,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> std::io::Result<()> {
+    let body: Value = match serde_json::from_str(&request.body_str()) {
+        Ok(v) => v,
+        Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
+    };
+    let (Some(id), Some(text)) = (
+        body.get("document_id").and_then(Value::as_str),
+        body.get("text").and_then(Value::as_str),
+    ) else {
+        return respond_json(
+            stream,
+            400,
+            &json!({ "error": "document_id and text are required" }),
+        );
+    };
+    match service.ingest(id, text) {
+        Ok(chunks) => respond_json(stream, 201, &json!({ "document_id": id, "chunks": chunks })),
+        Err(e) => respond_json(stream, 400, &json!({ "error": e })),
+    }
+}
+
+fn handle_query<S: AppService>(
+    service: &S,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> std::io::Result<()> {
+    let query: QueryRequest = match serde_json::from_str(&request.body_str()) {
+        Ok(q) => q,
+        Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
+    };
+    if query.question.trim().is_empty() {
+        return respond_json(stream, 400, &json!({ "error": "question is required" }));
+    }
+    if !query.stream {
+        return match service.query(&query, None) {
+            Ok(result) => respond_json(
+                stream,
+                200,
+                &serde_json::to_value(&result).unwrap_or(Value::Null),
+            ),
+            Err(e) => respond_json(stream, 400, &json!({ "error": e })),
+        };
+    }
+
+    // Streaming: run the orchestration on a worker thread, forward events as
+    // SSE frames while it runs, then emit a final `result` frame.
+    write_sse_header(stream)?;
+    let (tx, rx) = crossbeam_channel::unbounded();
+    let result = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| service.query(&query, Some(tx)));
+        for event in rx.iter() {
+            let frame = sse::event_frame(&event);
+            if stream.write_all(frame.as_bytes()).is_err() {
+                break; // client hung up; drain and let the worker finish
+            }
+            let _ = stream.flush();
+        }
+        worker.join().unwrap_or_else(|_| Err("orchestration worker panicked".into()))
+    });
+    let final_frame = match result {
+        Ok(result) => sse::frame(
+            "result",
+            &serde_json::to_string(&result).unwrap_or_else(|_| "{}".into()),
+        ),
+        Err(e) => sse::frame("error", &json!({ "error": e }).to_string()),
+    };
+    stream.write_all(final_frame.as_bytes())?;
+    stream.flush()
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, body: &Value) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body.to_string().as_bytes())
+}

@@ -1,0 +1,142 @@
+//! The [`AppService`] trait: what the HTTP layer needs from the platform.
+//!
+//! The server crate owns transport (HTTP parsing, routing, SSE); the
+//! assembled platform (in the `llmms` facade crate) implements this trait.
+//! Keeping the boundary a trait lets the transport be tested against a stub
+//! and keeps the dependency graph acyclic.
+
+use crossbeam_channel::Sender;
+use llmms_core::{OrchestrationEvent, OrchestrationResult};
+use llmms_models::{ModelInfo, UtilizationReport};
+use serde::{Deserialize, Serialize};
+
+/// One query as received by the API.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// The user's question.
+    pub question: String,
+    /// Session to thread context through, if any.
+    #[serde(default)]
+    pub session_id: Option<String>,
+    /// RAG context chunks to retrieve (0 disables retrieval).
+    #[serde(default = "default_top_k")]
+    pub top_k: usize,
+    /// Restrict retrieval to one document.
+    #[serde(default)]
+    pub document_id: Option<String>,
+    /// Stream orchestration events over SSE instead of returning one JSON
+    /// body.
+    #[serde(default)]
+    pub stream: bool,
+}
+
+fn default_top_k() -> usize {
+    3
+}
+
+/// The platform behaviour the HTTP layer dispatches to.
+pub trait AppService: Send + Sync + 'static {
+    /// Answer a query; when `sink` is supplied, forward orchestration events
+    /// into it as they happen.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable error string (mapped to HTTP 400).
+    fn query(
+        &self,
+        request: &QueryRequest,
+        sink: Option<Sender<OrchestrationEvent>>,
+    ) -> Result<OrchestrationResult, String>;
+
+    /// Ingest a document for RAG; returns the number of stored chunks.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable error string.
+    fn ingest(&self, document_id: &str, text: &str) -> Result<usize, String>;
+
+    /// Static facts of every available model.
+    fn list_models(&self) -> Vec<ModelInfo>;
+
+    /// Current hardware utilization (the SMI poll).
+    fn hardware(&self) -> UtilizationReport;
+
+    /// Create a session, returning its id.
+    fn create_session(&self) -> String;
+
+    /// `(id, title)` of every session.
+    fn list_sessions(&self) -> Vec<(String, String)>;
+
+    /// Delete a session.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable error string (mapped to HTTP 404).
+    fn delete_session(&self, id: &str) -> Result<(), String>;
+
+    /// Update orchestration settings. `strategy` is one of
+    /// `"oua"`, `"mab"`, `"single"`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable error string.
+    fn configure(
+        &self,
+        strategy: Option<&str>,
+        token_budget: Option<usize>,
+    ) -> Result<(), String>;
+
+    /// The current orchestration settings as JSON.
+    fn config_json(&self) -> serde_json::Value;
+
+    /// Raw single-model generation — the endpoint federated peers call to
+    /// use this node's models (§9.5 "federated and secure model
+    /// integration"). `model` of `None` means the node's first model.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable error string (unknown model, generation failure).
+    fn generate(&self, request: &GenerateRequest) -> Result<GenerateResponse, String>;
+}
+
+/// A raw generation request (the federated peer API).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerateRequest {
+    /// Model to run; `None` picks the node's first model.
+    #[serde(default)]
+    pub model: Option<String>,
+    /// The full prompt.
+    pub prompt: String,
+    /// Token cap.
+    #[serde(default = "default_max_tokens")]
+    pub max_tokens: usize,
+    /// Sampling temperature.
+    #[serde(default = "default_temperature")]
+    pub temperature: f32,
+    /// Determinism seed.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_max_tokens() -> usize {
+    2048
+}
+
+fn default_temperature() -> f32 {
+    0.7
+}
+
+/// A raw generation response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerateResponse {
+    /// The model that generated.
+    pub model: String,
+    /// Full response text.
+    pub text: String,
+    /// Tokens generated.
+    pub tokens: usize,
+    /// Done reason wire string (`"stop"` / `"length"` / `"aborted"`).
+    pub done_reason: String,
+    /// Simulated generation latency in milliseconds.
+    pub latency_ms: f64,
+}

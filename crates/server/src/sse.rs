@@ -1,0 +1,74 @@
+//! Server-Sent Events formatting — the streaming transport the thesis uses
+//! between Ollama, Flask and the browser (§7.1, §7.2 step 7).
+
+use llmms_core::OrchestrationEvent;
+
+/// Format one SSE frame with an event name and a data payload. Multi-line
+/// payloads are split into multiple `data:` lines per the SSE spec.
+pub fn frame(event: &str, data: &str) -> String {
+    let mut out = String::with_capacity(data.len() + event.len() + 16);
+    out.push_str("event: ");
+    out.push_str(event);
+    out.push('\n');
+    for line in data.split('\n') {
+        out.push_str("data: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// The SSE event name for an orchestration event.
+pub fn event_name(event: &OrchestrationEvent) -> &'static str {
+    match event {
+        OrchestrationEvent::RoundStarted { .. } => "round",
+        OrchestrationEvent::ModelChunk { .. } => "chunk",
+        OrchestrationEvent::ScoresUpdated { .. } => "scores",
+        OrchestrationEvent::ModelPruned { .. } => "pruned",
+        OrchestrationEvent::EarlyWinner { .. } => "early_winner",
+        OrchestrationEvent::BudgetExhausted { .. } => "budget_exhausted",
+        OrchestrationEvent::Finished { .. } => "finished",
+    }
+}
+
+/// Serialize an orchestration event into a ready-to-send SSE frame.
+pub fn event_frame(event: &OrchestrationEvent) -> String {
+    let data = serde_json::to_string(event).unwrap_or_else(|_| "{}".to_owned());
+    frame(event_name(event), &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_format() {
+        assert_eq!(frame("chunk", "{\"a\":1}"), "event: chunk\ndata: {\"a\":1}\n\n");
+    }
+
+    #[test]
+    fn multiline_data_gets_multiple_data_lines() {
+        let f = frame("x", "line1\nline2");
+        assert_eq!(f, "event: x\ndata: line1\ndata: line2\n\n");
+    }
+
+    #[test]
+    fn event_names_cover_all_variants() {
+        let e = OrchestrationEvent::RoundStarted { round: 1 };
+        assert_eq!(event_name(&e), "round");
+        let e = OrchestrationEvent::Finished {
+            winner: "m".into(),
+            total_tokens: 5,
+        };
+        assert_eq!(event_name(&e), "finished");
+    }
+
+    #[test]
+    fn event_frame_is_json() {
+        let e = OrchestrationEvent::RoundStarted { round: 3 };
+        let f = event_frame(&e);
+        assert!(f.starts_with("event: round\n"));
+        assert!(f.contains("\"round\":3"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # llmms-session
+//!
+//! Session and context management for the LLM-MS reproduction (thesis §5.2,
+//! §6.5, §7.3): conversation sessions with **hierarchical summarization** —
+//! after a threshold of turns, older messages are folded into a running
+//! extractive summary so multi-turn context always fits model input limits —
+//! and a thread-safe [`SessionStore`].
+//!
+//! ## Example
+//!
+//! ```
+//! use llmms_session::{SessionStore, Role};
+//!
+//! let store = SessionStore::default();
+//! let session = store.create();
+//! let embedder = llmms_embed::default_embedder();
+//! session.write().push(Role::User, "Tell me about Paris.", &embedder);
+//! session.write().push(Role::Assistant, "Paris is the capital of France.", &embedder);
+//! assert_eq!(session.read().total_messages(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod memory_graph;
+pub mod session;
+pub mod store;
+pub mod summarize;
+
+pub use memory_graph::{MemoryGraph, MemoryGraphConfig, MemoryNode, Recalled};
+pub use session::{Message, Role, Session, SessionConfig};
+pub use store::{SessionError, SessionStore};
+pub use summarize::{summarize, SummaryConfig};

@@ -1,0 +1,181 @@
+//! The [`SessionStore`]: thread-safe registry of live sessions, mirroring
+//! the sessions sidebar of the application layer (thesis §5.2).
+
+use crate::session::{Session, SessionConfig};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors from session management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// No session with this id.
+    NotFound(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NotFound(id) => write!(f, "session {id:?} not found"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Thread-safe session registry.
+///
+/// The thesis keeps conversation history client-side for privacy and holds
+/// only transient per-session state on the server (§6.5); `SessionStore` is
+/// that transient state — everything is in memory and [`SessionStore::clear`]
+/// drops it all, like the container teardown the thesis describes.
+pub struct SessionStore {
+    config: SessionConfig,
+    sessions: RwLock<HashMap<String, Arc<RwLock<Session>>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionStore {
+    /// Create a store; new sessions inherit `config`.
+    pub fn new(config: SessionConfig) -> Self {
+        Self {
+            config,
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Create a new session, returning its handle.
+    pub fn create(&self) -> Arc<RwLock<Session>> {
+        let id = format!("session-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        let session = Arc::new(RwLock::new(Session::new(id.clone(), self.config.clone())));
+        self.sessions.write().insert(id, Arc::clone(&session));
+        session
+    }
+
+    /// Get a session by id.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotFound`] when absent.
+    pub fn get(&self, id: &str) -> Result<Arc<RwLock<Session>>, SessionError> {
+        self.sessions
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| SessionError::NotFound(id.to_owned()))
+    }
+
+    /// Delete a session.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotFound`] when absent.
+    pub fn delete(&self, id: &str) -> Result<(), SessionError> {
+        self.sessions
+            .write()
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| SessionError::NotFound(id.to_owned()))
+    }
+
+    /// `(id, title)` of every session, sorted by id.
+    pub fn list(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .sessions
+            .read()
+            .values()
+            .map(|s| {
+                let s = s.read();
+                (s.id.clone(), s.title.clone())
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// Whether no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.read().is_empty()
+    }
+
+    /// Drop every session (the "clear history" control).
+    pub fn clear(&self) {
+        self.sessions.write().clear();
+    }
+}
+
+impl Default for SessionStore {
+    fn default() -> Self {
+        Self::new(SessionConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Role;
+
+    #[test]
+    fn create_get_delete() {
+        let store = SessionStore::default();
+        let s = store.create();
+        let id = s.read().id.clone();
+        assert!(store.get(&id).is_ok());
+        assert_eq!(store.len(), 1);
+        store.delete(&id).unwrap();
+        assert!(matches!(store.get(&id), Err(SessionError::NotFound(_))));
+        assert!(matches!(store.delete(&id), Err(SessionError::NotFound(_))));
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let store = SessionStore::default();
+        let a = store.create().read().id.clone();
+        let b = store.create().read().id.clone();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn list_shows_titles() {
+        let store = SessionStore::default();
+        let s = store.create();
+        let e = llmms_embed::default_embedder();
+        s.write().push(Role::User, "Hello world question", &e);
+        let list = store.list();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].1, "Hello world question");
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let store = SessionStore::default();
+        store.create();
+        store.create();
+        assert!(!store.is_empty());
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_session_creation() {
+        let store = Arc::new(SessionStore::default());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || store.create().read().id.clone())
+            })
+            .collect();
+        let ids: std::collections::HashSet<String> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(ids.len(), 8, "ids must be unique under concurrency");
+        assert_eq!(store.len(), 8);
+    }
+}

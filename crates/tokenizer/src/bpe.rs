@@ -1,0 +1,344 @@
+//! Byte-pair encoding: training and greedy merge-based encoding.
+//!
+//! This is the subword substrate the platform's token accounting runs on. It
+//! mirrors the GPT-2/SentencePiece family used by the paper's models: words
+//! are pre-tokenized on whitespace (the space is folded into a leading `▁`
+//! marker, SentencePiece-style), each word starts as a character sequence, and
+//! the trainer repeatedly merges the most frequent adjacent pair until the
+//! target vocabulary size is reached.
+
+use crate::error::TokenizerError;
+use crate::vocab::{TokenId, Vocab};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The SentencePiece-style word-boundary marker.
+pub const WORD_MARKER: char = '\u{2581}'; // ▁
+
+/// Configuration for BPE training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BpeConfig {
+    /// Target vocabulary size (including special tokens and the character
+    /// alphabet discovered in the corpus).
+    pub vocab_size: usize,
+    /// Pairs occurring fewer times than this are never merged.
+    pub min_pair_frequency: usize,
+}
+
+impl Default for BpeConfig {
+    fn default() -> Self {
+        Self {
+            vocab_size: 8192,
+            min_pair_frequency: 2,
+        }
+    }
+}
+
+/// A single learned merge rule: `(left, right) -> merged`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Merge {
+    /// Left-hand token string of the pair.
+    pub left: String,
+    /// Right-hand token string of the pair.
+    pub right: String,
+}
+
+/// A trained BPE model: a vocabulary plus an ordered merge list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BpeModel {
+    vocab: Vocab,
+    merges: Vec<Merge>,
+    /// Rank of each merge pair; lower rank = applied earlier.
+    #[serde(skip)]
+    merge_ranks: HashMap<(String, String), usize>,
+}
+
+impl BpeModel {
+    /// Train a BPE model on an iterator of corpus documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenizerError::EmptyCorpus`] when the corpus contains no
+    /// words, and [`TokenizerError::VocabTooSmall`] when `config.vocab_size`
+    /// cannot hold the specials plus the discovered character alphabet.
+    pub fn train<'a, I>(corpus: I, config: &BpeConfig) -> Result<Self, TokenizerError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        // Count words across the corpus.
+        let mut word_counts: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            for word in doc.split_whitespace() {
+                let marked = format!("{WORD_MARKER}{word}");
+                *word_counts.entry(marked).or_insert(0) += 1;
+            }
+        }
+        if word_counts.is_empty() {
+            return Err(TokenizerError::EmptyCorpus);
+        }
+
+        // Seed the vocabulary with specials + character alphabet.
+        let mut vocab = Vocab::default();
+        let mut alphabet: Vec<char> = word_counts
+            .keys()
+            .flat_map(|w| w.chars())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        alphabet.sort_unstable();
+        let minimum = 4 + alphabet.len();
+        if config.vocab_size < minimum {
+            return Err(TokenizerError::VocabTooSmall {
+                requested: config.vocab_size,
+                minimum,
+            });
+        }
+        for ch in &alphabet {
+            vocab.insert(&ch.to_string());
+        }
+
+        // Represent each word as a sequence of current-token strings.
+        let mut words: Vec<(Vec<String>, usize)> = word_counts
+            .into_iter()
+            .map(|(w, c)| (w.chars().map(|ch| ch.to_string()).collect(), c))
+            .collect();
+        // Sort for determinism independent of HashMap iteration order.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut merges = Vec::new();
+        while vocab.len() < config.vocab_size {
+            // Count adjacent pairs.
+            let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+            for (word, count) in &words {
+                for pair in word.windows(2) {
+                    *pair_counts
+                        .entry((pair[0].clone(), pair[1].clone()))
+                        .or_insert(0) += *count;
+                }
+            }
+            // Pick the most frequent pair; break ties lexicographically for
+            // determinism.
+            let best = pair_counts
+                .into_iter()
+                .filter(|(_, c)| *c >= config.min_pair_frequency)
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+            let Some(((left, right), _count)) = best else {
+                break; // no pair frequent enough — training converged early
+            };
+            let merged = format!("{left}{right}");
+            vocab.insert(&merged);
+            // Apply the merge to every word.
+            for (word, _) in &mut words {
+                apply_merge(word, &left, &right, &merged);
+            }
+            merges.push(Merge { left, right });
+        }
+
+        let merge_ranks = build_ranks(&merges);
+        Ok(Self {
+            vocab,
+            merges,
+            merge_ranks,
+        })
+    }
+
+    /// Rebuild internal caches after deserialization.
+    pub fn rebuild(&mut self) {
+        self.vocab.rebuild_index();
+        self.merge_ranks = build_ranks(&self.merges);
+    }
+
+    /// The trained vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The ordered merge list.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Encode a single pre-tokenized word (already carrying [`WORD_MARKER`])
+    /// into token ids, falling back to `<unk>` for characters outside the
+    /// alphabet.
+    fn encode_word(&self, word: &str, out: &mut Vec<TokenId>) {
+        let mut parts: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+        // Greedily apply the lowest-rank merge available anywhere in the word,
+        // exactly like GPT-2's encoder.
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (rank, index)
+            for i in 0..parts.len().saturating_sub(1) {
+                if let Some(&rank) = self
+                    .merge_ranks
+                    .get(&(parts[i].clone(), parts[i + 1].clone()))
+                {
+                    if best.map_or(true, |(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let merged = format!("{}{}", parts[i], parts[i + 1]);
+            parts.splice(i..=i + 1, [merged]);
+        }
+        for part in &parts {
+            match self.vocab.id_of(part) {
+                Some(id) => out.push(id),
+                None => out.push(self.vocab.unk_id()),
+            }
+        }
+    }
+
+    /// Encode normalized text into token ids (no BOS/EOS added here).
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        let mut out = Vec::with_capacity(text.len() / 3 + 1);
+        for word in text.split_whitespace() {
+            let marked = format!("{WORD_MARKER}{word}");
+            self.encode_word(&marked, &mut out);
+        }
+        out
+    }
+
+    /// Decode token ids back into text. Special tokens are skipped; the word
+    /// marker is turned back into a space.
+    pub fn decode(&self, ids: &[TokenId]) -> Result<String, TokenizerError> {
+        let mut out = String::new();
+        for &id in ids {
+            if self.vocab.is_special(id) {
+                continue;
+            }
+            let tok = self.vocab.token_of(id)?;
+            for ch in tok.chars() {
+                if ch == WORD_MARKER {
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                } else {
+                    out.push(ch);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn build_ranks(merges: &[Merge]) -> HashMap<(String, String), usize> {
+    merges
+        .iter()
+        .enumerate()
+        .map(|(i, m)| ((m.left.clone(), m.right.clone()), i))
+        .collect()
+}
+
+fn apply_merge(word: &mut Vec<String>, left: &str, right: &str, merged: &str) {
+    let mut i = 0;
+    while i + 1 < word.len() {
+        if word[i] == left && word[i + 1] == right {
+            word[i] = merged.to_owned();
+            word.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> BpeModel {
+        let corpus = [
+            "the quick brown fox jumps over the lazy dog",
+            "the quick brown fox is quick and the dog is lazy",
+            "quick quick quick the the the fox fox dog dog",
+        ];
+        BpeModel::train(
+            corpus,
+            &BpeConfig {
+                vocab_size: 200,
+                min_pair_frequency: 2,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn training_on_empty_corpus_fails() {
+        let err = BpeModel::train([], &BpeConfig::default()).unwrap_err();
+        assert_eq!(err, TokenizerError::EmptyCorpus);
+        let err = BpeModel::train(["   "], &BpeConfig::default()).unwrap_err();
+        assert_eq!(err, TokenizerError::EmptyCorpus);
+    }
+
+    #[test]
+    fn vocab_too_small_is_rejected() {
+        let err = BpeModel::train(
+            ["abcdefghij"],
+            &BpeConfig {
+                vocab_size: 5,
+                min_pair_frequency: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TokenizerError::VocabTooSmall { .. }));
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_in_corpus_text() {
+        let model = tiny_model();
+        let text = "the quick brown fox";
+        let ids = model.encode(text);
+        assert!(!ids.is_empty());
+        assert_eq!(model.decode(&ids).unwrap(), text);
+    }
+
+    #[test]
+    fn frequent_words_become_single_tokens() {
+        let model = tiny_model();
+        // "the" appears many times; it should have merged into one token.
+        let ids = model.encode("the");
+        assert_eq!(ids.len(), 1, "expected 'the' to be one token, got {ids:?}");
+    }
+
+    #[test]
+    fn out_of_alphabet_chars_fall_back_to_unk() {
+        let model = tiny_model();
+        // The word-boundary marker itself is in the alphabet, but the CJK
+        // characters are not and must fall back to <unk>.
+        let ids = model.encode("日本");
+        let unk = model.vocab().unk_id();
+        assert_eq!(ids.iter().filter(|&&id| id == unk).count(), 2);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = tiny_model();
+        let b = tiny_model();
+        assert_eq!(a.merges(), b.merges());
+        assert_eq!(a.vocab().len(), b.vocab().len());
+    }
+
+    #[test]
+    fn merge_count_respects_vocab_budget() {
+        let model = tiny_model();
+        assert!(model.vocab().len() <= 200);
+    }
+
+    #[test]
+    fn decode_skips_special_tokens() {
+        let model = tiny_model();
+        let mut ids = vec![model.vocab().bos_id()];
+        ids.extend(model.encode("the dog"));
+        ids.push(model.vocab().eos_id());
+        assert_eq!(model.decode(&ids).unwrap(), "the dog");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_encoding() {
+        let model = tiny_model();
+        let json = serde_json::to_string(&model).unwrap();
+        let mut back: BpeModel = serde_json::from_str(&json).unwrap();
+        back.rebuild();
+        assert_eq!(back.encode("the quick fox"), model.encode("the quick fox"));
+    }
+}

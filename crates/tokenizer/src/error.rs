@@ -1,0 +1,58 @@
+//! Error types for the tokenizer crate.
+
+use std::fmt;
+
+/// Errors produced while training or using a [`crate::Tokenizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenizerError {
+    /// Training corpus was empty or contained no usable text.
+    EmptyCorpus,
+    /// Requested vocabulary size is too small to hold the byte alphabet and
+    /// the special tokens.
+    VocabTooSmall {
+        /// The size that was requested.
+        requested: usize,
+        /// The minimum size that would be accepted.
+        minimum: usize,
+    },
+    /// A token id was not present in the vocabulary.
+    UnknownTokenId(u32),
+    /// A special token string collided with an existing vocabulary entry.
+    SpecialTokenCollision(String),
+}
+
+impl fmt::Display for TokenizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenizerError::EmptyCorpus => write!(f, "training corpus is empty"),
+            TokenizerError::VocabTooSmall { requested, minimum } => write!(
+                f,
+                "requested vocab size {requested} is below the minimum of {minimum}"
+            ),
+            TokenizerError::UnknownTokenId(id) => write!(f, "unknown token id {id}"),
+            TokenizerError::SpecialTokenCollision(tok) => {
+                write!(f, "special token {tok:?} collides with an existing entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TokenizerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TokenizerError::VocabTooSmall {
+            requested: 10,
+            minimum: 300,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10"));
+        assert!(msg.contains("300"));
+        assert!(TokenizerError::EmptyCorpus.to_string().contains("empty"));
+        assert!(TokenizerError::UnknownTokenId(7).to_string().contains('7'));
+    }
+}

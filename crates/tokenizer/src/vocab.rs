@@ -1,0 +1,221 @@
+//! Vocabulary: the bidirectional map between token strings and token ids.
+
+use crate::error::TokenizerError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a token inside a [`Vocab`].
+pub type TokenId = u32;
+
+/// The set of special tokens every vocabulary carries.
+///
+/// These mirror the control tokens GGUF models expose through Ollama: a
+/// beginning-of-sequence marker, an end-of-sequence marker (mapped to the
+/// `"stop"` done-reason in the orchestrator), an unknown-token fallback and a
+/// padding token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecialTokens {
+    /// Beginning-of-sequence token string.
+    pub bos: String,
+    /// End-of-sequence token string.
+    pub eos: String,
+    /// Unknown-token fallback string.
+    pub unk: String,
+    /// Padding token string.
+    pub pad: String,
+}
+
+impl Default for SpecialTokens {
+    fn default() -> Self {
+        Self {
+            bos: "<s>".to_owned(),
+            eos: "</s>".to_owned(),
+            unk: "<unk>".to_owned(),
+            pad: "<pad>".to_owned(),
+        }
+    }
+}
+
+/// A bidirectional token ↔ id mapping with reserved special tokens.
+///
+/// Ids are dense: `0..len()`. Special tokens always occupy the lowest ids in
+/// the order *pad, unk, bos, eos*.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, TokenId>,
+    specials: SpecialTokens,
+}
+
+impl Vocab {
+    /// Build a vocabulary from special tokens alone.
+    pub fn new(specials: SpecialTokens) -> Self {
+        let mut v = Self {
+            tokens: Vec::new(),
+            index: HashMap::new(),
+            specials: specials.clone(),
+        };
+        for s in [&specials.pad, &specials.unk, &specials.bos, &specials.eos] {
+            v.push_unchecked(s.clone());
+        }
+        v
+    }
+
+    /// Rebuild the string → id index (needed after deserialization, where the
+    /// index is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as TokenId))
+            .collect();
+    }
+
+    fn push_unchecked(&mut self, token: String) -> TokenId {
+        let id = self.tokens.len() as TokenId;
+        self.index.insert(token.clone(), id);
+        self.tokens.push(token);
+        id
+    }
+
+    /// Insert `token`, returning its id. Re-inserting an existing token
+    /// returns the existing id.
+    pub fn insert(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.index.get(token) {
+            return id;
+        }
+        self.push_unchecked(token.to_owned())
+    }
+
+    /// Look up the id of `token`.
+    pub fn id_of(&self, token: &str) -> Option<TokenId> {
+        self.index.get(token).copied()
+    }
+
+    /// Look up the string for `id`.
+    pub fn token_of(&self, id: TokenId) -> Result<&str, TokenizerError> {
+        self.tokens
+            .get(id as usize)
+            .map(String::as_str)
+            .ok_or(TokenizerError::UnknownTokenId(id))
+    }
+
+    /// Number of tokens (including specials).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary holds only the special tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.len() <= 4
+    }
+
+    /// Id of the padding token.
+    pub fn pad_id(&self) -> TokenId {
+        0
+    }
+
+    /// Id of the unknown token.
+    pub fn unk_id(&self) -> TokenId {
+        1
+    }
+
+    /// Id of the beginning-of-sequence token.
+    pub fn bos_id(&self) -> TokenId {
+        2
+    }
+
+    /// Id of the end-of-sequence token.
+    pub fn eos_id(&self) -> TokenId {
+        3
+    }
+
+    /// The configured special token strings.
+    pub fn specials(&self) -> &SpecialTokens {
+        &self.specials
+    }
+
+    /// True when `id` refers to one of the four special tokens.
+    pub fn is_special(&self, id: TokenId) -> bool {
+        id < 4
+    }
+
+    /// Iterate over `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TokenId, t.as_str()))
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new(SpecialTokens::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_occupy_lowest_ids() {
+        let v = Vocab::default();
+        assert_eq!(v.token_of(v.pad_id()).unwrap(), "<pad>");
+        assert_eq!(v.token_of(v.unk_id()).unwrap(), "<unk>");
+        assert_eq!(v.token_of(v.bos_id()).unwrap(), "<s>");
+        assert_eq!(v.token_of(v.eos_id()).unwrap(), "</s>");
+        assert_eq!(v.len(), 4);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut v = Vocab::default();
+        let a = v.insert("hello");
+        let b = v.insert("hello");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 5);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_lookup() {
+        let mut v = Vocab::default();
+        let id = v.insert("world");
+        assert_eq!(v.id_of("world"), Some(id));
+        assert_eq!(v.token_of(id).unwrap(), "world");
+    }
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        let v = Vocab::default();
+        assert_eq!(v.token_of(999), Err(TokenizerError::UnknownTokenId(999)));
+    }
+
+    #[test]
+    fn is_special_only_for_reserved_range() {
+        let mut v = Vocab::default();
+        let id = v.insert("word");
+        assert!(v.is_special(v.eos_id()));
+        assert!(!v.is_special(id));
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let mut v = Vocab::default();
+        v.insert("alpha");
+        v.insert("beta");
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocab = serde_json::from_str(&json).unwrap();
+        // The index is #[serde(skip)] so lookups fail until it is rebuilt.
+        assert_eq!(back.id_of("alpha"), None);
+        back.rebuild_index();
+        assert_eq!(back.id_of("alpha"), v.id_of("alpha"));
+        assert_eq!(back.id_of("beta"), v.id_of("beta"));
+        assert_eq!(back.len(), v.len());
+    }
+}

@@ -1,0 +1,568 @@
+//! A named collection of embedded records — the unit of storage and query,
+//! mirroring ChromaDB's `Collection`.
+
+use crate::error::DbError;
+use crate::filter::Filter;
+use crate::index::{FlatIndex, HnswConfig, HnswIndex, IndexKind, InternalId, VectorIndex};
+use crate::metadata::Metadata;
+use llmms_embed::{Embedding, Metric};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration a collection is created with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionConfig {
+    /// Embedding dimensionality every record must match.
+    pub dim: usize,
+    /// Similarity metric for queries.
+    pub metric: Metric,
+    /// Index implementation.
+    pub index: IndexKind,
+    /// HNSW parameters (ignored for [`IndexKind::Flat`]).
+    pub hnsw: HnswConfig,
+}
+
+impl CollectionConfig {
+    /// A flat (exact) collection with cosine similarity — the platform
+    /// default, matching the thesis's ChromaDB configuration.
+    pub fn flat(dim: usize) -> Self {
+        Self {
+            dim,
+            metric: Metric::Cosine,
+            index: IndexKind::Flat,
+            hnsw: HnswConfig::default(),
+        }
+    }
+
+    /// An HNSW-indexed collection with cosine similarity.
+    pub fn hnsw(dim: usize) -> Self {
+        Self {
+            index: IndexKind::Hnsw,
+            ..Self::flat(dim)
+        }
+    }
+}
+
+/// A stored record: id, vector, optional source text, metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// User-facing identifier, unique within the collection.
+    pub id: String,
+    /// The record's embedding (dimension fixed by the collection).
+    pub embedding: Embedding,
+    /// Optional raw document text the embedding was computed from.
+    pub document: Option<String>,
+    /// Attached metadata, queryable through [`Filter`]s.
+    pub metadata: Metadata,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<String>, embedding: Embedding) -> Self {
+        Self {
+            id: id.into(),
+            embedding,
+            document: None,
+            metadata: Metadata::new(),
+        }
+    }
+
+    /// Attach document text.
+    #[must_use]
+    pub fn with_document(mut self, doc: impl Into<String>) -> Self {
+        self.document = Some(doc.into());
+        self
+    }
+
+    /// Attach metadata.
+    #[must_use]
+    pub fn with_metadata(mut self, metadata: Metadata) -> Self {
+        self.metadata = metadata;
+        self
+    }
+}
+
+/// A single query hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Id of the matching record.
+    pub id: String,
+    /// Similarity score (higher is better; negative distance for Euclidean).
+    pub score: f32,
+    /// The record's document text, if stored.
+    pub document: Option<String>,
+    /// The record's metadata.
+    pub metadata: Metadata,
+}
+
+#[derive(Serialize, Deserialize)]
+enum IndexState {
+    Flat(FlatIndex),
+    Hnsw(HnswIndex),
+}
+
+impl IndexState {
+    fn as_dyn(&self) -> &dyn VectorIndex {
+        match self {
+            IndexState::Flat(i) => i,
+            IndexState::Hnsw(i) => i,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn VectorIndex {
+        match self {
+            IndexState::Flat(i) => i,
+            IndexState::Hnsw(i) => i,
+        }
+    }
+}
+
+/// A named, indexed set of records.
+#[derive(Serialize, Deserialize)]
+pub struct Collection {
+    name: String,
+    config: CollectionConfig,
+    records: HashMap<InternalId, Record>,
+    id_map: HashMap<String, InternalId>,
+    index: IndexState,
+    next_internal: InternalId,
+}
+
+impl Collection {
+    /// Create an empty collection.
+    pub fn new(name: impl Into<String>, config: CollectionConfig) -> Self {
+        let index = match config.index {
+            IndexKind::Flat => IndexState::Flat(FlatIndex::new(config.dim, config.metric)),
+            IndexKind::Hnsw => IndexState::Hnsw(HnswIndex::new(
+                config.dim,
+                config.metric,
+                config.hnsw.clone(),
+            )),
+        };
+        Self {
+            name: name.into(),
+            config,
+            records: HashMap::new(),
+            id_map: HashMap::new(),
+            index,
+            next_internal: 0,
+        }
+    }
+
+    /// The collection's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configuration the collection was created with.
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Insert or replace a record by id.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::DimensionMismatch`] when the embedding does not match the
+    /// collection dimension.
+    pub fn upsert(&mut self, record: Record) -> Result<(), DbError> {
+        if record.embedding.dim() != self.config.dim {
+            return Err(DbError::DimensionMismatch {
+                expected: self.config.dim,
+                actual: record.embedding.dim(),
+            });
+        }
+        // Replace = delete old + insert new (ids inside indexes are never
+        // reused, matching the tombstone design).
+        if let Some(&old) = self.id_map.get(&record.id) {
+            self.index.as_dyn_mut().remove(old);
+            self.records.remove(&old);
+        }
+        let internal = self.next_internal;
+        self.next_internal += 1;
+        self.index
+            .as_dyn_mut()
+            .insert(internal, record.embedding.as_slice());
+        self.id_map.insert(record.id.clone(), internal);
+        self.records.insert(internal, record);
+        Ok(())
+    }
+
+    /// Insert many records; stops at the first error.
+    pub fn upsert_batch(&mut self, records: Vec<Record>) -> Result<(), DbError> {
+        for r in records {
+            self.upsert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch a record by id.
+    pub fn get(&self, id: &str) -> Option<&Record> {
+        self.id_map.get(id).and_then(|i| self.records.get(i))
+    }
+
+    /// Delete a record by id.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::RecordNotFound`] when no record has this id.
+    pub fn delete(&mut self, id: &str) -> Result<(), DbError> {
+        let internal = self
+            .id_map
+            .remove(id)
+            .ok_or_else(|| DbError::RecordNotFound(id.to_owned()))?;
+        self.index.as_dyn_mut().remove(internal);
+        self.records.remove(&internal);
+        Ok(())
+    }
+
+    /// Top-`k` records most similar to `query`, optionally restricted by a
+    /// metadata [`Filter`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::InvalidQuery`] for `k == 0`, [`DbError::DimensionMismatch`]
+    /// for a query vector of the wrong dimension.
+    pub fn query(
+        &self,
+        query: &Embedding,
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> Result<Vec<QueryResult>, DbError> {
+        if k == 0 {
+            return Err(DbError::InvalidQuery("k must be positive".into()));
+        }
+        if query.dim() != self.config.dim {
+            return Err(DbError::DimensionMismatch {
+                expected: self.config.dim,
+                actual: query.dim(),
+            });
+        }
+        let accept = filter.map(|f| {
+            let records = &self.records;
+            move |id: InternalId| records.get(&id).is_some_and(|r| f.matches(&r.metadata))
+        });
+        let hits = self.index.as_dyn().search(
+            query.as_slice(),
+            k,
+            accept
+                .as_ref()
+                .map(|f| f as &dyn Fn(InternalId) -> bool),
+        );
+        Ok(hits
+            .into_iter()
+            .filter_map(|h| {
+                self.records.get(&h.id).map(|r| QueryResult {
+                    id: r.id.clone(),
+                    score: h.score,
+                    document: r.document.clone(),
+                    metadata: r.metadata.clone(),
+                })
+            })
+            .collect())
+    }
+
+    /// Iterate over all live records (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.values()
+    }
+
+    /// Run several queries against the same snapshot of the collection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Collection::query`]; fails on the first bad query.
+    pub fn query_batch(
+        &self,
+        queries: &[&Embedding],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> Result<Vec<Vec<QueryResult>>, DbError> {
+        queries.iter().map(|q| self.query(q, k, filter)).collect()
+    }
+
+    /// Rebuild the index from live records, dropping every tombstone.
+    ///
+    /// Deletions and upserts leave logically-deleted vectors in the index
+    /// (ids are never reused); after heavy churn an HNSW graph accumulates
+    /// dead nodes that widen its search beams. Compaction rebuilds from
+    /// scratch — the "lifecycle management" the thesis flags for its
+    /// temporary embedding stores (§9.4). Returns the number of tombstones
+    /// dropped.
+    pub fn compact(&mut self) -> usize {
+        let live = self.records.len();
+        let before = self.next_internal as usize;
+        let mut records: Vec<Record> = self.records.drain().map(|(_, r)| r).collect();
+        // Deterministic rebuild order.
+        records.sort_by(|a, b| a.id.cmp(&b.id));
+        self.id_map.clear();
+        self.index = match self.config.index {
+            IndexKind::Flat => IndexState::Flat(FlatIndex::new(self.config.dim, self.config.metric)),
+            IndexKind::Hnsw => IndexState::Hnsw(HnswIndex::new(
+                self.config.dim,
+                self.config.metric,
+                self.config.hnsw.clone(),
+            )),
+        };
+        self.next_internal = 0;
+        for record in records {
+            self.upsert(record).expect("re-inserting validated records cannot fail");
+        }
+        before - live
+    }
+
+    /// Point-in-time statistics for monitoring dashboards.
+    pub fn stats(&self) -> CollectionStats {
+        let documents = self.records.values().filter(|r| r.document.is_some()).count();
+        let metadata_keys: std::collections::BTreeSet<&str> = self
+            .records
+            .values()
+            .flat_map(|r| r.metadata.keys().map(String::as_str))
+            .collect();
+        CollectionStats {
+            records: self.records.len(),
+            with_documents: documents,
+            dim: self.config.dim,
+            index: self.config.index,
+            metadata_keys: metadata_keys.into_iter().map(str::to_owned).collect(),
+        }
+    }
+}
+
+/// Snapshot statistics of a collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionStats {
+    /// Live records.
+    pub records: usize,
+    /// Records carrying document text.
+    pub with_documents: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Index flavor.
+    pub index: IndexKind,
+    /// Distinct metadata keys in use, sorted.
+    pub metadata_keys: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::meta;
+
+    fn emb(values: &[f32]) -> Embedding {
+        Embedding::new(values.to_vec()).normalized()
+    }
+
+    fn sample() -> Collection {
+        let mut c = Collection::new("docs", CollectionConfig::flat(2));
+        c.upsert(
+            Record::new("a", emb(&[1.0, 0.0]))
+                .with_document("alpha doc")
+                .with_metadata(meta([("category", "science".into())])),
+        )
+        .unwrap();
+        c.upsert(
+            Record::new("b", emb(&[0.0, 1.0]))
+                .with_document("beta doc")
+                .with_metadata(meta([("category", "history".into())])),
+        )
+        .unwrap();
+        c.upsert(
+            Record::new("c", emb(&[0.7, 0.7]))
+                .with_metadata(meta([("category", "science".into())])),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn upsert_get_len() {
+        let c = sample();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get("a").unwrap().document.as_deref(), Some("alpha doc"));
+        assert!(c.get("zz").is_none());
+    }
+
+    #[test]
+    fn query_orders_by_similarity() {
+        let c = sample();
+        let hits = c.query(&emb(&[1.0, 0.05]), 3, None).unwrap();
+        assert_eq!(hits[0].id, "a");
+        assert_eq!(hits[1].id, "c");
+        assert_eq!(hits[2].id, "b");
+    }
+
+    #[test]
+    fn query_with_filter() {
+        let c = sample();
+        let f = Filter::eq_str("category", "science");
+        let hits = c.query(&emb(&[0.0, 1.0]), 3, Some(&f)).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.id == "a" || h.id == "c"));
+        assert_eq!(hits[0].id, "c", "closest science doc first");
+    }
+
+    #[test]
+    fn upsert_replaces_existing() {
+        let mut c = sample();
+        c.upsert(Record::new("a", emb(&[0.0, 1.0]))).unwrap();
+        assert_eq!(c.len(), 3);
+        let hits = c.query(&emb(&[0.0, 1.0]), 1, None).unwrap();
+        // "a" now points the other way; either "a" or "b" is acceptable at
+        // rank 0, but "a" must score maximally.
+        assert!((hits[0].score - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut c = sample();
+        c.delete("a").unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a").is_none());
+        assert_eq!(
+            c.delete("a"),
+            Err(DbError::RecordNotFound("a".to_owned()))
+        );
+        let hits = c.query(&emb(&[1.0, 0.0]), 3, None).unwrap();
+        assert!(hits.iter().all(|h| h.id != "a"));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut c = sample();
+        let err = c.upsert(Record::new("x", emb(&[1.0, 0.0, 0.0]))).unwrap_err();
+        assert!(matches!(err, DbError::DimensionMismatch { expected: 2, actual: 3 }));
+        let err = c.query(&emb(&[1.0]), 1, None).unwrap_err();
+        assert!(matches!(err, DbError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        let c = sample();
+        assert!(matches!(
+            c.query(&emb(&[1.0, 0.0]), 0, None),
+            Err(DbError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn hnsw_collection_behaves_like_flat_on_small_data() {
+        let mut c = Collection::new("h", CollectionConfig::hnsw(2));
+        for (i, v) in [[1.0f32, 0.0], [0.0, 1.0], [0.7, 0.7]].iter().enumerate() {
+            c.upsert(Record::new(format!("r{i}"), emb(v))).unwrap();
+        }
+        let hits = c.query(&emb(&[1.0, 0.1]), 2, None).unwrap();
+        assert_eq!(hits[0].id, "r0");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = sample();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Collection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 3);
+        let hits = back.query(&emb(&[1.0, 0.05]), 1, None).unwrap();
+        assert_eq!(hits[0].id, "a");
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use crate::metadata::meta;
+
+    fn emb(values: &[f32]) -> Embedding {
+        Embedding::new(values.to_vec()).normalized()
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut c = Collection::new("s", CollectionConfig::flat(2));
+        c.upsert(
+            Record::new("a", emb(&[1.0, 0.0]))
+                .with_document("text")
+                .with_metadata(meta([("category", "x".into())])),
+        )
+        .unwrap();
+        c.upsert(Record::new("b", emb(&[0.0, 1.0])).with_metadata(meta([("page", 1i64.into())])))
+            .unwrap();
+        let s = c.stats();
+        assert_eq!(s.records, 2);
+        assert_eq!(s.with_documents, 1);
+        assert_eq!(s.dim, 2);
+        assert_eq!(s.index, IndexKind::Flat);
+        assert_eq!(s.metadata_keys, ["category", "page"]);
+    }
+
+    #[test]
+    fn batch_query_matches_individual_queries() {
+        let mut c = Collection::new("s", CollectionConfig::flat(2));
+        for (i, v) in [[1.0f32, 0.0], [0.0, 1.0], [0.7, 0.7]].iter().enumerate() {
+            c.upsert(Record::new(format!("r{i}"), emb(v))).unwrap();
+        }
+        let q1 = emb(&[1.0, 0.1]);
+        let q2 = emb(&[0.1, 1.0]);
+        let batch = c.query_batch(&[&q1, &q2], 2, None).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], c.query(&q1, 2, None).unwrap());
+        assert_eq!(batch[1], c.query(&q2, 2, None).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod compact_tests {
+    use super::*;
+
+    fn emb(values: &[f32]) -> Embedding {
+        Embedding::new(values.to_vec()).normalized()
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_preserves_queries() {
+        for config in [CollectionConfig::flat(2), CollectionConfig::hnsw(2)] {
+            let mut c = Collection::new("t", config);
+            for i in 0..20 {
+                let angle = i as f32 * 0.3;
+                c.upsert(Record::new(format!("r{i}"), emb(&[angle.cos(), angle.sin()])))
+                    .unwrap();
+            }
+            for i in (0..20).step_by(2) {
+                c.delete(&format!("r{i}")).unwrap();
+            }
+            // Churn: re-upsert a few survivors (each re-upsert tombstones).
+            for i in [1, 3, 5] {
+                let angle = i as f32 * 0.3;
+                c.upsert(Record::new(format!("r{i}"), emb(&[angle.cos(), angle.sin()])))
+                    .unwrap();
+            }
+            let q = emb(&[1.0, 0.05]);
+            let before = c.query(&q, 3, None).unwrap();
+            let dropped = c.compact();
+            assert!(dropped >= 10, "dropped {dropped}");
+            assert_eq!(c.len(), 10);
+            let after = c.query(&q, 3, None).unwrap();
+            assert_eq!(
+                before.iter().map(|h| &h.id).collect::<Vec<_>>(),
+                after.iter().map(|h| &h.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn compact_on_clean_collection_is_a_noop() {
+        let mut c = Collection::new("t", CollectionConfig::flat(2));
+        c.upsert(Record::new("a", emb(&[1.0, 0.0]))).unwrap();
+        assert_eq!(c.compact(), 0);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! The top-level [`Database`]: a set of named collections behind a lock,
+//! with JSON snapshot persistence — the workspace's stand-in for a ChromaDB
+//! server instance.
+
+use crate::collection::{Collection, CollectionConfig};
+use crate::error::DbError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A thread-safe set of named [`Collection`]s.
+///
+/// Collections are individually locked so concurrent queries on different
+/// collections never contend. The thesis runs ChromaDB "within an isolated
+/// read-only Docker container" whose contents are discarded after the
+/// session; [`Database`] likewise defaults to in-memory operation, with
+/// explicit [`Database::save`]/[`Database::load`] snapshots when persistence
+/// is wanted.
+#[derive(Default)]
+pub struct Database {
+    collections: RwLock<HashMap<String, Arc<RwLock<Collection>>>>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a collection.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::CollectionExists`] when the name is taken.
+    pub fn create_collection(
+        &self,
+        name: &str,
+        config: CollectionConfig,
+    ) -> Result<Arc<RwLock<Collection>>, DbError> {
+        let mut map = self.collections.write();
+        if map.contains_key(name) {
+            return Err(DbError::CollectionExists(name.to_owned()));
+        }
+        let coll = Arc::new(RwLock::new(Collection::new(name, config)));
+        map.insert(name.to_owned(), Arc::clone(&coll));
+        Ok(coll)
+    }
+
+    /// Get an existing collection.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::CollectionNotFound`] when absent.
+    pub fn collection(&self, name: &str) -> Result<Arc<RwLock<Collection>>, DbError> {
+        self.collections
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::CollectionNotFound(name.to_owned()))
+    }
+
+    /// Get a collection, creating it with `config` when absent — the
+    /// idempotent entry point services use at startup.
+    pub fn get_or_create(
+        &self,
+        name: &str,
+        config: CollectionConfig,
+    ) -> Arc<RwLock<Collection>> {
+        if let Ok(c) = self.collection(name) {
+            return c;
+        }
+        match self.create_collection(name, config) {
+            Ok(c) => c,
+            // Raced with another creator: fetch theirs.
+            Err(_) => self
+                .collection(name)
+                .expect("collection must exist after create race"),
+        }
+    }
+
+    /// Drop a collection and all its records.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::CollectionNotFound`] when absent.
+    pub fn delete_collection(&self, name: &str) -> Result<(), DbError> {
+        self.collections
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::CollectionNotFound(name.to_owned()))
+    }
+
+    /// Names of all collections, sorted.
+    pub fn list_collections(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of collections.
+    pub fn len(&self) -> usize {
+        self.collections.read().len()
+    }
+
+    /// Whether the database holds no collections.
+    pub fn is_empty(&self) -> bool {
+        self.collections.read().is_empty()
+    }
+
+    /// Serialize the whole database to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persistence`] on serialization failure.
+    pub fn snapshot(&self) -> Result<String, DbError> {
+        let map = self.collections.read();
+        let mut ordered: Vec<(&String, &Arc<RwLock<Collection>>)> = map.iter().collect();
+        ordered.sort_by_key(|(name, _)| (*name).clone());
+        let mut out = serde_json::Map::new();
+        for (name, coll) in ordered {
+            let value = serde_json::to_value(&*coll.read())
+                .map_err(|e| DbError::Persistence(e.to_string()))?;
+            out.insert(name.clone(), value);
+        }
+        serde_json::to_string(&out).map_err(|e| DbError::Persistence(e.to_string()))
+    }
+
+    /// Restore a database from a [`Database::snapshot`] string.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persistence`] on malformed input.
+    pub fn restore(snapshot: &str) -> Result<Self, DbError> {
+        let raw: serde_json::Map<String, serde_json::Value> =
+            serde_json::from_str(snapshot).map_err(|e| DbError::Persistence(e.to_string()))?;
+        let db = Self::new();
+        {
+            let mut map = db.collections.write();
+            for (name, value) in raw {
+                let coll: Collection = serde_json::from_value(value)
+                    .map_err(|e| DbError::Persistence(e.to_string()))?;
+                map.insert(name, Arc::new(RwLock::new(coll)));
+            }
+        }
+        Ok(db)
+    }
+
+    /// Write a snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persistence`] on I/O or serialization failure.
+    pub fn save(&self, path: &Path) -> Result<(), DbError> {
+        let snapshot = self.snapshot()?;
+        std::fs::write(path, snapshot).map_err(|e| DbError::Persistence(e.to_string()))
+    }
+
+    /// Load a database from a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persistence`] on I/O or deserialization failure.
+    pub fn load(path: &Path) -> Result<Self, DbError> {
+        let snapshot =
+            std::fs::read_to_string(path).map_err(|e| DbError::Persistence(e.to_string()))?;
+        Self::restore(&snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Record;
+    use llmms_embed::Embedding;
+
+    fn emb(values: &[f32]) -> Embedding {
+        Embedding::new(values.to_vec()).normalized()
+    }
+
+    #[test]
+    fn create_get_delete_lifecycle() {
+        let db = Database::new();
+        assert!(db.is_empty());
+        db.create_collection("docs", CollectionConfig::flat(2))
+            .unwrap();
+        assert_eq!(db.len(), 1);
+        assert!(db.collection("docs").is_ok());
+        assert!(matches!(
+            db.create_collection("docs", CollectionConfig::flat(2)),
+            Err(DbError::CollectionExists(_))
+        ));
+        db.delete_collection("docs").unwrap();
+        assert!(matches!(
+            db.collection("docs"),
+            Err(DbError::CollectionNotFound(_))
+        ));
+        assert!(matches!(
+            db.delete_collection("docs"),
+            Err(DbError::CollectionNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let db = Database::new();
+        let a = db.get_or_create("x", CollectionConfig::flat(2));
+        let b = db.get_or_create("x", CollectionConfig::flat(2));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let db = Database::new();
+        for n in ["zeta", "alpha", "mid"] {
+            db.create_collection(n, CollectionConfig::flat(2)).unwrap();
+        }
+        assert_eq!(db.list_collections(), ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let db = Database::new();
+        let coll = db
+            .create_collection("docs", CollectionConfig::flat(2))
+            .unwrap();
+        coll.write()
+            .upsert(Record::new("a", emb(&[1.0, 0.0])).with_document("hello"))
+            .unwrap();
+        let snap = db.snapshot().unwrap();
+        let back = Database::restore(&snap).unwrap();
+        let coll = back.collection("docs").unwrap();
+        let guard = coll.read();
+        assert_eq!(guard.len(), 1);
+        assert_eq!(guard.get("a").unwrap().document.as_deref(), Some("hello"));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("llmms-vectordb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let db = Database::new();
+        db.create_collection("c", CollectionConfig::hnsw(2))
+            .unwrap()
+            .write()
+            .upsert(Record::new("r", emb(&[0.5, 0.5])))
+            .unwrap();
+        db.save(&path).unwrap();
+        let back = Database::load(&path).unwrap();
+        assert_eq!(back.collection("c").unwrap().read().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_of_garbage_fails() {
+        assert!(matches!(
+            Database::restore("not json"),
+            Err(DbError::Persistence(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_access_different_collections() {
+        let db = Arc::new(Database::new());
+        db.create_collection("a", CollectionConfig::flat(2)).unwrap();
+        db.create_collection("b", CollectionConfig::flat(2)).unwrap();
+        let handles: Vec<_> = ["a", "b"]
+            .into_iter()
+            .map(|name| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    let coll = db.collection(name).unwrap();
+                    for i in 0..50 {
+                        coll.write()
+                            .upsert(Record::new(format!("{name}{i}"), emb(&[1.0, i as f32])))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.collection("a").unwrap().read().len(), 50);
+        assert_eq!(db.collection("b").unwrap().read().len(), 50);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the vector database.
+
+use std::fmt;
+
+/// Errors produced by database and collection operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// A collection with this name already exists.
+    CollectionExists(String),
+    /// No collection with this name exists.
+    CollectionNotFound(String),
+    /// A record id was not found in the collection.
+    RecordNotFound(String),
+    /// The embedding dimension of an upserted record does not match the
+    /// collection's configured dimension.
+    DimensionMismatch {
+        /// The collection's expected dimension.
+        expected: usize,
+        /// The dimension that was provided.
+        actual: usize,
+    },
+    /// `k = 0` or another invalid query parameter.
+    InvalidQuery(String),
+    /// Persistence (I/O or serialization) failure.
+    Persistence(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::CollectionExists(n) => write!(f, "collection {n:?} already exists"),
+            DbError::CollectionNotFound(n) => write!(f, "collection {n:?} not found"),
+            DbError::RecordNotFound(id) => write!(f, "record {id:?} not found"),
+            DbError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            DbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            DbError::Persistence(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DbError::CollectionExists("docs".into())
+            .to_string()
+            .contains("docs"));
+        let e = DbError::DimensionMismatch {
+            expected: 384,
+            actual: 128,
+        };
+        assert!(e.to_string().contains("384"));
+        assert!(e.to_string().contains("128"));
+    }
+}

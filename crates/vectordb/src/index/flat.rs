@@ -1,0 +1,212 @@
+//! Exact brute-force index.
+
+use super::{top_k, Hit, InternalId, VectorIndex};
+use llmms_embed::Metric;
+use serde::{Deserialize, Serialize};
+
+/// Exact top-k index: a contiguous vector arena scanned linearly.
+///
+/// Vectors are stored back-to-back in one `Vec<f32>` (struct-of-arrays) so a
+/// scan is a single sequential pass — the same layout FAISS's `IndexFlat`
+/// uses. For the collection sizes the platform handles at query time
+/// (session embeddings, document chunks, knowledge lookup), the exact scan
+/// is frequently faster than HNSW and is always the recall reference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatIndex {
+    metric: Metric,
+    dim: usize,
+    /// Contiguous vector storage; vector `i` occupies `i*dim..(i+1)*dim`.
+    data: Vec<f32>,
+    /// `ids[i]` is the external internal-id of slot `i`.
+    ids: Vec<InternalId>,
+    /// Tombstone flags parallel to `ids`.
+    deleted: Vec<bool>,
+    live: usize,
+}
+
+impl FlatIndex {
+    /// Create an empty index for `dim`-dimensional vectors under `metric`.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        Self {
+            metric,
+            dim,
+            data: Vec::new(),
+            ids: Vec::new(),
+            deleted: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// The configured metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The configured dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn slot_of(&self, id: InternalId) -> Option<usize> {
+        // Ids are assigned monotonically by the collection and inserted in
+        // order, so binary search applies.
+        self.ids.binary_search(&id).ok()
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn insert(&mut self, id: InternalId, vector: &[f32]) {
+        assert_eq!(
+            vector.len(),
+            self.dim,
+            "flat index: vector dim {} != index dim {}",
+            vector.len(),
+            self.dim
+        );
+        debug_assert!(
+            self.ids.last().is_none_or(|&last| last < id),
+            "ids must be inserted in increasing order"
+        );
+        self.ids.push(id);
+        self.deleted.push(false);
+        self.data.extend_from_slice(vector);
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: InternalId) -> bool {
+        match self.slot_of(id) {
+            Some(slot) if !self.deleted[slot] => {
+                self.deleted[slot] = true;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        accept: Option<&dyn Fn(InternalId) -> bool>,
+    ) -> Vec<Hit> {
+        if k == 0 || self.live == 0 {
+            return Vec::new();
+        }
+        let mut candidates = Vec::with_capacity(self.live.min(4096));
+        for (slot, &id) in self.ids.iter().enumerate() {
+            if self.deleted[slot] {
+                continue;
+            }
+            if let Some(f) = accept {
+                if !f(id) {
+                    continue;
+                }
+            }
+            let v = &self.data[slot * self.dim..(slot + 1) * self.dim];
+            candidates.push(Hit {
+                id,
+                score: self.metric.similarity(query, v),
+            });
+        }
+        top_k(candidates, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> FlatIndex {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.insert(0, &[1.0, 0.0]);
+        idx.insert(1, &[0.0, 1.0]);
+        idx.insert(2, &[0.7, 0.7]);
+        idx
+    }
+
+    #[test]
+    fn exact_nearest_neighbor() {
+        let idx = populated();
+        let hits = idx.search(&[1.0, 0.1], 1, None);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn returns_k_best_in_order() {
+        let idx = populated();
+        let hits = idx.search(&[1.0, 0.0], 3, None);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 2);
+        assert_eq!(hits[2].id, 1);
+        assert!(hits[0].score >= hits[1].score && hits[1].score >= hits[2].score);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(populated().search(&[1.0, 0.0], 0, None).is_empty());
+    }
+
+    #[test]
+    fn removal_tombstones() {
+        let mut idx = populated();
+        assert!(idx.remove(0));
+        assert!(!idx.remove(0), "double delete is a no-op");
+        assert!(!idx.remove(99), "unknown id is a no-op");
+        assert_eq!(idx.len(), 2);
+        let hits = idx.search(&[1.0, 0.0], 3, None);
+        assert!(hits.iter().all(|h| h.id != 0));
+    }
+
+    #[test]
+    fn accept_predicate_filters() {
+        let idx = populated();
+        let accept = |id: InternalId| id != 0;
+        let hits = idx.search(&[1.0, 0.0], 3, Some(&accept));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 2);
+    }
+
+    #[test]
+    fn empty_index_searches_empty() {
+        let idx = FlatIndex::new(2, Metric::Cosine);
+        assert!(idx.is_empty());
+        assert!(idx.search(&[1.0, 0.0], 5, None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "vector dim")]
+    fn wrong_dim_panics() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.insert(0, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn euclidean_metric_orders_by_distance() {
+        let mut idx = FlatIndex::new(1, Metric::Euclidean);
+        idx.insert(0, &[0.0]);
+        idx.insert(1, &[5.0]);
+        idx.insert(2, &[2.0]);
+        let hits = idx.search(&[1.9], 3, None);
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[1].id, 0);
+        assert_eq!(hits[2].id, 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let idx = populated();
+        let json = serde_json::to_string(&idx).unwrap();
+        let back: FlatIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(
+            back.search(&[1.0, 0.0], 1, None)[0].id,
+            idx.search(&[1.0, 0.0], 1, None)[0].id
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Record metadata: a small typed key-value map, mirroring ChromaDB's
+//! per-document metadata (strings, numbers, booleans).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A metadata value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum MetaValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl MetaValue {
+    /// Numeric view (ints widen to float); `None` for strings/bools.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            MetaValue::Int(i) => Some(*i as f64),
+            MetaValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            MetaValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view; `None` for non-bools.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            MetaValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MetaValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaValue::Bool(b) => write!(f, "{b}"),
+            MetaValue::Int(i) => write!(f, "{i}"),
+            MetaValue::Float(x) => write!(f, "{x}"),
+            MetaValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for MetaValue {
+    fn from(s: &str) -> Self {
+        MetaValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for MetaValue {
+    fn from(s: String) -> Self {
+        MetaValue::Str(s)
+    }
+}
+
+impl From<i64> for MetaValue {
+    fn from(i: i64) -> Self {
+        MetaValue::Int(i)
+    }
+}
+
+impl From<f64> for MetaValue {
+    fn from(f: f64) -> Self {
+        MetaValue::Float(f)
+    }
+}
+
+impl From<bool> for MetaValue {
+    fn from(b: bool) -> Self {
+        MetaValue::Bool(b)
+    }
+}
+
+/// Ordered metadata map attached to every record. `BTreeMap` keeps snapshot
+/// serialization deterministic.
+pub type Metadata = BTreeMap<String, MetaValue>;
+
+/// Convenience constructor for metadata maps.
+///
+/// ```
+/// use llmms_vectordb::metadata::meta;
+/// let m = meta([("category", "science".into()), ("page", 3i64.into())]);
+/// assert_eq!(m.len(), 2);
+/// ```
+pub fn meta<const N: usize>(entries: [(&str, MetaValue); N]) -> Metadata {
+    entries
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(MetaValue::from("x"), MetaValue::Str("x".into()));
+        assert_eq!(MetaValue::from(3i64), MetaValue::Int(3));
+        assert_eq!(MetaValue::from(2.5f64), MetaValue::Float(2.5));
+        assert_eq!(MetaValue::from(true), MetaValue::Bool(true));
+    }
+
+    #[test]
+    fn typed_views() {
+        assert_eq!(MetaValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(MetaValue::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(MetaValue::Str("a".into()).as_f64(), None);
+        assert_eq!(MetaValue::Str("a".into()).as_str(), Some("a"));
+        assert_eq!(MetaValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(MetaValue::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MetaValue::Int(7).to_string(), "7");
+        assert_eq!(MetaValue::Str("hi".into()).to_string(), "hi");
+        assert_eq!(MetaValue::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn meta_builder_orders_keys() {
+        let m = meta([("z", 1i64.into()), ("a", 2i64.into())]);
+        let keys: Vec<&str> = m.keys().map(String::as_str).collect();
+        assert_eq!(keys, ["a", "z"]);
+    }
+
+    #[test]
+    fn serde_untagged_roundtrip() {
+        let m = meta([
+            ("s", "text".into()),
+            ("i", 42i64.into()),
+            ("f", 1.25f64.into()),
+            ("b", true.into()),
+        ]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Metadata = serde_json::from_str(&json).unwrap();
+        assert_eq!(back["s"], MetaValue::Str("text".into()));
+        assert_eq!(back["i"], MetaValue::Int(42));
+        assert_eq!(back["f"], MetaValue::Float(1.25));
+        assert_eq!(back["b"], MetaValue::Bool(true));
+    }
+}

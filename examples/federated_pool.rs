@@ -1,0 +1,73 @@
+//! Federated orchestration: two llmms nodes, one orchestrator.
+//!
+//! A "remote site" node serves its models behind the HTTP API (its
+//! knowledge never leaves it); the local orchestrator mixes a
+//! [`RemoteModel`] adapter for one of those models into its own pool and
+//! runs the standard OUA strategy across the federation boundary
+//! (thesis §9.5 "federated and secure model integration").
+//!
+//! ```sh
+//! cargo run --example federated_pool
+//! ```
+
+use llmms::core::{Orchestrator, OrchestratorConfig, OuaConfig, Strategy};
+use llmms::models::SharedModel;
+use llmms::server::{RemoteModel, Server};
+use llmms::Platform;
+use std::sync::Arc;
+
+fn main() {
+    // The remote site: a full platform on its own port.
+    let remote_site = Server::start(Arc::new(Platform::evaluation_default()), "127.0.0.1:0")
+        .expect("remote node must bind");
+    println!("remote site serving on http://{}", remote_site.addr());
+
+    // The local site: two local models plus the remote site's qwen.
+    let local = Platform::evaluation_default();
+    let mut pool: Vec<SharedModel> = local
+        .models()
+        .iter()
+        .filter(|m| m.name() != "qwen2-7b") // pretend we can't host it locally
+        .cloned()
+        .collect();
+    pool.push(Arc::new(
+        RemoteModel::new(remote_site.addr(), "qwen2-7b").with_local_name("qwen2@remote"),
+    ));
+    println!(
+        "local pool: {:?}\n",
+        pool.iter().map(|m| m.name().to_owned()).collect::<Vec<_>>()
+    );
+
+    let orchestrator = Orchestrator::new(
+        llmms::embed::default_embedder(),
+        OrchestratorConfig {
+            strategy: Strategy::Oua(OuaConfig::default()),
+            ..OrchestratorConfig::default()
+        },
+    );
+
+    for question in [
+        "Can you see the Great Wall of China from space?",
+        "Is an arrest invalid if police forget to read Miranda rights?",
+        "What is the capital of Australia?",
+    ] {
+        let result = orchestrator.run(&pool, question).expect("query");
+        println!("Q: {question}");
+        println!(
+            "A ({}, {} total tokens): {}",
+            result.best_outcome().model,
+            result.total_tokens,
+            result.response()
+        );
+        for outcome in &result.outcomes {
+            println!(
+                "   {:<14} score={:.3} tokens={}",
+                outcome.model, outcome.score, outcome.tokens
+            );
+        }
+        println!();
+    }
+
+    remote_site.shutdown();
+    println!("remote site shut down");
+}

@@ -1,0 +1,63 @@
+//! Multi-turn conversation with session continuity: context is threaded
+//! through follow-up questions, and after enough turns the oldest messages
+//! are folded into a hierarchical summary (thesis §5.5, §6.5).
+//!
+//! ```sh
+//! cargo run --example multi_turn_session
+//! ```
+
+use llmms::platform::AskOptions;
+use llmms::Platform;
+
+fn main() {
+    let platform = Platform::evaluation_default();
+
+    let session = platform.sessions().create();
+    let session_id = session.read().id.clone();
+    println!("created {session_id}\n");
+
+    let turns = [
+        "What is the capital of France?",
+        "Can you see the Great Wall of China from space?",
+        "Does cracking your knuckles cause arthritis?",
+        "Do goldfish really have a three second memory?",
+        "Was Napoleon unusually short?",
+    ];
+
+    for question in turns {
+        let result = platform
+            .ask_with(
+                question,
+                &AskOptions {
+                    session_id: Some(session_id.clone()),
+                    ..Default::default()
+                },
+            )
+            .expect("query must succeed");
+        println!("user: {question}");
+        println!(
+            "{} ({}): {}\n",
+            result.strategy,
+            result.best_outcome().model,
+            result.response()
+        );
+    }
+
+    let guard = session.read();
+    println!("--- session state after {} messages ---", guard.total_messages());
+    if guard.summary().is_empty() {
+        println!("summary: (none yet)");
+    } else {
+        println!("hierarchical summary of folded turns:\n  {}", guard.summary());
+    }
+    println!("\nverbatim recent tail ({} messages):", guard.recent().len());
+    for message in guard.recent() {
+        let text: String = message.text.chars().take(90).collect();
+        println!("  {:<9} {}", message.role.as_str(), text);
+    }
+
+    println!("\nsessions sidebar:");
+    for (id, title) in platform.sessions().list() {
+        println!("  {id}: {title}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Run the full platform behind the HTTP application layer and exercise the
+//! API end-to-end: health check, model listing, document upload, a blocking
+//! query, an SSE-streamed query, and a strategy switch.
+//!
+//! ```sh
+//! cargo run --example platform_server            # demo requests, then exit
+//! cargo run --example platform_server -- --serve # stay up for curl
+//! ```
+
+use llmms::server::{client, Server};
+use llmms::Platform;
+use std::sync::Arc;
+
+fn main() {
+    let platform = Arc::new(Platform::evaluation_default());
+    let server = Server::start(platform, "127.0.0.1:0").expect("server must bind");
+    let addr = server.addr();
+    println!("llmms server listening on http://{addr}\n");
+
+    if std::env::args().any(|a| a == "--serve") {
+        println!("serving until interrupted; try:");
+        println!("  curl http://{addr}/healthz");
+        println!("  curl http://{addr}/api/models");
+        println!(
+            "  curl -X POST http://{addr}/api/query -d '{{\"question\":\"What is the capital of France?\"}}'"
+        );
+        loop {
+            std::thread::park();
+        }
+    }
+
+    let health = client::request(addr, "GET", "/healthz", None).expect("healthz");
+    println!("GET /healthz          -> {} {}", health.status, health.body);
+
+    let models = client::request(addr, "GET", "/api/models", None).expect("models");
+    println!("GET /api/models       -> {}", models.body);
+
+    let ingest = client::request(
+        addr,
+        "POST",
+        "/api/ingest",
+        Some(r#"{"document_id":"notes","text":"The warp core of the Epsilon station runs on compressed starlight."}"#),
+    )
+    .expect("ingest");
+    println!("POST /api/ingest      -> {} {}", ingest.status, ingest.body);
+
+    let query = client::request(
+        addr,
+        "POST",
+        "/api/query",
+        Some(r#"{"question":"What is the capital of France?"}"#),
+    )
+    .expect("query");
+    let v = query.json().expect("json body");
+    println!(
+        "POST /api/query       -> winner {} answered {:?}",
+        v["outcomes"][v["best"].as_u64().unwrap_or(0) as usize]["model"],
+        v["outcomes"][v["best"].as_u64().unwrap_or(0) as usize]["response"]
+    );
+
+    let events = client::sse_request(
+        addr,
+        "/api/query",
+        r#"{"question":"Can you see the Great Wall of China from space?","stream":true}"#,
+    )
+    .expect("sse query");
+    println!("POST /api/query (SSE) -> {} events:", events.len());
+    for (name, data) in events.iter().take(6) {
+        let preview: String = data.chars().take(70).collect();
+        println!("  event {name:<14} {preview}");
+    }
+    println!("  ... final event: {}", events.last().map(|(n, _)| n.as_str()).unwrap_or("?"));
+
+    let config = client::request(
+        addr,
+        "POST",
+        "/api/config",
+        Some(r#"{"strategy":"mab"}"#),
+    )
+    .expect("config");
+    println!("POST /api/config      -> {}", config.body);
+
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+}

@@ -1,0 +1,84 @@
+//! Quickstart: ask the multi-model platform one question and inspect how
+//! the orchestration decided.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use llmms::core::{OrchestratorConfig, Strategy};
+use llmms::Platform;
+
+fn main() {
+    // A ready-to-use platform: LLaMA-3 8B + Mistral 7B + Qwen-2 7B profiles
+    // on a simulated Tesla V100, preloaded with the synthetic TruthfulQA
+    // knowledge, OUA orchestration by default.
+    let platform = Platform::evaluation_default();
+
+    println!("loaded models:");
+    for model in platform.models() {
+        let info = model.info();
+        println!(
+            "  {:<12} {:>4.0}B params, {} context, {}",
+            info.name, info.params_b, info.context_window, info.quantization
+        );
+    }
+    let hw = platform.registry().hardware().report();
+    println!(
+        "hardware: {:.1}/{:.1} GiB VRAM in use ({} models on GPU)\n",
+        hw.used_vram_gb,
+        hw.total_vram_gb,
+        hw.gpu_residents.len()
+    );
+
+    let question = "Can you see the Great Wall of China from space?";
+    println!("Q: {question}");
+
+    // Turn on event recording so we can show the routing transparency log.
+    let mut config = platform.orchestrator_config();
+    config.record_events = true;
+    platform.set_orchestrator_config(config);
+
+    let result = platform.ask(question).expect("query must succeed");
+
+    println!("A: {}\n", result.response());
+    println!(
+        "strategy: {} | winner: {} | answer tokens: {} | total tokens: {} | simulated latency: {:?}",
+        result.strategy,
+        result.best_outcome().model,
+        result.best_outcome().tokens,
+        result.total_tokens,
+        result.simulated_latency(),
+    );
+
+    println!("\nper-model outcomes:");
+    for outcome in &result.outcomes {
+        println!(
+            "  {:<12} score={:.3} tokens={:<3} pruned={} done={:?}",
+            outcome.model, outcome.score, outcome.tokens, outcome.pruned, outcome.done
+        );
+    }
+
+    // Try the same question with the MAB strategy.
+    let mut config = platform.orchestrator_config();
+    config.strategy = Strategy::Mab(Default::default());
+    platform.set_orchestrator_config(config);
+    let mab = platform.ask(question).expect("query must succeed");
+    println!(
+        "\nwith {}: winner {} in {} pulls",
+        mab.strategy,
+        mab.best_outcome().model,
+        mab.rounds
+    );
+
+    // And the static single-model baseline the paper compares against.
+    platform.set_orchestrator_config(OrchestratorConfig {
+        strategy: Strategy::Single,
+        ..platform.orchestrator_config()
+    });
+    let single = platform.ask(question).expect("query must succeed");
+    println!(
+        "single-model baseline ({}): {}",
+        single.best_outcome().model,
+        single.response()
+    );
+}

@@ -1,0 +1,85 @@
+//! Transparent orchestration logs: run the same query under OUA and MAB with
+//! event recording on and print the decision trace — the "We asked Model A
+//! first, it got 60% confidence..." transparency feature of thesis §9.5.
+//!
+//! ```sh
+//! cargo run --example strategy_comparison
+//! ```
+
+use llmms::core::{
+    MabConfig, OrchestrationEvent, OrchestratorConfig, OuaConfig, Strategy,
+};
+use llmms::Platform;
+
+fn main() {
+    let platform = Platform::evaluation_default();
+    let question = "Does sugar make children hyperactive?";
+    println!("Q: {question}\n");
+
+    for strategy in [
+        Strategy::Oua(OuaConfig {
+            // Aggressive margins so pruning is visible in the trace.
+            prune_margin: 0.15,
+            win_margin: 0.15,
+            round_tokens: 4,
+            ..OuaConfig::default()
+        }),
+        Strategy::Mab(MabConfig {
+            pull_tokens: 4,
+            ..MabConfig::default()
+        }),
+    ] {
+        platform.set_orchestrator_config(OrchestratorConfig {
+            strategy,
+            record_events: true,
+            ..OrchestratorConfig::default()
+        });
+        let result = platform.ask(question).expect("query must succeed");
+
+        println!("=== {} ===", result.strategy);
+        for event in &result.events {
+            match event {
+                OrchestrationEvent::RoundStarted { round } if *round <= 3 || round % 10 == 0 => {
+                    println!("round {round}");
+                }
+                OrchestrationEvent::RoundStarted { .. } => {}
+                OrchestrationEvent::ModelChunk {
+                    model,
+                    text,
+                    tokens,
+                    done,
+                } => {
+                    let preview: String = text.chars().take(48).collect();
+                    let done = done.map(|d| format!(" [{}]", d.as_str())).unwrap_or_default();
+                    println!("  {model:<12} +{tokens:<2} {preview:?}{done}");
+                }
+                OrchestrationEvent::ScoresUpdated { scores } => {
+                    let line: Vec<String> = scores
+                        .iter()
+                        .map(|(m, s)| format!("{m}={s:.3}"))
+                        .collect();
+                    println!("  scores: {}", line.join("  "));
+                }
+                OrchestrationEvent::ModelPruned {
+                    model,
+                    score,
+                    second_worst,
+                } => println!("  PRUNED {model} (score {score:.3} vs second-worst {second_worst:.3})"),
+                OrchestrationEvent::EarlyWinner { model, score } => {
+                    println!("  EARLY WINNER {model} (score {score:.3})");
+                }
+                OrchestrationEvent::BudgetExhausted { used } => {
+                    println!("  budget exhausted at {used} tokens");
+                }
+                OrchestrationEvent::Finished {
+                    winner,
+                    total_tokens,
+                } => println!("  finished: {winner} wins, {total_tokens} tokens spent"),
+            }
+        }
+        println!(
+            "answer: {}\n",
+            result.response()
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Federated model integration end-to-end: a *remote* llmms node serves its
+//! models over `/api/generate`; the *local* orchestrator mixes a
+//! [`RemoteModel`] adapter into its candidate pool alongside local models
+//! (§9.5 "federated and secure model integration").
+
+use llmms::core::{Orchestrator, OrchestratorConfig, OuaConfig, Strategy};
+use llmms::models::{GenOptions, LanguageModel, SharedModel};
+use llmms::server::{client, RemoteModel, Server};
+use llmms::Platform;
+use std::sync::Arc;
+
+fn remote_node() -> Server {
+    Server::start(Arc::new(Platform::evaluation_default()), "127.0.0.1:0")
+        .expect("remote node must bind")
+}
+
+#[test]
+fn generate_endpoint_serves_raw_completions() {
+    let node = remote_node();
+    let r = client::request(
+        node.addr(),
+        "POST",
+        "/api/generate",
+        Some(r#"{"model":"qwen2-7b","prompt":"What is the capital of France?","temperature":0.0}"#),
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let v = r.json().unwrap();
+    assert_eq!(v["model"], "qwen2-7b");
+    assert!(!v["text"].as_str().unwrap().is_empty());
+    assert_eq!(v["done_reason"], "stop");
+    // Unknown model is a clean 400.
+    let r = client::request(
+        node.addr(),
+        "POST",
+        "/api/generate",
+        Some(r#"{"model":"gpt-5","prompt":"hi"}"#),
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+    node.shutdown();
+}
+
+#[test]
+fn remote_model_behaves_like_a_local_language_model() {
+    let node = remote_node();
+    let remote = RemoteModel::new(node.addr(), "mistral-7b").with_local_name("mistral-remote");
+    assert_eq!(remote.name(), "mistral-remote");
+    assert_eq!(remote.info().family, "remote");
+
+    let options = GenOptions {
+        temperature: 0.0,
+        ..GenOptions::default()
+    };
+    let done = remote.complete("What is the capital of France?", &options);
+    assert!(!done.text.is_empty());
+    assert!(done.tokens > 0);
+
+    // Chunked streaming matches the blocking completion.
+    let mut session = remote.start("What is the capital of France?", &options);
+    let mut acc = String::new();
+    loop {
+        let chunk = session.next_chunk(3);
+        assert!(chunk.tokens <= 3);
+        acc.push_str(&chunk.text);
+        if chunk.is_done() {
+            break;
+        }
+    }
+    assert_eq!(acc, done.text);
+    node.shutdown();
+}
+
+#[test]
+fn orchestrator_mixes_local_and_remote_models() {
+    let node = remote_node();
+    // Local pool: two local models + one federated one.
+    let local_platform = Platform::evaluation_default();
+    let mut pool: Vec<SharedModel> = local_platform.models()[..2].to_vec();
+    pool.push(Arc::new(
+        RemoteModel::new(node.addr(), "qwen2-7b").with_local_name("qwen2-federated"),
+    ));
+
+    let orchestrator = Orchestrator::new(
+        llmms::embed::default_embedder(),
+        OrchestratorConfig {
+            strategy: Strategy::Oua(OuaConfig::default()),
+            temperature: 0.0,
+            ..OrchestratorConfig::default()
+        },
+    );
+    let result = orchestrator
+        .run(&pool, "Can you see the Great Wall of China from space?")
+        .unwrap();
+    assert_eq!(result.outcomes.len(), 3);
+    let federated = result
+        .outcomes
+        .iter()
+        .find(|o| o.model == "qwen2-federated")
+        .unwrap();
+    assert!(
+        federated.tokens > 0,
+        "the federated model must have participated"
+    );
+    assert!(!result.response().is_empty());
+    node.shutdown();
+}
+
+#[test]
+fn dead_remote_degrades_gracefully() {
+    // Point at a node that is immediately shut down: the adapter must act
+    // like an empty generation, and orchestration must still answer from
+    // the healthy local models.
+    let node = remote_node();
+    let addr = node.addr();
+    node.shutdown();
+
+    let local_platform = Platform::evaluation_default();
+    let mut pool: Vec<SharedModel> = local_platform.models()[..2].to_vec();
+    pool.push(Arc::new(RemoteModel::new(addr, "qwen2-7b")));
+
+    let orchestrator = Orchestrator::new(
+        llmms::embed::default_embedder(),
+        OrchestratorConfig {
+            temperature: 0.0,
+            ..OrchestratorConfig::default()
+        },
+    );
+    let result = orchestrator
+        .run(&pool, "What is the capital of France?")
+        .unwrap();
+    assert!(
+        result.response().to_lowercase().contains("paris"),
+        "local models must still answer: {}",
+        result.response()
+    );
+}

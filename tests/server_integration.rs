@@ -1,0 +1,132 @@
+//! The application layer end-to-end: the real platform behind the real HTTP
+//! server, exercised through the wire like the thesis's browser frontend.
+
+use llmms::server::{client, Server};
+use llmms::Platform;
+use std::sync::Arc;
+
+fn server() -> Server {
+    Server::start(Arc::new(Platform::evaluation_default()), "127.0.0.1:0")
+        .expect("server must bind")
+}
+
+#[test]
+fn browser_like_conversation_over_http() {
+    let s = server();
+    let addr = s.addr();
+
+    // Create a session like the sidebar does.
+    let r = client::request(addr, "POST", "/api/sessions", Some("{}")).unwrap();
+    assert_eq!(r.status, 201);
+    let sid = r.json().unwrap()["id"].as_str().unwrap().to_owned();
+
+    // Two conversational turns threaded through the session.
+    for question in [
+        "What is the capital of France?",
+        "Can you see the Great Wall of China from space?",
+    ] {
+        let body = serde_json::json!({ "question": question, "session_id": sid }).to_string();
+        let r = client::request(addr, "POST", "/api/query", Some(&body)).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = r.json().unwrap();
+        let best = v["best"].as_u64().unwrap() as usize;
+        assert!(!v["outcomes"][best]["response"]
+            .as_str()
+            .unwrap()
+            .is_empty());
+    }
+
+    // The sidebar now shows the session with a title from the first turn.
+    let r = client::request(addr, "GET", "/api/sessions", None).unwrap();
+    let v = r.json().unwrap();
+    let sessions = v["sessions"].as_array().unwrap();
+    assert_eq!(sessions.len(), 1);
+    assert!(sessions[0]["title"]
+        .as_str()
+        .unwrap()
+        .contains("capital of France"));
+
+    s.shutdown();
+}
+
+#[test]
+fn upload_then_grounded_query_over_http() {
+    let s = server();
+    let addr = s.addr();
+    let r = client::request(
+        addr,
+        "POST",
+        "/api/ingest",
+        Some(
+            &serde_json::json!({
+                "document_id": "metals",
+                "text": "Tungsten has the highest melting point of any metal, at 3422 degrees Celsius."
+            })
+            .to_string(),
+        ),
+    )
+    .unwrap();
+    assert_eq!(r.status, 201);
+
+    let r = client::request(
+        addr,
+        "POST",
+        "/api/query",
+        Some(r#"{"question":"Which metal has the highest melting point?","top_k":3}"#),
+    )
+    .unwrap();
+    assert_eq!(r.status, 200);
+    let v = r.json().unwrap();
+    let best = v["best"].as_u64().unwrap() as usize;
+    assert!(
+        v["outcomes"][best]["response"]
+            .as_str()
+            .unwrap()
+            .to_lowercase()
+            .contains("tungsten"),
+        "answer: {}",
+        v["outcomes"][best]["response"]
+    );
+    s.shutdown();
+}
+
+#[test]
+fn sse_stream_ends_with_result_frame() {
+    let s = server();
+    let events = client::sse_request(
+        s.addr(),
+        "/api/query",
+        r#"{"question":"What is the capital of France?","stream":true}"#,
+    )
+    .unwrap();
+    assert!(events.len() >= 2, "got {} events", events.len());
+    assert!(events.iter().any(|(name, _)| name == "chunk"));
+    let (last_name, last_data) = events.last().unwrap();
+    assert_eq!(last_name, "result");
+    let result: serde_json::Value = serde_json::from_str(last_data).unwrap();
+    assert_eq!(result["strategy"], "LLM-MS OUA");
+    s.shutdown();
+}
+
+#[test]
+fn concurrent_clients_are_served() {
+    let s = server();
+    let addr = s.addr();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let body = serde_json::json!({
+                    "question": format!("What is the capital of France? (client {i})"),
+                    "top_k": 0
+                })
+                .to_string();
+                let r = client::request(addr, "POST", "/api/query", Some(&body)).unwrap();
+                assert_eq!(r.status, 200);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    s.shutdown();
+}
