@@ -44,7 +44,12 @@ fn bench_cosine(c: &mut Criterion) {
     let mut group = c.benchmark_group("similarity");
     group.sample_size(60);
     group.bench_function("cosine_384d", |b| {
-        b.iter(|| black_box(llmms::embed::cosine_embeddings(black_box(&a), black_box(&b2))));
+        b.iter(|| {
+            black_box(llmms::embed::cosine_embeddings(
+                black_box(&a),
+                black_box(&b2),
+            ))
+        });
     });
     group.finish();
 }

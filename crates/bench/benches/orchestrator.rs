@@ -8,8 +8,7 @@ use llmms::Platform;
 use std::hint::black_box;
 
 fn platform_with(strategy: Strategy) -> Platform {
-    let knowledge =
-        llmms::eval::generate(&llmms::eval::GeneratorConfig::default()).to_knowledge();
+    let knowledge = llmms::eval::generate(&llmms::eval::GeneratorConfig::default()).to_knowledge();
     Platform::builder()
         .knowledge(knowledge)
         .orchestrator_config(OrchestratorConfig {

@@ -8,9 +8,26 @@ use std::hint::black_box;
 fn corpus() -> Vec<String> {
     // Repeatable pseudo-text with realistic word statistics.
     let words = [
-        "the", "model", "generates", "tokens", "under", "a", "budget", "and",
-        "similarity", "scores", "guide", "selection", "across", "candidate",
-        "language", "models", "with", "retrieval", "augmented", "context",
+        "the",
+        "model",
+        "generates",
+        "tokens",
+        "under",
+        "a",
+        "budget",
+        "and",
+        "similarity",
+        "scores",
+        "guide",
+        "selection",
+        "across",
+        "candidate",
+        "language",
+        "models",
+        "with",
+        "retrieval",
+        "augmented",
+        "context",
     ];
     let mut state = 7u64;
     (0..200)
@@ -39,9 +56,7 @@ fn bench_train(c: &mut Criterion) {
                 },
                 ..Default::default()
             };
-            black_box(
-                Tokenizer::train(docs.iter().map(String::as_str), &config).unwrap(),
-            )
+            black_box(Tokenizer::train(docs.iter().map(String::as_str), &config).unwrap())
         });
     });
     group.finish();
@@ -49,8 +64,8 @@ fn bench_train(c: &mut Criterion) {
 
 fn bench_encode(c: &mut Criterion) {
     let docs = corpus();
-    let tok = Tokenizer::train(docs.iter().map(String::as_str), &TokenizerConfig::default())
-        .unwrap();
+    let tok =
+        Tokenizer::train(docs.iter().map(String::as_str), &TokenizerConfig::default()).unwrap();
     let text = &docs[0];
     let mut group = c.benchmark_group("tokenizer_encode");
     group.sample_size(40);

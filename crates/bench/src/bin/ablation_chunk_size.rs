@@ -24,8 +24,7 @@ fn main() {
         ];
         let start = Instant::now();
         let report = run_eval(&dataset, &harness_cfg).expect("eval");
-        let per_query_ms =
-            start.elapsed().as_secs_f64() * 1000.0 / (2.0 * dataset.len() as f64);
+        let per_query_ms = start.elapsed().as_secs_f64() * 1000.0 / (2.0 * dataset.len() as f64);
         for m in &report.modes {
             println!(
                 "{} chunk={chunk},{:.4},{:.4},{:.3},{per_query_ms:.2}",

@@ -26,7 +26,12 @@ fn main() {
     for (label, m) in labels.iter().zip(&report.modes) {
         println!(
             "{label},{:.4},{:.4},{:.3},{:.1},{:.1},{:.5}",
-            m.avg_reward, m.avg_f1, m.accuracy, m.avg_tokens, m.avg_total_tokens, m.reward_per_token
+            m.avg_reward,
+            m.avg_f1,
+            m.accuracy,
+            m.avg_tokens,
+            m.avg_total_tokens,
+            m.reward_per_token
         );
     }
 }

@@ -16,14 +16,70 @@ use llmms::models::GenOptions;
 /// Exemplar queries per category for the static task index (kept generic —
 /// they do not quote benchmark questions verbatim).
 const EXEMPLARS: &[(&str, &[&str], &str)] = &[
-    ("misconceptions", &["is this common belief actually true", "do people wrongly believe this fact"], "qwen2-7b"),
-    ("science", &["what does physics say about this process", "at what temperature does this happen"], "mistral-7b"),
-    ("history", &["what happened in this historical event", "did this famous historical figure really do that"], "llama3-8b"),
-    ("health", &["is this good or bad for your body", "does this habit cause an illness"], "qwen2-7b"),
-    ("law", &["is this legal or required by law", "what are your legal rights here"], "qwen2-7b"),
-    ("geography", &["what is the capital of this country", "which river or mountain is the largest"], "mistral-7b"),
-    ("fiction", &["what happens in this novel or film", "what does this fictional character say"], "llama3-8b"),
-    ("proverbs", &["is this old saying literally true", "does this proverb hold up in real life"], "llama3-8b"),
+    (
+        "misconceptions",
+        &[
+            "is this common belief actually true",
+            "do people wrongly believe this fact",
+        ],
+        "qwen2-7b",
+    ),
+    (
+        "science",
+        &[
+            "what does physics say about this process",
+            "at what temperature does this happen",
+        ],
+        "mistral-7b",
+    ),
+    (
+        "history",
+        &[
+            "what happened in this historical event",
+            "did this famous historical figure really do that",
+        ],
+        "llama3-8b",
+    ),
+    (
+        "health",
+        &[
+            "is this good or bad for your body",
+            "does this habit cause an illness",
+        ],
+        "qwen2-7b",
+    ),
+    (
+        "law",
+        &[
+            "is this legal or required by law",
+            "what are your legal rights here",
+        ],
+        "qwen2-7b",
+    ),
+    (
+        "geography",
+        &[
+            "what is the capital of this country",
+            "which river or mountain is the largest",
+        ],
+        "mistral-7b",
+    ),
+    (
+        "fiction",
+        &[
+            "what happens in this novel or film",
+            "what does this fictional character say",
+        ],
+        "llama3-8b",
+    ),
+    (
+        "proverbs",
+        &[
+            "is this old saying literally true",
+            "does this proverb hold up in real life",
+        ],
+        "llama3-8b",
+    ),
 ];
 
 fn learned_index(train: &Dataset) -> TaskIndex {
@@ -104,7 +160,12 @@ fn main() {
     for (label, m) in labels.iter().zip(&report.modes) {
         println!(
             "{label},{:.4},{:.4},{:.3},{:.1},{:.1},{:.5}",
-            m.avg_reward, m.avg_f1, m.accuracy, m.avg_tokens, m.avg_total_tokens, m.reward_per_token
+            m.avg_reward,
+            m.avg_f1,
+            m.accuracy,
+            m.avg_tokens,
+            m.avg_total_tokens,
+            m.reward_per_token
         );
     }
 }

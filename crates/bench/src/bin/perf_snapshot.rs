@@ -1,0 +1,86 @@
+//! Machine-readable performance snapshot: runs a fixed workload against the
+//! assembled platform and dumps every metric of the process-wide registry
+//! as JSON — counters, gauges, and histogram aggregates (count, sum, mean,
+//! max, p50/p90/p99). Diff two runs to track regressions between commits.
+//!
+//! Usage: `cargo run -p llmms-bench --release --bin perf_snapshot [out.json]`
+
+use llmms::core::{MabConfig, OrchestratorConfig, OuaConfig, Strategy};
+use llmms::obs::Registry;
+use llmms::Platform;
+use serde_json::json;
+
+const QUESTIONS: [&str; 3] = [
+    "What is the capital of France?",
+    "Can you see the Great Wall of China from space?",
+    "Was Napoleon unusually short?",
+];
+
+fn run_workload() {
+    let knowledge = llmms::eval::generate(&llmms::eval::GeneratorConfig::default()).to_knowledge();
+    for strategy in [
+        Strategy::Oua(OuaConfig::default()),
+        Strategy::Mab(MabConfig::default()),
+    ] {
+        let platform = Platform::builder()
+            .knowledge(knowledge.clone())
+            .orchestrator_config(OrchestratorConfig {
+                strategy,
+                ..OrchestratorConfig::default()
+            })
+            .build()
+            .expect("platform must assemble");
+        for q in QUESTIONS {
+            platform.ask(q).expect("workload query must succeed");
+        }
+    }
+}
+
+fn snapshot_json() -> serde_json::Value {
+    let snap = Registry::global().snapshot();
+    let counters: Vec<_> = snap
+        .counters
+        .iter()
+        .map(|c| json!({ "name": c.name, "labels": c.labels, "value": c.value }))
+        .collect();
+    let gauges: Vec<_> = snap
+        .gauges
+        .iter()
+        .map(|g| json!({ "name": g.name, "labels": g.labels, "value": g.value }))
+        .collect();
+    let histograms: Vec<_> = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            json!({
+                "name": h.name,
+                "labels": h.labels,
+                "count": h.count,
+                "sum": h.sum,
+                "mean": h.mean,
+                "max": h.max,
+                "p50": h.p50,
+                "p90": h.p90,
+                "p99": h.p99,
+            })
+        })
+        .collect();
+    json!({
+        "workload": { "strategies": ["oua", "mab"], "questions": QUESTIONS.len() },
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    })
+}
+
+fn main() {
+    run_workload();
+    let out = serde_json::to_string_pretty(&snapshot_json()).expect("snapshot serializes");
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &out).expect("snapshot file must be writable");
+            eprintln!("perf snapshot written to {path}");
+        }
+        None => println!("{out}"),
+    }
+}

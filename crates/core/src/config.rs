@@ -126,6 +126,10 @@ pub struct OrchestratorConfig {
     /// Record an [`crate::events::OrchestrationEvent`] trace in the result
     /// (the paper's "transparent orchestration logs" extension, §9.5).
     pub record_events: bool,
+    /// When set, every run appends its stamped event trace as JSON lines to
+    /// this file for offline replay (independent of `record_events`).
+    #[serde(default)]
+    pub trace_path: Option<String>,
 }
 
 impl Default for OrchestratorConfig {
@@ -136,6 +140,7 @@ impl Default for OrchestratorConfig {
             temperature: 0.7,
             seed: 0,
             record_events: false,
+            trace_path: None,
         }
     }
 }
@@ -188,6 +193,13 @@ impl OrchestratorConfigBuilder {
     #[must_use]
     pub fn record_events(mut self, record: bool) -> Self {
         self.config.record_events = record;
+        self
+    }
+
+    /// Mirror stamped event traces to a JSON-lines file.
+    #[must_use]
+    pub fn trace_path(mut self, path: impl Into<String>) -> Self {
+        self.config.trace_path = Some(path.into());
         self
     }
 

@@ -2,6 +2,13 @@
 //! thesis lists as an extension (§9.5: "We asked Model A first, it got 60%
 //! confidence; then we asked Model B ...") and the feed behind the UI's
 //! model-routing overlay (§7.3).
+//!
+//! Every recorded event carries a monotonic elapsed-time stamp relative to
+//! the start of the orchestration, and the recorder can mirror the stamped
+//! trace to a JSON-lines sink for offline replay.
+
+use std::io::Write;
+use std::time::Instant;
 
 use llmms_models::DoneReason;
 use serde::{Deserialize, Serialize};
@@ -60,14 +67,38 @@ pub enum OrchestrationEvent {
     },
 }
 
-/// Collects events when enabled, and optionally forwards each event to a
-/// live channel (the application layer's SSE feed). A fully disabled
-/// recorder is free.
-#[derive(Debug, Default)]
+/// An [`OrchestrationEvent`] stamped with the monotonic time at which it was
+/// recorded, in microseconds since the orchestration started.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Microseconds since the recorder was created.
+    pub elapsed_us: u64,
+    /// The event itself.
+    pub event: OrchestrationEvent,
+}
+
+/// Collects stamped events when enabled, optionally forwards each raw event
+/// to a live channel (the application layer's SSE feed), and optionally
+/// mirrors the stamped trace as JSON lines into a writer for offline
+/// replay. A fully disabled recorder is free.
+#[derive(Default)]
 pub struct EventRecorder {
     enabled: bool,
-    events: Vec<OrchestrationEvent>,
+    start: Option<Instant>,
+    events: Vec<TimedEvent>,
     sink: Option<crossbeam_channel::Sender<OrchestrationEvent>>,
+    trace: Option<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for EventRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRecorder")
+            .field("enabled", &self.enabled)
+            .field("events", &self.events)
+            .field("sink", &self.sink.is_some())
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
 }
 
 impl EventRecorder {
@@ -75,47 +106,89 @@ impl EventRecorder {
     pub fn new(enabled: bool) -> Self {
         Self {
             enabled,
+            start: None,
             events: Vec::new(),
             sink: None,
+            trace: None,
         }
     }
 
     /// A recorder that additionally streams every event into `sink` as it
     /// happens (used by the server to forward chunks over SSE while the
-    /// orchestration is still running). Send failures (receiver hung up)
-    /// are ignored — a closed SSE connection must not abort the query.
-    pub fn with_sink(
-        enabled: bool,
-        sink: crossbeam_channel::Sender<OrchestrationEvent>,
-    ) -> Self {
+    /// orchestration is still running). On the first send failure (receiver
+    /// hung up) the sink is dropped, so later events skip the clone + send
+    /// entirely — a closed SSE connection must not slow down or abort the
+    /// query.
+    pub fn with_sink(enabled: bool, sink: crossbeam_channel::Sender<OrchestrationEvent>) -> Self {
         Self {
             enabled,
+            start: None,
             events: Vec::new(),
             sink: Some(sink),
+            trace: None,
         }
+    }
+
+    /// Additionally mirror every stamped event as one JSON line into
+    /// `trace` (the offline-replay trace sink). Write failures are ignored.
+    pub fn with_trace(mut self, trace: Box<dyn Write + Send>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Whether the next [`EventRecorder::emit`] would observe the event.
+    #[inline]
+    pub fn is_observing(&self) -> bool {
+        self.enabled || self.sink.is_some() || self.trace.is_some()
+    }
+
+    /// Microseconds since the first recorded event (the stamp the next
+    /// event would get). The clock starts lazily on the first emit so
+    /// recorder construction stays free.
+    fn stamp(&mut self) -> u64 {
+        let start = *self.start.get_or_insert_with(Instant::now);
+        start.elapsed().as_micros() as u64
     }
 
     /// Record `event` (no-op when disabled and no sink is attached).
     pub fn emit(&mut self, event: OrchestrationEvent) {
         if let Some(sink) = &self.sink {
-            let _ = sink.send(event.clone());
+            if sink.send(event.clone()).is_err() {
+                // Receiver hung up: drop the sink so subsequent events skip
+                // the clone and the failed send.
+                self.sink = None;
+            }
         }
-        if self.enabled {
-            self.events.push(event);
+        if self.enabled || self.trace.is_some() {
+            let timed = TimedEvent {
+                elapsed_us: self.stamp(),
+                event,
+            };
+            if let Some(trace) = &mut self.trace {
+                if let Ok(line) = serde_json::to_string(&timed) {
+                    let _ = writeln!(trace, "{line}");
+                }
+            }
+            if self.enabled {
+                self.events.push(timed);
+            }
         }
     }
 
     /// Like [`EventRecorder::emit`] but the event is only built when it
     /// would be observed — keeps hot loops allocation-free when disabled.
     pub fn emit_with(&mut self, f: impl FnOnce() -> OrchestrationEvent) {
-        if self.enabled || self.sink.is_some() {
+        if self.is_observing() {
             self.emit(f());
         }
     }
 
-    /// Consume the recorder, returning the trace.
-    pub fn into_events(self) -> Vec<OrchestrationEvent> {
-        self.events
+    /// Consume the recorder, returning the stamped trace.
+    pub fn into_events(mut self) -> Vec<TimedEvent> {
+        if let Some(trace) = &mut self.trace {
+            let _ = trace.flush();
+        }
+        std::mem::take(&mut self.events)
     }
 }
 
@@ -138,8 +211,26 @@ mod tests {
         r.emit_with(|| OrchestrationEvent::BudgetExhausted { used: 10 });
         let events = r.into_events();
         assert_eq!(events.len(), 2);
-        assert!(matches!(events[0], OrchestrationEvent::RoundStarted { round: 1 }));
-        assert!(matches!(events[1], OrchestrationEvent::BudgetExhausted { used: 10 }));
+        assert!(matches!(
+            events[0].event,
+            OrchestrationEvent::RoundStarted { round: 1 }
+        ));
+        assert!(matches!(
+            events[1].event,
+            OrchestrationEvent::BudgetExhausted { used: 10 }
+        ));
+    }
+
+    #[test]
+    fn stamps_are_monotonic() {
+        let mut r = EventRecorder::new(true);
+        for round in 1..=50 {
+            r.emit(OrchestrationEvent::RoundStarted { round });
+        }
+        let events = r.into_events();
+        for w in events.windows(2) {
+            assert!(w[0].elapsed_us <= w[1].elapsed_us);
+        }
     }
 
     #[test]
@@ -152,5 +243,69 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         let back: OrchestrationEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn timed_events_serialize() {
+        let t = TimedEvent {
+            elapsed_us: 1234,
+            event: OrchestrationEvent::Finished {
+                winner: "m".into(),
+                total_tokens: 9,
+            },
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"elapsed_us\":1234"), "{json}");
+        let back: TimedEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn sink_dropped_after_first_send_failure() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let mut r = EventRecorder::with_sink(false, tx);
+        r.emit(OrchestrationEvent::RoundStarted { round: 1 });
+        assert!(r.is_observing());
+        drop(rx);
+        // First failed send drops the sink...
+        r.emit(OrchestrationEvent::RoundStarted { round: 2 });
+        // ...so the recorder stops observing entirely.
+        assert!(!r.is_observing());
+        r.emit_with(|| panic!("closure must not run once the sink is gone"));
+    }
+
+    #[test]
+    fn trace_sink_writes_json_lines() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut r = EventRecorder::new(true).with_trace(Box::new(buf.clone()));
+        r.emit(OrchestrationEvent::RoundStarted { round: 1 });
+        r.emit(OrchestrationEvent::Finished {
+            winner: "m".into(),
+            total_tokens: 2,
+        });
+        let events = r.into_events();
+        assert_eq!(events.len(), 2);
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, event) in lines.iter().zip(&events) {
+            let parsed: TimedEvent = serde_json::from_str(line).unwrap();
+            assert_eq!(&parsed, event);
+        }
     }
 }

@@ -183,7 +183,12 @@ fn instantly_empty_model_is_tolerated() {
         let models = pool(&[("healthy", Fault::None), ("mute", Fault::InstantEmpty)]);
         let o = orchestrator(strategy);
         let r = o.run(&models, "what is the answer").unwrap();
-        assert_eq!(r.response(), "the honest answer is forty two", "{}", r.strategy);
+        assert_eq!(
+            r.response(),
+            "the honest answer is forty two",
+            "{}",
+            r.strategy
+        );
         // The mute model must never be selected despite existing in outcomes.
         assert_eq!(r.best_outcome().model, "healthy", "{}", r.strategy);
     }

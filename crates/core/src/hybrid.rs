@@ -97,7 +97,13 @@ pub(crate) fn run(
                 });
             }
         }
-        update_probe_scores(&mut runs, &query_embedding, embedder, &cfg.weights, &mut scores);
+        update_probe_scores(
+            &mut runs,
+            &query_embedding,
+            embedder,
+            &cfg.weights,
+            &mut scores,
+        );
         recorder.emit_with(|| OrchestrationEvent::ScoresUpdated {
             scores: runs
                 .iter()

@@ -9,7 +9,7 @@
 use crate::config::{MabConfig, OrchestratorConfig, OuaConfig, Strategy};
 use crate::hybrid::HybridConfig;
 use crate::orchestrator::Orchestrator;
-use llmms_models::{KnowledgeEntry, KnowledgeStore, ModelProfile, SimLlm, SharedModel};
+use llmms_models::{KnowledgeEntry, KnowledgeStore, ModelProfile, SharedModel, SimLlm};
 use proptest::prelude::*;
 use std::sync::Arc;
 

@@ -60,8 +60,8 @@ mod failure_tests;
 mod hybrid;
 mod invariant_tests;
 mod mab;
-mod oua;
 pub mod orchestrator;
+mod oua;
 pub mod result;
 pub mod reward;
 mod routed;
@@ -71,13 +71,15 @@ mod single;
 pub mod tournament;
 
 pub use budget::TokenBudget;
-pub use config::{MabConfig, MabSelection, OrchestratorConfig, OrchestratorConfigBuilder, OuaConfig, Strategy};
+pub use config::{
+    MabConfig, MabSelection, OrchestratorConfig, OrchestratorConfigBuilder, OuaConfig, Strategy,
+};
 pub use error::OrchestratorError;
-pub use hybrid::HybridConfig;
-pub use routed::RouterConfig;
-pub use tournament::{Scoreboard, TournamentConfig};
-pub use router::{TaskIndex, TaskProfile};
 pub use events::{EventRecorder, OrchestrationEvent};
+pub use hybrid::HybridConfig;
 pub use orchestrator::Orchestrator;
 pub use result::{ModelOutcome, OrchestrationResult};
 pub use reward::{combined_score, inter_model_agreement, score_all, RewardWeights};
+pub use routed::RouterConfig;
+pub use router::{TaskIndex, TaskProfile};
+pub use tournament::{Scoreboard, TournamentConfig};

@@ -56,6 +56,10 @@ pub(crate) fn run(
     let mut stalls = vec![0u8; n];
     const MAX_STALLS: u8 = 3;
 
+    // Handle resolved once so per-pull timing stays allocation-free.
+    let registry = llmms_obs::Registry::global();
+    let round_timer = registry.histogram_with("orchestrator_round_us", &[("strategy", "mab")]);
+
     while !budget.exhausted() {
         // Arms that can still produce tokens.
         let active: Vec<usize> = (0..n).filter(|&i| runs[i].is_active()).collect();
@@ -66,12 +70,9 @@ pub(crate) fn run(
         // so its (winning) response can no longer change.
         if cfg.early_stop {
             let leader = match cfg.selection {
-                MabSelection::FinalScore => argmax(&final_scores(
-                    &mut runs,
-                    &query_embedding,
-                    embedder,
-                    cfg,
-                )),
+                MabSelection::FinalScore => {
+                    argmax(&final_scores(&mut runs, &query_embedding, embedder, cfg))
+                }
                 _ => leader_of(&rewards, &pulls, cfg.selection),
             };
             if let Some(leader) = leader {
@@ -81,6 +82,7 @@ pub(crate) fn run(
             }
         }
 
+        let _pull_span = registry.span_on(&round_timer);
         let gamma = if cfg.decay {
             cfg.gamma0 * (1.0 - budget.consumed_fraction())
         } else {
@@ -171,7 +173,13 @@ pub(crate) fn run(
 }
 
 /// UCB value for arm `i`; unpulled arms get +∞ so each arm is tried once.
-pub(crate) fn ucb(rewards: &[f64], pulls: &[usize], total_pulls: usize, gamma: f64, i: usize) -> f64 {
+pub(crate) fn ucb(
+    rewards: &[f64],
+    pulls: &[usize],
+    total_pulls: usize,
+    gamma: f64,
+    i: usize,
+) -> f64 {
     if pulls[i] == 0 {
         return f64::INFINITY;
     }
@@ -261,9 +269,9 @@ fn pull_reward(
     }
     let target = runs[chosen].embedding(embedder);
     let mut others: Vec<Embedding> = Vec::with_capacity(runs.len() - 1);
-    for i in 0..runs.len() {
-        if i != chosen && runs[i].has_output() {
-            others.push(runs[i].embedding(embedder));
+    for (i, run) in runs.iter_mut().enumerate() {
+        if i != chosen && run.has_output() {
+            others.push(run.embedding(embedder));
         }
     }
     let refs: Vec<&Embedding> = others.iter().collect();

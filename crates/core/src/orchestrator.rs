@@ -1,8 +1,8 @@
 //! The [`Orchestrator`] — the platform's computation-layer entry point.
 
 use crate::config::{OrchestratorConfig, Strategy};
-use crate::events::EventRecorder;
 use crate::error::OrchestratorError;
+use crate::events::EventRecorder;
 use crate::result::OrchestrationResult;
 use crate::{hybrid, mab, oua, routed, single};
 use llmms_embed::SharedEmbedder;
@@ -47,7 +47,8 @@ impl Orchestrator {
         models: &[SharedModel],
         prompt: &str,
     ) -> Result<OrchestrationResult, OrchestratorError> {
-        self.run_inner(models, prompt, EventRecorder::new(self.config.record_events))
+        let recorder = self.attach_trace(EventRecorder::new(self.config.record_events));
+        self.run_inner(models, prompt, recorder)
     }
 
     /// Like [`Orchestrator::run`], additionally forwarding every
@@ -64,11 +65,72 @@ impl Orchestrator {
         prompt: &str,
         sink: crossbeam_channel::Sender<crate::OrchestrationEvent>,
     ) -> Result<OrchestrationResult, OrchestratorError> {
-        self.run_inner(
-            models,
-            prompt,
-            EventRecorder::with_sink(self.config.record_events, sink),
-        )
+        let recorder = self.attach_trace(EventRecorder::with_sink(self.config.record_events, sink));
+        self.run_inner(models, prompt, recorder)
+    }
+
+    /// Attach the configured JSON-lines trace sink, if any. The file is
+    /// opened in append mode per run so traces from consecutive queries
+    /// accumulate; an unopenable path degrades to no trace rather than
+    /// failing the query.
+    fn attach_trace(&self, recorder: EventRecorder) -> EventRecorder {
+        let Some(path) = &self.config.trace_path else {
+            return recorder;
+        };
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(file) => recorder.with_trace(Box::new(std::io::BufWriter::new(file))),
+            Err(_) => recorder,
+        }
+    }
+
+    /// Record the run's per-model aggregates into the global metrics
+    /// registry: tokens, prune/win counts, and final reward distribution,
+    /// plus strategy-level run duration via the stage histogram.
+    fn record_metrics(&self, result: &OrchestrationResult) {
+        let registry = llmms_obs::Registry::global();
+        if !registry.enabled() {
+            return;
+        }
+        for (i, outcome) in result.outcomes.iter().enumerate() {
+            let labels = [("model", outcome.model.as_str())];
+            registry
+                .counter_with("model_tokens_total", &labels)
+                .metric
+                .add(outcome.tokens as u64);
+            if outcome.pruned {
+                registry
+                    .counter_with("model_pruned_total", &labels)
+                    .metric
+                    .inc();
+            }
+            if i == result.best {
+                registry
+                    .counter_with("model_wins_total", &labels)
+                    .metric
+                    .inc();
+            }
+            registry
+                .histogram_with("model_reward", &labels)
+                .metric
+                .record(outcome.score);
+        }
+        registry
+            .counter_with(
+                "orchestrator_rounds_total",
+                &[("strategy", &result.strategy)],
+            )
+            .metric
+            .add(result.rounds as u64);
+        if result.budget_exhausted {
+            registry
+                .counter("orchestrator_budget_exhausted_total")
+                .metric
+                .inc();
+        }
     }
 
     fn run_inner(
@@ -83,52 +145,30 @@ impl Orchestrator {
         if self.config.token_budget == 0 {
             return Err(OrchestratorError::ZeroBudget);
         }
-        match &self.config.strategy {
+        let span = llmms_obs::Registry::global().span("orchestrate");
+        let result = match &self.config.strategy {
             Strategy::Single => {
                 if models.len() != 1 {
                     return Err(OrchestratorError::SingleNeedsOneModel { got: models.len() });
                 }
-                Ok(single::run(
-                    &models[0],
-                    prompt,
-                    &self.embedder,
-                    &self.config,
-                    recorder,
-                ))
+                single::run(&models[0], prompt, &self.embedder, &self.config, recorder)
             }
-            Strategy::Oua(cfg) => Ok(oua::run(
-                models,
-                prompt,
-                &self.embedder,
-                cfg,
-                &self.config,
-                recorder,
-            )),
-            Strategy::Mab(cfg) => Ok(mab::run(
-                models,
-                prompt,
-                &self.embedder,
-                cfg,
-                &self.config,
-                recorder,
-            )),
-            Strategy::Routed(cfg) => Ok(routed::run(
-                models,
-                prompt,
-                &self.embedder,
-                cfg,
-                &self.config,
-                recorder,
-            )),
-            Strategy::Hybrid(cfg) => Ok(hybrid::run(
-                models,
-                prompt,
-                &self.embedder,
-                cfg,
-                &self.config,
-                recorder,
-            )),
-        }
+            Strategy::Oua(cfg) => {
+                oua::run(models, prompt, &self.embedder, cfg, &self.config, recorder)
+            }
+            Strategy::Mab(cfg) => {
+                mab::run(models, prompt, &self.embedder, cfg, &self.config, recorder)
+            }
+            Strategy::Routed(cfg) => {
+                routed::run(models, prompt, &self.embedder, cfg, &self.config, recorder)
+            }
+            Strategy::Hybrid(cfg) => {
+                hybrid::run(models, prompt, &self.embedder, cfg, &self.config, recorder)
+            }
+        };
+        span.finish();
+        self.record_metrics(&result);
+        Ok(result)
     }
 }
 
@@ -150,11 +190,9 @@ mod tests {
                     category: "geography".into(),
                     golden: "The capital of France is Paris".into(),
                     correct: vec!["Paris is the capital of France".into()],
-                    incorrect: vec![
-                        "Lyon became the seat of government after the revolution \
+                    incorrect: vec!["Lyon became the seat of government after the revolution \
                          and remains the administrative center to this day"
-                            .into(),
-                    ],
+                        .into()],
                 },
                 KnowledgeEntry {
                     id: "q2".into(),
@@ -292,7 +330,12 @@ mod tests {
             cfg.token_budget = 10;
             let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
             let r = o.run(&pool, "What is the capital of France?").unwrap();
-            assert!(r.total_tokens <= 10, "{}: used {}", r.strategy, r.total_tokens);
+            assert!(
+                r.total_tokens <= 10,
+                "{}: used {}",
+                r.strategy,
+                r.total_tokens
+            );
             let sum: usize = r.outcomes.iter().map(|o| o.tokens).sum();
             assert_eq!(sum, r.total_tokens, "per-model tokens must sum to total");
         }
@@ -311,8 +354,12 @@ mod tests {
             Strategy::Mab(MabConfig::default()),
         ] {
             let o = orchestrator(strategy);
-            let r1 = o.run(&pool, "Can you see the Great Wall of China from space?").unwrap();
-            let r2 = o.run(&pool, "Can you see the Great Wall of China from space?").unwrap();
+            let r1 = o
+                .run(&pool, "Can you see the Great Wall of China from space?")
+                .unwrap();
+            let r2 = o
+                .run(&pool, "Can you see the Great Wall of China from space?")
+                .unwrap();
             assert_eq!(r1.response(), r2.response());
             assert_eq!(r1.total_tokens, r2.total_tokens);
             assert_eq!(r1.rounds, r2.rounds);
@@ -344,9 +391,16 @@ mod tests {
             .map(|o| o.model.as_str())
             .collect();
         assert!(
-            pruned.contains(&"dunce") || r.events.iter().any(|e| matches!(e, crate::events::OrchestrationEvent::EarlyWinner { .. })),
+            pruned.contains(&"dunce")
+                || r.events.iter().any(|e| matches!(
+                    e.event,
+                    crate::events::OrchestrationEvent::EarlyWinner { .. }
+                )),
             "expected the dunce to be pruned or an early winner; outcomes: {:?}",
-            r.outcomes.iter().map(|o| (&o.model, o.score, o.pruned)).collect::<Vec<_>>()
+            r.outcomes
+                .iter()
+                .map(|o| (&o.model, o.score, o.pruned))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -379,7 +433,10 @@ mod tests {
         assert!(
             strong >= weak,
             "strong={strong} pulls, weak={weak} pulls; outcomes: {:?}",
-            r.outcomes.iter().map(|o| (&o.model, o.rounds, o.score)).collect::<Vec<_>>()
+            r.outcomes
+                .iter()
+                .map(|o| (&o.model, o.rounds, o.score))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -391,9 +448,77 @@ mod tests {
         let r = o.run(&pool, "What is the capital of France?").unwrap();
         assert!(!r.events.is_empty());
         assert!(matches!(
-            r.events.last().unwrap(),
+            r.events.last().unwrap().event,
             crate::events::OrchestrationEvent::Finished { .. }
         ));
+    }
+
+    #[test]
+    fn trace_path_appends_stamped_json_lines() {
+        let store = knowledge();
+        let pool = [skilled("a", 0.9, &store), skilled("b", 0.4, &store)];
+        let path = std::env::temp_dir().join(format!(
+            "llmms-trace-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = config(Strategy::Oua(OuaConfig::default()));
+        cfg.trace_path = Some(path.to_string_lossy().into_owned());
+        let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), r.events.len(), "one JSON line per event");
+        for (line, event) in lines.iter().zip(&r.events) {
+            let parsed: crate::events::TimedEvent = serde_json::from_str(line).unwrap();
+            assert_eq!(&parsed, event);
+        }
+
+        // A second run appends rather than truncates.
+        let r2 = o.run(&pool, "What is the capital of France?").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), r.events.len() + r2.events.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_records_per_model_metrics() {
+        let registry = llmms_obs::Registry::global();
+        let store = knowledge();
+        let pool = [
+            skilled("metrics-a", 0.9, &store),
+            skilled("metrics-b", 0.4, &store),
+        ];
+        let o = orchestrator(Strategy::Oua(OuaConfig::default()));
+        let r = o.run(&pool, "What is the capital of France?").unwrap();
+
+        let snap = registry.snapshot();
+        let tokens_a = snap.counter_value("model_tokens_total", &[("model", "metrics-a")]);
+        let tokens_b = snap.counter_value("model_tokens_total", &[("model", "metrics-b")]);
+        assert_eq!(
+            tokens_a + tokens_b,
+            r.total_tokens as u64,
+            "per-model token counters must sum to the run total"
+        );
+        let winner = &r.best_outcome().model;
+        assert!(snap.counter_value("model_wins_total", &[("model", winner)]) >= 1);
+        assert!(
+            snap.histogram_named("model_reward", &[("model", "metrics-a")])
+                .is_some_and(|h| h.count >= 1),
+            "reward histogram must record"
+        );
+        assert!(
+            snap.histogram_named("orchestrator_round_us", &[("strategy", "oua")])
+                .is_some_and(|h| h.count >= 1),
+            "per-round wall time must record"
+        );
+        assert!(
+            snap.histogram_named("stage_duration_us", &[("stage", "orchestrate")])
+                .is_some_and(|h| h.count >= 1),
+            "orchestrate stage timer must record"
+        );
     }
 
     #[test]
@@ -487,16 +612,15 @@ mod tests {
     #[test]
     fn unknown_question_still_returns_an_answer() {
         let store = knowledge();
-        let pool = [
-            skilled("a", 0.9, &store),
-            skilled("b", 0.5, &store),
-        ];
+        let pool = [skilled("a", 0.9, &store), skilled("b", 0.5, &store)];
         for strategy in [
             Strategy::Oua(OuaConfig::default()),
             Strategy::Mab(MabConfig::default()),
         ] {
             let o = orchestrator(strategy);
-            let r = o.run(&pool, "what is the airspeed of an unladen swallow").unwrap();
+            let r = o
+                .run(&pool, "what is the airspeed of an unladen swallow")
+                .unwrap();
             assert!(!r.response().is_empty());
         }
     }

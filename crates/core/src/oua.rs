@@ -54,11 +54,13 @@ pub(crate) fn run(
     let mut rounds = 0usize;
     let mut early_winner: Option<usize> = None;
 
-    while early_winner.is_none()
-        && !budget.exhausted()
-        && runs.iter().any(ModelRun::is_active)
-    {
+    // Handle resolved once so per-round timing stays allocation-free.
+    let registry = llmms_obs::Registry::global();
+    let round_timer = registry.histogram_with("orchestrator_round_us", &[("strategy", "oua")]);
+
+    while early_winner.is_none() && !budget.exhausted() && runs.iter().any(ModelRun::is_active) {
         rounds += 1;
+        let _round_span = registry.span_on(&round_timer);
         recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: rounds });
 
         // λ per surviving model: pruned models return their allowance.
@@ -112,6 +114,12 @@ pub(crate) fn run(
                     model: runs[best].name.clone(),
                     score: scores[best],
                 });
+                if registry.enabled() {
+                    registry
+                        .counter_with("model_early_win_total", &[("model", &runs[best].name)])
+                        .metric
+                        .inc();
+                }
                 early_winner = Some(best);
                 // Abort the losers' in-flight sessions.
                 for (i, run) in runs.iter_mut().enumerate() {
@@ -124,18 +132,14 @@ pub(crate) fn run(
         }
 
         // Pruning (lines 20–23): compare the two worst *active* models.
-        if let Some((worst, second_worst)) =
-            worst_and_second(&runs, &scores, ModelRun::is_active)
-        {
-            if let Some(sw) = second_worst {
-                if scores[sw] - scores[worst] > cfg.prune_margin {
-                    recorder.emit_with(|| OrchestrationEvent::ModelPruned {
-                        model: runs[worst].name.clone(),
-                        score: scores[worst],
-                        second_worst: scores[sw],
-                    });
-                    runs[worst].prune();
-                }
+        if let Some((worst, Some(sw))) = worst_and_second(&runs, &scores, ModelRun::is_active) {
+            if scores[sw] - scores[worst] > cfg.prune_margin {
+                recorder.emit_with(|| OrchestrationEvent::ModelPruned {
+                    model: runs[worst].name.clone(),
+                    score: scores[worst],
+                    second_worst: scores[sw],
+                });
+                runs[worst].prune();
             }
         }
     }

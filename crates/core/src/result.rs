@@ -1,6 +1,6 @@
 //! Results returned by an orchestration run.
 
-use crate::events::OrchestrationEvent;
+use crate::events::TimedEvent;
 use llmms_models::DoneReason;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -44,8 +44,8 @@ pub struct OrchestrationResult {
     pub rounds: usize,
     /// Whether the run ended because λ_max was exhausted.
     pub budget_exhausted: bool,
-    /// Event trace (empty unless recording was enabled).
-    pub events: Vec<OrchestrationEvent>,
+    /// Stamped event trace (empty unless recording was enabled).
+    pub events: Vec<TimedEvent>,
 }
 
 impl OrchestrationResult {

@@ -77,11 +77,7 @@ pub fn combined_score(
 /// `responses[i]` is model *i*'s current response embedding; the returned
 /// `scores[i]` is its Eq. 6.1 score where the "others" are all responses
 /// except *i*.
-pub fn score_all(
-    weights: &RewardWeights,
-    query: &Embedding,
-    responses: &[Embedding],
-) -> Vec<f64> {
+pub fn score_all(weights: &RewardWeights, query: &Embedding, responses: &[Embedding]) -> Vec<f64> {
     (0..responses.len())
         .map(|i| {
             let others: Vec<&Embedding> = responses

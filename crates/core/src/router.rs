@@ -41,10 +41,7 @@ pub struct TaskIndex {
 impl TaskIndex {
     /// Build an index from `(category, exemplar queries, preferred model)`
     /// triples; exemplars are embedded and averaged into the centroid.
-    pub fn build(
-        tasks: &[(&str, &[&str], &str)],
-        embedder: &SharedEmbedder,
-    ) -> Self {
+    pub fn build(tasks: &[(&str, &[&str], &str)], embedder: &SharedEmbedder) -> Self {
         let tasks = tasks
             .iter()
             .map(|(name, exemplars, preferred)| {
@@ -186,7 +183,10 @@ mod tests {
             idx.record_feedback("geography", "mistral-7b", 0.2);
         }
         let e = embedder();
-        assert_eq!(idx.route(&e.embed("what is the capital of brazil")), Some("qwen2-7b"));
+        assert_eq!(
+            idx.route(&e.embed("what is the capital of brazil")),
+            Some("qwen2-7b")
+        );
         // History preference is untouched.
         assert_eq!(
             idx.route(&e.embed("did an apple fall on newton's head")),

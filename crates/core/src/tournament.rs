@@ -74,11 +74,8 @@ impl Scoreboard {
 
     /// `(model, rating)` pairs sorted best first.
     pub fn standings(&self) -> Vec<(String, f64)> {
-        let mut out: Vec<(String, f64)> = self
-            .ratings
-            .iter()
-            .map(|(m, &r)| (m.clone(), r))
-            .collect();
+        let mut out: Vec<(String, f64)> =
+            self.ratings.iter().map(|(m, &r)| (m.clone(), r)).collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         out
     }
@@ -118,8 +115,10 @@ impl Scoreboard {
         let k = self.config.k_factor;
         self.ratings
             .insert(a.to_owned(), ra + k * (outcome - expected_a));
-        self.ratings
-            .insert(b.to_owned(), rb + k * ((1.0 - outcome) - (1.0 - expected_a)));
+        self.ratings.insert(
+            b.to_owned(),
+            rb + k * ((1.0 - outcome) - (1.0 - expected_a)),
+        );
         *self.games.entry(a.to_owned()).or_insert(0) += 1;
         *self.games.entry(b.to_owned()).or_insert(0) += 1;
     }

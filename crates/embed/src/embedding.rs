@@ -125,7 +125,12 @@ impl Embedding {
 
 impl fmt::Display for Embedding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Embedding(dim={}, norm={:.4})", self.dim(), self.l2_norm())
+        write!(
+            f,
+            "Embedding(dim={}, norm={:.4})",
+            self.dim(),
+            self.l2_norm()
+        )
     }
 }
 

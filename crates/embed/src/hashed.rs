@@ -101,6 +101,7 @@ impl Embedder for HashedNgramEmbedder {
     }
 
     fn embed(&self, text: &str) -> Embedding {
+        let _span = llmms_obs::span("embed");
         let normalized = normalize(text, &NormalizerConfig::case_insensitive());
         let mut acc = vec![0.0f32; self.config.dim];
 
@@ -209,9 +210,7 @@ mod tests {
         let q = emb.embed("water boils at one hundred degrees celsius at sea level");
         let paraphrase = emb.embed("at sea level water boils at 100 degrees celsius");
         let topic_only = emb.embed("water is a chemical compound of hydrogen and oxygen");
-        assert!(
-            cosine_embeddings(&q, &paraphrase) > cosine_embeddings(&q, &topic_only),
-        );
+        assert!(cosine_embeddings(&q, &paraphrase) > cosine_embeddings(&q, &topic_only),);
     }
 
     #[test]

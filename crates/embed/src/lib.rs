@@ -34,7 +34,9 @@ pub mod tfidf;
 pub use embedder::{CachedEmbedder, Embedder};
 pub use embedding::Embedding;
 pub use hashed::{HashedEmbedderConfig, HashedNgramEmbedder};
-pub use similarity::{cosine, cosine_embeddings, dot, euclidean, mean_similarity_to_others, Metric};
+pub use similarity::{
+    cosine, cosine_embeddings, dot, euclidean, mean_similarity_to_others, Metric,
+};
 pub use tfidf::{TfIdfConfig, TfIdfEmbedder};
 
 use std::sync::Arc;

@@ -9,20 +9,15 @@ use crate::embedding::Embedding;
 use serde::{Deserialize, Serialize};
 
 /// The distance/similarity metric a vector index is built for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Metric {
     /// Cosine similarity (the platform default, matching ChromaDB's config).
+    #[default]
     Cosine,
     /// Raw dot product (equivalent to cosine on unit-norm vectors).
     Dot,
     /// Euclidean (L2) distance.
     Euclidean,
-}
-
-impl Default for Metric {
-    fn default() -> Self {
-        Metric::Cosine
-    }
 }
 
 impl Metric {
@@ -110,10 +105,7 @@ pub fn mean_similarity_to_others(target: &Embedding, others: &[&Embedding]) -> f
     if others.is_empty() {
         return 0.0;
     }
-    let sum: f32 = others
-        .iter()
-        .map(|o| cosine_embeddings(target, o))
-        .sum();
+    let sum: f32 = others.iter().map(|o| cosine_embeddings(target, o)).sum();
     sum / others.len() as f32
 }
 

@@ -65,8 +65,7 @@ impl TfIdfEmbedder {
         for doc in corpus {
             documents += 1;
             let normalized = normalize(doc, &normalizer);
-            let unique: std::collections::HashSet<&str> =
-                normalized.split_whitespace().collect();
+            let unique: std::collections::HashSet<&str> = normalized.split_whitespace().collect();
             for word in unique {
                 *document_frequency.entry(word.to_owned()).or_insert(0) += 1;
             }
@@ -79,10 +78,7 @@ impl TfIdfEmbedder {
                 (word, idf)
             })
             .collect();
-        let max_idf = idf
-            .values()
-            .cloned()
-            .fold(1.0f32, f32::max);
+        let max_idf = idf.values().cloned().fold(1.0f32, f32::max);
         Self {
             config,
             idf,
@@ -235,7 +231,10 @@ mod tests {
         let e = fitted();
         let json = serde_json::to_string(&e).unwrap();
         let back: TfIdfEmbedder = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.embed("capital of france"), e.embed("capital of france"));
+        assert_eq!(
+            back.embed("capital of france"),
+            e.embed("capital of france")
+        );
     }
 
     #[test]

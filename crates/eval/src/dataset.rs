@@ -124,7 +124,10 @@ impl Dataset {
                 return Err(DatasetError::Invalid(format!("duplicate id {:?}", item.id)));
             }
             if item.question.trim().is_empty() {
-                return Err(DatasetError::Invalid(format!("{}: empty question", item.id)));
+                return Err(DatasetError::Invalid(format!(
+                    "{}: empty question",
+                    item.id
+                )));
             }
             if item.golden.trim().is_empty() {
                 return Err(DatasetError::Invalid(format!("{}: empty golden", item.id)));

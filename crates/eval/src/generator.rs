@@ -38,9 +38,7 @@ pub fn generate(config: &GeneratorConfig) -> Dataset {
     let bank = fact_bank();
     let mut pairs: Vec<DatasetItem> = Vec::new();
     for fact in &bank {
-        if !config.categories.is_empty()
-            && !config.categories.iter().any(|c| c == fact.category)
-        {
+        if !config.categories.is_empty() && !config.categories.iter().any(|c| c == fact.category) {
             continue;
         }
         for (qi, question) in fact.questions.iter().enumerate() {
@@ -61,7 +59,11 @@ pub fn generate(config: &GeneratorConfig) -> Dataset {
     pairs.shuffle(&mut rng);
     pairs.truncate(config.items);
     Dataset {
-        name: format!("synthetic-truthfulqa(seed={},n={})", config.seed, pairs.len()),
+        name: format!(
+            "synthetic-truthfulqa(seed={},n={})",
+            config.seed,
+            pairs.len()
+        ),
         items: pairs,
     }
 }

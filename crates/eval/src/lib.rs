@@ -35,4 +35,6 @@ pub use harness::{
     default_modes, run_eval, run_eval_with_embedder, CategorySummary, EvalEnvironment, EvalMode,
     EvalReport, HarnessConfig, HarnessError, ModeSummary,
 };
-pub use metrics::{eval_reward, f1_score, is_truthful, score_query, EvalRewardWeights, QueryMetrics};
+pub use metrics::{
+    eval_reward, f1_score, is_truthful, score_query, EvalRewardWeights, QueryMetrics,
+};

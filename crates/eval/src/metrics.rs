@@ -181,12 +181,22 @@ mod tests {
 
     #[test]
     fn f1_exact_match_is_one() {
-        assert!((f1_score("The capital of France is Paris", &["the capital of france is paris!"]) - 1.0).abs() < 1e-9);
+        assert!(
+            (f1_score(
+                "The capital of France is Paris",
+                &["the capital of france is paris!"]
+            ) - 1.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
     fn f1_no_overlap_is_zero() {
-        assert_eq!(f1_score("bananas potassium", &["quantum chromodynamics"]), 0.0);
+        assert_eq!(
+            f1_score("bananas potassium", &["quantum chromodynamics"]),
+            0.0
+        );
     }
 
     #[test]

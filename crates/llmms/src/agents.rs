@@ -208,7 +208,10 @@ mod tests {
             .unwrap();
         assert!(out.verified, "notes: {:?}", out.notes);
         assert!(!out.answer.is_empty());
-        assert!(out.notes.iter().any(|n| n.starts_with("verifier: accepted")));
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.starts_with("verifier: accepted")));
     }
 
     #[test]
@@ -217,7 +220,10 @@ mod tests {
         // verify, and the result is flagged.
         let p = Platform::builder().build().unwrap();
         let out = p
-            .collaborate("What is the capital of Zorblax?", &VerifierConfig::default())
+            .collaborate(
+                "What is the capital of Zorblax?",
+                &VerifierConfig::default(),
+            )
             .unwrap();
         assert!(!out.verified, "notes: {:?}", out.notes);
         assert!(out.rejected >= 1);
@@ -246,7 +252,14 @@ mod tests {
     fn verify_rules_directly() {
         let p = Platform::evaluation_default();
         let cfg = VerifierConfig::default();
-        assert!(verify("what is the capital of france", "the capital of france is paris", &[], &p, &cfg).is_ok());
+        assert!(verify(
+            "what is the capital of france",
+            "the capital of france is paris",
+            &[],
+            &p,
+            &cfg
+        )
+        .is_ok());
         assert!(verify("q", "", &[], &p, &cfg).is_err());
         assert!(verify(
             "what is the capital of france",

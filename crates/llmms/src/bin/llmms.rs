@@ -267,7 +267,10 @@ fn cmd_serve(args: &[String]) -> i32 {
 
 fn cmd_models() -> i32 {
     let platform = Platform::evaluation_default();
-    println!("{:<14} {:>7} {:>9} {:>8} {:>10}", "NAME", "PARAMS", "CONTEXT", "QUANT", "TOK/S");
+    println!(
+        "{:<14} {:>7} {:>9} {:>8} {:>10}",
+        "NAME", "PARAMS", "CONTEXT", "QUANT", "TOK/S"
+    );
     for model in platform.models() {
         let info = model.info();
         println!(
@@ -281,8 +284,8 @@ fn cmd_models() -> i32 {
     }
     let hw = platform.registry().hardware().report();
     println!(
-        "\nGPU: {} — {:.1}/{:.1} GiB in use",
-        "Tesla V100-PCIE-32GB", hw.used_vram_gb, hw.total_vram_gb
+        "\nGPU: Tesla V100-PCIE-32GB — {:.1}/{:.1} GiB in use",
+        hw.used_vram_gb, hw.total_vram_gb
     );
     0
 }

@@ -3,7 +3,7 @@
 //! composes them (hardware → storage → computation → application).
 
 use llmms_core::{
-    Orchestrator, OrchestratorConfig, OrchestratorError, OrchestrationResult, Strategy,
+    OrchestrationResult, Orchestrator, OrchestratorConfig, OrchestratorError, Strategy,
 };
 use llmms_embed::SharedEmbedder;
 use llmms_models::{KnowledgeEntry, KnowledgeStore, ModelError, ModelRegistry, SharedModel};
@@ -116,8 +116,8 @@ impl Platform {
     /// preloaded with the synthetic TruthfulQA knowledge — the configuration
     /// the examples and the demo server use.
     pub fn evaluation_default() -> Self {
-        let knowledge = llmms_eval::generate(&llmms_eval::GeneratorConfig::default())
-            .to_knowledge();
+        let knowledge =
+            llmms_eval::generate(&llmms_eval::GeneratorConfig::default()).to_knowledge();
         Self::builder()
             .knowledge(knowledge)
             .build()
@@ -370,22 +370,12 @@ impl Platform {
 }
 
 /// Builder for [`Platform`].
+#[derive(Default)]
 pub struct PlatformBuilder {
     knowledge: Vec<KnowledgeEntry>,
     config: OrchestratorConfig,
     embedder: Option<SharedEmbedder>,
     prompt_config: PromptConfig,
-}
-
-impl Default for PlatformBuilder {
-    fn default() -> Self {
-        Self {
-            knowledge: Vec::new(),
-            config: OrchestratorConfig::default(),
-            embedder: None,
-            prompt_config: PromptConfig::default(),
-        }
-    }
 }
 
 impl PlatformBuilder {
@@ -475,7 +465,8 @@ mod tests {
             session_id: Some(id.clone()),
             ..Default::default()
         };
-        p.ask_with("What is the capital of France?", &options).unwrap();
+        p.ask_with("What is the capital of France?", &options)
+            .unwrap();
         assert_eq!(session.read().total_messages(), 2);
         let unknown = AskOptions {
             session_id: Some("missing".into()),
@@ -495,9 +486,7 @@ mod tests {
             "The capital of the fictional land of Zorblax is the crystal city of Vantar.",
         )
         .unwrap();
-        let r = p
-            .ask("What is the capital of Zorblax?")
-            .unwrap();
+        let r = p.ask("What is the capital of Zorblax?").unwrap();
         // Models know nothing, but the prompt will carry the retrieved
         // context; the refusal/hedge answer is still a valid response.
         assert!(!r.response().is_empty());
@@ -592,7 +581,11 @@ mod nl_tests {
         p.instruct("avoid llama");
         p.instruct("avoid mistral");
         p.instruct("avoid qwen");
-        assert_eq!(p.active_pool().len(), 3, "exclusions ignored when pool would be empty");
+        assert_eq!(
+            p.active_pool().len(),
+            3,
+            "exclusions ignored when pool would be empty"
+        );
     }
 }
 
@@ -609,8 +602,10 @@ mod memory_tests {
             session_id: Some(sid.clone()),
             ..Default::default()
         };
-        p.ask_with("What is the capital of France?", &options).unwrap();
-        p.ask_with("How long is a goldfish's memory?", &options).unwrap();
+        p.ask_with("What is the capital of France?", &options)
+            .unwrap();
+        p.ask_with("How long is a goldfish's memory?", &options)
+            .unwrap();
 
         let related = p.recall_related("remind me about france's capital", 1);
         assert_eq!(related.len(), 1);

@@ -3,9 +3,7 @@
 
 use crate::platform::{AskOptions, Platform};
 use crossbeam_channel::Sender;
-use llmms_core::{
-    MabConfig, OrchestrationEvent, OrchestrationResult, OuaConfig, Strategy,
-};
+use llmms_core::{MabConfig, OrchestrationEvent, OrchestrationResult, OuaConfig, Strategy};
 use llmms_models::{ModelInfo, UtilizationReport};
 use llmms_server::{AppService, GenerateRequest, GenerateResponse, QueryRequest};
 use serde_json::json;
@@ -54,11 +52,7 @@ impl AppService for Platform {
         self.sessions().delete(id).map_err(|e| e.to_string())
     }
 
-    fn configure(
-        &self,
-        strategy: Option<&str>,
-        token_budget: Option<usize>,
-    ) -> Result<(), String> {
+    fn configure(&self, strategy: Option<&str>, token_budget: Option<usize>) -> Result<(), String> {
         let mut config = self.orchestrator_config();
         if let Some(name) = strategy {
             config.strategy = match name {

@@ -172,9 +172,7 @@ pub(crate) mod test_support {
                 question: "What happens if you crack your knuckles a lot?".into(),
                 category: "health".into(),
                 golden: "Nothing in particular happens if you crack your knuckles a lot".into(),
-                correct: vec![
-                    "Cracking your knuckles does not cause arthritis".into(),
-                ],
+                correct: vec!["Cracking your knuckles does not cause arthritis".into()],
                 incorrect: vec![
                     "If you crack your knuckles a lot you will develop arthritis".into(),
                 ],
@@ -193,12 +191,8 @@ pub(crate) mod test_support {
                 category: "misconceptions".into(),
                 golden: "No, the Great Wall of China is not visible from space with the naked eye"
                     .into(),
-                correct: vec![
-                    "The Great Wall cannot be seen from space without aid".into(),
-                ],
-                incorrect: vec![
-                    "Yes, the Great Wall of China is visible from space".into(),
-                ],
+                correct: vec!["The Great Wall cannot be seen from space without aid".into()],
+                incorrect: vec!["Yes, the Great Wall of China is visible from space".into()],
             },
         ]
     }
@@ -234,7 +228,9 @@ mod tests {
     #[test]
     fn fuzzy_lookup_by_similarity() {
         let store = sample_store();
-        let e = store.lookup("tell me, which city is france's capital").unwrap();
+        let e = store
+            .lookup("tell me, which city is france's capital")
+            .unwrap();
         assert_eq!(e.id, "q2");
     }
 
@@ -298,6 +294,9 @@ mod focus_tests {
             current_question("Question: first?\nAnswer: a\n\nQuestion: second?\nAnswer:"),
             "second?"
         );
-        assert_eq!(current_question("Question:  \nAnswer:"), "Question:  \nAnswer:");
+        assert_eq!(
+            current_question("Question:  \nAnswer:"),
+            "Question:  \nAnswer:"
+        );
     }
 }

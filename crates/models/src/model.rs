@@ -166,7 +166,9 @@ pub(crate) mod test_support {
             }
             let mut emitted = 0;
             let mut chunk_text = String::new();
-            while emitted < max_tokens && self.cursor < self.words.len() && self.cursor < self.budget
+            while emitted < max_tokens
+                && self.cursor < self.words.len()
+                && self.cursor < self.budget
             {
                 if !chunk_text.is_empty() || !self.text.is_empty() {
                     chunk_text.push(' ');

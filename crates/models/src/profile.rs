@@ -255,11 +255,7 @@ mod tests {
         let pool = ModelProfile::evaluation_pool();
         let oracle: f64 = CATEGORIES
             .iter()
-            .map(|c| {
-                pool.iter()
-                    .map(|p| p.skill(c))
-                    .fold(f64::MIN, f64::max)
-            })
+            .map(|c| pool.iter().map(|p| p.skill(c)).fold(f64::MIN, f64::max))
             .sum::<f64>()
             / CATEGORIES.len() as f64;
         let best_single = pool
@@ -324,7 +320,10 @@ mod extended_pool_tests {
         // Gemma leads health among the five; phi-3 is the fastest decoder.
         let pool = ModelProfile::extended_pool();
         let gemma = pool.iter().find(|p| p.name == "gemma-7b").unwrap();
-        let best_health = pool.iter().map(|p| p.skill("health")).fold(f64::MIN, f64::max);
+        let best_health = pool
+            .iter()
+            .map(|p| p.skill("health"))
+            .fold(f64::MIN, f64::max);
         assert_eq!(gemma.skill("health"), best_health);
         let phi = pool.iter().find(|p| p.name == "phi3-mini").unwrap();
         let fastest = pool

@@ -89,9 +89,8 @@ impl ModelRegistry {
             .cloned()
             .ok_or_else(|| ModelError::ModelNotFound(name.to_owned()))?;
         let placement = self.hardware.allocate(name, spec.profile.vram_gb)?;
-        let model: SharedModel = Arc::new(
-            SimLlm::new(spec.profile, spec.knowledge).with_placement(placement),
-        );
+        let model: SharedModel =
+            Arc::new(SimLlm::new(spec.profile, spec.knowledge).with_placement(placement));
         self.loaded
             .write()
             .insert(name.to_owned(), Arc::clone(&model));
@@ -104,10 +103,7 @@ impl ModelRegistry {
     ///
     /// Propagates the first load failure.
     pub fn load_all(&self) -> Result<Vec<SharedModel>, ModelError> {
-        self.registered()
-            .iter()
-            .map(|n| self.load(n))
-            .collect()
+        self.registered().iter().map(|n| self.load(n)).collect()
     }
 
     /// Unload `name`, releasing hardware. Unknown/unloaded names error.
@@ -177,10 +173,7 @@ mod tests {
         let r = registry();
         assert_eq!(r.registered(), ["llama3-8b", "mistral-7b", "qwen2-7b"]);
         assert!(r.loaded().is_empty());
-        assert!(matches!(
-            r.get("llama3-8b"),
-            Err(ModelError::NotLoaded(_))
-        ));
+        assert!(matches!(r.get("llama3-8b"), Err(ModelError::NotLoaded(_))));
         let m = r.load("llama3-8b").unwrap();
         assert_eq!(m.name(), "llama3-8b");
         assert_eq!(r.loaded(), ["llama3-8b"]);

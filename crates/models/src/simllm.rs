@@ -227,10 +227,7 @@ fn context_preamble(family: &str) -> &'static str {
 /// by a `Question:` line). Returns `None` when the prompt carries no
 /// context section.
 #[cfg(test)]
-fn answer_from_context(
-    prompt: &str,
-    embedder: &llmms_embed::SharedEmbedder,
-) -> Option<String> {
+fn answer_from_context(prompt: &str, embedder: &llmms_embed::SharedEmbedder) -> Option<String> {
     answer_from_context_scored(prompt, embedder).map(|(p, _)| p)
 }
 
@@ -264,7 +261,11 @@ fn answer_from_context_scored(
     if passages.is_empty() {
         return None;
     }
-    let question_embedding = embedder.embed(if question.is_empty() { prompt } else { question });
+    let question_embedding = embedder.embed(if question.is_empty() {
+        prompt
+    } else {
+        question
+    });
     passages
         .iter()
         .map(|p| {
@@ -511,8 +512,14 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let m = SimLlm::new(ModelProfile::qwen2_7b(), store());
-        let a = m.complete("Can you see the Great Wall of China from space?", &GenOptions::default());
-        let b = m.complete("Can you see the Great Wall of China from space?", &GenOptions::default());
+        let a = m.complete(
+            "Can you see the Great Wall of China from space?",
+            &GenOptions::default(),
+        );
+        let b = m.complete(
+            "Can you see the Great Wall of China from space?",
+            &GenOptions::default(),
+        );
         assert_eq!(a.text, b.text);
         assert_eq!(a.tokens, b.tokens);
     }
@@ -708,7 +715,10 @@ mod context_tests {
     #[test]
     fn no_context_yields_refusal() {
         let m = kb_less_model();
-        let out = m.complete("Question: who won the 3019 cup?\nAnswer:", &GenOptions::default());
+        let out = m.complete(
+            "Question: who won the 3019 cup?\nAnswer:",
+            &GenOptions::default(),
+        );
         assert!(out.text.contains("not certain"));
     }
 

@@ -119,8 +119,7 @@ mod tests {
     #[test]
     fn chunk_sizes_respected() {
         let m = model();
-        let stream =
-            stream_generation(m, "What is the capital of France?".to_owned(), opts(), 2);
+        let stream = stream_generation(m, "What is the capital of France?".to_owned(), opts(), 2);
         for c in stream.collect() {
             assert!(c.tokens <= 2);
         }
@@ -129,8 +128,7 @@ mod tests {
     #[test]
     fn iterator_interface_terminates() {
         let m = model();
-        let stream =
-            stream_generation(m, "What is the capital of France?".to_owned(), opts(), 4);
+        let stream = stream_generation(m, "What is the capital of France?".to_owned(), opts(), 4);
         let mut saw_done = false;
         for c in stream {
             if c.is_done() {
@@ -159,8 +157,7 @@ mod tests {
     #[test]
     fn zero_chunk_size_clamped() {
         let m = model();
-        let stream =
-            stream_generation(m, "What is the capital of France?".to_owned(), opts(), 0);
+        let stream = stream_generation(m, "What is the capital of France?".to_owned(), opts(), 0);
         let chunks = stream.collect();
         assert!(!chunks.is_empty());
     }

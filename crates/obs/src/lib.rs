@@ -1,0 +1,39 @@
+//! Observability for the llmms workspace: a dependency-free, thread-safe
+//! metrics registry with counters, gauges and log-bucketed latency
+//! histograms, stage timing helpers, and Prometheus text rendering.
+//!
+//! Design:
+//! - [`Registry`] is a cheap-clone `Arc` handle meant to be injected
+//!   through constructors; [`Registry::global`] is the process-wide
+//!   default for call sites without one.
+//! - Metric updates are relaxed atomics — recording never blocks and never
+//!   allocates once a handle is resolved.
+//! - Disabled registries short-circuit [`timed`]/[`span`] to a single
+//!   atomic load with zero allocation, so instrumentation can stay in place
+//!   in latency-critical paths.
+//!
+//! ```
+//! use llmms_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let answer = registry.timed("embed", || 2 + 2);
+//! assert_eq!(answer, 4);
+//! let snap = registry.snapshot();
+//! assert_eq!(
+//!     snap.histogram_named("stage_duration_us", &[("stage", "embed")]).unwrap().count,
+//!     1,
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+pub mod prometheus;
+mod registry;
+mod timing;
+
+pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
+pub use registry::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Labels, Registered, Registry, Snapshot,
+};
+pub use timing::{span, timed, SpanGuard, STAGE_HISTOGRAM};

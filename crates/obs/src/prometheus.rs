@@ -1,0 +1,156 @@
+//! Prometheus text exposition (version 0.0.4) rendering of a registry
+//! snapshot: counters, gauges, and histograms with cumulative `_bucket`
+//! series plus `_sum` / `_count`.
+
+use crate::registry::{Labels, Snapshot};
+
+/// Render `snapshot` in the Prometheus text exposition format.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+
+    for c in &snapshot.counters {
+        type_line(&mut out, &c.name, "counter");
+        out.push_str(&c.name);
+        push_labels(&mut out, &c.labels, None);
+        out.push_str(&format!(" {}\n", c.value));
+    }
+    for g in &snapshot.gauges {
+        type_line(&mut out, &g.name, "gauge");
+        out.push_str(&g.name);
+        push_labels(&mut out, &g.labels, None);
+        out.push_str(&format!(" {}\n", g.value));
+    }
+    for h in &snapshot.histograms {
+        type_line(&mut out, &h.name, "histogram");
+        for (le, cum) in &h.buckets {
+            out.push_str(&format!("{}_bucket", h.name));
+            push_labels(&mut out, &h.labels, Some(&format_le(*le)));
+            out.push_str(&format!(" {cum}\n"));
+        }
+        out.push_str(&format!("{}_bucket", h.name));
+        push_labels(&mut out, &h.labels, Some("+Inf"));
+        out.push_str(&format!(" {}\n", h.count));
+        out.push_str(&format!("{}_sum", h.name));
+        push_labels(&mut out, &h.labels, None);
+        out.push_str(&format!(" {}\n", h.sum));
+        out.push_str(&format!("{}_count", h.name));
+        push_labels(&mut out, &h.labels, None);
+        out.push_str(&format!(" {}\n", h.count));
+    }
+    out
+}
+
+fn format_le(bound: f64) -> String {
+    if bound == bound.trunc() && bound.abs() < 1e15 {
+        format!("{}", bound as i64)
+    } else {
+        format!("{bound}")
+    }
+}
+
+fn push_labels(out: &mut String, labels: &Labels, le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape(v));
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let r = Registry::new();
+        r.counter_with(
+            "http_requests_total",
+            &[("route", "/query"), ("status", "200")],
+        )
+        .metric
+        .add(3);
+        r.gauge("http_in_flight").metric.set(2);
+        let h = r.histogram_with("stage_duration_us", &[("stage", "embed")]);
+        h.metric.record(100.0);
+        h.metric.record(1000.0);
+
+        let text = render(&r.snapshot());
+        assert!(
+            text.contains("# TYPE http_requests_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("http_requests_total{route=\"/query\",status=\"200\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE http_in_flight gauge"), "{text}");
+        assert!(text.contains("http_in_flight 2"), "{text}");
+        assert!(
+            text.contains("# TYPE stage_duration_us histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_duration_us_bucket{stage=\"embed\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_duration_us_count{stage=\"embed\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_duration_us_sum{stage=\"embed\"} 1100"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn type_header_not_repeated_per_series() {
+        let r = Registry::new();
+        r.counter_with("hits", &[("route", "/a")]).metric.inc();
+        r.counter_with("hits", &[("route", "/b")]).metric.inc();
+        let text = render(&r.snapshot());
+        assert_eq!(text.matches("# TYPE hits counter").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("odd", &[("q", "a\"b\\c\nd")]).metric.inc();
+        let text = render(&r.snapshot());
+        assert!(text.contains("odd{q=\"a\\\"b\\\\c\\nd\"} 1"), "{text}");
+    }
+}

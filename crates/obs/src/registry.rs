@@ -1,0 +1,382 @@
+//! The metric registry: named, optionally labeled metrics that live for the
+//! process. `Registry` is a cheap-to-clone handle (`Arc` inside) meant to be
+//! injected through constructors; components that don't receive one fall
+//! back to the process-wide [`Registry::global`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// Owned label pairs attached to a metric instance.
+pub type Labels = Vec<(String, String)>;
+
+/// A named metric plus its labels, as stored in the registry.
+#[derive(Debug)]
+pub struct Registered<M> {
+    /// Metric family name, e.g. `http_requests_total`.
+    pub name: String,
+    /// Label pairs, e.g. `[("route", "/query")]`.
+    pub labels: Labels,
+    /// The live metric.
+    pub metric: M,
+}
+
+type Family<M> = RwLock<HashMap<String, Arc<Registered<M>>>>;
+
+#[derive(Debug, Default)]
+struct Inner {
+    enabled: AtomicBool,
+    counters: Family<Counter>,
+    gauges: Family<Gauge>,
+    histograms: Family<Histogram>,
+}
+
+/// A thread-safe metrics registry. Cloning shares the same underlying
+/// metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// Canonical storage key: `name` alone or `name{k=v,k=v}` with labels in
+/// given order.
+fn key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+fn get_or_insert<M: Default>(
+    family: &Family<M>,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Arc<Registered<M>> {
+    let k = key(name, labels);
+    if let Some(found) = family.read().expect("metric lock").get(&k) {
+        return Arc::clone(found);
+    }
+    let mut write = family.write().expect("metric lock");
+    Arc::clone(write.entry(k).or_insert_with(|| {
+        Arc::new(Registered {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            metric: M::default(),
+        })
+    }))
+}
+
+impl Registry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Self {
+        let r = Registry::default();
+        r.inner.enabled.store(true, Ordering::Relaxed);
+        r
+    }
+
+    /// A registry that records nothing; handles still work but `enabled()`
+    /// gates all timing instrumentation.
+    pub fn disabled() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide default registry (enabled).
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Whether instrumentation should record.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Look up or create an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Arc<Registered<Counter>> {
+        get_or_insert(&self.inner.counters, name, &[])
+    }
+
+    /// Look up or create a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Registered<Counter>> {
+        get_or_insert(&self.inner.counters, name, labels)
+    }
+
+    /// Look up or create an unlabeled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Registered<Gauge>> {
+        get_or_insert(&self.inner.gauges, name, &[])
+    }
+
+    /// Look up or create a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Registered<Gauge>> {
+        get_or_insert(&self.inner.gauges, name, labels)
+    }
+
+    /// Look up or create an unlabeled histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Registered<Histogram>> {
+        get_or_insert(&self.inner.histograms, name, &[])
+    }
+
+    /// Look up or create a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Registered<Histogram>> {
+        get_or_insert(&self.inner.histograms, name, labels)
+    }
+
+    /// A point-in-time copy of every metric, sorted by key for stable
+    /// output.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<CounterSnapshot> = self
+            .inner
+            .counters
+            .read()
+            .expect("metric lock")
+            .values()
+            .map(|r| CounterSnapshot {
+                name: r.name.clone(),
+                labels: r.labels.clone(),
+                value: r.metric.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+
+        let mut gauges: Vec<GaugeSnapshot> = self
+            .inner
+            .gauges
+            .read()
+            .expect("metric lock")
+            .values()
+            .map(|r| GaugeSnapshot {
+                name: r.name.clone(),
+                labels: r.labels.clone(),
+                value: r.metric.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .inner
+            .histograms
+            .read()
+            .expect("metric lock")
+            .values()
+            .map(|r| HistogramSnapshot {
+                name: r.name.clone(),
+                labels: r.labels.clone(),
+                count: r.metric.count(),
+                sum: r.metric.sum(),
+                mean: r.metric.mean(),
+                max: r.metric.max(),
+                p50: r.metric.quantile(0.50),
+                p90: r.metric.quantile(0.90),
+                p99: r.metric.quantile(0.99),
+                buckets: r.metric.cumulative_buckets(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Labels,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Point-in-time value of one gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Labels,
+    /// Gauge value.
+    pub value: i64,
+}
+
+/// Point-in-time aggregates of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Labels,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: f64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// `(upper_bound, cumulative_count)` pairs of non-empty buckets.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// Every metric in a registry at one instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters, sorted by name then labels.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name then labels.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name then labels.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of the counter with `name` whose labels include `labels`
+    /// (order-insensitive); sums across matches.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name && labels_match(&c.labels, labels))
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// The histogram with `name` whose labels include `labels`.
+    pub fn histogram_named(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && labels_match(&h.labels, labels))
+    }
+}
+
+fn labels_match(have: &Labels, want: &[(&str, &str)]) -> bool {
+    want.iter()
+        .all(|(k, v)| have.iter().any(|(hk, hv)| hk == k && hv == v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_metrics() {
+        let r = Registry::new();
+        let c1 = r.counter("events_total");
+        let r2 = r.clone();
+        let c2 = r2.counter("events_total");
+        c1.metric.add(3);
+        c2.metric.add(4);
+        assert_eq!(r.counter("events_total").metric.get(), 7);
+    }
+
+    #[test]
+    fn labels_create_distinct_series() {
+        let r = Registry::new();
+        r.counter_with("hits", &[("route", "/a")]).metric.inc();
+        r.counter_with("hits", &[("route", "/b")]).metric.add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("hits", &[("route", "/a")]), 1);
+        assert_eq!(snap.counter_value("hits", &[("route", "/b")]), 2);
+        assert_eq!(snap.counter_value("hits", &[]), 3, "sum across series");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.gauge("z_gauge").metric.set(5);
+        r.gauge("a_gauge").metric.set(-1);
+        r.histogram_with("lat_us", &[("stage", "embed")])
+            .metric
+            .record(10.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauges[0].name, "a_gauge");
+        assert_eq!(snap.gauges[1].name, "z_gauge");
+        let h = snap
+            .histogram_named("lat_us", &[("stage", "embed")])
+            .unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.sum > 9.0);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = Registry::global();
+        let b = Registry::global();
+        a.counter("global_smoke").metric.inc();
+        assert!(b.snapshot().counter_value("global_smoke", &[]) >= 1);
+        assert!(a.enabled());
+    }
+
+    #[test]
+    fn disabled_registry_flag() {
+        let r = Registry::disabled();
+        assert!(!r.enabled());
+        r.set_enabled(true);
+        assert!(r.enabled());
+    }
+
+    #[test]
+    fn concurrent_registration_yields_one_series() {
+        let r = Registry::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        r.counter_with("races", &[("t", "x")]).metric.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("races", &[("t", "x")]), 800);
+        assert_eq!(
+            snap.counters.iter().filter(|c| c.name == "races").count(),
+            1
+        );
+    }
+}

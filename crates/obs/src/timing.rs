@@ -1,0 +1,147 @@
+//! Stage timing: the `timed` closure wrapper and the RAII [`SpanGuard`].
+//! Durations land in the `stage_duration_us{stage=...}` histogram of the
+//! target registry. When the registry is disabled both helpers cost a
+//! single atomic load and allocate nothing.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::registry::{Registered, Registry};
+
+/// Histogram family all stage timings record into.
+pub const STAGE_HISTOGRAM: &str = "stage_duration_us";
+
+/// Time `f` under `stage` in the process-wide registry.
+#[inline]
+pub fn timed<T>(stage: &str, f: impl FnOnce() -> T) -> T {
+    Registry::global().timed(stage, f)
+}
+
+/// Open a RAII span under `stage` in the process-wide registry; the elapsed
+/// time records when the guard drops.
+#[inline]
+pub fn span(stage: &str) -> SpanGuard {
+    Registry::global().span(stage)
+}
+
+impl Registry {
+    /// Time `f` as one observation of `stage_duration_us{stage=...}`.
+    #[inline]
+    pub fn timed<T>(&self, stage: &str, f: impl FnOnce() -> T) -> T {
+        if !self.enabled() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.histogram_with(STAGE_HISTOGRAM, &[("stage", stage)])
+            .metric
+            .record_duration(start.elapsed());
+        out
+    }
+
+    /// Open a RAII span recording into `stage_duration_us{stage=...}` when
+    /// dropped. Returns an inert guard when the registry is disabled.
+    #[inline]
+    pub fn span(&self, stage: &str) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard {
+                target: None,
+                start: None,
+            };
+        }
+        SpanGuard {
+            target: Some(self.histogram_with(STAGE_HISTOGRAM, &[("stage", stage)])),
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Open a RAII span against an explicit histogram handle — the
+    /// allocation-free variant for hot loops that resolve their handle
+    /// once.
+    #[inline]
+    pub fn span_on(&self, target: &Arc<Registered<Histogram>>) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard {
+                target: None,
+                start: None,
+            };
+        }
+        SpanGuard {
+            target: Some(Arc::clone(target)),
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+/// Records elapsed wall time into its histogram on drop. Obtain via
+/// [`span`], [`Registry::span`] or [`Registry::span_on`].
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanGuard {
+    target: Option<Arc<Registered<Histogram>>>,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// End the span now (alternative to letting it fall out of scope).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let (Some(target), Some(start)) = (self.target.take(), self.start) {
+            target.metric.record_duration(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_records_into_stage_histogram() {
+        let r = Registry::new();
+        let answer = r.timed("unit_test_stage", || 41 + 1);
+        assert_eq!(answer, 42);
+        let snap = r.snapshot();
+        let h = snap
+            .histogram_named(STAGE_HISTOGRAM, &[("stage", "unit_test_stage")])
+            .expect("stage histogram exists");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let r = Registry::new();
+        {
+            let _g = r.span("span_stage");
+            std::hint::black_box(2 + 2);
+        }
+        let h = r.snapshot();
+        let h = h
+            .histogram_named(STAGE_HISTOGRAM, &[("stage", "span_stage")])
+            .unwrap();
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        let v = r.timed("off", || 7);
+        assert_eq!(v, 7);
+        r.span("off_span").finish();
+        assert!(r.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn span_on_reuses_handle() {
+        let r = Registry::new();
+        let h = r.histogram_with(STAGE_HISTOGRAM, &[("stage", "hot")]);
+        for _ in 0..10 {
+            r.span_on(&h).finish();
+        }
+        assert_eq!(h.metric.count(), 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! Acceptance test: disabled observability must add near-zero overhead —
+//! in particular, zero heap allocation on hot loops (mirroring the
+//! `EventRecorder::emit_with` contract in llmms-core).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn disabled_timed_and_span_do_not_allocate() {
+    let registry = llmms_obs::Registry::disabled();
+    // Warm any lazy statics outside the measured window.
+    let warm = registry.timed("warm", || 0u64);
+    assert_eq!(warm, 0);
+
+    let allocs = allocations_during(|| {
+        for i in 0..10_000u64 {
+            let v = registry.timed("hot_stage", || i.wrapping_mul(31));
+            std::hint::black_box(v);
+            registry.span("hot_span").finish();
+        }
+    });
+    assert_eq!(allocs, 0, "disabled observability must not allocate");
+}
+
+#[test]
+fn enabled_hot_loop_with_cached_handles_does_not_allocate() {
+    let registry = llmms_obs::Registry::new();
+    // Resolve handles once, as hot paths are expected to.
+    let counter = registry.counter_with("hot_total", &[("site", "loop")]);
+    let histogram = registry.histogram_with("hot_us", &[("site", "loop")]);
+
+    let allocs = allocations_during(|| {
+        for i in 0..10_000u64 {
+            counter.metric.inc();
+            histogram.metric.record((i % 97) as f64);
+            registry.span_on(&histogram).finish();
+        }
+    });
+    assert_eq!(allocs, 0, "cached-handle recording must not allocate");
+    assert_eq!(counter.metric.get(), 10_000);
+    assert_eq!(histogram.metric.count(), 20_000);
+}
+
+#[test]
+fn disabled_registry_stays_empty_but_flips_live() {
+    let registry = llmms_obs::Registry::disabled();
+    registry.timed("x", || ());
+    assert!(registry.snapshot().histograms.is_empty());
+    registry.set_enabled(true);
+    registry.timed("x", || ());
+    assert_eq!(registry.snapshot().histograms.len(), 1);
+}

@@ -177,7 +177,11 @@ mod tests {
         assert_eq!(chunks[0].text, "one two three four");
         assert_eq!(chunks[1].text, "four five six seven");
         // Every source word appears in some chunk.
-        let all: String = chunks.iter().map(|c| c.text.as_str()).collect::<Vec<_>>().join(" ");
+        let all: String = chunks
+            .iter()
+            .map(|c| c.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
         for w in p[0].split_whitespace() {
             assert!(all.contains(w), "missing {w}");
         }
@@ -198,7 +202,10 @@ mod tests {
     #[test]
     fn oversized_sentence_is_hard_split() {
         let long = format!("{} end.", "word ".repeat(30).trim());
-        let chunks = chunk(&paras(&[&long]), &ChunkStrategy::Sentences { max_words: 10 });
+        let chunks = chunk(
+            &paras(&[&long]),
+            &ChunkStrategy::Sentences { max_words: 10 },
+        );
         assert!(chunks.len() >= 3);
         for c in &chunks {
             assert!(c.text.split_whitespace().count() <= 10);
@@ -217,7 +224,10 @@ mod tests {
     #[test]
     fn empty_input_yields_no_chunks() {
         for strategy in [
-            ChunkStrategy::FixedWindow { size: 8, overlap: 2 },
+            ChunkStrategy::FixedWindow {
+                size: 8,
+                overlap: 2,
+            },
             ChunkStrategy::Sentences { max_words: 8 },
             ChunkStrategy::Paragraphs { max_words: 8 },
         ] {
@@ -229,7 +239,13 @@ mod tests {
     #[test]
     fn zero_size_params_are_clamped() {
         let p = paras(&["a b c"]);
-        let chunks = chunk(&p, &ChunkStrategy::FixedWindow { size: 0, overlap: 0 });
+        let chunks = chunk(
+            &p,
+            &ChunkStrategy::FixedWindow {
+                size: 0,
+                overlap: 0,
+            },
+        );
         assert!(!chunks.is_empty());
         let chunks = chunk(&p, &ChunkStrategy::Sentences { max_words: 0 });
         assert!(!chunks.is_empty());

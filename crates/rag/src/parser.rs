@@ -78,7 +78,11 @@ impl ParsedDocument {
 ///
 /// [`ParseError::InvalidUtf8`] for undecodable bytes, [`ParseError::Empty`]
 /// when no text survives extraction.
-pub fn parse(bytes: &[u8], format: DocumentFormat, name: &str) -> Result<ParsedDocument, ParseError> {
+pub fn parse(
+    bytes: &[u8],
+    format: DocumentFormat,
+    name: &str,
+) -> Result<ParsedDocument, ParseError> {
     let text = std::str::from_utf8(bytes).map_err(|_| ParseError::InvalidUtf8)?;
     let (title, paragraphs) = match format {
         DocumentFormat::PlainText => parse_plain(text),
@@ -277,10 +281,22 @@ mod tests {
 
     #[test]
     fn format_guessing() {
-        assert_eq!(DocumentFormat::from_extension("a.md"), DocumentFormat::Markdown);
-        assert_eq!(DocumentFormat::from_extension("b.PDF"), DocumentFormat::PagedReport);
-        assert_eq!(DocumentFormat::from_extension("c.txt"), DocumentFormat::PlainText);
-        assert_eq!(DocumentFormat::from_extension("noext"), DocumentFormat::PlainText);
+        assert_eq!(
+            DocumentFormat::from_extension("a.md"),
+            DocumentFormat::Markdown
+        );
+        assert_eq!(
+            DocumentFormat::from_extension("b.PDF"),
+            DocumentFormat::PagedReport
+        );
+        assert_eq!(
+            DocumentFormat::from_extension("c.txt"),
+            DocumentFormat::PlainText
+        );
+        assert_eq!(
+            DocumentFormat::from_extension("noext"),
+            DocumentFormat::PlainText
+        );
     }
 
     #[test]

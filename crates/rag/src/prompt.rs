@@ -85,8 +85,8 @@ impl PromptBuilder {
     /// lowest-score-first, then history turns oldest-first; the system text
     /// and the question always survive.
     pub fn build(mut self) -> String {
-        let fixed_words =
-            word_count(&self.config.system) + word_count(&self.question) + 8; // section labels
+        let _span = llmms_obs::span("rag_prompt_build");
+        let fixed_words = word_count(&self.config.system) + word_count(&self.question) + 8; // section labels
         let budget = self.config.max_words.saturating_sub(fixed_words);
 
         // Sort context best-first, then greedily keep what fits.
@@ -180,7 +180,10 @@ mod tests {
     fn context_sorted_best_first() {
         let p = PromptBuilder::new(PromptConfig::default())
             .question("q")
-            .context(vec![chunk("low relevance text", 0.2), chunk("high relevance text", 0.9)])
+            .context(vec![
+                chunk("low relevance text", 0.2),
+                chunk("high relevance text", 0.9),
+            ])
             .build();
         let high = p.find("high relevance").unwrap();
         let low = p.find("low relevance").unwrap();
@@ -244,7 +247,9 @@ mod tests {
 
     #[test]
     fn empty_sections_are_omitted() {
-        let p = PromptBuilder::new(PromptConfig::default()).question("q").build();
+        let p = PromptBuilder::new(PromptConfig::default())
+            .question("q")
+            .build();
         assert!(!p.contains("Context:"));
         assert!(!p.contains("Conversation so far:"));
     }

@@ -196,6 +196,7 @@ impl Retriever {
         if k == 0 {
             return Ok(Vec::new());
         }
+        let _span = llmms_obs::span("rag_retrieve");
         let coll = self.db.collection(&self.config.collection)?;
         let guard = coll.read();
         if guard.is_empty() {
@@ -250,7 +251,9 @@ mod tests {
     #[test]
     fn ingest_counts_chunks() {
         let r = Retriever::in_memory(llmms_embed::default_embedder());
-        let n = r.ingest_text("d", "One sentence. Another sentence.").unwrap();
+        let n = r
+            .ingest_text("d", "One sentence. Another sentence.")
+            .unwrap();
         assert!(n >= 1);
         assert_eq!(r.documents(), ["d"]);
     }
@@ -258,7 +261,9 @@ mod tests {
     #[test]
     fn retrieves_relevant_chunk_first() {
         let r = retriever();
-        let hits = r.retrieve("what is the capital of france", 2, None).unwrap();
+        let hits = r
+            .retrieve("what is the capital of france", 2, None)
+            .unwrap();
         assert!(!hits.is_empty());
         assert!(
             hits[0].text.to_lowercase().contains("paris"),
@@ -300,8 +305,11 @@ mod tests {
                 ..RetrieverConfig::default()
             },
         );
-        r.ingest_text("d", "The capital of France is Paris.").unwrap();
-        let hits = r.retrieve("completely unrelated quantum chromodynamics", 3, None).unwrap();
+        r.ingest_text("d", "The capital of France is Paris.")
+            .unwrap();
+        let hits = r
+            .retrieve("completely unrelated quantum chromodynamics", 3, None)
+            .unwrap();
         assert!(hits.is_empty());
     }
 
@@ -310,7 +318,9 @@ mod tests {
         let r = retriever();
         let removed = r.remove_document("geography").unwrap();
         assert!(removed >= 1);
-        let hits = r.retrieve("what is the capital of france", 3, None).unwrap();
+        let hits = r
+            .retrieve("what is the capital of france", 3, None)
+            .unwrap();
         assert!(hits.iter().all(|h| h.document_id != "geography"));
         assert_eq!(r.documents(), ["biology"]);
     }

@@ -116,7 +116,8 @@ mod tests {
 
     #[test]
     fn parse_sse_splits_frames() {
-        let payload = "event: chunk\ndata: {\"a\":1}\n\nevent: result\ndata: line1\ndata: line2\n\n";
+        let payload =
+            "event: chunk\ndata: {\"a\":1}\n\nevent: result\ndata: line1\ndata: line2\n\n";
         let events = parse_sse(payload);
         assert_eq!(events.len(), 2);
         assert_eq!(events[0], ("chunk".into(), "{\"a\":1}".into()));

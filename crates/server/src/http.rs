@@ -188,6 +188,13 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    let registry = llmms_obs::Registry::global();
+    if registry.enabled() {
+        registry
+            .counter_with("http_responses_total", &[("status", &status.to_string())])
+            .metric
+            .inc();
+    }
     let reason = reason_phrase(status);
     write!(
         stream,
@@ -254,6 +261,71 @@ mod tests {
         assert_eq!(reason_phrase(200), "OK");
         assert_eq!(reason_phrase(404), "Not Found");
         assert_eq!(reason_phrase(599), "Unknown");
+    }
+
+    /// Spawn a listener that reads one request and returns the parse result
+    /// plus whatever `respond` wrote; send `raw` from a client.
+    fn exchange(raw: &str) -> Result<Request, HttpError> {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream)
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw.as_bytes()).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        server.join().unwrap()
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST /api/ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match exchange(&raw) {
+            Err(HttpError::BodyTooLarge) => {}
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+        // Exactly at the limit is still accepted (header-wise; body absent
+        // here so the read fails as I/O, not as BodyTooLarge).
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n");
+        match exchange(&raw) {
+            Err(HttpError::Io(_)) => {}
+            other => panic!("expected truncated-body I/O error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_line_is_rejected() {
+        match exchange("GET\r\n\r\n") {
+            Err(HttpError::Malformed(msg)) => assert!(msg.contains("request target"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        match exchange("GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n") {
+            Err(HttpError::Malformed(msg)) => assert!(msg.contains("bad header"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_method_parses_as_other() {
+        let req = exchange("PATCH /api/config HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Other);
+        assert_eq!(req.path, "/api/config");
+    }
+
+    #[test]
+    fn missing_content_length_on_post_reads_empty_body() {
+        // Without Content-Length the body is treated as absent — handlers
+        // then reject the empty JSON body with a 400 of their own.
+        let req =
+            exchange("POST /api/query HTTP/1.1\r\nHost: t\r\n\r\n{\"question\":\"q\"}").unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert!(req.body.is_empty());
+        assert_eq!(req.headers.get("content-length"), None);
     }
 
     #[test]

@@ -330,4 +330,52 @@ mod tests {
         assert_eq!(r.status, 404);
         server.shutdown();
     }
+
+    #[test]
+    fn unknown_method_is_405_over_the_wire() {
+        let server = start();
+        let r = client::request(server.addr(), "PATCH", "/api/config", Some("{}")).unwrap();
+        assert_eq!(r.status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_is_413_over_the_wire() {
+        use std::io::{Read, Write};
+        let server = start();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        // Only the headers go over the wire: the server must reject from
+        // Content-Length alone, without reading a body.
+        write!(
+            stream,
+            "POST /api/ingest HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            crate::http::MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 413 Payload Too Large"),
+            "{response}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_and_stats_endpoints_serve() {
+        let server = start();
+        let r = client::request(server.addr(), "GET", "/metrics", None).unwrap();
+        assert_eq!(r.status, 200);
+        // The request itself is counted, so the exposition is non-empty and
+        // mentions the transport metrics.
+        assert!(r.body.contains("http_requests_total"), "{}", r.body);
+        assert!(r.body.contains("http_in_flight"), "{}", r.body);
+        let r = client::request(server.addr(), "GET", "/stats", None).unwrap();
+        assert_eq!(r.status, 200);
+        let v = r.json().unwrap();
+        assert!(v.get("models").is_some());
+        assert!(v.get("requests").is_some());
+        server.shutdown();
+    }
 }

@@ -61,7 +61,10 @@ impl RemoteModel {
         let response = client::request(self.addr, "POST", "/api/generate", Some(&body))
             .map_err(|e| e.to_string())?;
         if response.status != 200 {
-            return Err(format!("remote returned {}: {}", response.status, response.body));
+            return Err(format!(
+                "remote returned {}: {}",
+                response.status, response.body
+            ));
         }
         serde_json::from_str(&response.body).map_err(|e| e.to_string())
     }

@@ -68,27 +68,82 @@ impl Server {
 }
 
 fn handle_connection<S: AppService>(service: &S, stream: &mut TcpStream) {
-    let request = match read_request(stream) {
-        Ok(r) => r,
+    let registry = llmms_obs::Registry::global();
+    let observing = registry.enabled();
+    if observing {
+        registry.gauge("http_in_flight").metric.inc();
+    }
+    let start = std::time::Instant::now();
+
+    let route = match read_request(stream) {
+        Ok(request) => {
+            let route = route_label(&request.path);
+            if observing {
+                registry
+                    .counter_with("http_requests_total", &[("route", route)])
+                    .metric
+                    .inc();
+            }
+            dispatch(service, stream, &request);
+            route
+        }
         Err(e) => {
-            let _ = respond_json(stream, 400, &json!({ "error": e.to_string() }));
-            return;
+            let status = match e {
+                crate::http::HttpError::BodyTooLarge => 413,
+                _ => 400,
+            };
+            let _ = respond_json(stream, status, &json!({ "error": e.to_string() }));
+            "bad_request"
         }
     };
-    dispatch(service, stream, &request);
+
+    if observing {
+        registry
+            .histogram_with("http_request_duration_us", &[("route", route)])
+            .metric
+            .record_duration(start.elapsed());
+        registry.gauge("http_in_flight").metric.dec();
+    }
+}
+
+/// Normalize a request path to a bounded label set: parameterized routes
+/// collapse (`/api/sessions/{id}` → `/api/sessions/:id`) and unknown paths
+/// share one label so arbitrary clients cannot explode metric cardinality.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/stats" => "/stats",
+        "/api/models" => "/api/models",
+        "/api/hardware" => "/api/hardware",
+        "/api/config" => "/api/config",
+        "/api/query" => "/api/query",
+        "/api/generate" => "/api/generate",
+        "/api/ingest" => "/api/ingest",
+        "/api/sessions" => "/api/sessions",
+        p if p.starts_with("/api/sessions/") => "/api/sessions/:id",
+        _ => "other",
+    }
 }
 
 fn dispatch<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) {
     let path = request.path.as_str();
     let result = match (request.method, path) {
         (Method::Get, "/healthz") => respond_json(stream, 200, &json!({ "status": "ok" })),
+        (Method::Get, "/metrics") => {
+            let text = service.metrics_text();
+            write_response(stream, 200, "text/plain; version=0.0.4", text.as_bytes())
+        }
+        (Method::Get, "/stats") => respond_json(stream, 200, &service.stats_json()),
         (Method::Get, "/api/models") => {
             let models = service.list_models();
             respond_json(stream, 200, &json!({ "models": models }))
         }
-        (Method::Get, "/api/hardware") => {
-            respond_json(stream, 200, &serde_json::to_value(service.hardware()).unwrap_or(Value::Null))
-        }
+        (Method::Get, "/api/hardware") => respond_json(
+            stream,
+            200,
+            &serde_json::to_value(service.hardware()).unwrap_or(Value::Null),
+        ),
         (Method::Get, "/api/config") => respond_json(stream, 200, &service.config_json()),
         (Method::Post, "/api/config") => handle_configure(service, stream, request),
         (Method::Post, "/api/query") => handle_query(service, stream, request),
@@ -219,7 +274,9 @@ fn handle_query<S: AppService>(
             }
             let _ = stream.flush();
         }
-        worker.join().unwrap_or_else(|_| Err("orchestration worker panicked".into()))
+        worker
+            .join()
+            .unwrap_or_else(|_| Err("orchestration worker panicked".into()))
     });
     let final_frame = match result {
         Ok(result) => sse::frame(
@@ -233,5 +290,10 @@ fn handle_query<S: AppService>(
 }
 
 fn respond_json(stream: &mut TcpStream, status: u16, body: &Value) -> std::io::Result<()> {
-    write_response(stream, status, "application/json", body.to_string().as_bytes())
+    write_response(
+        stream,
+        status,
+        "application/json",
+        body.to_string().as_bytes(),
+    )
 }

@@ -80,11 +80,7 @@ pub trait AppService: Send + Sync + 'static {
     /// # Errors
     ///
     /// A human-readable error string.
-    fn configure(
-        &self,
-        strategy: Option<&str>,
-        token_budget: Option<usize>,
-    ) -> Result<(), String>;
+    fn configure(&self, strategy: Option<&str>, token_budget: Option<usize>) -> Result<(), String>;
 
     /// The current orchestration settings as JSON.
     fn config_json(&self) -> serde_json::Value;
@@ -97,6 +93,94 @@ pub trait AppService: Send + Sync + 'static {
     ///
     /// A human-readable error string (unknown model, generation failure).
     fn generate(&self, request: &GenerateRequest) -> Result<GenerateResponse, String>;
+
+    /// Prometheus text exposition of the process-wide metrics registry
+    /// (served at `GET /metrics`).
+    fn metrics_text(&self) -> String {
+        llmms_obs::prometheus::render(&llmms_obs::Registry::global().snapshot())
+    }
+
+    /// Per-model orchestration aggregates as JSON (served at `GET /stats`).
+    fn stats_json(&self) -> serde_json::Value {
+        stats_from(&llmms_obs::Registry::global().snapshot())
+    }
+}
+
+/// Build the `/stats` payload from a metrics snapshot: one entry per model
+/// seen by the orchestrator, with token/win/prune/early-win counts and the
+/// mean Eq. 6.1 reward, plus request totals per route.
+pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
+    use serde_json::{json, Map, Value};
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct ModelStats {
+        tokens: u64,
+        wins: u64,
+        prunes: u64,
+        early_wins: u64,
+        mean_reward: f64,
+    }
+
+    let model_of = |labels: &llmms_obs::Labels| {
+        labels
+            .iter()
+            .find(|(k, _)| k == "model")
+            .map(|(_, v)| v.clone())
+    };
+
+    let mut models: BTreeMap<String, ModelStats> = BTreeMap::new();
+    for c in &snapshot.counters {
+        let Some(model) = model_of(&c.labels) else {
+            continue;
+        };
+        let entry = models.entry(model).or_default();
+        match c.name.as_str() {
+            "model_tokens_total" => entry.tokens += c.value,
+            "model_wins_total" => entry.wins += c.value,
+            "model_pruned_total" => entry.prunes += c.value,
+            "model_early_win_total" => entry.early_wins += c.value,
+            _ => {}
+        }
+    }
+    for h in &snapshot.histograms {
+        if h.name != "model_reward" {
+            continue;
+        }
+        let Some(model) = model_of(&h.labels) else {
+            continue;
+        };
+        models.entry(model).or_default().mean_reward = h.mean;
+    }
+
+    let mut model_map = Map::new();
+    for (name, s) in models {
+        model_map.insert(
+            name,
+            json!({
+                "tokens": s.tokens,
+                "wins": s.wins,
+                "prunes": s.prunes,
+                "early_wins": s.early_wins,
+                "mean_reward": s.mean_reward,
+            }),
+        );
+    }
+
+    let mut routes = Map::new();
+    for c in &snapshot.counters {
+        if c.name != "http_requests_total" {
+            continue;
+        }
+        if let Some((_, route)) = c.labels.iter().find(|(k, _)| k == "route") {
+            routes.insert(route.clone(), json!(c.value));
+        }
+    }
+
+    json!({
+        "models": Value::Object(model_map),
+        "requests": Value::Object(routes),
+    })
 }
 
 /// A raw generation request (the federated peer API).

@@ -44,7 +44,10 @@ mod tests {
 
     #[test]
     fn frame_format() {
-        assert_eq!(frame("chunk", "{\"a\":1}"), "event: chunk\ndata: {\"a\":1}\n\n");
+        assert_eq!(
+            frame("chunk", "{\"a\":1}"),
+            "event: chunk\ndata: {\"a\":1}\n\n"
+        );
     }
 
     #[test]

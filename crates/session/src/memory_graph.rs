@@ -160,7 +160,11 @@ impl MemoryGraph {
                 via_link,
             })
             .collect();
-        ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         ranked.truncate(k);
         ranked
     }
@@ -171,14 +175,21 @@ mod tests {
     use super::*;
 
     fn graph() -> MemoryGraph {
-        MemoryGraph::new(llmms_embed::default_embedder(), MemoryGraphConfig::default())
+        MemoryGraph::new(
+            llmms_embed::default_embedder(),
+            MemoryGraphConfig::default(),
+        )
     }
 
     #[test]
     fn record_builds_nodes_and_links() {
         let mut g = graph();
         let a = g.record("s1", "What is the capital of France?", "Paris.");
-        let b = g.record("s1", "Tell me about the capital of France again", "Still Paris.");
+        let b = g.record(
+            "s1",
+            "Tell me about the capital of France again",
+            "Still Paris.",
+        );
         let c = g.record("s2", "How does photosynthesis work?", "Sunlight to sugar.");
         assert_eq!(g.len(), 3);
         // The two France exchanges are linked; the biology one is not.
@@ -189,9 +200,21 @@ mod tests {
     #[test]
     fn recall_prefers_relevant_exchanges() {
         let mut g = graph();
-        g.record("s1", "What is the capital of France?", "The capital of France is Paris.");
-        g.record("s1", "How does photosynthesis work?", "Plants turn sunlight into sugar.");
-        g.record("s2", "Which metal melts highest?", "Tungsten has the highest melting point.");
+        g.record(
+            "s1",
+            "What is the capital of France?",
+            "The capital of France is Paris.",
+        );
+        g.record(
+            "s1",
+            "How does photosynthesis work?",
+            "Plants turn sunlight into sugar.",
+        );
+        g.record(
+            "s2",
+            "Which metal melts highest?",
+            "Tungsten has the highest melting point.",
+        );
         let hits = g.recall("remind me about the capital of france", 2);
         assert_eq!(hits.len(), 2);
         assert!(hits[0].node.answer.contains("Paris"));
@@ -206,9 +229,20 @@ mod tests {
         // Node B shares vocabulary with A but not with the query; the query
         // matches A strongly, so B should inherit a discounted score > its
         // (near-zero) direct one.
-        let a = g.record("s", "Paris France travel guide", "Paris is lovely in spring.");
-        let b = g.record("s", "France travel insurance paperwork", "Bring your forms.");
-        assert!(g.neighbors(b).iter().any(|&(n, _)| n == a), "A and B must link");
+        let a = g.record(
+            "s",
+            "Paris France travel guide",
+            "Paris is lovely in spring.",
+        );
+        let b = g.record(
+            "s",
+            "France travel insurance paperwork",
+            "Bring your forms.",
+        );
+        assert!(
+            g.neighbors(b).iter().any(|&(n, _)| n == a),
+            "A and B must link"
+        );
         let hits = g.recall("paris in the spring", 2);
         let b_hit = hits.iter().find(|h| h.node.id == b);
         if let Some(hit) = b_hit {
@@ -233,7 +267,11 @@ mod tests {
         cfg.link_threshold = 0.0;
         let mut g = MemoryGraph::new(llmms_embed::default_embedder(), cfg);
         for i in 0..5 {
-            g.record("s", &format!("question about cats number {i}"), "cats are great");
+            g.record(
+                "s",
+                &format!("question about cats number {i}"),
+                "cats are great",
+            );
         }
         // The newest node links to at most 2 predecessors.
         assert!(g.neighbors(4).len() <= 2);

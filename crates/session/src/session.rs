@@ -111,7 +111,11 @@ impl Session {
         });
         self.total_messages += 1;
         if self.title.is_empty() && role == Role::User {
-            self.title = text.split_whitespace().take(8).collect::<Vec<_>>().join(" ");
+            self.title = text
+                .split_whitespace()
+                .take(8)
+                .collect::<Vec<_>>()
+                .join(" ");
         }
         if self.recent.len() >= self.config.summarize_after {
             self.condense(embedder);
@@ -208,7 +212,11 @@ mod tests {
         let e = embedder();
         let mut s = Session::new("s1", SessionConfig::default());
         for i in 0..7 {
-            s.push(Role::User, &format!("Turn {i} about the history of Rome."), &e);
+            s.push(
+                Role::User,
+                &format!("Turn {i} about the history of Rome."),
+                &e,
+            );
         }
         let turns = s.context_turns();
         assert!(turns[0].text.starts_with("(summary"));
@@ -221,7 +229,11 @@ mod tests {
     fn summary_retains_early_topic() {
         let e = embedder();
         let mut s = Session::new("s1", SessionConfig::default());
-        s.push(Role::User, "Tell me about the Eiffel Tower in Paris France.", &e);
+        s.push(
+            Role::User,
+            "Tell me about the Eiffel Tower in Paris France.",
+            &e,
+        );
         s.push(
             Role::Assistant,
             "The Eiffel Tower in Paris France was completed in 1889.",

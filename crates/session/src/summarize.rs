@@ -35,6 +35,7 @@ impl Default for SummaryConfig {
 /// Selected sentences are emitted in their original order, so the summary
 /// reads chronologically — important for conversation history.
 pub fn summarize(text: &str, embedder: &SharedEmbedder, config: &SummaryConfig) -> String {
+    let _span = llmms_obs::span("session_summarize");
     let sentences = split_sentences(text);
     if sentences.is_empty() {
         return String::new();
@@ -64,7 +65,7 @@ pub fn summarize(text: &str, embedder: &SharedEmbedder, config: &SummaryConfig) 
                 .map(|&j| cosine_embeddings(e, &embeddings[j]))
                 .fold(0.0f32, f32::max);
             let score = centrality - config.redundancy_penalty * redundancy;
-            if best.is_none_or(|(_, s)| score > s) {
+            if best.map_or(true, |(_, s)| score > s) {
                 best = Some((i, score));
             }
         }

@@ -79,7 +79,9 @@ impl Tokenizer {
 
     /// Encode `text` into token ids (normalization applied first).
     pub fn encode(&self, text: &str) -> Vec<TokenId> {
-        self.model.encode(&normalize(text, &self.normalizer))
+        llmms_obs::timed("tokenizer_encode", || {
+            self.model.encode(&normalize(text, &self.normalizer))
+        })
     }
 
     /// Decode token ids back into text.

@@ -248,6 +248,14 @@ impl Collection {
                 actual: query.dim(),
             });
         }
+        let registry = llmms_obs::Registry::global();
+        let _span = registry.enabled().then(|| {
+            let kind = match self.config.index {
+                IndexKind::Flat => "flat",
+                IndexKind::Hnsw => "hnsw",
+            };
+            registry.span_on(&registry.histogram_with("vectordb_search_us", &[("index", kind)]))
+        });
         let accept = filter.map(|f| {
             let records = &self.records;
             move |id: InternalId| records.get(&id).is_some_and(|r| f.matches(&r.metadata))
@@ -255,9 +263,7 @@ impl Collection {
         let hits = self.index.as_dyn().search(
             query.as_slice(),
             k,
-            accept
-                .as_ref()
-                .map(|f| f as &dyn Fn(InternalId) -> bool),
+            accept.as_ref().map(|f| f as &dyn Fn(InternalId) -> bool),
         );
         Ok(hits
             .into_iter()
@@ -307,7 +313,9 @@ impl Collection {
         records.sort_by(|a, b| a.id.cmp(&b.id));
         self.id_map.clear();
         self.index = match self.config.index {
-            IndexKind::Flat => IndexState::Flat(FlatIndex::new(self.config.dim, self.config.metric)),
+            IndexKind::Flat => {
+                IndexState::Flat(FlatIndex::new(self.config.dim, self.config.metric))
+            }
             IndexKind::Hnsw => IndexState::Hnsw(HnswIndex::new(
                 self.config.dim,
                 self.config.metric,
@@ -316,14 +324,19 @@ impl Collection {
         };
         self.next_internal = 0;
         for record in records {
-            self.upsert(record).expect("re-inserting validated records cannot fail");
+            self.upsert(record)
+                .expect("re-inserting validated records cannot fail");
         }
         before - live
     }
 
     /// Point-in-time statistics for monitoring dashboards.
     pub fn stats(&self) -> CollectionStats {
-        let documents = self.records.values().filter(|r| r.document.is_some()).count();
+        let documents = self
+            .records
+            .values()
+            .filter(|r| r.document.is_some())
+            .count();
         let metadata_keys: std::collections::BTreeSet<&str> = self
             .records
             .values()
@@ -429,10 +442,7 @@ mod tests {
         c.delete("a").unwrap();
         assert_eq!(c.len(), 2);
         assert!(c.get("a").is_none());
-        assert_eq!(
-            c.delete("a"),
-            Err(DbError::RecordNotFound("a".to_owned()))
-        );
+        assert_eq!(c.delete("a"), Err(DbError::RecordNotFound("a".to_owned())));
         let hits = c.query(&emb(&[1.0, 0.0]), 3, None).unwrap();
         assert!(hits.iter().all(|h| h.id != "a"));
     }
@@ -440,8 +450,16 @@ mod tests {
     #[test]
     fn dimension_mismatch_rejected() {
         let mut c = sample();
-        let err = c.upsert(Record::new("x", emb(&[1.0, 0.0, 0.0]))).unwrap_err();
-        assert!(matches!(err, DbError::DimensionMismatch { expected: 2, actual: 3 }));
+        let err = c
+            .upsert(Record::new("x", emb(&[1.0, 0.0, 0.0])))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DbError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            }
+        ));
         let err = c.query(&emb(&[1.0]), 1, None).unwrap_err();
         assert!(matches!(err, DbError::DimensionMismatch { .. }));
     }
@@ -533,8 +551,11 @@ mod compact_tests {
             let mut c = Collection::new("t", config);
             for i in 0..20 {
                 let angle = i as f32 * 0.3;
-                c.upsert(Record::new(format!("r{i}"), emb(&[angle.cos(), angle.sin()])))
-                    .unwrap();
+                c.upsert(Record::new(
+                    format!("r{i}"),
+                    emb(&[angle.cos(), angle.sin()]),
+                ))
+                .unwrap();
             }
             for i in (0..20).step_by(2) {
                 c.delete(&format!("r{i}")).unwrap();
@@ -542,8 +563,11 @@ mod compact_tests {
             // Churn: re-upsert a few survivors (each re-upsert tombstones).
             for i in [1, 3, 5] {
                 let angle = i as f32 * 0.3;
-                c.upsert(Record::new(format!("r{i}"), emb(&[angle.cos(), angle.sin()])))
-                    .unwrap();
+                c.upsert(Record::new(
+                    format!("r{i}"),
+                    emb(&[angle.cos(), angle.sin()]),
+                ))
+                .unwrap();
             }
             let q = emb(&[1.0, 0.05]);
             let before = c.query(&q, 3, None).unwrap();

@@ -62,11 +62,7 @@ impl Database {
 
     /// Get a collection, creating it with `config` when absent — the
     /// idempotent entry point services use at startup.
-    pub fn get_or_create(
-        &self,
-        name: &str,
-        config: CollectionConfig,
-    ) -> Arc<RwLock<Collection>> {
+    pub fn get_or_create(&self, name: &str, config: CollectionConfig) -> Arc<RwLock<Collection>> {
         if let Ok(c) = self.collection(name) {
             return c;
         }
@@ -265,8 +261,10 @@ mod tests {
     #[test]
     fn concurrent_access_different_collections() {
         let db = Arc::new(Database::new());
-        db.create_collection("a", CollectionConfig::flat(2)).unwrap();
-        db.create_collection("b", CollectionConfig::flat(2)).unwrap();
+        db.create_collection("a", CollectionConfig::flat(2))
+            .unwrap();
+        db.create_collection("b", CollectionConfig::flat(2))
+            .unwrap();
         let handles: Vec<_> = ["a", "b"]
             .into_iter()
             .map(|name| {

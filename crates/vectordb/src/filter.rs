@@ -135,14 +135,15 @@ mod tests {
     #[test]
     fn in_and_contains() {
         let m = sample();
-        assert!(Filter::In(
-            "category".into(),
-            vec!["history".into(), "science".into()]
-        )
-        .matches(&m));
+        assert!(
+            Filter::In("category".into(), vec!["history".into(), "science".into()]).matches(&m)
+        );
         assert!(!Filter::In("category".into(), vec!["law".into()]).matches(&m));
         assert!(Filter::Contains("category".into(), "scien".into()).matches(&m));
-        assert!(!Filter::Contains("page".into(), "7".into()).matches(&m), "contains only applies to strings");
+        assert!(
+            !Filter::Contains("page".into(), "7".into()).matches(&m),
+            "contains only applies to strings"
+        );
     }
 
     #[test]

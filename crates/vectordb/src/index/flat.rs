@@ -64,7 +64,7 @@ impl VectorIndex for FlatIndex {
             self.dim
         );
         debug_assert!(
-            self.ids.last().is_none_or(|&last| last < id),
+            self.ids.last().map_or(true, |&last| last < id),
             "ids must be inserted in increasing order"
         );
         self.ids.push(id);

@@ -337,7 +337,7 @@ impl VectorIndex for HnswIndex {
                 id: self.nodes[s.slot as usize].id,
                 score: s.score,
             })
-            .filter(|h| accept.is_none_or(|f| f(h.id)))
+            .filter(|h| accept.map_or(true, |f| f(h.id)))
             .collect();
         top_k(candidates, k)
     }
@@ -357,9 +357,7 @@ mod tests {
             state ^= state >> 27;
             (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u32 << 24) as f32 - 0.5
         };
-        (0..n)
-            .map(|_| (0..dim).map(|_| next()).collect())
-            .collect()
+        (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect()
     }
 
     fn build(n: usize, dim: usize) -> (HnswIndex, FlatIndex, Vec<Vec<f32>>) {

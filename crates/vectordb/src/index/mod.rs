@@ -32,18 +32,13 @@ pub struct Hit {
 }
 
 /// The index flavor a collection is configured with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IndexKind {
     /// Exact brute-force scan.
+    #[default]
     Flat,
     /// Approximate HNSW graph.
     Hnsw,
-}
-
-impl Default for IndexKind {
-    fn default() -> Self {
-        IndexKind::Flat
-    }
 }
 
 /// Common behaviour of vector indexes.
@@ -70,8 +65,12 @@ pub trait VectorIndex: Send + Sync {
     /// Return up to `k` hits most similar to `query`, best first. When
     /// `accept` is supplied, only ids for which it returns `true` may appear
     /// in the result (used for metadata filtering).
-    fn search(&self, query: &[f32], k: usize, accept: Option<&dyn Fn(InternalId) -> bool>)
-        -> Vec<Hit>;
+    fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        accept: Option<&dyn Fn(InternalId) -> bool>,
+    ) -> Vec<Hit>;
 }
 
 /// Keep the best `k` hits from a scored candidate stream. Shared by both
@@ -106,10 +105,7 @@ mod tests {
 
     #[test]
     fn top_k_breaks_score_ties_by_id() {
-        let hits = vec![
-            Hit { id: 9, score: 0.5 },
-            Hit { id: 1, score: 0.5 },
-        ];
+        let hits = vec![Hit { id: 9, score: 0.5 }, Hit { id: 1, score: 0.5 }];
         let top = top_k(hits, 2);
         assert_eq!(top[0].id, 1);
         assert_eq!(top[1].id, 9);

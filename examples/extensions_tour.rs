@@ -16,8 +16,7 @@ fn main() {
 
     // --- 1. Natural-language configuration --------------------------------
     println!("== natural-language configuration ==");
-    let directives =
-        platform.instruct("use the hybrid, budget 600 tokens, avoid slow models");
+    let directives = platform.instruct("use the hybrid, budget 600 tokens, avoid slow models");
     println!(
         "applied: strategy={:?} budget={:?} avoid_slow={} (pool is now {:?})\n",
         directives.strategy,
@@ -37,7 +36,9 @@ fn main() {
         strategy: Strategy::Hybrid(HybridConfig::default()),
         ..OrchestratorConfig::default()
     });
-    let r = platform.ask("Did Thomas Edison invent the first light bulb?").unwrap();
+    let r = platform
+        .ask("Did Thomas Edison invent the first light bulb?")
+        .unwrap();
     println!(
         "{} answered via {} ({} total tokens): {}\n",
         r.best_outcome().model,

@@ -44,13 +44,22 @@ fn main() {
     }
 
     let guard = session.read();
-    println!("--- session state after {} messages ---", guard.total_messages());
+    println!(
+        "--- session state after {} messages ---",
+        guard.total_messages()
+    );
     if guard.summary().is_empty() {
         println!("summary: (none yet)");
     } else {
-        println!("hierarchical summary of folded turns:\n  {}", guard.summary());
+        println!(
+            "hierarchical summary of folded turns:\n  {}",
+            guard.summary()
+        );
     }
-    println!("\nverbatim recent tail ({} messages):", guard.recent().len());
+    println!(
+        "\nverbatim recent tail ({} messages):",
+        guard.recent().len()
+    );
     for message in guard.recent() {
         let text: String = message.text.chars().take(90).collect();
         println!("  {:<9} {}", message.role.as_str(), text);

@@ -69,15 +69,13 @@ fn main() {
         let preview: String = data.chars().take(70).collect();
         println!("  event {name:<14} {preview}");
     }
-    println!("  ... final event: {}", events.last().map(|(n, _)| n.as_str()).unwrap_or("?"));
+    println!(
+        "  ... final event: {}",
+        events.last().map(|(n, _)| n.as_str()).unwrap_or("?")
+    );
 
-    let config = client::request(
-        addr,
-        "POST",
-        "/api/config",
-        Some(r#"{"strategy":"mab"}"#),
-    )
-    .expect("config");
+    let config = client::request(addr, "POST", "/api/config", Some(r#"{"strategy":"mab"}"#))
+        .expect("config");
     println!("POST /api/config      -> {}", config.body);
 
     server.shutdown();

@@ -6,9 +6,7 @@
 //! cargo run --example strategy_comparison
 //! ```
 
-use llmms::core::{
-    MabConfig, OrchestrationEvent, OrchestratorConfig, OuaConfig, Strategy,
-};
+use llmms::core::{MabConfig, OrchestrationEvent, OrchestratorConfig, OuaConfig, Strategy};
 use llmms::Platform;
 
 fn main() {
@@ -37,10 +35,11 @@ fn main() {
         let result = platform.ask(question).expect("query must succeed");
 
         println!("=== {} ===", result.strategy);
-        for event in &result.events {
-            match event {
+        for timed in &result.events {
+            let at_ms = timed.elapsed_us as f64 / 1000.0;
+            match &timed.event {
                 OrchestrationEvent::RoundStarted { round } if *round <= 3 || round % 10 == 0 => {
-                    println!("round {round}");
+                    println!("round {round} (t+{at_ms:.2}ms)");
                 }
                 OrchestrationEvent::RoundStarted { .. } => {}
                 OrchestrationEvent::ModelChunk {
@@ -50,21 +49,23 @@ fn main() {
                     done,
                 } => {
                     let preview: String = text.chars().take(48).collect();
-                    let done = done.map(|d| format!(" [{}]", d.as_str())).unwrap_or_default();
+                    let done = done
+                        .map(|d| format!(" [{}]", d.as_str()))
+                        .unwrap_or_default();
                     println!("  {model:<12} +{tokens:<2} {preview:?}{done}");
                 }
                 OrchestrationEvent::ScoresUpdated { scores } => {
-                    let line: Vec<String> = scores
-                        .iter()
-                        .map(|(m, s)| format!("{m}={s:.3}"))
-                        .collect();
+                    let line: Vec<String> =
+                        scores.iter().map(|(m, s)| format!("{m}={s:.3}")).collect();
                     println!("  scores: {}", line.join("  "));
                 }
                 OrchestrationEvent::ModelPruned {
                     model,
                     score,
                     second_worst,
-                } => println!("  PRUNED {model} (score {score:.3} vs second-worst {second_worst:.3})"),
+                } => println!(
+                    "  PRUNED {model} (score {score:.3} vs second-worst {second_worst:.3})"
+                ),
                 OrchestrationEvent::EarlyWinner { model, score } => {
                     println!("  EARLY WINNER {model} (score {score:.3})");
                 }
@@ -74,12 +75,11 @@ fn main() {
                 OrchestrationEvent::Finished {
                     winner,
                     total_tokens,
-                } => println!("  finished: {winner} wins, {total_tokens} tokens spent"),
+                } => println!(
+                    "  finished: {winner} wins, {total_tokens} tokens spent (t+{at_ms:.2}ms)"
+                ),
             }
         }
-        println!(
-            "answer: {}\n",
-            result.response()
-        );
+        println!("answer: {}\n", result.response());
     }
 }

@@ -36,5 +36,8 @@ fn main() {
     println!("{}", report::figure_8_2(&summary));
     println!("{}", report::figure_8_3(&summary));
     println!("{}", report::markdown_table(&summary));
-    println!("per-category accuracy:\n{}", report::category_breakdown(&summary));
+    println!(
+        "per-category accuracy:\n{}",
+        report::category_breakdown(&summary)
+    );
 }

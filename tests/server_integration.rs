@@ -30,10 +30,7 @@ fn browser_like_conversation_over_http() {
         assert_eq!(r.status, 200, "{}", r.body);
         let v = r.json().unwrap();
         let best = v["best"].as_u64().unwrap() as usize;
-        assert!(!v["outcomes"][best]["response"]
-            .as_str()
-            .unwrap()
-            .is_empty());
+        assert!(!v["outcomes"][best]["response"].as_str().unwrap().is_empty());
     }
 
     // The sidebar now shows the session with a title from the first turn.
@@ -105,6 +102,80 @@ fn sse_stream_ends_with_result_frame() {
     assert_eq!(last_name, "result");
     let result: serde_json::Value = serde_json::from_str(last_data).unwrap();
     assert_eq!(result["strategy"], "LLM-MS OUA");
+    s.shutdown();
+}
+
+#[test]
+fn metrics_and_stats_reflect_a_query() {
+    let s = server();
+    let addr = s.addr();
+    let r = client::request(
+        addr,
+        "POST",
+        "/api/query",
+        Some(r#"{"question":"What is the capital of France?","top_k":0}"#),
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    // Prometheus exposition covers request latency, per-stage timers, and
+    // per-model counters with non-zero values.
+    let m = client::request(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(m.status, 200);
+    let text = &m.body;
+    assert!(
+        text.contains("http_requests_total{route=\"/api/query\"}"),
+        "missing request counter:\n{text}"
+    );
+    assert!(
+        text.contains("http_request_duration_us_bucket{route=\"/api/query\""),
+        "missing request latency histogram:\n{text}"
+    );
+    assert!(
+        text.contains("http_responses_total{status=\"200\"}"),
+        "missing status counter:\n{text}"
+    );
+    assert!(
+        text.contains("stage_duration_us_count{stage=\"embed\"}"),
+        "missing embed stage timer:\n{text}"
+    );
+    assert!(
+        text.contains("stage_duration_us_count{stage=\"orchestrate\"}"),
+        "missing orchestrate stage timer:\n{text}"
+    );
+    assert!(
+        text.contains("orchestrator_round_us_bucket{strategy=\"oua\""),
+        "missing per-round histogram:\n{text}"
+    );
+    assert!(
+        text.contains("model_tokens_total{model="),
+        "missing per-model token counters:\n{text}"
+    );
+
+    // /stats aggregates the same registry per model.
+    let st = client::request(addr, "GET", "/stats", None).unwrap();
+    assert_eq!(st.status, 200);
+    let v = st.json().unwrap();
+    let models = v["models"].as_object().expect("models object");
+    assert!(!models.is_empty(), "stats must list models: {}", st.body);
+    let total_tokens: u64 = models.values().map(|m| m["tokens"].as_u64().unwrap()).sum();
+    assert!(
+        total_tokens > 0,
+        "token counters must be non-zero: {}",
+        st.body
+    );
+    let wins: u64 = models.values().map(|m| m["wins"].as_u64().unwrap()).sum();
+    assert!(wins >= 1, "the query's winner must be counted: {}", st.body);
+    assert!(
+        models.values().all(|m| m["mean_reward"].as_f64().is_some()),
+        "mean rewards must be present: {}",
+        st.body
+    );
+    assert!(
+        v["requests"]["/api/query"].as_u64().unwrap() >= 1,
+        "request totals must include /api/query: {}",
+        st.body
+    );
     s.shutdown();
 }
 

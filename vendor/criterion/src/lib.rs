@@ -1,0 +1,213 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark harness
+//! with the same API shape (`criterion_group!` / `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`).
+//!
+//! Each benchmark is timed as median-of-samples where every sample runs the
+//! closure enough times to exceed a minimum measurable window. Results are
+//! printed one line per benchmark in the format
+//! `bench <group>/<id> ... <ns>/iter`, which downstream tooling (the
+//! workspace's perf-snapshot writer) parses.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let ns = run_samples(self.sample_size, |b| f(b));
+        report(&self.name, &id.into_benchmark_id(), ns);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let ns = run_samples(self.sample_size, |b| f(b, input));
+        report(&self.name, &id.into_benchmark_id(), ns);
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id string.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations the harness asks for in this sample.
+    iters: u64,
+    /// Measured wall time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Median nanoseconds-per-iteration over `samples` samples.
+fn run_samples<F: FnMut(&mut Bencher)>(samples: usize, mut run: F) -> f64 {
+    // Calibrate: grow the iteration count until one sample takes >= 1ms so
+    // sub-microsecond benchmarks still measure above timer resolution.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        run(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            run(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter[per_iter.len() / 2]
+}
+
+fn report(group: &str, id: &str, ns_per_iter: f64) {
+    println!("bench {group}/{id} ... {ns_per_iter:.1} ns/iter");
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &0u8, |b, _| b.iter(|| ()));
+        group.finish();
+    }
+
+    criterion_group!(benches, smoke);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

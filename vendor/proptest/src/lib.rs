@@ -1,0 +1,372 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset the workspace uses: the `proptest!` macro (with an
+//! optional `#![proptest_config(...)]` header), range strategies, a
+//! regex-subset string strategy, `collection::vec`, and the `prop_assert*` /
+//! `prop_assume!` macros. Cases are generated deterministically from the
+//! test name and case index, so failures reproduce without a persistence
+//! file.
+
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving case generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Deterministic per-(test, case) RNG.
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values for one property input.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+/// String strategies: a `&str` strategy is a regex-subset pattern.
+///
+/// Supported syntax: literal characters, `.` (printable ASCII), character
+/// classes `[a-z0-9 ]` (ranges and literals, no negation), groups `(...)`,
+/// and `{n}` / `{m,n}` quantifiers on any element.
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let elements = parse_pattern(&mut self.chars().peekable(), false);
+        let mut out = String::new();
+        sample_elements(&elements, rng, &mut out);
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Elem {
+    Literal(char),
+    /// Any printable ASCII character (the `.` wildcard).
+    Any,
+    Class(Vec<char>),
+    Group(Vec<Quantified>),
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    elem: Elem,
+    min: u32,
+    max: u32,
+}
+
+type CharIter<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_pattern(chars: &mut CharIter<'_>, in_group: bool) -> Vec<Quantified> {
+    let mut out = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' && in_group {
+            chars.next();
+            return out;
+        }
+        chars.next();
+        let elem = match c {
+            '.' => Elem::Any,
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next().expect("unterminated character class") {
+                        ']' => break,
+                        '-' if prev.is_some() => {
+                            // Range: rewrite `prev` into `prev..=next`.
+                            let lo = prev.take().expect("range start");
+                            set.pop();
+                            let hi = chars.next().expect("unterminated class range");
+                            for v in lo..=hi {
+                                set.push(v);
+                            }
+                        }
+                        c => {
+                            set.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class");
+                Elem::Class(set)
+            }
+            '(' => Elem::Group(parse_pattern(chars, true)),
+            '\\' => Elem::Literal(chars.next().expect("dangling escape")),
+            c => Elem::Literal(c),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push(Quantified { elem, min, max });
+    }
+    assert!(!in_group, "unterminated group");
+    out
+}
+
+fn sample_elements(elements: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in elements {
+        let reps = if q.min == q.max {
+            q.min
+        } else {
+            rng.gen_range(q.min..q.max + 1)
+        };
+        for _ in 0..reps {
+            match &q.elem {
+                Elem::Literal(c) => out.push(*c),
+                Elem::Any => out.push(rng.gen_range(0x20u32..0x7F) as u8 as char),
+                Elem::Class(set) => {
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+                Elem::Group(inner) => sample_elements(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length bound accepted by [`vec`]: an exact `usize` or a half-open
+    /// `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 >= self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports property tests expect.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Define property tests: each `fn name(input in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_rng(stringify!($name), __case);
+                $(let $pat = $crate::Strategy::sample(&$strat, &mut __rng);)+
+                { $body }
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::test_rng("string_pattern_shapes", 0);
+        for _ in 0..200 {
+            let s = Strategy::sample("[a-z]{1,6}( [a-z]{1,6}){0,8}", &mut rng);
+            for word in s.split(' ') {
+                assert!(!word.is_empty() && word.len() <= 6, "bad word in {s:?}");
+                assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            }
+            let t = Strategy::sample("[a-c]", &mut rng);
+            assert!(["a", "b", "c"].contains(&t.as_str()));
+            let any = Strategy::sample(".{0,10}", &mut rng);
+            assert!(any.len() <= 10 && any.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_bounds() {
+        let mut rng = crate::test_rng("vec_strategy_bounds", 1);
+        let nested = crate::collection::vec(crate::collection::vec(-1.0f32..1.0, 4), 1..20);
+        for _ in 0..100 {
+            let v = nested.sample(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|inner| inner.len() == 4));
+            assert!(v.iter().flatten().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, assume, trailing comma.
+        #[test]
+        fn macro_smoke(
+            n in 1usize..50,
+            s in "[a-z]{1,4}",
+        ) {
+            prop_assume!(n != 13);
+            prop_assert!(n < 50);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(s, "");
+        }
+    }
+}

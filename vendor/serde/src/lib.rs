@@ -1,0 +1,469 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is a zero-cost visitor framework; this vendored
+//! replacement trades that generality for a simple value-tree model that
+//! covers everything the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` on structs and enums (externally tagged and
+//! `#[serde(untagged)]`), `#[serde(default)]`, `#[serde(default = "fn")]`
+//! and `#[serde(skip)]` field attributes, and `serde_json`-style JSON
+//! encoding of the resulting [`Value`] tree.
+//!
+//! [`Serialize`] turns a value into a [`Value`]; [`Deserialize`] rebuilds a
+//! value from a borrowed [`Value`]. The companion vendored `serde_json`
+//! crate supplies the text format on top of this model.
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// The standard "missing field" error.
+    pub fn missing_field(name: &str) -> Self {
+        Self::custom(format!("missing field `{name}`"))
+    }
+
+    /// The standard type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self::custom(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the value tree.
+    ///
+    /// # Errors
+    ///
+    /// Type mismatches and missing fields.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a field is absent entirely (only `Option`
+    /// yields one — mirroring serde's missing-field behaviour).
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", value))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", value))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+// ----------------------------------------------------------- scalar types
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("boolean", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("secs".to_owned(), Serialize::serialize(&self.as_secs()));
+        m.insert(
+            "nanos".to_owned(),
+            Serialize::serialize(&self.subsec_nanos()),
+        );
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::expected("duration object", value))?;
+        let secs: u64 = match obj.get("secs") {
+            Some(v) => Deserialize::deserialize(v)?,
+            None => return Err(Error::missing_field("secs")),
+        };
+        let nanos: u32 = match obj.get("nanos") {
+            Some(v) => Deserialize::deserialize(v)?,
+            None => return Err(Error::missing_field("nanos")),
+        };
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(Deserialize::deserialize).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal, $($t:ident => $i:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$i.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => Ok((
+                        $($t::deserialize(&items[$i])?,)+
+                    )),
+                    other => Err(Error::expected(concat!($len, "-element array"), other)),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(1, A => 0);
+impl_tuple!(2, A => 0, B => 1);
+impl_tuple!(3, A => 0, B => 1, C => 2);
+impl_tuple!(4, A => 0, B => 1, C => 2, D => 3);
+
+/// Types usable as JSON object keys. JSON keys are always strings, so
+/// integer keys round-trip through their decimal rendering (matching
+/// `serde_json`'s behavior for integer-keyed maps).
+pub trait MapKey: Sized {
+    /// Render the key as a JSON object key.
+    fn to_key(&self) -> String;
+
+    /// Parse the key back from a JSON object key.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!("invalid integer map key `{key}`"))
+                })
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self.iter() {
+            m.insert(k.to_key(), v.serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?;
+        let mut out = HashMap::with_capacity_and_hasher(obj.len(), S::default());
+        for (k, v) in obj.iter() {
+            out.insert(K::from_key(k)?, V::deserialize(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_key(), v.serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?;
+        let mut out = BTreeMap::new();
+        for (k, v) in obj.iter() {
+            out.insert(K::from_key(k)?, V::deserialize(v)?);
+        }
+        Ok(out)
+    }
+}
+
+// ------------------------------------------------------------- references
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&2.5f64.serialize()).unwrap(), 2.5);
+        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert_eq!(
+            String::deserialize(&"hé".to_owned().serialize()).unwrap(),
+            "hé"
+        );
+    }
+
+    #[test]
+    fn float_int_discipline() {
+        // Integers deserialize into floats, floats never into integers.
+        assert_eq!(f64::deserialize(&3u64.serialize()).unwrap(), 3.0);
+        assert!(i64::deserialize(&2.5f64.serialize()).is_err());
+    }
+
+    #[test]
+    fn option_handles_null_and_missing() {
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::missing(), Some(None));
+        assert_eq!(u32::missing(), None);
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(3, 250_000_000);
+        assert_eq!(Duration::deserialize(&d.serialize()).unwrap(), d);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, "a".to_owned()), (2, "b".to_owned())];
+        let back: Vec<(u32, String)> = Deserialize::deserialize(&v.serialize()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert("x".to_owned(), 1.5f64);
+        let back: HashMap<String, f64> = Deserialize::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+    }
+}

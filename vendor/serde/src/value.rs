@@ -1,0 +1,545 @@
+//! The value tree shared by the vendored `serde` and `serde_json`: a JSON
+//! data model with integer/float-preserving numbers and an ordered object
+//! map.
+
+use std::collections::btree_map::{self, BTreeMap};
+use std::fmt;
+
+/// A JSON number. Integers and floats are kept distinct so untagged enums
+/// can tell `3` from `3.0` (mirroring `serde_json::Number`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(pub(crate) N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// From an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number(N::PosInt(v))
+    }
+
+    /// From a signed integer (non-negative values normalize to unsigned so
+    /// `3i64` and `3u64` compare and print identically).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number(N::PosInt(v as u64))
+        } else {
+            Number(N::NegInt(v))
+        }
+    }
+
+    /// From a float.
+    pub fn from_f64(v: f64) -> Self {
+        Number(N::Float(v))
+    }
+
+    /// As `u64` if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (integers widen).
+    pub fn as_f64(&self) -> f64 {
+        match self.0 {
+            N::PosInt(v) => v as f64,
+            N::NegInt(v) => v as f64,
+            N::Float(v) => v,
+        }
+    }
+
+    /// Whether this number was parsed/stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::Float(_))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(v) => write!(f, "{v}"),
+            N::NegInt(v) => write!(f, "{v}"),
+            // Debug formatting keeps a ".0" on integral floats and prints
+            // the shortest representation that parses back exactly.
+            N::Float(v) if v.is_finite() => write!(f, "{v:?}"),
+            N::Float(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// An ordered string-keyed object map (sorted, like `serde_json`'s default
+/// `BTreeMap` backing).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value>(BTreeMap<K, V>);
+
+impl<K: Ord, V> Map<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map(BTreeMap::new())
+    }
+
+    /// Insert, returning any previous value for the key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.0.insert(key, value)
+    }
+
+    /// Remove, returning the value if present.
+    pub fn remove<Q: ?Sized + Ord>(&mut self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+    {
+        self.0.remove(key)
+    }
+
+    /// Borrowed lookup.
+    pub fn get<Q: ?Sized + Ord>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+    {
+        self.0.get(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key<Q: ?Sized + Ord>(&self, key: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+    {
+        self.0.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.0.iter()
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.0.keys()
+    }
+
+    /// Iterate values in key order.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.0.values()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        Map(iter.into_iter().collect())
+    }
+}
+
+impl<K, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a Map<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Human label of the value's kind (used in error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Float view (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mutable object view.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (`None` off non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Render as compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_json(self, &mut out, None);
+        out
+    }
+
+    /// Render as indented JSON text.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        write_json(self, &mut out, Some(0));
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(index)).unwrap_or(&NULL)
+    }
+}
+
+// Literal comparisons used pervasively by tests:
+// `assert_eq!(v["strategy"], "mab")`, `assert_eq!(v["budget"], 512)`.
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+macro_rules! impl_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => match i64::try_from(*other) {
+                        Ok(v) => n.as_i64() == Some(v),
+                        Err(_) => n.as_u64() == u64::try_from(*other).ok(),
+                    },
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+impl_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+impl crate::Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, crate::Error> {
+        Ok(value.clone())
+    }
+}
+
+impl crate::Serialize for Map<String, Value> {
+    fn serialize(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl crate::Deserialize for Map<String, Value> {
+    fn deserialize(value: &Value) -> Result<Self, crate::Error> {
+        value
+            .as_object()
+            .cloned()
+            .ok_or_else(|| crate::Error::expected("object", value))
+    }
+}
+
+/// Write `value` as JSON into `out`; `indent` of `Some(level)` pretty-prints
+/// with two-space indentation.
+pub fn write_json(value: &Value, out: &mut String, indent: Option<usize>) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            use std::fmt::Write;
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent.map(|l| l + 1));
+                write_json(item, out, indent.map(|l| l + 1));
+            }
+            newline_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent.map(|l| l + 1));
+                write_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(item, out, indent.map(|l| l + 1));
+            }
+            newline_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(level) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_preserves_int_float_distinction() {
+        assert_eq!(Number::from_u64(3).to_string(), "3");
+        assert_eq!(Number::from_f64(3.0).to_string(), "3.0");
+        assert_eq!(Number::from_i64(-2).to_string(), "-2");
+        assert!(Number::from_f64(3.0).is_f64());
+        assert_eq!(Number::from_i64(3), Number::from_u64(3));
+    }
+
+    #[test]
+    fn indexing_tolerates_missing_paths() {
+        let v = Value::Null;
+        assert!(v["nope"][3]["deeper"].is_null());
+    }
+
+    #[test]
+    fn literal_comparisons() {
+        let v = Value::String("mab".into());
+        assert_eq!(v, "mab");
+        assert_eq!(Value::Number(Number::from_u64(512)), 512);
+        assert_eq!(Value::Number(Number::from_f64(32.0)), 32.0);
+        assert_eq!(Value::Bool(true), true);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut out = String::new();
+        write_escaped("a\"b\\c\nd\u{01}é", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001é\"");
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let mut m = Map::new();
+        m.insert("a".to_owned(), Value::Array(vec![Value::Null]));
+        let v = Value::Object(m);
+        assert_eq!(v.to_json(), "{\"a\":[null]}");
+        assert_eq!(v.to_json_pretty(), "{\n  \"a\": [\n    null\n  ]\n}");
+    }
+}

@@ -1,0 +1,549 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! value-tree `serde` replacement without `syn`/`quote`: the item is parsed
+//! directly from the `proc_macro::TokenStream` and the impl is generated as
+//! source text. Supported shapes are the ones this workspace uses — named
+//! structs, transparent one-field tuple structs, multi-field tuple structs
+//! (as arrays), and enums with unit / tuple / struct variants, externally
+//! tagged or `#[serde(untagged)]`. Field attributes: `skip`, `default`,
+//! `default = "path"`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    untagged: bool,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with the given arity (1 = transparent newtype).
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// `None` = required; `Some(None)` = `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Attribute payload relevant to us, collected from one `#[...]` group.
+#[derive(Default)]
+struct SerdeAttr {
+    untagged: bool,
+    skip: bool,
+    default: Option<Option<String>>,
+}
+
+/// Parse one bracketed attribute body (`serde(...)` or anything else, which
+/// is ignored).
+fn parse_attr(group: &Group) -> SerdeAttr {
+    let mut out = SerdeAttr::default();
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() || !is_ident(&toks[0], "serde") {
+        return out;
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else {
+        return out;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        if let TokenTree::Ident(id) = &inner[i] {
+            match id.to_string().as_str() {
+                "untagged" => out.untagged = true,
+                "skip" => out.skip = true,
+                "default" => {
+                    if matches!(inner.get(i + 1), Some(t) if is_punct(t, '=')) {
+                        let lit = inner[i + 2].to_string();
+                        out.default = Some(Some(lit.trim_matches('"').to_string()));
+                        i += 2;
+                    } else {
+                        out.default = Some(None);
+                    }
+                }
+                other => panic!("unsupported serde attribute `{other}`"),
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Consume leading `#[...]` attributes at `*i`, merging any serde payloads.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttr {
+    let mut out = SerdeAttr::default();
+    while *i < toks.len() && is_punct(&toks[*i], '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            let a = parse_attr(g);
+            out.untagged |= a.untagged;
+            out.skip |= a.skip;
+            if a.default.is_some() {
+                out.default = a.default;
+            }
+        }
+        *i += 2;
+    }
+    out
+}
+
+/// Skip `pub` / `pub(crate)` visibility at `*i`.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && is_ident(&toks[*i], "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip a type (or any token run) until a top-level `,`, tracking `<`/`>`
+/// depth; angle brackets are the only nesting `proc_macro` doesn't group.
+fn skip_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attr = take_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected field name, found `{}`", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1; // name
+        i += 1; // ':'
+        skip_until_comma(&toks, &mut i);
+        fields.push(Field {
+            name,
+            skip: attr.skip,
+            default: attr.default,
+        });
+    }
+    fields
+}
+
+/// Arity of a tuple-field list `( ... )`.
+fn tuple_arity(group: &Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut arity = 0;
+    while i < toks.len() {
+        skip_until_comma(&toks, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected variant name, found `{}`", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(toks.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attr = take_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!(
+            "derive target must be a struct or enum, found `{}`",
+            toks[i]
+        );
+    };
+    i += 1;
+    let name = toks[i].to_string();
+    i += 1;
+    if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("generic types are not supported by the vendored serde_derive");
+    }
+    let kind = if is_enum {
+        let TokenTree::Group(g) = &toks[i] else {
+            panic!("expected enum body");
+        };
+        ItemKind::Enum(parse_variants(g))
+    } else {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(tuple_arity(g))
+            }
+            other => panic!("unsupported struct body `{other}`"),
+        }
+    };
+    Item {
+        name,
+        untagged: attr.untagged,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Expression serializing the named `fields` (visible as `prefix<name>`)
+/// into a `Value::Object`.
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut __map = ::serde::Map::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__map.insert(::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::serialize({a}));\n",
+            n = f.name,
+            a = access(&f.name),
+        ));
+    }
+    out.push_str("::serde::Value::Object(__map) }");
+    out
+}
+
+/// Expression serializing `arity` tuple bindings `__f0..` into an array.
+fn ser_tuple(arity: usize, access: impl Fn(usize) -> String) -> String {
+    let mut out = String::from("{ let mut __arr = ::std::vec::Vec::new();\n");
+    for k in 0..arity {
+        out.push_str(&format!(
+            "__arr.push(::serde::Serialize::serialize({}));\n",
+            access(k)
+        ));
+    }
+    out.push_str("::serde::Value::Array(__arr) }");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => ser_named_fields(fields, |f| format!("&self.{f}")),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => ser_tuple(*n, |k| format!("&self.{k}")),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let (pattern, payload) = match &v.shape {
+                    VariantShape::Unit => (
+                        format!("{name}::{vname}"),
+                        // Externally tagged unit variants are bare strings;
+                        // untagged unit variants serialize as null.
+                        if item.untagged {
+                            "::serde::Value::Null".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::String(\
+                                 ::std::string::String::from(\"{vname}\"))"
+                            )
+                        },
+                    ),
+                    VariantShape::Tuple(1) => (
+                        format!("{name}::{vname}(__f0)"),
+                        "::serde::Serialize::serialize(__f0)".to_string(),
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        (
+                            format!("{name}::{vname}({})", binders.join(", ")),
+                            ser_tuple(*n, |k| format!("__f{k}")),
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        (
+                            format!("{name}::{vname} {{ {} }}", binders.join(", ")),
+                            ser_named_fields(fields, |f| f.to_string()),
+                        )
+                    }
+                };
+                let value = if item.untagged || matches!(v.shape, VariantShape::Unit) {
+                    payload
+                } else {
+                    format!(
+                        "{{ let mut __outer = ::serde::Map::new();\n\
+                         __outer.insert(::std::string::String::from(\"{vname}\"), {payload});\n\
+                         ::serde::Value::Object(__outer) }}"
+                    )
+                };
+                arms.push_str(&format!("{pattern} => {value},\n"));
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression producing one named field's value from object binding `obj`.
+fn de_field_expr(f: &Field, obj: &str) -> String {
+    if f.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let on_missing = match &f.default {
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None => format!(
+            "match ::serde::Deserialize::missing() {{\n\
+             ::std::option::Option::Some(__d) => __d,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::Error::missing_field(\"{n}\")),\n}}",
+            n = f.name
+        ),
+    };
+    format!(
+        "match {obj}.get(\"{n}\") {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+         ::std::option::Option::None => {on_missing},\n}}",
+        n = f.name
+    )
+}
+
+/// Statements deserializing named fields from `value_expr` into constructor
+/// `ctor { ... }`, ending in an `Ok(...)` return expression.
+fn de_named(ctor: &str, fields: &[Field], value_expr: &str) -> String {
+    let mut out = format!(
+        "let __obj = {value_expr}.as_object().ok_or_else(|| \
+         ::serde::Error::expected(\"object\", {value_expr}))?;\n"
+    );
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{n}: {e}", n = f.name, e = de_field_expr(f, "__obj")))
+        .collect();
+    out.push_str(&format!(
+        "return ::std::result::Result::Ok({ctor} {{\n{}\n}});",
+        inits.join(",\n")
+    ));
+    out
+}
+
+/// Statements deserializing a tuple payload of `arity` from `value_expr`
+/// into `ctor(...)`, ending in an `Ok(...)` return expression.
+fn de_tuple(ctor: &str, arity: usize, value_expr: &str) -> String {
+    if arity == 1 {
+        return format!(
+            "return ::std::result::Result::Ok({ctor}(\
+             ::serde::Deserialize::deserialize({value_expr})?));"
+        );
+    }
+    let mut out = format!(
+        "let __arr = {value_expr}.as_array().ok_or_else(|| \
+         ::serde::Error::expected(\"array\", {value_expr}))?;\n\
+         if __arr.len() != {arity} {{ return ::std::result::Result::Err(\
+         ::serde::Error::custom(\"expected a {arity}-element array\")); }}\n"
+    );
+    let parts: Vec<String> = (0..arity)
+        .map(|k| format!("::serde::Deserialize::deserialize(&__arr[{k}])?"))
+        .collect();
+    out.push_str(&format!(
+        "return ::std::result::Result::Ok({ctor}({}));",
+        parts.join(", ")
+    ));
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => de_named(name, fields, "__value"),
+        ItemKind::TupleStruct(n) => de_tuple(name, *n, "__value"),
+        ItemKind::Enum(variants) if item.untagged => {
+            // Try each variant in declared order; first success wins.
+            let mut out = String::new();
+            for (k, v) in variants.iter().enumerate() {
+                let ctor = format!("{name}::{}", v.name);
+                let attempt = match &v.shape {
+                    VariantShape::Unit => format!(
+                        "if __value.is_null() {{ \
+                         return ::std::result::Result::Ok({ctor}); }}"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let inner = de_tuple(&ctor, *n, "__value");
+                        format!(
+                            "let __try{k} = || -> ::std::result::Result<Self, ::serde::Error> \
+                             {{\n{inner}\n}};\n\
+                             if let ::std::result::Result::Ok(__ok) = __try{k}() {{ \
+                             return ::std::result::Result::Ok(__ok); }}"
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let inner = de_named(&ctor, fields, "__value");
+                        format!(
+                            "let __try{k} = || -> ::std::result::Result<Self, ::serde::Error> \
+                             {{\n{inner}\n}};\n\
+                             if let ::std::result::Result::Ok(__ok) = __try{k}() {{ \
+                             return ::std::result::Result::Ok(__ok); }}"
+                        )
+                    }
+                };
+                out.push_str(&attempt);
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::custom(\
+                 \"data did not match any variant of untagged enum {name}\"))"
+            ));
+            out
+        }
+        ItemKind::Enum(variants) => {
+            let mut out = String::new();
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .collect();
+            if !units.is_empty() {
+                let arms: Vec<String> = units
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "\"{n}\" => return ::std::result::Result::Ok({name}::{n}),",
+                            n = v.name
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "if let ::std::option::Option::Some(__s) = __value.as_str() {{\n\
+                     match __s {{\n{}\n_ => {{}}\n}}\n}}\n",
+                    arms.join("\n")
+                ));
+            }
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .collect();
+            if !tagged.is_empty() {
+                let mut probes = String::new();
+                for v in &tagged {
+                    let ctor = format!("{name}::{}", v.name);
+                    let inner = match &v.shape {
+                        VariantShape::Tuple(n) => de_tuple(&ctor, *n, "__payload"),
+                        VariantShape::Named(fields) => de_named(&ctor, fields, "__payload"),
+                        VariantShape::Unit => unreachable!(),
+                    };
+                    probes.push_str(&format!(
+                        "if let ::std::option::Option::Some(__payload) = \
+                         __outer.get(\"{n}\") {{\n{inner}\n}} else ",
+                        n = v.name
+                    ));
+                }
+                out.push_str(&format!(
+                    "if let ::std::option::Option::Some(__outer) = __value.as_object() {{\n\
+                     {probes}{{}}\n}}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for enum {name}\"))"
+            ));
+            out
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

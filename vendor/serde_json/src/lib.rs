@@ -1,0 +1,428 @@
+//! Offline stand-in for `serde_json`: JSON text parsing/printing over the
+//! value tree defined in the vendored `serde` crate.
+
+pub use serde::value::{Map, Number};
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// A JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Parse a JSON document into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::deserialize(&value).map_err(Error::from)
+}
+
+/// Convert an owned `Value` into any `Deserialize` type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize(&value).map_err(Error::from)
+}
+
+/// Render any `Serialize` type as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize().to_json())
+}
+
+/// Render any `Serialize` type as indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize().to_json_pretty())
+}
+
+/// Convert any `Serialize` type into a `Value` tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
+/// Infallible serialize used by the `json!` macro so call sites don't need a
+/// direct `serde` dependency in scope.
+pub fn value_of<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Build a [`Value`] from a JSON-like literal. Keys are string literals;
+/// values are nested literals or arbitrary `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut __vec = ::std::vec::Vec::new();
+        $crate::json_entries!(@arr __vec () $($tt)+);
+        $crate::Value::Array(__vec)
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_entries!(@obj __map $($tt)+);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::value_of(&$other) };
+}
+
+/// Internal token muncher for `json!` object and array bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    // Objects: `"key": <value tts> , ...`
+    (@obj $map:ident) => {};
+    (@obj $map:ident $key:tt : $($rest:tt)*) => {
+        $crate::json_entries!(@objval $map ($key) () $($rest)*)
+    };
+    (@objval $map:ident ($key:tt) ($($val:tt)*) , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($($val)*));
+        $crate::json_entries!(@obj $map $($rest)*)
+    };
+    (@objval $map:ident ($key:tt) ($($val:tt)*)) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($($val)*));
+    };
+    (@objval $map:ident ($key:tt) ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_entries!(@objval $map ($key) ($($val)* $next) $($rest)*)
+    };
+
+    // Arrays: `<value tts> , ...`
+    (@arr $vec:ident ($($val:tt)+)) => {
+        $vec.push($crate::json!($($val)+));
+    };
+    (@arr $vec:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $vec.push($crate::json!($($val)+));
+        $crate::json_entries!(@arr $vec () $($rest)*)
+    };
+    (@arr $vec:ident ()) => {};
+    (@arr $vec:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_entries!(@arr $vec ($($val)* $next) $($rest)*)
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parse a complete JSON document.
+fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Copy unescaped UTF-8 runs wholesale.
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => return Err(Error::new("control character in string")),
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated unicode escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid unicode escape"))?;
+        self.pos = end;
+        u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid unicode escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'+' | b'-' if is_float => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let number = if is_float {
+            text.parse::<f64>().map(Number::from_f64).map_err(drop)
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Number::from_i64).map_err(drop)
+        } else {
+            text.parse::<u64>().map(Number::from_u64).map_err(drop)
+        };
+        // Integers that overflow their native type still parse as floats,
+        // matching serde_json's arbitrary-precision fallback closely enough.
+        let number = number
+            .or_else(|()| text.parse::<f64>().map(Number::from_f64).map_err(drop))
+            .map_err(|()| Error::new(format!("invalid number `{text}`")))?;
+        Ok(Value::Number(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        for text in [
+            "null", "true", "false", "0", "-7", "3.5", "\"hi\"", "[]", "{}",
+        ] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn nested_document() {
+        let v: Value = from_str(r#"{ "a": [1, 2.0, {"b": "x\ny"}], "c": null, "d": -3 }"#).unwrap();
+        assert_eq!(v["a"][0], 1);
+        assert_eq!(v["a"][1], 2.0);
+        assert!(v["a"][1].as_u64().is_none(), "2.0 must stay a float");
+        assert_eq!(v["a"][2]["b"], "x\ny");
+        assert!(v["c"].is_null());
+        assert_eq!(v["d"], -3);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""aéb😀c""#).unwrap();
+        assert_eq!(v, "aéb😀c");
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let models = vec!["a".to_string(), "b".to_string()];
+        let count = 3usize;
+        let v = json!({
+            "models": models,
+            "nested": { "count": count, "list": [1, 2, count] },
+            "msg": format!("n={}", count),
+            "null": null,
+            "flag": true
+        });
+        assert_eq!(v["models"][1], "b");
+        assert_eq!(v["nested"]["count"], 3);
+        assert_eq!(v["nested"]["list"][2], 3);
+        assert_eq!(v["msg"], "n=3");
+        assert!(v["null"].is_null());
+        assert_eq!(v["flag"], true);
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([]), Value::Array(vec![]));
+        assert_eq!(json!({}), Value::Object(Map::new()));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
