@@ -1,0 +1,305 @@
+//! Machine-readable chaos snapshot: runs the fault-injection workload the
+//! chaos test suite asserts on — a pool where most arms stall, crash, or
+//! flake mid-generation — and reports the robustness numbers that matter:
+//! degraded-result rate, healthy-winner rate, per-query wall-clock, and the
+//! circuit breaker's open/recovery latency. Ends with a dump of the
+//! process-wide metrics registry so breaker transitions and retry counters
+//! can be diffed between commits.
+//!
+//! The fault RNG seed comes from `CHAOS_SEED` (default 0) — CI runs a small
+//! seed matrix.
+//!
+//! Usage: `cargo run -p llmms-bench --release --bin chaos_snapshot [out.json]`
+
+use llmms::core::{HybridConfig, MabConfig, Orchestrator, OrchestratorConfig, OuaConfig, Strategy};
+use llmms::models::chaos::{ChaosModel, FaultKind};
+use llmms::models::{
+    BreakerConfig, BreakerState, Chunk, DoneReason, GenOptions, GenerationSession, KnowledgeStore,
+    LanguageModel, ModelError, ModelInfo, ModelProfile, SharedModel, SimLlm,
+};
+use llmms::obs::Registry;
+use serde_json::json;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUESTIONS: [&str; 3] = [
+    "What is the capital of France?",
+    "Can you see the Great Wall of China from space?",
+    "Was Napoleon unusually short?",
+];
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn store() -> Arc<KnowledgeStore> {
+    Arc::new(KnowledgeStore::build(
+        llmms::eval::generate(&llmms::eval::GeneratorConfig::default()).to_knowledge(),
+        llmms::embed::default_embedder(),
+    ))
+}
+
+fn sim(name: &str, store: &Arc<KnowledgeStore>) -> SharedModel {
+    let mut p = ModelProfile::llama3_8b();
+    p.name = name.to_owned();
+    Arc::new(SimLlm::new(p, Arc::clone(store))) as SharedModel
+}
+
+/// The acceptance pool: one healthy arm, three that fail in different ways.
+fn chaos_pool(store: &Arc<KnowledgeStore>) -> Vec<SharedModel> {
+    let seed = chaos_seed().wrapping_mul(1000);
+    vec![
+        sim("healthy", store),
+        ChaosModel::wrap(sim("wedged", store), FaultKind::Stall, seed + 1),
+        ChaosModel::wrap(
+            sim("dies-midway", store),
+            FaultKind::ErrorAfterN {
+                n: 2,
+                transient: false,
+            },
+            seed + 2,
+        ),
+        ChaosModel::wrap(
+            sim("lossy-path", store),
+            FaultKind::Flaky { p: 0.9 },
+            seed + 3,
+        ),
+    ]
+}
+
+fn strategies() -> Vec<(&'static str, Strategy)> {
+    vec![
+        ("oua", Strategy::Oua(OuaConfig::default())),
+        ("mab", Strategy::Mab(MabConfig::default())),
+        ("hybrid", Strategy::Hybrid(HybridConfig::default())),
+    ]
+}
+
+/// Degraded-result workload: every query faces three faulty arms; the
+/// interesting rates are how often the result is flagged degraded (should
+/// be always) and how often the healthy arm still wins (should be always).
+fn degraded_workload(store: &Arc<KnowledgeStore>) -> serde_json::Value {
+    let pool = chaos_pool(store);
+    let mut per_strategy = serde_json::Map::new();
+    for (name, strategy) in strategies() {
+        let o = Orchestrator::new(
+            llmms::embed::default_embedder(),
+            OrchestratorConfig {
+                strategy,
+                token_budget: 256,
+                temperature: 0.0,
+                query_deadline_ms: Some(5_000),
+                ..OrchestratorConfig::default()
+            },
+        );
+        let mut degraded = 0u32;
+        let mut healthy_won = 0u32;
+        let mut total_tokens = 0usize;
+        let mut wall = Duration::ZERO;
+        for q in QUESTIONS {
+            let started = Instant::now();
+            let r = o.run(&pool, q).expect("a healthy arm must answer");
+            wall += started.elapsed();
+            degraded += u32::from(r.degraded);
+            healthy_won += u32::from(r.best_outcome().model == "healthy");
+            total_tokens += r.total_tokens;
+        }
+        let n = QUESTIONS.len() as u32;
+        per_strategy.insert(
+            name.to_owned(),
+            json!({
+                "queries": n,
+                "degraded_rate": f64::from(degraded) / f64::from(n),
+                "healthy_winner_rate": f64::from(healthy_won) / f64::from(n),
+                "total_tokens": total_tokens,
+                "mean_wall_us": wall.as_micros() as u64 / u128::from(n) as u64,
+            }),
+        );
+    }
+    serde_json::Value::Object(per_strategy)
+}
+
+/// A backend whose health is flipped at runtime — lets the bench measure
+/// breaker recovery latency, which static per-session faults cannot.
+struct Flippable {
+    healthy: Arc<AtomicBool>,
+}
+
+const FLIPPABLE: &str = "recovering-backend";
+
+impl LanguageModel for Flippable {
+    fn name(&self) -> &str {
+        FLIPPABLE
+    }
+
+    fn info(&self) -> ModelInfo {
+        ModelInfo {
+            name: FLIPPABLE.to_owned(),
+            family: "flippable".into(),
+            params_b: 1.0,
+            context_window: 2048,
+            quantization: "none".into(),
+            decode_tokens_per_second: 10.0,
+        }
+    }
+
+    fn start(&self, _prompt: &str, _options: &GenOptions) -> Box<dyn GenerationSession> {
+        Box::new(FlippableSession {
+            healthy: self.healthy.load(Ordering::SeqCst),
+            cursor: 0,
+            text: String::new(),
+            done: None,
+        })
+    }
+}
+
+struct FlippableSession {
+    healthy: bool,
+    cursor: usize,
+    text: String,
+    done: Option<DoneReason>,
+}
+
+const WORDS: [&str; 6] = ["the", "answer", "from", "the", "recovered", "backend"];
+
+impl GenerationSession for FlippableSession {
+    fn next_chunk(&mut self, max_tokens: usize) -> Result<Chunk, ModelError> {
+        if !self.healthy {
+            return Err(ModelError::Fatal {
+                model: FLIPPABLE.to_owned(),
+                reason: "backend worker crashed".into(),
+            });
+        }
+        if let Some(reason) = self.done {
+            return Ok(Chunk::finished(reason));
+        }
+        let mut chunk = String::new();
+        let mut emitted = 0;
+        while emitted < max_tokens && self.cursor < WORDS.len() {
+            if !chunk.is_empty() || !self.text.is_empty() {
+                chunk.push(' ');
+            }
+            chunk.push_str(WORDS[self.cursor]);
+            self.cursor += 1;
+            emitted += 1;
+        }
+        self.text.push_str(&chunk);
+        self.done = (self.cursor >= WORDS.len()).then_some(DoneReason::Stop);
+        Ok(Chunk {
+            text: chunk,
+            tokens: emitted,
+            done: self.done,
+        })
+    }
+
+    fn tokens_generated(&self) -> usize {
+        self.cursor
+    }
+
+    fn response_so_far(&self) -> &str {
+        &self.text
+    }
+
+    fn done_reason(&self) -> Option<DoneReason> {
+        self.done
+    }
+
+    fn simulated_latency(&self) -> Duration {
+        Duration::from_millis(self.cursor as u64)
+    }
+
+    fn abort(&mut self) {
+        if self.done.is_none() {
+            self.done = Some(DoneReason::Aborted);
+        }
+    }
+}
+
+/// Breaker lifecycle workload: fail the flippable backend until its breaker
+/// opens, heal it, then measure wall-clock until a half-open probe closes
+/// the breaker again.
+fn breaker_workload(store: &Arc<KnowledgeStore>) -> serde_json::Value {
+    let healthy_flag = Arc::new(AtomicBool::new(false));
+    let pool: Vec<SharedModel> = vec![
+        sim("steady", store),
+        Arc::new(Flippable {
+            healthy: Arc::clone(&healthy_flag),
+        }),
+    ];
+    let cooldown_ms = 25u64;
+    let o = Orchestrator::new(
+        llmms::embed::default_embedder(),
+        OrchestratorConfig {
+            strategy: Strategy::Oua(OuaConfig::default()),
+            token_budget: 128,
+            temperature: 0.0,
+            breaker: BreakerConfig {
+                enabled: true,
+                failure_threshold: 3,
+                cooldown_ms,
+            },
+            ..OrchestratorConfig::default()
+        },
+    );
+
+    let mut queries_to_open = 0u32;
+    while o.health().state(FLIPPABLE) != BreakerState::Open {
+        o.run(&pool, QUESTIONS[0]).expect("steady arm must answer");
+        queries_to_open += 1;
+        assert!(queries_to_open <= 16, "breaker never opened");
+    }
+
+    healthy_flag.store(true, Ordering::SeqCst);
+    let healed_at = Instant::now();
+    while o.health().state(FLIPPABLE) != BreakerState::Closed {
+        o.run(&pool, QUESTIONS[0]).expect("steady arm must answer");
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(
+            healed_at.elapsed() < Duration::from_secs(10),
+            "breaker never recovered"
+        );
+    }
+    json!({
+        "failure_threshold": 3,
+        "cooldown_ms": cooldown_ms,
+        "queries_to_open": queries_to_open,
+        "recovery_ms": healed_at.elapsed().as_millis() as u64,
+    })
+}
+
+fn registry_json() -> serde_json::Value {
+    let snap = Registry::global().snapshot();
+    let counters: Vec<_> = snap
+        .counters
+        .iter()
+        .map(|c| json!({ "name": c.name, "labels": c.labels, "value": c.value }))
+        .collect();
+    let gauges: Vec<_> = snap
+        .gauges
+        .iter()
+        .map(|g| json!({ "name": g.name, "labels": g.labels, "value": g.value }))
+        .collect();
+    json!({ "counters": counters, "gauges": gauges })
+}
+
+fn main() {
+    let store = store();
+    let snapshot = json!({
+        "chaos_seed": chaos_seed(),
+        "degraded": degraded_workload(&store),
+        "breaker": breaker_workload(&store),
+        "metrics": registry_json(),
+    });
+    let out = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &out).expect("snapshot file must be writable");
+            eprintln!("chaos snapshot written to {path}");
+        }
+        None => println!("{out}"),
+    }
+}

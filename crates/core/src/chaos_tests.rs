@@ -1,0 +1,489 @@
+//! The seeded chaos suite: orchestration under injected backend faults.
+//!
+//! Every test wraps real [`SimLlm`] backends in [`llmms_models::chaos`]
+//! fault plans and asserts the robustness contract of the orchestrator:
+//! no panic, no budget overspend, bounded wall-clock, `degraded` flagged
+//! whenever an arm failed, and the healthy answer winning whenever one
+//! exists. The fault RNG seed comes from the `CHAOS_SEED` environment
+//! variable (CI runs a small seed matrix; locally it defaults to 0).
+
+#![cfg(test)]
+
+use crate::config::{MabConfig, OrchestratorConfig, OuaConfig, Strategy};
+use crate::hybrid::HybridConfig;
+use crate::orchestrator::Orchestrator;
+use crate::tournament::Scoreboard;
+use llmms_models::chaos::{ChaosModel, FaultKind};
+use llmms_models::{
+    BreakerConfig, BreakerState, Chunk, DoneReason, GenOptions, GenerationSession, KnowledgeEntry,
+    KnowledgeStore, LanguageModel, ModelError, ModelInfo, ModelProfile, SharedModel, SimLlm,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault seed for this process: `CHAOS_SEED` (the CI matrix) or 0.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn knowledge() -> Arc<KnowledgeStore> {
+    Arc::new(KnowledgeStore::build(
+        vec![KnowledgeEntry {
+            id: "q1".into(),
+            question: "What is the capital of France?".into(),
+            category: "geography".into(),
+            golden: "The capital of France is Paris".into(),
+            correct: vec!["Paris is the capital of France".into()],
+            incorrect: vec!["Marseille the port city is the capital".into()],
+        }],
+        llmms_embed::default_embedder(),
+    ))
+}
+
+fn sim(name: &str, store: &Arc<KnowledgeStore>) -> SharedModel {
+    let mut p = ModelProfile::llama3_8b();
+    p.name = name.to_owned();
+    p.skills.clear();
+    p.default_skill = 0.9;
+    p.hedging = 0.1;
+    p.verbosity = 0.2;
+    Arc::new(SimLlm::new(p, Arc::clone(store))) as SharedModel
+}
+
+fn faulty(name: &str, kind: FaultKind, offset: u64, store: &Arc<KnowledgeStore>) -> SharedModel {
+    ChaosModel::wrap(
+        sim(name, store),
+        kind,
+        chaos_seed().wrapping_mul(1000) + offset,
+    )
+}
+
+fn orchestrator(strategy: Strategy, budget: usize, deadline_ms: Option<u64>) -> Orchestrator {
+    Orchestrator::new(
+        llmms_embed::default_embedder(),
+        OrchestratorConfig {
+            strategy,
+            token_budget: budget,
+            temperature: 0.0,
+            query_deadline_ms: deadline_ms,
+            ..OrchestratorConfig::default()
+        },
+    )
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Oua(OuaConfig::default()),
+        Strategy::Mab(MabConfig::default()),
+        Strategy::Hybrid(HybridConfig::default()),
+    ]
+}
+
+const QUESTION: &str = "What is the capital of France?";
+
+/// The headline acceptance scenario: four models, three of which fail
+/// mid-generation in three different ways. Every strategy must finish
+/// within the deadline, without panicking, inside the budget, flag the
+/// result degraded, and return the healthy model's answer.
+#[test]
+fn three_faulty_one_healthy_every_strategy_answers() {
+    for strategy in all_strategies() {
+        let store = knowledge();
+        let models = vec![
+            sim("healthy", &store),
+            faulty("wedged", FaultKind::Stall, 1, &store),
+            faulty(
+                "dies-midway",
+                FaultKind::ErrorAfterN {
+                    n: 2,
+                    transient: false,
+                },
+                2,
+                &store,
+            ),
+            faulty("lossy-path", FaultKind::Flaky { p: 0.9 }, 3, &store),
+        ];
+        let o = orchestrator(strategy, 96, Some(5_000));
+        let started = std::time::Instant::now();
+        let r = o.run(&models, QUESTION).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "{}: must finish within the deadline",
+            r.strategy
+        );
+        assert!(r.total_tokens <= 96, "{}: overspent", r.strategy);
+        let sum: usize = r.outcomes.iter().map(|o| o.tokens).sum();
+        assert_eq!(sum, r.total_tokens, "{}: accounting", r.strategy);
+        assert!(r.degraded, "{}: failures must flag degradation", r.strategy);
+        assert_eq!(
+            r.best_outcome().model,
+            "healthy",
+            "{}: healthy model must win, outcomes: {:?}",
+            r.strategy,
+            r.outcomes
+                .iter()
+                .map(|o| (o.model.clone(), o.failed, o.tokens))
+                .collect::<Vec<_>>()
+        );
+        assert!(!r.response().is_empty(), "{}", r.strategy);
+        // The stall can never be mistaken for a slow-but-healthy model: it
+        // produces no output, so no strategy can prune it on score — only the
+        // stall counter can take it out, and that marks it failed.
+        let failed = r.failed_models();
+        assert!(failed.contains(&"wedged"), "{}: {failed:?}", r.strategy);
+        // The mid-generation crash is attributed as a failure unless the
+        // strategy had already pruned the arm on score before chunk 3
+        // (Hybrid's probe phase legitimately does this).
+        let dies = r
+            .outcomes
+            .iter()
+            .find(|o| o.model == "dies-midway")
+            .unwrap();
+        assert!(
+            dies.failed || dies.pruned,
+            "{}: dies-midway neither failed nor pruned",
+            r.strategy
+        );
+        // Every score must stay finite even for failed arms.
+        assert!(r.outcomes.iter().all(|o| o.score.is_finite()));
+    }
+}
+
+/// A saturated backend (real wall-clock delay per chunk) must trip the
+/// query deadline: the orchestrator force-aborts, keeps the partial output,
+/// and flags both `deadline_exceeded` and `degraded`.
+#[test]
+fn slow_backend_trips_the_query_deadline() {
+    for strategy in all_strategies() {
+        let store = knowledge();
+        let models = vec![
+            faulty(
+                "molasses-a",
+                FaultKind::SlowChunks { delay_ms: 25 },
+                4,
+                &store,
+            ),
+            faulty(
+                "molasses-b",
+                FaultKind::SlowChunks { delay_ms: 25 },
+                5,
+                &store,
+            ),
+        ];
+        let o = orchestrator(strategy, 2048, Some(60));
+        let started = std::time::Instant::now();
+        let r = o.run(&models, QUESTION).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "{}: deadline must bound the query",
+            r.strategy
+        );
+        assert!(r.deadline_exceeded, "{}", r.strategy);
+        assert!(r.degraded, "{}", r.strategy);
+        // Force-abort is a deadline decision, not a model fault: the slow
+        // arms are aborted, not failed, and the breaker is untouched.
+        assert!(r.failed_models().is_empty(), "{}", r.strategy);
+        assert_eq!(o.health().state("molasses-a"), BreakerState::Closed);
+    }
+}
+
+/// Confident nonsense does not need errors to lose: the Garbage fault
+/// finishes cleanly, so nothing is degraded, but Eq. 6.1 scoring must still
+/// prefer the grounded answer.
+#[test]
+fn garbage_output_loses_on_score_not_on_errors() {
+    for strategy in all_strategies() {
+        let store = knowledge();
+        let models = vec![
+            sim("grounded", &store),
+            faulty("confabulator", FaultKind::Garbage, 6, &store),
+        ];
+        let o = orchestrator(strategy, 128, None);
+        let r = o.run(&models, QUESTION).unwrap();
+        assert!(!r.degraded, "{}: garbage is not a failure", r.strategy);
+        assert_eq!(r.best_outcome().model, "grounded", "{}", r.strategy);
+    }
+}
+
+/// Degraded results feed the tournament layer without special-casing:
+/// only output-producing arms play, and the healthy winner gains rating.
+#[test]
+fn tournament_scoreboard_absorbs_degraded_results() {
+    let store = knowledge();
+    let models = vec![
+        sim("steady-player", &store),
+        faulty("wedged-player", FaultKind::Stall, 7, &store),
+        // Faults compose: garbage output that also crashes after one chunk,
+        // so its lone partial is nonsense and deterministically loses.
+        ChaosModel::wrap(
+            faulty("crashing-player", FaultKind::Garbage, 8, &store),
+            FaultKind::ErrorAfterN {
+                n: 1,
+                transient: false,
+            },
+            chaos_seed().wrapping_mul(1000) + 8,
+        ),
+    ];
+    let o = orchestrator(Strategy::Oua(OuaConfig::default()), 96, Some(5_000));
+    let mut scoreboard = Scoreboard::default();
+    for _ in 0..3 {
+        let r = o.run(&models, QUESTION).unwrap();
+        assert!(r.degraded);
+        scoreboard.record(&r);
+    }
+    // The stalled arm never produced output, so it never played a game.
+    assert_eq!(scoreboard.games("wedged-player"), 0);
+    assert!(scoreboard.games("steady-player") > 0);
+    assert!(scoreboard.rating("steady-player") >= scoreboard.rating("crashing-player"));
+}
+
+/// A backend whose health can be flipped at runtime — the recovery half of
+/// the circuit-breaker story, which the per-session chaos faults cannot
+/// model (each of their sessions fails the same way forever).
+struct Flippable {
+    name: String,
+    healthy: Arc<AtomicBool>,
+    words: Vec<&'static str>,
+}
+
+impl LanguageModel for Flippable {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn info(&self) -> ModelInfo {
+        ModelInfo {
+            name: self.name.clone(),
+            family: "flippable".into(),
+            params_b: 1.0,
+            context_window: 2048,
+            quantization: "none".into(),
+            decode_tokens_per_second: 10.0,
+        }
+    }
+
+    fn start(&self, _prompt: &str, _options: &GenOptions) -> Box<dyn GenerationSession> {
+        Box::new(FlippableSession {
+            model: self.name.clone(),
+            healthy: self.healthy.load(Ordering::SeqCst),
+            words: self.words.clone(),
+            cursor: 0,
+            text: String::new(),
+            done: None,
+        })
+    }
+}
+
+struct FlippableSession {
+    model: String,
+    healthy: bool,
+    words: Vec<&'static str>,
+    cursor: usize,
+    text: String,
+    done: Option<DoneReason>,
+}
+
+impl GenerationSession for FlippableSession {
+    fn next_chunk(&mut self, max_tokens: usize) -> Result<Chunk, ModelError> {
+        if !self.healthy {
+            return Err(ModelError::Fatal {
+                model: self.model.clone(),
+                reason: "backend worker crashed".into(),
+            });
+        }
+        if let Some(reason) = self.done {
+            return Ok(Chunk::finished(reason));
+        }
+        let mut chunk = String::new();
+        let mut emitted = 0;
+        while emitted < max_tokens && self.cursor < self.words.len() {
+            if !self.text.is_empty() || !chunk.is_empty() {
+                chunk.push(' ');
+            }
+            chunk.push_str(self.words[self.cursor]);
+            self.cursor += 1;
+            emitted += 1;
+        }
+        self.text.push_str(&chunk);
+        self.done = (self.cursor >= self.words.len()).then_some(DoneReason::Stop);
+        Ok(Chunk {
+            text: chunk,
+            tokens: emitted,
+            done: self.done,
+        })
+    }
+
+    fn tokens_generated(&self) -> usize {
+        self.cursor
+    }
+
+    fn response_so_far(&self) -> &str {
+        &self.text
+    }
+
+    fn done_reason(&self) -> Option<DoneReason> {
+        self.done
+    }
+
+    fn simulated_latency(&self) -> Duration {
+        Duration::from_millis(self.cursor as u64)
+    }
+
+    fn abort(&mut self) {
+        if self.done.is_none() {
+            self.done = Some(DoneReason::Aborted);
+        }
+    }
+}
+
+/// The breaker lifecycle end-to-end: K consecutive failing queries open the
+/// breaker, the next query skips the model outright (dead-on-arrival
+/// outcome, no admission), and after the cooldown a half-open probe against
+/// the recovered backend closes it again — with every transition visible in
+/// the process-wide metrics registry.
+#[test]
+fn breaker_opens_skips_and_recovers_via_half_open_probe() {
+    let store = knowledge();
+    let healthy_flag = Arc::new(AtomicBool::new(false));
+    let flippable: SharedModel = Arc::new(Flippable {
+        name: "chaos-recovering-backend".into(),
+        healthy: Arc::clone(&healthy_flag),
+        words: vec!["the", "capital", "of", "france", "is", "paris"],
+    });
+    let models = vec![sim("chaos-steady-backend", &store), flippable];
+
+    let o = Orchestrator::new(
+        llmms_embed::default_embedder(),
+        OrchestratorConfig {
+            strategy: Strategy::Oua(OuaConfig::default()),
+            token_budget: 96,
+            temperature: 0.0,
+            breaker: BreakerConfig {
+                enabled: true,
+                failure_threshold: 3,
+                cooldown_ms: 50,
+            },
+            ..OrchestratorConfig::default()
+        },
+    );
+
+    // K = 3 failing queries trip the breaker open.
+    for i in 0..3 {
+        let r = o.run(&models, QUESTION).unwrap();
+        assert!(r.degraded, "query {i} must be degraded");
+        assert_eq!(r.failed_models(), vec!["chaos-recovering-backend"]);
+    }
+    assert_eq!(
+        o.health().state("chaos-recovering-backend"),
+        BreakerState::Open
+    );
+
+    // While open (cooldown not elapsed), the model is skipped outright:
+    // its session is never even started.
+    let r = o.run(&models, QUESTION).unwrap();
+    let skipped = r
+        .outcomes
+        .iter()
+        .find(|out| out.model == "chaos-recovering-backend")
+        .unwrap();
+    assert!(skipped.failed);
+    assert_eq!(skipped.tokens, 0);
+    assert!(
+        skipped.error.as_deref().unwrap_or("").contains("breaker"),
+        "error: {:?}",
+        skipped.error
+    );
+    assert_eq!(r.best_outcome().model, "chaos-steady-backend");
+
+    // Backend recovers; after the cooldown the half-open probe succeeds and
+    // the breaker closes.
+    healthy_flag.store(true, Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(60));
+    let r = o.run(&models, QUESTION).unwrap();
+    let recovered = r
+        .outcomes
+        .iter()
+        .find(|out| out.model == "chaos-recovering-backend")
+        .unwrap();
+    assert!(!recovered.failed, "probe must run the recovered model");
+    assert!(recovered.tokens > 0);
+    assert!(!r.degraded);
+    assert_eq!(
+        o.health().state("chaos-recovering-backend"),
+        BreakerState::Closed
+    );
+
+    // The lifecycle is visible in the metrics registry (the /metrics and
+    // /stats payloads are rendered from this same snapshot).
+    let snap = llmms_obs::Registry::global().snapshot();
+    assert_eq!(
+        snap.gauge_value("breaker_state", &[("model", "chaos-recovering-backend")]),
+        Some(BreakerState::Closed.gauge_value())
+    );
+    assert!(
+        snap.counter_value(
+            "breaker_transitions_total",
+            &[("model", "chaos-recovering-backend"), ("to", "open")],
+        ) >= 1
+    );
+    assert!(
+        snap.counter_value(
+            "breaker_transitions_total",
+            &[("model", "chaos-recovering-backend"), ("to", "closed")],
+        ) >= 1
+    );
+}
+
+/// Disabled breaker means no skipping, ever: the failing model is admitted
+/// on every query no matter how long its failure streak.
+#[test]
+fn disabled_breaker_always_admits() {
+    let store = knowledge();
+    let models = vec![
+        sim("chaos-nb-steady", &store),
+        faulty(
+            "chaos-nb-dying",
+            FaultKind::ErrorAfterN {
+                n: 0,
+                transient: false,
+            },
+            9,
+            &store,
+        ),
+    ];
+    let o = Orchestrator::new(
+        llmms_embed::default_embedder(),
+        OrchestratorConfig {
+            strategy: Strategy::Oua(OuaConfig::default()),
+            token_budget: 96,
+            temperature: 0.0,
+            breaker: BreakerConfig {
+                enabled: false,
+                ..BreakerConfig::default()
+            },
+            ..OrchestratorConfig::default()
+        },
+    );
+    for _ in 0..5 {
+        let r = o.run(&models, QUESTION).unwrap();
+        let dying = r
+            .outcomes
+            .iter()
+            .find(|out| out.model == "chaos-nb-dying")
+            .unwrap();
+        // A genuine session failure each time — never the breaker-open skip.
+        assert!(dying.failed);
+        assert!(
+            !dying.error.as_deref().unwrap_or("").contains("breaker"),
+            "error: {:?}",
+            dying.error
+        );
+    }
+    // Failures are still tracked (the streak is real), but admission always
+    // succeeds while the breaker is disabled.
+    assert!(o.health().admit("chaos-nb-dying"));
+}

@@ -1,7 +1,70 @@
 //! Orchestrator configuration: strategies and their parameters.
 
 use crate::reward::RewardWeights;
+use llmms_models::BreakerConfig;
 use serde::{Deserialize, Serialize};
+
+/// How [`crate::Orchestrator`] handles model-backend failures mid-query.
+///
+/// Transient errors are retried with capped exponential backoff
+/// (`base · 2^attempt`, clamped to `cap`); when the retries are exhausted —
+/// or the error was fatal, or the session stalls for `stall_limit`
+/// consecutive empty chunks — the model is marked
+/// [`llmms_models::DoneReason::Failed`] and the query continues with the
+/// survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Transient-error retries per generate call before giving up.
+    #[serde(default = "default_max_retries")]
+    pub max_retries: u32,
+    /// First backoff delay, in milliseconds.
+    #[serde(default = "default_backoff_base_ms")]
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    #[serde(default = "default_backoff_cap_ms")]
+    pub backoff_cap_ms: u64,
+    /// Consecutive empty, non-final chunks before a session counts as
+    /// stalled and is failed (the analogue of a request timeout).
+    #[serde(default = "default_stall_limit")]
+    pub stall_limit: u32,
+}
+
+fn default_max_retries() -> u32 {
+    2
+}
+
+fn default_backoff_base_ms() -> u64 {
+    50
+}
+
+fn default_backoff_cap_ms() -> u64 {
+    400
+}
+
+fn default_stall_limit() -> u32 {
+    3
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: default_max_retries(),
+            backoff_base_ms: default_backoff_base_ms(),
+            backoff_cap_ms: default_backoff_cap_ms(),
+            stall_limit: default_stall_limit(),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The capped exponential delay before retry number `attempt` (1-based).
+    pub fn backoff_delay(&self, attempt: u32) -> std::time::Duration {
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+        std::time::Duration::from_millis(exp.min(self.backoff_cap_ms))
+    }
+}
 
 /// Parameters of the Overperformers–Underperformers Algorithm (Alg. 1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -130,6 +193,24 @@ pub struct OrchestratorConfig {
     /// this file for offline replay (independent of `record_events`).
     #[serde(default)]
     pub trace_path: Option<String>,
+    /// Transient-error retry / stall policy.
+    #[serde(default)]
+    pub retry: RetryConfig,
+    /// Per-model circuit-breaker policy, consulted when sessions start.
+    #[serde(default)]
+    pub breaker: BreakerConfig,
+    /// Wall-clock cap on one scoring round (OUA) or pull sweep, in
+    /// milliseconds; models that did not get a chunk in time wait for the
+    /// next round. `None` disables the cap.
+    #[serde(default)]
+    pub round_deadline_ms: Option<u64>,
+    /// Wall-clock cap on the whole query, in milliseconds. When it expires,
+    /// every in-flight session is force-aborted and the best response so
+    /// far is returned (degraded); a query with no output at all fails with
+    /// [`crate::OrchestratorError::DeadlineExceeded`]. `None` disables the
+    /// cap.
+    #[serde(default)]
+    pub query_deadline_ms: Option<u64>,
 }
 
 impl Default for OrchestratorConfig {
@@ -141,6 +222,10 @@ impl Default for OrchestratorConfig {
             seed: 0,
             record_events: false,
             trace_path: None,
+            retry: RetryConfig::default(),
+            breaker: BreakerConfig::default(),
+            round_deadline_ms: None,
+            query_deadline_ms: None,
         }
     }
 }
@@ -203,6 +288,34 @@ impl OrchestratorConfigBuilder {
         self
     }
 
+    /// Set the transient-error retry / stall policy.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Set the per-model circuit-breaker policy.
+    #[must_use]
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = breaker;
+        self
+    }
+
+    /// Cap each scoring round at `ms` wall-clock milliseconds.
+    #[must_use]
+    pub fn round_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.round_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Cap the whole query at `ms` wall-clock milliseconds.
+    #[must_use]
+    pub fn query_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.query_deadline_ms = Some(ms);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> OrchestratorConfig {
         self.config
@@ -256,5 +369,53 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: OrchestratorConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn old_configs_without_robustness_knobs_still_parse() {
+        // A config serialized before the failure-handling fields existed.
+        let json = r#"{
+            "token_budget": 512,
+            "strategy": "Single",
+            "temperature": 0.5,
+            "seed": 1,
+            "record_events": false
+        }"#;
+        let c: OrchestratorConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(c.retry, RetryConfig::default());
+        assert_eq!(c.breaker, BreakerConfig::default());
+        assert_eq!(c.round_deadline_ms, None);
+        assert_eq!(c.query_deadline_ms, None);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let r = RetryConfig::default();
+        assert_eq!(r.backoff_delay(1).as_millis(), 50);
+        assert_eq!(r.backoff_delay(2).as_millis(), 100);
+        assert_eq!(r.backoff_delay(3).as_millis(), 200);
+        assert_eq!(r.backoff_delay(4).as_millis(), 400);
+        assert_eq!(r.backoff_delay(10).as_millis(), 400, "clamped at the cap");
+        assert_eq!(r.backoff_delay(64).as_millis(), 400, "huge attempts safe");
+    }
+
+    #[test]
+    fn builder_sets_robustness_knobs() {
+        let c = OrchestratorConfig::builder()
+            .retry(RetryConfig {
+                max_retries: 5,
+                ..RetryConfig::default()
+            })
+            .breaker(BreakerConfig {
+                failure_threshold: 7,
+                ..BreakerConfig::default()
+            })
+            .round_deadline_ms(100)
+            .query_deadline_ms(2000)
+            .build();
+        assert_eq!(c.retry.max_retries, 5);
+        assert_eq!(c.breaker.failure_threshold, 7);
+        assert_eq!(c.round_deadline_ms, Some(100));
+        assert_eq!(c.query_deadline_ms, Some(2000));
     }
 }

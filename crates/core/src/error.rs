@@ -14,6 +14,12 @@ pub enum OrchestratorError {
     },
     /// The token budget was zero.
     ZeroBudget,
+    /// Every model in the pool failed (or was skipped by an open circuit
+    /// breaker) before producing any output — there is nothing to degrade
+    /// to.
+    AllModelsFailed,
+    /// The whole-query deadline expired before any model produced output.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for OrchestratorError {
@@ -24,6 +30,12 @@ impl fmt::Display for OrchestratorError {
                 write!(f, "single-model mode needs exactly one model, got {got}")
             }
             OrchestratorError::ZeroBudget => write!(f, "token budget must be positive"),
+            OrchestratorError::AllModelsFailed => {
+                write!(f, "every model failed before producing output")
+            }
+            OrchestratorError::DeadlineExceeded => {
+                write!(f, "query deadline expired before any model produced output")
+            }
         }
     }
 }
@@ -41,5 +53,11 @@ mod tests {
             .to_string()
             .contains('3'));
         assert!(OrchestratorError::ZeroBudget.to_string().contains("budget"));
+        assert!(OrchestratorError::AllModelsFailed
+            .to_string()
+            .contains("failed"));
+        assert!(OrchestratorError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
     }
 }

@@ -58,6 +58,22 @@ pub enum OrchestrationEvent {
         /// Tokens consumed (equals the budget limit).
         used: usize,
     },
+    /// A model's backend failed terminally (fatal error, exhausted retries,
+    /// stall, or an open circuit breaker). The run continues with the
+    /// survivors.
+    ModelFailed {
+        /// The failed model.
+        model: String,
+        /// Human-readable failure reason.
+        error: String,
+    },
+    /// A wall-clock deadline expired and the run was force-ended.
+    DeadlineExceeded {
+        /// `"round"` or `"query"`.
+        scope: String,
+        /// Milliseconds elapsed when the deadline fired.
+        elapsed_ms: u64,
+    },
     /// The run finished.
     Finished {
         /// Model whose response was selected.
@@ -243,6 +259,24 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         let back: OrchestrationEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn failure_events_serialize() {
+        for e in [
+            OrchestrationEvent::ModelFailed {
+                model: "m".into(),
+                error: "stalled".into(),
+            },
+            OrchestrationEvent::DeadlineExceeded {
+                scope: "query".into(),
+                elapsed_ms: 12,
+            },
+        ] {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: OrchestrationEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
     }
 
     #[test]

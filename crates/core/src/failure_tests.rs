@@ -1,35 +1,31 @@
 //! Failure-injection tests: the orchestrator must survive misbehaving model
-//! backends — stalled generations, empty outputs, instant refusals — the
-//! way a production deployment survives a wedged Ollama worker.
+//! backends — stalled generations, empty outputs, mid-generation errors —
+//! the way a production deployment survives a wedged Ollama worker. The
+//! faults come from [`llmms_models::chaos`]; the larger seeded matrix lives
+//! in `chaos_tests.rs`.
 
 #![cfg(test)]
 
 use crate::config::{MabConfig, OrchestratorConfig, OuaConfig, Strategy};
+use crate::error::OrchestratorError;
 use crate::hybrid::HybridConfig;
 use crate::orchestrator::Orchestrator;
+use llmms_models::chaos::{ChaosModel, FaultKind};
 use llmms_models::{
-    Chunk, DoneReason, GenOptions, GenerationSession, LanguageModel, ModelInfo, SharedModel,
+    Chunk, DoneReason, GenOptions, GenerationSession, LanguageModel, ModelError, ModelInfo,
+    SharedModel,
 };
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How an injected model misbehaves.
-#[derive(Clone, Copy)]
-enum Fault {
-    /// Yields empty chunks forever without ever finishing.
-    Stall,
-    /// Finishes immediately with no output at all.
-    InstantEmpty,
-    /// Behaves normally (control lane).
-    None,
-}
-
-struct FaultyModel {
+/// A deterministic honest backend emitting a fixed word sequence — the
+/// control lane chaos wraps around.
+struct Scripted {
     name: String,
-    fault: Fault,
+    words: Vec<&'static str>,
 }
 
-impl LanguageModel for FaultyModel {
+impl LanguageModel for Scripted {
     fn name(&self) -> &str {
         &self.name
     }
@@ -37,7 +33,7 @@ impl LanguageModel for FaultyModel {
     fn info(&self) -> ModelInfo {
         ModelInfo {
             name: self.name.clone(),
-            family: "faulty".into(),
+            family: "scripted".into(),
             params_b: 1.0,
             context_window: 2048,
             quantization: "none".into(),
@@ -46,9 +42,8 @@ impl LanguageModel for FaultyModel {
     }
 
     fn start(&self, _prompt: &str, options: &GenOptions) -> Box<dyn GenerationSession> {
-        Box::new(FaultySession {
-            fault: self.fault,
-            words: vec!["the", "honest", "answer", "is", "forty", "two"],
+        Box::new(ScriptedSession {
+            words: self.words.clone(),
             cursor: 0,
             text: String::new(),
             budget: options.max_tokens,
@@ -57,8 +52,7 @@ impl LanguageModel for FaultyModel {
     }
 }
 
-struct FaultySession {
-    fault: Fault,
+struct ScriptedSession {
     words: Vec<&'static str>,
     cursor: usize,
     text: String,
@@ -66,44 +60,28 @@ struct FaultySession {
     done: Option<DoneReason>,
 }
 
-impl GenerationSession for FaultySession {
-    fn next_chunk(&mut self, max_tokens: usize) -> Chunk {
+impl GenerationSession for ScriptedSession {
+    fn next_chunk(&mut self, max_tokens: usize) -> Result<Chunk, ModelError> {
         if let Some(reason) = self.done {
-            return Chunk::finished(reason);
+            return Ok(Chunk::finished(reason));
         }
-        match self.fault {
-            Fault::Stall => Chunk {
-                text: String::new(),
-                tokens: 0,
-                done: None,
-            },
-            Fault::InstantEmpty => {
-                self.done = Some(DoneReason::Stop);
-                Chunk::finished(DoneReason::Stop)
+        let mut emitted = 0;
+        let mut chunk = String::new();
+        while emitted < max_tokens && self.cursor < self.words.len() && self.cursor < self.budget {
+            if !self.text.is_empty() || !chunk.is_empty() {
+                chunk.push(' ');
             }
-            Fault::None => {
-                let mut emitted = 0;
-                let mut chunk = String::new();
-                while emitted < max_tokens
-                    && self.cursor < self.words.len()
-                    && self.cursor < self.budget
-                {
-                    if !self.text.is_empty() || !chunk.is_empty() {
-                        chunk.push(' ');
-                    }
-                    chunk.push_str(self.words[self.cursor]);
-                    self.cursor += 1;
-                    emitted += 1;
-                }
-                self.text.push_str(&chunk);
-                self.done = (self.cursor >= self.words.len()).then_some(DoneReason::Stop);
-                Chunk {
-                    text: chunk,
-                    tokens: emitted,
-                    done: self.done,
-                }
-            }
+            chunk.push_str(self.words[self.cursor]);
+            self.cursor += 1;
+            emitted += 1;
         }
+        self.text.push_str(&chunk);
+        self.done = (self.cursor >= self.words.len()).then_some(DoneReason::Stop);
+        Ok(Chunk {
+            text: chunk,
+            tokens: emitted,
+            done: self.done,
+        })
     }
 
     fn tokens_generated(&self) -> usize {
@@ -129,16 +107,25 @@ impl GenerationSession for FaultySession {
     }
 }
 
-fn pool(faults: &[(&str, Fault)]) -> Vec<SharedModel> {
-    faults
-        .iter()
-        .map(|(name, fault)| {
-            Arc::new(FaultyModel {
-                name: (*name).to_owned(),
-                fault: *fault,
-            }) as SharedModel
-        })
-        .collect()
+const HONEST: &[&str] = &["the", "honest", "answer", "is", "forty", "two"];
+
+fn honest(name: &str) -> SharedModel {
+    Arc::new(Scripted {
+        name: name.to_owned(),
+        words: HONEST.to_vec(),
+    })
+}
+
+/// Finishes instantly with a natural stop and zero output.
+fn mute(name: &str) -> SharedModel {
+    Arc::new(Scripted {
+        name: name.to_owned(),
+        words: Vec::new(),
+    })
+}
+
+fn faulty(name: &str, kind: FaultKind) -> SharedModel {
+    ChaosModel::wrap(honest(name), kind, 7)
 }
 
 fn orchestrator(strategy: Strategy) -> Orchestrator {
@@ -164,7 +151,7 @@ fn all_strategies() -> Vec<Strategy> {
 #[test]
 fn stalled_model_does_not_hang_any_strategy() {
     for strategy in all_strategies() {
-        let models = pool(&[("healthy", Fault::None), ("stuck", Fault::Stall)]);
+        let models = vec![honest("healthy"), faulty("stuck", FaultKind::Stall)];
         let o = orchestrator(strategy);
         let r = o.run(&models, "what is the answer").unwrap();
         assert_eq!(
@@ -174,13 +161,44 @@ fn stalled_model_does_not_hang_any_strategy() {
             r.strategy
         );
         assert!(r.total_tokens <= 64);
+        assert!(r.degraded, "{}: stall must flag degradation", r.strategy);
+        assert_eq!(r.failed_models(), vec!["stuck"], "{}", r.strategy);
+    }
+}
+
+#[test]
+fn fatal_error_mid_generation_is_survived() {
+    for strategy in all_strategies() {
+        let models = vec![
+            honest("healthy"),
+            faulty(
+                "crashy",
+                FaultKind::ErrorAfterN {
+                    n: 1,
+                    transient: false,
+                },
+            ),
+        ];
+        let o = orchestrator(strategy);
+        let r = o.run(&models, "what is the answer").unwrap();
+        assert_eq!(
+            r.response(),
+            "the honest answer is forty two",
+            "{}",
+            r.strategy
+        );
+        assert!(r.degraded, "{}", r.strategy);
+        assert_eq!(r.failed_models(), vec!["crashy"], "{}", r.strategy);
+        let crashy = r.outcomes.iter().find(|o| o.model == "crashy").unwrap();
+        assert_eq!(crashy.done, Some(DoneReason::Failed));
+        assert!(crashy.error.is_some());
     }
 }
 
 #[test]
 fn instantly_empty_model_is_tolerated() {
     for strategy in all_strategies() {
-        let models = pool(&[("healthy", Fault::None), ("mute", Fault::InstantEmpty)]);
+        let models = vec![honest("healthy"), mute("mute")];
         let o = orchestrator(strategy);
         let r = o.run(&models, "what is the answer").unwrap();
         assert_eq!(
@@ -191,25 +209,58 @@ fn instantly_empty_model_is_tolerated() {
         );
         // The mute model must never be selected despite existing in outcomes.
         assert_eq!(r.best_outcome().model, "healthy", "{}", r.strategy);
+        // A clean (if empty) natural stop is not a failure.
+        assert!(!r.degraded, "{}", r.strategy);
     }
 }
 
 #[test]
 fn everyone_faulty_still_terminates() {
     for strategy in all_strategies() {
-        let models = pool(&[("stuck-1", Fault::Stall), ("mute", Fault::InstantEmpty)]);
+        let models = vec![faulty("stuck-1", FaultKind::Stall), mute("mute")];
         let o = orchestrator(strategy);
         // Nothing sensible to return, but it must return *something* without
-        // hanging or panicking.
+        // hanging or panicking (the mute model's empty stop counts).
         let r = o.run(&models, "what is the answer").unwrap();
         assert!(r.total_tokens <= 64, "{}", r.strategy);
+        assert!(r.degraded, "{}", r.strategy);
     }
 }
 
 #[test]
-fn single_mode_with_stalled_model_terminates() {
-    let models = pool(&[("stuck", Fault::Stall)]);
+fn single_mode_with_stalled_model_is_all_failed() {
+    let models = vec![faulty("stuck", FaultKind::Stall)];
     let o = orchestrator(Strategy::Single);
-    let r = o.run(&models, "q").unwrap();
-    assert_eq!(r.response(), "");
+    // With no survivor to degrade to, the failure is surfaced as an error.
+    assert_eq!(
+        o.run(&models, "q").unwrap_err(),
+        OrchestratorError::AllModelsFailed
+    );
+}
+
+#[test]
+fn whole_pool_of_fatal_models_is_all_failed() {
+    for strategy in all_strategies() {
+        let models = vec![
+            faulty(
+                "f1",
+                FaultKind::ErrorAfterN {
+                    n: 0,
+                    transient: false,
+                },
+            ),
+            faulty(
+                "f2",
+                FaultKind::ErrorAfterN {
+                    n: 0,
+                    transient: false,
+                },
+            ),
+        ];
+        let o = orchestrator(strategy);
+        assert_eq!(
+            o.run(&models, "q").unwrap_err(),
+            OrchestratorError::AllModelsFailed
+        );
+    }
 }

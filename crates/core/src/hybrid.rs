@@ -16,14 +16,16 @@
 
 use crate::budget::TokenBudget;
 use crate::config::{MabConfig, OrchestratorConfig};
+use crate::deadline::Deadline;
 use crate::events::{EventRecorder, OrchestrationEvent};
 use crate::mab::{final_scores, ucb};
 use crate::result::OrchestrationResult;
 use crate::reward::{score_all, RewardWeights};
-use crate::runpool::{outcomes_of, ModelRun};
+use crate::runpool::{self, outcomes_of, ModelRun};
 use llmms_embed::{Embedding, SharedEmbedder};
-use llmms_models::{GenOptions, SharedModel};
+use llmms_models::{DoneReason, GenOptions, HealthRegistry, SharedModel};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Parameters of the hybrid strategy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,6 +62,7 @@ pub(crate) fn run(
     embedder: &SharedEmbedder,
     cfg: &HybridConfig,
     orch: &OrchestratorConfig,
+    health: &Arc<HealthRegistry>,
     mut recorder: EventRecorder,
 ) -> OrchestrationResult {
     let n = models.len();
@@ -69,8 +72,11 @@ pub(crate) fn run(
         temperature: orch.temperature,
         seed: orch.seed,
     };
-    let mut runs = ModelRun::start_all(models, prompt, &options);
+    let mut runs = ModelRun::start_all(models, prompt, &options, orch.retry, health);
+    runpool::emit_preexisting_failures(&runs, &mut recorder);
     let query_embedding = embedder.embed(prompt);
+    let query_deadline = Deadline::new(orch.query_deadline_ms);
+    let mut deadline_exceeded = false;
     let mut rounds = 0usize;
     // Phase 2 scores with the hybrid's own Eq. 6.1 weights.
     let mab_cfg = MabConfig {
@@ -84,9 +90,25 @@ pub(crate) fn run(
         if budget.exhausted() || !runs.iter().any(ModelRun::is_active) {
             break;
         }
+        if query_deadline.exceeded() {
+            deadline_exceeded = true;
+            break;
+        }
         rounds += 1;
         recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: rounds });
+        let round_deadline = Deadline::new(orch.round_deadline_ms);
         for run in runs.iter_mut().filter(|r| r.is_active()) {
+            if query_deadline.exceeded() {
+                deadline_exceeded = true;
+                break;
+            }
+            if round_deadline.exceeded() {
+                recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
+                    scope: "round".into(),
+                    elapsed_ms: round_deadline.elapsed_ms(),
+                });
+                break;
+            }
             let chunk = run.generate(cfg.probe_tokens.max(1), &mut budget);
             if chunk.tokens > 0 || chunk.done.is_some() {
                 recorder.emit_with(|| OrchestrationEvent::ModelChunk {
@@ -96,6 +118,15 @@ pub(crate) fn run(
                     done: chunk.done,
                 });
             }
+            if chunk.done == Some(DoneReason::Failed) {
+                recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+                    model: run.name.clone(),
+                    error: run.error.clone().unwrap_or_default(),
+                });
+            }
+        }
+        if deadline_exceeded {
+            break;
         }
         update_probe_scores(
             &mut runs,
@@ -113,13 +144,16 @@ pub(crate) fn run(
         });
     }
     // Prune everything trailing the probe leader by more than the margin.
+    // Models with no output yet are spared: they are either about to fail
+    // (the stall counter attributes that to the backend) or merely slow,
+    // and a prune here would mask the difference.
     if let Some(best) = scores
         .iter()
         .cloned()
         .fold(None::<f64>, |acc, s| Some(acc.map_or(s, |a| a.max(s))))
     {
         for i in 0..n {
-            if runs[i].is_active() && best - scores[i] > cfg.prune_margin {
+            if runs[i].is_active() && runs[i].has_output() && best - scores[i] > cfg.prune_margin {
                 recorder.emit_with(|| OrchestrationEvent::ModelPruned {
                     model: runs[i].name.clone(),
                     score: scores[i],
@@ -134,8 +168,11 @@ pub(crate) fn run(
     let mut rewards = vec![0.0f64; n];
     let mut pulls = vec![0usize; n];
     let mut total_pulls = 0usize;
-    let mut stalls = vec![0u8; n];
-    while !budget.exhausted() {
+    while !budget.exhausted() && !deadline_exceeded {
+        if query_deadline.exceeded() {
+            deadline_exceeded = true;
+            break;
+        }
         let active: Vec<usize> = (0..n).filter(|&i| runs[i].is_active()).collect();
         if active.is_empty() {
             break;
@@ -155,15 +192,26 @@ pub(crate) fn run(
             .expect("active is non-empty");
         total_pulls += 1;
         rounds += 1;
+        let pull_deadline = Deadline::new(orch.round_deadline_ms);
         let chunk = runs[chosen].generate(cfg.mab.pull_tokens.max(1), &mut budget);
-        if chunk.tokens == 0 && chunk.done.is_none() {
-            stalls[chosen] += 1;
-            if stalls[chosen] >= 3 {
-                runs[chosen].prune(); // stalled backend — treat as timed out
-            }
+        if pull_deadline.exceeded() {
+            recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
+                scope: "round".into(),
+                elapsed_ms: pull_deadline.elapsed_ms(),
+            });
+        }
+        if chunk.done == Some(DoneReason::Failed) {
+            recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+                model: runs[chosen].name.clone(),
+                error: runs[chosen].error.clone().unwrap_or_default(),
+            });
             continue;
         }
-        stalls[chosen] = 0;
+        if chunk.tokens == 0 && chunk.done.is_none() {
+            // Stalled backend — `generate` fails the arm after the
+            // configured streak; skip the reward meanwhile.
+            continue;
+        }
         recorder.emit_with(|| OrchestrationEvent::ModelChunk {
             model: runs[chosen].name.clone(),
             text: chunk.text.clone(),
@@ -175,6 +223,13 @@ pub(crate) fn run(
         pulls[chosen] += 1;
     }
 
+    if deadline_exceeded {
+        recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
+            scope: "query".into(),
+            elapsed_ms: query_deadline.elapsed_ms(),
+        });
+        runpool::abort_all(&mut runs);
+    }
     if budget.exhausted() {
         recorder.emit_with(|| OrchestrationEvent::BudgetExhausted {
             used: budget.used(),
@@ -182,21 +237,15 @@ pub(crate) fn run(
     }
 
     // Final selection: best current Eq. 6.1 score among everything with
-    // output (pruned partials included).
+    // output (pruned partials included, failed partials last-resort only).
     let selection = final_scores(&mut runs, &query_embedding, embedder, &mab_cfg);
-    let best = (0..n)
-        .filter(|&i| runs[i].has_output())
-        .max_by(|&a, &b| {
-            selection[a]
-                .partial_cmp(&selection[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .unwrap_or(0);
+    let best = runpool::select_best(&runs, &selection);
     recorder.emit_with(|| OrchestrationEvent::Finished {
         winner: runs[best].name.clone(),
         total_tokens: budget.used(),
     });
 
+    let degraded = runpool::any_failed(&runs) || deadline_exceeded;
     OrchestrationResult {
         strategy: "LLM-MS Hybrid".to_owned(),
         best,
@@ -204,6 +253,8 @@ pub(crate) fn run(
         total_tokens: budget.used(),
         rounds,
         budget_exhausted: budget.exhausted(),
+        degraded,
+        deadline_exceeded,
         events: recorder.into_events(),
     }
 }
@@ -216,7 +267,7 @@ fn update_probe_scores(
     scores: &mut [f64],
 ) {
     let participating: Vec<usize> = (0..runs.len())
-        .filter(|&i| !runs[i].pruned && runs[i].has_output())
+        .filter(|&i| !runs[i].eliminated() && runs[i].has_output())
         .collect();
     if participating.is_empty() {
         return;

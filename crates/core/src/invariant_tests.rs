@@ -7,8 +7,10 @@
 #![cfg(test)]
 
 use crate::config::{MabConfig, OrchestratorConfig, OuaConfig, Strategy};
+use crate::error::OrchestratorError;
 use crate::hybrid::HybridConfig;
 use crate::orchestrator::Orchestrator;
+use llmms_models::chaos::{ChaosModel, FaultKind};
 use llmms_models::{KnowledgeEntry, KnowledgeStore, ModelProfile, SharedModel, SimLlm};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -66,6 +68,28 @@ fn strategy_from(selector: u8, margin_centi: u8, chunk: u8) -> Strategy {
             probe_tokens: usize::from(chunk.clamp(1, 16)),
             ..HybridConfig::default()
         }),
+    }
+}
+
+/// The proptest fault palette. `SlowChunks` is deliberately absent — it
+/// burns real wall-clock, which a 24-case × 4-model matrix cannot afford;
+/// its deadline behaviour has a dedicated deterministic test in
+/// `chaos_tests`. Healthy is double-weighted so most pools keep survivors.
+fn fault_from(pick: u8) -> Option<FaultKind> {
+    match pick {
+        0 | 1 => None,
+        2 => Some(FaultKind::Stall),
+        3 => Some(FaultKind::ErrorAfterN {
+            n: 0,
+            transient: false,
+        }),
+        4 => Some(FaultKind::ErrorAfterN {
+            n: 2,
+            transient: true,
+        }),
+        5 => Some(FaultKind::Flaky { p: 0.5 }),
+        6 => Some(FaultKind::Flaky { p: 0.9 }),
+        _ => Some(FaultKind::Garbage),
     }
 }
 
@@ -148,5 +172,74 @@ proptest! {
         prop_assert_eq!(a.response(), b.response());
         prop_assert_eq!(a.total_tokens, b.total_tokens);
         prop_assert_eq!(a.best, b.best);
+    }
+
+    /// The invariants above must survive injected backend faults: any mix of
+    /// stalls, crashes, flaky transports, and garbage output still yields a
+    /// budget-respecting, exactly-accounted result with finite scores — or
+    /// the typed `AllModelsFailed` error when no arm survives.
+    #[test]
+    fn chaos_invariants_hold_under_faults(
+        pool_spec in proptest::collection::vec((0u16..1000, 0u8..8), 2..5),
+        budget in 8usize..200,
+        selector in 0u8..3,
+        seed in 0u64..64,
+    ) {
+        let store = knowledge();
+        let pool: Vec<SharedModel> = pool_spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(skill, fault))| {
+                let inner = model(i as u8, skill, &store);
+                match fault_from(fault) {
+                    Some(kind) => ChaosModel::wrap(inner, kind, seed + i as u64),
+                    None => inner,
+                }
+            })
+            .collect();
+        let o = Orchestrator::new(
+            llmms_embed::default_embedder(),
+            OrchestratorConfig {
+                strategy: strategy_from(selector, 50, 4),
+                token_budget: budget,
+                temperature: 0.3,
+                ..OrchestratorConfig::default()
+            },
+        );
+        match o.run(&pool, "What is the capital of France?") {
+            // Legal outcome: every arm faulted out before producing a token.
+            Err(OrchestratorError::AllModelsFailed) => {}
+            Err(e) => prop_assert!(false, "unexpected error under chaos: {e}"),
+            Ok(r) => {
+                // λ_max stays a hard ceiling even with retries in play
+                // (backoff is accounted in latency, never in tokens).
+                prop_assert!(r.total_tokens <= budget, "{}: {} > {budget}", r.strategy, r.total_tokens);
+                let sum: usize = r.outcomes.iter().map(|out| out.tokens).sum();
+                prop_assert_eq!(sum, r.total_tokens);
+                // Scores stay finite for every arm, failed ones included.
+                prop_assert!(r.outcomes.iter().all(|out| out.score.is_finite()));
+                prop_assert!(r.best < r.outcomes.len());
+                // An Ok result means somebody answered.
+                prop_assert!(r.best_outcome().tokens > 0, "{}: empty winner", r.strategy);
+                // Selection margin among survivors: when the winner is an
+                // intact arm, no other intact, un-pruned arm with output may
+                // outscore it.
+                let best = r.best_outcome();
+                if !best.failed {
+                    for out in &r.outcomes {
+                        if !out.failed && !out.pruned && out.tokens > 0 {
+                            prop_assert!(
+                                out.score <= best.score + 1e-9,
+                                "{}: survivor {} ({}) outscores winner {} ({})",
+                                r.strategy, out.model, out.score, best.model, best.score
+                            );
+                        }
+                    }
+                }
+                // The degraded flag is exactly "a failure or deadline hit".
+                let any_failed = r.outcomes.iter().any(|out| out.failed);
+                prop_assert_eq!(r.degraded, any_failed || r.deadline_exceeded);
+            }
+        }
     }
 }

@@ -53,7 +53,9 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+mod chaos_tests;
 pub mod config;
+mod deadline;
 pub mod error;
 pub mod events;
 mod failure_tests;
@@ -72,7 +74,8 @@ pub mod tournament;
 
 pub use budget::TokenBudget;
 pub use config::{
-    MabConfig, MabSelection, OrchestratorConfig, OrchestratorConfigBuilder, OuaConfig, Strategy,
+    MabConfig, MabSelection, OrchestratorConfig, OrchestratorConfigBuilder, OuaConfig, RetryConfig,
+    Strategy,
 };
 pub use error::OrchestratorError;
 pub use events::{EventRecorder, OrchestrationEvent};

@@ -21,12 +21,14 @@
 
 use crate::budget::TokenBudget;
 use crate::config::{MabConfig, MabSelection, OrchestratorConfig};
+use crate::deadline::Deadline;
 use crate::events::{EventRecorder, OrchestrationEvent};
 use crate::result::OrchestrationResult;
 use crate::reward::combined_score;
-use crate::runpool::{outcomes_of, ModelRun};
+use crate::runpool::{self, outcomes_of, ModelRun};
 use llmms_embed::{Embedding, SharedEmbedder};
-use llmms_models::{GenOptions, SharedModel};
+use llmms_models::{DoneReason, GenOptions, HealthRegistry, SharedModel};
+use std::sync::Arc;
 
 /// Run Algorithm 2 over `models` for `prompt`.
 pub(crate) fn run(
@@ -35,6 +37,7 @@ pub(crate) fn run(
     embedder: &SharedEmbedder,
     cfg: &MabConfig,
     orch: &OrchestratorConfig,
+    health: &Arc<HealthRegistry>,
     mut recorder: EventRecorder,
 ) -> OrchestrationResult {
     let n = models.len();
@@ -44,23 +47,28 @@ pub(crate) fn run(
         temperature: orch.temperature,
         seed: orch.seed,
     };
-    let mut runs = ModelRun::start_all(models, prompt, &options);
+    // Stalled backends (empty, non-final chunks — the analogue of a request
+    // timeout against Ollama) are detected inside `ModelRun::generate` and
+    // surface here as `DoneReason::Failed` chunks.
+    let mut runs = ModelRun::start_all(models, prompt, &options, orch.retry, health);
+    runpool::emit_preexisting_failures(&runs, &mut recorder);
     let query_embedding = embedder.embed(prompt);
+    let query_deadline = Deadline::new(orch.query_deadline_ms);
+    let mut deadline_exceeded = false;
 
     let mut rewards = vec![0.0f64; n];
     let mut pulls = vec![0usize; n];
     let mut total_pulls = 0usize;
-    // Guard against a misbehaving backend that yields empty, non-final
-    // chunks: after a few zero-progress pulls the arm is treated as stalled
-    // and aborted (the analogue of a request timeout against Ollama).
-    let mut stalls = vec![0u8; n];
-    const MAX_STALLS: u8 = 3;
 
     // Handle resolved once so per-pull timing stays allocation-free.
     let registry = llmms_obs::Registry::global();
     let round_timer = registry.histogram_with("orchestrator_round_us", &[("strategy", "mab")]);
 
     while !budget.exhausted() {
+        if query_deadline.exceeded() {
+            deadline_exceeded = true;
+            break;
+        }
         // Arms that can still produce tokens.
         let active: Vec<usize> = (0..n).filter(|&i| runs[i].is_active()).collect();
         if active.is_empty() {
@@ -101,17 +109,28 @@ pub(crate) fn run(
 
         total_pulls += 1;
         recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: total_pulls });
+        let pull_deadline = Deadline::new(orch.round_deadline_ms);
 
         // Pull: generate the next token chunk (line 7).
         let chunk = runs[chosen].generate(cfg.pull_tokens.max(1), &mut budget);
-        if chunk.tokens == 0 && chunk.done.is_none() {
-            stalls[chosen] += 1;
-            if stalls[chosen] >= MAX_STALLS {
-                runs[chosen].prune();
-            }
+        if pull_deadline.exceeded() {
+            recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
+                scope: "round".into(),
+                elapsed_ms: pull_deadline.elapsed_ms(),
+            });
+        }
+        if chunk.done == Some(DoneReason::Failed) {
+            recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+                model: runs[chosen].name.clone(),
+                error: runs[chosen].error.clone().unwrap_or_default(),
+            });
             continue;
         }
-        stalls[chosen] = 0;
+        if chunk.tokens == 0 && chunk.done.is_none() {
+            // Empty pull: the stall counter in `generate` will fail the arm
+            // if this keeps up; no reward to record meanwhile.
+            continue;
+        }
         recorder.emit_with(|| OrchestrationEvent::ModelChunk {
             model: runs[chosen].name.clone(),
             text: chunk.text.clone(),
@@ -133,6 +152,13 @@ pub(crate) fn run(
         });
     }
 
+    if deadline_exceeded {
+        recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
+            scope: "query".into(),
+            elapsed_ms: query_deadline.elapsed_ms(),
+        });
+        runpool::abort_all(&mut runs);
+    }
     if budget.exhausted() {
         recorder.emit_with(|| OrchestrationEvent::BudgetExhausted {
             used: budget.used(),
@@ -147,20 +173,14 @@ pub(crate) fn run(
             .map(|i| selection_score(&rewards, &pulls, i, cfg.selection))
             .collect(),
     };
-    let best = (0..n)
-        .filter(|&i| runs[i].has_output())
-        .max_by(|&a, &b| {
-            selection_scores[a]
-                .partial_cmp(&selection_scores[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .unwrap_or(0);
+    let best = runpool::select_best(&runs, &selection_scores);
 
     recorder.emit_with(|| OrchestrationEvent::Finished {
         winner: runs[best].name.clone(),
         total_tokens: budget.used(),
     });
 
+    let degraded = runpool::any_failed(&runs) || deadline_exceeded;
     OrchestrationResult {
         strategy: "LLM-MS MAB".to_owned(),
         best,
@@ -168,6 +188,8 @@ pub(crate) fn run(
         total_tokens: budget.used(),
         rounds: total_pulls,
         budget_exhausted: budget.exhausted(),
+        degraded,
+        deadline_exceeded,
         events: recorder.into_events(),
     }
 }

@@ -6,7 +6,8 @@ use crate::events::EventRecorder;
 use crate::result::OrchestrationResult;
 use crate::{hybrid, mab, oua, routed, single};
 use llmms_embed::SharedEmbedder;
-use llmms_models::SharedModel;
+use llmms_models::{HealthRegistry, SharedModel};
+use std::sync::Arc;
 
 /// Drives a pool of candidate models through the configured strategy for
 /// each query, mirroring the thesis's "orchestration engine" (§7.2, step 5):
@@ -15,12 +16,20 @@ use llmms_models::SharedModel;
 pub struct Orchestrator {
     embedder: SharedEmbedder,
     config: OrchestratorConfig,
+    /// Per-model circuit breakers, shared across every query this
+    /// orchestrator serves — breaker state must survive between queries.
+    health: Arc<HealthRegistry>,
 }
 
 impl Orchestrator {
     /// Build an orchestrator using `embedder` for all similarity scoring.
     pub fn new(embedder: SharedEmbedder, config: OrchestratorConfig) -> Self {
-        Self { embedder, config }
+        let health = Arc::new(HealthRegistry::new(config.breaker));
+        Self {
+            embedder,
+            config,
+            health,
+        }
     }
 
     /// The active configuration.
@@ -29,9 +38,17 @@ impl Orchestrator {
     }
 
     /// Replace the configuration (e.g. the user switched strategy in the
-    /// settings panel).
+    /// settings panel). Breaker thresholds are updated in place; accumulated
+    /// breaker state is preserved.
     pub fn set_config(&mut self, config: OrchestratorConfig) {
+        self.health.set_config(config.breaker);
         self.config = config;
+    }
+
+    /// The per-model health/breaker registry (the `/stats` endpoint
+    /// surfaces its snapshot).
+    pub fn health(&self) -> &Arc<HealthRegistry> {
+        &self.health
     }
 
     /// Answer `prompt` with the model pool under the configured strategy.
@@ -107,6 +124,12 @@ impl Orchestrator {
                     .metric
                     .inc();
             }
+            if outcome.retries > 0 {
+                registry
+                    .counter_with("model_retries_total", &labels)
+                    .metric
+                    .add(u64::from(outcome.retries));
+            }
             if i == result.best {
                 registry
                     .counter_with("model_wins_total", &labels)
@@ -131,6 +154,15 @@ impl Orchestrator {
                 .metric
                 .inc();
         }
+        if result.degraded {
+            registry.counter("orchestrator_degraded_total").metric.inc();
+        }
+        if result.deadline_exceeded {
+            registry
+                .counter("orchestrator_deadline_exceeded_total")
+                .metric
+                .inc();
+        }
     }
 
     fn run_inner(
@@ -151,23 +183,64 @@ impl Orchestrator {
                 if models.len() != 1 {
                     return Err(OrchestratorError::SingleNeedsOneModel { got: models.len() });
                 }
-                single::run(&models[0], prompt, &self.embedder, &self.config, recorder)
+                single::run(
+                    &models[0],
+                    prompt,
+                    &self.embedder,
+                    &self.config,
+                    &self.health,
+                    recorder,
+                )
             }
-            Strategy::Oua(cfg) => {
-                oua::run(models, prompt, &self.embedder, cfg, &self.config, recorder)
-            }
-            Strategy::Mab(cfg) => {
-                mab::run(models, prompt, &self.embedder, cfg, &self.config, recorder)
-            }
-            Strategy::Routed(cfg) => {
-                routed::run(models, prompt, &self.embedder, cfg, &self.config, recorder)
-            }
-            Strategy::Hybrid(cfg) => {
-                hybrid::run(models, prompt, &self.embedder, cfg, &self.config, recorder)
-            }
+            Strategy::Oua(cfg) => oua::run(
+                models,
+                prompt,
+                &self.embedder,
+                cfg,
+                &self.config,
+                &self.health,
+                recorder,
+            ),
+            Strategy::Mab(cfg) => mab::run(
+                models,
+                prompt,
+                &self.embedder,
+                cfg,
+                &self.config,
+                &self.health,
+                recorder,
+            ),
+            Strategy::Routed(cfg) => routed::run(
+                models,
+                prompt,
+                &self.embedder,
+                cfg,
+                &self.config,
+                &self.health,
+                recorder,
+            ),
+            Strategy::Hybrid(cfg) => hybrid::run(
+                models,
+                prompt,
+                &self.embedder,
+                cfg,
+                &self.config,
+                &self.health,
+                recorder,
+            ),
         };
         span.finish();
         self.record_metrics(&result);
+        // A degraded result is still a result — but a run where *nothing*
+        // produced output is an error the caller must see.
+        if result.outcomes.iter().all(|o| o.response.is_empty()) {
+            if result.outcomes.iter().all(|o| o.failed) {
+                return Err(OrchestratorError::AllModelsFailed);
+            }
+            if result.deadline_exceeded {
+                return Err(OrchestratorError::DeadlineExceeded);
+            }
+        }
         Ok(result)
     }
 }

@@ -22,12 +22,14 @@
 
 use crate::budget::TokenBudget;
 use crate::config::{OrchestratorConfig, OuaConfig};
+use crate::deadline::Deadline;
 use crate::events::{EventRecorder, OrchestrationEvent};
 use crate::result::OrchestrationResult;
 use crate::reward::score_all;
-use crate::runpool::{outcomes_of, ModelRun};
+use crate::runpool::{self, outcomes_of, ModelRun};
 use llmms_embed::{Embedding, SharedEmbedder};
-use llmms_models::{GenOptions, SharedModel};
+use llmms_models::{DoneReason, GenOptions, HealthRegistry, SharedModel};
+use std::sync::Arc;
 
 /// Run Algorithm 1 over `models` for `prompt`.
 pub(crate) fn run(
@@ -36,6 +38,7 @@ pub(crate) fn run(
     embedder: &SharedEmbedder,
     cfg: &OuaConfig,
     orch: &OrchestratorConfig,
+    health: &Arc<HealthRegistry>,
     mut recorder: EventRecorder,
 ) -> OrchestrationResult {
     let n = models.len();
@@ -47,8 +50,11 @@ pub(crate) fn run(
         temperature: orch.temperature,
         seed: orch.seed,
     };
-    let mut runs = ModelRun::start_all(models, prompt, &options);
+    let mut runs = ModelRun::start_all(models, prompt, &options, orch.retry, health);
+    runpool::emit_preexisting_failures(&runs, &mut recorder);
     let query_embedding = embedder.embed(prompt);
+    let query_deadline = Deadline::new(orch.query_deadline_ms);
+    let mut deadline_exceeded = false;
 
     let mut scores = vec![0.0f64; n];
     let mut rounds = 0usize;
@@ -59,24 +65,39 @@ pub(crate) fn run(
     let round_timer = registry.histogram_with("orchestrator_round_us", &[("strategy", "oua")]);
 
     while early_winner.is_none() && !budget.exhausted() && runs.iter().any(ModelRun::is_active) {
+        if query_deadline.exceeded() {
+            deadline_exceeded = true;
+            break;
+        }
         rounds += 1;
         let _round_span = registry.span_on(&round_timer);
         recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: rounds });
+        let round_deadline = Deadline::new(orch.round_deadline_ms);
 
-        // λ per surviving model: pruned models return their allowance.
-        let survivors = runs.iter().filter(|r| !r.pruned).count().max(1);
+        // λ per surviving model: pruned and failed models return their
+        // allowance.
+        let survivors = runs.iter().filter(|r| !r.eliminated()).count().max(1);
         let allowance = orch.token_budget / survivors;
 
         // Round-robin generation (lines 5–9).
-        let mut progressed = false;
+        let mut attempted = false;
+        let mut round_cut = false;
         for run in runs.iter_mut().filter(|r| r.is_active()) {
+            if query_deadline.exceeded() {
+                deadline_exceeded = true;
+                break;
+            }
+            if round_deadline.exceeded() {
+                round_cut = true;
+                break;
+            }
             let room = allowance.saturating_sub(run.tokens());
             let request = cfg.round_tokens.min(room);
             if request == 0 {
                 continue;
             }
+            attempted = true;
             let chunk = run.generate(request, &mut budget);
-            progressed |= chunk.tokens > 0 || chunk.done.is_some();
             if chunk.tokens > 0 || chunk.done.is_some() {
                 recorder.emit_with(|| OrchestrationEvent::ModelChunk {
                     model: run.name.clone(),
@@ -85,11 +106,27 @@ pub(crate) fn run(
                     done: chunk.done,
                 });
             }
+            if chunk.done == Some(DoneReason::Failed) {
+                recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+                    model: run.name.clone(),
+                    error: run.error.clone().unwrap_or_default(),
+                });
+            }
+        }
+        if deadline_exceeded {
+            break;
+        }
+        if round_cut {
+            recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
+                scope: "round".into(),
+                elapsed_ms: round_deadline.elapsed_ms(),
+            });
         }
         // Every active model is pinned at its allowance (integer-division
         // slack can leave the budget un-exhausted): nothing can change any
-        // more, stop scoring rounds.
-        if !progressed {
+        // more, stop scoring rounds. Stalling models keep getting polled —
+        // their stall counter fails them after a bounded streak.
+        if !attempted {
             break;
         }
 
@@ -104,10 +141,17 @@ pub(crate) fn run(
         });
 
         // Early win (lines 16–19).
-        if let Some((best, second)) = best_and_second(&runs, &scores, |r| !r.pruned) {
+        if let Some((best, second)) = best_and_second(&runs, &scores, |r| !r.eliminated()) {
             let margin_ok = match second {
                 Some(s) => scores[best] > scores[s] + cfg.win_margin,
-                None => true, // last one standing (§4.2.1)
+                // Last one standing (§4.2.1) — but only once every rival is
+                // actually out of the race. A zero-output model may still be
+                // mid-stall; pruning it here would mask the backend failure
+                // the stall counter is about to attribute.
+                None => !runs
+                    .iter()
+                    .enumerate()
+                    .any(|(i, r)| i != best && r.is_active()),
             };
             if margin_ok && runs[best].stopped_naturally() {
                 recorder.emit_with(|| OrchestrationEvent::EarlyWinner {
@@ -144,6 +188,13 @@ pub(crate) fn run(
         }
     }
 
+    if deadline_exceeded {
+        recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
+            scope: "query".into(),
+            elapsed_ms: query_deadline.elapsed_ms(),
+        });
+        runpool::abort_all(&mut runs);
+    }
     if budget.exhausted() {
         recorder.emit_with(|| OrchestrationEvent::BudgetExhausted {
             used: budget.used(),
@@ -151,13 +202,15 @@ pub(crate) fn run(
     }
 
     // Final selection (line 25): argmax over every recorded score, pruned
-    // models included — their last partial output may still be the best.
-    let best = early_winner.unwrap_or_else(|| argmax(&scores).unwrap_or(0));
+    // partials included — a failed model's truncated output is only a
+    // last resort.
+    let best = early_winner.unwrap_or_else(|| runpool::select_best(&runs, &scores));
     recorder.emit_with(|| OrchestrationEvent::Finished {
         winner: runs[best].name.clone(),
         total_tokens: budget.used(),
     });
 
+    let degraded = runpool::any_failed(&runs) || deadline_exceeded;
     OrchestrationResult {
         strategy: "LLM-MS OUA".to_owned(),
         best,
@@ -165,12 +218,15 @@ pub(crate) fn run(
         total_tokens: budget.used(),
         rounds,
         budget_exhausted: budget.exhausted(),
+        degraded,
+        deadline_exceeded,
         events: recorder.into_events(),
     }
 }
 
-/// Recompute Eq. 6.1 scores for all non-pruned runs with output; pruned runs
-/// keep their last score (the `scores` dict of Algorithm 1 is never erased).
+/// Recompute Eq. 6.1 scores for all surviving runs with output; pruned and
+/// failed runs keep their last score (the `scores` dict of Algorithm 1 is
+/// never erased).
 fn update_scores(
     runs: &mut [ModelRun],
     query: &Embedding,
@@ -179,7 +235,7 @@ fn update_scores(
     scores: &mut [f64],
 ) {
     let participating: Vec<usize> = (0..runs.len())
-        .filter(|&i| !runs[i].pruned && runs[i].has_output())
+        .filter(|&i| !runs[i].eliminated() && runs[i].has_output())
         .collect();
     if participating.is_empty() {
         return;
@@ -192,14 +248,6 @@ fn update_scores(
     for (slot, &i) in participating.iter().enumerate() {
         scores[i] = fresh[slot];
     }
-}
-
-fn argmax(scores: &[f64]) -> Option<usize> {
-    scores
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
 }
 
 /// `(best, second_best)` among runs satisfying `keep`.

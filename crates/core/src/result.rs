@@ -25,6 +25,16 @@ pub struct ModelOutcome {
     pub done: Option<DoneReason>,
     /// Simulated wall-clock the model's generation would have taken.
     pub simulated_latency: Duration,
+    /// Whether the model's backend failed (errors, stall, or an open
+    /// circuit breaker skipping it).
+    #[serde(default)]
+    pub failed: bool,
+    /// Why the model failed, when it did.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// Transient-error retries spent on this model.
+    #[serde(default)]
+    pub retries: u32,
 }
 
 /// The outcome of one orchestrated query.
@@ -44,6 +54,14 @@ pub struct OrchestrationResult {
     pub rounds: usize,
     /// Whether the run ended because λ_max was exhausted.
     pub budget_exhausted: bool,
+    /// Whether any model failed (or was skipped by its breaker) or a
+    /// deadline fired — the answer came from the surviving subset of the
+    /// pool rather than the full ensemble.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Whether the whole-query deadline force-ended the run.
+    #[serde(default)]
+    pub deadline_exceeded: bool,
     /// Stamped event trace (empty unless recording was enabled).
     pub events: Vec<TimedEvent>,
 }
@@ -68,6 +86,15 @@ impl OrchestrationResult {
             .max()
             .unwrap_or_default()
     }
+
+    /// Names of the models that failed during this run.
+    pub fn failed_models(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.failed)
+            .map(|o| o.model.as_str())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +111,9 @@ mod tests {
             pruned: false,
             done: Some(DoneReason::Stop),
             simulated_latency: Duration::from_millis(latency_ms),
+            failed: false,
+            error: None,
+            retries: 0,
         }
     }
 
@@ -95,6 +125,8 @@ mod tests {
             total_tokens: 20,
             rounds: 3,
             budget_exhausted: false,
+            degraded: false,
+            deadline_exceeded: false,
             events: Vec::new(),
         }
     }
@@ -116,6 +148,8 @@ mod tests {
             total_tokens: 10,
             rounds: 1,
             budget_exhausted: false,
+            degraded: false,
+            deadline_exceeded: false,
             events: Vec::new(),
         };
         assert_eq!(r.simulated_latency(), Duration::ZERO);
@@ -127,5 +161,40 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: OrchestrationResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn failed_models_lists_failures() {
+        let mut r = result();
+        r.outcomes[0].failed = true;
+        r.outcomes[0].error = Some("stalled".into());
+        r.degraded = true;
+        assert_eq!(r.failed_models(), vec!["a"]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: OrchestrationResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn results_without_degraded_fields_still_parse() {
+        // A result serialized before the failure fields existed.
+        let json = r#"{
+            "strategy": "single",
+            "best": 0,
+            "outcomes": [{
+                "model": "m", "response": "hi", "tokens": 1, "score": 0.5,
+                "rounds": 1, "pruned": false, "done": "Stop",
+                "simulated_latency": {"secs": 0, "nanos": 0}
+            }],
+            "total_tokens": 1,
+            "rounds": 1,
+            "budget_exhausted": false,
+            "events": []
+        }"#;
+        let r: OrchestrationResult = serde_json::from_str(json).unwrap();
+        assert!(!r.degraded);
+        assert!(!r.deadline_exceeded);
+        assert!(!r.outcomes[0].failed);
+        assert_eq!(r.outcomes[0].retries, 0);
     }
 }

@@ -6,8 +6,9 @@ use crate::result::OrchestrationResult;
 use crate::router::TaskIndex;
 use crate::{oua, single};
 use llmms_embed::SharedEmbedder;
-use llmms_models::SharedModel;
+use llmms_models::{BreakerState, HealthRegistry, SharedModel};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of the routed strategy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,19 +43,35 @@ pub(crate) fn run(
     embedder: &SharedEmbedder,
     cfg: &RouterConfig,
     orch: &OrchestratorConfig,
+    health: &Arc<HealthRegistry>,
     recorder: EventRecorder,
 ) -> OrchestrationResult {
     let query = embedder.embed(prompt);
     if let Some((task, confidence)) = cfg.index.detect(&query) {
         if f64::from(confidence) >= cfg.min_confidence {
             if let Some(model) = models.iter().find(|m| m.name() == task.preferred_model) {
-                let mut result = single::run(model, prompt, embedder, orch, recorder);
-                result.strategy = "LLM-MS Router".to_owned();
-                return result;
+                // Only dispatch solo to a healthy specialist. A tripped or
+                // probing breaker sends the query to the fallback pool
+                // instead, where `start_all` runs the recovery probe with
+                // the other models as safety net (`admit` is not called
+                // here — it would consume the half-open probe slot).
+                if health.state(model.name()) == BreakerState::Closed {
+                    let mut result = single::run(model, prompt, embedder, orch, health, recorder);
+                    result.strategy = "LLM-MS Router".to_owned();
+                    return result;
+                }
             }
         }
     }
-    let mut result = oua::run(models, prompt, embedder, &cfg.fallback, orch, recorder);
+    let mut result = oua::run(
+        models,
+        prompt,
+        embedder,
+        &cfg.fallback,
+        orch,
+        health,
+        recorder,
+    );
     result.strategy = "LLM-MS Router".to_owned();
     result
 }

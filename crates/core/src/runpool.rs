@@ -1,8 +1,21 @@
 //! Internal pool of in-flight generation sessions shared by the strategies.
+//!
+//! `ModelRun` is where failure handling is centralized: transient backend
+//! errors are retried with capped exponential backoff (accounted into the
+//! simulated latency, not slept), stalls (consecutive empty chunks) and
+//! fatal errors mark the run [`DoneReason::Failed`], and every terminal
+//! outcome is reported to the shared [`HealthRegistry`] so the circuit
+//! breaker can skip the model on the next query.
 
 use crate::budget::TokenBudget;
+use crate::config::RetryConfig;
+use crate::events::{EventRecorder, OrchestrationEvent};
 use llmms_embed::{Embedding, SharedEmbedder};
-use llmms_models::{Chunk, DoneReason, GenOptions, GenerationSession, SharedModel};
+use llmms_models::{
+    Chunk, DoneReason, GenOptions, GenerationSession, HealthRegistry, ModelError, SharedModel,
+};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One candidate model's in-flight state during orchestration.
 pub(crate) struct ModelRun {
@@ -12,41 +25,171 @@ pub(crate) struct ModelRun {
     embedding: Option<Embedding>,
     pub rounds: usize,
     pub pruned: bool,
+    /// Terminal backend failure (fatal error, exhausted retries, stall, or
+    /// an open breaker refusing to start the session).
+    pub failed: bool,
+    /// Why the run failed, when it did.
+    pub error: Option<String>,
+    /// Transient-error retries spent so far.
+    pub retries: u32,
+    /// Consecutive zero-token, not-done chunks.
+    stalls: u32,
+    /// Backoff time accounted (not slept) across retries.
+    backoff: Duration,
+    policy: RetryConfig,
+    health: Arc<HealthRegistry>,
+    /// Whether this run already reported its terminal verdict to `health`.
+    reported: bool,
 }
 
 impl ModelRun {
-    /// Start a run for every model against `prompt`.
-    pub fn start_all(models: &[SharedModel], prompt: &str, options: &GenOptions) -> Vec<ModelRun> {
+    /// Start a run for every model against `prompt`. Models whose circuit
+    /// breaker refuses admission never get a session: they join the pool as
+    /// already-failed runs so result indices still line up with the pool.
+    pub fn start_all(
+        models: &[SharedModel],
+        prompt: &str,
+        options: &GenOptions,
+        policy: RetryConfig,
+        health: &Arc<HealthRegistry>,
+    ) -> Vec<ModelRun> {
         models
             .iter()
-            .map(|m| ModelRun {
-                name: m.name().to_owned(),
-                session: m.start(prompt, options),
-                embedding: None,
-                rounds: 0,
-                pruned: false,
+            .map(|m| {
+                let name = m.name().to_owned();
+                if health.admit(&name) {
+                    ModelRun {
+                        name,
+                        session: m.start(prompt, options),
+                        embedding: None,
+                        rounds: 0,
+                        pruned: false,
+                        failed: false,
+                        error: None,
+                        retries: 0,
+                        stalls: 0,
+                        backoff: Duration::ZERO,
+                        policy,
+                        health: Arc::clone(health),
+                        reported: false,
+                    }
+                } else {
+                    failure_metric(&name, "breaker_open");
+                    ModelRun {
+                        name,
+                        session: Box::new(DeadSession),
+                        embedding: None,
+                        rounds: 0,
+                        pruned: false,
+                        failed: true,
+                        error: Some("circuit breaker open".into()),
+                        retries: 0,
+                        stalls: 0,
+                        backoff: Duration::ZERO,
+                        policy,
+                        health: Arc::clone(health),
+                        // A breaker skip is not new evidence about the
+                        // backend: don't extend the failure streak.
+                        reported: true,
+                    }
+                }
             })
             .collect()
     }
 
     /// Generate up to `requested` tokens, charging the shared `budget`.
-    /// Unused grant (model produced fewer tokens) is refunded.
+    /// Unused grant (model produced fewer tokens) is refunded. Transient
+    /// errors are retried up to the policy's limit with capped exponential
+    /// backoff; a fatal error, exhausted retries, or a stall streak mark the
+    /// run [`DoneReason::Failed`] and refund the whole grant.
     pub fn generate(&mut self, requested: usize, budget: &mut TokenBudget) -> Chunk {
+        if self.failed {
+            return Chunk::finished(DoneReason::Failed);
+        }
         let granted = budget.grant(requested);
         if granted == 0 {
             return Chunk {
                 text: String::new(),
                 tokens: 0,
-                done: self.session.done_reason(),
+                done: self.done(),
             };
         }
-        let chunk = self.session.next_chunk(granted);
-        budget.refund(granted - chunk.tokens);
-        if chunk.tokens > 0 {
-            self.embedding = None; // response text changed
-            self.rounds += 1;
+        let mut attempt = 0u32;
+        loop {
+            match self.session.next_chunk(granted) {
+                Ok(chunk) => {
+                    budget.refund(granted - chunk.tokens);
+                    if chunk.tokens > 0 {
+                        self.embedding = None; // response text changed
+                        self.rounds += 1;
+                        self.stalls = 0;
+                    } else if chunk.done.is_none() {
+                        self.stalls += 1;
+                        if self.stalls >= self.policy.stall_limit {
+                            self.fail(
+                                "stall",
+                                format!("stalled: {} consecutive empty chunks", self.stalls),
+                            );
+                            return Chunk::finished(DoneReason::Failed);
+                        }
+                    }
+                    if matches!(
+                        chunk.done,
+                        Some(DoneReason::Stop) | Some(DoneReason::Length)
+                    ) {
+                        self.report_success();
+                    }
+                    return chunk;
+                }
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    self.retries += 1;
+                    // Account the wait instead of sleeping — the simulation
+                    // charges time, benchmarks stay fast.
+                    self.backoff += self.policy.backoff_delay(attempt);
+                }
+                Err(e) => {
+                    budget.refund(granted);
+                    let kind = if e.is_transient() {
+                        "retries_exhausted"
+                    } else {
+                        "fatal"
+                    };
+                    self.fail(kind, e.to_string());
+                    return Chunk::finished(DoneReason::Failed);
+                }
+            }
         }
-        chunk
+    }
+
+    /// Mark the run terminally failed: abort the session, remember the
+    /// error, and report the failure to the health registry exactly once.
+    fn fail(&mut self, kind: &str, error: String) {
+        self.failed = true;
+        self.error = Some(error);
+        self.session.abort();
+        if !self.reported {
+            self.reported = true;
+            self.health.record_failure(&self.name);
+            failure_metric(&self.name, kind);
+        }
+    }
+
+    /// Report the run healthy to the registry (once).
+    fn report_success(&mut self) {
+        if !self.reported {
+            self.reported = true;
+            self.health.record_success(&self.name);
+        }
+    }
+
+    /// Force-abort an in-flight session (deadline expiry). Unlike
+    /// [`ModelRun::fail`] this is not the model's fault: the breaker streak
+    /// is untouched and the done reason stays `Aborted`.
+    pub fn force_abort(&mut self) {
+        if self.done().is_none() {
+            self.session.abort();
+        }
     }
 
     /// The embedding of the current partial response (lazily recomputed).
@@ -72,9 +215,14 @@ impl ModelRun {
         self.session.tokens_generated()
     }
 
-    /// Done reason, if finished.
+    /// Done reason, if finished. A failed run reports
+    /// [`DoneReason::Failed`] regardless of the session's own state.
     pub fn done(&self) -> Option<DoneReason> {
-        self.session.done_reason()
+        if self.failed {
+            Some(DoneReason::Failed)
+        } else {
+            self.session.done_reason()
+        }
     }
 
     /// True when this model finished by emitting its stop token.
@@ -87,16 +235,103 @@ impl ModelRun {
         self.done().is_none() && !self.pruned
     }
 
+    /// Whether the run is out of the race for scoring purposes — pruned by
+    /// the strategy or failed by its backend.
+    pub fn eliminated(&self) -> bool {
+        self.pruned || self.failed
+    }
+
     /// Prune the model (OUA) — aborts the underlying session.
     pub fn prune(&mut self) {
         self.pruned = true;
         self.session.abort();
     }
 
-    /// Simulated latency accrued so far.
+    /// Simulated latency accrued so far, including accounted retry backoff.
     pub fn simulated_latency(&self) -> std::time::Duration {
-        self.session.simulated_latency()
+        self.session.simulated_latency() + self.backoff
     }
+}
+
+/// Record a `model_failures_total` sample for `model`.
+fn failure_metric(model: &str, kind: &str) {
+    let registry = llmms_obs::Registry::global();
+    if registry.enabled() {
+        registry
+            .counter_with("model_failures_total", &[("model", model), ("kind", kind)])
+            .metric
+            .inc();
+    }
+}
+
+/// A session for a model the breaker refused to start: finished-failed from
+/// the first call, zero tokens, zero latency.
+struct DeadSession;
+
+impl GenerationSession for DeadSession {
+    fn next_chunk(&mut self, _max_tokens: usize) -> Result<Chunk, ModelError> {
+        Ok(Chunk::finished(DoneReason::Failed))
+    }
+
+    fn tokens_generated(&self) -> usize {
+        0
+    }
+
+    fn response_so_far(&self) -> &str {
+        ""
+    }
+
+    fn done_reason(&self) -> Option<DoneReason> {
+        Some(DoneReason::Failed)
+    }
+
+    fn simulated_latency(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    fn abort(&mut self) {}
+}
+
+/// Emit a [`OrchestrationEvent::ModelFailed`] for every run that was dead
+/// on arrival (its circuit breaker refused admission at `start_all`).
+pub(crate) fn emit_preexisting_failures(runs: &[ModelRun], recorder: &mut EventRecorder) {
+    for run in runs.iter().filter(|r| r.failed) {
+        recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+            model: run.name.clone(),
+            error: run.error.clone().unwrap_or_default(),
+        });
+    }
+}
+
+/// Force-abort every still-active run (query deadline expiry).
+pub(crate) fn abort_all(runs: &mut [ModelRun]) {
+    for run in runs.iter_mut() {
+        run.force_abort();
+    }
+}
+
+/// Whether any run terminally failed — the degraded-result flag.
+pub(crate) fn any_failed(runs: &[ModelRun]) -> bool {
+    runs.iter().any(|r| r.failed)
+}
+
+/// Final-selection argmax with a robustness preference: among runs that
+/// produced output, intact runs are ranked first — a failed arm's partial
+/// answer (cut off mid-thought by the backend) is only returned when no
+/// surviving model produced anything at all.
+pub(crate) fn select_best(runs: &[ModelRun], scores: &[f64]) -> usize {
+    let argmax = |keep: &dyn Fn(&ModelRun) -> bool| -> Option<usize> {
+        (0..runs.len())
+            .filter(|&i| runs[i].has_output() && keep(&runs[i]))
+            .max_by(|&a, &b| {
+                scores[a]
+                    .partial_cmp(&scores[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    };
+    argmax(&|r| !r.failed)
+        .or_else(|| argmax(&|_| true))
+        .unwrap_or(0)
 }
 
 /// Convert finished runs plus final scores into result outcomes.
@@ -112,6 +347,9 @@ pub(crate) fn outcomes_of(runs: Vec<ModelRun>, scores: &[f64]) -> Vec<crate::res
             pruned: r.pruned,
             done: r.done(),
             simulated_latency: r.simulated_latency(),
+            failed: r.failed,
+            error: r.error.clone(),
+            retries: r.retries,
         })
         .collect()
 }
@@ -119,7 +357,8 @@ pub(crate) fn outcomes_of(runs: Vec<ModelRun>, scores: &[f64]) -> Vec<crate::res
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llmms_models::{KnowledgeStore, ModelProfile, SimLlm};
+    use llmms_models::chaos::{ChaosModel, FaultKind};
+    use llmms_models::{BreakerConfig, KnowledgeStore, ModelProfile, SimLlm};
     use std::sync::Arc;
 
     fn pool() -> Vec<SharedModel> {
@@ -141,14 +380,24 @@ mod tests {
             .collect()
     }
 
+    fn health() -> Arc<HealthRegistry> {
+        Arc::new(HealthRegistry::default())
+    }
+
+    fn start(models: &[SharedModel]) -> Vec<ModelRun> {
+        ModelRun::start_all(
+            models,
+            "What is the capital of France?",
+            &GenOptions::default(),
+            RetryConfig::default(),
+            &health(),
+        )
+    }
+
     #[test]
     fn generate_charges_and_refunds_budget() {
         let models = pool();
-        let mut runs = ModelRun::start_all(
-            &models,
-            "What is the capital of France?",
-            &GenOptions::default(),
-        );
+        let mut runs = start(&models);
         let mut budget = TokenBudget::new(1000);
         // Ask for far more tokens than the answer holds: the unused grant
         // must come back.
@@ -161,11 +410,7 @@ mod tests {
     #[test]
     fn zero_remaining_budget_generates_nothing() {
         let models = pool();
-        let mut runs = ModelRun::start_all(
-            &models,
-            "What is the capital of France?",
-            &GenOptions::default(),
-        );
+        let mut runs = start(&models);
         let mut budget = TokenBudget::new(0);
         let chunk = runs[0].generate(10, &mut budget);
         assert_eq!(chunk.tokens, 0);
@@ -176,11 +421,7 @@ mod tests {
     fn embedding_is_cached_until_text_changes() {
         let models = pool();
         let embedder = llmms_embed::default_embedder();
-        let mut runs = ModelRun::start_all(
-            &models,
-            "What is the capital of France?",
-            &GenOptions::default(),
-        );
+        let mut runs = start(&models);
         let mut budget = TokenBudget::new(1000);
         runs[0].generate(2, &mut budget);
         let a = runs[0].embedding(&embedder);
@@ -194,16 +435,157 @@ mod tests {
     #[test]
     fn prune_aborts_session() {
         let models = pool();
-        let mut runs = ModelRun::start_all(
-            &models,
-            "What is the capital of France?",
-            &GenOptions::default(),
-        );
+        let mut runs = start(&models);
         let mut budget = TokenBudget::new(1000);
         runs[0].generate(1, &mut budget);
         runs[0].prune();
         assert!(!runs[0].is_active());
         assert_eq!(runs[0].done(), Some(DoneReason::Aborted));
         assert!(runs[0].pruned);
+        assert!(runs[0].eliminated());
+    }
+
+    #[test]
+    fn stalled_session_fails_and_refunds() {
+        let models = pool();
+        let chaotic: Vec<SharedModel> = vec![ChaosModel::wrap(
+            Arc::clone(&models[0]),
+            FaultKind::Stall,
+            7,
+        )];
+        let health = health();
+        let mut runs = ModelRun::start_all(
+            &chaotic,
+            "q",
+            &GenOptions::default(),
+            RetryConfig::default(),
+            &health,
+        );
+        let mut budget = TokenBudget::new(100);
+        let stall_limit = RetryConfig::default().stall_limit;
+        for _ in 0..stall_limit {
+            runs[0].generate(10, &mut budget);
+        }
+        assert!(runs[0].failed);
+        assert_eq!(runs[0].done(), Some(DoneReason::Failed));
+        assert!(runs[0].error.as_deref().unwrap().contains("stalled"));
+        assert_eq!(budget.used(), 0, "stall chunks must not consume budget");
+        // One terminal failure, reported once to the health registry.
+        assert_eq!(health.snapshot()[0].consecutive_failures, 1);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_with_accounted_backoff() {
+        let models = pool();
+        // p = 0.4: flaky but recoverable within the retry budget.
+        let chaotic: Vec<SharedModel> = vec![ChaosModel::wrap(
+            Arc::clone(&models[0]),
+            FaultKind::Flaky { p: 0.4 },
+            42,
+        )];
+        let mut runs = ModelRun::start_all(
+            &chaotic,
+            "What is the capital of France?",
+            &GenOptions::default(),
+            RetryConfig::default(),
+            &health(),
+        );
+        let mut budget = TokenBudget::new(1000);
+        let mut guard = 0;
+        while runs[0].done().is_none() && guard < 200 {
+            runs[0].generate(8, &mut budget);
+            guard += 1;
+        }
+        if runs[0].retries > 0 && !runs[0].failed {
+            assert!(
+                runs[0].simulated_latency() > Duration::ZERO,
+                "retries must account backoff latency"
+            );
+        }
+        // Either way the run terminated and budget accounting held.
+        assert!(runs[0].done().is_some());
+        assert_eq!(budget.used(), runs[0].tokens());
+    }
+
+    #[test]
+    fn fatal_error_fails_the_run_and_refunds_grant() {
+        let models = pool();
+        let chaotic: Vec<SharedModel> = vec![ChaosModel::wrap(
+            Arc::clone(&models[0]),
+            FaultKind::ErrorAfterN {
+                n: 1,
+                transient: false,
+            },
+            3,
+        )];
+        let health = health();
+        let mut runs = ModelRun::start_all(
+            &chaotic,
+            "What is the capital of France?",
+            &GenOptions::default(),
+            RetryConfig::default(),
+            &health,
+        );
+        let mut budget = TokenBudget::new(1000);
+        let first = runs[0].generate(4, &mut budget);
+        assert!(first.tokens > 0);
+        let used_before = budget.used();
+        let failed = runs[0].generate(4, &mut budget);
+        assert_eq!(failed.done, Some(DoneReason::Failed));
+        assert_eq!(budget.used(), used_before, "failed grant must be refunded");
+        assert!(runs[0].failed);
+        // Once failed, further generate calls are free no-ops.
+        let again = runs[0].generate(4, &mut budget);
+        assert_eq!(again.done, Some(DoneReason::Failed));
+        assert_eq!(budget.used(), used_before);
+    }
+
+    #[test]
+    fn open_breaker_skips_the_model_at_start() {
+        let models = pool();
+        let health = Arc::new(HealthRegistry::new(BreakerConfig {
+            enabled: true,
+            failure_threshold: 1,
+            cooldown_ms: 60_000,
+        }));
+        health.record_failure(models[0].name());
+        let runs = ModelRun::start_all(
+            &models,
+            "What is the capital of France?",
+            &GenOptions::default(),
+            RetryConfig::default(),
+            &health,
+        );
+        assert!(runs[0].failed);
+        assert_eq!(runs[0].done(), Some(DoneReason::Failed));
+        assert_eq!(runs[0].error.as_deref(), Some("circuit breaker open"));
+        assert!(runs[1..].iter().all(|r| !r.failed));
+        // The skip must not deepen the failure streak.
+        assert_eq!(health.snapshot()[0].consecutive_failures, 1);
+    }
+
+    #[test]
+    fn natural_finish_reports_success_to_health() {
+        let models = pool();
+        let health = health();
+        let mut runs = ModelRun::start_all(
+            &models,
+            "What is the capital of France?",
+            &GenOptions::default(),
+            RetryConfig::default(),
+            &health,
+        );
+        let mut budget = TokenBudget::new(1000);
+        while runs[0].done().is_none() {
+            runs[0].generate(16, &mut budget);
+        }
+        // `start_all` admits every pool model into the registry; the one we
+        // drove to a natural stop must show a clean streak.
+        let snap = health.snapshot();
+        let entry = snap
+            .iter()
+            .find(|h| h.model == runs[0].name)
+            .expect("finished model is tracked");
+        assert_eq!(entry.consecutive_failures, 0);
     }
 }

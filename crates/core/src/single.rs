@@ -3,12 +3,14 @@
 
 use crate::budget::TokenBudget;
 use crate::config::OrchestratorConfig;
+use crate::deadline::Deadline;
 use crate::events::{EventRecorder, OrchestrationEvent};
 use crate::result::OrchestrationResult;
 use crate::reward::{combined_score, RewardWeights};
-use crate::runpool::{outcomes_of, ModelRun};
+use crate::runpool::{self, outcomes_of, ModelRun};
 use llmms_embed::SharedEmbedder;
-use llmms_models::{GenOptions, SharedModel};
+use llmms_models::{DoneReason, GenOptions, HealthRegistry, SharedModel};
+use std::sync::Arc;
 
 /// Run one model to completion under the token budget.
 pub(crate) fn run(
@@ -16,6 +18,7 @@ pub(crate) fn run(
     prompt: &str,
     embedder: &SharedEmbedder,
     orch: &OrchestratorConfig,
+    health: &Arc<HealthRegistry>,
     mut recorder: EventRecorder,
 ) -> OrchestrationResult {
     let mut budget = TokenBudget::new(orch.token_budget);
@@ -25,10 +28,24 @@ pub(crate) fn run(
         seed: orch.seed,
     };
     let pool = [model.clone()];
-    let mut runs = ModelRun::start_all(&pool, prompt, &options);
+    let mut runs = ModelRun::start_all(&pool, prompt, &options, orch.retry, health);
+    runpool::emit_preexisting_failures(&runs, &mut recorder);
+    let query_deadline = Deadline::new(orch.query_deadline_ms);
+    let mut deadline_exceeded = false;
 
-    // Stream in reasonable chunks until done or budget-exhausted.
+    // Stream in reasonable chunks until done, failed, or budget-exhausted.
+    // Empty non-final chunks are left to `generate`'s stall counter, which
+    // fails the run after the configured streak.
     while runs[0].is_active() && !budget.exhausted() {
+        if query_deadline.exceeded() {
+            deadline_exceeded = true;
+            recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
+                scope: "query".into(),
+                elapsed_ms: query_deadline.elapsed_ms(),
+            });
+            runpool::abort_all(&mut runs);
+            break;
+        }
         let chunk = runs[0].generate(64, &mut budget);
         recorder.emit_with(|| OrchestrationEvent::ModelChunk {
             model: runs[0].name.clone(),
@@ -36,8 +53,11 @@ pub(crate) fn run(
             tokens: chunk.tokens,
             done: chunk.done,
         });
-        if chunk.tokens == 0 && chunk.done.is_none() {
-            break; // defensive: model yields nothing but claims not-done
+        if chunk.done == Some(DoneReason::Failed) {
+            recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+                model: runs[0].name.clone(),
+                error: runs[0].error.clone().unwrap_or_default(),
+            });
         }
     }
 
@@ -55,6 +75,7 @@ pub(crate) fn run(
         total_tokens: budget.used(),
     });
 
+    let degraded = runpool::any_failed(&runs) || deadline_exceeded;
     OrchestrationResult {
         strategy: "single".to_owned(),
         best: 0,
@@ -62,6 +83,8 @@ pub(crate) fn run(
         total_tokens: budget.used(),
         rounds: 1,
         budget_exhausted: budget.exhausted(),
+        degraded,
+        deadline_exceeded,
         events: recorder.into_events(),
     }
 }

@@ -165,6 +165,9 @@ mod tests {
             pruned: false,
             done: Some(DoneReason::Stop),
             simulated_latency: std::time::Duration::from_millis(1),
+            failed: false,
+            error: None,
+            retries: 0,
         }
     }
 
@@ -182,6 +185,8 @@ mod tests {
             total_tokens: 30,
             rounds: 1,
             budget_exhausted: false,
+            degraded: false,
+            deadline_exceeded: false,
             events: Vec::new(),
         }
     }

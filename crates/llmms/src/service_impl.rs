@@ -1,19 +1,38 @@
 //! [`llmms_server::AppService`] implementation for [`Platform`] — the wiring
 //! that puts the assembled platform behind the HTTP application layer.
 
-use crate::platform::{AskOptions, Platform};
+use crate::platform::{AskOptions, Platform, PlatformError};
 use crossbeam_channel::Sender;
-use llmms_core::{MabConfig, OrchestrationEvent, OrchestrationResult, OuaConfig, Strategy};
+use llmms_core::{
+    MabConfig, OrchestrationEvent, OrchestrationResult, OrchestratorError, OuaConfig, Strategy,
+};
 use llmms_models::{ModelInfo, UtilizationReport};
-use llmms_server::{AppService, GenerateRequest, GenerateResponse, QueryRequest};
+use llmms_server::{AppService, GenerateRequest, GenerateResponse, QueryRequest, ServiceError};
 use serde_json::json;
+
+/// Map a platform failure to the HTTP status it should surface as: a pool
+/// where every model failed is a bad gateway (502), an expired query
+/// deadline a gateway timeout (504), a missing session a 404, everything
+/// else a client error (400).
+fn service_error(e: PlatformError) -> ServiceError {
+    match &e {
+        PlatformError::Orchestrator(OrchestratorError::AllModelsFailed) => {
+            ServiceError::bad_gateway(e.to_string())
+        }
+        PlatformError::Orchestrator(OrchestratorError::DeadlineExceeded) => {
+            ServiceError::gateway_timeout(e.to_string())
+        }
+        PlatformError::Session(_) => ServiceError::not_found(e.to_string()),
+        _ => ServiceError::bad_request(e.to_string()),
+    }
+}
 
 impl AppService for Platform {
     fn query(
         &self,
         request: &QueryRequest,
         sink: Option<Sender<OrchestrationEvent>>,
-    ) -> Result<OrchestrationResult, String> {
+    ) -> Result<OrchestrationResult, ServiceError> {
         let options = AskOptions {
             session_id: request.session_id.clone(),
             top_k: request.top_k,
@@ -24,7 +43,7 @@ impl AppService for Platform {
             Some(sink) => self.ask_streaming(&request.question, &options, sink),
             None => self.ask_with(&request.question, &options),
         };
-        result.map_err(|e| e.to_string())
+        result.map_err(service_error)
     }
 
     fn ingest(&self, document_id: &str, text: &str) -> Result<usize, String> {
@@ -213,6 +232,20 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.status, 200);
+        s.shutdown();
+    }
+
+    #[test]
+    fn missing_session_is_404_over_http() {
+        let s = server();
+        let r = client::request(
+            s.addr(),
+            "POST",
+            "/api/query",
+            Some(r#"{"question":"hi","session_id":"no-such-session"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 404, "body: {}", r.body);
         s.shutdown();
     }
 

@@ -1,0 +1,382 @@
+//! Per-model circuit breaker + health tracking.
+//!
+//! Every model backend gets the classic three-state breaker:
+//!
+//! ```text
+//!            K consecutive failures
+//!   Closed ───────────────────────────▶ Open
+//!     ▲                                  │ cooldown elapsed
+//!     │ probe succeeds                   ▼
+//!     └───────────────────────────── HalfOpen
+//!                 probe fails ▶ back to Open
+//! ```
+//!
+//! The orchestrator consults [`HealthRegistry::admit`] before starting a
+//! session, so a backend that keeps failing is skipped up front instead of
+//! burning a retry budget on every query. State transitions are exported to
+//! the global [`llmms_obs::Registry`] (`breaker_state` gauge,
+//! `breaker_transitions_total` counter) so `/metrics` and `/stats` can
+//! surface them.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consult the breaker at all; when off every model is always admitted.
+    #[serde(default = "default_enabled")]
+    pub enabled: bool,
+    /// Consecutive failures that trip the breaker open (K).
+    #[serde(default = "default_threshold")]
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before letting one half-open probe
+    /// through, in milliseconds.
+    #[serde(default = "default_cooldown_ms")]
+    pub cooldown_ms: u64,
+}
+
+fn default_enabled() -> bool {
+    true
+}
+
+fn default_threshold() -> u32 {
+    3
+}
+
+fn default_cooldown_ms() -> u64 {
+    30_000
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            enabled: default_enabled(),
+            failure_threshold: default_threshold(),
+            cooldown_ms: default_cooldown_ms(),
+        }
+    }
+}
+
+/// The breaker's position for one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Tripped: requests are rejected until the cooldown elapses.
+    Open,
+    /// Probing: one request is let through to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Wire/label string (`"closed"` / `"open"` / `"half_open"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric encoding for the `breaker_state` gauge
+    /// (0 = closed, 1 = half-open, 2 = open).
+    pub fn gauge_value(&self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// One model's health as reported by [`HealthRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelHealth {
+    /// Model name.
+    pub model: String,
+    /// Current breaker position.
+    pub state: BreakerState,
+    /// Failures since the last success.
+    pub consecutive_failures: u32,
+}
+
+struct Entry {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When the breaker last changed state or admitted a probe.
+    since: Instant,
+}
+
+impl Entry {
+    fn new() -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            since: Instant::now(),
+        }
+    }
+}
+
+/// Tracks per-model failure streaks and drives the breaker state machine.
+///
+/// One registry is shared by all queries of an orchestrator (or a whole
+/// platform), so breaker state persists across queries — that is the point.
+pub struct HealthRegistry {
+    config: Mutex<BreakerConfig>,
+    entries: Mutex<HashMap<String, Entry>>,
+}
+
+impl Default for HealthRegistry {
+    fn default() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+}
+
+impl HealthRegistry {
+    /// A registry with all breakers closed.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config: Mutex::new(config),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> BreakerConfig {
+        *self.config.lock()
+    }
+
+    /// Replace the configuration. Existing breaker state is preserved; the
+    /// new thresholds apply from the next event on.
+    pub fn set_config(&self, config: BreakerConfig) {
+        *self.config.lock() = config;
+    }
+
+    /// Whether a request to `model` should be attempted right now. An open
+    /// breaker whose cooldown has elapsed moves to half-open and admits the
+    /// call as its probe.
+    pub fn admit(&self, model: &str) -> bool {
+        let config = self.config();
+        if !config.enabled {
+            return true;
+        }
+        let cooldown = Duration::from_millis(config.cooldown_ms);
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(model.to_owned()).or_insert_with(Entry::new);
+        match entry.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if entry.since.elapsed() >= cooldown {
+                    transition(entry, model, BreakerState::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+            // One probe at a time: a second caller must wait another
+            // cooldown in case the first probe never reports back.
+            BreakerState::HalfOpen => {
+                if entry.since.elapsed() >= cooldown {
+                    entry.since = Instant::now();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful generation: resets the failure streak and closes
+    /// a probing (or open) breaker.
+    pub fn record_success(&self, model: &str) {
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(model.to_owned()).or_insert_with(Entry::new);
+        entry.consecutive_failures = 0;
+        if entry.state != BreakerState::Closed {
+            transition(entry, model, BreakerState::Closed);
+        }
+    }
+
+    /// Record a failed generation: extends the streak, re-opens a failed
+    /// probe, and trips a closed breaker at the configured threshold.
+    pub fn record_failure(&self, model: &str) {
+        let threshold = self.config().failure_threshold.max(1);
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(model.to_owned()).or_insert_with(Entry::new);
+        entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+        match entry.state {
+            BreakerState::HalfOpen => transition(entry, model, BreakerState::Open),
+            BreakerState::Closed if entry.consecutive_failures >= threshold => {
+                transition(entry, model, BreakerState::Open);
+            }
+            _ => {}
+        }
+    }
+
+    /// Current breaker position for `model` (closed if never seen).
+    pub fn state(&self, model: &str) -> BreakerState {
+        self.entries
+            .lock()
+            .get(model)
+            .map_or(BreakerState::Closed, |e| e.state)
+    }
+
+    /// Health of every model the registry has seen, sorted by name.
+    pub fn snapshot(&self) -> Vec<ModelHealth> {
+        let entries = self.entries.lock();
+        let mut all: Vec<ModelHealth> = entries
+            .iter()
+            .map(|(model, e)| ModelHealth {
+                model: model.clone(),
+                state: e.state,
+                consecutive_failures: e.consecutive_failures,
+            })
+            .collect();
+        all.sort_by(|a, b| a.model.cmp(&b.model));
+        all
+    }
+}
+
+/// Move `entry` to `to`, stamping the clock and exporting the transition to
+/// the metrics registry.
+fn transition(entry: &mut Entry, model: &str, to: BreakerState) {
+    if entry.state == to {
+        return;
+    }
+    entry.state = to;
+    entry.since = Instant::now();
+    let registry = llmms_obs::Registry::global();
+    if registry.enabled() {
+        registry
+            .counter_with(
+                "breaker_transitions_total",
+                &[("model", model), ("to", to.as_str())],
+            )
+            .metric
+            .inc();
+        registry
+            .gauge_with("breaker_state", &[("model", model)])
+            .metric
+            .set(to.gauge_value());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(threshold: u32, cooldown_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            enabled: true,
+            failure_threshold: threshold,
+            cooldown_ms,
+        }
+    }
+
+    #[test]
+    fn opens_after_k_consecutive_failures() {
+        let h = HealthRegistry::new(config(3, 60_000));
+        for _ in 0..2 {
+            h.record_failure("m");
+            assert_eq!(h.state("m"), BreakerState::Closed);
+        }
+        h.record_failure("m");
+        assert_eq!(h.state("m"), BreakerState::Open);
+        assert!(!h.admit("m"), "open breaker must reject");
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let h = HealthRegistry::new(config(3, 60_000));
+        h.record_failure("m");
+        h.record_failure("m");
+        h.record_success("m");
+        h.record_failure("m");
+        h.record_failure("m");
+        assert_eq!(h.state("m"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_recovers_on_success() {
+        let h = HealthRegistry::new(config(1, 0));
+        h.record_failure("m");
+        assert_eq!(h.state("m"), BreakerState::Open);
+        // Zero cooldown: the next admit is the half-open probe.
+        assert!(h.admit("m"));
+        assert_eq!(h.state("m"), BreakerState::HalfOpen);
+        h.record_success("m");
+        assert_eq!(h.state("m"), BreakerState::Closed);
+        assert!(h.admit("m"));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let h = HealthRegistry::new(config(1, 0));
+        h.record_failure("m");
+        assert!(h.admit("m"));
+        assert_eq!(h.state("m"), BreakerState::HalfOpen);
+        h.record_failure("m");
+        assert_eq!(h.state("m"), BreakerState::Open);
+    }
+
+    #[test]
+    fn disabled_breaker_always_admits() {
+        let h = HealthRegistry::new(BreakerConfig {
+            enabled: false,
+            ..config(1, 60_000)
+        });
+        for _ in 0..10 {
+            h.record_failure("m");
+        }
+        assert!(h.admit("m"));
+    }
+
+    #[test]
+    fn snapshot_lists_every_model() {
+        let h = HealthRegistry::new(config(1, 60_000));
+        h.record_success("a");
+        h.record_failure("b");
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].model, "a");
+        assert_eq!(snap[0].state, BreakerState::Closed);
+        assert_eq!(snap[1].model, "b");
+        assert_eq!(snap[1].state, BreakerState::Open);
+        assert_eq!(snap[1].consecutive_failures, 1);
+    }
+
+    #[test]
+    fn transitions_are_exported_to_metrics() {
+        let registry = llmms_obs::Registry::global();
+        let h = HealthRegistry::new(config(1, 0));
+        h.record_failure("breaker-metrics-model");
+        assert!(h.admit("breaker-metrics-model"));
+        h.record_success("breaker-metrics-model");
+
+        let snap = registry.snapshot();
+        let c = |to: &str| {
+            snap.counter_value(
+                "breaker_transitions_total",
+                &[("model", "breaker-metrics-model"), ("to", to)],
+            )
+        };
+        assert_eq!(c("open"), 1);
+        assert_eq!(c("half_open"), 1);
+        assert_eq!(c("closed"), 1);
+        assert_eq!(
+            snap.gauge_value("breaker_state", &[("model", "breaker-metrics-model")]),
+            Some(BreakerState::Closed.gauge_value())
+        );
+    }
+
+    #[test]
+    fn config_serde_defaults() {
+        let c: BreakerConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(c, BreakerConfig::default());
+        assert!(c.enabled);
+        assert_eq!(c.failure_threshold, 3);
+    }
+}

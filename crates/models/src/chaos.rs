@@ -1,0 +1,351 @@
+//! Deterministic fault injection around any [`SharedModel`].
+//!
+//! [`ChaosModel`] wraps a real model and misbehaves according to a seeded
+//! [`FaultKind`] plan — the promoted, reusable form of the ad-hoc
+//! `FaultyModel` the orchestrator's failure tests started from. Because the
+//! plan is seeded, a chaos run is exactly reproducible: the same seed makes
+//! the same calls fail in the same order, which is what lets CI assert
+//! recovery behaviour instead of just "it didn't crash this time".
+
+use crate::error::ModelError;
+use crate::model::{GenerationSession, LanguageModel, ModelInfo, SharedModel};
+use crate::options::{Chunk, DoneReason, GenOptions};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a [`ChaosModel`] misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Never finishes: yields empty, non-final chunks forever (a wedged
+    /// backend that keeps the connection alive but sends nothing).
+    Stall,
+    /// Passes the wrapped model's chunks through, but each call burns
+    /// `delay_ms` of real wall-clock first (a saturated backend) — the
+    /// fault that exercises orchestrator deadlines.
+    SlowChunks {
+        /// Wall-clock delay per chunk, in milliseconds.
+        delay_ms: u64,
+    },
+    /// Healthy for the first `n` chunks, then every call errors (a backend
+    /// that dies mid-generation).
+    ErrorAfterN {
+        /// Chunks served before the failures start.
+        n: usize,
+        /// Whether the errors are transient (retryable) or fatal.
+        transient: bool,
+    },
+    /// Each call fails with a transient error with probability `p`, drawn
+    /// from the seeded RNG (a lossy network path).
+    Flaky {
+        /// Per-call failure probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Generates fluent nonsense instead of the wrapped model's output —
+    /// no errors, just a confidently wrong answer for scoring to reject.
+    Garbage,
+}
+
+/// A [`LanguageModel`] wrapper that injects the configured fault plan into
+/// every session it starts. The wrapped model keeps its name, so pools,
+/// breakers and metrics treat it as the same backend.
+pub struct ChaosModel {
+    inner: SharedModel,
+    kind: FaultKind,
+    seed: u64,
+}
+
+impl ChaosModel {
+    /// Wrap `inner` with the fault plan `(kind, seed)`.
+    pub fn new(inner: SharedModel, kind: FaultKind, seed: u64) -> Self {
+        Self { inner, kind, seed }
+    }
+
+    /// Like [`ChaosModel::new`], but returns a ready-to-pool handle.
+    pub fn wrap(inner: SharedModel, kind: FaultKind, seed: u64) -> SharedModel {
+        Arc::new(Self::new(inner, kind, seed))
+    }
+}
+
+impl LanguageModel for ChaosModel {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn info(&self) -> ModelInfo {
+        self.inner.info()
+    }
+
+    fn start(&self, prompt: &str, options: &GenOptions) -> Box<dyn GenerationSession> {
+        Box::new(ChaosSession {
+            inner: self.inner.start(prompt, options),
+            kind: self.kind,
+            rng: StdRng::seed_from_u64(self.seed),
+            model: self.inner.name().to_owned(),
+            served: 0,
+            garbage: String::new(),
+            garbage_tokens: 0,
+            done: None,
+        })
+    }
+}
+
+/// Nonsense vocabulary for [`FaultKind::Garbage`].
+const GARBAGE_WORDS: &[&str] = &[
+    "blorp", "quindle", "zephic", "marnost", "gribble", "vexapod", "snarfle", "dulcimer", "praxon",
+    "wumpus",
+];
+
+/// Tokens a garbage generation emits before claiming a natural stop.
+const GARBAGE_LEN: usize = 10;
+
+struct ChaosSession {
+    inner: Box<dyn GenerationSession>,
+    kind: FaultKind,
+    rng: StdRng,
+    model: String,
+    /// Chunks successfully served so far (drives `ErrorAfterN`).
+    served: usize,
+    /// Output state owned by the chaos layer (`Garbage` mode).
+    garbage: String,
+    garbage_tokens: usize,
+    /// Terminal reason owned by the chaos layer (`Stall`/`Garbage` modes).
+    done: Option<DoneReason>,
+}
+
+impl GenerationSession for ChaosSession {
+    fn next_chunk(&mut self, max_tokens: usize) -> Result<Chunk, ModelError> {
+        match self.kind {
+            FaultKind::Stall => {
+                if let Some(reason) = self.done {
+                    return Ok(Chunk::finished(reason));
+                }
+                Ok(Chunk {
+                    text: String::new(),
+                    tokens: 0,
+                    done: None,
+                })
+            }
+            FaultKind::SlowChunks { delay_ms } => {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                self.served += 1;
+                self.inner.next_chunk(max_tokens)
+            }
+            FaultKind::ErrorAfterN { n, transient } => {
+                if self.served < n {
+                    self.served += 1;
+                    return self.inner.next_chunk(max_tokens);
+                }
+                Err(generation_error(
+                    &self.model,
+                    transient,
+                    "died mid-generation",
+                ))
+            }
+            FaultKind::Flaky { p } => {
+                if self.rng.gen_f64() < p {
+                    return Err(generation_error(
+                        &self.model,
+                        true,
+                        "flaky connection dropped",
+                    ));
+                }
+                self.served += 1;
+                self.inner.next_chunk(max_tokens)
+            }
+            FaultKind::Garbage => {
+                if let Some(reason) = self.done {
+                    return Ok(Chunk::finished(reason));
+                }
+                let mut text = String::new();
+                let mut emitted = 0;
+                while emitted < max_tokens && self.garbage_tokens < GARBAGE_LEN {
+                    if !self.garbage.is_empty() || !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(GARBAGE_WORDS[self.garbage_tokens % GARBAGE_WORDS.len()]);
+                    self.garbage_tokens += 1;
+                    emitted += 1;
+                }
+                self.garbage.push_str(&text);
+                let done = (self.garbage_tokens >= GARBAGE_LEN).then_some(DoneReason::Stop);
+                self.done = done;
+                Ok(Chunk {
+                    text,
+                    tokens: emitted,
+                    done,
+                })
+            }
+        }
+    }
+
+    fn tokens_generated(&self) -> usize {
+        match self.kind {
+            FaultKind::Stall => 0,
+            FaultKind::Garbage => self.garbage_tokens,
+            _ => self.inner.tokens_generated(),
+        }
+    }
+
+    fn response_so_far(&self) -> &str {
+        match self.kind {
+            FaultKind::Stall => "",
+            FaultKind::Garbage => &self.garbage,
+            _ => self.inner.response_so_far(),
+        }
+    }
+
+    fn done_reason(&self) -> Option<DoneReason> {
+        match self.kind {
+            FaultKind::Stall | FaultKind::Garbage => self.done,
+            _ => self.inner.done_reason(),
+        }
+    }
+
+    fn simulated_latency(&self) -> Duration {
+        match self.kind {
+            FaultKind::Stall => Duration::ZERO,
+            FaultKind::Garbage => Duration::from_millis(self.garbage_tokens as u64 * 20),
+            _ => self.inner.simulated_latency(),
+        }
+    }
+
+    fn abort(&mut self) {
+        if self.done.is_none() {
+            self.done = Some(DoneReason::Aborted);
+        }
+        self.inner.abort();
+    }
+}
+
+fn generation_error(model: &str, transient: bool, reason: &str) -> ModelError {
+    if transient {
+        ModelError::Transient {
+            model: model.to_owned(),
+            reason: reason.to_owned(),
+        }
+    } else {
+        ModelError::Fatal {
+            model: model.to_owned(),
+            reason: reason.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::test_support::sample_store;
+    use crate::profile::ModelProfile;
+    use crate::simllm::SimLlm;
+
+    fn healthy() -> SharedModel {
+        let mut p = ModelProfile::llama3_8b();
+        p.default_skill = 1.0;
+        for c in crate::profile::CATEGORIES {
+            p.skills.insert(c.into(), 1.0);
+        }
+        Arc::new(SimLlm::new(p, Arc::new(sample_store())))
+    }
+
+    fn opts() -> GenOptions {
+        GenOptions {
+            temperature: 0.0,
+            ..GenOptions::default()
+        }
+    }
+
+    #[test]
+    fn stall_never_finishes_and_never_outputs() {
+        let m = ChaosModel::wrap(healthy(), FaultKind::Stall, 0);
+        let mut s = m.start("What is the capital of France?", &opts());
+        for _ in 0..20 {
+            let c = s.next_chunk(8).unwrap();
+            assert_eq!(c.tokens, 0);
+            assert!(c.done.is_none());
+        }
+        assert_eq!(s.response_so_far(), "");
+        s.abort();
+        assert_eq!(s.done_reason(), Some(DoneReason::Aborted));
+    }
+
+    #[test]
+    fn error_after_n_serves_then_fails() {
+        let m = ChaosModel::wrap(
+            healthy(),
+            FaultKind::ErrorAfterN {
+                n: 2,
+                transient: true,
+            },
+            0,
+        );
+        let mut s = m.start("What is the capital of France?", &opts());
+        assert!(s.next_chunk(2).is_ok());
+        assert!(s.next_chunk(2).is_ok());
+        let e = s.next_chunk(2).unwrap_err();
+        assert!(e.is_transient());
+        // And it keeps failing.
+        assert!(s.next_chunk(2).is_err());
+    }
+
+    #[test]
+    fn fatal_variant_is_not_transient() {
+        let m = ChaosModel::wrap(
+            healthy(),
+            FaultKind::ErrorAfterN {
+                n: 0,
+                transient: false,
+            },
+            0,
+        );
+        let mut s = m.start("q", &opts());
+        assert!(!s.next_chunk(2).unwrap_err().is_transient());
+    }
+
+    #[test]
+    fn flaky_is_deterministic_per_seed() {
+        let pattern = |seed: u64| -> Vec<bool> {
+            let m = ChaosModel::wrap(healthy(), FaultKind::Flaky { p: 0.5 }, seed);
+            let mut s = m.start("What is the capital of France?", &opts());
+            (0..12).map(|_| s.next_chunk(1).is_err()).collect()
+        };
+        assert_eq!(pattern(7), pattern(7), "same seed, same failures");
+        assert_ne!(pattern(7), pattern(8), "different seed, different plan");
+        assert!(pattern(7).iter().any(|&e| e), "p=0.5 must fail sometimes");
+        assert!(
+            pattern(7).iter().any(|&e| !e),
+            "p=0.5 must succeed sometimes"
+        );
+    }
+
+    #[test]
+    fn garbage_finishes_with_nonsense() {
+        let m = ChaosModel::wrap(healthy(), FaultKind::Garbage, 0);
+        let mut s = m.start("What is the capital of France?", &opts());
+        let mut done = None;
+        while done.is_none() {
+            done = s.next_chunk(4).unwrap().done;
+        }
+        assert_eq!(done, Some(DoneReason::Stop));
+        assert!(s.response_so_far().contains("blorp"));
+        assert_eq!(s.tokens_generated(), GARBAGE_LEN);
+    }
+
+    #[test]
+    fn slow_chunks_passes_content_through() {
+        let inner = healthy();
+        let reference = inner.complete("What is the capital of France?", &opts());
+        let m = ChaosModel::wrap(inner, FaultKind::SlowChunks { delay_ms: 1 }, 0);
+        let slow = m.complete("What is the capital of France?", &opts());
+        assert_eq!(slow.text, reference.text);
+    }
+
+    #[test]
+    fn wrapper_keeps_model_identity() {
+        let inner = healthy();
+        let name = inner.name().to_owned();
+        let m = ChaosModel::wrap(inner, FaultKind::Stall, 0);
+        assert_eq!(m.name(), name);
+        assert_eq!(m.info().name, name);
+    }
+}

@@ -23,6 +23,30 @@ pub enum ModelError {
     NotLoaded(String),
     /// Generation options were invalid (e.g. zero context window).
     InvalidOptions(String),
+    /// A transient generation failure — the backend hiccuped (timeout,
+    /// dropped connection, 5xx) and the same request may succeed if retried.
+    Transient {
+        /// The model whose backend failed.
+        model: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A fatal generation failure — the session is dead and retrying the
+    /// same request cannot help (OOM'd worker, invalid state, poisoned KV
+    /// cache).
+    Fatal {
+        /// The model whose backend failed.
+        model: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl ModelError {
+    /// Whether the failure is worth retrying with backoff.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ModelError::Transient { .. })
+    }
 }
 
 impl fmt::Display for ModelError {
@@ -40,6 +64,12 @@ impl fmt::Display for ModelError {
             ),
             ModelError::NotLoaded(n) => write!(f, "model {n:?} is not loaded"),
             ModelError::InvalidOptions(msg) => write!(f, "invalid generation options: {msg}"),
+            ModelError::Transient { model, reason } => {
+                write!(f, "transient failure in {model:?}: {reason}")
+            }
+            ModelError::Fatal { model, reason } => {
+                write!(f, "fatal failure in {model:?}: {reason}")
+            }
         }
     }
 }
@@ -61,5 +91,22 @@ mod tests {
         assert!(s.contains("llama3-8b"));
         assert!(s.contains("8.0"));
         assert!(s.contains("2.5"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let t = ModelError::Transient {
+            model: "m".into(),
+            reason: "connection reset".into(),
+        };
+        let f = ModelError::Fatal {
+            model: "m".into(),
+            reason: "worker OOM".into(),
+        };
+        assert!(t.is_transient());
+        assert!(!f.is_transient());
+        assert!(!ModelError::NotLoaded("m".into()).is_transient());
+        assert!(t.to_string().contains("connection reset"));
+        assert!(f.to_string().contains("worker OOM"));
     }
 }

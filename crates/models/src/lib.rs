@@ -42,6 +42,8 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod chaos;
 pub mod error;
 pub mod hardware;
 pub mod knowledge;
@@ -52,6 +54,8 @@ pub mod registry;
 pub mod simllm;
 pub mod streaming;
 
+pub use breaker::{BreakerConfig, BreakerState, HealthRegistry, ModelHealth};
+pub use chaos::{ChaosModel, FaultKind};
 pub use error::ModelError;
 pub use hardware::{GpuDevice, HardwareManager, UtilizationReport};
 pub use knowledge::{KnowledgeEntry, KnowledgeStore};

@@ -1,5 +1,6 @@
 //! The [`LanguageModel`] abstraction every backend implements.
 
+use crate::error::ModelError;
 use crate::options::{Chunk, GenOptions};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -40,19 +41,40 @@ pub trait LanguageModel: Send + Sync {
     fn start(&self, prompt: &str, options: &GenOptions) -> Box<dyn GenerationSession>;
 
     /// One-shot convenience: run a session to completion (bounded by
-    /// `options.max_tokens`) and return the full text.
+    /// `options.max_tokens`) and return the full text. Transient backend
+    /// errors are retried a couple of times; anything worse ends the
+    /// completion with [`crate::DoneReason::Failed`] and whatever partial
+    /// text the session had accumulated.
     fn complete(&self, prompt: &str, options: &GenOptions) -> Completion {
+        const TRANSIENT_RETRIES: u32 = 2;
         let mut session = self.start(prompt, options);
+        let mut retries = 0u32;
+        let mut failed = false;
         loop {
-            let chunk = session.next_chunk(options.max_tokens);
-            if chunk.is_done() {
-                break;
+            match session.next_chunk(options.max_tokens) {
+                Ok(chunk) => {
+                    retries = 0;
+                    if chunk.is_done() {
+                        break;
+                    }
+                }
+                Err(e) if e.is_transient() && retries < TRANSIENT_RETRIES => retries += 1,
+                Err(_) => {
+                    session.abort();
+                    failed = true;
+                    break;
+                }
             }
         }
+        let done = if failed {
+            crate::DoneReason::Failed
+        } else {
+            session.done_reason().unwrap_or(crate::DoneReason::Length)
+        };
         Completion {
             text: session.response_so_far().to_owned(),
             tokens: session.tokens_generated(),
-            done: session.done_reason().unwrap_or(crate::DoneReason::Length),
+            done,
             simulated_latency: session.simulated_latency(),
         }
     }
@@ -79,7 +101,14 @@ pub struct Completion {
 pub trait GenerationSession: Send {
     /// Produce up to `max_tokens` more tokens. Returns an empty finished
     /// chunk when called again after completion.
-    fn next_chunk(&mut self, max_tokens: usize) -> Chunk;
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Transient`] when the backend hiccuped and the same
+    /// call may succeed if retried; [`ModelError::Fatal`] when the session
+    /// is beyond recovery. After a fatal error the caller is expected to
+    /// [`GenerationSession::abort`] the session.
+    fn next_chunk(&mut self, max_tokens: usize) -> Result<Chunk, ModelError>;
 
     /// Total tokens generated so far.
     fn tokens_generated(&self) -> usize;
@@ -160,9 +189,9 @@ pub(crate) mod test_support {
     }
 
     impl GenerationSession for ScriptedSession {
-        fn next_chunk(&mut self, max_tokens: usize) -> Chunk {
+        fn next_chunk(&mut self, max_tokens: usize) -> Result<Chunk, ModelError> {
             if let Some(reason) = self.done {
-                return Chunk::finished(reason);
+                return Ok(Chunk::finished(reason));
             }
             let mut emitted = 0;
             let mut chunk_text = String::new();
@@ -186,11 +215,11 @@ pub(crate) mod test_support {
                 None
             };
             self.done = done;
-            Chunk {
+            Ok(Chunk {
                 text: chunk_text,
                 tokens: emitted,
                 done,
-            }
+            })
         }
 
         fn tokens_generated(&self) -> usize {
@@ -225,11 +254,11 @@ mod tests {
     fn scripted_model_streams_in_chunks() {
         let m = ScriptedModel::new("s", "one two three four five");
         let mut session = m.start("prompt", &GenOptions::default());
-        let c1 = session.next_chunk(2);
+        let c1 = session.next_chunk(2).unwrap();
         assert_eq!(c1.text, "one two");
         assert_eq!(c1.tokens, 2);
         assert!(!c1.is_done());
-        let c2 = session.next_chunk(10);
+        let c2 = session.next_chunk(10).unwrap();
         assert_eq!(c2.text, " three four five");
         assert_eq!(c2.done, Some(DoneReason::Stop));
         assert_eq!(session.response_so_far(), "one two three four five");
@@ -240,7 +269,7 @@ mod tests {
     fn budget_exhaustion_reports_length() {
         let m = ScriptedModel::new("s", "one two three four five");
         let mut session = m.start("prompt", &GenOptions::with_max_tokens(3));
-        let c = session.next_chunk(10);
+        let c = session.next_chunk(10).unwrap();
         assert_eq!(c.done, Some(DoneReason::Length));
         assert_eq!(session.tokens_generated(), 3);
     }
@@ -249,8 +278,8 @@ mod tests {
     fn chunk_after_done_is_empty_finished() {
         let m = ScriptedModel::new("s", "one");
         let mut session = m.start("p", &GenOptions::default());
-        session.next_chunk(10);
-        let again = session.next_chunk(10);
+        session.next_chunk(10).unwrap();
+        let again = session.next_chunk(10).unwrap();
         assert!(again.is_done());
         assert!(again.text.is_empty());
     }
@@ -268,7 +297,7 @@ mod tests {
     fn abort_sets_reason() {
         let m = ScriptedModel::new("s", "alpha beta gamma");
         let mut session = m.start("p", &GenOptions::default());
-        session.next_chunk(1);
+        session.next_chunk(1).unwrap();
         session.abort();
         assert_eq!(session.done_reason(), Some(DoneReason::Aborted));
     }

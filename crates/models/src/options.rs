@@ -15,6 +15,11 @@ pub enum DoneReason {
     Length,
     /// The orchestrator pruned/aborted this generation.
     Aborted,
+    /// The backend failed (fatal error, or transient errors that survived
+    /// every retry) and the session was given up on. Terminal, like
+    /// [`DoneReason::Aborted`], but attributable to the model rather than
+    /// the orchestrator.
+    Failed,
 }
 
 impl DoneReason {
@@ -24,6 +29,7 @@ impl DoneReason {
             DoneReason::Stop => "stop",
             DoneReason::Length => "length",
             DoneReason::Aborted => "aborted",
+            DoneReason::Failed => "failed",
         }
     }
 }
@@ -97,6 +103,7 @@ mod tests {
         assert_eq!(DoneReason::Stop.as_str(), "stop");
         assert_eq!(DoneReason::Length.as_str(), "length");
         assert_eq!(DoneReason::Aborted.as_str(), "aborted");
+        assert_eq!(DoneReason::Failed.as_str(), "failed");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! `llmms-tokenizer` can be layered on for realistic subword counts, but
 //! the algorithms are invariant to the token unit.
 
+use crate::error::ModelError;
 use crate::knowledge::KnowledgeStore;
 use crate::model::{GenerationSession, LanguageModel, ModelInfo};
 use crate::options::{Chunk, DoneReason, GenOptions};
@@ -391,9 +392,9 @@ struct SimSession {
 }
 
 impl GenerationSession for SimSession {
-    fn next_chunk(&mut self, max_tokens: usize) -> Chunk {
+    fn next_chunk(&mut self, max_tokens: usize) -> Result<Chunk, ModelError> {
         if let Some(reason) = self.done {
-            return Chunk::finished(reason);
+            return Ok(Chunk::finished(reason));
         }
         let mut chunk_text = String::new();
         let mut emitted = 0;
@@ -415,11 +416,11 @@ impl GenerationSession for SimSession {
             None
         };
         self.done = done;
-        Chunk {
+        Ok(Chunk {
             text: chunk_text,
             tokens: emitted,
             done,
-        }
+        })
     }
 
     fn tokens_generated(&self) -> usize {
@@ -609,7 +610,7 @@ mod tests {
         let mut session = m.start(prompt, &opts);
         let mut acc = String::new();
         loop {
-            let chunk = session.next_chunk(3);
+            let chunk = session.next_chunk(3).unwrap();
             acc.push_str(&chunk.text);
             if chunk.is_done() {
                 break;
@@ -622,13 +623,13 @@ mod tests {
     fn abort_marks_session() {
         let m = expert();
         let mut s = m.start("What is the capital of France?", &cold_options());
-        s.next_chunk(1);
+        s.next_chunk(1).unwrap();
         s.abort();
         assert_eq!(s.done_reason(), Some(DoneReason::Aborted));
         // Aborting a finished session does not overwrite the reason.
         let m2 = expert();
         let mut s2 = m2.start("What is the capital of France?", &cold_options());
-        while !s2.next_chunk(16).is_done() {}
+        while !s2.next_chunk(16).unwrap().is_done() {}
         s2.abort();
         assert_eq!(s2.done_reason(), Some(DoneReason::Stop));
     }

@@ -50,18 +50,39 @@ impl Iterator for TokenStream {
 /// chunks of `chunk_tokens` tokens each. A bounded channel applies
 /// backpressure: generation pauses when the consumer lags more than a few
 /// chunks behind, like an SSE connection with a slow client.
+///
+/// Transient backend errors are retried a couple of times; a fatal error
+/// (or exhausted retries) aborts the session and closes the stream with a
+/// final [`crate::DoneReason::Failed`] chunk, so consumers always see a
+/// terminal chunk instead of a silently dropped channel.
 pub fn stream_generation(
     model: SharedModel,
     prompt: String,
     options: GenOptions,
     chunk_tokens: usize,
 ) -> TokenStream {
+    const TRANSIENT_RETRIES: u32 = 2;
     let (tx, rx) = bounded(8);
     let chunk_tokens = chunk_tokens.max(1);
     let handle = std::thread::spawn(move || {
         let mut session = model.start(&prompt, &options);
+        let mut retries = 0u32;
         loop {
-            let chunk = session.next_chunk(chunk_tokens);
+            let chunk = match session.next_chunk(chunk_tokens) {
+                Ok(chunk) => {
+                    retries = 0;
+                    chunk
+                }
+                Err(e) if e.is_transient() && retries < TRANSIENT_RETRIES => {
+                    retries += 1;
+                    continue;
+                }
+                Err(_) => {
+                    session.abort();
+                    let _ = tx.send(Chunk::finished(crate::DoneReason::Failed));
+                    return;
+                }
+            };
             let done = chunk.is_done();
             if tx.send(chunk).is_err() {
                 // Consumer hung up — abort like a closed SSE connection.

@@ -278,6 +278,15 @@ impl Snapshot {
             .sum()
     }
 
+    /// Value of the gauge with `name` whose labels include `labels`
+    /// (order-insensitive); `None` when no gauge matches.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && labels_match(&g.labels, labels))
+            .map(|g| g.value)
+    }
+
     /// The histogram with `name` whose labels include `labels`.
     pub fn histogram_named(
         &self,

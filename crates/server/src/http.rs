@@ -65,6 +65,9 @@ pub enum HttpError {
     Malformed(String),
     /// Body exceeded [`MAX_BODY_BYTES`].
     BodyTooLarge,
+    /// The client did not deliver a complete request within the socket read
+    /// timeout (mapped to 408).
+    Timeout,
 }
 
 impl fmt::Display for HttpError {
@@ -73,7 +76,17 @@ impl fmt::Display for HttpError {
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
             HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
             HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::Timeout => write!(f, "timed out reading request"),
         }
+    }
+}
+
+/// Classify an I/O failure: socket-timeout kinds become
+/// [`HttpError::Timeout`], everything else stays [`HttpError::Io`].
+fn io_error(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e),
     }
 }
 
@@ -87,7 +100,7 @@ impl std::error::Error for HttpError {}
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream.try_clone().map_err(HttpError::Io)?);
     let mut line = String::new();
-    reader.read_line(&mut line).map_err(HttpError::Io)?;
+    reader.read_line(&mut line).map_err(io_error)?;
     let mut parts = line.split_whitespace();
     let method = Method::parse(parts.next().unwrap_or(""));
     let target = parts
@@ -98,7 +111,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let mut headers = HashMap::new();
     loop {
         let mut header_line = String::new();
-        reader.read_line(&mut header_line).map_err(HttpError::Io)?;
+        reader.read_line(&mut header_line).map_err(io_error)?;
         let trimmed = header_line.trim_end();
         if trimmed.is_empty() {
             break;
@@ -119,7 +132,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     }
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+        reader.read_exact(&mut body).map_err(io_error)?;
     }
 
     Ok(Request {
@@ -188,6 +201,22 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// Like [`write_response`] with additional response headers (e.g.
+/// `Retry-After` on a 503).
+///
+/// # Errors
+///
+/// I/O failures.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
     let registry = llmms_obs::Registry::global();
     if registry.enabled() {
         registry
@@ -198,9 +227,13 @@ pub fn write_response(
     let reason = reason_phrase(status);
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -226,8 +259,12 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }

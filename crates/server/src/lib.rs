@@ -31,8 +31,8 @@ pub mod service;
 pub mod sse;
 
 pub use remote::RemoteModel;
-pub use server::Server;
-pub use service::{AppService, GenerateRequest, GenerateResponse, QueryRequest};
+pub use server::{Server, ServerConfig};
+pub use service::{AppService, GenerateRequest, GenerateResponse, QueryRequest, ServiceError};
 
 #[cfg(test)]
 mod tests {
@@ -62,9 +62,15 @@ mod tests {
             &self,
             request: &QueryRequest,
             sink: Option<Sender<OrchestrationEvent>>,
-        ) -> Result<OrchestrationResult, String> {
-            if request.question == "fail" {
-                return Err("stub failure".into());
+        ) -> Result<OrchestrationResult, ServiceError> {
+            match request.question.as_str() {
+                "fail" => return Err(ServiceError::bad_request("stub failure")),
+                "all-models-down" => {
+                    return Err(ServiceError::bad_gateway("every candidate model failed"))
+                }
+                "too-slow" => return Err(ServiceError::gateway_timeout("query deadline exceeded")),
+                "sleep" => std::thread::sleep(std::time::Duration::from_millis(300)),
+                _ => {}
             }
             if let Some(sink) = sink {
                 let _ = sink.send(OrchestrationEvent::RoundStarted { round: 1 });
@@ -87,10 +93,15 @@ mod tests {
                     pruned: false,
                     done: Some(DoneReason::Stop),
                     simulated_latency: std::time::Duration::from_millis(5),
+                    failed: false,
+                    error: None,
+                    retries: 0,
                 }],
                 total_tokens: 3,
                 rounds: 1,
                 budget_exhausted: false,
+                degraded: false,
+                deadline_exceeded: false,
                 events: Vec::new(),
             })
         }
@@ -363,6 +374,110 @@ mod tests {
     }
 
     #[test]
+    fn orchestration_failures_map_to_gateway_statuses() {
+        let server = start();
+        let r = client::request(
+            server.addr(),
+            "POST",
+            "/api/query",
+            Some(r#"{"question":"all-models-down"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 502, "{}", r.body);
+        assert!(r.body.contains("every candidate model failed"));
+        let r = client::request(
+            server.addr(),
+            "POST",
+            "/api/query",
+            Some(r#"{"question":"too-slow"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 504, "{}", r.body);
+        server.shutdown();
+    }
+
+    #[test]
+    fn streaming_error_frame_carries_status() {
+        let server = start();
+        let events = client::sse_request(
+            server.addr(),
+            "/api/query",
+            r#"{"question":"all-models-down","stream":true}"#,
+        )
+        .unwrap();
+        let (name, data) = events.last().unwrap();
+        assert_eq!(name, "error");
+        assert!(data.contains("\"status\":502"), "{data}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_client_is_answered_with_408() {
+        use std::io::{Read, Write};
+        let server = Server::start_with(
+            Arc::new(StubService::new()),
+            "127.0.0.1:0",
+            server::ServerConfig {
+                read_timeout: std::time::Duration::from_millis(50),
+                ..server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        // Send only a partial request line, then stall past the timeout.
+        stream.write_all(b"POST /api/query HT").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 408 Request Timeout"),
+            "{response}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn saturated_server_sheds_load_but_keeps_probes() {
+        let server = Server::start_with(
+            Arc::new(StubService::new()),
+            "127.0.0.1:0",
+            server::ServerConfig {
+                max_in_flight: 1,
+                ..server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // Occupy the only slot with a deliberately slow query…
+        let busy = std::thread::spawn(move || {
+            client::request(addr, "POST", "/api/query", Some(r#"{"question":"sleep"}"#)).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // …then the next query must be shed with a Retry-After hint…
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let body = r#"{"question":"hi"}"#;
+        write!(
+            stream,
+            "POST /api/query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 503 Service Unavailable"),
+            "{response}"
+        );
+        assert!(response.contains("Retry-After: 1"), "{response}");
+        // …while the liveness probe still answers.
+        let r = client::request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(busy.join().unwrap().status, 200);
+        server.shutdown();
+    }
+
+    #[test]
     fn metrics_and_stats_endpoints_serve() {
         let server = start();
         let r = client::request(server.addr(), "GET", "/metrics", None).unwrap();
@@ -376,6 +491,7 @@ mod tests {
         let v = r.json().unwrap();
         assert!(v.get("models").is_some());
         assert!(v.get("requests").is_some());
+        assert!(v.get("breakers").is_some());
         server.shutdown();
     }
 }

@@ -17,7 +17,9 @@
 
 use crate::client;
 use crate::service::{GenerateRequest, GenerateResponse};
-use llmms_models::{Chunk, DoneReason, GenOptions, GenerationSession, LanguageModel, ModelInfo};
+use llmms_models::{
+    Chunk, DoneReason, GenOptions, GenerationSession, LanguageModel, ModelError, ModelInfo,
+};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -88,6 +90,7 @@ impl LanguageModel for RemoteModel {
 
     fn start(&self, prompt: &str, options: &GenOptions) -> Box<dyn GenerationSession> {
         Box::new(RemoteSession {
+            name: self.local_name.clone(),
             fetch: self.fetch(prompt, options),
             words: Vec::new(),
             cursor: 0,
@@ -101,6 +104,7 @@ impl LanguageModel for RemoteModel {
 }
 
 struct RemoteSession {
+    name: String,
     fetch: Result<GenerateResponse, String>,
     words: Vec<String>,
     cursor: usize,
@@ -112,25 +116,28 @@ struct RemoteSession {
 }
 
 impl RemoteSession {
-    fn ensure_started(&mut self) {
+    /// Materialize the buffered fetch. A dead or erroring remote surfaces as
+    /// a transient [`ModelError`] so the orchestrator's retry/breaker
+    /// machinery sees the fault instead of a suspiciously empty answer.
+    fn ensure_started(&mut self) -> Result<(), ModelError> {
         if self.started {
-            return;
+            return Ok(());
         }
-        self.started = true;
         match &self.fetch {
             Ok(response) => {
+                self.started = true;
                 self.words = response
                     .text
                     .split_whitespace()
                     .map(str::to_owned)
                     .collect();
                 self.total_latency = Duration::from_secs_f64(response.latency_ms / 1000.0);
+                Ok(())
             }
-            Err(_) => {
-                // A dead remote behaves like an instantly-finished empty
-                // generation — the orchestrator's fault tolerance handles it.
-                self.done = Some(DoneReason::Stop);
-            }
+            Err(reason) => Err(ModelError::Transient {
+                model: self.name.clone(),
+                reason: reason.clone(),
+            }),
         }
     }
 
@@ -139,18 +146,19 @@ impl RemoteSession {
             Ok(response) => match response.done_reason.as_str() {
                 "length" => DoneReason::Length,
                 "aborted" => DoneReason::Aborted,
+                "failed" => DoneReason::Failed,
                 _ => DoneReason::Stop,
             },
-            Err(_) => DoneReason::Stop,
+            Err(_) => DoneReason::Failed,
         }
     }
 }
 
 impl GenerationSession for RemoteSession {
-    fn next_chunk(&mut self, max_tokens: usize) -> Chunk {
-        self.ensure_started();
+    fn next_chunk(&mut self, max_tokens: usize) -> Result<Chunk, ModelError> {
+        self.ensure_started()?;
         if let Some(reason) = self.done {
-            return Chunk::finished(reason);
+            return Ok(Chunk::finished(reason));
         }
         let mut chunk_text = String::new();
         let mut emitted = 0;
@@ -171,11 +179,11 @@ impl GenerationSession for RemoteSession {
         }
         let done = (self.cursor >= self.words.len()).then(|| self.final_reason());
         self.done = done;
-        Chunk {
+        Ok(Chunk {
             text: chunk_text,
             tokens: emitted,
             done,
-        }
+        })
     }
 
     fn tokens_generated(&self) -> usize {

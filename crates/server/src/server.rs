@@ -1,14 +1,37 @@
 //! The threaded HTTP server and its route dispatch.
 
-use crate::http::{read_request, write_response, write_sse_header, Method, Request};
-use crate::service::{AppService, GenerateRequest, QueryRequest};
+use crate::http::{
+    read_request, write_response, write_response_with, write_sse_header, Method, Request,
+};
+use crate::service::{AppService, GenerateRequest, QueryRequest, ServiceError};
 use crate::sse;
 use serde_json::{json, Value};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Transport-level robustness knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// How long a client may take to deliver a complete request before the
+    /// connection is answered with 408 (slowloris protection).
+    pub read_timeout: Duration,
+    /// Maximum concurrently handled requests before new ones are shed with
+    /// 503 + `Retry-After` (health and metrics probes are exempt).
+    pub max_in_flight: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(10),
+            max_in_flight: 256,
+        }
+    }
+}
 
 /// A running API server. Dropping the handle without calling
 /// [`Server::shutdown`] leaves the listener thread running for the process
@@ -21,16 +44,31 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// serving `service` with one thread per connection.
+    /// serving `service` with one thread per connection and default
+    /// robustness settings.
     ///
     /// # Errors
     ///
     /// Bind failures.
     pub fn start<S: AppService>(service: Arc<S>, addr: &str) -> std::io::Result<Server> {
+        Server::start_with(service, addr, ServerConfig::default())
+    }
+
+    /// [`Server::start`] with explicit [`ServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start_with<S: AppService>(
+        service: Arc<S>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let handle = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
@@ -38,9 +76,11 @@ impl Server {
                 }
                 let Ok(stream) = stream else { continue };
                 let service = Arc::clone(&service);
+                let in_flight = Arc::clone(&in_flight);
                 std::thread::spawn(move || {
                     let mut stream = stream;
-                    handle_connection(&*service, &mut stream);
+                    let _guard = InFlightGuard::enter(&in_flight);
+                    handle_connection(&*service, &config, &in_flight, &mut stream);
                 });
             }
         });
@@ -67,13 +107,48 @@ impl Server {
     }
 }
 
-fn handle_connection<S: AppService>(service: &S, stream: &mut TcpStream) {
+/// RAII in-flight connection counter: increments on entry, decrements on
+/// drop (including panics and early returns), so shed decisions always see
+/// an accurate count.
+struct InFlightGuard<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl<'a> InFlightGuard<'a> {
+    fn enter(counter: &'a AtomicUsize) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Self { counter }
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Routes exempt from load shedding: probes must keep answering while the
+/// server is saturated, or the operator loses eyes exactly when they are
+/// needed most.
+fn shed_exempt(route: &str) -> bool {
+    matches!(route, "/healthz" | "/metrics" | "/stats")
+}
+
+fn handle_connection<S: AppService>(
+    service: &S,
+    config: &ServerConfig,
+    in_flight: &AtomicUsize,
+    stream: &mut TcpStream,
+) {
     let registry = llmms_obs::Registry::global();
     let observing = registry.enabled();
     if observing {
         registry.gauge("http_in_flight").metric.inc();
     }
     let start = std::time::Instant::now();
+
+    // Slowloris guard: a client gets `read_timeout` to deliver the request.
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
 
     let route = match read_request(stream) {
         Ok(request) => {
@@ -84,12 +159,31 @@ fn handle_connection<S: AppService>(service: &S, stream: &mut TcpStream) {
                     .metric
                     .inc();
             }
-            dispatch(service, stream, &request);
+            let occupancy = in_flight.load(Ordering::SeqCst);
+            if occupancy > config.max_in_flight && !shed_exempt(route) {
+                if observing {
+                    registry
+                        .counter_with("http_shed_total", &[("route", route)])
+                        .metric
+                        .inc();
+                }
+                let body = json!({ "error": "server overloaded, retry shortly" }).to_string();
+                let _ = write_response_with(
+                    stream,
+                    503,
+                    "application/json",
+                    &[("Retry-After", "1")],
+                    body.as_bytes(),
+                );
+            } else {
+                dispatch(service, stream, &request);
+            }
             route
         }
         Err(e) => {
             let status = match e {
                 crate::http::HttpError::BodyTooLarge => 413,
+                crate::http::HttpError::Timeout => 408,
                 _ => 400,
             };
             let _ = respond_json(stream, status, &json!({ "error": e.to_string() }));
@@ -257,7 +351,7 @@ fn handle_query<S: AppService>(
                 200,
                 &serde_json::to_value(&result).unwrap_or(Value::Null),
             ),
-            Err(e) => respond_json(stream, 400, &json!({ "error": e })),
+            Err(e) => respond_json(stream, e.status, &json!({ "error": e.message })),
         };
     }
 
@@ -276,14 +370,17 @@ fn handle_query<S: AppService>(
         }
         worker
             .join()
-            .unwrap_or_else(|_| Err("orchestration worker panicked".into()))
+            .unwrap_or_else(|_| Err(ServiceError::internal("orchestration worker panicked")))
     });
     let final_frame = match result {
         Ok(result) => sse::frame(
             "result",
             &serde_json::to_string(&result).unwrap_or_else(|_| "{}".into()),
         ),
-        Err(e) => sse::frame("error", &json!({ "error": e }).to_string()),
+        Err(e) => sse::frame(
+            "error",
+            &json!({ "error": e.message, "status": e.status }).to_string(),
+        ),
     };
     stream.write_all(final_frame.as_bytes())?;
     stream.flush()

@@ -34,6 +34,81 @@ fn default_top_k() -> usize {
     3
 }
 
+/// A service-layer failure carrying the HTTP status it should surface as,
+/// so orchestration failure modes map to meaningful statuses instead of a
+/// blanket 400: every model failed → 502 (the upstream pool is the broken
+/// gateway), deadline exceeded → 504, unknown resource → 404.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// HTTP status to respond with.
+    pub status: u16,
+    /// Human-readable message (returned in the JSON error body).
+    pub message: String,
+}
+
+impl ServiceError {
+    /// 400 Bad Request — invalid client input.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// 404 Not Found — referenced session/document does not exist.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            message: message.into(),
+        }
+    }
+
+    /// 502 Bad Gateway — every upstream model failed.
+    pub fn bad_gateway(message: impl Into<String>) -> Self {
+        Self {
+            status: 502,
+            message: message.into(),
+        }
+    }
+
+    /// 504 Gateway Timeout — the query deadline expired with nothing to
+    /// show.
+    pub fn gateway_timeout(message: impl Into<String>) -> Self {
+        Self {
+            status: 504,
+            message: message.into(),
+        }
+    }
+
+    /// 500 Internal Server Error — unexpected platform failure.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.status)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<String> for ServiceError {
+    fn from(message: String) -> Self {
+        ServiceError::bad_request(message)
+    }
+}
+
+impl From<&str> for ServiceError {
+    fn from(message: &str) -> Self {
+        ServiceError::bad_request(message)
+    }
+}
+
 /// The platform behaviour the HTTP layer dispatches to.
 pub trait AppService: Send + Sync + 'static {
     /// Answer a query; when `sink` is supplied, forward orchestration events
@@ -41,12 +116,14 @@ pub trait AppService: Send + Sync + 'static {
     ///
     /// # Errors
     ///
-    /// A human-readable error string (mapped to HTTP 400).
+    /// A [`ServiceError`] carrying the HTTP status to respond with
+    /// (502 when every model failed, 504 on deadline expiry, 400 for bad
+    /// input).
     fn query(
         &self,
         request: &QueryRequest,
         sink: Option<Sender<OrchestrationEvent>>,
-    ) -> Result<OrchestrationResult, String>;
+    ) -> Result<OrchestrationResult, ServiceError>;
 
     /// Ingest a document for RAG; returns the number of stored chunks.
     ///
@@ -177,9 +254,37 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         }
     }
 
+    // Circuit-breaker health: current state per model (from the
+    // `breaker_state` gauge) plus lifetime transition counts.
+    let mut breakers = Map::new();
+    for g in &snapshot.gauges {
+        if g.name != "breaker_state" {
+            continue;
+        }
+        let Some(model) = model_of(&g.labels) else {
+            continue;
+        };
+        let state = match g.value {
+            0 => "closed",
+            1 => "half_open",
+            _ => "open",
+        };
+        let transitions: u64 = snapshot
+            .counters
+            .iter()
+            .filter(|c| {
+                c.name == "breaker_transitions_total"
+                    && c.labels.iter().any(|(k, v)| k == "model" && *v == model)
+            })
+            .map(|c| c.value)
+            .sum();
+        breakers.insert(model, json!({ "state": state, "transitions": transitions }));
+    }
+
     json!({
         "models": Value::Object(model_map),
         "requests": Value::Object(routes),
+        "breakers": Value::Object(breakers),
     })
 }
 

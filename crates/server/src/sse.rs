@@ -28,6 +28,8 @@ pub fn event_name(event: &OrchestrationEvent) -> &'static str {
         OrchestrationEvent::ModelPruned { .. } => "pruned",
         OrchestrationEvent::EarlyWinner { .. } => "early_winner",
         OrchestrationEvent::BudgetExhausted { .. } => "budget_exhausted",
+        OrchestrationEvent::ModelFailed { .. } => "model_failed",
+        OrchestrationEvent::DeadlineExceeded { .. } => "deadline_exceeded",
         OrchestrationEvent::Finished { .. } => "finished",
     }
 }

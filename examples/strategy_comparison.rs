@@ -72,6 +72,12 @@ fn main() {
                 OrchestrationEvent::BudgetExhausted { used } => {
                     println!("  budget exhausted at {used} tokens");
                 }
+                OrchestrationEvent::ModelFailed { model, error } => {
+                    println!("  FAILED {model}: {error}");
+                }
+                OrchestrationEvent::DeadlineExceeded { scope, elapsed_ms } => {
+                    println!("  DEADLINE exceeded ({scope}) after {elapsed_ms}ms");
+                }
                 OrchestrationEvent::Finished {
                     winner,
                     total_tokens,

@@ -60,7 +60,7 @@ fn remote_model_behaves_like_a_local_language_model() {
     let mut session = remote.start("What is the capital of France?", &options);
     let mut acc = String::new();
     loop {
-        let chunk = session.next_chunk(3);
+        let chunk = session.next_chunk(3).expect("healthy remote streams");
         assert!(chunk.tokens <= 3);
         acc.push_str(&chunk.text);
         if chunk.is_done() {
@@ -108,9 +108,9 @@ fn orchestrator_mixes_local_and_remote_models() {
 
 #[test]
 fn dead_remote_degrades_gracefully() {
-    // Point at a node that is immediately shut down: the adapter must act
-    // like an empty generation, and orchestration must still answer from
-    // the healthy local models.
+    // Point at a node that is immediately shut down: the adapter surfaces a
+    // transient error, retries are exhausted, the arm is marked failed, and
+    // orchestration still answers from the healthy local models.
     let node = remote_node();
     let addr = node.addr();
     node.shutdown();
@@ -134,4 +134,12 @@ fn dead_remote_degrades_gracefully() {
         "local models must still answer: {}",
         result.response()
     );
+    assert!(result.degraded, "a dead remote must flag degradation");
+    let dead = result
+        .outcomes
+        .iter()
+        .find(|o| o.model.starts_with("qwen2-7b@"))
+        .expect("dead remote appears in outcomes");
+    assert!(dead.failed);
+    assert!(dead.retries > 0, "transient faults are retried first");
 }

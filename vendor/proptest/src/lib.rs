@@ -73,6 +73,23 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
 /// String strategies: a `&str` strategy is a regex-subset pattern.
 ///
 /// Supported syntax: literal characters, `.` (printable ASCII), character
@@ -339,6 +356,19 @@ mod tests {
             assert!(["a", "b", "c"].contains(&t.as_str()));
             let any = Strategy::sample(".{0,10}", &mut rng);
             assert!(any.len() <= 10 && any.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn tuple_strategies_sample_componentwise() {
+        let mut rng = crate::test_rng("tuple_strategies", 2);
+        let pairs = crate::collection::vec((0u16..1000, 0u8..8), 2..5);
+        for _ in 0..100 {
+            let v = pairs.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 1000 && b < 8));
+            let (x, y, z) = (0usize..3, 3u8..6, -1.0f64..1.0).sample(&mut rng);
+            assert!(x < 3 && (3..6).contains(&y) && (-1.0..1.0).contains(&z));
         }
     }
 
