@@ -211,6 +211,23 @@ pub struct OrchestratorConfig {
     /// cap.
     #[serde(default)]
     pub query_deadline_ms: Option<u64>,
+    /// Drive Eq. 6.1 scoring through the incremental engine: per-run
+    /// embedding accumulators (O(new tokens) instead of O(total tokens) per
+    /// round) and a cross-round pairwise-similarity cache that only
+    /// recomputes the rows of arms whose text changed. Equivalent to the
+    /// from-scratch path within float tolerance; disable to force the naive
+    /// path (the test oracle).
+    #[serde(default = "default_true")]
+    pub incremental_scoring: bool,
+    /// Embed dirty arms on a small shared worker pool when several changed
+    /// in the same round (OUA round-robin). Only applies while
+    /// `incremental_scoring` is on; results are deterministic either way.
+    #[serde(default = "default_true")]
+    pub parallel_scoring: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl Default for OrchestratorConfig {
@@ -226,6 +243,8 @@ impl Default for OrchestratorConfig {
             breaker: BreakerConfig::default(),
             round_deadline_ms: None,
             query_deadline_ms: None,
+            incremental_scoring: true,
+            parallel_scoring: true,
         }
     }
 }
@@ -316,6 +335,21 @@ impl OrchestratorConfigBuilder {
         self
     }
 
+    /// Toggle the incremental scoring engine (on by default); `false`
+    /// forces from-scratch embedding + `score_all` every round.
+    #[must_use]
+    pub fn incremental_scoring(mut self, on: bool) -> Self {
+        self.config.incremental_scoring = on;
+        self
+    }
+
+    /// Toggle parallel embedding of dirty arms (on by default).
+    #[must_use]
+    pub fn parallel_scoring(mut self, on: bool) -> Self {
+        self.config.parallel_scoring = on;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> OrchestratorConfig {
         self.config
@@ -386,6 +420,20 @@ mod tests {
         assert_eq!(c.breaker, BreakerConfig::default());
         assert_eq!(c.round_deadline_ms, None);
         assert_eq!(c.query_deadline_ms, None);
+        // Scoring-engine knobs postdate the robustness ones and must also
+        // default on for old configs.
+        assert!(c.incremental_scoring);
+        assert!(c.parallel_scoring);
+    }
+
+    #[test]
+    fn builder_sets_scoring_knobs() {
+        let c = OrchestratorConfig::builder()
+            .incremental_scoring(false)
+            .parallel_scoring(false)
+            .build();
+        assert!(!c.incremental_scoring);
+        assert!(!c.parallel_scoring);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::mab::{final_scores, ucb};
 use crate::result::OrchestrationResult;
 use crate::reward::{score_all, RewardWeights};
 use crate::runpool::{self, outcomes_of, ModelRun};
+use crate::scoring::{self, ScoreCache};
 use llmms_embed::{Embedding, SharedEmbedder};
 use llmms_models::{DoneReason, GenOptions, HealthRegistry, SharedModel};
 use serde::{Deserialize, Serialize};
@@ -73,8 +74,13 @@ pub(crate) fn run(
         seed: orch.seed,
     };
     let mut runs = ModelRun::start_all(models, prompt, &options, orch.retry, health);
+    runpool::configure_incremental(&mut runs, orch.incremental_scoring);
     runpool::emit_preexisting_failures(&runs, &mut recorder);
-    let query_embedding = embedder.embed(prompt);
+    let query_embedding = Arc::new(embedder.embed(prompt));
+    // One cache spans both phases: they score with the same weights.
+    let mut cache = orch
+        .incremental_scoring
+        .then(|| ScoreCache::new(n, Arc::clone(&query_embedding), cfg.weights));
     let query_deadline = Deadline::new(orch.query_deadline_ms);
     let mut deadline_exceeded = false;
     let mut rounds = 0usize;
@@ -134,6 +140,8 @@ pub(crate) fn run(
             embedder,
             &cfg.weights,
             &mut scores,
+            cache.as_mut(),
+            orch.parallel_scoring,
         );
         recorder.emit_with(|| OrchestrationEvent::ScoresUpdated {
             scores: runs
@@ -218,7 +226,14 @@ pub(crate) fn run(
             tokens: chunk.tokens,
             done: chunk.done,
         });
-        let fresh = final_scores(&mut runs, &query_embedding, embedder, &mab_cfg);
+        let fresh = final_scores(
+            &mut runs,
+            &query_embedding,
+            embedder,
+            &mab_cfg,
+            cache.as_mut(),
+            orch.parallel_scoring,
+        );
         rewards[chosen] += fresh[chosen];
         pulls[chosen] += 1;
     }
@@ -238,7 +253,14 @@ pub(crate) fn run(
 
     // Final selection: best current Eq. 6.1 score among everything with
     // output (pruned partials included, failed partials last-resort only).
-    let selection = final_scores(&mut runs, &query_embedding, embedder, &mab_cfg);
+    let selection = final_scores(
+        &mut runs,
+        &query_embedding,
+        embedder,
+        &mab_cfg,
+        cache.as_mut(),
+        orch.parallel_scoring,
+    );
     let best = runpool::select_best(&runs, &selection);
     recorder.emit_with(|| OrchestrationEvent::Finished {
         winner: runs[best].name.clone(),
@@ -259,20 +281,36 @@ pub(crate) fn run(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn update_probe_scores(
     runs: &mut [ModelRun],
     query: &Embedding,
     embedder: &SharedEmbedder,
     weights: &RewardWeights,
     scores: &mut [f64],
+    cache: Option<&mut ScoreCache>,
+    parallel: bool,
 ) {
+    if let Some(cache) = cache {
+        scoring::refresh(cache, runs, embedder, parallel);
+        let mask: Vec<bool> = runs
+            .iter()
+            .map(|r| !r.eliminated() && r.has_output())
+            .collect();
+        for (i, m) in mask.iter().enumerate() {
+            if *m {
+                scores[i] = cache.score(i, &mask);
+            }
+        }
+        return;
+    }
     let participating: Vec<usize> = (0..runs.len())
         .filter(|&i| !runs[i].eliminated() && runs[i].has_output())
         .collect();
     if participating.is_empty() {
         return;
     }
-    let embeddings: Vec<Embedding> = participating
+    let embeddings: Vec<Arc<Embedding>> = participating
         .iter()
         .map(|&i| runs[i].embedding(embedder))
         .collect();

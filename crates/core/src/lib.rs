@@ -56,6 +56,7 @@ pub mod budget;
 mod chaos_tests;
 pub mod config;
 mod deadline;
+mod equivalence_tests;
 pub mod error;
 pub mod events;
 mod failure_tests;
@@ -69,6 +70,8 @@ pub mod reward;
 mod routed;
 pub mod router;
 mod runpool;
+pub mod scoring;
+mod scoring_pool;
 mod single;
 pub mod tournament;
 
@@ -85,4 +88,5 @@ pub use result::{ModelOutcome, OrchestrationResult};
 pub use reward::{combined_score, inter_model_agreement, score_all, RewardWeights};
 pub use routed::RouterConfig;
 pub use router::{TaskIndex, TaskProfile};
+pub use scoring::ScoreCache;
 pub use tournament::{Scoreboard, TournamentConfig};

@@ -26,6 +26,7 @@ use crate::events::{EventRecorder, OrchestrationEvent};
 use crate::result::OrchestrationResult;
 use crate::reward::combined_score;
 use crate::runpool::{self, outcomes_of, ModelRun};
+use crate::scoring::{self, ScoreCache};
 use llmms_embed::{Embedding, SharedEmbedder};
 use llmms_models::{DoneReason, GenOptions, HealthRegistry, SharedModel};
 use std::sync::Arc;
@@ -51,8 +52,12 @@ pub(crate) fn run(
     // timeout against Ollama) are detected inside `ModelRun::generate` and
     // surface here as `DoneReason::Failed` chunks.
     let mut runs = ModelRun::start_all(models, prompt, &options, orch.retry, health);
+    runpool::configure_incremental(&mut runs, orch.incremental_scoring);
     runpool::emit_preexisting_failures(&runs, &mut recorder);
-    let query_embedding = embedder.embed(prompt);
+    let query_embedding = Arc::new(embedder.embed(prompt));
+    let mut cache = orch
+        .incremental_scoring
+        .then(|| ScoreCache::new(n, Arc::clone(&query_embedding), cfg.weights));
     let query_deadline = Deadline::new(orch.query_deadline_ms);
     let mut deadline_exceeded = false;
 
@@ -78,9 +83,14 @@ pub(crate) fn run(
         // so its (winning) response can no longer change.
         if cfg.early_stop {
             let leader = match cfg.selection {
-                MabSelection::FinalScore => {
-                    argmax(&final_scores(&mut runs, &query_embedding, embedder, cfg))
-                }
+                MabSelection::FinalScore => argmax(&final_scores(
+                    &mut runs,
+                    &query_embedding,
+                    embedder,
+                    cfg,
+                    cache.as_mut(),
+                    orch.parallel_scoring,
+                )),
                 _ => leader_of(&rewards, &pulls, cfg.selection),
             };
             if let Some(leader) = leader {
@@ -139,7 +149,15 @@ pub(crate) fn run(
         });
 
         // Reward (lines 8–9): Eq. 6.1 on the updated partial response.
-        let reward = pull_reward(&mut runs, chosen, &query_embedding, embedder, cfg);
+        let reward = pull_reward(
+            &mut runs,
+            chosen,
+            &query_embedding,
+            embedder,
+            cfg,
+            cache.as_mut(),
+            orch.parallel_scoring,
+        );
         rewards[chosen] += reward;
         pulls[chosen] += 1;
 
@@ -168,7 +186,14 @@ pub(crate) fn run(
     // Final selection (line 16): the arm with the highest reward under the
     // configured reading of "reward".
     let selection_scores: Vec<f64> = match cfg.selection {
-        MabSelection::FinalScore => final_scores(&mut runs, &query_embedding, embedder, cfg),
+        MabSelection::FinalScore => final_scores(
+            &mut runs,
+            &query_embedding,
+            embedder,
+            cfg,
+            cache.as_mut(),
+            orch.parallel_scoring,
+        ),
         _ => (0..n)
             .map(|i| selection_score(&rewards, &pulls, i, cfg.selection))
             .collect(),
@@ -242,14 +267,27 @@ fn leader_of(rewards: &[f64], pulls: &[usize], selection: MabSelection) -> Optio
 
 /// Eq. 6.1 score of every arm's current response against the others —
 /// OUA-style final scoring (arms without output score 0).
+///
+/// With a [`ScoreCache`] only arms whose text grew since the last call are
+/// re-embedded and re-correlated; without one the naive from-scratch path
+/// runs (the equivalence oracle).
 pub(crate) fn final_scores(
     runs: &mut [ModelRun],
     query: &Embedding,
     embedder: &SharedEmbedder,
     cfg: &MabConfig,
+    cache: Option<&mut ScoreCache>,
+    parallel: bool,
 ) -> Vec<f64> {
     let n = runs.len();
-    let embeddings: Vec<Option<Embedding>> = (0..n)
+    if let Some(cache) = cache {
+        scoring::refresh(cache, runs, embedder, parallel);
+        let mask: Vec<bool> = runs.iter().map(ModelRun::has_output).collect();
+        return (0..n)
+            .map(|i| if mask[i] { cache.score(i, &mask) } else { 0.0 })
+            .collect();
+    }
+    let embeddings: Vec<Option<Arc<Embedding>>> = (0..n)
         .map(|i| runs[i].has_output().then(|| runs[i].embedding(embedder)))
         .collect();
     (0..n)
@@ -261,7 +299,7 @@ pub(crate) fn final_scores(
                 .iter()
                 .enumerate()
                 .filter(|(j, e)| *j != i && e.is_some())
-                .map(|(_, e)| e.as_ref().expect("filtered to Some"))
+                .map(|(_, e)| e.as_deref().expect("filtered to Some"))
                 .collect();
             combined_score(&cfg.weights, query, target, &others)
         })
@@ -285,17 +323,25 @@ fn pull_reward(
     query: &Embedding,
     embedder: &SharedEmbedder,
     cfg: &MabConfig,
+    cache: Option<&mut ScoreCache>,
+    parallel: bool,
 ) -> f64 {
     if !runs[chosen].has_output() {
         return 0.0;
     }
+    if let Some(cache) = cache {
+        // Only the pulled arm grew, so the refresh is a rank-1 update.
+        scoring::refresh(cache, runs, embedder, parallel);
+        let mask: Vec<bool> = runs.iter().map(ModelRun::has_output).collect();
+        return cache.score(chosen, &mask);
+    }
     let target = runs[chosen].embedding(embedder);
-    let mut others: Vec<Embedding> = Vec::with_capacity(runs.len() - 1);
+    let mut others: Vec<Arc<Embedding>> = Vec::with_capacity(runs.len() - 1);
     for (i, run) in runs.iter_mut().enumerate() {
         if i != chosen && run.has_output() {
             others.push(run.embedding(embedder));
         }
     }
-    let refs: Vec<&Embedding> = others.iter().collect();
+    let refs: Vec<&Embedding> = others.iter().map(|e| &**e).collect();
     combined_score(&cfg.weights, query, &target, &refs)
 }

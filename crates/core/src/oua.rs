@@ -27,6 +27,7 @@ use crate::events::{EventRecorder, OrchestrationEvent};
 use crate::result::OrchestrationResult;
 use crate::reward::score_all;
 use crate::runpool::{self, outcomes_of, ModelRun};
+use crate::scoring::{self, ScoreCache};
 use llmms_embed::{Embedding, SharedEmbedder};
 use llmms_models::{DoneReason, GenOptions, HealthRegistry, SharedModel};
 use std::sync::Arc;
@@ -51,8 +52,12 @@ pub(crate) fn run(
         seed: orch.seed,
     };
     let mut runs = ModelRun::start_all(models, prompt, &options, orch.retry, health);
+    runpool::configure_incremental(&mut runs, orch.incremental_scoring);
     runpool::emit_preexisting_failures(&runs, &mut recorder);
-    let query_embedding = embedder.embed(prompt);
+    let query_embedding = Arc::new(embedder.embed(prompt));
+    let mut cache = orch
+        .incremental_scoring
+        .then(|| ScoreCache::new(n, Arc::clone(&query_embedding), cfg.weights));
     let query_deadline = Deadline::new(orch.query_deadline_ms);
     let mut deadline_exceeded = false;
 
@@ -131,7 +136,15 @@ pub(crate) fn run(
         }
 
         // Scoring (lines 10–15): every non-pruned response participates.
-        update_scores(&mut runs, &query_embedding, embedder, cfg, &mut scores);
+        update_scores(
+            &mut runs,
+            &query_embedding,
+            embedder,
+            cfg,
+            &mut scores,
+            cache.as_mut(),
+            orch.parallel_scoring,
+        );
         recorder.emit_with(|| OrchestrationEvent::ScoresUpdated {
             scores: runs
                 .iter()
@@ -227,20 +240,41 @@ pub(crate) fn run(
 /// Recompute Eq. 6.1 scores for all surviving runs with output; pruned and
 /// failed runs keep their last score (the `scores` dict of Algorithm 1 is
 /// never erased).
+///
+/// With a [`ScoreCache`] (incremental scoring on) only arms whose text grew
+/// are re-embedded and only their matrix rows recomputed; without one the
+/// naive from-scratch `score_all` path runs — the oracle the equivalence
+/// tests compare against.
+#[allow(clippy::too_many_arguments)]
 fn update_scores(
     runs: &mut [ModelRun],
     query: &Embedding,
     embedder: &SharedEmbedder,
     cfg: &OuaConfig,
     scores: &mut [f64],
+    cache: Option<&mut ScoreCache>,
+    parallel: bool,
 ) {
+    if let Some(cache) = cache {
+        scoring::refresh(cache, runs, embedder, parallel);
+        let mask: Vec<bool> = runs
+            .iter()
+            .map(|r| !r.eliminated() && r.has_output())
+            .collect();
+        for (i, m) in mask.iter().enumerate() {
+            if *m {
+                scores[i] = cache.score(i, &mask);
+            }
+        }
+        return;
+    }
     let participating: Vec<usize> = (0..runs.len())
         .filter(|&i| !runs[i].eliminated() && runs[i].has_output())
         .collect();
     if participating.is_empty() {
         return;
     }
-    let embeddings: Vec<Embedding> = participating
+    let embeddings: Vec<Arc<Embedding>> = participating
         .iter()
         .map(|&i| runs[i].embedding(embedder))
         .collect();

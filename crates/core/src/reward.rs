@@ -76,17 +76,23 @@ pub fn combined_score(
 ///
 /// `responses[i]` is model *i*'s current response embedding; the returned
 /// `scores[i]` is its Eq. 6.1 score where the "others" are all responses
-/// except *i*.
-pub fn score_all(weights: &RewardWeights, query: &Embedding, responses: &[Embedding]) -> Vec<f64> {
+/// except *i*. Generic over owned embeddings and shared handles
+/// (`&[Embedding]`, `&[Arc<Embedding>]`) so callers never clone vectors
+/// just to score them.
+pub fn score_all<E: std::borrow::Borrow<Embedding>>(
+    weights: &RewardWeights,
+    query: &Embedding,
+    responses: &[E],
+) -> Vec<f64> {
     (0..responses.len())
         .map(|i| {
             let others: Vec<&Embedding> = responses
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != i)
-                .map(|(_, e)| e)
+                .map(|(_, e)| e.borrow())
                 .collect();
-            combined_score(weights, query, &responses[i], &others)
+            combined_score(weights, query, responses[i].borrow(), &others)
         })
         .collect()
 }

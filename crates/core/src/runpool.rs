@@ -10,19 +10,110 @@
 use crate::budget::TokenBudget;
 use crate::config::RetryConfig;
 use crate::events::{EventRecorder, OrchestrationEvent};
-use llmms_embed::{Embedding, SharedEmbedder};
+use llmms_embed::{Embedding, IncrementalAccumulator, SharedEmbedder};
 use llmms_models::{
     Chunk, DoneReason, GenOptions, GenerationSession, HealthRegistry, ModelError, SharedModel,
 };
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Per-run embedding state: an incremental accumulator (when the embedder
+/// supports one and incremental scoring is on) plus the cached snapshot.
+///
+/// Staleness is detected by byte length: every session type accumulates its
+/// response append-only, so `response_so_far().len() != fed_bytes` iff new
+/// text arrived. A length that *shrank* (a non-append-only custom session)
+/// resets the accumulator defensively and re-feeds from scratch.
+struct EmbedState {
+    /// Whether this run may use an accumulator at all (the naive oracle
+    /// path turns this off so it truly re-embeds from scratch).
+    incremental: bool,
+    acc: Option<Box<dyn IncrementalAccumulator>>,
+    /// Whether the embedder was already asked for an accumulator (it may
+    /// legitimately have answered `None`).
+    acc_probed: bool,
+    /// Bytes of `response_so_far()` reflected in `cached` (and fed to the
+    /// accumulator, when one exists).
+    fed_bytes: usize,
+    cached: Option<Arc<Embedding>>,
+}
+
+impl EmbedState {
+    fn new() -> Self {
+        Self {
+            incremental: true,
+            acc: None,
+            acc_probed: false,
+            fed_bytes: 0,
+            cached: None,
+        }
+    }
+}
+
+/// An embedding computation extracted from a [`ModelRun`] so it can execute
+/// on any thread: it owns the accumulator (taken out of the run) and the
+/// text it must fold in. Pair every `begin_embed` with a `finish_embed` on
+/// the originating run.
+pub(crate) struct EmbedJob {
+    kind: JobKind,
+    total_bytes: usize,
+}
+
+enum JobKind {
+    Incremental {
+        acc: Box<dyn IncrementalAccumulator>,
+        chunk: String,
+    },
+    Full {
+        text: String,
+    },
+}
+
+impl EmbedJob {
+    /// Bytes of text this job will actually process — the parallelism
+    /// threshold looks at this, not the full response length.
+    pub fn pending_bytes(&self) -> usize {
+        match &self.kind {
+            JobKind::Incremental { chunk, .. } => chunk.len(),
+            JobKind::Full { text } => text.len(),
+        }
+    }
+
+    /// Run the embedding computation. Thread-agnostic and deterministic:
+    /// results are identical regardless of where or in what order jobs run.
+    pub fn compute(self, embedder: &SharedEmbedder) -> EmbedDone {
+        match self.kind {
+            JobKind::Incremental { mut acc, chunk } => {
+                acc.append(&chunk);
+                let embedding = Arc::new(acc.embedding());
+                EmbedDone {
+                    acc: Some(acc),
+                    embedding,
+                    total_bytes: self.total_bytes,
+                }
+            }
+            JobKind::Full { text } => EmbedDone {
+                acc: None,
+                embedding: Arc::new(embedder.embed(&text)),
+                total_bytes: self.total_bytes,
+            },
+        }
+    }
+}
+
+/// The result of an [`EmbedJob`]: the updated accumulator (handed back to
+/// the run) and the fresh embedding snapshot.
+pub(crate) struct EmbedDone {
+    acc: Option<Box<dyn IncrementalAccumulator>>,
+    embedding: Arc<Embedding>,
+    total_bytes: usize,
+}
+
 /// One candidate model's in-flight state during orchestration.
 pub(crate) struct ModelRun {
     pub name: String,
     session: Box<dyn GenerationSession>,
-    /// Cached embedding of the current partial response; `None` when stale.
-    embedding: Option<Embedding>,
+    embed: EmbedState,
     pub rounds: usize,
     pub pruned: bool,
     /// Terminal backend failure (fatal error, exhausted retries, stall, or
@@ -61,7 +152,7 @@ impl ModelRun {
                     ModelRun {
                         name,
                         session: m.start(prompt, options),
-                        embedding: None,
+                        embed: EmbedState::new(),
                         rounds: 0,
                         pruned: false,
                         failed: false,
@@ -78,7 +169,7 @@ impl ModelRun {
                     ModelRun {
                         name,
                         session: Box::new(DeadSession),
-                        embedding: None,
+                        embed: EmbedState::new(),
                         rounds: 0,
                         pruned: false,
                         failed: true,
@@ -120,7 +211,8 @@ impl ModelRun {
                 Ok(chunk) => {
                     budget.refund(granted - chunk.tokens);
                     if chunk.tokens > 0 {
-                        self.embedding = None; // response text changed
+                        // No explicit embedding invalidation needed: the
+                        // embed state detects new text by byte length.
                         self.rounds += 1;
                         self.stalls = 0;
                     } else if chunk.done.is_none() {
@@ -192,12 +284,82 @@ impl ModelRun {
         }
     }
 
-    /// The embedding of the current partial response (lazily recomputed).
-    pub fn embedding(&mut self, embedder: &SharedEmbedder) -> Embedding {
-        if self.embedding.is_none() {
-            self.embedding = Some(embedder.embed(self.session.response_so_far()));
+    /// The embedding of the current partial response, lazily refreshed.
+    ///
+    /// Returns a shared handle — scoring a round no longer clones the
+    /// vector per call. With an accumulator attached the refresh costs
+    /// O(new tokens); without one it re-embeds the full text.
+    pub fn embedding(&mut self, embedder: &SharedEmbedder) -> Arc<Embedding> {
+        if let Some(job) = self.begin_embed(embedder) {
+            let done = job.compute(embedder);
+            self.finish_embed(done);
         }
-        self.embedding.clone().expect("just computed")
+        Arc::clone(self.embed.cached.as_ref().expect("refreshed above"))
+    }
+
+    /// Whether the cached embedding no longer reflects the response text.
+    pub fn embedding_stale(&self) -> bool {
+        self.embed.cached.is_none() || self.session.response_so_far().len() != self.embed.fed_bytes
+    }
+
+    /// Disable (or re-enable) the incremental accumulator for this run.
+    /// The naive scoring oracle turns it off so every refresh truly
+    /// re-embeds from scratch.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.embed.incremental = on;
+        if !on {
+            self.embed.acc = None;
+            // Force a re-feed if incremental is ever turned back on.
+            self.embed.acc_probed = false;
+            self.embed.fed_bytes = 0;
+            self.embed.cached = None;
+        }
+    }
+
+    /// Extract the pending embedding work, or `None` when the cache is
+    /// fresh. The returned job owns everything it needs (accumulator +
+    /// text), so it can run on any thread; hand its result back via
+    /// [`ModelRun::finish_embed`] before the next `begin_embed`.
+    pub fn begin_embed(&mut self, embedder: &SharedEmbedder) -> Option<EmbedJob> {
+        if !self.embedding_stale() {
+            return None;
+        }
+        if self.embed.incremental && !self.embed.acc_probed {
+            self.embed.acc = embedder.accumulator();
+            self.embed.acc_probed = true;
+        }
+        let text = self.session.response_so_far();
+        let total_bytes = text.len();
+        let kind = match self.embed.acc.take() {
+            Some(mut acc) => {
+                // Sessions accumulate text append-only, so the unseen part
+                // is the suffix past `fed_bytes`. A session that rewrote
+                // its text (shorter, or to a suffix offset that is no
+                // longer a char boundary) falls back to re-feeding from
+                // scratch.
+                let chunk = match text.get(self.embed.fed_bytes..) {
+                    Some(suffix) => suffix.to_owned(),
+                    None => {
+                        acc.reset();
+                        self.embed.fed_bytes = 0;
+                        text.to_owned()
+                    }
+                };
+                JobKind::Incremental { chunk, acc }
+            }
+            None => JobKind::Full {
+                text: text.to_owned(),
+            },
+        };
+        Some(EmbedJob { kind, total_bytes })
+    }
+
+    /// Install a finished [`EmbedJob`]'s result: the accumulator returns to
+    /// the run and the snapshot becomes the cached embedding.
+    pub fn finish_embed(&mut self, done: EmbedDone) {
+        self.embed.acc = done.acc;
+        self.embed.fed_bytes = done.total_bytes;
+        self.embed.cached = Some(done.embedding);
     }
 
     /// Current response text.
@@ -300,6 +462,13 @@ pub(crate) fn emit_preexisting_failures(runs: &[ModelRun], recorder: &mut EventR
             model: run.name.clone(),
             error: run.error.clone().unwrap_or_default(),
         });
+    }
+}
+
+/// Apply the orchestrator's `incremental_scoring` setting to every run.
+pub(crate) fn configure_incremental(runs: &mut [ModelRun], on: bool) {
+    for run in runs.iter_mut() {
+        run.set_incremental(on);
     }
 }
 
@@ -424,12 +593,39 @@ mod tests {
         let mut runs = start(&models);
         let mut budget = TokenBudget::new(1000);
         runs[0].generate(2, &mut budget);
+        assert!(runs[0].embedding_stale());
         let a = runs[0].embedding(&embedder);
+        assert!(!runs[0].embedding_stale());
         let b = runs[0].embedding(&embedder);
-        assert_eq!(a, b);
+        // Not merely equal values: the very same allocation is handed out.
+        assert!(Arc::ptr_eq(&a, &b), "fresh cache must not recompute");
         runs[0].generate(2, &mut budget);
+        assert!(runs[0].embedding_stale());
         let c = runs[0].embedding(&embedder);
         assert_ne!(a, c, "embedding must refresh after new tokens");
+    }
+
+    #[test]
+    fn incremental_embedding_matches_from_scratch() {
+        let models = pool();
+        let embedder = llmms_embed::default_embedder();
+        let mut budget = TokenBudget::new(1000);
+        // Two runs of the same model: one incremental, one naive oracle.
+        let mut fast = start(&models);
+        let mut naive = start(&models);
+        naive[0].set_incremental(false);
+        for _ in 0..6 {
+            fast[0].generate(3, &mut budget);
+            naive[0].generate(3, &mut budget);
+            assert_eq!(fast[0].response(), naive[0].response());
+            let fe = fast[0].embedding(&embedder);
+            let ne = naive[0].embedding(&embedder);
+            let cos = llmms_embed::cosine_embeddings(&fe, &ne);
+            assert!(
+                fast[0].response().is_empty() || cos >= 1.0 - 1e-5,
+                "cos={cos}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Shared worker pool for per-round embedding refreshes.
+//!
+//! When several arms grew since the last round (the OUA case: every active
+//! arm streams concurrently), their embed jobs are independent — each folds
+//! its own chunk into its own accumulator. The pool fans those jobs out
+//! across a few threads so round latency tracks the *largest* dirty chunk
+//! instead of their sum.
+//!
+//! The pool is deliberately tiny and global: scoring is a per-round burst
+//! measured in tens of microseconds per job, so spinning threads up and
+//! down per round would cost more than it saves. Workers are spawned once
+//! on first use and live for the process.
+
+use crate::runpool::{EmbedDone, EmbedJob};
+use crossbeam_channel::{unbounded, Sender};
+use llmms_embed::SharedEmbedder;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Below this much pending (un-embedded) text across all dirty arms the
+/// dispatch overhead outweighs the parallelism; callers embed serially.
+pub(crate) const MIN_PARALLEL_BYTES: usize = 1024;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+static POOL: OnceLock<Sender<Task>> = OnceLock::new();
+
+fn pool() -> &'static Sender<Task> {
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded::<Task>();
+        // The vendored channel's Receiver is not Clone; workers pull from
+        // one receiver behind a mutex. Jobs are coarse enough that the
+        // lock is uncontended in practice.
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 4);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("llmms-scoring-{i}"))
+                .spawn(move || loop {
+                    // Take the task while holding the lock, run it after
+                    // the guard drops so workers overlap.
+                    let task = match rx.lock().expect("scoring pool receiver").recv() {
+                        Ok(task) => task,
+                        Err(_) => break,
+                    };
+                    task();
+                })
+                .expect("spawn scoring worker");
+        }
+        tx
+    })
+}
+
+/// Run the embed jobs on the pool and collect every result. Result order is
+/// completion order; callers match results to arms by the carried index.
+pub(crate) fn run_jobs(
+    jobs: Vec<(usize, EmbedJob)>,
+    embedder: &SharedEmbedder,
+) -> Vec<(usize, EmbedDone)> {
+    let (done_tx, done_rx) = unbounded::<(usize, EmbedDone)>();
+    let n = jobs.len();
+    let submit = pool();
+    for (idx, job) in jobs {
+        let done_tx = done_tx.clone();
+        let embedder = Arc::clone(embedder);
+        let sent = submit.send(Box::new(move || {
+            let _ = done_tx.send((idx, job.compute(&embedder)));
+        }));
+        assert!(sent.is_ok(), "scoring pool alive");
+    }
+    drop(done_tx);
+    (0..n)
+        .map(|_| done_rx.recv().expect("scoring worker delivered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::TokenBudget;
+    use crate::config::RetryConfig;
+    use crate::runpool::{configure_incremental, ModelRun};
+    use llmms_embed::Embedder;
+    use llmms_models::{GenOptions, HealthRegistry, KnowledgeStore, ModelProfile, SimLlm};
+
+    #[test]
+    fn pool_results_match_serial_compute() {
+        let entries = vec![llmms_models::KnowledgeEntry {
+            id: "q".into(),
+            question: "What is the capital of France?".into(),
+            category: "geography".into(),
+            golden: "The capital of France is Paris".into(),
+            correct: vec![],
+            incorrect: vec!["The capital of France is Lyon".into()],
+        }];
+        let store = Arc::new(KnowledgeStore::build(
+            entries,
+            llmms_embed::default_embedder(),
+        ));
+        let models: Vec<llmms_models::SharedModel> = ModelProfile::evaluation_pool()
+            .into_iter()
+            .map(|p| Arc::new(SimLlm::new(p, Arc::clone(&store))) as llmms_models::SharedModel)
+            .collect();
+        let embedder = llmms_embed::default_embedder();
+        let mut runs = ModelRun::start_all(
+            &models,
+            "What is the capital of France?",
+            &GenOptions::default(),
+            RetryConfig::default(),
+            &Arc::new(HealthRegistry::default()),
+        );
+        configure_incremental(&mut runs, true);
+        let mut budget = TokenBudget::new(10_000);
+        for run in runs.iter_mut() {
+            for _ in 0..3 {
+                let _ = run.generate(8, &mut budget);
+            }
+        }
+
+        // Serial oracle: embed each response text from scratch.
+        let oracle: Vec<_> = runs.iter().map(|r| embedder.embed(r.response())).collect();
+
+        let jobs: Vec<_> = runs
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, r)| r.begin_embed(&embedder).map(|j| (i, j)))
+            .collect();
+        assert!(!jobs.is_empty());
+        let done = run_jobs(jobs, &embedder);
+        for (i, result) in done {
+            runs[i].finish_embed(result);
+        }
+        for (i, run) in runs.iter_mut().enumerate() {
+            let fast = run.embedding(&embedder);
+            let cos = llmms_embed::cosine_embeddings(&fast, &oracle[i]);
+            assert!(cos >= 1.0 - 1e-5, "arm {i}: cos={cos}");
+        }
+    }
+}

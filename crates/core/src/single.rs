@@ -29,6 +29,7 @@ pub(crate) fn run(
     };
     let pool = [model.clone()];
     let mut runs = ModelRun::start_all(&pool, prompt, &options, orch.retry, health);
+    runpool::configure_incremental(&mut runs, orch.incremental_scoring);
     runpool::emit_preexisting_failures(&runs, &mut recorder);
     let query_deadline = Deadline::new(orch.query_deadline_ms);
     let mut deadline_exceeded = false;

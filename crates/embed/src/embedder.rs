@@ -25,6 +25,14 @@ pub trait Embedder: Send + Sync {
     fn embed_batch(&self, texts: &[&str]) -> Vec<Embedding> {
         texts.iter().map(|t| self.embed(t)).collect()
     }
+
+    /// An incremental accumulator equivalent to embedding the concatenated
+    /// appended text from scratch, for embedders whose feature space is
+    /// additive (see [`crate::incremental`]). `None` — the default — means
+    /// callers must fall back to full re-embedding.
+    fn accumulator(&self) -> Option<Box<dyn crate::incremental::IncrementalAccumulator>> {
+        None
+    }
 }
 
 impl<T: Embedder + ?Sized> Embedder for Arc<T> {
@@ -38,6 +46,10 @@ impl<T: Embedder + ?Sized> Embedder for Arc<T> {
 
     fn embed_batch(&self, texts: &[&str]) -> Vec<Embedding> {
         (**self).embed_batch(texts)
+    }
+
+    fn accumulator(&self) -> Option<Box<dyn crate::incremental::IncrementalAccumulator>> {
+        (**self).accumulator()
     }
 }
 
@@ -108,6 +120,12 @@ impl<E: Embedder> Embedder for CachedEmbedder<E> {
         }
         cache.insert(text.to_owned(), e.clone());
         e
+    }
+
+    fn accumulator(&self) -> Option<Box<dyn crate::incremental::IncrementalAccumulator>> {
+        // Accumulators maintain their own state; the memo cache is only for
+        // whole-text lookups, so delegate straight to the inner embedder.
+        self.inner.accumulator()
     }
 }
 

@@ -1,6 +1,6 @@
 //! The [`Embedding`] vector type.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::fmt;
 
 /// A dense embedding vector.
@@ -11,58 +11,83 @@ use std::fmt;
 /// constructor does not normalize automatically — call
 /// [`Embedding::normalized`] or [`Embedding::normalize`] — so that raw
 /// feature vectors can still be accumulated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Embedding(Vec<f32>);
+///
+/// The type remembers whether it was normalized: [`Embedding::is_unit`]
+/// lets cosine similarity collapse to a plain dot product on the scoring
+/// hot path. Any mutation of the raw values clears the flag.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    values: Vec<f32>,
+    /// Known to have unit L2 norm (set by [`Embedding::normalize`]).
+    unit: bool,
+}
 
 impl Embedding {
     /// Wrap a raw vector.
     pub fn new(values: Vec<f32>) -> Self {
-        Self(values)
+        Self {
+            values,
+            unit: false,
+        }
     }
 
     /// The all-zero embedding of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
-        Self(vec![0.0; dim])
+        Self::new(vec![0.0; dim])
     }
 
     /// Dimensionality.
     pub fn dim(&self) -> usize {
-        self.0.len()
+        self.values.len()
     }
 
     /// Borrow the raw values.
     pub fn as_slice(&self) -> &[f32] {
-        &self.0
+        &self.values
     }
 
-    /// Mutable access to the raw values.
+    /// Mutable access to the raw values. Clears the known-unit flag: the
+    /// caller may change the norm.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.0
+        self.unit = false;
+        &mut self.values
     }
 
     /// Consume into the raw vector.
     pub fn into_vec(self) -> Vec<f32> {
-        self.0
+        self.values
     }
 
     /// Euclidean (L2) norm.
     pub fn l2_norm(&self) -> f32 {
-        self.0.iter().map(|v| v * v).sum::<f32>().sqrt()
+        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 
     /// True when every component is zero (or the vector is empty).
     pub fn is_zero(&self) -> bool {
-        self.0.iter().all(|&v| v == 0.0)
+        self.values.iter().all(|&v| v == 0.0)
+    }
+
+    /// Whether this embedding is *known* to have unit L2 norm (it went
+    /// through [`Embedding::normalize`] and has not been mutated since).
+    /// `false` means "unknown", not "non-unit".
+    pub fn is_unit(&self) -> bool {
+        self.unit
     }
 
     /// Normalize in place to unit L2 norm. The zero vector is left unchanged
-    /// (there is no meaningful direction to preserve).
+    /// (there is no meaningful direction to preserve). Already-known-unit
+    /// vectors are left untouched.
     pub fn normalize(&mut self) {
+        if self.unit {
+            return;
+        }
         let n = self.l2_norm();
         if n > 0.0 {
-            for v in &mut self.0 {
+            for v in &mut self.values {
                 *v /= n;
             }
+            self.unit = true;
         }
     }
 
@@ -88,14 +113,16 @@ impl Embedding {
             self.dim(),
             other.dim()
         );
-        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+        self.unit = false;
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
             *a += b;
         }
     }
 
     /// Scale every component by `factor`.
     pub fn scale(&mut self, factor: f32) {
-        for v in &mut self.0 {
+        self.unit = false;
+        for v in &mut self.values {
             *v *= factor;
         }
     }
@@ -110,6 +137,7 @@ impl Embedding {
         let mut iter = embeddings.into_iter();
         let first = iter.next()?;
         let mut acc = first.clone();
+        acc.unit = false;
         let mut count = 1usize;
         for e in iter {
             if e.dim() != acc.dim() {
@@ -120,6 +148,28 @@ impl Embedding {
         }
         acc.scale(1.0 / count as f32);
         Some(acc)
+    }
+}
+
+/// Equality is defined by the raw values alone — the known-unit flag is a
+/// cached property, not part of the vector's identity.
+impl PartialEq for Embedding {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+
+/// The wire format is a plain array of floats, exactly as before the
+/// known-unit flag existed; the flag is recomputed lazily on use.
+impl Serialize for Embedding {
+    fn serialize(&self) -> Value {
+        self.values.serialize()
+    }
+}
+
+impl Deserialize for Embedding {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Vec::<f32>::deserialize(value).map(Embedding::new)
     }
 }
 
@@ -142,7 +192,7 @@ impl From<Vec<f32>> for Embedding {
 
 impl AsRef<[f32]> for Embedding {
     fn as_ref(&self) -> &[f32] {
-        &self.0
+        &self.values
     }
 }
 
@@ -165,6 +215,35 @@ mod tests {
         e.normalize();
         assert!(e.is_zero());
         assert_eq!(e.dim(), 4);
+        assert!(!e.is_unit(), "zero vector can never be unit norm");
+    }
+
+    #[test]
+    fn unit_flag_tracks_normalization_and_mutation() {
+        let mut e = Embedding::new(vec![3.0, 4.0]);
+        assert!(!e.is_unit());
+        e.normalize();
+        assert!(e.is_unit());
+        // Clones keep the flag; value mutation clears it.
+        assert!(e.clone().is_unit());
+        e.as_mut_slice()[0] = 2.0;
+        assert!(!e.is_unit());
+        e.normalize();
+        assert!(e.is_unit());
+        e.scale(2.0);
+        assert!(!e.is_unit());
+        e.normalize();
+        let mut acc = e.clone();
+        acc.accumulate(&Embedding::new(vec![1.0, 0.0]));
+        assert!(!acc.is_unit());
+    }
+
+    #[test]
+    fn equality_ignores_unit_flag() {
+        let raw = Embedding::new(vec![1.0, 0.0]);
+        let normed = raw.normalized();
+        assert!(normed.is_unit() && !raw.is_unit());
+        assert_eq!(raw, normed, "values are equal, flag must not matter");
     }
 
     #[test]
@@ -207,6 +286,15 @@ mod tests {
     fn serde_roundtrip() {
         let e = Embedding::new(vec![0.1, -0.2, 0.3]);
         let json = serde_json::to_string(&e).unwrap();
+        let back: Embedding = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn wire_format_is_a_plain_float_array() {
+        let e = Embedding::new(vec![1.0, 2.0]).normalized();
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.starts_with('['), "format changed: {json}");
         let back: Embedding = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
     }

@@ -87,6 +87,33 @@ impl HashedNgramEmbedder {
         let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
         acc[bucket] += sign * weight;
     }
+
+    /// Fold one normalized word's features (word unigram + char n-grams)
+    /// into `acc` at `weight`. Feature contributions are linear in `weight`,
+    /// which is what makes incremental term-frequency updates possible: to
+    /// move a word from weight w₀ to w₁, fold it in again at `w₁ − w₀`.
+    pub(crate) fn add_word_features(&self, acc: &mut [f32], word: &str, weight: f32) {
+        if self.config.use_words {
+            // Prefix distinguishes word features from n-gram features.
+            let mut key = Vec::with_capacity(word.len() + 2);
+            key.extend_from_slice(b"w:");
+            key.extend_from_slice(word.as_bytes());
+            self.add_feature(acc, &key, weight * self.config.word_weight);
+        }
+        let chars: Vec<char> = word.chars().collect();
+        for n in self.config.ngram_min..=self.config.ngram_max {
+            if chars.len() < n {
+                continue;
+            }
+            for start in 0..=chars.len() - n {
+                let gram: String = chars[start..start + n].iter().collect();
+                let mut key = Vec::with_capacity(gram.len() + 2);
+                key.extend_from_slice(b"g:");
+                key.extend_from_slice(gram.as_bytes());
+                self.add_feature(acc, &key, weight);
+            }
+        }
+    }
 }
 
 impl Default for HashedNgramEmbedder {
@@ -112,32 +139,20 @@ impl Embedder for HashedNgramEmbedder {
         }
 
         for (word, tf) in &word_tf {
+            // Sublinear term-frequency weighting.
             let w = 1.0 + (*tf as f32).ln();
-            if self.config.use_words {
-                // Prefix distinguishes word features from n-gram features.
-                let mut key = Vec::with_capacity(word.len() + 2);
-                key.extend_from_slice(b"w:");
-                key.extend_from_slice(word.as_bytes());
-                self.add_feature(&mut acc, &key, w * self.config.word_weight);
-            }
-            let chars: Vec<char> = word.chars().collect();
-            for n in self.config.ngram_min..=self.config.ngram_max {
-                if chars.len() < n {
-                    continue;
-                }
-                for start in 0..=chars.len() - n {
-                    let gram: String = chars[start..start + n].iter().collect();
-                    let mut key = Vec::with_capacity(gram.len() + 2);
-                    key.extend_from_slice(b"g:");
-                    key.extend_from_slice(gram.as_bytes());
-                    self.add_feature(&mut acc, &key, w);
-                }
-            }
+            self.add_word_features(&mut acc, word, w);
         }
 
         let mut e = Embedding::new(acc);
         e.normalize();
         e
+    }
+
+    fn accumulator(&self) -> Option<Box<dyn crate::incremental::IncrementalAccumulator>> {
+        Some(Box::new(crate::incremental::ResponseAccumulator::new(
+            self.clone(),
+        )))
     }
 }
 

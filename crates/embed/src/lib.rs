@@ -28,12 +28,14 @@
 pub mod embedder;
 pub mod embedding;
 pub mod hashed;
+pub mod incremental;
 pub mod similarity;
 pub mod tfidf;
 
 pub use embedder::{CachedEmbedder, Embedder};
 pub use embedding::Embedding;
 pub use hashed::{HashedEmbedderConfig, HashedNgramEmbedder};
+pub use incremental::{IncrementalAccumulator, ResponseAccumulator};
 pub use similarity::{
     cosine, cosine_embeddings, dot, euclidean, mean_similarity_to_others, Metric,
 };

@@ -492,6 +492,7 @@ mod tests {
         assert!(v.get("models").is_some());
         assert!(v.get("requests").is_some());
         assert!(v.get("breakers").is_some());
+        assert!(v.get("scoring").is_some());
         server.shutdown();
     }
 }

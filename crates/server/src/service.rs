@@ -281,10 +281,40 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         breakers.insert(model, json!({ "state": state, "transitions": transitions }));
     }
 
+    // Incremental scoring engine: cross-round embedding-cache hit rate,
+    // dirty arms per round, and per-round scoring refresh latency.
+    let counter_total = |name: &str| -> u64 {
+        snapshot
+            .counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    };
+    let dirty = counter_total("scoring_arms_dirty_total");
+    let clean = counter_total("scoring_arms_clean_total");
+    let hit_rate = if dirty + clean == 0 {
+        0.0
+    } else {
+        clean as f64 / (dirty + clean) as f64
+    };
+    let hist_of = |name: &str| snapshot.histograms.iter().find(|h| h.name == name);
+    let scoring = json!({
+        "arms_dirty": dirty,
+        "arms_clean": clean,
+        "cache_hit_rate": hit_rate,
+        "mean_dirty_arms_per_round": hist_of("scoring_dirty_arms").map_or(0.0, |h| h.mean),
+        "refresh_us": hist_of("scoring_refresh_us").map_or_else(
+            || json!({ "count": 0 }),
+            |h| json!({ "count": h.count, "mean": h.mean, "p50": h.p50, "p99": h.p99 }),
+        ),
+    });
+
     json!({
         "models": Value::Object(model_map),
         "requests": Value::Object(routes),
         "breakers": Value::Object(breakers),
+        "scoring": scoring,
     })
 }
 

@@ -1,8 +1,18 @@
 //! Exact brute-force index.
 
 use super::{top_k, Hit, InternalId, VectorIndex};
-use llmms_embed::Metric;
+use llmms_embed::{dot, Metric};
 use serde::{Deserialize, Serialize};
+
+/// How far from 1.0 a vector's L2 norm may be and still count as unit for
+/// the cosine fast path. Platform embeddings are normalized to within f32
+/// rounding (~1e-7); deliberately unnormalized vectors miss by far more.
+const UNIT_NORM_TOL: f32 = 1e-4;
+
+fn is_unit_norm(v: &[f32]) -> bool {
+    let norm_sq: f32 = v.iter().map(|x| x * x).sum();
+    (norm_sq.sqrt() - 1.0).abs() <= UNIT_NORM_TOL
+}
 
 /// Exact top-k index: a contiguous vector arena scanned linearly.
 ///
@@ -22,6 +32,12 @@ pub struct FlatIndex {
     /// Tombstone flags parallel to `ids`.
     deleted: Vec<bool>,
     live: usize,
+    /// Every inserted vector so far had unit L2 norm — the platform's
+    /// normalized-embedding invariant. While it holds, a cosine scan needs
+    /// only dot products. Defaults to `false` when absent (indexes persisted
+    /// before the field existed simply keep the general path).
+    #[serde(default)]
+    all_unit: bool,
 }
 
 impl FlatIndex {
@@ -34,6 +50,7 @@ impl FlatIndex {
             ids: Vec::new(),
             deleted: Vec::new(),
             live: 0,
+            all_unit: true,
         }
     }
 
@@ -69,6 +86,7 @@ impl VectorIndex for FlatIndex {
         );
         self.ids.push(id);
         self.deleted.push(false);
+        self.all_unit = self.all_unit && is_unit_norm(vector);
         self.data.extend_from_slice(vector);
         self.live += 1;
     }
@@ -97,6 +115,15 @@ impl VectorIndex for FlatIndex {
         if k == 0 || self.live == 0 {
             return Vec::new();
         }
+        // Cosine over unit vectors divides by two norms that are both 1:
+        // with the stored side pinned by `all_unit`, only the query's norm
+        // must be derived — once, not per slot.
+        let query_inv_norm = if self.metric == Metric::Cosine && self.all_unit {
+            let norm = query.iter().map(|x| x * x).sum::<f32>().sqrt();
+            (norm > 0.0).then(|| 1.0 / norm)
+        } else {
+            None
+        };
         let mut candidates = Vec::with_capacity(self.live.min(4096));
         for (slot, &id) in self.ids.iter().enumerate() {
             if self.deleted[slot] {
@@ -108,10 +135,11 @@ impl VectorIndex for FlatIndex {
                 }
             }
             let v = &self.data[slot * self.dim..(slot + 1) * self.dim];
-            candidates.push(Hit {
-                id,
-                score: self.metric.similarity(query, v),
-            });
+            let score = match query_inv_norm {
+                Some(inv) => (dot(query, v) * inv).clamp(-1.0, 1.0),
+                None => self.metric.similarity(query, v),
+            };
+            candidates.push(Hit { id, score });
         }
         top_k(candidates, k)
     }
@@ -196,6 +224,49 @@ mod tests {
         assert_eq!(hits[0].id, 2);
         assert_eq!(hits[1].id, 0);
         assert_eq!(hits[2].id, 1);
+    }
+
+    #[test]
+    fn unit_fast_path_matches_general_cosine_scan() {
+        // All-unit inserts keep the fast path on; scores must match the
+        // general cosine to float tolerance, in the same order.
+        let vecs: Vec<Vec<f32>> = vec![
+            vec![0.6, 0.8, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![-0.577_350_3, 0.577_350_3, 0.577_350_3],
+        ];
+        let mut idx = FlatIndex::new(3, Metric::Cosine);
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(i as InternalId, v);
+        }
+        assert!(idx.all_unit);
+        let query = [2.0f32, 1.0, -0.5]; // deliberately non-unit query
+        let hits = idx.search(&query, 3, None);
+        for hit in &hits {
+            let expected = llmms_embed::cosine(&query, &vecs[hit.id as usize]);
+            assert!((hit.score - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn non_unit_insert_disables_fast_path() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.insert(0, &[1.0, 0.0]);
+        assert!(idx.all_unit);
+        idx.insert(1, &[0.7, 0.7]);
+        assert!(!idx.all_unit, "norm 0.99 is outside the unit tolerance");
+        // Scores keep exact cosine semantics once the flag drops.
+        let hits = idx.search(&[1.0, 0.0], 2, None);
+        assert_eq!(hits[0].id, 0);
+        assert!((hits[0].score - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_query_on_unit_index_scores_zero() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.insert(0, &[1.0, 0.0]);
+        let hits = idx.search(&[0.0, 0.0], 1, None);
+        assert_eq!(hits[0].score, 0.0);
     }
 
     #[test]
