@@ -155,7 +155,10 @@ fn three_faulty_one_healthy_every_strategy_answers() {
 
 /// A saturated backend (real wall-clock delay per chunk) must trip the
 /// query deadline: the orchestrator force-aborts, keeps the partial output,
-/// and flags both `deadline_exceeded` and `degraded`.
+/// and flags both `deadline_exceeded` and `degraded`. The per-chunk delay
+/// exceeds the whole-query deadline so the deadline trips no matter how the
+/// round executes — with parallel generation, arms run concurrently and the
+/// cut lands at the next round boundary instead of mid-round.
 #[test]
 fn slow_backend_trips_the_query_deadline() {
     for strategy in all_strategies() {
@@ -163,13 +166,13 @@ fn slow_backend_trips_the_query_deadline() {
         let models = vec![
             faulty(
                 "molasses-a",
-                FaultKind::SlowChunks { delay_ms: 25 },
+                FaultKind::SlowChunks { delay_ms: 70 },
                 4,
                 &store,
             ),
             faulty(
                 "molasses-b",
-                FaultKind::SlowChunks { delay_ms: 25 },
+                FaultKind::SlowChunks { delay_ms: 70 },
                 5,
                 &store,
             ),

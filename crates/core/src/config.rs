@@ -224,6 +224,16 @@ pub struct OrchestratorConfig {
     /// `incremental_scoring` is on; results are deterministic either way.
     #[serde(default = "default_true")]
     pub parallel_scoring: bool,
+    /// Run each round's generation concurrently across active arms on the
+    /// shared executor, overlapped with the incremental embed refresh. A
+    /// budget-lease protocol keeps grant/refund accounting, prune and
+    /// early-win decisions, and deadline cuts bit-identical to the
+    /// sequential path, which is kept as the test oracle. Applies to the
+    /// OUA round loop and the hybrid probe phase; MAB pulls are inherently
+    /// sequential (each pull's reward depends on the previous pull's text)
+    /// and ignore this knob.
+    #[serde(default = "default_true")]
+    pub parallel_generation: bool,
 }
 
 fn default_true() -> bool {
@@ -245,6 +255,7 @@ impl Default for OrchestratorConfig {
             query_deadline_ms: None,
             incremental_scoring: true,
             parallel_scoring: true,
+            parallel_generation: true,
         }
     }
 }
@@ -350,6 +361,14 @@ impl OrchestratorConfigBuilder {
         self
     }
 
+    /// Toggle parallel per-round generation (on by default); `false` forces
+    /// the sequential oracle: arms generate one at a time in arm order.
+    #[must_use]
+    pub fn parallel_generation(mut self, on: bool) -> Self {
+        self.config.parallel_generation = on;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> OrchestratorConfig {
         self.config
@@ -424,6 +443,7 @@ mod tests {
         // default on for old configs.
         assert!(c.incremental_scoring);
         assert!(c.parallel_scoring);
+        assert!(c.parallel_generation);
     }
 
     #[test]
@@ -431,9 +451,11 @@ mod tests {
         let c = OrchestratorConfig::builder()
             .incremental_scoring(false)
             .parallel_scoring(false)
+            .parallel_generation(false)
             .build();
         assert!(!c.incremental_scoring);
         assert!(!c.parallel_scoring);
+        assert!(!c.parallel_generation);
     }
 
     #[test]

@@ -1,12 +1,16 @@
-//! Incremental-vs-naive scoring equivalence, end to end.
+//! Fast-path-vs-oracle equivalence, end to end.
 //!
-//! The incremental engine (accumulator embeddings + [`crate::ScoreCache`])
-//! must be *behaviourally invisible*: for the same pool, prompt, and seed,
-//! every strategy must pick the same winner, prune the same arms in the
-//! same rounds, and report final scores within 1e-6 of the naive
-//! from-scratch path (`incremental_scoring(false)`, which re-embeds every
-//! response and recomputes the full similarity matrix each round — kept in
-//! the codebase precisely as this oracle).
+//! Two independent fast paths must be *behaviourally invisible*:
+//!
+//! * The incremental scoring engine (accumulator embeddings +
+//!   [`crate::ScoreCache`]): same winner, same prunes, same rounds, scores
+//!   within 1e-6 of the naive from-scratch path
+//!   (`incremental_scoring(false)`), which is kept precisely as this oracle.
+//! * The parallel round engine (`parallel_generation`): *bit-identical* to
+//!   the sequential arm-by-arm loop — same winner, prunes, rounds, token
+//!   accounting, retry/backoff bookkeeping, and the exact same event
+//!   trace — including under injected transient/fatal faults, budget
+//!   contention (deferred leases), and round-deadline cuts.
 
 #![cfg(test)]
 
@@ -59,8 +63,38 @@ fn run_with(strategy: Strategy, models: &[SharedModel], incremental: bool) -> Or
             temperature: 0.3,
             seed: 42,
             incremental_scoring: incremental,
-            // Exercise the worker pool on the incremental side.
+            // Exercise the worker pool on the incremental side; the naive
+            // leg is the fully sequential, from-scratch oracle.
             parallel_scoring: incremental,
+            parallel_generation: incremental,
+            ..OrchestratorConfig::default()
+        },
+    );
+    o.run(models, "What is the capital of France?").unwrap()
+}
+
+/// Run with incremental scoring on both legs; only `parallel_gen` varies —
+/// the parallel round engine against its sequential oracle, with the event
+/// trace recorded so the comparison can be exact.
+fn run_parallel_cfg(
+    strategy: Strategy,
+    models: &[SharedModel],
+    parallel_gen: bool,
+    token_budget: usize,
+    round_deadline_ms: Option<u64>,
+) -> OrchestrationResult {
+    let o = Orchestrator::new(
+        llmms_embed::default_embedder(),
+        OrchestratorConfig {
+            strategy,
+            token_budget,
+            temperature: 0.3,
+            seed: 42,
+            record_events: true,
+            round_deadline_ms,
+            incremental_scoring: true,
+            parallel_scoring: true,
+            parallel_generation: parallel_gen,
             ..OrchestratorConfig::default()
         },
     );
@@ -78,12 +112,34 @@ fn assert_equivalent(fast: &OrchestrationResult, naive: &OrchestrationResult) {
         assert_eq!(f.pruned, n.pruned, "{}: prune decision diverged", f.model);
         assert_eq!(f.failed, n.failed, "{}: failure state diverged", f.model);
         assert_eq!(f.tokens, n.tokens, "{}: token count diverged", f.model);
+        assert_eq!(f.response, n.response, "{}: response diverged", f.model);
+        assert_eq!(f.done, n.done, "{}: done reason diverged", f.model);
+        assert_eq!(f.rounds, n.rounds, "{}: round count diverged", f.model);
+        assert_eq!(f.retries, n.retries, "{}: retry count diverged", f.model);
+        assert_eq!(f.backoff_ms, n.backoff_ms, "{}: backoff diverged", f.model);
         assert!(
             (f.score - n.score).abs() < 1e-6,
             "{}: score {} vs naive {}",
             f.model,
             f.score,
             n.score
+        );
+    }
+}
+
+/// The parallel engine's claim is stronger than score tolerance: the stamped
+/// event sequences (chunk by chunk, prune by prune, deadline by deadline)
+/// must match the sequential oracle exactly, timestamps aside.
+fn assert_identical_trace(par: &OrchestrationResult, seq: &OrchestrationResult) {
+    let pe: Vec<_> = par.events.iter().map(|e| &e.event).collect();
+    let se: Vec<_> = seq.events.iter().map(|e| &e.event).collect();
+    assert_eq!(pe, se, "event traces diverged");
+    for (f, n) in par.outcomes.iter().zip(&seq.outcomes) {
+        assert_eq!(
+            f.score.to_bits(),
+            n.score.to_bits(),
+            "{}: parallel scores must be bit-identical",
+            f.model
         );
     }
 }
@@ -195,5 +251,117 @@ fn equivalence_survives_backend_faults() {
             naive.outcomes.iter().any(|o| o.failed),
             "fixture produced no failed arms"
         );
+    }
+}
+
+/// The strategies the parallel engine touches (MAB included as a guard: it
+/// ignores the knob, so the two legs must trivially coincide).
+fn parallel_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Oua(OuaConfig {
+            round_tokens: 6,
+            prune_margin: 0.05,
+            win_margin: 0.05,
+            ..OuaConfig::default()
+        }),
+        Strategy::Mab(MabConfig {
+            pull_tokens: 6,
+            selection: MabSelection::FinalScore,
+            ..MabConfig::default()
+        }),
+        Strategy::Hybrid(HybridConfig {
+            probe_rounds: 2,
+            probe_tokens: 5,
+            prune_margin: 0.05,
+            ..HybridConfig::default()
+        }),
+    ]
+}
+
+#[test]
+fn parallel_generation_equals_sequential() {
+    let store = knowledge();
+    let models = pool(&store);
+    for strategy in parallel_strategies() {
+        let par = run_parallel_cfg(strategy.clone(), &models, true, 160, None);
+        let seq = run_parallel_cfg(strategy, &models, false, 160, None);
+        assert_equivalent(&par, &seq);
+        assert_identical_trace(&par, &seq);
+    }
+}
+
+#[test]
+fn parallel_generation_survives_backend_faults() {
+    // A pool with one flaky arm (transient errors → accounted retries), one
+    // fatally erroring arm, and one staller: the barrier must replay retry
+    // counters, backoff accounting, stall failures, and health reporting in
+    // exactly the sequential order.
+    let store = knowledge();
+    let base = pool(&store);
+    let models: Vec<SharedModel> = base
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| match i {
+            0 => ChaosModel::wrap(m, FaultKind::Flaky { p: 0.3 }, 11),
+            1 => ChaosModel::wrap(
+                m,
+                FaultKind::ErrorAfterN {
+                    n: 2,
+                    transient: false,
+                },
+                7,
+            ),
+            3 => ChaosModel::wrap(m, FaultKind::Stall, 7),
+            _ => m,
+        })
+        .collect();
+    for strategy in parallel_strategies() {
+        let par = run_parallel_cfg(strategy.clone(), &models, true, 160, None);
+        let seq = run_parallel_cfg(strategy, &models, false, 160, None);
+        assert_equivalent(&par, &seq);
+        assert_identical_trace(&par, &seq);
+        assert!(
+            seq.outcomes.iter().any(|o| o.failed),
+            "fixture produced no failed arms"
+        );
+    }
+}
+
+#[test]
+fn parallel_replays_lease_deferral_under_contention() {
+    // Budgets small enough that the pessimistic lease plan defers arms
+    // every round: deferred arms run sequentially at the barrier against
+    // the live budget, and the interleaved accounting must replay exactly —
+    // including the final budget-exhausted round.
+    let store = knowledge();
+    let models = pool(&store);
+    let mut any_exhausted = false;
+    for token_budget in [10, 21, 47, 64] {
+        for strategy in parallel_strategies() {
+            let par = run_parallel_cfg(strategy.clone(), &models, true, token_budget, None);
+            let seq = run_parallel_cfg(strategy, &models, false, token_budget, None);
+            assert_equivalent(&par, &seq);
+            assert_identical_trace(&par, &seq);
+            any_exhausted |= seq.budget_exhausted;
+        }
+    }
+    // The sweep must include at least one run that drained λ_max to the
+    // last token (truncated grants and deferred leases at the edge), or the
+    // contention claim above is vacuous.
+    assert!(any_exhausted, "no budget in the sweep was exhausted");
+}
+
+#[test]
+fn parallel_replays_round_deadline_cuts() {
+    // An already-expired round deadline cuts every round before any arm
+    // generates; both paths must emit the same DeadlineExceeded trace and
+    // settle on the same (empty-handed) result.
+    let store = knowledge();
+    let models = pool(&store);
+    for strategy in parallel_strategies() {
+        let par = run_parallel_cfg(strategy.clone(), &models, true, 160, Some(0));
+        let seq = run_parallel_cfg(strategy, &models, false, 160, Some(0));
+        assert_equivalent(&par, &seq);
+        assert_identical_trace(&par, &seq);
     }
 }

@@ -1,0 +1,225 @@
+//! Shared worker pool for per-round parallel work: generation fan-out and
+//! embedding refreshes.
+//!
+//! The pool started life as the scoring pool of the incremental engine
+//! (independent per-arm embed jobs fanned out so round latency tracks the
+//! largest dirty chunk instead of their sum). The parallel round engine
+//! generalized it: any indexed, self-contained task can run here, and the
+//! dominant customer is now per-arm *generation* — tasks that mostly wait on
+//! (simulated) backend latency rather than burning CPU.
+//!
+//! That workload shape drives two choices:
+//!
+//! * Workers are spawned **on demand**, sized by the largest batch ever
+//!   submitted (capped at [`MAX_WORKERS`]), not by core count — latency-bound
+//!   tasks overlap usefully well past the core count.
+//! * The pool is global and lives for the process: rounds are short bursts,
+//!   and spinning threads up and down per round would cost more than it
+//!   saves.
+
+use crate::runpool::{EmbedDone, EmbedJob};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use llmms_embed::SharedEmbedder;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Below this much pending (un-embedded) text across all dirty arms the
+/// dispatch overhead outweighs the parallelism; callers embed serially.
+pub(crate) const MIN_PARALLEL_BYTES: usize = 1024;
+
+/// Hard cap on pool threads. Generation tasks sleep on backend latency, so
+/// the useful worker count is set by round fan-out (arms per round), not by
+/// cores; the cap merely bounds a pathological pool size.
+pub(crate) const MAX_WORKERS: usize = 16;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    tx: Sender<Task>,
+    // The vendored channel's Receiver is not Clone; workers pull from one
+    // receiver behind a mutex. Tasks are coarse enough that the lock is
+    // uncontended in practice.
+    rx: Arc<Mutex<Receiver<Task>>>,
+    workers: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded::<Task>();
+        Pool {
+            tx,
+            rx: Arc::new(Mutex::new(rx)),
+            workers: AtomicUsize::new(0),
+        }
+    })
+}
+
+/// Grow the pool to at least `want` workers (clamped to [`MAX_WORKERS`]).
+fn ensure_workers(p: &'static Pool, want: usize) {
+    let want = want.clamp(1, MAX_WORKERS);
+    loop {
+        let current = p.workers.load(Ordering::Relaxed);
+        if current >= want {
+            return;
+        }
+        if p.workers
+            .compare_exchange(current, current + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        let rx = Arc::clone(&p.rx);
+        std::thread::Builder::new()
+            .name(format!("llmms-exec-{current}"))
+            .spawn(move || loop {
+                // Take the task while holding the lock, run it after the
+                // guard drops so workers overlap.
+                let task = match rx.lock().expect("executor receiver").recv() {
+                    Ok(task) => task,
+                    Err(_) => break,
+                };
+                task();
+            })
+            .expect("spawn executor worker");
+    }
+}
+
+/// Run every task on the pool and collect `(index, result)` pairs. Result
+/// order is completion order; callers match results to their work items by
+/// the carried index. Tasks must be self-contained (own everything they
+/// touch) — that is what makes their execution order irrelevant.
+pub(crate) fn run_indexed<T, F>(tasks: Vec<(usize, F)>) -> Vec<(usize, T)>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let p = pool();
+    ensure_workers(p, tasks.len());
+    let (done_tx, done_rx) = unbounded::<(usize, T)>();
+    let n = tasks.len();
+    for (idx, task) in tasks {
+        let done_tx = done_tx.clone();
+        let sent = p.tx.send(Box::new(move || {
+            let _ = done_tx.send((idx, task()));
+        }));
+        assert!(sent.is_ok(), "executor alive");
+    }
+    drop(done_tx);
+    (0..n)
+        .map(|_| done_rx.recv().expect("executor worker delivered"))
+        .collect()
+}
+
+/// Run the embed jobs on the pool and collect every result (the scoring
+/// engine's entry point, unchanged from the original scoring pool).
+pub(crate) fn run_jobs(
+    jobs: Vec<(usize, EmbedJob)>,
+    embedder: &SharedEmbedder,
+) -> Vec<(usize, EmbedDone)> {
+    let tasks: Vec<_> = jobs
+        .into_iter()
+        .map(|(idx, job)| {
+            let embedder = Arc::clone(embedder);
+            (idx, move || job.compute(&embedder))
+        })
+        .collect();
+    run_indexed(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::TokenBudget;
+    use crate::config::RetryConfig;
+    use crate::runpool::{configure_incremental, ModelRun};
+    use llmms_embed::Embedder;
+    use llmms_models::{GenOptions, HealthRegistry, KnowledgeStore, ModelProfile, SimLlm};
+
+    #[test]
+    fn run_indexed_returns_every_result_with_its_index() {
+        let tasks: Vec<(usize, _)> = (0..24).map(|i| (i, move || i * i)).collect();
+        let mut done = run_indexed(tasks);
+        done.sort_by_key(|&(i, _)| i);
+        assert_eq!(done.len(), 24);
+        for (i, v) in done {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn workers_scale_with_demand_up_to_the_cap() {
+        // A batch wider than the old core-clamped pool must still overlap:
+        // every task blocks until all of them started, which only resolves
+        // if at least `n` workers run concurrently.
+        use std::sync::Barrier;
+        let n = 8usize.min(MAX_WORKERS);
+        let barrier = Arc::new(Barrier::new(n));
+        let tasks: Vec<(usize, _)> = (0..n)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                (i, move || {
+                    barrier.wait();
+                    i
+                })
+            })
+            .collect();
+        let done = run_indexed(tasks);
+        assert_eq!(done.len(), n);
+    }
+
+    #[test]
+    fn pool_results_match_serial_compute() {
+        let entries = vec![llmms_models::KnowledgeEntry {
+            id: "q".into(),
+            question: "What is the capital of France?".into(),
+            category: "geography".into(),
+            golden: "The capital of France is Paris".into(),
+            correct: vec![],
+            incorrect: vec!["The capital of France is Lyon".into()],
+        }];
+        let store = Arc::new(KnowledgeStore::build(
+            entries,
+            llmms_embed::default_embedder(),
+        ));
+        let models: Vec<llmms_models::SharedModel> = ModelProfile::evaluation_pool()
+            .into_iter()
+            .map(|p| Arc::new(SimLlm::new(p, Arc::clone(&store))) as llmms_models::SharedModel)
+            .collect();
+        let embedder = llmms_embed::default_embedder();
+        let mut runs = ModelRun::start_all(
+            &models,
+            "What is the capital of France?",
+            &GenOptions::default(),
+            RetryConfig::default(),
+            &Arc::new(HealthRegistry::default()),
+        );
+        configure_incremental(&mut runs, true);
+        let mut budget = TokenBudget::new(10_000);
+        for run in runs.iter_mut() {
+            for _ in 0..3 {
+                let _ = run.generate(8, &mut budget);
+            }
+        }
+
+        // Serial oracle: embed each response text from scratch.
+        let oracle: Vec<_> = runs.iter().map(|r| embedder.embed(r.response())).collect();
+
+        let jobs: Vec<_> = runs
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, r)| r.begin_embed(&embedder).map(|j| (i, j)))
+            .collect();
+        assert!(!jobs.is_empty());
+        let done = run_jobs(jobs, &embedder);
+        for (i, result) in done {
+            runs[i].finish_embed(result);
+        }
+        for (i, run) in runs.iter_mut().enumerate() {
+            let fast = run.embedding(&embedder);
+            let cos = llmms_embed::cosine_embeddings(&fast, &oracle[i]);
+            assert!(cos >= 1.0 - 1e-5, "arm {i}: cos={cos}");
+        }
+    }
+}

@@ -103,32 +103,71 @@ pub(crate) fn run(
         rounds += 1;
         recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: rounds });
         let round_deadline = Deadline::new(orch.round_deadline_ms);
-        for run in runs.iter_mut().filter(|r| r.is_active()) {
+        // Probe generation: sequential oracle below, or fanned out on the
+        // executor under budget leases (deadlines checked at the batch
+        // boundary — identical traces when no deadline interferes).
+        if orch.parallel_generation {
             if query_deadline.exceeded() {
                 deadline_exceeded = true;
-                break;
-            }
-            if round_deadline.exceeded() {
+            } else if round_deadline.exceeded() {
                 recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
                     scope: "round".into(),
                     elapsed_ms: round_deadline.elapsed_ms(),
                 });
-                break;
+            } else {
+                let targets: Vec<(usize, usize)> = runs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.is_active())
+                    .map(|(i, _)| (i, cfg.probe_tokens.max(1)))
+                    .collect();
+                for (i, chunk) in
+                    runpool::generate_round(&mut runs, &targets, &mut budget, embedder, true)
+                {
+                    if chunk.tokens > 0 || chunk.done.is_some() {
+                        recorder.emit_with(|| OrchestrationEvent::ModelChunk {
+                            model: runs[i].name.clone(),
+                            text: chunk.text.clone(),
+                            tokens: chunk.tokens,
+                            done: chunk.done,
+                        });
+                    }
+                    if chunk.done == Some(DoneReason::Failed) {
+                        recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+                            model: runs[i].name.clone(),
+                            error: runs[i].error.clone().unwrap_or_default(),
+                        });
+                    }
+                }
             }
-            let chunk = run.generate(cfg.probe_tokens.max(1), &mut budget);
-            if chunk.tokens > 0 || chunk.done.is_some() {
-                recorder.emit_with(|| OrchestrationEvent::ModelChunk {
-                    model: run.name.clone(),
-                    text: chunk.text.clone(),
-                    tokens: chunk.tokens,
-                    done: chunk.done,
-                });
-            }
-            if chunk.done == Some(DoneReason::Failed) {
-                recorder.emit_with(|| OrchestrationEvent::ModelFailed {
-                    model: run.name.clone(),
-                    error: run.error.clone().unwrap_or_default(),
-                });
+        } else {
+            for run in runs.iter_mut().filter(|r| r.is_active()) {
+                if query_deadline.exceeded() {
+                    deadline_exceeded = true;
+                    break;
+                }
+                if round_deadline.exceeded() {
+                    recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
+                        scope: "round".into(),
+                        elapsed_ms: round_deadline.elapsed_ms(),
+                    });
+                    break;
+                }
+                let chunk = run.generate(cfg.probe_tokens.max(1), &mut budget);
+                if chunk.tokens > 0 || chunk.done.is_some() {
+                    recorder.emit_with(|| OrchestrationEvent::ModelChunk {
+                        model: run.name.clone(),
+                        text: chunk.text.clone(),
+                        tokens: chunk.tokens,
+                        done: chunk.done,
+                    });
+                }
+                if chunk.done == Some(DoneReason::Failed) {
+                    recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+                        model: run.name.clone(),
+                        error: run.error.clone().unwrap_or_default(),
+                    });
+                }
             }
         }
         if deadline_exceeded {

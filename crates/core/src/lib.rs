@@ -59,6 +59,7 @@ mod deadline;
 mod equivalence_tests;
 pub mod error;
 pub mod events;
+mod executor;
 mod failure_tests;
 mod hybrid;
 mod invariant_tests;
@@ -71,11 +72,10 @@ mod routed;
 pub mod router;
 mod runpool;
 pub mod scoring;
-mod scoring_pool;
 mod single;
 pub mod tournament;
 
-pub use budget::TokenBudget;
+pub use budget::{Lease, TokenBudget};
 pub use config::{
     MabConfig, MabSelection, OrchestratorConfig, OrchestratorConfigBuilder, OuaConfig, RetryConfig,
     Strategy,

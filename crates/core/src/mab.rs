@@ -18,6 +18,14 @@
 //! loop ends when the budget is exhausted, when every arm has finished, or
 //! when the current mean-reward leader has finished naturally (its response
 //! can no longer change, and exploitation would pick it anyway).
+//!
+//! Unlike the OUA round loop and the hybrid probe phase, MAB ignores
+//! [`OrchestratorConfig::parallel_generation`]: the strategy is inherently
+//! sequential. Each pull's reward scores the pulled arm's text against
+//! *every other arm's current text* (the agreement term of Eq. 6.1), and the
+//! next UCB selection depends on that reward — so pull t+1 cannot start
+//! until pull t has generated and been scored. There is no intra-pull
+//! fan-out to exploit.
 
 use crate::budget::TokenBudget;
 use crate::config::{MabConfig, MabSelection, OrchestratorConfig};

@@ -84,38 +84,84 @@ pub(crate) fn run(
         let survivors = runs.iter().filter(|r| !r.eliminated()).count().max(1);
         let allowance = orch.token_budget / survivors;
 
-        // Round-robin generation (lines 5–9).
+        // Round-robin generation (lines 5–9). The sequential loop below is
+        // the oracle; with `parallel_generation` the same work is fanned
+        // out on the executor under budget leases, with deadline checks at
+        // the batch boundary (a cut cannot interrupt off-thread arms, so it
+        // lands between fan-outs — with no deadline, or an already-expired
+        // one, the two paths emit identical traces).
         let mut attempted = false;
         let mut round_cut = false;
-        for run in runs.iter_mut().filter(|r| r.is_active()) {
+        if orch.parallel_generation {
             if query_deadline.exceeded() {
                 deadline_exceeded = true;
-                break;
-            }
-            if round_deadline.exceeded() {
+            } else if round_deadline.exceeded() {
                 round_cut = true;
-                break;
+            } else {
+                // Per-arm state is untouched by other arms' generation, so
+                // collecting requests up front sees exactly the states the
+                // lazy sequential filter would.
+                let targets: Vec<(usize, usize)> = runs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.is_active())
+                    .filter_map(|(i, r)| {
+                        let room = allowance.saturating_sub(r.tokens());
+                        let request = cfg.round_tokens.min(room);
+                        (request > 0).then_some((i, request))
+                    })
+                    .collect();
+                attempted = !targets.is_empty();
+                for (i, chunk) in
+                    runpool::generate_round(&mut runs, &targets, &mut budget, embedder, true)
+                {
+                    if chunk.tokens > 0 || chunk.done.is_some() {
+                        recorder.emit_with(|| OrchestrationEvent::ModelChunk {
+                            model: runs[i].name.clone(),
+                            text: chunk.text.clone(),
+                            tokens: chunk.tokens,
+                            done: chunk.done,
+                        });
+                    }
+                    if chunk.done == Some(DoneReason::Failed) {
+                        recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+                            model: runs[i].name.clone(),
+                            error: runs[i].error.clone().unwrap_or_default(),
+                        });
+                    }
+                }
             }
-            let room = allowance.saturating_sub(run.tokens());
-            let request = cfg.round_tokens.min(room);
-            if request == 0 {
-                continue;
-            }
-            attempted = true;
-            let chunk = run.generate(request, &mut budget);
-            if chunk.tokens > 0 || chunk.done.is_some() {
-                recorder.emit_with(|| OrchestrationEvent::ModelChunk {
-                    model: run.name.clone(),
-                    text: chunk.text.clone(),
-                    tokens: chunk.tokens,
-                    done: chunk.done,
-                });
-            }
-            if chunk.done == Some(DoneReason::Failed) {
-                recorder.emit_with(|| OrchestrationEvent::ModelFailed {
-                    model: run.name.clone(),
-                    error: run.error.clone().unwrap_or_default(),
-                });
+        } else {
+            for run in runs.iter_mut().filter(|r| r.is_active()) {
+                if query_deadline.exceeded() {
+                    deadline_exceeded = true;
+                    break;
+                }
+                if round_deadline.exceeded() {
+                    round_cut = true;
+                    break;
+                }
+                let room = allowance.saturating_sub(run.tokens());
+                let request = cfg.round_tokens.min(room);
+                if request == 0 {
+                    continue;
+                }
+                attempted = true;
+                let chunk = run.generate(request, &mut budget);
+                if chunk.tokens > 0 || chunk.done.is_some() {
+                    recorder.emit_with(|| OrchestrationEvent::ModelChunk {
+                        model: run.name.clone(),
+                        text: chunk.text.clone(),
+                        tokens: chunk.tokens,
+                        done: chunk.done,
+                    });
+                }
+                if chunk.done == Some(DoneReason::Failed) {
+                    recorder.emit_with(|| OrchestrationEvent::ModelFailed {
+                        model: run.name.clone(),
+                        error: run.error.clone().unwrap_or_default(),
+                    });
+                }
             }
         }
         if deadline_exceeded {

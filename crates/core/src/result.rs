@@ -35,6 +35,10 @@ pub struct ModelOutcome {
     /// Transient-error retries spent on this model.
     #[serde(default)]
     pub retries: u32,
+    /// Retry backoff accounted against this model (part of its simulated
+    /// latency), surfaced so degraded results show where the time went.
+    #[serde(default)]
+    pub backoff_ms: u64,
 }
 
 /// The outcome of one orchestrated query.
@@ -114,6 +118,7 @@ mod tests {
             failed: false,
             error: None,
             retries: 0,
+            backoff_ms: 0,
         }
     }
 
@@ -196,5 +201,6 @@ mod tests {
         assert!(!r.deadline_exceeded);
         assert!(!r.outcomes[0].failed);
         assert_eq!(r.outcomes[0].retries, 0);
+        assert_eq!(r.outcomes[0].backoff_ms, 0);
     }
 }

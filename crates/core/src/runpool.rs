@@ -7,7 +7,7 @@
 //! outcome is reported to the shared [`HealthRegistry`] so the circuit
 //! breaker can skip the model on the next query.
 
-use crate::budget::TokenBudget;
+use crate::budget::{Lease, TokenBudget};
 use crate::config::RetryConfig;
 use crate::events::{EventRecorder, OrchestrationEvent};
 use llmms_embed::{Embedding, IncrementalAccumulator, SharedEmbedder};
@@ -15,7 +15,7 @@ use llmms_models::{
     Chunk, DoneReason, GenOptions, GenerationSession, HealthRegistry, ModelError, SharedModel,
 };
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-run embedding state: an incremental accumulator (when the embedder
 /// supports one and incremental scoring is on) plus the cached snapshot.
@@ -194,6 +194,13 @@ impl ModelRun {
     /// backoff; a fatal error, exhausted retries, or a stall streak mark the
     /// run [`DoneReason::Failed`] and refund the whole grant.
     pub fn generate(&mut self, requested: usize, budget: &mut TokenBudget) -> Chunk {
+        let start = Instant::now();
+        let chunk = self.generate_inner(requested, budget);
+        self.note_generate_latency(start.elapsed());
+        chunk
+    }
+
+    fn generate_inner(&mut self, requested: usize, budget: &mut TokenBudget) -> Chunk {
         if self.failed {
             return Chunk::finished(DoneReason::Failed);
         }
@@ -251,6 +258,112 @@ impl ModelRun {
                     return Chunk::finished(DoneReason::Failed);
                 }
             }
+        }
+    }
+
+    /// Extract this round's generation work so it can execute on any
+    /// thread. The job owns the session (a [`DeadSession`] placeholder sits
+    /// in the run until [`ModelRun::finish_generate`] reinstalls it), the
+    /// token lease it may generate against, the retry policy, and — when
+    /// incremental scoring is on — the embedding accumulator, so the embed
+    /// refresh overlaps with other arms' generation instead of waiting for
+    /// scoring time.
+    ///
+    /// Returns `None` for failed runs and zero leases; callers fall back to
+    /// the sequential [`ModelRun::generate`] at the barrier, which replays
+    /// those cases exactly.
+    pub fn begin_generate(&mut self, lease: usize, embedder: &SharedEmbedder) -> Option<GenJob> {
+        if self.failed || lease == 0 {
+            return None;
+        }
+        if self.embed.incremental && !self.embed.acc_probed {
+            self.embed.acc = embedder.accumulator();
+            self.embed.acc_probed = true;
+        }
+        let embed = if self.embed.incremental {
+            Some(GenEmbedJob {
+                acc: self.embed.acc.take(),
+                fed_bytes: self.embed.fed_bytes,
+                have_cache: self.embed.cached.is_some(),
+            })
+        } else {
+            None
+        };
+        Some(GenJob {
+            session: std::mem::replace(&mut self.session, Box::new(DeadSession)),
+            lease,
+            policy: self.policy,
+            embed,
+        })
+    }
+
+    /// Install a finished [`GenJob`]'s result and commit its budget lease.
+    ///
+    /// This is the other half of the determinism contract: everything with
+    /// a shared side effect — grant/refund accounting, stall bookkeeping,
+    /// failure reporting, health updates, metrics — happens here, at the
+    /// round barrier, in arm order, replaying exactly what the sequential
+    /// [`ModelRun::generate`] would have done with the same chunk.
+    pub fn finish_generate(&mut self, done: GenDone, budget: &mut TokenBudget) -> Chunk {
+        self.session = done.session;
+        self.retries += done.retries_delta;
+        self.backoff += done.backoff_delta;
+        if let Some(embed) = done.embed {
+            self.embed.acc = embed.acc;
+            if let Some(e) = embed.embedding {
+                self.embed.fed_bytes = embed.total_bytes;
+                self.embed.cached = Some(e);
+            }
+        }
+        self.note_generate_latency(done.busy);
+        let granted = budget.grant(done.lease);
+        assert_eq!(granted, done.lease, "planned lease must commit in full");
+        match done.outcome {
+            GenOutcome::Chunk(chunk) => {
+                budget.refund(granted - chunk.tokens);
+                if chunk.tokens > 0 {
+                    self.rounds += 1;
+                    self.stalls = 0;
+                } else if chunk.done.is_none() {
+                    self.stalls += 1;
+                    if self.stalls >= self.policy.stall_limit {
+                        self.fail(
+                            "stall",
+                            format!("stalled: {} consecutive empty chunks", self.stalls),
+                        );
+                        return Chunk::finished(DoneReason::Failed);
+                    }
+                }
+                if matches!(
+                    chunk.done,
+                    Some(DoneReason::Stop) | Some(DoneReason::Length)
+                ) {
+                    self.report_success();
+                }
+                chunk
+            }
+            GenOutcome::Error { transient, message } => {
+                budget.refund(granted);
+                let kind = if transient {
+                    "retries_exhausted"
+                } else {
+                    "fatal"
+                };
+                self.fail(kind, message);
+                Chunk::finished(DoneReason::Failed)
+            }
+        }
+    }
+
+    /// Record the wall time one generation call (or off-thread generation
+    /// task) took for this arm.
+    fn note_generate_latency(&self, elapsed: Duration) {
+        let registry = llmms_obs::Registry::global();
+        if registry.enabled() {
+            registry
+                .histogram_with("generate_latency_us", &[("model", &self.name)])
+                .metric
+                .record_duration(elapsed);
         }
     }
 
@@ -415,6 +528,225 @@ impl ModelRun {
     }
 }
 
+/// One arm's generation work for a round, extracted from its [`ModelRun`]
+/// so it can execute on the shared executor. The job is *pure* with respect
+/// to orchestrator state: it drives the owned session (and optionally folds
+/// new text into the owned embedding accumulator) but touches no budget, no
+/// health registry, and no metrics — those effects are applied at the round
+/// barrier by [`ModelRun::finish_generate`], in arm order.
+pub(crate) struct GenJob {
+    session: Box<dyn GenerationSession>,
+    lease: usize,
+    policy: RetryConfig,
+    embed: Option<GenEmbedJob>,
+}
+
+/// The embedding-overlap half of a [`GenJob`]: the accumulator and feed
+/// cursor taken out of the run's [`EmbedState`], folded in-worker right
+/// after generation so scoring-time refresh finds the cache already fresh.
+struct GenEmbedJob {
+    /// `None` means the embedder offers no accumulator: fall back to a full
+    /// re-embed of the response, same as the scoring-time `Full` job.
+    acc: Option<Box<dyn IncrementalAccumulator>>,
+    fed_bytes: usize,
+    /// Whether the run already had a cached embedding (an unchanged
+    /// response with a cache needs no work; without one it must embed).
+    have_cache: bool,
+}
+
+/// What a [`GenJob`] produced, handed back to the run at the round barrier.
+pub(crate) struct GenDone {
+    session: Box<dyn GenerationSession>,
+    lease: usize,
+    outcome: GenOutcome,
+    retries_delta: u32,
+    backoff_delta: Duration,
+    embed: Option<GenEmbedDone>,
+    /// Wall time the task occupied a worker — drives the per-arm latency
+    /// histogram and the round busy/wall speedup metrics.
+    busy: Duration,
+}
+
+enum GenOutcome {
+    /// The session produced a chunk (possibly after accounted retries).
+    Chunk(Chunk),
+    /// The session errored fatally or exhausted its retries.
+    Error { transient: bool, message: String },
+}
+
+struct GenEmbedDone {
+    acc: Option<Box<dyn IncrementalAccumulator>>,
+    /// `None` when the response was unchanged and already cached.
+    embedding: Option<Arc<Embedding>>,
+    total_bytes: usize,
+}
+
+impl GenJob {
+    /// Drive the session against the lease, replaying the sequential retry
+    /// loop exactly (same per-call attempt limit, same accounted backoff),
+    /// then fold any new text into the carried accumulator. Deterministic
+    /// and thread-agnostic: no shared state is read or written.
+    pub fn compute(mut self, embedder: &SharedEmbedder) -> GenDone {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        let mut retries_delta = 0u32;
+        let mut backoff_delta = Duration::ZERO;
+        let outcome = loop {
+            match self.session.next_chunk(self.lease) {
+                Ok(chunk) => break GenOutcome::Chunk(chunk),
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    retries_delta += 1;
+                    backoff_delta += self.policy.backoff_delay(attempt);
+                }
+                Err(e) => {
+                    break GenOutcome::Error {
+                        transient: e.is_transient(),
+                        message: e.to_string(),
+                    }
+                }
+            }
+        };
+        let embed = self
+            .embed
+            .take()
+            .map(|job| job.fold(self.session.as_ref(), embedder));
+        GenDone {
+            session: self.session,
+            lease: self.lease,
+            outcome,
+            retries_delta,
+            backoff_delta,
+            embed,
+            busy: start.elapsed(),
+        }
+    }
+}
+
+impl GenEmbedJob {
+    /// Fold the session's unseen text into the accumulator and snapshot the
+    /// embedding — the same operation sequence `begin_embed`/`compute` runs
+    /// at scoring time, so the resulting values are identical; it merely
+    /// happens while other arms are still generating.
+    fn fold(self, session: &dyn GenerationSession, embedder: &SharedEmbedder) -> GenEmbedDone {
+        let text = session.response_so_far();
+        if text.len() == self.fed_bytes && self.have_cache {
+            return GenEmbedDone {
+                acc: self.acc,
+                embedding: None,
+                total_bytes: self.fed_bytes,
+            };
+        }
+        let total_bytes = text.len();
+        match self.acc {
+            Some(mut acc) => {
+                // Same suffix/fallback logic as `begin_embed`: append-only
+                // sessions grow past `fed_bytes`; anything else re-feeds
+                // from scratch.
+                let chunk = match text.get(self.fed_bytes..) {
+                    Some(suffix) => suffix,
+                    None => {
+                        acc.reset();
+                        text
+                    }
+                };
+                acc.append(chunk);
+                let embedding = Arc::new(acc.embedding());
+                GenEmbedDone {
+                    acc: Some(acc),
+                    embedding: Some(embedding),
+                    total_bytes,
+                }
+            }
+            None => GenEmbedDone {
+                acc: None,
+                embedding: Some(Arc::new(embedder.embed(text))),
+                total_bytes,
+            },
+        }
+    }
+}
+
+/// Run one round of generation over `targets` (`(arm index, request)` pairs
+/// in arm order), charging the shared budget. With `parallel` set, arms
+/// whose lease is pessimistically covered generate concurrently on the
+/// executor; everything else — deferred arms, zero requests, already-failed
+/// runs — replays the sequential path at the barrier. Either way the
+/// returned `(arm, chunk)` list, all budget accounting, and all per-run
+/// state transitions are bit-identical to calling
+/// [`ModelRun::generate`] target by target.
+pub(crate) fn generate_round(
+    runs: &mut [ModelRun],
+    targets: &[(usize, usize)],
+    budget: &mut TokenBudget,
+    embedder: &SharedEmbedder,
+    parallel: bool,
+) -> Vec<(usize, Chunk)> {
+    if !parallel || targets.len() < 2 {
+        return targets
+            .iter()
+            .map(|&(i, request)| (i, runs[i].generate(request, budget)))
+            .collect();
+    }
+    let requests: Vec<usize> = targets.iter().map(|&(_, request)| request).collect();
+    let plan = budget.plan_leases(&requests);
+    let mut jobs = Vec::new();
+    for (&(i, _), lease) in targets.iter().zip(&plan) {
+        if let Lease::Granted(lease) = *lease {
+            if let Some(job) = runs[i].begin_generate(lease, embedder) {
+                let embedder = Arc::clone(embedder);
+                jobs.push((i, move || job.compute(&embedder)));
+            }
+        }
+    }
+    let fan_out = jobs.len();
+    let wall = Instant::now();
+    let done = crate::executor::run_indexed(jobs);
+    let wall = wall.elapsed();
+    let busy: Duration = done.iter().map(|(_, d)| d.busy).sum();
+    let mut by_arm: Vec<Option<GenDone>> = (0..runs.len()).map(|_| None).collect();
+    for (i, d) in done {
+        by_arm[i] = Some(d);
+    }
+    parallel_round_metrics(fan_out, busy, wall);
+    targets
+        .iter()
+        .map(|&(i, request)| {
+            let chunk = match by_arm[i].take() {
+                Some(d) => runs[i].finish_generate(d, budget),
+                None => runs[i].generate(request, budget),
+            };
+            (i, chunk)
+        })
+        .collect()
+}
+
+/// Record the parallel-round fan-out and busy/wall metrics. The speedup
+/// gauge is the last round's busy-over-wall ratio ×100; `/stats` derives
+/// the aggregate `round_parallel_speedup` from the two histograms' sums.
+fn parallel_round_metrics(fan_out: usize, busy: Duration, wall: Duration) {
+    let registry = llmms_obs::Registry::global();
+    if !registry.enabled() {
+        return;
+    }
+    registry.gauge("round_fanout").metric.set(fan_out as i64);
+    registry
+        .histogram("round_busy_us")
+        .metric
+        .record_duration(busy);
+    registry
+        .histogram("round_wall_us")
+        .metric
+        .record_duration(wall);
+    if !wall.is_zero() {
+        let speedup = busy.as_secs_f64() / wall.as_secs_f64();
+        registry
+            .gauge("round_parallel_speedup_x100")
+            .metric
+            .set((speedup * 100.0) as i64);
+    }
+}
+
 /// Record a `model_failures_total` sample for `model`.
 fn failure_metric(model: &str, kind: &str) {
     let registry = llmms_obs::Registry::global();
@@ -503,22 +835,35 @@ pub(crate) fn select_best(runs: &[ModelRun], scores: &[f64]) -> usize {
         .unwrap_or(0)
 }
 
-/// Convert finished runs plus final scores into result outcomes.
+/// Convert finished runs plus final scores into result outcomes. Accounted
+/// retry backoff is surfaced per arm — in the outcome's diagnostics and as
+/// the `generate_backoff_ms` histogram.
 pub(crate) fn outcomes_of(runs: Vec<ModelRun>, scores: &[f64]) -> Vec<crate::result::ModelOutcome> {
+    let registry = llmms_obs::Registry::global();
     runs.into_iter()
         .zip(scores)
-        .map(|(r, &score)| crate::result::ModelOutcome {
-            model: r.name.clone(),
-            response: r.response().to_owned(),
-            tokens: r.tokens(),
-            score,
-            rounds: r.rounds,
-            pruned: r.pruned,
-            done: r.done(),
-            simulated_latency: r.simulated_latency(),
-            failed: r.failed,
-            error: r.error.clone(),
-            retries: r.retries,
+        .map(|(r, &score)| {
+            let backoff_ms = r.backoff.as_millis() as u64;
+            if registry.enabled() && backoff_ms > 0 {
+                registry
+                    .histogram_with("generate_backoff_ms", &[("model", &r.name)])
+                    .metric
+                    .record(backoff_ms as f64);
+            }
+            crate::result::ModelOutcome {
+                model: r.name.clone(),
+                response: r.response().to_owned(),
+                tokens: r.tokens(),
+                score,
+                rounds: r.rounds,
+                pruned: r.pruned,
+                done: r.done(),
+                simulated_latency: r.simulated_latency(),
+                failed: r.failed,
+                error: r.error.clone(),
+                retries: r.retries,
+                backoff_ms,
+            }
         })
         .collect()
 }

@@ -155,9 +155,8 @@ pub(crate) fn refresh(
     let dirty = jobs.len();
 
     let pending_bytes: usize = jobs.iter().map(|(_, j)| j.pending_bytes()).sum();
-    let done = if parallel && dirty >= 2 && pending_bytes >= crate::scoring_pool::MIN_PARALLEL_BYTES
-    {
-        crate::scoring_pool::run_jobs(jobs, embedder)
+    let done = if parallel && dirty >= 2 && pending_bytes >= crate::executor::MIN_PARALLEL_BYTES {
+        crate::executor::run_jobs(jobs, embedder)
     } else {
         jobs.into_iter()
             .map(|(i, job)| (i, job.compute(embedder)))

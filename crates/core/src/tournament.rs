@@ -168,6 +168,7 @@ mod tests {
             failed: false,
             error: None,
             retries: 0,
+            backoff_ms: 0,
         }
     }
 

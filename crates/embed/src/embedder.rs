@@ -2,7 +2,8 @@
 
 use crate::embedding::Embedding;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Anything that can turn text into a fixed-dimension embedding.
@@ -58,15 +59,35 @@ impl<T: Embedder + ?Sized> Embedder for Arc<T> {
 /// The OUA/MAB loops re-embed the user query and partial responses every
 /// round; partial responses grow monotonically but the query is fixed, and
 /// the evaluation harness embeds the same reference answers for every mode.
-/// A small cache removes that repeated work. Entries are evicted FIFO-ish by
-/// clearing the whole map when `capacity` is reached — embeddings are cheap
-/// to recompute, so a simple policy beats bookkeeping.
+/// A small cache removes that repeated work.
+///
+/// Eviction is second-chance (clock): entries carry a referenced bit set on
+/// every hit, and when the cache is full the oldest entry is either evicted
+/// (bit clear) or granted one more lap (bit set, cleared in passing). That
+/// keeps hot keys — the query, the reference answers — resident under churn,
+/// where the previous clear-the-whole-map policy threw them away along with
+/// the cold ones and forced a full warm-up after every overflow. Hits and
+/// misses are counted locally ([`CachedEmbedder::stats`]) and exported as
+/// the `embed_cache_hits_total` / `embed_cache_misses_total` obs counters.
 pub struct CachedEmbedder<E> {
     inner: E,
-    cache: RwLock<HashMap<String, Embedding>>,
+    cache: RwLock<CacheState>,
     capacity: usize,
     hits: RwLock<u64>,
     misses: RwLock<u64>,
+}
+
+/// Map plus clock ring. A key is in `ring` iff it is in `map`, exactly once:
+/// keys enter both on insert and leave both only through the eviction sweep.
+struct CacheState {
+    map: HashMap<String, CacheSlot>,
+    ring: VecDeque<String>,
+}
+
+struct CacheSlot {
+    embedding: Embedding,
+    /// Set on hit under the read lock — the only mutation hits perform.
+    referenced: AtomicBool,
 }
 
 impl<E: Embedder> CachedEmbedder<E> {
@@ -74,7 +95,10 @@ impl<E: Embedder> CachedEmbedder<E> {
     pub fn new(inner: E, capacity: usize) -> Self {
         Self {
             inner,
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(CacheState {
+                map: HashMap::new(),
+                ring: VecDeque::new(),
+            }),
             capacity: capacity.max(1),
             hits: RwLock::new(0),
             misses: RwLock::new(0),
@@ -88,17 +112,29 @@ impl<E: Embedder> CachedEmbedder<E> {
 
     /// Number of currently cached entries.
     pub fn len(&self) -> usize {
-        self.cache.read().len()
+        self.cache.read().map.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.read().is_empty()
+        self.cache.read().map.is_empty()
     }
 
     /// Access the wrapped embedder.
     pub fn inner(&self) -> &E {
         &self.inner
+    }
+
+    fn cache_metric(&self, hit: bool) {
+        let registry = llmms_obs::Registry::global();
+        if registry.enabled() {
+            let name = if hit {
+                "embed_cache_hits_total"
+            } else {
+                "embed_cache_misses_total"
+            };
+            registry.counter(name).metric.inc();
+        }
     }
 }
 
@@ -108,17 +144,46 @@ impl<E: Embedder> Embedder for CachedEmbedder<E> {
     }
 
     fn embed(&self, text: &str) -> Embedding {
-        if let Some(e) = self.cache.read().get(text) {
-            *self.hits.write() += 1;
-            return e.clone();
+        {
+            let state = self.cache.read();
+            if let Some(slot) = state.map.get(text) {
+                slot.referenced.store(true, Ordering::Relaxed);
+                *self.hits.write() += 1;
+                self.cache_metric(true);
+                return slot.embedding.clone();
+            }
         }
         *self.misses.write() += 1;
+        self.cache_metric(false);
         let e = self.inner.embed(text);
-        let mut cache = self.cache.write();
-        if cache.len() >= self.capacity {
-            cache.clear();
+        let mut state = self.cache.write();
+        if !state.map.contains_key(text) {
+            // Clock sweep: evict the first unreferenced entry, clearing
+            // referenced bits in passing. Terminates — a full lap clears
+            // every bit, so the lap after that must evict.
+            while state.map.len() >= self.capacity {
+                let Some(key) = state.ring.pop_front() else {
+                    break;
+                };
+                let second_chance = state
+                    .map
+                    .get(&key)
+                    .is_some_and(|slot| slot.referenced.swap(false, Ordering::Relaxed));
+                if second_chance {
+                    state.ring.push_back(key);
+                } else {
+                    state.map.remove(&key);
+                }
+            }
+            state.ring.push_back(text.to_owned());
+            state.map.insert(
+                text.to_owned(),
+                CacheSlot {
+                    embedding: e.clone(),
+                    referenced: AtomicBool::new(false),
+                },
+            );
         }
-        cache.insert(text.to_owned(), e.clone());
         e
     }
 
@@ -168,13 +233,57 @@ mod tests {
     }
 
     #[test]
-    fn cache_clears_at_capacity() {
+    fn eviction_is_bounded_at_capacity() {
         let cached = CachedEmbedder::new(CountingEmbedder::new(), 2);
         cached.embed("a");
         cached.embed("b");
         assert_eq!(cached.len(), 2);
-        cached.embed("c"); // triggers clear, then inserts "c"
-        assert_eq!(cached.len(), 1);
+        cached.embed("c"); // evicts exactly one entry, not the whole map
+        assert_eq!(cached.len(), 2);
+        for t in ["d", "e", "f", "g"] {
+            cached.embed(t);
+            assert_eq!(cached.len(), 2, "cache must never exceed capacity");
+        }
+    }
+
+    #[test]
+    fn second_chance_keeps_the_hot_entry_under_churn() {
+        let cached = CachedEmbedder::new(CountingEmbedder::new(), 2);
+        cached.embed("hot");
+        cached.embed("cold");
+        // A hit marks "hot" referenced: the clock sweep must spare it and
+        // evict "cold" instead, no matter how much churn follows.
+        for (round, t) in ["x", "y", "z"].iter().enumerate() {
+            cached.embed("hot");
+            let calls = *cached.inner().calls.read();
+            cached.embed(t);
+            assert_eq!(
+                *cached.inner().calls.read(),
+                calls + 1,
+                "round {round}: only the new text should compute"
+            );
+        }
+        let calls = *cached.inner().calls.read();
+        cached.embed("hot");
+        assert_eq!(
+            *cached.inner().calls.read(),
+            calls,
+            "the hot entry must have survived the churn"
+        );
+    }
+
+    #[test]
+    fn unreferenced_entries_evict_in_insertion_order() {
+        let cached = CachedEmbedder::new(CountingEmbedder::new(), 2);
+        cached.embed("a");
+        cached.embed("b");
+        cached.embed("c"); // nothing referenced: "a" (oldest) goes
+        let calls = *cached.inner().calls.read();
+        cached.embed("b");
+        cached.embed("c");
+        assert_eq!(*cached.inner().calls.read(), calls, "b and c survived");
+        cached.embed("a");
+        assert_eq!(*cached.inner().calls.read(), calls + 1, "a was evicted");
     }
 
     #[test]

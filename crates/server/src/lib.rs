@@ -96,6 +96,7 @@ mod tests {
                     failed: false,
                     error: None,
                     retries: 0,
+                    backoff_ms: 0,
                 }],
                 total_tokens: 3,
                 rounds: 1,
@@ -478,6 +479,44 @@ mod tests {
     }
 
     #[test]
+    fn full_handoff_queue_is_shed_at_the_acceptor() {
+        use std::io::Read;
+        let server = Server::start_with(
+            Arc::new(StubService::new()),
+            "127.0.0.1:0",
+            server::ServerConfig {
+                worker_threads: 1,
+                queue_depth: 1,
+                ..server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // Pin the only worker on a slow query…
+        let busy = std::thread::spawn(move || {
+            client::request(addr, "POST", "/api/query", Some(r#"{"question":"sleep"}"#)).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // …and park a second connection in the single queue slot.
+        let parked = std::net::TcpStream::connect(addr).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // The third connection finds the queue full, so the acceptor sheds
+        // it directly — no worker, no spawned thread, not even a request
+        // read. The client sees 503 without sending a byte.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 503 Service Unavailable"),
+            "{response}"
+        );
+        assert!(response.contains("Retry-After: 1"), "{response}");
+        drop(parked);
+        assert_eq!(busy.join().unwrap().status, 200);
+        server.shutdown();
+    }
+
+    #[test]
     fn metrics_and_stats_endpoints_serve() {
         let server = start();
         let r = client::request(server.addr(), "GET", "/metrics", None).unwrap();
@@ -493,6 +532,9 @@ mod tests {
         assert!(v.get("requests").is_some());
         assert!(v.get("breakers").is_some());
         assert!(v.get("scoring").is_some());
+        let parallel = v.get("parallel").expect("parallel block");
+        assert!(parallel.get("round_parallel_speedup").is_some());
+        assert!(parallel.get("embed_cache").is_some());
         server.shutdown();
     }
 }

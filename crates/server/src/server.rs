@@ -5,6 +5,8 @@ use crate::http::{
 };
 use crate::service::{AppService, GenerateRequest, QueryRequest, ServiceError};
 use crate::sse;
+use crossbeam_channel::TrySendError;
+use parking_lot::Mutex;
 use serde_json::{json, Value};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -22,6 +24,15 @@ pub struct ServerConfig {
     /// Maximum concurrently handled requests before new ones are shed with
     /// 503 + `Retry-After` (health and metrics probes are exempt).
     pub max_in_flight: usize,
+    /// Size of the reusable worker pool that serves accepted connections.
+    /// Connections are handed off to these threads instead of spawning one
+    /// thread per connection, so a connection flood cannot exhaust process
+    /// threads before the in-flight shed even sees the request.
+    pub worker_threads: usize,
+    /// Capacity of the handoff queue between the acceptor and the worker
+    /// pool. When it is full the acceptor answers 503 + `Retry-After`
+    /// itself — shedding happens before any per-connection resources exist.
+    pub queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -29,6 +40,8 @@ impl Default for ServerConfig {
         Self {
             read_timeout: Duration::from_secs(10),
             max_in_flight: 256,
+            worker_threads: 8,
+            queue_depth: 64,
         }
     }
 }
@@ -40,12 +53,13 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// serving `service` with one thread per connection and default
-    /// robustness settings.
+    /// serving `service` on a bounded worker pool with default robustness
+    /// settings.
     ///
     /// # Errors
     ///
@@ -55,6 +69,11 @@ impl Server {
     }
 
     /// [`Server::start`] with explicit [`ServerConfig`].
+    ///
+    /// Accepted connections are pushed onto a bounded queue drained by
+    /// [`ServerConfig::worker_threads`] long-lived workers. A full queue is
+    /// answered 503 by the acceptor itself, so overload never translates
+    /// into unbounded thread creation.
     ///
     /// # Errors
     ///
@@ -69,25 +88,47 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let in_flight = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = crossbeam_channel::bounded::<TcpStream>(config.queue_depth.max(1));
+        // The vendored Receiver is single-consumer; workers share it behind
+        // a mutex, holding the lock only for the dequeue itself.
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.worker_threads.max(1));
+        for i in 0..config.worker_threads.max(1) {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            let in_flight = Arc::clone(&in_flight);
+            let worker = std::thread::Builder::new()
+                .name(format!("llmms-http-{i}"))
+                .spawn(move || loop {
+                    let next = rx.lock().recv();
+                    let Ok(mut stream) = next else {
+                        break; // acceptor gone and queue drained
+                    };
+                    let _guard = InFlightGuard::enter(&in_flight);
+                    handle_connection(&*service, &config, &in_flight, &mut stream);
+                })
+                .expect("spawn http worker");
+            workers.push(worker);
+        }
         let handle = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let service = Arc::clone(&service);
-                let in_flight = Arc::clone(&in_flight);
-                std::thread::spawn(move || {
-                    let mut stream = stream;
-                    let _guard = InFlightGuard::enter(&in_flight);
-                    handle_connection(&*service, &config, &in_flight, &mut stream);
-                });
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => shed_at_acceptor(stream),
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
             }
+            // `tx` drops here; workers drain the queue and exit.
         });
         Ok(Server {
             addr: local,
             stop,
             handle: Some(handle),
+            workers,
         })
     }
 
@@ -96,7 +137,7 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting connections and join the listener thread.
+    /// Stop accepting connections, then join the listener and worker pool.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Nudge the blocking accept with one last connection.
@@ -104,7 +145,32 @@ impl Server {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
     }
+}
+
+/// Queue-full shed, answered on the acceptor thread before any worker (let
+/// alone a fresh thread) is committed to the connection. The short write
+/// timeout keeps a slow client from stalling the accept loop.
+fn shed_at_acceptor(mut stream: TcpStream) {
+    let registry = llmms_obs::Registry::global();
+    if registry.enabled() {
+        registry
+            .counter_with("http_shed_total", &[("route", "acceptor")])
+            .metric
+            .inc();
+    }
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let body = json!({ "error": "server overloaded, retry shortly" }).to_string();
+    let _ = write_response_with(
+        &mut stream,
+        503,
+        "application/json",
+        &[("Retry-After", "1")],
+        body.as_bytes(),
+    );
 }
 
 /// RAII in-flight connection counter: increments on entry, decrements on

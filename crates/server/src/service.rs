@@ -310,11 +310,48 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         ),
     });
 
+    // Parallel round execution: aggregate speedup (total per-arm busy time
+    // over wall-clock round time — how much generation overlapped), last
+    // round's fan-out, per-model generate latency and the embedding
+    // memo-cache counters that feed the overlap.
+    let busy_us = hist_of("round_busy_us").map_or(0.0, |h| h.sum);
+    let wall_us = hist_of("round_wall_us").map_or(0.0, |h| h.sum);
+    let mut generate = Map::new();
+    for h in &snapshot.histograms {
+        if h.name != "generate_latency_us" {
+            continue;
+        }
+        let Some(model) = model_of(&h.labels) else {
+            continue;
+        };
+        generate.insert(
+            model,
+            json!({ "count": h.count, "mean": h.mean, "p99": h.p99 }),
+        );
+    }
+    let parallel = json!({
+        "rounds": hist_of("round_wall_us").map_or(0, |h| h.count),
+        "last_round_fanout": snapshot
+            .gauges
+            .iter()
+            .find(|g| g.name == "round_fanout")
+            .map_or(0, |g| g.value),
+        "busy_us": busy_us,
+        "wall_us": wall_us,
+        "round_parallel_speedup": if wall_us > 0.0 { busy_us / wall_us } else { 0.0 },
+        "generate_latency_us": Value::Object(generate),
+        "embed_cache": {
+            "hits": counter_total("embed_cache_hits_total"),
+            "misses": counter_total("embed_cache_misses_total"),
+        },
+    });
+
     json!({
         "models": Value::Object(model_map),
         "requests": Value::Object(routes),
         "breakers": Value::Object(breakers),
         "scoring": scoring,
+        "parallel": parallel,
     })
 }
 

@@ -21,6 +21,25 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`]; the unsent value is returned
+/// inside either variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity.
+    Full(T),
+    /// The receiving half disconnected.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] when every sender disconnected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
@@ -82,6 +101,23 @@ impl<T> Sender<T> {
         match &self.0 {
             SenderKind::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
             SenderKind::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+        }
+    }
+
+    /// Send `value` without blocking. On an unbounded channel this is
+    /// [`Sender::send`]; on a bounded channel at capacity it fails fast.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] when the receiving half disconnected.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        match &self.0 {
+            SenderKind::Unbounded(s) => s.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
+            SenderKind::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            }),
         }
     }
 }
@@ -220,6 +256,20 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn try_send_fails_fast_on_full_then_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+
+        let (utx, urx) = unbounded();
+        assert_eq!(utx.try_send(4), Ok(()));
+        drop(urx);
+        assert_eq!(utx.try_send(5), Err(TrySendError::Disconnected(5)));
     }
 
     #[test]
