@@ -5,7 +5,7 @@
 //! llmms chat                         # interactive session (:q to quit)
 //! llmms eval [--items N] [--budget N]
 //! llmms dataset --out FILE [--items N] [--seed N]
-//! llmms serve [--addr HOST:PORT]
+//! llmms serve [--addr HOST:PORT] [--persist DIR] [--fsync-every N]
 //! llmms models
 //! ```
 
@@ -44,7 +44,7 @@ fn print_usage() {
          llmms chat\n  \
          llmms eval [--items N] [--budget N]\n  \
          llmms dataset --out FILE [--items N] [--seed N]\n  \
-         llmms serve [--addr HOST:PORT]\n  \
+         llmms serve [--addr HOST:PORT] [--persist DIR] [--fsync-every N]\n  \
          llmms models"
     );
 }
@@ -249,7 +249,36 @@ fn cmd_dataset(args: &[String]) -> i32 {
 
 fn cmd_serve(args: &[String]) -> i32 {
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7341");
-    let platform = std::sync::Arc::new(Platform::evaluation_default());
+    let platform = if let Some(persist) = flag_value(args, "--persist") {
+        let knowledge =
+            llmms::eval::generate(&llmms::eval::GeneratorConfig::default()).to_knowledge();
+        let mut builder = Platform::builder()
+            .knowledge(knowledge)
+            .persist_path(persist);
+        if let Some(n) = flag_value(args, "--fsync-every") {
+            match n.parse() {
+                Ok(n) => builder = builder.fsync_every(n),
+                Err(_) => {
+                    eprintln!("serve: --fsync-every expects an integer, got {n:?}");
+                    return 2;
+                }
+            }
+        }
+        match builder.build() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("serve: failed to open store at {persist:?}: {e}");
+                return 1;
+            }
+        }
+    } else {
+        Platform::evaluation_default()
+    };
+    let platform = std::sync::Arc::new(platform);
+    if platform.is_durable() {
+        let docs = platform.retriever().documents();
+        println!("durable store: {} document(s) recovered", docs.len());
+    }
     match llmms::server::Server::start(platform, addr) {
         Ok(server) => {
             println!("llmms serving on http://{}", server.addr());

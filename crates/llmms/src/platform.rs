@@ -7,10 +7,13 @@ use llmms_core::{
 };
 use llmms_embed::SharedEmbedder;
 use llmms_models::{KnowledgeEntry, KnowledgeStore, ModelError, ModelRegistry, SharedModel};
+use llmms_rag::RetrieverConfig;
 use llmms_rag::{HistoryTurn, PromptBuilder, PromptConfig, RagError, Retriever};
 use llmms_session::{MemoryGraph, MemoryGraphConfig, Recalled, Role, SessionError, SessionStore};
+use llmms_vectordb::{Database, DbError, StorageConfig};
 use parking_lot::RwLock;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Errors surfaced by the platform facade.
@@ -24,6 +27,8 @@ pub enum PlatformError {
     Rag(RagError),
     /// Session lookup failure.
     Session(SessionError),
+    /// Durable vector-store failure (open/recovery/checkpoint).
+    Storage(DbError),
 }
 
 impl fmt::Display for PlatformError {
@@ -33,6 +38,7 @@ impl fmt::Display for PlatformError {
             PlatformError::Orchestrator(e) => write!(f, "orchestrator error: {e}"),
             PlatformError::Rag(e) => write!(f, "rag error: {e}"),
             PlatformError::Session(e) => write!(f, "session error: {e}"),
+            PlatformError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -60,6 +66,12 @@ impl From<RagError> for PlatformError {
 impl From<SessionError> for PlatformError {
     fn from(e: SessionError) -> Self {
         PlatformError::Session(e)
+    }
+}
+
+impl From<DbError> for PlatformError {
+    fn from(e: DbError) -> Self {
+        PlatformError::Storage(e)
     }
 }
 
@@ -231,6 +243,27 @@ impl Platform {
         &self.retriever
     }
 
+    /// The vector database backing the retriever.
+    pub fn vector_db(&self) -> &Arc<Database> {
+        self.retriever.database()
+    }
+
+    /// Whether ingested documents persist across restarts (the platform
+    /// was built with [`PlatformBuilder::persist_path`]).
+    pub fn is_durable(&self) -> bool {
+        self.vector_db().is_durable()
+    }
+
+    /// Snapshot the durable vector store and truncate its write-ahead
+    /// logs. No-op on an in-memory platform.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Storage`] on I/O failure.
+    pub fn checkpoint_storage(&self) -> Result<(), PlatformError> {
+        Ok(self.vector_db().checkpoint()?)
+    }
+
     /// The embedder shared across the platform.
     pub fn embedder(&self) -> &SharedEmbedder {
         &self.embedder
@@ -376,6 +409,8 @@ pub struct PlatformBuilder {
     config: OrchestratorConfig,
     embedder: Option<SharedEmbedder>,
     prompt_config: PromptConfig,
+    persist_path: Option<PathBuf>,
+    storage_config: StorageConfig,
 }
 
 impl PlatformBuilder {
@@ -407,6 +442,33 @@ impl PlatformBuilder {
         self
     }
 
+    /// Persist the RAG vector store under `path` (WAL + snapshots).
+    /// Documents ingested through the platform survive restarts; on build,
+    /// any store already at `path` is recovered.
+    #[must_use]
+    pub fn persist_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist_path = Some(path.into());
+        self
+    }
+
+    /// Fsync the write-ahead log every `n` appends (`0` = never fsync,
+    /// `1` = every append). Only meaningful together with
+    /// [`PlatformBuilder::persist_path`].
+    #[must_use]
+    pub fn fsync_every(mut self, n: usize) -> Self {
+        self.storage_config.fsync_every = n;
+        self
+    }
+
+    /// Snapshot + truncate the WAL automatically every `n` appends
+    /// (`0` = only on explicit [`Platform::checkpoint_storage`]). Only
+    /// meaningful together with [`PlatformBuilder::persist_path`].
+    #[must_use]
+    pub fn snapshot_every(mut self, n: u64) -> Self {
+        self.storage_config.snapshot_every = n;
+        self
+    }
+
     /// Assemble the platform: build the knowledge store, register and load
     /// the three evaluation models, wire the retriever and session store.
     ///
@@ -419,7 +481,13 @@ impl PlatformBuilder {
         let knowledge = Arc::new(KnowledgeStore::build(self.knowledge, Arc::clone(&embedder)));
         let registry = ModelRegistry::evaluation_setup(knowledge);
         let models = registry.load_all()?;
-        let retriever = Retriever::in_memory(Arc::clone(&embedder));
+        let retriever = match &self.persist_path {
+            Some(path) => {
+                let db = Arc::new(Database::open_with(path, self.storage_config)?);
+                Retriever::new(db, Arc::clone(&embedder), RetrieverConfig::default())
+            }
+            None => Retriever::in_memory(Arc::clone(&embedder)),
+        };
         let orchestrator = Orchestrator::new(Arc::clone(&embedder), self.config);
         Ok(Platform {
             registry,
@@ -505,6 +573,42 @@ mod tests {
         p.set_orchestrator_config(cfg);
         let r = p.ask("What is the capital of France?").unwrap();
         assert_eq!(r.strategy, "LLM-MS OUA");
+    }
+
+    #[test]
+    fn persisted_platform_recovers_ingested_documents() {
+        let dir = std::env::temp_dir().join(format!(
+            "llmms-platform-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let p = Platform::builder()
+                .persist_path(&dir)
+                .fsync_every(1)
+                .build()
+                .unwrap();
+            assert!(p.is_durable());
+            p.ingest_document("zorblax", "The capital of Zorblax is Vantar.")
+                .unwrap();
+            p.checkpoint_storage().unwrap();
+        }
+        let p = Platform::builder().persist_path(&dir).build().unwrap();
+        assert_eq!(p.retriever().documents(), ["zorblax"]);
+        let hits = p
+            .retriever()
+            .retrieve("capital of Zorblax", 1, None)
+            .unwrap();
+        assert!(hits[0].text.contains("Vantar"), "hits: {hits:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_platform_is_not_durable() {
+        let p = Platform::builder().build().unwrap();
+        assert!(!p.is_durable());
+        p.checkpoint_storage().unwrap(); // no-op, must not fail
     }
 
     #[test]

@@ -87,13 +87,28 @@ pub struct Retriever {
 
 impl Retriever {
     /// Create a retriever over `db`, embedding with `embedder`.
+    ///
+    /// When `db` already holds the configured collection (e.g. a durable
+    /// database recovered via [`Database::open`]), the ingested-document
+    /// list is rebuilt from the stored chunk metadata (sorted by id —
+    /// original ingestion order does not survive a restart), so previously
+    /// ingested documents stay listed and retrievable.
     pub fn new(db: Arc<Database>, embedder: SharedEmbedder, config: RetrieverConfig) -> Self {
-        db.get_or_create(&config.collection, CollectionConfig::flat(embedder.dim()));
+        let coll = db.get_or_create(&config.collection, CollectionConfig::flat(embedder.dim()));
+        let mut recovered: Vec<String> = Vec::new();
+        for record in coll.read().iter() {
+            if let Some(doc) = record.metadata.get("document_id").and_then(|v| v.as_str()) {
+                if !recovered.iter().any(|d| d == doc) {
+                    recovered.push(doc.to_owned());
+                }
+            }
+        }
+        recovered.sort();
         Self {
             db,
             embedder,
             config,
-            ingested: RwLock::new(Vec::new()),
+            ingested: RwLock::new(recovered),
         }
     }
 
@@ -104,6 +119,12 @@ impl Retriever {
             embedder,
             RetrieverConfig::default(),
         )
+    }
+
+    /// The underlying vector database (e.g. to checkpoint or flush a
+    /// durable store).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
     }
 
     /// Ids of ingested documents, in ingestion order.
@@ -137,48 +158,54 @@ impl Retriever {
 
     fn ingest_parsed(&self, document_id: &str, doc: &ParsedDocument) -> Result<usize, RagError> {
         let chunks = chunk(&doc.paragraphs, &self.config.chunking);
+        // Embed every chunk *before* taking the collection write lock:
+        // embedding is the expensive part of ingestion and holding the lock
+        // through it would stall every concurrent `retrieve`.
+        let records: Vec<Record> = chunks
+            .iter()
+            .map(|c| {
+                Record::new(
+                    format!("{document_id}#{}", c.index),
+                    self.embedder.embed(&c.text),
+                )
+                .with_document(c.text.clone())
+                .with_metadata(meta([
+                    ("document_id", document_id.into()),
+                    ("chunk_index", (c.index as i64).into()),
+                    ("title", doc.title.as_str().into()),
+                ]))
+            })
+            .collect();
         let coll = self.db.collection(&self.config.collection)?;
-        let mut guard = coll.write();
-        for c in &chunks {
-            let embedding = self.embedder.embed(&c.text);
-            guard.upsert(
-                Record::new(format!("{document_id}#{}", c.index), embedding)
-                    .with_document(c.text.clone())
-                    .with_metadata(meta([
-                        ("document_id", document_id.into()),
-                        ("chunk_index", (c.index as i64).into()),
-                        ("title", doc.title.as_str().into()),
-                    ])),
-            )?;
+        {
+            let mut guard = coll.write();
+            // Delete-then-upsert under one guard: upserting only over
+            // matching ids would leave stale high-index chunks behind when
+            // a re-ingested document now yields *fewer* chunks.
+            guard.delete_matching(&Filter::eq_str("document_id", document_id))?;
+            guard.upsert_batch(records)?;
         }
-        self.ingested.write().push(document_id.to_owned());
+        let mut ingested = self.ingested.write();
+        if !ingested.iter().any(|d| d == document_id) {
+            ingested.push(document_id.to_owned());
+        }
         Ok(chunks.len())
     }
 
-    /// Remove every chunk of `document_id`.
+    /// Remove every chunk of `document_id`. The scan and the deletes run
+    /// under one write guard, so a concurrent ingest cannot interleave and
+    /// leave orphaned chunks.
     ///
     /// # Errors
     ///
     /// Vector-store failures propagate.
     pub fn remove_document(&self, document_id: &str) -> Result<usize, RagError> {
         let coll = self.db.collection(&self.config.collection)?;
-        let ids: Vec<String> = coll
-            .read()
-            .iter()
-            .filter(|r| {
-                r.metadata
-                    .get("document_id")
-                    .and_then(|v| v.as_str())
-                    .is_some_and(|d| d == document_id)
-            })
-            .map(|r| r.id.clone())
-            .collect();
-        let mut guard = coll.write();
-        for id in &ids {
-            guard.delete(id)?;
-        }
+        let removed = coll
+            .write()
+            .delete_matching(&Filter::eq_str("document_id", document_id))?;
         self.ingested.write().retain(|d| d != document_id);
-        Ok(ids.len())
+        Ok(removed)
     }
 
     /// Retrieve the top-`k` chunks for `query`, optionally restricted to one
@@ -218,8 +245,9 @@ impl Retriever {
                 chunk_index: h
                     .metadata
                     .get("chunk_index")
-                    .and_then(|v| v.as_f64())
-                    .unwrap_or(0.0) as usize,
+                    .and_then(|v| v.as_i64())
+                    .and_then(|i| usize::try_from(i).ok())
+                    .unwrap_or(0),
                 text: h.document.unwrap_or_default(),
                 score: h.score,
             })
@@ -332,6 +360,133 @@ mod tests {
         r.ingest_text("d", "New content about dogs.").unwrap();
         let hits = r.retrieve("dogs", 5, None).unwrap();
         assert!(hits.iter().any(|h| h.text.contains("dogs")));
+    }
+
+    #[test]
+    fn reingesting_with_fewer_chunks_leaves_no_stale_chunks() {
+        // Regression: the old ingest path upserted over matching ids only,
+        // so re-ingesting a document whose new chunking yields fewer chunks
+        // left the old high-index chunks alive and retrievable.
+        let r = Retriever::in_memory(llmms_embed::default_embedder());
+        let many: String = (0..8)
+            .map(|i| format!("Unique stale paragraph number {i} about zebras and canyon {i}.\n\n"))
+            .collect();
+        let n_many = r.ingest_text("doc", &many).unwrap();
+        assert!(n_many > 1, "setup needs a multi-chunk document");
+        let n_few = r.ingest_text("doc", "One short replacement.").unwrap();
+        assert!(n_few < n_many);
+
+        // Count what is actually stored for the document.
+        let db = &r.db;
+        let coll = db.collection(&r.config.collection).unwrap();
+        let stored = coll
+            .read()
+            .iter()
+            .filter(|rec| {
+                rec.metadata
+                    .get("document_id")
+                    .and_then(|v| v.as_str())
+                    .is_some_and(|d| d == "doc")
+            })
+            .count();
+        assert_eq!(stored, n_few, "stale chunks survived re-ingestion");
+
+        // The shrink-then-retrieve round-trip: stale content must be gone.
+        let hits = r
+            .retrieve("zebras canyon stale paragraph", 10, None)
+            .unwrap();
+        assert!(
+            hits.iter().all(|h| !h.text.contains("zebras")),
+            "retrieved a stale chunk: {hits:?}"
+        );
+        // And the ingested list must not carry duplicates.
+        assert_eq!(r.documents(), ["doc"]);
+    }
+
+    #[test]
+    fn chunk_index_roundtrips_through_metadata() {
+        let r = Retriever::in_memory(llmms_embed::default_embedder());
+        r.ingest_text(
+            "multi",
+            "First paragraph about alpine glaciers.\n\n\
+             Second paragraph about desert dunes.\n\n\
+             Third paragraph about ocean trenches.",
+        )
+        .unwrap();
+        let hits = r.retrieve("desert dunes", 3, None).unwrap();
+        assert!(!hits.is_empty());
+        for h in &hits {
+            // Every retrieved chunk's index must point at the stored record
+            // carrying the same text — the i64 metadata survived intact.
+            let db = &r.db;
+            let coll = db.collection(&r.config.collection).unwrap();
+            let guard = coll.read();
+            let rec = guard
+                .get(&format!("{}#{}", h.document_id, h.chunk_index))
+                .expect("chunk_index must address a live record");
+            assert_eq!(rec.document.as_deref(), Some(h.text.as_str()));
+        }
+    }
+
+    #[test]
+    fn durable_retriever_survives_reopen_with_identical_results() {
+        use llmms_vectordb::StorageConfig;
+        let dir = std::env::temp_dir().join(format!(
+            "llmms-rag-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let queries = ["capital of france", "photosynthesis energy", "powerhouse"];
+
+        let before: Vec<Vec<RetrievedChunk>> = {
+            let db = Arc::new(
+                Database::open_with(
+                    &dir,
+                    StorageConfig {
+                        fsync_every: 2,
+                        snapshot_every: 3, // force snapshot + WAL-suffix mix
+                    },
+                )
+                .unwrap(),
+            );
+            let r = Retriever::new(
+                db,
+                llmms_embed::default_embedder(),
+                RetrieverConfig::default(),
+            );
+            r.ingest_text(
+                "geography",
+                "The capital of France is Paris. Paris sits on the Seine river.\n\n\
+                 The capital of Japan is Tokyo.",
+            )
+            .unwrap();
+            r.ingest_text(
+                "biology",
+                "Photosynthesis converts sunlight into chemical energy.\n\n\
+                 Mitochondria are the powerhouse of the cell.",
+            )
+            .unwrap();
+            // Mutate after the last snapshot so reopen exercises WAL replay.
+            r.ingest_text("geography", "The capital of France is Paris, on the Seine.")
+                .unwrap();
+            queries
+                .iter()
+                .map(|q| r.retrieve(q, 3, None).unwrap())
+                .collect()
+        };
+
+        let db = Arc::new(Database::open(&dir).unwrap());
+        let r = Retriever::new(
+            db,
+            llmms_embed::default_embedder(),
+            RetrieverConfig::default(),
+        );
+        assert_eq!(r.documents(), ["biology", "geography"]);
+        for (q, expected) in queries.iter().zip(&before) {
+            assert_eq!(&r.retrieve(q, 3, None).unwrap(), expected, "query {q:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

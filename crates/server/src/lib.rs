@@ -535,6 +535,9 @@ mod tests {
         let parallel = v.get("parallel").expect("parallel block");
         assert!(parallel.get("round_parallel_speedup").is_some());
         assert!(parallel.get("embed_cache").is_some());
+        let storage = v.get("storage").expect("storage block");
+        assert!(storage.get("wal_appends").is_some());
+        assert!(storage.get("recovery").is_some());
         server.shutdown();
     }
 }

@@ -346,12 +346,32 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         },
     });
 
+    // Durable storage: WAL append/fsync activity, checkpoint cost, and
+    // what the last recovery replayed. All zeros on an in-memory store.
+    let storage = json!({
+        "wal_appends": counter_total("wal_appends_total"),
+        "wal_fsync_us": hist_of("wal_fsync_us").map_or_else(
+            || json!({ "count": 0 }),
+            |h| json!({ "count": h.count, "mean": h.mean, "p50": h.p50, "p99": h.p99 }),
+        ),
+        "snapshots": counter_total("snapshots_total"),
+        "snapshot_us": hist_of("snapshot_us").map_or_else(
+            || json!({ "count": 0 }),
+            |h| json!({ "count": h.count, "mean": h.mean, "p99": h.p99 }),
+        ),
+        "recovery": {
+            "replayed_frames": counter_total("recovery_replayed_frames"),
+            "torn_tails": counter_total("recovery_torn_tails_total"),
+        },
+    });
+
     json!({
         "models": Value::Object(model_map),
         "requests": Value::Object(routes),
         "breakers": Value::Object(breakers),
         "scoring": scoring,
         "parallel": parallel,
+        "storage": storage,
     })
 }
 

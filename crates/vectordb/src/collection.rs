@@ -5,6 +5,7 @@ use crate::error::DbError;
 use crate::filter::Filter;
 use crate::index::{FlatIndex, HnswConfig, HnswIndex, IndexKind, InternalId, VectorIndex};
 use crate::metadata::Metadata;
+use crate::wal::{CollectionStorage, WalOp};
 use llmms_embed::{Embedding, Metric};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -126,6 +127,11 @@ pub struct Collection {
     id_map: HashMap<String, InternalId>,
     index: IndexState,
     next_internal: InternalId,
+    /// Durability state (WAL + snapshot paths) when the owning database is
+    /// persistent; `None` for in-memory collections. Not part of the
+    /// serialized snapshot.
+    #[serde(skip)]
+    storage: Option<CollectionStorage>,
 }
 
 impl Collection {
@@ -146,7 +152,18 @@ impl Collection {
             id_map: HashMap::new(),
             index,
             next_internal: 0,
+            storage: None,
         }
+    }
+
+    /// Attach durability state (recovery and persistent-database wiring).
+    pub(crate) fn attach_storage(&mut self, storage: CollectionStorage) {
+        self.storage = Some(storage);
+    }
+
+    /// Whether mutations on this collection are written ahead to a log.
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
     }
 
     /// The collection's name.
@@ -169,21 +186,29 @@ impl Collection {
         self.records.is_empty()
     }
 
-    /// Insert or replace a record by id.
-    ///
-    /// # Errors
-    ///
-    /// [`DbError::DimensionMismatch`] when the embedding does not match the
-    /// collection dimension.
-    pub fn upsert(&mut self, record: Record) -> Result<(), DbError> {
-        if record.embedding.dim() != self.config.dim {
+    fn check_dim(&self, embedding: &Embedding) -> Result<(), DbError> {
+        if embedding.dim() != self.config.dim {
             return Err(DbError::DimensionMismatch {
                 expected: self.config.dim,
-                actual: record.embedding.dim(),
+                actual: embedding.dim(),
             });
         }
-        // Replace = delete old + insert new (ids inside indexes are never
-        // reused, matching the tombstone design).
+        Ok(())
+    }
+
+    /// Write `ops` ahead to the log (no-op for in-memory collections).
+    /// Returns whether an automatic checkpoint is due.
+    fn log_ops(&mut self, ops: &[&WalOp]) -> Result<bool, DbError> {
+        match &mut self.storage {
+            None => Ok(false),
+            Some(storage) => storage.log(ops),
+        }
+    }
+
+    /// Apply an upsert to in-memory state only (validation and logging
+    /// already done). Replace = delete old + insert new (ids inside indexes
+    /// are never reused, matching the tombstone design).
+    pub(crate) fn apply_upsert(&mut self, record: Record) {
         if let Some(&old) = self.id_map.get(&record.id) {
             self.index.as_dyn_mut().remove(old);
             self.records.remove(&old);
@@ -195,13 +220,66 @@ impl Collection {
             .insert(internal, record.embedding.as_slice());
         self.id_map.insert(record.id.clone(), internal);
         self.records.insert(internal, record);
+    }
+
+    /// Apply a delete to in-memory state only; `false` when absent.
+    pub(crate) fn apply_delete(&mut self, id: &str) -> bool {
+        let Some(internal) = self.id_map.remove(id) else {
+            return false;
+        };
+        self.index.as_dyn_mut().remove(internal);
+        self.records.remove(&internal);
+        true
+    }
+
+    /// Insert or replace a record by id. On durable collections the record
+    /// is framed and appended to the WAL before memory is touched.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::DimensionMismatch`] when the embedding does not match the
+    /// collection dimension; [`DbError::Persistence`] when the write-ahead
+    /// append fails (in-memory state is then unchanged).
+    pub fn upsert(&mut self, record: Record) -> Result<(), DbError> {
+        self.check_dim(&record.embedding)?;
+        let op = WalOp::Upsert { record };
+        let checkpoint_due = self.log_ops(&[&op])?;
+        let WalOp::Upsert { record } = op else {
+            unreachable!("op constructed above")
+        };
+        self.apply_upsert(record);
+        if checkpoint_due {
+            self.checkpoint()?;
+        }
         Ok(())
     }
 
-    /// Insert many records; stops at the first error.
+    /// Insert many records as one batch: every record is validated first,
+    /// then all frames are appended with a single write (and at most one
+    /// fsync), then memory is updated — the batched-ingest fast path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Collection::upsert`]; validation failures leave both the log
+    /// and memory untouched.
     pub fn upsert_batch(&mut self, records: Vec<Record>) -> Result<(), DbError> {
-        for r in records {
-            self.upsert(r)?;
+        for r in &records {
+            self.check_dim(&r.embedding)?;
+        }
+        let ops: Vec<WalOp> = records
+            .into_iter()
+            .map(|record| WalOp::Upsert { record })
+            .collect();
+        let refs: Vec<&WalOp> = ops.iter().collect();
+        let checkpoint_due = self.log_ops(&refs)?;
+        for op in ops {
+            let WalOp::Upsert { record } = op else {
+                unreachable!("ops constructed above")
+            };
+            self.apply_upsert(record);
+        }
+        if checkpoint_due {
+            self.checkpoint()?;
         }
         Ok(())
     }
@@ -215,15 +293,92 @@ impl Collection {
     ///
     /// # Errors
     ///
-    /// [`DbError::RecordNotFound`] when no record has this id.
+    /// [`DbError::RecordNotFound`] when no record has this id;
+    /// [`DbError::Persistence`] when the write-ahead append fails.
     pub fn delete(&mut self, id: &str) -> Result<(), DbError> {
-        let internal = self
-            .id_map
-            .remove(id)
-            .ok_or_else(|| DbError::RecordNotFound(id.to_owned()))?;
-        self.index.as_dyn_mut().remove(internal);
-        self.records.remove(&internal);
+        if !self.id_map.contains_key(id) {
+            return Err(DbError::RecordNotFound(id.to_owned()));
+        }
+        let op = WalOp::Delete { id: id.to_owned() };
+        let checkpoint_due = self.log_ops(&[&op])?;
+        self.apply_delete(id);
+        if checkpoint_due {
+            self.checkpoint()?;
+        }
         Ok(())
+    }
+
+    /// Delete every record whose metadata matches `filter`, atomically with
+    /// respect to other writers (the caller already holds the collection's
+    /// write access by having `&mut self`). Returns the number of records
+    /// removed. The scan and the deletes happen under the same exclusive
+    /// access, so no concurrent upsert can slip records in between.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persistence`] when the write-ahead append fails (memory
+    /// is then unchanged).
+    pub fn delete_matching(&mut self, filter: &Filter) -> Result<usize, DbError> {
+        let ids: Vec<String> = self
+            .records
+            .values()
+            .filter(|r| filter.matches(&r.metadata))
+            .map(|r| r.id.clone())
+            .collect();
+        if ids.is_empty() {
+            return Ok(0);
+        }
+        let ops: Vec<WalOp> = ids
+            .iter()
+            .map(|id| WalOp::Delete { id: id.clone() })
+            .collect();
+        let refs: Vec<&WalOp> = ops.iter().collect();
+        let checkpoint_due = self.log_ops(&refs)?;
+        for id in &ids {
+            self.apply_delete(id);
+        }
+        if checkpoint_due {
+            self.checkpoint()?;
+        }
+        Ok(ids.len())
+    }
+
+    /// Rewrite this collection's snapshot file and truncate its WAL. No-op
+    /// for in-memory collections.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persistence`] on I/O or serialization failure.
+    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        let Some(mut storage) = self.storage.take() else {
+            return Ok(());
+        };
+        // `storage` is detached so serializing `self` (which skips the
+        // field anyway) cannot alias the mutable borrow below.
+        let result = serde_json::to_value(&*self)
+            .map_err(|e| DbError::Persistence(e.to_string()))
+            .and_then(|collection| {
+                let snapshot = serde_json::json!({
+                    "last_seq": storage.last_seq(),
+                    "collection": collection,
+                });
+                storage.checkpoint(&snapshot.to_string(), &self.name, &self.config)
+            });
+        self.storage = Some(storage);
+        result
+    }
+
+    /// Force any WAL appends still buffered by the fsync-batching policy to
+    /// stable storage. No-op for in-memory collections.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persistence`] on fsync failure.
+    pub fn flush(&mut self) -> Result<(), DbError> {
+        match &mut self.storage {
+            None => Ok(()),
+            Some(storage) => storage.flush(),
+        }
     }
 
     /// Top-`k` records most similar to `query`, optionally restricted by a
@@ -323,9 +478,10 @@ impl Collection {
             )),
         };
         self.next_internal = 0;
+        // Rebuild through the no-log apply path: compaction changes no
+        // logical state, so durable collections must not re-log records.
         for record in records {
-            self.upsert(record)
-                .expect("re-inserting validated records cannot fail");
+            self.apply_upsert(record);
         }
         before - live
     }

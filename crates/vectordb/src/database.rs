@@ -4,9 +4,10 @@
 
 use crate::collection::{Collection, CollectionConfig};
 use crate::error::DbError;
+use crate::wal::{self, CollectionStorage, SnapshotFile, StorageConfig, WalOp};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A thread-safe set of named [`Collection`]s.
@@ -20,19 +21,90 @@ use std::sync::Arc;
 #[derive(Default)]
 pub struct Database {
     collections: RwLock<HashMap<String, Arc<RwLock<Collection>>>>,
+    /// Present when the database is durable: every collection gets a WAL
+    /// and snapshot files inside this directory.
+    durable: Option<DurableDir>,
+}
+
+struct DurableDir {
+    dir: PathBuf,
+    config: StorageConfig,
 }
 
 impl Database {
-    /// Create an empty database.
+    /// Create an empty in-memory database.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Create a collection.
+    /// Open (or create) a durable database rooted at directory `path`,
+    /// with default [`StorageConfig`].
+    ///
+    /// Recovery replays, for every collection found on disk, its snapshot
+    /// (if any) plus the WAL suffix whose sequence numbers the snapshot
+    /// does not already contain. A torn WAL tail — from a crash mid-append
+    /// at any byte offset — is detected by the frame checksums and
+    /// discarded, recovering the longest fully-committed prefix.
     ///
     /// # Errors
     ///
-    /// [`DbError::CollectionExists`] when the name is taken.
+    /// [`DbError::Persistence`] on I/O failures (unreadable directory,
+    /// unwritable WAL). Torn or corrupt log *tails* are not errors.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, DbError> {
+        Self::open_with(path, StorageConfig::default())
+    }
+
+    /// [`Database::open`] with explicit durability knobs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::open`].
+    pub fn open_with(path: impl AsRef<Path>, config: StorageConfig) -> Result<Self, DbError> {
+        let dir = path.as_ref().to_owned();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DbError::Persistence(format!("create {}: {e}", dir.display())))?;
+        let mut map = HashMap::new();
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| DbError::Persistence(format!("read {}: {e}", dir.display())))?;
+        // One recovery unit per `<base>.wal` / `<base>.snap.json` pair.
+        let mut bases: Vec<String> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| DbError::Persistence(e.to_string()))?;
+            let file = entry.file_name().to_string_lossy().into_owned();
+            let base = file
+                .strip_suffix(".wal")
+                .or_else(|| file.strip_suffix(".snap.json"));
+            if let Some(base) = base {
+                if !bases.iter().any(|b| b == base) {
+                    bases.push(base.to_owned());
+                }
+            }
+        }
+        bases.sort();
+        for base in bases {
+            if let Some((name, collection)) = recover_collection(&dir, &base, &config)? {
+                map.insert(name, Arc::new(RwLock::new(collection)));
+            }
+        }
+        Ok(Self {
+            collections: RwLock::new(map),
+            durable: Some(DurableDir { dir, config }),
+        })
+    }
+
+    /// Whether this database persists mutations to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Create a collection. On a durable database this also creates the
+    /// collection's WAL seeded with a `Create` frame, so the collection
+    /// survives restart even before its first snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::CollectionExists`] when the name is taken;
+    /// [`DbError::Persistence`] when the WAL cannot be created.
     pub fn create_collection(
         &self,
         name: &str,
@@ -42,7 +114,12 @@ impl Database {
         if map.contains_key(name) {
             return Err(DbError::CollectionExists(name.to_owned()));
         }
-        let coll = Arc::new(RwLock::new(Collection::new(name, config)));
+        let mut collection = Collection::new(name, config.clone());
+        if let Some(durable) = &self.durable {
+            let storage = CollectionStorage::create(&durable.dir, name, &config, &durable.config)?;
+            collection.attach_storage(storage);
+        }
+        let coll = Arc::new(RwLock::new(collection));
         map.insert(name.to_owned(), Arc::clone(&coll));
         Ok(coll)
     }
@@ -75,7 +152,8 @@ impl Database {
         }
     }
 
-    /// Drop a collection and all its records.
+    /// Drop a collection and all its records. On a durable database the
+    /// collection's WAL and snapshot files are removed from disk.
     ///
     /// # Errors
     ///
@@ -85,7 +163,46 @@ impl Database {
             .write()
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| DbError::CollectionNotFound(name.to_owned()))
+            .ok_or_else(|| DbError::CollectionNotFound(name.to_owned()))?;
+        if let Some(durable) = &self.durable {
+            let base = wal::encode_name(name);
+            std::fs::remove_file(durable.dir.join(format!("{base}.wal"))).ok();
+            std::fs::remove_file(durable.dir.join(format!("{base}.snap.json"))).ok();
+            std::fs::remove_file(durable.dir.join(format!("{base}.snap.tmp"))).ok();
+        }
+        Ok(())
+    }
+
+    /// Snapshot every collection and truncate its WAL — the explicit
+    /// checkpoint (also triggered automatically every
+    /// [`StorageConfig::snapshot_every`] appends). No-op when in-memory.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persistence`] on I/O or serialization failure; earlier
+    /// collections stay checkpointed.
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        let collections: Vec<Arc<RwLock<Collection>>> =
+            self.collections.read().values().cloned().collect();
+        for coll in collections {
+            coll.write().checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Fsync every collection's pending WAL appends regardless of the
+    /// batching policy. No-op when in-memory.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persistence`] on fsync failure.
+    pub fn flush(&self) -> Result<(), DbError> {
+        let collections: Vec<Arc<RwLock<Collection>>> =
+            self.collections.read().values().cloned().collect();
+        for coll in collections {
+            coll.write().flush()?;
+        }
+        Ok(())
     }
 
     /// Names of all collections, sorted.
@@ -163,6 +280,95 @@ impl Database {
             std::fs::read_to_string(path).map_err(|e| DbError::Persistence(e.to_string()))?;
         Self::restore(&snapshot)
     }
+}
+
+/// Recover one collection from `<base>.snap.json` + `<base>.wal`: load the
+/// snapshot if present, replay every WAL frame whose sequence number the
+/// snapshot does not cover, truncate any torn tail, and reattach live
+/// storage. Returns `None` when neither file yields a usable collection
+/// (e.g. an empty WAL with no snapshot).
+fn recover_collection(
+    dir: &Path,
+    base: &str,
+    config: &StorageConfig,
+) -> Result<Option<(String, Collection)>, DbError> {
+    let snap_path = dir.join(format!("{base}.snap.json"));
+    let wal_path = dir.join(format!("{base}.wal"));
+
+    let mut last_seq: Option<u64> = None;
+    let mut collection: Option<Collection> = None;
+    match std::fs::read_to_string(&snap_path) {
+        Ok(text) => {
+            // A torn snapshot (crash mid-write before the atomic rename
+            // could only leave a .tmp, but be defensive) falls back to
+            // WAL-only recovery.
+            if let Ok(snap) = serde_json::from_str::<SnapshotFile>(&text) {
+                last_seq = Some(snap.last_seq);
+                collection = Some(snap.collection);
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            return Err(DbError::Persistence(format!(
+                "read {}: {e}",
+                snap_path.display()
+            )))
+        }
+    }
+
+    let replayed = wal::replay(&wal_path)?;
+    let mut max_seq = last_seq;
+    let mut applied: u64 = 0;
+    for (seq, op) in replayed.frames {
+        if max_seq.is_some_and(|m| seq <= m) {
+            continue; // the snapshot already contains this op
+        }
+        max_seq = Some(seq);
+        match op {
+            WalOp::Create { name, config } => {
+                if collection.is_none() {
+                    collection = Some(Collection::new(name, config));
+                }
+            }
+            WalOp::Upsert { record } => {
+                if let Some(c) = &mut collection {
+                    if record.embedding.dim() == c.config().dim {
+                        c.apply_upsert(record);
+                        applied += 1;
+                    }
+                }
+            }
+            WalOp::Delete { id } => {
+                if let Some(c) = &mut collection {
+                    // Tolerate already-absent ids: replay onto a snapshot
+                    // that outran an interrupted truncation is idempotent.
+                    c.apply_delete(&id);
+                    applied += 1;
+                }
+            }
+        }
+    }
+    let registry = llmms_obs::Registry::global();
+    if registry.enabled() {
+        if applied > 0 {
+            registry
+                .counter("recovery_replayed_frames")
+                .metric
+                .add(applied);
+        }
+        if replayed.torn {
+            registry.counter("recovery_torn_tails_total").metric.inc();
+        }
+    }
+
+    let Some(mut collection) = collection else {
+        return Ok(None);
+    };
+    let name = collection.name().to_owned();
+    let storage =
+        CollectionStorage::reattach(dir, &name, config, replayed.good_len, max_seq.unwrap_or(0))?;
+    collection.attach_storage(storage);
+    Ok(Some((name, collection)))
 }
 
 #[cfg(test)]

@@ -11,7 +11,11 @@
 //! * metadata `where`-filters ([`Filter`]);
 //! * an exact [`index::FlatIndex`] and an approximate [`index::HnswIndex`]
 //!   (the index family Chroma uses);
-//! * JSON snapshot persistence ([`Database::save`] / [`Database::load`]).
+//! * JSON snapshot persistence ([`Database::save`] / [`Database::load`]);
+//! * crash-safe durability ([`Database::open`]): a per-collection
+//!   write-ahead log with checksummed frames and fsync batching, periodic
+//!   snapshots with log truncation, and prefix-consistent recovery that
+//!   tolerates a torn tail (see [`wal`]).
 //!
 //! ## Example
 //!
@@ -42,6 +46,7 @@ pub mod error;
 pub mod filter;
 pub mod index;
 pub mod metadata;
+pub mod wal;
 
 pub use collection::{Collection, CollectionConfig, CollectionStats, QueryResult, Record};
 pub use database::Database;
@@ -49,6 +54,7 @@ pub use error::DbError;
 pub use filter::Filter;
 pub use index::{HnswConfig, IndexKind};
 pub use metadata::{meta, MetaValue, Metadata};
+pub use wal::StorageConfig;
 
 #[cfg(test)]
 mod proptests {

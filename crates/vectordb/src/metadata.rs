@@ -29,6 +29,17 @@ impl MetaValue {
         }
     }
 
+    /// Integer view; `None` for floats, strings and bools. Unlike going
+    /// through [`MetaValue::as_f64`] and casting back, this is lossless for
+    /// the full `i64` range (an `f64` mantissa holds only 53 bits) and
+    /// never silently turns a type mismatch into `0`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            MetaValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
     /// String view; `None` for non-strings.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -125,6 +136,28 @@ mod tests {
         assert_eq!(MetaValue::Str("a".into()).as_str(), Some("a"));
         assert_eq!(MetaValue::Bool(true).as_bool(), Some(true));
         assert_eq!(MetaValue::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn as_i64_is_lossless_where_f64_is_not() {
+        // 2^53 + 1 is not representable as f64: the as_f64-then-cast path
+        // would corrupt it, as_i64 must not.
+        let big = (1i64 << 53) + 1;
+        let v = MetaValue::Int(big);
+        assert_eq!(v.as_i64(), Some(big));
+        assert_ne!(v.as_f64().unwrap() as i64, big, "f64 path is lossy here");
+        // Type mismatches are surfaced as None, not silently 0.
+        assert_eq!(MetaValue::Str("7".into()).as_i64(), None);
+        assert_eq!(MetaValue::Float(7.0).as_i64(), None);
+        assert_eq!(MetaValue::Bool(true).as_i64(), None);
+    }
+
+    #[test]
+    fn as_i64_roundtrips_through_serde() {
+        let m = meta([("chunk_index", ((1i64 << 53) + 1).into())]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Metadata = serde_json::from_str(&json).unwrap();
+        assert_eq!(back["chunk_index"].as_i64(), Some((1i64 << 53) + 1));
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Crash-recovery contract of the durable vector store.
+//!
+//! The acceptance property: a store killed mid-WAL-append at an *arbitrary*
+//! byte offset reopens to a prefix-consistent state — exactly the records
+//! produced by the first `k` committed operations, for some `k` that only
+//! grows as more bytes survive — and serves identical query results for all
+//! fully-committed state.
+
+use llmms_embed::Embedding;
+use llmms_vectordb::{CollectionConfig, Database, Record, StorageConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "llmms-recovery-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn emb(values: &[f32]) -> Embedding {
+    Embedding::new(values.to_vec()).normalized()
+}
+
+/// A committed operation, mirrored onto an in-memory model of the state.
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert(String, Vec<f32>),
+    Delete(String),
+}
+
+type Model = BTreeMap<String, Vec<f32>>;
+
+fn apply_model(model: &mut Model, op: &Op) {
+    match op {
+        Op::Upsert(id, v) => {
+            // Mirror what the store keeps: the normalized embedding.
+            model.insert(id.clone(), emb(v).as_slice().to_vec());
+        }
+        Op::Delete(id) => {
+            model.remove(id);
+        }
+    }
+}
+
+/// Read the live state of collection `name` (empty map when the collection
+/// itself was not recovered).
+fn observe(db: &Database, name: &str) -> Model {
+    let Ok(coll) = db.collection(name) else {
+        return Model::new();
+    };
+    let guard = coll.read();
+    guard
+        .iter()
+        .map(|r| (r.id.clone(), r.embedding.as_slice().to_vec()))
+        .collect()
+}
+
+/// Apply `ops` to a fresh durable database at `dir`, returning the model
+/// state after every prefix (index 0 = empty).
+fn run_ops(dir: &std::path::Path, ops: &[Op], config: StorageConfig) -> Vec<Model> {
+    let db = Database::open_with(dir, config).unwrap();
+    let coll = db
+        .create_collection("c", CollectionConfig::flat(2))
+        .unwrap();
+    let mut states = vec![Model::new()];
+    let mut model = Model::new();
+    for op in ops {
+        {
+            let mut guard = coll.write();
+            match op {
+                Op::Upsert(id, v) => guard.upsert(Record::new(id.clone(), emb(v))).unwrap(),
+                Op::Delete(id) => {
+                    let _ = guard.delete(id);
+                }
+            }
+        }
+        apply_model(&mut model, op);
+        states.push(model.clone());
+    }
+    db.flush().unwrap();
+    states
+}
+
+fn sample_ops() -> Vec<Op> {
+    vec![
+        Op::Upsert("a".into(), vec![1.0, 0.0]),
+        Op::Upsert("b".into(), vec![0.0, 1.0]),
+        Op::Upsert("c".into(), vec![0.7, 0.7]),
+        Op::Delete("a".into()),
+        Op::Upsert("b".into(), vec![0.5, -0.5]), // overwrite
+        Op::Upsert("d".into(), vec![-1.0, 0.1]),
+        Op::Delete("c".into()),
+        Op::Upsert("a".into(), vec![0.2, 0.9]), // resurrect
+    ]
+}
+
+/// Kill the WAL at EVERY byte offset; each truncation must reopen to some
+/// prefix state, and the recovered prefix length must never shrink as more
+/// bytes survive.
+#[test]
+fn killed_wal_at_every_byte_offset_recovers_a_prefix() {
+    let live = unique_dir("every-offset-live");
+    let ops = sample_ops();
+    // No snapshots: the whole history lives in the WAL under test.
+    let states = run_ops(
+        &live,
+        &ops,
+        StorageConfig {
+            fsync_every: 1,
+            snapshot_every: 0,
+        },
+    );
+    let wal_path = live.join("c.wal");
+    let bytes = std::fs::read(&wal_path).unwrap();
+    assert!(bytes.len() > 100, "setup produced a trivial WAL");
+
+    let crash = unique_dir("every-offset-crash");
+    let mut last_k = 0usize;
+    for cut in 0..=bytes.len() {
+        std::fs::remove_dir_all(&crash).ok();
+        std::fs::create_dir_all(&crash).unwrap();
+        std::fs::write(crash.join("c.wal"), &bytes[..cut]).unwrap();
+        let db = Database::open(&crash).unwrap();
+        let got = observe(&db, "c");
+        let k = states
+            .iter()
+            .position(|s| *s == got)
+            .unwrap_or_else(|| panic!("cut {cut}: recovered state {got:?} is not a prefix state"));
+        assert!(
+            k >= last_k,
+            "cut {cut}: recovered prefix length went backwards ({k} < {last_k})"
+        );
+        last_k = k;
+    }
+    assert_eq!(
+        last_k,
+        ops.len(),
+        "the full WAL must recover the final state"
+    );
+    std::fs::remove_dir_all(&live).ok();
+    std::fs::remove_dir_all(&crash).ok();
+}
+
+/// The same property against a snapshot + WAL-suffix layout: ops committed
+/// before the snapshot can never be lost, whatever happens to the WAL.
+#[test]
+fn killed_wal_after_snapshot_never_loses_snapshotted_ops() {
+    let live = unique_dir("snap-live");
+    let ops = sample_ops();
+    let snapshot_every = 4; // checkpoint mid-sequence
+    let states = run_ops(
+        &live,
+        &ops,
+        StorageConfig {
+            fsync_every: 1,
+            snapshot_every,
+        },
+    );
+    let bytes = std::fs::read(live.join("c.wal")).unwrap();
+    let snap = std::fs::read(live.join("c.snap.json")).unwrap();
+
+    let crash = unique_dir("snap-crash");
+    for cut in 0..=bytes.len() {
+        std::fs::remove_dir_all(&crash).ok();
+        std::fs::create_dir_all(&crash).unwrap();
+        std::fs::write(crash.join("c.snap.json"), &snap).unwrap();
+        std::fs::write(crash.join("c.wal"), &bytes[..cut]).unwrap();
+        let db = Database::open(&crash).unwrap();
+        let got = observe(&db, "c");
+        let k = states
+            .iter()
+            .position(|s| *s == got)
+            .unwrap_or_else(|| panic!("cut {cut}: not a prefix state: {got:?}"));
+        // The snapshot was taken after `snapshot_every` appends (the Create
+        // frame is not an op, so at least that many ops are stable).
+        assert!(
+            k as u64 >= snapshot_every,
+            "cut {cut}: snapshotted ops lost (recovered only {k})"
+        );
+    }
+    std::fs::remove_dir_all(&live).ok();
+    std::fs::remove_dir_all(&crash).ok();
+}
+
+/// Reopen-equivalence: a durable store (snapshot + WAL replay) must answer
+/// queries identically to the live store it recovers, across checkpoints.
+#[test]
+fn reopened_store_serves_identical_queries() {
+    let dir = unique_dir("reopen");
+    let db = Database::open_with(
+        &dir,
+        StorageConfig {
+            fsync_every: 4,
+            snapshot_every: 5,
+        },
+    )
+    .unwrap();
+    let coll = db
+        .create_collection("docs", CollectionConfig::flat(3))
+        .unwrap();
+    for i in 0..23 {
+        let angle = i as f32 * 0.37;
+        coll.write()
+            .upsert(
+                Record::new(
+                    format!("r{i}"),
+                    emb(&[angle.cos(), angle.sin(), (i as f32 * 0.11).cos()]),
+                )
+                .with_document(format!("document number {i}")),
+            )
+            .unwrap();
+    }
+    for i in (0..23).step_by(5) {
+        coll.write().delete(&format!("r{i}")).unwrap();
+    }
+    let queries: Vec<Embedding> = (0..6)
+        .map(|q| emb(&[(q as f32).cos(), (q as f32).sin(), 0.4]))
+        .collect();
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| coll.read().query(q, 4, None).unwrap())
+        .collect();
+    db.flush().unwrap();
+    drop(coll);
+    drop(db);
+
+    let reopened = Database::open(&dir).unwrap();
+    let coll = reopened.collection("docs").unwrap();
+    let after: Vec<_> = queries
+        .iter()
+        .map(|q| coll.read().query(q, 4, None).unwrap())
+        .collect();
+    assert_eq!(before, after);
+
+    // An explicit checkpoint truncates the WAL; a further reopen must still
+    // be equivalent (now from the snapshot alone).
+    reopened.checkpoint().unwrap();
+    let wal_len = std::fs::metadata(dir.join("docs.wal")).unwrap().len();
+    assert!(
+        wal_len < 300,
+        "WAL not truncated by checkpoint ({wal_len} bytes)"
+    );
+    drop(coll);
+    drop(reopened);
+    let again = Database::open(&dir).unwrap();
+    let coll = again.collection("docs").unwrap();
+    let third: Vec<_> = queries
+        .iter()
+        .map(|q| coll.read().query(q, 4, None).unwrap())
+        .collect();
+    assert_eq!(before, third);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Collection lifecycle is durable: created collections survive reopen,
+/// deleted ones stay deleted.
+#[test]
+fn collection_lifecycle_is_durable() {
+    let dir = unique_dir("lifecycle");
+    {
+        let db = Database::open(&dir).unwrap();
+        db.create_collection("keep", CollectionConfig::flat(2))
+            .unwrap();
+        db.create_collection("drop", CollectionConfig::hnsw(2))
+            .unwrap();
+        db.collection("keep")
+            .unwrap()
+            .write()
+            .upsert(Record::new("x", emb(&[1.0, 0.0])))
+            .unwrap();
+        db.delete_collection("drop").unwrap();
+        db.flush().unwrap();
+    }
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(db.list_collections(), ["keep"]);
+    assert_eq!(db.collection("keep").unwrap().read().len(), 1);
+    // Names needing encoding round-trip too.
+    db.create_collection("odd/name with spaces", CollectionConfig::flat(2))
+        .unwrap();
+    drop(db);
+    let db = Database::open(&dir).unwrap();
+    assert!(db.collection("odd/name with spaces").is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Writing through a recovered store keeps extending the same log without
+/// corrupting or replaying earlier state.
+#[test]
+fn recovered_store_accepts_further_writes() {
+    let dir = unique_dir("continue");
+    {
+        let db = Database::open(&dir).unwrap();
+        let coll = db
+            .create_collection("c", CollectionConfig::flat(2))
+            .unwrap();
+        coll.write()
+            .upsert(Record::new("a", emb(&[1.0, 0.0])))
+            .unwrap();
+        db.flush().unwrap();
+    }
+    {
+        let db = Database::open(&dir).unwrap();
+        let coll = db.collection("c").unwrap();
+        coll.write()
+            .upsert(Record::new("b", emb(&[0.0, 1.0])))
+            .unwrap();
+        coll.write().delete("a").unwrap();
+        db.flush().unwrap();
+    }
+    let db = Database::open(&dir).unwrap();
+    let got = observe(&db, "c");
+    assert_eq!(got.keys().collect::<Vec<_>>(), ["b"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crash-recovery proptest: for ANY op sequence and ANY byte offset the
+    /// WAL is killed at, the reopened state equals the state after some
+    /// prefix of the committed operations.
+    #[test]
+    fn any_truncation_recovers_a_prefix_of_committed_ops(
+        raw_ops in proptest::collection::vec(
+            (0u8..3, 0usize..6, -1.0f32..1.0, -1.0f32..1.0), 1..24),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let ops: Vec<Op> = raw_ops
+            .into_iter()
+            .map(|(kind, id, x, y)| {
+                let id = format!("id{id}");
+                match kind {
+                    0 | 1 => Op::Upsert(id, vec![x.max(0.01), y]),
+                    _ => Op::Delete(id),
+                }
+            })
+            .collect();
+        let live = unique_dir("prop-live");
+        let states = run_ops(
+            &live,
+            &ops,
+            StorageConfig { fsync_every: 3, snapshot_every: 0 },
+        );
+        let bytes = std::fs::read(live.join("c.wal")).unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+
+        let crash = unique_dir("prop-crash");
+        std::fs::create_dir_all(&crash).unwrap();
+        std::fs::write(crash.join("c.wal"), &bytes[..cut]).unwrap();
+        let db = Database::open(&crash).unwrap();
+        let got = observe(&db, "c");
+        prop_assert!(
+            states.contains(&got),
+            "cut {cut}/{}: {got:?} is not a prefix state",
+            bytes.len()
+        );
+        std::fs::remove_dir_all(&live).ok();
+        std::fs::remove_dir_all(&crash).ok();
+    }
+}

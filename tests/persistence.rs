@@ -65,6 +65,66 @@ fn vector_store_snapshot_preserves_search_results() {
 }
 
 #[test]
+fn durable_store_survives_server_restart_and_torn_wal() {
+    use llmms::server::{client, Server};
+    use llmms::Platform;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("llmms-durable-server-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Serve a durable platform and ingest through the wire.
+    {
+        let platform = Platform::builder()
+            .persist_path(&dir)
+            .fsync_every(1)
+            .build()
+            .unwrap();
+        let s = Server::start(Arc::new(platform), "127.0.0.1:0").unwrap();
+        for (id, text) in [
+            (
+                "metals",
+                "Tungsten has the highest melting point of any metal, at 3422 degrees Celsius.",
+            ),
+            ("geo", "The capital of France is the city of Paris."),
+        ] {
+            let body = serde_json::json!({ "document_id": id, "text": text }).to_string();
+            let r = client::request(s.addr(), "POST", "/api/ingest", Some(&body)).unwrap();
+            assert_eq!(r.status, 201, "{}", r.body);
+        }
+        s.shutdown();
+    }
+
+    // Simulate a crash mid-append: a torn frame at the WAL tail. Recovery
+    // must discard it and still serve every fully-committed document.
+    let wal = dir.join("rag-chunks.wal");
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(&[0x2a, 0x00, 0x00, 0x00, 0xde, 0xad]).unwrap();
+    }
+
+    let platform = Platform::builder().persist_path(&dir).build().unwrap();
+    assert_eq!(platform.retriever().documents(), ["geo", "metals"]);
+    let hits = platform
+        .retriever()
+        .retrieve("highest melting point metal", 1, None)
+        .unwrap();
+    assert!(hits[0].text.contains("Tungsten"), "hits: {hits:?}");
+
+    // The torn bytes were truncated away, so the log is clean for appends.
+    let s = Server::start(Arc::new(platform), "127.0.0.1:0").unwrap();
+    let body = serde_json::json!({ "document_id": "space", "text": "The Great Wall is not visible from space." }).to_string();
+    let r = client::request(s.addr(), "POST", "/api/ingest", Some(&body)).unwrap();
+    assert_eq!(r.status, 201, "{}", r.body);
+    s.shutdown();
+
+    let platform = Platform::builder().persist_path(&dir).build().unwrap();
+    assert_eq!(platform.retriever().documents(), ["geo", "metals", "space"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn dataset_generation_is_stable_across_processes() {
     // The generator must be a pure function of its config — this guards the
     // cross-run comparability of every number in EXPERIMENTS.md. The digest
