@@ -153,6 +153,159 @@ fn three_faulty_one_healthy_every_strategy_answers() {
     }
 }
 
+/// Injected faults must be visible in the request trace: the stalled and
+/// crashing arms get error-status spans under a connected span tree, and
+/// tail-based sampling retains such traces even when the probabilistic
+/// sampler would drop everything.
+#[test]
+fn injected_faults_produce_error_spans_and_retained_traces() {
+    use llmms_obs::{trace, SpanStatus, TraceId, TraceStore, TraceStoreConfig, Tracer};
+
+    let trace_store = TraceStore::new(TraceStoreConfig {
+        capacity: 16,
+        sample_rate: 0.0,
+        slow_threshold_ms: u64::MAX,
+    });
+    for strategy in all_strategies() {
+        let store = knowledge();
+        let models = vec![
+            sim("healthy", &store),
+            faulty("wedged", FaultKind::Stall, 1, &store),
+            faulty(
+                "dies-midway",
+                FaultKind::ErrorAfterN {
+                    n: 2,
+                    transient: false,
+                },
+                2,
+                &store,
+            ),
+        ];
+        let o = orchestrator(strategy, 96, Some(5_000));
+        let tracer = Tracer::new(TraceId::generate());
+        let root = tracer.root_span("request");
+        let r = {
+            let _guard = trace::set_current(root.context());
+            o.run(&models, QUESTION).unwrap()
+        };
+        root.end();
+        assert!(r.degraded, "{}", r.strategy);
+
+        let data = tracer.finish().expect("spans recorded");
+        assert!(data.is_connected(), "{}: disconnected tree", r.strategy);
+        assert_eq!(data.worst_status(), SpanStatus::Error, "{}", r.strategy);
+        assert!(data.spans.iter().any(|s| s.name == "orchestrate"));
+        assert!(data.spans.iter().any(|s| s.name == "round"));
+        // The stalled arm surfaces as an error span: on the sequential path
+        // the `arm` span itself, on the parallel path the barrier-side
+        // `arm_failed` marker (the worker saw an ordinary empty chunk).
+        let wedged_error = data.spans.iter().any(|s| {
+            s.status == SpanStatus::Error
+                && matches!(s.name, "arm" | "arm_failed")
+                && s.attr("model") == Some("wedged")
+        });
+        assert!(
+            wedged_error,
+            "{}: no error span for the stalled arm: {:?}",
+            r.strategy, data.spans
+        );
+        // The crash arm is traced as an error whenever it actually failed
+        // (Hybrid may legitimately prune it on score before chunk 3).
+        let dies = r
+            .outcomes
+            .iter()
+            .find(|o| o.model == "dies-midway")
+            .unwrap();
+        if dies.failed {
+            assert!(
+                data.spans.iter().any(|s| {
+                    s.status == SpanStatus::Error && s.attr("model") == Some("dies-midway")
+                }),
+                "{}: crash arm not traced: {:?}",
+                r.strategy,
+                data.spans
+            );
+        }
+
+        // Tail sampling: a 0% sample rate and an unreachable slow threshold
+        // still retain the trace, because its worst status is Error.
+        let id = data.trace_id;
+        assert!(
+            trace_store.offer(data),
+            "{}: error trace dropped",
+            r.strategy
+        );
+        assert!(trace_store.get(id).is_some(), "{}", r.strategy);
+    }
+    // Every faulted query in this mixed workload was retained.
+    let stats = trace_store.stats();
+    assert_eq!(stats.offered, 3);
+    assert_eq!(stats.retained, 3);
+    assert_eq!(stats.sampled_out, 0);
+}
+
+/// A breaker-open skip (the arm is dead on arrival, no session ever starts)
+/// still shows up in the trace as a zero-length error `arm` span.
+#[test]
+fn breaker_open_skip_is_traced_as_error_span() {
+    use llmms_obs::{trace, SpanStatus, TraceId, Tracer};
+
+    let store = knowledge();
+    let models = vec![
+        sim("chaos-tr-steady", &store),
+        faulty(
+            "chaos-tr-dying",
+            FaultKind::ErrorAfterN {
+                n: 0,
+                transient: false,
+            },
+            11,
+            &store,
+        ),
+    ];
+    let o = Orchestrator::new(
+        llmms_embed::default_embedder(),
+        OrchestratorConfig {
+            strategy: Strategy::Oua(OuaConfig::default()),
+            token_budget: 96,
+            temperature: 0.0,
+            breaker: BreakerConfig {
+                enabled: true,
+                failure_threshold: 1,
+                cooldown_ms: 60_000,
+            },
+            ..OrchestratorConfig::default()
+        },
+    );
+    // Trip the breaker with one failing query (untraced).
+    let r = o.run(&models, QUESTION).unwrap();
+    assert_eq!(r.failed_models(), vec!["chaos-tr-dying"]);
+    assert_eq!(o.health().state("chaos-tr-dying"), BreakerState::Open);
+
+    // The next query skips the arm at admission; the skip must be traced.
+    let tracer = Tracer::new(TraceId::generate());
+    let root = tracer.root_span("request");
+    let r = {
+        let _guard = trace::set_current(root.context());
+        o.run(&models, QUESTION).unwrap()
+    };
+    root.end();
+    assert!(r.degraded);
+    let data = tracer.finish().expect("spans recorded");
+    assert!(data.is_connected());
+    let skip = data
+        .spans
+        .iter()
+        .find(|s| s.name == "arm" && s.attr("model") == Some("chaos-tr-dying"))
+        .expect("breaker-open arm span");
+    assert_eq!(skip.status, SpanStatus::Error);
+    assert!(
+        skip.attr("error").unwrap_or("").contains("breaker"),
+        "error attr: {:?}",
+        skip.attr("error")
+    );
+}
+
 /// A saturated backend (real wall-clock delay per chunk) must trip the
 /// query deadline: the orchestrator force-aborts, keeps the partial output,
 /// and flags both `deadline_exceeded` and `degraded`. The per-chunk delay

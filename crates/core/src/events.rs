@@ -146,10 +146,20 @@ impl EventRecorder {
     }
 
     /// Additionally mirror every stamped event as one JSON line into
-    /// `trace` (the offline-replay trace sink). Write failures are ignored.
+    /// `trace` (the offline-replay trace sink). Failed writes drop the
+    /// event from the sink (the orchestration must not abort on a sick
+    /// disk) but are counted in `trace_events_dropped_total`.
     pub fn with_trace(mut self, trace: Box<dyn Write + Send>) -> Self {
         self.trace = Some(trace);
         self
+    }
+
+    /// Count one event that failed to reach the trace sink.
+    fn note_trace_drop() {
+        let registry = llmms_obs::Registry::global();
+        if registry.enabled() {
+            registry.counter("trace_events_dropped_total").metric.inc();
+        }
     }
 
     /// Whether the next [`EventRecorder::emit`] would observe the event.
@@ -181,8 +191,13 @@ impl EventRecorder {
                 event,
             };
             if let Some(trace) = &mut self.trace {
-                if let Ok(line) = serde_json::to_string(&timed) {
-                    let _ = writeln!(trace, "{line}");
+                match serde_json::to_string(&timed) {
+                    Ok(line) => {
+                        if writeln!(trace, "{line}").is_err() {
+                            Self::note_trace_drop();
+                        }
+                    }
+                    Err(_) => Self::note_trace_drop(),
                 }
             }
             if self.enabled {
@@ -202,7 +217,9 @@ impl EventRecorder {
     /// Consume the recorder, returning the stamped trace.
     pub fn into_events(mut self) -> Vec<TimedEvent> {
         if let Some(trace) = &mut self.trace {
-            let _ = trace.flush();
+            if trace.flush().is_err() {
+                Self::note_trace_drop();
+            }
         }
         std::mem::take(&mut self.events)
     }
@@ -306,6 +323,35 @@ mod tests {
         // ...so the recorder stops observing entirely.
         assert!(!r.is_observing());
         r.emit_with(|| panic!("closure must not run once the sink is gone"));
+    }
+
+    #[test]
+    fn failed_trace_writes_are_counted_not_fatal() {
+        struct BrokenSink;
+        impl Write for BrokenSink {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+
+        let registry = llmms_obs::Registry::global();
+        let before = registry
+            .snapshot()
+            .counter_value("trace_events_dropped_total", &[]);
+        let mut r = EventRecorder::new(true).with_trace(Box::new(BrokenSink));
+        r.emit(OrchestrationEvent::RoundStarted { round: 1 });
+        r.emit(OrchestrationEvent::RoundStarted { round: 2 });
+        // In-memory recording is unaffected by the sick sink.
+        let events = r.into_events();
+        assert_eq!(events.len(), 2);
+        let after = registry
+            .snapshot()
+            .counter_value("trace_events_dropped_total", &[]);
+        // Two failed writes plus the failed flush.
+        assert_eq!(after - before, 3);
     }
 
     #[test]

@@ -73,10 +73,16 @@ pub(crate) fn run(
         temperature: orch.temperature,
         seed: orch.seed,
     };
+    let tctx = llmms_obs::trace::current();
     let mut runs = ModelRun::start_all(models, prompt, &options, orch.retry, health);
     runpool::configure_incremental(&mut runs, orch.incremental_scoring);
-    runpool::emit_preexisting_failures(&runs, &mut recorder);
-    let query_embedding = Arc::new(embedder.embed(prompt));
+    runpool::emit_preexisting_failures(&runs, &mut recorder, &tctx);
+    let query_embedding = {
+        let espan = tctx.scope("embed_query");
+        let e = Arc::new(embedder.embed(prompt));
+        espan.end();
+        e
+    };
     // One cache spans both phases: they score with the same weights.
     let mut cache = orch
         .incremental_scoring
@@ -102,6 +108,9 @@ pub(crate) fn run(
         }
         rounds += 1;
         recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: rounds });
+        let mut round_tspan = tctx.scope("round");
+        round_tspan.set_attr("round", rounds);
+        let round_ctx = round_tspan.context();
         let round_deadline = Deadline::new(orch.round_deadline_ms);
         // Probe generation: sequential oracle below, or fanned out on the
         // executor under budget leases (deadlines checked at the batch
@@ -121,9 +130,14 @@ pub(crate) fn run(
                     .filter(|(_, r)| r.is_active())
                     .map(|(i, _)| (i, cfg.probe_tokens.max(1)))
                     .collect();
-                for (i, chunk) in
-                    runpool::generate_round(&mut runs, &targets, &mut budget, embedder, true)
-                {
+                for (i, chunk) in runpool::generate_round(
+                    &mut runs,
+                    &targets,
+                    &mut budget,
+                    embedder,
+                    true,
+                    &round_ctx,
+                ) {
                     if chunk.tokens > 0 || chunk.done.is_some() {
                         recorder.emit_with(|| OrchestrationEvent::ModelChunk {
                             model: runs[i].name.clone(),
@@ -153,7 +167,8 @@ pub(crate) fn run(
                     });
                     break;
                 }
-                let chunk = run.generate(cfg.probe_tokens.max(1), &mut budget);
+                let chunk =
+                    runpool::traced_generate(run, cfg.probe_tokens.max(1), &mut budget, &round_ctx);
                 if chunk.tokens > 0 || chunk.done.is_some() {
                     recorder.emit_with(|| OrchestrationEvent::ModelChunk {
                         model: run.name.clone(),
@@ -173,6 +188,7 @@ pub(crate) fn run(
         if deadline_exceeded {
             break;
         }
+        let score_span = round_ctx.scope("score");
         update_probe_scores(
             &mut runs,
             &query_embedding,
@@ -182,6 +198,7 @@ pub(crate) fn run(
             cache.as_mut(),
             orch.parallel_scoring,
         );
+        score_span.end();
         recorder.emit_with(|| OrchestrationEvent::ScoresUpdated {
             scores: runs
                 .iter()
@@ -239,8 +256,16 @@ pub(crate) fn run(
             .expect("active is non-empty");
         total_pulls += 1;
         rounds += 1;
+        let mut round_tspan = tctx.scope("round");
+        round_tspan.set_attr("round", rounds);
+        let round_ctx = round_tspan.context();
         let pull_deadline = Deadline::new(orch.round_deadline_ms);
-        let chunk = runs[chosen].generate(cfg.mab.pull_tokens.max(1), &mut budget);
+        let chunk = runpool::traced_generate(
+            &mut runs[chosen],
+            cfg.mab.pull_tokens.max(1),
+            &mut budget,
+            &round_ctx,
+        );
         if pull_deadline.exceeded() {
             recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
                 scope: "round".into(),
@@ -265,6 +290,7 @@ pub(crate) fn run(
             tokens: chunk.tokens,
             done: chunk.done,
         });
+        let score_span = round_ctx.scope("score");
         let fresh = final_scores(
             &mut runs,
             &query_embedding,
@@ -273,6 +299,7 @@ pub(crate) fn run(
             cache.as_mut(),
             orch.parallel_scoring,
         );
+        score_span.end();
         rewards[chosen] += fresh[chosen];
         pulls[chosen] += 1;
     }

@@ -59,10 +59,16 @@ pub(crate) fn run(
     // Stalled backends (empty, non-final chunks — the analogue of a request
     // timeout against Ollama) are detected inside `ModelRun::generate` and
     // surface here as `DoneReason::Failed` chunks.
+    let tctx = llmms_obs::trace::current();
     let mut runs = ModelRun::start_all(models, prompt, &options, orch.retry, health);
     runpool::configure_incremental(&mut runs, orch.incremental_scoring);
-    runpool::emit_preexisting_failures(&runs, &mut recorder);
-    let query_embedding = Arc::new(embedder.embed(prompt));
+    runpool::emit_preexisting_failures(&runs, &mut recorder, &tctx);
+    let query_embedding = {
+        let espan = tctx.scope("embed_query");
+        let e = Arc::new(embedder.embed(prompt));
+        espan.end();
+        e
+    };
     let mut cache = orch
         .incremental_scoring
         .then(|| ScoreCache::new(n, Arc::clone(&query_embedding), cfg.weights));
@@ -127,10 +133,18 @@ pub(crate) fn run(
 
         total_pulls += 1;
         recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: total_pulls });
+        let mut round_tspan = tctx.scope("round");
+        round_tspan.set_attr("round", total_pulls);
+        let round_ctx = round_tspan.context();
         let pull_deadline = Deadline::new(orch.round_deadline_ms);
 
         // Pull: generate the next token chunk (line 7).
-        let chunk = runs[chosen].generate(cfg.pull_tokens.max(1), &mut budget);
+        let chunk = runpool::traced_generate(
+            &mut runs[chosen],
+            cfg.pull_tokens.max(1),
+            &mut budget,
+            &round_ctx,
+        );
         if pull_deadline.exceeded() {
             recorder.emit_with(|| OrchestrationEvent::DeadlineExceeded {
                 scope: "round".into(),
@@ -157,6 +171,7 @@ pub(crate) fn run(
         });
 
         // Reward (lines 8–9): Eq. 6.1 on the updated partial response.
+        let score_span = round_ctx.scope("score");
         let reward = pull_reward(
             &mut runs,
             chosen,
@@ -166,6 +181,7 @@ pub(crate) fn run(
             cache.as_mut(),
             orch.parallel_scoring,
         );
+        score_span.end();
         rewards[chosen] += reward;
         pulls[chosen] += 1;
 

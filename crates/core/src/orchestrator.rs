@@ -178,6 +178,11 @@ impl Orchestrator {
             return Err(OrchestratorError::ZeroBudget);
         }
         let span = llmms_obs::Registry::global().span("orchestrate");
+        // Request-scoped tracing: hang the orchestration subtree off the
+        // caller's current span (the HTTP request span when serving) and
+        // make it current for the strategy/runpool/rag layers below.
+        let mut tspan = llmms_obs::trace::current().span("orchestrate");
+        let tguard = llmms_obs::trace::set_current(tspan.context());
         let result = match &self.config.strategy {
             Strategy::Single => {
                 if models.len() != 1 {
@@ -229,6 +234,31 @@ impl Orchestrator {
                 recorder,
             ),
         };
+        drop(tguard);
+        if tspan.is_recording() {
+            tspan.attr_with("strategy", || result.strategy.clone());
+            tspan.set_attr("rounds", result.rounds);
+            tspan.set_attr("total_tokens", result.total_tokens);
+            // Arm spans carry a numeric `arm` index; this comma-joined list
+            // (in arm order) is the per-trace index→model binding.
+            tspan.attr_with("arms", || {
+                result
+                    .outcomes
+                    .iter()
+                    .map(|o| o.model.as_str())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            });
+            if result.best < result.outcomes.len() {
+                tspan.attr_with("winner", || result.best_outcome().model.clone());
+            }
+            if result.outcomes.iter().all(|o| o.failed) {
+                tspan.set_status(llmms_obs::SpanStatus::Error);
+            } else if result.degraded || result.deadline_exceeded || result.budget_exhausted {
+                tspan.set_status(llmms_obs::SpanStatus::Degraded);
+            }
+        }
+        tspan.end();
         span.finish();
         self.record_metrics(&result);
         // A degraded result is still a result — but a run where *nothing*

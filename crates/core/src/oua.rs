@@ -51,10 +51,16 @@ pub(crate) fn run(
         temperature: orch.temperature,
         seed: orch.seed,
     };
+    let tctx = llmms_obs::trace::current();
     let mut runs = ModelRun::start_all(models, prompt, &options, orch.retry, health);
     runpool::configure_incremental(&mut runs, orch.incremental_scoring);
-    runpool::emit_preexisting_failures(&runs, &mut recorder);
-    let query_embedding = Arc::new(embedder.embed(prompt));
+    runpool::emit_preexisting_failures(&runs, &mut recorder, &tctx);
+    let query_embedding = {
+        let espan = tctx.scope("embed_query");
+        let e = Arc::new(embedder.embed(prompt));
+        espan.end();
+        e
+    };
     let mut cache = orch
         .incremental_scoring
         .then(|| ScoreCache::new(n, Arc::clone(&query_embedding), cfg.weights));
@@ -76,6 +82,9 @@ pub(crate) fn run(
         }
         rounds += 1;
         let _round_span = registry.span_on(&round_timer);
+        let mut round_tspan = tctx.scope("round");
+        round_tspan.set_attr("round", rounds);
+        let round_ctx = round_tspan.context();
         recorder.emit_with(|| OrchestrationEvent::RoundStarted { round: rounds });
         let round_deadline = Deadline::new(orch.round_deadline_ms);
 
@@ -112,9 +121,14 @@ pub(crate) fn run(
                     })
                     .collect();
                 attempted = !targets.is_empty();
-                for (i, chunk) in
-                    runpool::generate_round(&mut runs, &targets, &mut budget, embedder, true)
-                {
+                for (i, chunk) in runpool::generate_round(
+                    &mut runs,
+                    &targets,
+                    &mut budget,
+                    embedder,
+                    true,
+                    &round_ctx,
+                ) {
                     if chunk.tokens > 0 || chunk.done.is_some() {
                         recorder.emit_with(|| OrchestrationEvent::ModelChunk {
                             model: runs[i].name.clone(),
@@ -147,7 +161,7 @@ pub(crate) fn run(
                     continue;
                 }
                 attempted = true;
-                let chunk = run.generate(request, &mut budget);
+                let chunk = runpool::traced_generate(run, request, &mut budget, &round_ctx);
                 if chunk.tokens > 0 || chunk.done.is_some() {
                     recorder.emit_with(|| OrchestrationEvent::ModelChunk {
                         model: run.name.clone(),
@@ -182,6 +196,7 @@ pub(crate) fn run(
         }
 
         // Scoring (lines 10–15): every non-pruned response participates.
+        let score_span = round_ctx.scope("score");
         update_scores(
             &mut runs,
             &query_embedding,
@@ -191,6 +206,7 @@ pub(crate) fn run(
             cache.as_mut(),
             orch.parallel_scoring,
         );
+        score_span.end();
         recorder.emit_with(|| OrchestrationEvent::ScoresUpdated {
             scores: runs
                 .iter()

@@ -112,6 +112,9 @@ pub(crate) struct EmbedDone {
 /// One candidate model's in-flight state during orchestration.
 pub(crate) struct ModelRun {
     pub name: String,
+    /// The name as a shared str — span attributes clone this for one
+    /// refcount bump instead of a fresh `String` per round.
+    shared_name: Arc<str>,
     session: Box<dyn GenerationSession>,
     embed: EmbedState,
     pub rounds: usize,
@@ -150,6 +153,7 @@ impl ModelRun {
                 let name = m.name().to_owned();
                 if health.admit(&name) {
                     ModelRun {
+                        shared_name: Arc::from(name.as_str()),
                         name,
                         session: m.start(prompt, options),
                         embed: EmbedState::new(),
@@ -167,6 +171,7 @@ impl ModelRun {
                 } else {
                     failure_metric(&name, "breaker_open");
                     ModelRun {
+                        shared_name: Arc::from(name.as_str()),
                         name,
                         session: Box::new(DeadSession),
                         embed: EmbedState::new(),
@@ -667,6 +672,43 @@ impl GenEmbedJob {
     }
 }
 
+/// [`ModelRun::generate`] wrapped in an `"arm"` trace span: records the
+/// model name and token count, emits a zero-length `"retry"` child when the
+/// call spent retries, and marks the span `Error` when the run terminally
+/// failed. The disabled-tracing path is one branch straight into
+/// [`ModelRun::generate`] — no allocation, no span.
+pub(crate) fn traced_generate(
+    run: &mut ModelRun,
+    requested: usize,
+    budget: &mut TokenBudget,
+    trace: &llmms_obs::SpanContext,
+) -> Chunk {
+    if !trace.is_enabled() {
+        return run.generate(requested, budget);
+    }
+    let mut span = trace.span("arm");
+    span.attr_with("model", || Arc::clone(&run.shared_name));
+    let retries_before = run.retries;
+    let backoff_before = run.backoff;
+    let chunk = run.generate(requested, budget);
+    span.set_attr("tokens", chunk.tokens);
+    let retries = run.retries - retries_before;
+    if retries > 0 {
+        let mut retry = span.context().span("retry");
+        retry.set_attr("count", retries);
+        retry.attr_with("backoff_ms", || {
+            (run.backoff - backoff_before).as_millis().to_string()
+        });
+        retry.end();
+    }
+    if chunk.done == Some(DoneReason::Failed) {
+        span.set_status(llmms_obs::SpanStatus::Error);
+        span.attr_with("error", || run.error.clone().unwrap_or_default());
+    }
+    span.end();
+    chunk
+}
+
 /// Run one round of generation over `targets` (`(arm index, request)` pairs
 /// in arm order), charging the shared budget. With `parallel` set, arms
 /// whose lease is pessimistically covered generate concurrently on the
@@ -675,27 +717,55 @@ impl GenEmbedJob {
 /// returned `(arm, chunk)` list, all budget accounting, and all per-run
 /// state transitions are bit-identical to calling
 /// [`ModelRun::generate`] target by target.
+///
+/// Tracing: each arm's work is wrapped in an `"arm"` span. The span itself
+/// never leaves the coordinator thread — the worker only reads the clock
+/// ([`llmms_obs::trace::tick_mark`], 8 bytes back through the channel) when
+/// its compute finishes, and the coordinator applies that mark plus all
+/// attributes at the barrier. This keeps every tracing allocation, every
+/// tracer-shared cacheline, and the span structs themselves on one thread.
+/// Span creation never feeds back into budget, scoring, or event state,
+/// preserving the determinism contract.
 pub(crate) fn generate_round(
     runs: &mut [ModelRun],
     targets: &[(usize, usize)],
     budget: &mut TokenBudget,
     embedder: &SharedEmbedder,
     parallel: bool,
+    trace: &llmms_obs::SpanContext,
 ) -> Vec<(usize, Chunk)> {
     if !parallel || targets.len() < 2 {
         return targets
             .iter()
-            .map(|&(i, request)| (i, runs[i].generate(request, budget)))
+            .map(|&(i, request)| (i, traced_generate(&mut runs[i], request, budget, trace)))
             .collect();
     }
     let requests: Vec<usize> = targets.iter().map(|&(_, request)| request).collect();
     let plan = budget.plan_leases(&requests);
+    let recording = trace.is_enabled();
     let mut jobs = Vec::new();
+    // Arm span timing stays on the coordinator: a start mark per dispatch
+    // here, an end mark from the worker, and the span record built at the
+    // barrier via the zero-ceremony `record_span` path. Empty (no
+    // allocation) when tracing is off.
+    let mut arm_starts: Vec<(usize, llmms_obs::trace::TickMark)> =
+        Vec::with_capacity(if recording { targets.len() } else { 0 });
     for (&(i, _), lease) in targets.iter().zip(&plan) {
         if let Lease::Granted(lease) = *lease {
             if let Some(job) = runs[i].begin_generate(lease, embedder) {
                 let embedder = Arc::clone(embedder);
-                jobs.push((i, move || job.compute(&embedder)));
+                if recording {
+                    arm_starts.push((i, llmms_obs::trace::tick_mark()));
+                }
+                jobs.push((i, move || {
+                    let done = job.compute(&embedder);
+                    // A bare clock read (no trace state touched); the
+                    // coordinator stamps it onto the arm span at the
+                    // barrier, so the span's end time is when the work
+                    // finished, not when the barrier drained.
+                    let end = recording.then(llmms_obs::trace::tick_mark);
+                    (done, end)
+                }));
             }
         }
     }
@@ -703,8 +773,9 @@ pub(crate) fn generate_round(
     let wall = Instant::now();
     let done = crate::executor::run_indexed(jobs);
     let wall = wall.elapsed();
-    let busy: Duration = done.iter().map(|(_, d)| d.busy).sum();
-    let mut by_arm: Vec<Option<GenDone>> = (0..runs.len()).map(|_| None).collect();
+    let busy: Duration = done.iter().map(|(_, (d, _))| d.busy).sum();
+    let mut by_arm: Vec<Option<(GenDone, Option<llmms_obs::trace::TickMark>)>> =
+        (0..runs.len()).map(|_| None).collect();
     for (i, d) in done {
         by_arm[i] = Some(d);
     }
@@ -713,8 +784,71 @@ pub(crate) fn generate_round(
         .iter()
         .map(|&(i, request)| {
             let chunk = match by_arm[i].take() {
-                Some(d) => runs[i].finish_generate(d, budget),
-                None => runs[i].generate(request, budget),
+                Some((d, end_mark)) => {
+                    if recording {
+                        let start = arm_starts
+                            .iter()
+                            .position(|(arm, _)| *arm == i)
+                            .map(|p| arm_starts.swap_remove(p).1);
+                        if let (Some(start), Some(end)) = (start, end_mark) {
+                            // Hot success arms carry only inline numerics
+                            // (`arm` index + `tokens`) — the arm→model
+                            // binding is recorded once per trace on the
+                            // `orchestrate` span's `arms` attribute. Error
+                            // arms are rare and name the model directly.
+                            let mut attrs = llmms_obs::trace::AttrList::new();
+                            attrs.push("arm", (i as u64).into());
+                            let mut status = llmms_obs::SpanStatus::Ok;
+                            match &d.outcome {
+                                GenOutcome::Chunk(chunk) => {
+                                    attrs.push("tokens", chunk.tokens.into());
+                                }
+                                GenOutcome::Error { message, .. } => {
+                                    status = llmms_obs::SpanStatus::Error;
+                                    attrs.push("model", Arc::clone(&runs[i].shared_name).into());
+                                    attrs.push("error", message.clone().into());
+                                }
+                            }
+                            let arm_id = trace.record_span("arm", start, end, status, attrs);
+                            if d.retries_delta > 0 {
+                                let mut retry = llmms_obs::trace::AttrList::new();
+                                retry.push("count", d.retries_delta.into());
+                                retry.push(
+                                    "backoff_ms",
+                                    (d.backoff_delta.as_millis() as u64).into(),
+                                );
+                                trace.record_span_under(
+                                    arm_id,
+                                    "retry",
+                                    end,
+                                    end,
+                                    llmms_obs::SpanStatus::Ok,
+                                    retry,
+                                );
+                            }
+                        }
+                    }
+                    let was_chunk = matches!(d.outcome, GenOutcome::Chunk(_));
+                    let chunk = runs[i].finish_generate(d, budget);
+                    // A stall streak materializes only here, at the barrier:
+                    // the worker saw an ordinary chunk, so the failure needs
+                    // its own marker span.
+                    if was_chunk && chunk.done == Some(DoneReason::Failed) && recording {
+                        let now = llmms_obs::trace::tick_mark();
+                        let mut attrs = llmms_obs::trace::AttrList::new();
+                        attrs.push("model", Arc::clone(&runs[i].shared_name).into());
+                        attrs.push("error", runs[i].error.clone().unwrap_or_default().into());
+                        trace.record_span(
+                            "arm_failed",
+                            now,
+                            now,
+                            llmms_obs::SpanStatus::Error,
+                            attrs,
+                        );
+                    }
+                    chunk
+                }
+                None => traced_generate(&mut runs[i], request, budget, trace),
             };
             (i, chunk)
         })
@@ -787,13 +921,26 @@ impl GenerationSession for DeadSession {
 }
 
 /// Emit a [`OrchestrationEvent::ModelFailed`] for every run that was dead
-/// on arrival (its circuit breaker refused admission at `start_all`).
-pub(crate) fn emit_preexisting_failures(runs: &[ModelRun], recorder: &mut EventRecorder) {
+/// on arrival (its circuit breaker refused admission at `start_all`), plus
+/// a zero-length error `"arm"` span per dead arm so the trace shows the
+/// breaker skip even though no generation ever runs.
+pub(crate) fn emit_preexisting_failures(
+    runs: &[ModelRun],
+    recorder: &mut EventRecorder,
+    trace: &llmms_obs::SpanContext,
+) {
     for run in runs.iter().filter(|r| r.failed) {
         recorder.emit_with(|| OrchestrationEvent::ModelFailed {
             model: run.name.clone(),
             error: run.error.clone().unwrap_or_default(),
         });
+        if trace.is_enabled() {
+            let mut span = trace.span("arm");
+            span.set_status(llmms_obs::SpanStatus::Error);
+            span.attr_with("model", || Arc::clone(&run.shared_name));
+            span.attr_with("error", || run.error.clone().unwrap_or_default());
+            span.end();
+        }
     }
 }
 

@@ -27,10 +27,11 @@ pub(crate) fn run(
         temperature: orch.temperature,
         seed: orch.seed,
     };
+    let tctx = llmms_obs::trace::current();
     let pool = [model.clone()];
     let mut runs = ModelRun::start_all(&pool, prompt, &options, orch.retry, health);
     runpool::configure_incremental(&mut runs, orch.incremental_scoring);
-    runpool::emit_preexisting_failures(&runs, &mut recorder);
+    runpool::emit_preexisting_failures(&runs, &mut recorder, &tctx);
     let query_deadline = Deadline::new(orch.query_deadline_ms);
     let mut deadline_exceeded = false;
 
@@ -47,7 +48,7 @@ pub(crate) fn run(
             runpool::abort_all(&mut runs);
             break;
         }
-        let chunk = runs[0].generate(64, &mut budget);
+        let chunk = runpool::traced_generate(&mut runs[0], 64, &mut budget, &tctx);
         recorder.emit_with(|| OrchestrationEvent::ModelChunk {
             model: runs[0].name.clone(),
             text: chunk.text.clone(),
@@ -63,7 +64,12 @@ pub(crate) fn run(
     }
 
     // Score with the α term only (there are no other models to agree with).
-    let query_embedding = embedder.embed(prompt);
+    let query_embedding = {
+        let espan = tctx.span("embed_query");
+        let e = embedder.embed(prompt);
+        espan.end();
+        e
+    };
     let score = if runs[0].has_output() {
         let response = runs[0].embedding(embedder);
         combined_score(&RewardWeights::default(), &query_embedding, &response, &[])

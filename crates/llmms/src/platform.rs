@@ -411,6 +411,7 @@ pub struct PlatformBuilder {
     prompt_config: PromptConfig,
     persist_path: Option<PathBuf>,
     storage_config: StorageConfig,
+    extra_models: Vec<SharedModel>,
 }
 
 impl PlatformBuilder {
@@ -469,6 +470,15 @@ impl PlatformBuilder {
         self
     }
 
+    /// Append custom models — chaos-wrapped arms, federated
+    /// [`RemoteModel`](llmms_server::RemoteModel) adapters — to the
+    /// evaluation pool.
+    #[must_use]
+    pub fn extra_models(mut self, models: Vec<SharedModel>) -> Self {
+        self.extra_models = models;
+        self
+    }
+
     /// Assemble the platform: build the knowledge store, register and load
     /// the three evaluation models, wire the retriever and session store.
     ///
@@ -480,7 +490,8 @@ impl PlatformBuilder {
         let embedder2 = Arc::clone(&embedder);
         let knowledge = Arc::new(KnowledgeStore::build(self.knowledge, Arc::clone(&embedder)));
         let registry = ModelRegistry::evaluation_setup(knowledge);
-        let models = registry.load_all()?;
+        let mut models = registry.load_all()?;
+        models.extend(self.extra_models);
         let retriever = match &self.persist_path {
             Some(path) => {
                 let db = Arc::new(Database::open_with(path, self.storage_config)?);

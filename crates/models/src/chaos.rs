@@ -53,12 +53,27 @@ pub struct ChaosModel {
     inner: SharedModel,
     kind: FaultKind,
     seed: u64,
+    name: Option<String>,
 }
 
 impl ChaosModel {
     /// Wrap `inner` with the fault plan `(kind, seed)`.
     pub fn new(inner: SharedModel, kind: FaultKind, seed: u64) -> Self {
-        Self { inner, kind, seed }
+        Self {
+            inner,
+            kind,
+            seed,
+            name: None,
+        }
+    }
+
+    /// Override the pool-visible name, so a chaos arm can sit in the same
+    /// pool as its healthy original without sharing its breaker, health
+    /// bookkeeping and metrics.
+    #[must_use]
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_owned());
+        self
     }
 
     /// Like [`ChaosModel::new`], but returns a ready-to-pool handle.
@@ -69,11 +84,14 @@ impl ChaosModel {
 
 impl LanguageModel for ChaosModel {
     fn name(&self) -> &str {
-        self.inner.name()
+        self.name.as_deref().unwrap_or_else(|| self.inner.name())
     }
 
     fn info(&self) -> ModelInfo {
-        self.inner.info()
+        ModelInfo {
+            name: self.name().to_owned(),
+            ..self.inner.info()
+        }
     }
 
     fn start(&self, prompt: &str, options: &GenOptions) -> Box<dyn GenerationSession> {
@@ -81,7 +99,7 @@ impl LanguageModel for ChaosModel {
             inner: self.inner.start(prompt, options),
             kind: self.kind,
             rng: StdRng::seed_from_u64(self.seed),
-            model: self.inner.name().to_owned(),
+            model: self.name().to_owned(),
             served: 0,
             garbage: String::new(),
             garbage_tokens: 0,

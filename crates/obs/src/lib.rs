@@ -11,6 +11,11 @@
 //! - Disabled registries short-circuit [`timed`]/[`span`] to a single
 //!   atomic load with zero allocation, so instrumentation can stay in place
 //!   in latency-critical paths.
+//! - [`trace`] adds request-scoped span trees (parent links, attrs,
+//!   ok/degraded/error status) with the same allocation-free disabled path;
+//!   [`tracestore`] retains completed traces under tail-based sampling, and
+//!   histograms can carry per-bucket trace-id exemplars linking `/metrics`
+//!   spikes to retained traces.
 //!
 //! ```
 //! use llmms_obs::Registry;
@@ -31,9 +36,13 @@ mod metrics;
 pub mod prometheus;
 mod registry;
 mod timing;
+pub mod trace;
+pub mod tracestore;
 
 pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Labels, Registered, Registry, Snapshot,
 };
 pub use timing::{span, timed, SpanGuard, STAGE_HISTOGRAM};
+pub use trace::{Span, SpanContext, SpanRecord, SpanStatus, TraceData, TraceId, Tracer};
+pub use tracestore::{RetainClass, StoredTrace, TraceStore, TraceStoreConfig, TraceStoreStats};

@@ -3,6 +3,7 @@
 //! update with relaxed atomics — observation never blocks the hot path.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// A monotonically increasing unsigned counter.
 #[derive(Debug, Default)]
@@ -103,6 +104,19 @@ pub struct Histogram {
     sum_bits: AtomicU64,
     /// Largest observation, stored as `f64` bits.
     max_bits: AtomicU64,
+    /// Per-bucket exemplar slots, allocated lazily on the first
+    /// [`Histogram::record_with_exemplar`] call so plain histograms pay
+    /// nothing for the feature.
+    exemplars: OnceLock<Box<[ExemplarSlot]>>,
+}
+
+/// One exemplar: the trace id and value of a recent observation in a bucket.
+/// The two fields are stored with independent relaxed atomics — exemplars
+/// are best-effort debugging breadcrumbs, not an exact record.
+#[derive(Debug, Default)]
+struct ExemplarSlot {
+    trace_id: AtomicU64,
+    value_bits: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -112,6 +126,7 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0),
             max_bits: AtomicU64::new(0),
+            exemplars: OnceLock::new(),
         }
     }
 }
@@ -172,6 +187,47 @@ impl Histogram {
     /// Record a duration in microseconds.
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(d.as_secs_f64() * 1e6);
+    }
+
+    /// Record one observation and remember `trace_id` as the exemplar for
+    /// the bucket the observation lands in. A zero trace id records the
+    /// observation without touching exemplars.
+    pub fn record_with_exemplar(&self, v: f64, trace_id: u64) {
+        self.record(v);
+        if trace_id == 0 {
+            return;
+        }
+        let slots = self
+            .exemplars
+            .get_or_init(|| (0..BUCKETS).map(|_| ExemplarSlot::default()).collect());
+        let slot = &slots[Self::bucket_index(v)];
+        slot.value_bits.store(v.to_bits(), Ordering::Relaxed);
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds with an exemplar trace id.
+    pub fn record_duration_with_exemplar(&self, d: std::time::Duration, trace_id: u64) {
+        self.record_with_exemplar(d.as_secs_f64() * 1e6, trace_id);
+    }
+
+    /// Exemplars by bucket, as `(bucket_upper_bound, trace_id, value)` for
+    /// every bucket holding one. Empty when no exemplar was ever recorded.
+    pub fn exemplars(&self) -> Vec<(f64, u64, f64)> {
+        let Some(slots) = self.exemplars.get() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            let id = slot.trace_id.load(Ordering::Relaxed);
+            if id != 0 {
+                out.push((
+                    Self::bucket_upper_bound(i),
+                    id,
+                    f64::from_bits(slot.value_bits.load(Ordering::Relaxed)),
+                ));
+            }
+        }
+        out
     }
 
     /// Number of observations.
@@ -293,6 +349,26 @@ mod tests {
         }
         let p50 = h.quantile(0.5);
         assert!((0.125..0.5).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn exemplars_track_per_bucket_trace_ids() {
+        let h = Histogram::new();
+        h.record(5.0);
+        assert!(h.exemplars().is_empty(), "no exemplar without trace id");
+        h.record_with_exemplar(5.0, 0);
+        assert!(h.exemplars().is_empty(), "zero trace id records nothing");
+        h.record_with_exemplar(5.0, 0xabc);
+        h.record_with_exemplar(100.0, 0xdef);
+        h.record_with_exemplar(6.0, 0x123); // same bucket as 5.0: replaces
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        let small = ex.iter().find(|(b, _, _)| *b == 8.0).unwrap();
+        assert_eq!(small.1, 0x123);
+        assert_eq!(small.2, 6.0);
+        let big = ex.iter().find(|(b, _, _)| *b == 128.0).unwrap();
+        assert_eq!(big.1, 0xdef);
+        assert_eq!(h.count(), 5, "exemplar recording still counts");
     }
 
     #[test]

@@ -33,7 +33,13 @@ pub fn render(snapshot: &Snapshot) -> String {
         for (le, cum) in &h.buckets {
             out.push_str(&format!("{}_bucket", h.name));
             push_labels(&mut out, &h.labels, Some(&format_le(*le)));
-            out.push_str(&format!(" {cum}\n"));
+            out.push_str(&format!(" {cum}"));
+            // OpenMetrics-style exemplar: links this bucket to a retained
+            // trace id.
+            if let Some((_, id, value)) = h.exemplars.iter().find(|(b, _, _)| b == le) {
+                out.push_str(&format!(" # {{trace_id=\"{id:016x}\"}} {value}"));
+            }
+            out.push('\n');
         }
         out.push_str(&format!("{}_bucket", h.name));
         push_labels(&mut out, &h.labels, Some("+Inf"));
@@ -152,5 +158,89 @@ mod tests {
         r.counter_with("odd", &[("q", "a\"b\\c\nd")]).metric.inc();
         let text = render(&r.snapshot());
         assert!(text.contains("odd{q=\"a\\\"b\\\\c\\nd\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn escaping_each_special_character_alone() {
+        // Quote only.
+        assert_eq!(escape("say \"hi\""), "say \\\"hi\\\"");
+        // Backslash only — must not double-escape the result of other rules.
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        // Newline only.
+        assert_eq!(escape("line1\nline2"), "line1\\nline2");
+        // Backslash followed by n stays a literal backslash + n, distinct
+        // from a real newline.
+        assert_eq!(escape("a\\nb"), "a\\\\nb");
+        // Nothing special: unchanged.
+        assert_eq!(escape("plain_value-1.2/ok"), "plain_value-1.2/ok");
+    }
+
+    #[test]
+    fn empty_label_sets_render_without_braces() {
+        let r = Registry::new();
+        r.counter("bare_total").metric.add(7);
+        r.gauge("bare_gauge").metric.set(1);
+        r.histogram("bare_us").metric.record(3.0);
+        let text = render(&r.snapshot());
+        assert!(text.contains("\nbare_total 7\n"), "{text}");
+        assert!(text.contains("\nbare_gauge 1\n"), "{text}");
+        // Histogram series still need braces for the `le` label...
+        assert!(text.contains("bare_us_bucket{le=\"4\"} 1"), "{text}");
+        assert!(text.contains("bare_us_bucket{le=\"+Inf\"} 1"), "{text}");
+        // ...but _sum/_count are braceless.
+        assert!(text.contains("\nbare_us_sum 3\n"), "{text}");
+        assert!(text.contains("\nbare_us_count 1\n"), "{text}");
+        assert!(!text.contains("{}"), "no empty brace pairs: {text}");
+    }
+
+    #[test]
+    fn empty_label_value_renders_as_empty_string() {
+        let r = Registry::new();
+        r.counter_with("evc", &[("tag", "")]).metric.inc();
+        let text = render(&r.snapshot());
+        assert!(text.contains("evc{tag=\"\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotonic() {
+        let r = Registry::new();
+        let h = r.histogram("cum_us");
+        // 3 in (2,4], 2 in (16,32], 1 in (256,512].
+        for v in [3.0, 3.5, 3.9, 20.0, 30.0, 400.0] {
+            h.metric.record(v);
+        }
+        let text = render(&r.snapshot());
+        assert!(text.contains("cum_us_bucket{le=\"4\"} 3"), "{text}");
+        assert!(text.contains("cum_us_bucket{le=\"32\"} 5"), "{text}");
+        assert!(text.contains("cum_us_bucket{le=\"512\"} 6"), "{text}");
+        assert!(text.contains("cum_us_bucket{le=\"+Inf\"} 6"), "{text}");
+        // Cumulative counts never decrease across the rendered bucket lines.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("cum_us_bucket"))
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), 4);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn bucket_exemplars_render_openmetrics_style() {
+        let r = Registry::new();
+        let h = r.histogram_with("lat_us", &[("route", "/q")]);
+        h.metric.record_with_exemplar(3.0, 0xdead_beef);
+        h.metric.record(3.5); // same bucket, no exemplar update
+        let text = render(&r.snapshot());
+        assert!(
+            text.contains(
+                "lat_us_bucket{route=\"/q\",le=\"4\"} 2 # {trace_id=\"00000000deadbeef\"} 3"
+            ),
+            "{text}"
+        );
+        // +Inf line carries no exemplar.
+        assert!(
+            text.contains("lat_us_bucket{route=\"/q\",le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
     }
 }

@@ -197,6 +197,7 @@ impl Registry {
                 p90: r.metric.quantile(0.90),
                 p99: r.metric.quantile(0.99),
                 buckets: r.metric.cumulative_buckets(),
+                exemplars: r.metric.exemplars(),
             })
             .collect();
         histograms.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
@@ -254,6 +255,8 @@ pub struct HistogramSnapshot {
     pub p99: f64,
     /// `(upper_bound, cumulative_count)` pairs of non-empty buckets.
     pub buckets: Vec<(f64, u64)>,
+    /// `(upper_bound, trace_id, value)` exemplars for buckets holding one.
+    pub exemplars: Vec<(f64, u64, f64)>,
 }
 
 /// Every metric in a registry at one instant.

@@ -66,6 +66,31 @@ fn enabled_hot_loop_with_cached_handles_does_not_allocate() {
 }
 
 #[test]
+fn disabled_tracing_does_not_allocate() {
+    use llmms_obs::trace;
+
+    // Warm the thread-local slot outside the measured window.
+    let _ = trace::current();
+
+    let allocs = allocations_during(|| {
+        for i in 0..10_000u64 {
+            // The full per-layer pattern: read the current context, open a
+            // span, attach attributes, set status — with no tracer
+            // installed, none of it may touch the heap.
+            let ctx = trace::current();
+            let mut span = ctx.span("hot_span");
+            span.attr_with("i", || i.to_string());
+            span.set_status(llmms_obs::SpanStatus::Error);
+            let child = span.context().span("child");
+            child.end();
+            span.end();
+            std::hint::black_box(trace::span_here("other"));
+        }
+    });
+    assert_eq!(allocs, 0, "disabled tracing must not allocate");
+}
+
+#[test]
 fn disabled_registry_stays_empty_but_flips_live() {
     let registry = llmms_obs::Registry::disabled();
     registry.timed("x", || ());

@@ -224,6 +224,26 @@ impl Retriever {
             return Ok(Vec::new());
         }
         let _span = llmms_obs::span("rag_retrieve");
+        let mut tspan = llmms_obs::trace::span_here("rag_retrieve");
+        tspan.set_attr("k", k);
+        let result = self.retrieve_inner(query, k, document_id);
+        match &result {
+            Ok(chunks) => tspan.set_attr("hits", chunks.len()),
+            Err(e) => {
+                tspan.set_status(llmms_obs::SpanStatus::Error);
+                tspan.attr_with("error", || e.to_string());
+            }
+        }
+        tspan.end();
+        result
+    }
+
+    fn retrieve_inner(
+        &self,
+        query: &str,
+        k: usize,
+        document_id: Option<&str>,
+    ) -> Result<Vec<RetrievedChunk>, RagError> {
         let coll = self.db.collection(&self.config.collection)?;
         let guard = coll.read();
         if guard.is_empty() {

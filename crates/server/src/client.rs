@@ -36,13 +36,33 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<ClientResponse> {
+    request_with_headers(addr, method, path, &[], body)
+}
+
+/// [`request`] with extra request headers (e.g. `X-LLMMS-Trace-Id` so a
+/// federated sub-call joins the caller's trace).
+///
+/// # Errors
+///
+/// Connection and I/O failures, or an unparsable status line.
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     let body = body.unwrap_or("");
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: llmms\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: llmms\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         body.len()
     )?;
+    for (name, value) in headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "\r\n{body}")?;
     stream.flush()?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;

@@ -519,10 +519,11 @@ mod tests {
     #[test]
     fn metrics_and_stats_endpoints_serve() {
         let server = start();
+        // Request counters are recorded once the response is written, so the
+        // first scrape may not see itself yet — the second one must.
+        let _ = client::request(server.addr(), "GET", "/metrics", None).unwrap();
         let r = client::request(server.addr(), "GET", "/metrics", None).unwrap();
         assert_eq!(r.status, 200);
-        // The request itself is counted, so the exposition is non-empty and
-        // mentions the transport metrics.
         assert!(r.body.contains("http_requests_total"), "{}", r.body);
         assert!(r.body.contains("http_in_flight"), "{}", r.body);
         let r = client::request(server.addr(), "GET", "/stats", None).unwrap();
@@ -538,6 +539,126 @@ mod tests {
         let storage = v.get("storage").expect("storage block");
         assert!(storage.get("wal_appends").is_some());
         assert!(storage.get("recovery").is_some());
+        let tracing = v.get("tracing").expect("tracing block");
+        assert!(tracing.get("events_dropped").is_some());
+        assert!(tracing.get("offered").is_some());
+        assert!(tracing.get("retained").is_some());
+        // Route aggregation is keyed on (route, status): the /metrics hits
+        // above surface under their status, not as one overwritten scalar.
+        let metrics_route = &v["requests"]["/metrics"];
+        assert!(metrics_route["total"].as_u64().unwrap() >= 1, "{v}");
+        assert!(
+            metrics_route["by_status"]["200"].as_u64().unwrap() >= 1,
+            "{v}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_keep_error_statuses_separate_per_route() {
+        let server = start();
+        // One 200 and one 400 on the same route.
+        let ok = client::request(
+            server.addr(),
+            "POST",
+            "/api/query",
+            Some(r#"{"question":"hi"}"#),
+        )
+        .unwrap();
+        assert_eq!(ok.status, 200);
+        let bad = client::request(server.addr(), "POST", "/api/query", Some("{}")).unwrap();
+        assert_eq!(bad.status, 400);
+        let r = client::request(server.addr(), "GET", "/stats", None).unwrap();
+        let v = r.json().unwrap();
+        let route = &v["requests"]["/api/query"];
+        assert!(route["by_status"]["200"].as_u64().unwrap() >= 1, "{v}");
+        assert!(route["by_status"]["400"].as_u64().unwrap() >= 1, "{v}");
+        assert!(
+            route["total"].as_u64().unwrap()
+                >= route["by_status"]["200"].as_u64().unwrap()
+                    + route["by_status"]["400"].as_u64().unwrap(),
+            "{v}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_traces_join_caller_trace_and_serve_span_tree() {
+        let server = start();
+        // A 502 outcome makes the trace an error trace, which tail sampling
+        // retains unconditionally — no dependence on the sample rate.
+        let hex = "00000000deadbeef";
+        let r = client::request_with_headers(
+            server.addr(),
+            "POST",
+            "/api/query",
+            &[("X-LLMMS-Trace-Id", hex)],
+            Some(r#"{"question":"all-models-down"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 502);
+
+        // The caller-provided id addresses the retained trace directly.
+        let r =
+            client::request(server.addr(), "GET", &format!("/debug/traces/{hex}"), None).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = r.json().unwrap();
+        assert_eq!(v["trace_id"], hex);
+        assert_eq!(v["route"], "/api/query");
+        assert_eq!(v["status"], "error");
+        assert_eq!(v["class"], "error");
+        let root = &v["spans"][0];
+        assert_eq!(root["name"], "request");
+        assert_eq!(root["status"], "error");
+        assert_eq!(root["attrs"]["route"], "/api/query");
+        assert_eq!(root["attrs"]["status"], 502);
+
+        // The index lists it too.
+        let r = client::request(server.addr(), "GET", "/debug/traces", None).unwrap();
+        assert_eq!(r.status, 200);
+        let v = r.json().unwrap();
+        let listed = v["traces"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|t| t["trace_id"] == hex);
+        assert!(listed, "{v}");
+
+        // Chrome trace-event export for the same id.
+        let r = client::request(
+            server.addr(),
+            "GET",
+            &format!("/debug/traces/{hex}?format=chrome"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("traceEvents"), "{}", r.body);
+
+        // Unknown and malformed ids answer 404 / 400.
+        let r =
+            client::request(server.addr(), "GET", "/debug/traces/0000000000000001", None).unwrap();
+        assert_eq!(r.status, 404);
+        let r = client::request(server.addr(), "GET", "/debug/traces/not-hex", None).unwrap();
+        assert_eq!(r.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn streaming_query_announces_its_trace_id_first() {
+        let server = start();
+        let events = client::sse_request(
+            server.addr(),
+            "/api/query",
+            r#"{"question":"hello","stream":true}"#,
+        )
+        .unwrap();
+        let (name, data) = events.first().unwrap();
+        assert_eq!(name, "trace");
+        let v: serde_json::Value = serde_json::from_str(data).unwrap();
+        let id = v["trace_id"].as_str().unwrap();
+        assert_eq!(id.len(), 16, "{id}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
         server.shutdown();
     }
 }

@@ -52,6 +52,28 @@ impl RemoteModel {
     }
 
     fn fetch(&self, prompt: &str, options: &GenOptions) -> Result<GenerateResponse, String> {
+        // The sub-call joins the caller's trace: a `remote_generate` span
+        // covers the round-trip and the trace id rides the request header so
+        // the remote node's own spans share the id.
+        let tctx = llmms_obs::trace::current();
+        let mut span = tctx.span("remote_generate");
+        span.attr_with("model", || self.remote_name.clone());
+        span.attr_with("addr", || self.addr.to_string());
+        let result = self.fetch_inner(prompt, options, &tctx);
+        if let Err(reason) = &result {
+            span.set_status(llmms_obs::SpanStatus::Error);
+            span.attr_with("error", || reason.clone());
+        }
+        span.end();
+        result
+    }
+
+    fn fetch_inner(
+        &self,
+        prompt: &str,
+        options: &GenOptions,
+        tctx: &llmms_obs::SpanContext,
+    ) -> Result<GenerateResponse, String> {
         let body = serde_json::to_string(&GenerateRequest {
             model: Some(self.remote_name.clone()),
             prompt: prompt.to_owned(),
@@ -60,8 +82,15 @@ impl RemoteModel {
             seed: options.seed,
         })
         .map_err(|e| e.to_string())?;
-        let response = client::request(self.addr, "POST", "/api/generate", Some(&body))
-            .map_err(|e| e.to_string())?;
+        let trace_hex = tctx.trace_id().map(|id| id.to_hex());
+        let headers: Vec<(&str, &str)> = trace_hex
+            .as_deref()
+            .map(|hex| ("X-LLMMS-Trace-Id", hex))
+            .into_iter()
+            .collect();
+        let response =
+            client::request_with_headers(self.addr, "POST", "/api/generate", &headers, Some(&body))
+                .map_err(|e| e.to_string())?;
         if response.status != 200 {
             return Err(format!(
                 "remote returned {}: {}",

@@ -6,6 +6,7 @@ use crate::http::{
 use crate::service::{AppService, GenerateRequest, QueryRequest, ServiceError};
 use crate::sse;
 use crossbeam_channel::TrySendError;
+use llmms_obs::{SpanRecord, SpanStatus, TraceData, TraceId, TraceStore, TraceStoreConfig, Tracer};
 use parking_lot::Mutex;
 use serde_json::{json, Value};
 use std::io::Write;
@@ -16,7 +17,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Transport-level robustness knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerConfig {
     /// How long a client may take to deliver a complete request before the
     /// connection is answered with 408 (slowloris protection).
@@ -33,15 +34,27 @@ pub struct ServerConfig {
     /// pool. When it is full the acceptor answers 503 + `Retry-After`
     /// itself — shedding happens before any per-connection resources exist.
     pub queue_depth: usize,
+    /// Ring-buffer capacity of the tail-sampled trace store behind
+    /// `/debug/traces` (0 disables retention).
+    pub trace_buffer_len: usize,
+    /// Probability of retaining a fast, healthy trace; errors and the slow
+    /// tail are always kept.
+    pub trace_sample_rate: f64,
+    /// Traces at least this slow are always retained.
+    pub trace_slow_threshold_ms: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let traces = TraceStoreConfig::default();
         Self {
             read_timeout: Duration::from_secs(10),
             max_in_flight: 256,
             worker_threads: 8,
             queue_depth: 64,
+            trace_buffer_len: traces.capacity,
+            trace_sample_rate: traces.sample_rate,
+            trace_slow_threshold_ms: traces.slow_threshold_ms,
         }
     }
 }
@@ -85,6 +98,11 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        TraceStore::global().configure(TraceStoreConfig {
+            capacity: config.trace_buffer_len,
+            sample_rate: config.trace_sample_rate,
+            slow_threshold_ms: config.trace_slow_threshold_ms,
+        });
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let in_flight = Arc::new(AtomicUsize::new(0));
@@ -193,11 +211,14 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
-/// Routes exempt from load shedding: probes must keep answering while the
-/// server is saturated, or the operator loses eyes exactly when they are
-/// needed most.
+/// Routes exempt from load shedding: probes and debug endpoints must keep
+/// answering while the server is saturated, or the operator loses eyes
+/// exactly when they are needed most.
 fn shed_exempt(route: &str) -> bool {
-    matches!(route, "/healthz" | "/metrics" | "/stats")
+    matches!(
+        route,
+        "/healthz" | "/metrics" | "/stats" | "/debug/traces" | "/debug/traces/:id"
+    )
 }
 
 fn handle_connection<S: AppService>(
@@ -216,35 +237,50 @@ fn handle_connection<S: AppService>(
     // Slowloris guard: a client gets `read_timeout` to deliver the request.
     let _ = stream.set_read_timeout(Some(config.read_timeout));
 
-    let route = match read_request(stream) {
+    let (route, status, trace) = match read_request(stream) {
         Ok(request) => {
             let route = route_label(&request.path);
-            if observing {
-                registry
-                    .counter_with("http_requests_total", &[("route", route)])
-                    .metric
-                    .inc();
-            }
-            let occupancy = in_flight.load(Ordering::SeqCst);
-            if occupancy > config.max_in_flight && !shed_exempt(route) {
-                if observing {
-                    registry
-                        .counter_with("http_shed_total", &[("route", route)])
-                        .metric
-                        .inc();
+            // Root of the per-request span tree. An `X-LLMMS-Trace-Id`
+            // header joins a federated caller's trace; otherwise the id is
+            // fresh. When tracing is globally disabled the tracer records
+            // nothing and allocates nothing.
+            let trace_id = request
+                .headers
+                .get("x-llmms-trace-id")
+                .and_then(|v| TraceId::from_hex(v))
+                .unwrap_or_else(TraceId::generate);
+            let tracer = Tracer::new(trace_id);
+            let mut root = tracer.root_span("request");
+            root.set_attr("route", route);
+            let status = {
+                let _guard = llmms_obs::trace::set_current(root.context());
+                let occupancy = in_flight.load(Ordering::SeqCst);
+                if occupancy > config.max_in_flight && !shed_exempt(route) {
+                    if observing {
+                        registry
+                            .counter_with("http_shed_total", &[("route", route)])
+                            .metric
+                            .inc();
+                    }
+                    let body = json!({ "error": "server overloaded, retry shortly" }).to_string();
+                    let _ = write_response_with(
+                        stream,
+                        503,
+                        "application/json",
+                        &[("Retry-After", "1")],
+                        body.as_bytes(),
+                    );
+                    503
+                } else {
+                    dispatch(service, stream, &request)
                 }
-                let body = json!({ "error": "server overloaded, retry shortly" }).to_string();
-                let _ = write_response_with(
-                    stream,
-                    503,
-                    "application/json",
-                    &[("Retry-After", "1")],
-                    body.as_bytes(),
-                );
-            } else {
-                dispatch(service, stream, &request);
+            };
+            if status >= 500 {
+                root.set_status(SpanStatus::Error);
             }
-            route
+            root.set_attr("status", u64::from(status));
+            root.end();
+            (route, status, tracer.finish())
         }
         Err(e) => {
             let status = match e {
@@ -252,16 +288,33 @@ fn handle_connection<S: AppService>(
                 crate::http::HttpError::Timeout => 408,
                 _ => 400,
             };
-            let _ = respond_json(stream, status, &json!({ "error": e.to_string() }));
-            "bad_request"
+            respond_json(stream, status, &json!({ "error": e.to_string() }));
+            ("bad_request", status, None)
         }
     };
 
+    // Tail sampling happens here, once outcome and duration are known. A
+    // retained trace's id is attached to the latency histogram as an
+    // exemplar, so a p99 spike in /metrics links to an inspectable trace.
+    let retained = trace
+        .map(|t| (t.trace_id, TraceStore::global().offer(t)))
+        .filter(|(_, kept)| *kept);
     if observing {
+        let status_label = status.to_string();
         registry
-            .histogram_with("http_request_duration_us", &[("route", route)])
+            .counter_with(
+                "http_requests_total",
+                &[("route", route), ("status", &status_label)],
+            )
             .metric
-            .record_duration(start.elapsed());
+            .inc();
+        let latency = registry.histogram_with("http_request_duration_us", &[("route", route)]);
+        match retained {
+            Some((trace_id, _)) => latency
+                .metric
+                .record_duration_with_exemplar(start.elapsed(), trace_id),
+            None => latency.metric.record_duration(start.elapsed()),
+        }
         registry.gauge("http_in_flight").metric.dec();
     }
 }
@@ -282,19 +335,27 @@ fn route_label(path: &str) -> &'static str {
         "/api/ingest" => "/api/ingest",
         "/api/sessions" => "/api/sessions",
         p if p.starts_with("/api/sessions/") => "/api/sessions/:id",
+        "/debug/traces" => "/debug/traces",
+        p if p.starts_with("/debug/traces/") => "/debug/traces/:id",
         _ => "other",
     }
 }
 
-fn dispatch<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) {
+/// Serve one request; returns the HTTP status that was written, so the
+/// caller can label `http_requests_total{route,status}` and close out the
+/// request span.
+fn dispatch<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
     let path = request.path.as_str();
-    let result = match (request.method, path) {
+    match (request.method, path) {
         (Method::Get, "/healthz") => respond_json(stream, 200, &json!({ "status": "ok" })),
         (Method::Get, "/metrics") => {
             let text = service.metrics_text();
-            write_response(stream, 200, "text/plain; version=0.0.4", text.as_bytes())
+            let _ = write_response(stream, 200, "text/plain; version=0.0.4", text.as_bytes());
+            200
         }
         (Method::Get, "/stats") => respond_json(stream, 200, &service.stats_json()),
+        (Method::Get, "/debug/traces") => handle_trace_index(stream),
+        (Method::Get, p) if p.starts_with("/debug/traces/") => handle_trace_get(stream, request),
         (Method::Get, "/api/models") => {
             let models = service.list_models();
             respond_json(stream, 200, &json!({ "models": models }))
@@ -330,15 +391,114 @@ fn dispatch<S: AppService>(service: &S, stream: &mut TcpStream, request: &Reques
         }
         (Method::Other, _) => respond_json(stream, 405, &json!({ "error": "method not allowed" })),
         _ => respond_json(stream, 404, &json!({ "error": "not found" })),
-    };
-    let _ = result;
+    }
 }
 
-fn handle_configure<S: AppService>(
-    service: &S,
-    stream: &mut TcpStream,
-    request: &Request,
-) -> std::io::Result<()> {
+/// `GET /debug/traces` — index of retained traces, newest first, without
+/// span bodies.
+fn handle_trace_index(stream: &mut TcpStream) -> u16 {
+    let store = TraceStore::global();
+    let rows: Vec<Value> = store
+        .index()
+        .into_iter()
+        .map(|t| {
+            json!({
+                "trace_id": format!("{:016x}", t.trace_id),
+                "route": t.route,
+                "status": t.status.as_str(),
+                "duration_us": t.duration_us,
+                "winner": t.winner,
+                "class": t.class.as_str(),
+                "spans": t.spans,
+            })
+        })
+        .collect();
+    let stats = store.stats();
+    respond_json(
+        stream,
+        200,
+        &json!({
+            "traces": rows,
+            "stats": {
+                "offered": stats.offered,
+                "retained": stats.retained,
+                "sampled_out": stats.sampled_out,
+                "evicted": stats.evicted,
+                "buffered": stats.buffered,
+            },
+        }),
+    )
+}
+
+/// `GET /debug/traces/{id}` — one retained trace as a nested span tree, or
+/// as Chrome trace-event JSON (loadable in `chrome://tracing` / Perfetto)
+/// with `?format=chrome`.
+fn handle_trace_get(stream: &mut TcpStream, request: &Request) -> u16 {
+    let hex = &request.path["/debug/traces/".len()..];
+    let Some(id) = TraceId::from_hex(hex) else {
+        return respond_json(stream, 400, &json!({ "error": "bad trace id" }));
+    };
+    let Some(stored) = TraceStore::global().get(id.get()) else {
+        return respond_json(stream, 404, &json!({ "error": "trace not retained" }));
+    };
+    if request.query.get("format").map(String::as_str) == Some("chrome") {
+        let data = TraceData {
+            trace_id: stored.trace_id,
+            spans: stored.spans,
+        };
+        // Chrome JSON Object Format, loadable as-is in chrome://tracing
+        // and Perfetto.
+        let body = format!("{{\"traceEvents\":{}}}", data.chrome_json());
+        let _ = write_response(stream, 200, "application/json", body.as_bytes());
+        return 200;
+    }
+    respond_json(
+        stream,
+        200,
+        &json!({
+            "trace_id": format!("{:016x}", stored.trace_id),
+            "route": stored.route,
+            "status": stored.status.as_str(),
+            "duration_us": stored.duration_us,
+            "winner": stored.winner,
+            "class": stored.class.as_str(),
+            "spans": span_tree(&stored.spans, 0),
+        }),
+    )
+}
+
+/// Children of `parent` as nested JSON objects, ordered by start time.
+fn span_tree(spans: &[SpanRecord], parent: u64) -> Vec<Value> {
+    let mut children: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent == parent).collect();
+    children.sort_by_key(|s| (s.start_us, s.id));
+    children
+        .into_iter()
+        .map(|s| {
+            let attrs: serde_json::Map<String, Value> = s
+                .attrs
+                .iter()
+                .map(|(k, v)| {
+                    let value = match v.as_u64() {
+                        Some(n) => json!(n),
+                        None => json!(v.as_str().unwrap_or_default()),
+                    };
+                    (k.to_owned(), value)
+                })
+                .collect();
+            json!({
+                "id": s.id,
+                "name": s.name,
+                "start_us": s.start_us,
+                "duration_us": s.duration_us(),
+                "status": s.status.as_str(),
+                "attrs": attrs,
+                "children": span_tree(spans, s.id),
+            })
+        })
+        .collect()
+}
+
+fn handle_configure<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
     let body: Value = match serde_json::from_str(&request.body_str()) {
         Ok(v) => v,
         Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
@@ -354,11 +514,7 @@ fn handle_configure<S: AppService>(
     }
 }
 
-fn handle_generate<S: AppService>(
-    service: &S,
-    stream: &mut TcpStream,
-    request: &Request,
-) -> std::io::Result<()> {
+fn handle_generate<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
     let req: GenerateRequest = match serde_json::from_str(&request.body_str()) {
         Ok(r) => r,
         Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
@@ -373,11 +529,7 @@ fn handle_generate<S: AppService>(
     }
 }
 
-fn handle_ingest<S: AppService>(
-    service: &S,
-    stream: &mut TcpStream,
-    request: &Request,
-) -> std::io::Result<()> {
+fn handle_ingest<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
     let body: Value = match serde_json::from_str(&request.body_str()) {
         Ok(v) => v,
         Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
@@ -398,11 +550,7 @@ fn handle_ingest<S: AppService>(
     }
 }
 
-fn handle_query<S: AppService>(
-    service: &S,
-    stream: &mut TcpStream,
-    request: &Request,
-) -> std::io::Result<()> {
+fn handle_query<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
     let query: QueryRequest = match serde_json::from_str(&request.body_str()) {
         Ok(q) => q,
         Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
@@ -422,11 +570,30 @@ fn handle_query<S: AppService>(
     }
 
     // Streaming: run the orchestration on a worker thread, forward events as
-    // SSE frames while it runs, then emit a final `result` frame.
-    write_sse_header(stream)?;
+    // SSE frames while it runs, then emit a final `result` frame. The wire
+    // status is committed as 200 the moment the SSE header goes out.
+    if write_sse_header(stream).is_err() {
+        return 200;
+    }
+    // First frame: the trace id, so a streaming client can pull
+    // `/debug/traces/{id}` once the stream ends.
+    let tctx = llmms_obs::trace::current();
+    if let Some(id) = tctx.trace_id() {
+        let frame = sse::frame("trace", &json!({ "trace_id": id.to_hex() }).to_string());
+        if stream.write_all(frame.as_bytes()).is_err() {
+            return 200;
+        }
+        let _ = stream.flush();
+    }
     let (tx, rx) = crossbeam_channel::unbounded();
     let result = std::thread::scope(|scope| {
-        let worker = scope.spawn(|| service.query(&query, Some(tx)));
+        let query = &query;
+        let worker = scope.spawn(move || {
+            // The worker inherits the request's span context so the
+            // orchestration spans stay inside the request's tree.
+            let _guard = llmms_obs::trace::set_current(tctx);
+            service.query(query, Some(tx))
+        });
         for event in rx.iter() {
             let frame = sse::event_frame(&event);
             if stream.write_all(frame.as_bytes()).is_err() {
@@ -448,15 +615,17 @@ fn handle_query<S: AppService>(
             &json!({ "error": e.message, "status": e.status }).to_string(),
         ),
     };
-    stream.write_all(final_frame.as_bytes())?;
-    stream.flush()
+    let _ = stream.write_all(final_frame.as_bytes());
+    let _ = stream.flush();
+    200
 }
 
-fn respond_json(stream: &mut TcpStream, status: u16, body: &Value) -> std::io::Result<()> {
-    write_response(
+fn respond_json(stream: &mut TcpStream, status: u16, body: &Value) -> u16 {
+    let _ = write_response(
         stream,
         status,
         "application/json",
         body.to_string().as_bytes(),
-    )
+    );
+    status
 }

@@ -244,14 +244,40 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         );
     }
 
-    let mut routes = Map::new();
+    // Requests are keyed on the full (route, status) label set: counters
+    // that share a route but differ in status are separate series, so 4xx
+    // and 5xx counts must not be folded into (or overwritten by) the
+    // success totals.
+    let mut by_route: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
     for c in &snapshot.counters {
         if c.name != "http_requests_total" {
             continue;
         }
-        if let Some((_, route)) = c.labels.iter().find(|(k, _)| k == "route") {
-            routes.insert(route.clone(), json!(c.value));
+        let Some((_, route)) = c.labels.iter().find(|(k, _)| k == "route") else {
+            continue;
+        };
+        let status = c
+            .labels
+            .iter()
+            .find(|(k, _)| k == "status")
+            .map_or_else(|| "unknown".to_owned(), |(_, v)| v.clone());
+        *by_route
+            .entry(route.clone())
+            .or_default()
+            .entry(status)
+            .or_insert(0) += c.value;
+    }
+    let mut routes = Map::new();
+    for (route, statuses) in by_route {
+        let total: u64 = statuses.values().sum();
+        let mut status_map = Map::new();
+        for (status, count) in statuses {
+            status_map.insert(status, json!(count));
         }
+        routes.insert(
+            route,
+            json!({ "total": total, "by_status": Value::Object(status_map) }),
+        );
     }
 
     // Circuit-breaker health: current state per model (from the
@@ -365,6 +391,22 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         },
     });
 
+    // Request tracing: sink-write drops (satellite of the trace pipeline)
+    // plus the tail sampler's bookkeeping, mirrored into the registry by the
+    // global trace store.
+    let tracing = json!({
+        "events_dropped": counter_total("trace_events_dropped_total"),
+        "offered": counter_total("traces_offered_total"),
+        "retained": counter_total("traces_retained_total"),
+        "sampled_out": counter_total("traces_sampled_out_total"),
+        "evicted": counter_total("traces_evicted_total"),
+        "buffered": snapshot
+            .gauges
+            .iter()
+            .find(|g| g.name == "traces_buffered")
+            .map_or(0, |g| g.value),
+    });
+
     json!({
         "models": Value::Object(model_map),
         "requests": Value::Object(routes),
@@ -372,6 +414,7 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         "scoring": scoring,
         "parallel": parallel,
         "storage": storage,
+        "tracing": tracing,
     })
 }
 

@@ -242,6 +242,18 @@ impl Wal {
     /// fsync, honoring the batching policy. Returns the sequence number of
     /// the last appended frame.
     fn append_batch(&mut self, ops: &[&WalOp]) -> Result<u64, DbError> {
+        let mut tspan = llmms_obs::trace::span_here("wal_append");
+        tspan.set_attr("ops", ops.len());
+        let result = self.append_batch_inner(ops);
+        if let Err(e) = &result {
+            tspan.set_status(llmms_obs::SpanStatus::Error);
+            tspan.attr_with("error", || e.to_string());
+        }
+        tspan.end();
+        result
+    }
+
+    fn append_batch_inner(&mut self, ops: &[&WalOp]) -> Result<u64, DbError> {
         let mut buf = Vec::new();
         for op in ops {
             let payload =
@@ -274,9 +286,17 @@ impl Wal {
     /// Force pending appends to stable storage.
     fn fsync(&mut self) -> Result<(), DbError> {
         let start = Instant::now();
-        self.file
+        let mut tspan = llmms_obs::trace::span_here("wal_fsync");
+        let synced = self
+            .file
             .sync_data()
-            .map_err(|e| DbError::Persistence(format!("fsync {}: {e}", self.path.display())))?;
+            .map_err(|e| DbError::Persistence(format!("fsync {}: {e}", self.path.display())));
+        if let Err(e) = &synced {
+            tspan.set_status(llmms_obs::SpanStatus::Error);
+            tspan.attr_with("error", || e.to_string());
+        }
+        tspan.end();
+        synced?;
         self.appends_since_fsync = 0;
         let registry = llmms_obs::Registry::global();
         if registry.enabled() {
@@ -394,6 +414,24 @@ impl CollectionStorage {
     /// Write `snapshot` atomically (tmp + rename + dir fsync), then start a
     /// fresh WAL generation seeded with a `Create` frame.
     pub(crate) fn checkpoint(
+        &mut self,
+        snapshot_json: &str,
+        name: &str,
+        config: &CollectionConfig,
+    ) -> Result<(), DbError> {
+        let mut tspan = llmms_obs::trace::span_here("snapshot");
+        tspan.attr_with("collection", || name.to_owned());
+        tspan.set_attr("bytes", snapshot_json.len());
+        let result = self.checkpoint_inner(snapshot_json, name, config);
+        if let Err(e) = &result {
+            tspan.set_status(llmms_obs::SpanStatus::Error);
+            tspan.attr_with("error", || e.to_string());
+        }
+        tspan.end();
+        result
+    }
+
+    fn checkpoint_inner(
         &mut self,
         snapshot_json: &str,
         name: &str,

@@ -124,7 +124,7 @@ fn metrics_and_stats_reflect_a_query() {
     assert_eq!(m.status, 200);
     let text = &m.body;
     assert!(
-        text.contains("http_requests_total{route=\"/api/query\"}"),
+        text.contains("http_requests_total{route=\"/api/query\",status=\"200\"}"),
         "missing request counter:\n{text}"
     );
     assert!(
@@ -172,7 +172,7 @@ fn metrics_and_stats_reflect_a_query() {
         st.body
     );
     assert!(
-        v["requests"]["/api/query"].as_u64().unwrap() >= 1,
+        v["requests"]["/api/query"]["total"].as_u64().unwrap() >= 1,
         "request totals must include /api/query: {}",
         st.body
     );
