@@ -1,0 +1,230 @@
+//! Machine-readable overload snapshot: drives a real HTTP server at a
+//! sustained multiple of its serving capacity and measures *goodput* —
+//! completed queries per second — with the brownout ladder enabled versus
+//! the binary-shed baseline (admission and shedding only, no degradation).
+//!
+//! The brownout run is expected to win: under pressure it steps the ladder
+//! to level 3, which cuts the arm pool, the round schedule, and the token
+//! budget, so each admitted query costs a fraction of a full one and the
+//! same two workers finish several times as many. `--check` gates the
+//! ratio at ≥ 1.5× for CI.
+//!
+//! Usage: `cargo run -p llmms-bench --release --bin overload_snapshot [out.json] [--check]`
+
+use llmms::models::chaos::{ChaosModel, FaultKind};
+use llmms::models::{KnowledgeStore, ModelProfile, SharedModel, SimLlm};
+use llmms::server::{client, Server, ServerConfig, TenantQuota};
+use llmms::Platform;
+use serde_json::json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUESTION_BODY: &str = r#"{"question":"What is the capital of France?"}"#;
+
+/// Serving capacity of the saturated node: worker threads and the
+/// in-flight cap, deliberately tiny so a handful of client threads is a
+/// heavy overload.
+const WORKERS: usize = 2;
+
+/// Closed-loop client threads — offered concurrency, a 4× multiple of the
+/// worker pool so the node sits pinned at full pressure.
+const CLIENTS: usize = 8;
+
+/// What one load window measured.
+struct LoadReport {
+    served: u64,
+    rejected: u64,
+    errored: u64,
+    elapsed: Duration,
+}
+
+impl LoadReport {
+    fn goodput_qps(&self) -> f64 {
+        self.served as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "served": self.served,
+            "rejected": self.rejected,
+            "errored": self.errored,
+            "window_ms": self.elapsed.as_millis() as u64,
+            "goodput_qps": self.goodput_qps(),
+        })
+    }
+}
+
+/// Per-chunk wall-clock cost of the slow backend arms — the expense the
+/// brownout ladder sheds by cutting the pool to its fast local prefix.
+const SLOW_CHUNK_MS: u64 = 20;
+
+/// The bench platform: the three fast local sims plus two wall-clock-slow
+/// backend arms at the tail of the pool. A full-fidelity round waits on
+/// the slowest arm, so every level-0 query pays the slow backends; the
+/// ladder's level-1 prefix cut drops exactly them.
+fn bench_platform() -> Platform {
+    let knowledge = llmms::eval::generate(&llmms::eval::GeneratorConfig::default()).to_knowledge();
+    let store = Arc::new(KnowledgeStore::build(
+        knowledge.clone(),
+        llmms::embed::default_embedder(),
+    ));
+    let slow_arm = |name: &str, seed: u64| -> SharedModel {
+        let mut p = ModelProfile::llama3_8b();
+        p.name = name.to_owned();
+        ChaosModel::wrap(
+            Arc::new(SimLlm::new(p, Arc::clone(&store))) as SharedModel,
+            FaultKind::SlowChunks {
+                delay_ms: SLOW_CHUNK_MS,
+            },
+            seed,
+        )
+    };
+    Platform::builder()
+        .knowledge(knowledge)
+        .extra_models(vec![
+            slow_arm("slow-backend-a", 1),
+            slow_arm("slow-backend-b", 2),
+        ])
+        .build()
+        .expect("bench platform must build")
+}
+
+/// Run one load window against a fresh server. `brownout` toggles the
+/// degradation ladder; everything else — pool, budget, capacity, offered
+/// load — is identical between the two modes.
+fn run_mode(brownout: bool, window: Duration) -> LoadReport {
+    let platform = bench_platform();
+
+    let mut config = ServerConfig {
+        worker_threads: WORKERS,
+        max_in_flight: WORKERS,
+        // Enough queue for every client to wait instead of shed-spinning,
+        // so both modes measure serving throughput, not connection churn.
+        queue_depth: CLIENTS,
+        ..ServerConfig::default()
+    };
+    // Admission out of the picture: this snapshot isolates brownout.
+    config.admission.default_quota = TenantQuota {
+        rate_per_sec: 1e9,
+        burst: 1e9,
+        max_concurrent: 1_000_000,
+    };
+    config.brownout.min_dwell_ms = 25;
+    if brownout {
+        config.brownout.level1_max_arms = 2;
+        config.brownout.level2_max_rounds = 2;
+        config.brownout.level3_token_budget = 64;
+    } else {
+        // Unreachable threshold: the controller never leaves level 0 and
+        // the node degrades the binary way — serve at full cost or shed.
+        config.brownout.enter_pressure = f64::INFINITY;
+    }
+
+    let server = Server::start_with(Arc::new(platform), "127.0.0.1:0", config)
+        .expect("bench server must start");
+    let addr = server.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let errored = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            let rejected = Arc::clone(&rejected);
+            let errored = Arc::clone(&errored);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match client::request(addr, "POST", "/api/query", Some(QUESTION_BODY)) {
+                        Ok(r) if r.status == 200 => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(r) if r.status == 429 || r.status == 503 => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            // A real client would honor Retry-After; back off
+                            // a beat instead of hammering the acceptor.
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        _ => {
+                            errored.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        let _ = c.join();
+    }
+    let elapsed = started.elapsed();
+    server.shutdown();
+    LoadReport {
+        served: served.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        errored: errored.load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args.iter().find(|a| !a.starts_with("--"));
+    let window = Duration::from_millis(
+        std::env::var("OVERLOAD_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4_000),
+    );
+
+    eprintln!("overload snapshot: binary-shed baseline ({window:?} window)...");
+    let baseline = run_mode(false, window);
+    eprintln!(
+        "  baseline: {} served, {} rejected ({:.1} qps)",
+        baseline.served,
+        baseline.rejected,
+        baseline.goodput_qps()
+    );
+    eprintln!("overload snapshot: brownout ladder ({window:?} window)...");
+    let brownout = run_mode(true, window);
+    eprintln!(
+        "  brownout: {} served, {} rejected ({:.1} qps)",
+        brownout.served,
+        brownout.rejected,
+        brownout.goodput_qps()
+    );
+
+    let ratio = brownout.goodput_qps() / baseline.goodput_qps().max(f64::MIN_POSITIVE);
+    let snapshot = json!({
+        "workers": WORKERS,
+        "offered_clients": CLIENTS,
+        "window_ms": window.as_millis() as u64,
+        "baseline_binary_shed": baseline.to_json(),
+        "brownout": brownout.to_json(),
+        "goodput_ratio": ratio,
+    });
+    let out = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &out).expect("snapshot file must be writable");
+            eprintln!("overload snapshot written to {path} (goodput ratio {ratio:.2}x)");
+        }
+        None => println!("{out}"),
+    }
+    if check {
+        assert!(
+            ratio >= 1.5,
+            "brownout goodput must be >= 1.5x the binary-shed baseline, got {ratio:.2}x \
+             ({:.1} vs {:.1} qps)",
+            brownout.goodput_qps(),
+            baseline.goodput_qps()
+        );
+        eprintln!("check passed: {ratio:.2}x >= 1.5x");
+    }
+}

@@ -643,3 +643,88 @@ fn disabled_breaker_always_admits() {
     // succeeds while the breaker is disabled.
     assert!(o.health().admit("chaos-nb-dying"));
 }
+
+/// Deadline cut under overload is degradation, not failure: a client
+/// deadline arriving via [`QueryOverrides`] cuts the rounds of a
+/// slow-but-healthy pool at the next boundary. The partial answer comes
+/// back `degraded` + `deadline_exceeded`, with zero arms marked failed —
+/// the overload control plane must never convert pressure into faults.
+#[test]
+fn per_query_deadline_cuts_rounds_degraded_not_failed() {
+    use crate::orchestrator::QueryOverrides;
+
+    for strategy in all_strategies() {
+        let store = knowledge();
+        let models = vec![
+            faulty(
+                "treacle-a",
+                FaultKind::SlowChunks { delay_ms: 70 },
+                12,
+                &store,
+            ),
+            faulty(
+                "treacle-b",
+                FaultKind::SlowChunks { delay_ms: 70 },
+                13,
+                &store,
+            ),
+        ];
+        // No config-level deadline: the per-query override is the only cut.
+        let o = orchestrator(strategy, 2048, None);
+        let started = std::time::Instant::now();
+        let r = o
+            .run_with(
+                &models,
+                QUESTION,
+                QueryOverrides {
+                    deadline_ms: Some(60),
+                    brownout_level: 0,
+                },
+            )
+            .unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "{}: the per-query deadline must bound the query",
+            r.strategy
+        );
+        assert!(r.deadline_exceeded, "{}", r.strategy);
+        assert!(r.degraded, "{}", r.strategy);
+        assert!(
+            r.failed_models().is_empty(),
+            "{}: deadline cut must not fail arms: {:?}",
+            r.strategy,
+            r.failed_models()
+        );
+        assert_eq!(o.health().state("treacle-a"), BreakerState::Closed);
+    }
+}
+
+/// Brownout composes with chaos: at level 2 a faulted pool still answers
+/// from the healthy arm, the result carries the brownout stamp, and the
+/// shorter round schedule keeps the query inside its deadline.
+#[test]
+fn brownout_level_survives_faulty_pool_and_stamps_result() {
+    use crate::orchestrator::QueryOverrides;
+
+    let store = knowledge();
+    let models = vec![
+        sim("healthy-brownout", &store),
+        faulty("wedged-brownout", FaultKind::Stall, 14, &store),
+        faulty("flaky-brownout", FaultKind::Flaky { p: 0.9 }, 15, &store),
+    ];
+    let o = orchestrator(Strategy::Oua(OuaConfig::default()), 96, Some(5_000));
+    let r = o
+        .run_with(
+            &models,
+            QUESTION,
+            QueryOverrides {
+                deadline_ms: None,
+                brownout_level: 2,
+            },
+        )
+        .unwrap();
+    assert_eq!(r.brownout_level, 2);
+    assert!(r.degraded, "brownout alone must flag degradation");
+    assert!(!r.response().is_empty());
+    assert!(r.total_tokens <= 96);
+}

@@ -211,6 +211,16 @@ pub struct OrchestratorConfig {
     /// cap.
     #[serde(default)]
     pub query_deadline_ms: Option<u64>,
+    /// Hard cap on rounds (OUA) / pulls (MAB) per query, independent of
+    /// the token budget. A run cut by this cap returns the best response
+    /// so far, marked `degraded`. `None` disables the cap; brownout
+    /// level 2 installs one per query.
+    #[serde(default)]
+    pub max_rounds: Option<usize>,
+    /// Brownout thresholds and per-level degradation caps, applied when
+    /// the serving layer reports overload (see [`crate::brownout`]).
+    #[serde(default)]
+    pub brownout: crate::brownout::BrownoutConfig,
     /// Drive Eq. 6.1 scoring through the incremental engine: per-run
     /// embedding accumulators (O(new tokens) instead of O(total tokens) per
     /// round) and a cross-round pairwise-similarity cache that only
@@ -253,6 +263,8 @@ impl Default for OrchestratorConfig {
             breaker: BreakerConfig::default(),
             round_deadline_ms: None,
             query_deadline_ms: None,
+            max_rounds: None,
+            brownout: crate::brownout::BrownoutConfig::default(),
             incremental_scoring: true,
             parallel_scoring: true,
             parallel_generation: true,
@@ -343,6 +355,20 @@ impl OrchestratorConfigBuilder {
     #[must_use]
     pub fn query_deadline_ms(mut self, ms: u64) -> Self {
         self.config.query_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Cap rounds (OUA) / pulls (MAB) per query.
+    #[must_use]
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.config.max_rounds = Some(rounds);
+        self
+    }
+
+    /// Set the brownout thresholds and degradation caps.
+    #[must_use]
+    pub fn brownout(mut self, brownout: crate::brownout::BrownoutConfig) -> Self {
+        self.config.brownout = brownout;
         self
     }
 
@@ -439,6 +465,10 @@ mod tests {
         assert_eq!(c.breaker, BreakerConfig::default());
         assert_eq!(c.round_deadline_ms, None);
         assert_eq!(c.query_deadline_ms, None);
+        // Overload-control knobs postdate everything above; old configs get
+        // "no cap" and default brownout thresholds.
+        assert_eq!(c.max_rounds, None);
+        assert_eq!(c.brownout, crate::brownout::BrownoutConfig::default());
         // Scoring-engine knobs postdate the robustness ones and must also
         // default on for old configs.
         assert!(c.incremental_scoring);
@@ -487,5 +517,18 @@ mod tests {
         assert_eq!(c.breaker.failure_threshold, 7);
         assert_eq!(c.round_deadline_ms, Some(100));
         assert_eq!(c.query_deadline_ms, Some(2000));
+    }
+
+    #[test]
+    fn builder_sets_overload_knobs() {
+        let c = OrchestratorConfig::builder()
+            .max_rounds(6)
+            .brownout(crate::brownout::BrownoutConfig {
+                level1_max_arms: 1,
+                ..Default::default()
+            })
+            .build();
+        assert_eq!(c.max_rounds, Some(6));
+        assert_eq!(c.brownout.level1_max_arms, 1);
     }
 }

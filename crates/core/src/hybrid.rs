@@ -90,6 +90,7 @@ pub(crate) fn run(
     let query_deadline = Deadline::new(orch.query_deadline_ms);
     let mut deadline_exceeded = false;
     let mut rounds = 0usize;
+    let mut rounds_capped = false;
     // Phase 2 scores with the hybrid's own Eq. 6.1 weights.
     let mab_cfg = MabConfig {
         weights: cfg.weights,
@@ -104,6 +105,11 @@ pub(crate) fn run(
         }
         if query_deadline.exceeded() {
             deadline_exceeded = true;
+            break;
+        }
+        // Hard round cap (brownout level 2): covers probe + exploit rounds.
+        if orch.max_rounds.is_some_and(|cap| rounds >= cap) {
+            rounds_capped = true;
             break;
         }
         rounds += 1;
@@ -232,9 +238,13 @@ pub(crate) fn run(
     let mut rewards = vec![0.0f64; n];
     let mut pulls = vec![0usize; n];
     let mut total_pulls = 0usize;
-    while !budget.exhausted() && !deadline_exceeded {
+    while !budget.exhausted() && !deadline_exceeded && !rounds_capped {
         if query_deadline.exceeded() {
             deadline_exceeded = true;
+            break;
+        }
+        if orch.max_rounds.is_some_and(|cap| rounds >= cap) {
+            rounds_capped = true;
             break;
         }
         let active: Vec<usize> = (0..n).filter(|&i| runs[i].is_active()).collect();
@@ -333,7 +343,7 @@ pub(crate) fn run(
         total_tokens: budget.used(),
     });
 
-    let degraded = runpool::any_failed(&runs) || deadline_exceeded;
+    let degraded = runpool::any_failed(&runs) || deadline_exceeded || rounds_capped;
     OrchestrationResult {
         strategy: "LLM-MS Hybrid".to_owned(),
         best,
@@ -343,6 +353,7 @@ pub(crate) fn run(
         budget_exhausted: budget.exhausted(),
         degraded,
         deadline_exceeded,
+        brownout_level: 0,
         events: recorder.into_events(),
     }
 }

@@ -52,10 +52,11 @@
 
 #![warn(missing_docs)]
 
+pub mod brownout;
 pub mod budget;
 mod chaos_tests;
 pub mod config;
-mod deadline;
+pub mod deadline;
 mod equivalence_tests;
 pub mod error;
 pub mod events;
@@ -75,6 +76,7 @@ pub mod scoring;
 mod single;
 pub mod tournament;
 
+pub use brownout::{BrownoutConfig, BrownoutController, PressureInputs};
 pub use budget::{Lease, TokenBudget};
 pub use config::{
     MabConfig, MabSelection, OrchestratorConfig, OrchestratorConfigBuilder, OuaConfig, RetryConfig,
@@ -83,7 +85,7 @@ pub use config::{
 pub use error::OrchestratorError;
 pub use events::{EventRecorder, OrchestrationEvent};
 pub use hybrid::HybridConfig;
-pub use orchestrator::Orchestrator;
+pub use orchestrator::{Orchestrator, QueryOverrides};
 pub use result::{ModelOutcome, OrchestrationResult};
 pub use reward::{combined_score, inter_model_agreement, score_all, RewardWeights};
 pub use routed::RouterConfig;

@@ -78,6 +78,7 @@ pub(crate) fn run(
     let mut rewards = vec![0.0f64; n];
     let mut pulls = vec![0usize; n];
     let mut total_pulls = 0usize;
+    let mut rounds_capped = false;
 
     // Handle resolved once so per-pull timing stays allocation-free.
     let registry = llmms_obs::Registry::global();
@@ -86,6 +87,11 @@ pub(crate) fn run(
     while !budget.exhausted() {
         if query_deadline.exceeded() {
             deadline_exceeded = true;
+            break;
+        }
+        // Hard pull cap (brownout level 2 installs one per query).
+        if orch.max_rounds.is_some_and(|cap| total_pulls >= cap) {
+            rounds_capped = true;
             break;
         }
         // Arms that can still produce tokens.
@@ -229,7 +235,7 @@ pub(crate) fn run(
         total_tokens: budget.used(),
     });
 
-    let degraded = runpool::any_failed(&runs) || deadline_exceeded;
+    let degraded = runpool::any_failed(&runs) || deadline_exceeded || rounds_capped;
     OrchestrationResult {
         strategy: "LLM-MS MAB".to_owned(),
         best,
@@ -239,6 +245,7 @@ pub(crate) fn run(
         budget_exhausted: budget.exhausted(),
         degraded,
         deadline_exceeded,
+        brownout_level: 0,
         events: recorder.into_events(),
     }
 }

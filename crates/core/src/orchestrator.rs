@@ -1,13 +1,28 @@
 //! The [`Orchestrator`] — the platform's computation-layer entry point.
 
 use crate::config::{OrchestratorConfig, Strategy};
+use crate::deadline::Deadline;
 use crate::error::OrchestratorError;
 use crate::events::EventRecorder;
 use crate::result::OrchestrationResult;
-use crate::{hybrid, mab, oua, routed, single};
+use crate::{deadline, hybrid, mab, oua, routed, single};
 use llmms_embed::SharedEmbedder;
 use llmms_models::{HealthRegistry, SharedModel};
 use std::sync::Arc;
+
+/// Per-query adjustments the serving layer stacks on top of the base
+/// configuration: the client's remaining deadline and the brownout level
+/// the admission plane decided this query runs under.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOverrides {
+    /// Remaining client deadline in milliseconds (from
+    /// `X-LLMMS-Deadline-Ms`); combined with any configured query deadline
+    /// by taking the smaller of the two.
+    pub deadline_ms: Option<u64>,
+    /// Brownout level `0..=`[`crate::brownout::MAX_LEVEL`]; see
+    /// [`crate::brownout`] for the degradation ladder.
+    pub brownout_level: u8,
+}
 
 /// Drives a pool of candidate models through the configured strategy for
 /// each query, mirroring the thesis's "orchestration engine" (§7.2, step 5):
@@ -64,8 +79,25 @@ impl Orchestrator {
         models: &[SharedModel],
         prompt: &str,
     ) -> Result<OrchestrationResult, OrchestratorError> {
+        self.run_with(models, prompt, QueryOverrides::default())
+    }
+
+    /// Like [`Orchestrator::run`] with per-query overrides: a client
+    /// deadline and/or a brownout level that cheapens the run (smaller
+    /// pool, fewer rounds, tighter budget). Any nonzero brownout level
+    /// marks the result `degraded`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Orchestrator::run`].
+    pub fn run_with(
+        &self,
+        models: &[SharedModel],
+        prompt: &str,
+        overrides: QueryOverrides,
+    ) -> Result<OrchestrationResult, OrchestratorError> {
         let recorder = self.attach_trace(EventRecorder::new(self.config.record_events));
-        self.run_inner(models, prompt, recorder)
+        self.run_inner(models, prompt, recorder, overrides)
     }
 
     /// Like [`Orchestrator::run`], additionally forwarding every
@@ -82,8 +114,51 @@ impl Orchestrator {
         prompt: &str,
         sink: crossbeam_channel::Sender<crate::OrchestrationEvent>,
     ) -> Result<OrchestrationResult, OrchestratorError> {
+        self.run_streaming_with(models, prompt, sink, QueryOverrides::default())
+    }
+
+    /// [`Orchestrator::run_streaming`] with per-query overrides.
+    ///
+    /// # Errors
+    ///
+    /// As [`Orchestrator::run`].
+    pub fn run_streaming_with(
+        &self,
+        models: &[SharedModel],
+        prompt: &str,
+        sink: crossbeam_channel::Sender<crate::OrchestrationEvent>,
+        overrides: QueryOverrides,
+    ) -> Result<OrchestrationResult, OrchestratorError> {
         let recorder = self.attach_trace(EventRecorder::with_sink(self.config.record_events, sink));
-        self.run_inner(models, prompt, recorder)
+        self.run_inner(models, prompt, recorder, overrides)
+    }
+
+    /// The configuration a query actually runs under after layering
+    /// `overrides` on the base config: the client deadline is min'd into
+    /// the query deadline, and the brownout level applies its ladder of
+    /// caps (level ≥ 2 caps rounds, level ≥ 3 caps the token budget;
+    /// level ≥ 1's pool cut happens in `run_inner` because it shrinks the
+    /// model slice, not the config).
+    fn effective_config(&self, overrides: QueryOverrides) -> OrchestratorConfig {
+        let mut cfg = self.config.clone();
+        if let Some(client_ms) = overrides.deadline_ms {
+            cfg.query_deadline_ms = Some(match cfg.query_deadline_ms {
+                Some(configured) => configured.min(client_ms),
+                None => client_ms,
+            });
+        }
+        if overrides.brownout_level >= 2 {
+            let cap = cfg.brownout.level2_max_rounds.max(1);
+            cfg.max_rounds = Some(cfg.max_rounds.map_or(cap, |m| m.min(cap)));
+        }
+        if overrides.brownout_level >= 3 {
+            // Never brown out into ZeroBudget: a capped budget of at least
+            // one token keeps the query answerable.
+            cfg.token_budget = cfg
+                .token_budget
+                .min(cfg.brownout.level3_token_budget.max(1));
+        }
+        cfg
     }
 
     /// Attach the configured JSON-lines trace sink, if any. The file is
@@ -163,6 +238,13 @@ impl Orchestrator {
                 .metric
                 .inc();
         }
+        if result.brownout_level > 0 {
+            let level = result.brownout_level.to_string();
+            registry
+                .counter_with("brownout_queries_total", &[("level", &level)])
+                .metric
+                .inc();
+        }
     }
 
     fn run_inner(
@@ -170,6 +252,7 @@ impl Orchestrator {
         models: &[SharedModel],
         prompt: &str,
         recorder: EventRecorder,
+        overrides: QueryOverrides,
     ) -> Result<OrchestrationResult, OrchestratorError> {
         if models.is_empty() {
             return Err(OrchestratorError::NoModels);
@@ -177,13 +260,27 @@ impl Orchestrator {
         if self.config.token_budget == 0 {
             return Err(OrchestratorError::ZeroBudget);
         }
+        let config = self.effective_config(overrides);
+        // Brownout level ≥ 1: cut the arm pool to its top-k prefix (pool
+        // order is the operator's preference order). Never below one arm.
+        let models = if overrides.brownout_level >= 1 {
+            let keep = config.brownout.level1_max_arms.max(1).min(models.len());
+            &models[..keep]
+        } else {
+            models
+        };
         let span = llmms_obs::Registry::global().span("orchestrate");
         // Request-scoped tracing: hang the orchestration subtree off the
         // caller's current span (the HTTP request span when serving) and
         // make it current for the strategy/runpool/rag layers below.
         let mut tspan = llmms_obs::trace::current().span("orchestrate");
         let tguard = llmms_obs::trace::set_current(tspan.context());
-        let result = match &self.config.strategy {
+        // Ambient deadline: the expiry instant of this query, visible to
+        // anything running on this thread below us — most importantly the
+        // federation client, which forwards the *remaining* budget to peers.
+        let query_deadline = Deadline::new(config.query_deadline_ms);
+        let dguard = deadline::scope(query_deadline.expires_at());
+        let result = match &config.strategy {
             Strategy::Single => {
                 if models.len() != 1 {
                     return Err(OrchestratorError::SingleNeedsOneModel { got: models.len() });
@@ -192,7 +289,7 @@ impl Orchestrator {
                     &models[0],
                     prompt,
                     &self.embedder,
-                    &self.config,
+                    &config,
                     &self.health,
                     recorder,
                 )
@@ -202,7 +299,7 @@ impl Orchestrator {
                 prompt,
                 &self.embedder,
                 cfg,
-                &self.config,
+                &config,
                 &self.health,
                 recorder,
             ),
@@ -211,7 +308,7 @@ impl Orchestrator {
                 prompt,
                 &self.embedder,
                 cfg,
-                &self.config,
+                &config,
                 &self.health,
                 recorder,
             ),
@@ -220,7 +317,7 @@ impl Orchestrator {
                 prompt,
                 &self.embedder,
                 cfg,
-                &self.config,
+                &config,
                 &self.health,
                 recorder,
             ),
@@ -229,11 +326,17 @@ impl Orchestrator {
                 prompt,
                 &self.embedder,
                 cfg,
-                &self.config,
+                &config,
                 &self.health,
                 recorder,
             ),
         };
+        let mut result = result;
+        result.brownout_level = overrides.brownout_level;
+        if overrides.brownout_level > 0 {
+            result.degraded = true;
+        }
+        drop(dguard);
         drop(tguard);
         if tspan.is_recording() {
             tspan.attr_with("strategy", || result.strategy.clone());
@@ -251,6 +354,9 @@ impl Orchestrator {
             });
             if result.best < result.outcomes.len() {
                 tspan.attr_with("winner", || result.best_outcome().model.clone());
+            }
+            if result.brownout_level > 0 {
+                tspan.set_attr("brownout_level", usize::from(result.brownout_level));
             }
             if result.outcomes.iter().all(|o| o.failed) {
                 tspan.set_status(llmms_obs::SpanStatus::Error);
@@ -699,6 +805,155 @@ mod tests {
         let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
         let r = o.run(&pool, "What is the capital of France?").unwrap();
         assert!(r.total_tokens <= 9);
+    }
+
+    #[test]
+    fn brownout_level1_shrinks_the_pool_to_a_prefix() {
+        let store = knowledge();
+        let pool = [
+            skilled("keep-1", 0.9, &store),
+            skilled("keep-2", 0.9, &store),
+            skilled("cut", 0.9, &store),
+        ];
+        let o = orchestrator(Strategy::Oua(OuaConfig::default()));
+        let r = o
+            .run_with(
+                &pool,
+                "What is the capital of France?",
+                QueryOverrides {
+                    deadline_ms: None,
+                    brownout_level: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(r.outcomes.len(), 2, "level 1 keeps the top-k prefix");
+        assert!(r.outcomes.iter().all(|o| o.model.starts_with("keep")));
+        assert_eq!(r.brownout_level, 1);
+        assert!(r.degraded, "browned-out answers are degraded by definition");
+    }
+
+    #[test]
+    fn brownout_level2_caps_rounds() {
+        let store = knowledge();
+        let pool = [skilled("a", 0.9, &store), skilled("b", 0.5, &store)];
+        let mut cfg = config(Strategy::Oua(OuaConfig::default()));
+        cfg.brownout.level1_max_arms = 2;
+        cfg.brownout.level2_max_rounds = 2;
+        let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+        let r = o
+            .run_with(
+                &pool,
+                "What is the capital of France?",
+                QueryOverrides {
+                    deadline_ms: None,
+                    brownout_level: 2,
+                },
+            )
+            .unwrap();
+        assert!(r.rounds <= 2, "level 2 capped rounds, got {}", r.rounds);
+        assert_eq!(r.brownout_level, 2);
+        assert!(r.degraded);
+    }
+
+    #[test]
+    fn brownout_level3_caps_the_token_budget() {
+        let store = knowledge();
+        let pool = [skilled("a", 0.9, &store), skilled("b", 0.5, &store)];
+        let mut cfg = config(Strategy::Oua(OuaConfig::default()));
+        cfg.brownout.level3_token_budget = 8;
+        // Roomy round/arm caps so the budget cap is the binding constraint.
+        cfg.brownout.level2_max_rounds = 1000;
+        cfg.brownout.level1_max_arms = 2;
+        let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+        let r = o
+            .run_with(
+                &pool,
+                "What is the capital of France?",
+                QueryOverrides {
+                    deadline_ms: None,
+                    brownout_level: 3,
+                },
+            )
+            .unwrap();
+        assert!(
+            r.total_tokens <= 8,
+            "level 3 budget cap, used {}",
+            r.total_tokens
+        );
+        assert_eq!(r.brownout_level, 3);
+    }
+
+    #[test]
+    fn max_rounds_cap_degrades_but_still_answers() {
+        let store = knowledge();
+        let pool = [skilled("a", 0.9, &store), skilled("b", 0.5, &store)];
+        for strategy in [
+            Strategy::Oua(OuaConfig::default()),
+            Strategy::Mab(MabConfig::default()),
+            Strategy::Hybrid(crate::hybrid::HybridConfig::default()),
+        ] {
+            let mut cfg = config(strategy);
+            cfg.max_rounds = Some(1);
+            let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+            let r = o.run(&pool, "What is the capital of France?").unwrap();
+            assert!(
+                r.rounds <= 1,
+                "{}: rounds {} exceed the cap",
+                r.strategy,
+                r.rounds
+            );
+            assert!(
+                !r.response().is_empty(),
+                "{}: cut run still answers",
+                r.strategy
+            );
+            assert!(
+                r.degraded,
+                "{}: a rounds-capped run is degraded",
+                r.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn client_deadline_overrides_a_looser_configured_one() {
+        let store = knowledge();
+        let pool = [skilled("a", 0.9, &store)];
+        let mut cfg = config(Strategy::Single);
+        cfg.query_deadline_ms = Some(60_000);
+        let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+        // Zero remaining budget: the run is cut immediately but still
+        // returns whatever (nothing) it has — with no output at all this
+        // surfaces as DeadlineExceeded.
+        let err = o
+            .run_with(
+                &pool,
+                "What is the capital of France?",
+                QueryOverrides {
+                    deadline_ms: Some(0),
+                    brownout_level: 0,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, OrchestratorError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn ambient_deadline_visible_during_the_run() {
+        // The orchestrator installs the query deadline as this thread's
+        // ambient deadline for downstream layers (the federation client).
+        let store = knowledge();
+        let pool = [skilled("a", 0.9, &store)];
+        let mut cfg = config(Strategy::Single);
+        cfg.query_deadline_ms = Some(30_000);
+        let o = Orchestrator::new(llmms_embed::default_embedder(), cfg);
+        assert_eq!(crate::deadline::remaining_ms(), None);
+        o.run(&pool, "What is the capital of France?").unwrap();
+        assert_eq!(
+            crate::deadline::remaining_ms(),
+            None,
+            "ambient deadline must not leak past the run"
+        );
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub(crate) fn run(
 
     let mut scores = vec![0.0f64; n];
     let mut rounds = 0usize;
+    let mut rounds_capped = false;
     let mut early_winner: Option<usize> = None;
 
     // Handle resolved once so per-round timing stays allocation-free.
@@ -78,6 +79,12 @@ pub(crate) fn run(
     while early_winner.is_none() && !budget.exhausted() && runs.iter().any(ModelRun::is_active) {
         if query_deadline.exceeded() {
             deadline_exceeded = true;
+            break;
+        }
+        // Hard round cap (brownout level 2 installs one per query): stop
+        // generating, keep the best response so far, and mark it degraded.
+        if orch.max_rounds.is_some_and(|cap| rounds >= cap) {
+            rounds_capped = true;
             break;
         }
         rounds += 1;
@@ -285,7 +292,7 @@ pub(crate) fn run(
         total_tokens: budget.used(),
     });
 
-    let degraded = runpool::any_failed(&runs) || deadline_exceeded;
+    let degraded = runpool::any_failed(&runs) || deadline_exceeded || rounds_capped;
     OrchestrationResult {
         strategy: "LLM-MS OUA".to_owned(),
         best,
@@ -295,6 +302,7 @@ pub(crate) fn run(
         budget_exhausted: budget.exhausted(),
         degraded,
         deadline_exceeded,
+        brownout_level: 0,
         events: recorder.into_events(),
     }
 }

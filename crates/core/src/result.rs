@@ -66,6 +66,11 @@ pub struct OrchestrationResult {
     /// Whether the whole-query deadline force-ended the run.
     #[serde(default)]
     pub deadline_exceeded: bool,
+    /// Brownout level this query ran under (0 = none; see
+    /// [`crate::brownout`]). Any nonzero level also sets `degraded`: the
+    /// answer came from a deliberately cheapened configuration.
+    #[serde(default)]
+    pub brownout_level: u8,
     /// Stamped event trace (empty unless recording was enabled).
     pub events: Vec<TimedEvent>,
 }
@@ -132,6 +137,7 @@ mod tests {
             budget_exhausted: false,
             degraded: false,
             deadline_exceeded: false,
+            brownout_level: 0,
             events: Vec::new(),
         }
     }
@@ -155,6 +161,7 @@ mod tests {
             budget_exhausted: false,
             degraded: false,
             deadline_exceeded: false,
+            brownout_level: 0,
             events: Vec::new(),
         };
         assert_eq!(r.simulated_latency(), Duration::ZERO);
@@ -199,6 +206,7 @@ mod tests {
         let r: OrchestrationResult = serde_json::from_str(json).unwrap();
         assert!(!r.degraded);
         assert!(!r.deadline_exceeded);
+        assert_eq!(r.brownout_level, 0);
         assert!(!r.outcomes[0].failed);
         assert_eq!(r.outcomes[0].retries, 0);
         assert_eq!(r.outcomes[0].backoff_ms, 0);

@@ -92,6 +92,7 @@ pub(crate) fn run(
         budget_exhausted: budget.exhausted(),
         degraded,
         deadline_exceeded,
+        brownout_level: 0,
         events: recorder.into_events(),
     }
 }

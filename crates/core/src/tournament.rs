@@ -188,6 +188,7 @@ mod tests {
             budget_exhausted: false,
             degraded: false,
             deadline_exceeded: false,
+            brownout_level: 0,
             events: Vec::new(),
         }
     }

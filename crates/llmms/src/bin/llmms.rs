@@ -6,6 +6,7 @@
 //! llmms eval [--items N] [--budget N]
 //! llmms dataset --out FILE [--items N] [--seed N]
 //! llmms serve [--addr HOST:PORT] [--persist DIR] [--fsync-every N]
+//!             [--tenant-quota RATE:BURST:CONCURRENT] [--max-in-flight N] [--target-p99-ms N]
 //! llmms models
 //! ```
 
@@ -44,7 +45,8 @@ fn print_usage() {
          llmms chat\n  \
          llmms eval [--items N] [--budget N]\n  \
          llmms dataset --out FILE [--items N] [--seed N]\n  \
-         llmms serve [--addr HOST:PORT] [--persist DIR] [--fsync-every N]\n  \
+         llmms serve [--addr HOST:PORT] [--persist DIR] [--fsync-every N]\n              \
+         [--tenant-quota RATE:BURST:CONCURRENT] [--max-in-flight N] [--target-p99-ms N]\n  \
          llmms models"
     );
 }
@@ -274,12 +276,56 @@ fn cmd_serve(args: &[String]) -> i32 {
     } else {
         Platform::evaluation_default()
     };
+    let mut server_config = llmms::server::ServerConfig::default();
+    if let Some(spec) = flag_value(args, "--tenant-quota") {
+        // RATE:BURST:CONCURRENT, e.g. `--tenant-quota 10:20:4` — 10 queries
+        // per second sustained, bursts of 20, 4 concurrent.
+        let parts: Vec<&str> = spec.split(':').collect();
+        let quota = match parts.as_slice() {
+            [rate, burst, conc] => match (rate.parse(), burst.parse(), conc.parse()) {
+                (Ok(rate_per_sec), Ok(burst), Ok(max_concurrent)) => {
+                    Some(llmms::server::TenantQuota {
+                        rate_per_sec,
+                        burst,
+                        max_concurrent,
+                    })
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        match quota {
+            Some(quota) => server_config.admission.default_quota = quota,
+            None => {
+                eprintln!("serve: --tenant-quota expects RATE:BURST:CONCURRENT, got {spec:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--max-in-flight") {
+        match n.parse() {
+            Ok(n) => server_config.max_in_flight = n,
+            Err(_) => {
+                eprintln!("serve: --max-in-flight expects an integer, got {n:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--target-p99-ms") {
+        match n.parse() {
+            Ok(n) => server_config.target_p99_ms = n,
+            Err(_) => {
+                eprintln!("serve: --target-p99-ms expects an integer, got {n:?}");
+                return 2;
+            }
+        }
+    }
     let platform = std::sync::Arc::new(platform);
     if platform.is_durable() {
         let docs = platform.retriever().documents();
         println!("durable store: {} document(s) recovered", docs.len());
     }
-    match llmms::server::Server::start(platform, addr) {
+    match llmms::server::Server::start_with(platform, addr, server_config) {
         Ok(server) => {
             println!("llmms serving on http://{}", server.addr());
             println!("  curl http://{}/healthz", server.addr());

@@ -88,6 +88,13 @@ pub struct AskOptions {
     /// graph into the prompt (0 disables — the §9.5 "contextual memory
     /// graphs" extension).
     pub recall_memory: usize,
+    /// Client deadline budget in milliseconds. Tightens — never loosens —
+    /// the configured query deadline, and the remaining budget propagates
+    /// to federated peers.
+    pub deadline_ms: Option<u64>,
+    /// Brownout degradation level chosen by the serving layer (0 = none).
+    /// Level ≥ 3 additionally skips RAG retrieval here.
+    pub brownout_level: u8,
 }
 
 impl Default for AskOptions {
@@ -97,6 +104,8 @@ impl Default for AskOptions {
             top_k: 3,
             document_id: None,
             recall_memory: 0,
+            deadline_ms: None,
+            brownout_level: 0,
         }
     }
 }
@@ -333,7 +342,9 @@ impl Platform {
         options: &AskOptions,
         sink: Option<crossbeam_channel::Sender<llmms_core::OrchestrationEvent>>,
     ) -> Result<OrchestrationResult, PlatformError> {
-        let context = if options.top_k > 0 {
+        // Brownout level 3 skips retrieval entirely: under that much
+        // pressure the embedding + search cost buys too little.
+        let context = if options.top_k > 0 && options.brownout_level < 3 {
             self.retriever
                 .retrieve(question, options.top_k, options.document_id.as_deref())?
         } else {
@@ -384,9 +395,13 @@ impl Platform {
                 }
                 _ => active,
             };
+            let overrides = llmms_core::QueryOverrides {
+                deadline_ms: options.deadline_ms,
+                brownout_level: options.brownout_level,
+            };
             match sink {
-                Some(sink) => orchestrator.run_streaming(&pool, &prompt, sink)?,
-                None => orchestrator.run(&pool, &prompt)?,
+                Some(sink) => orchestrator.run_streaming_with(&pool, &prompt, sink, overrides)?,
+                None => orchestrator.run_with(&pool, &prompt, overrides)?,
             }
         };
 

@@ -7,7 +7,9 @@ use llmms_core::{
     MabConfig, OrchestrationEvent, OrchestrationResult, OrchestratorError, OuaConfig, Strategy,
 };
 use llmms_models::{ModelInfo, UtilizationReport};
-use llmms_server::{AppService, GenerateRequest, GenerateResponse, QueryRequest, ServiceError};
+use llmms_server::{
+    AppService, GenerateRequest, GenerateResponse, QueryContext, QueryRequest, ServiceError,
+};
 use serde_json::json;
 
 /// Map a platform failure to the HTTP status it should surface as: a pool
@@ -31,12 +33,15 @@ impl AppService for Platform {
     fn query(
         &self,
         request: &QueryRequest,
+        ctx: &QueryContext,
         sink: Option<Sender<OrchestrationEvent>>,
     ) -> Result<OrchestrationResult, ServiceError> {
         let options = AskOptions {
             session_id: request.session_id.clone(),
             top_k: request.top_k,
             document_id: request.document_id.clone(),
+            deadline_ms: ctx.deadline_ms,
+            brownout_level: ctx.brownout_level,
             ..Default::default()
         };
         let result = match sink {

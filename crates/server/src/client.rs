@@ -3,12 +3,15 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// A parsed client-side response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClientResponse {
     /// Status code.
     pub status: u16,
+    /// Response headers in wire order.
+    pub headers: Vec<(String, String)>,
     /// Raw body (after the blank line).
     pub body: String,
 }
@@ -21,6 +24,14 @@ impl ClientResponse {
     /// JSON decoding failures.
     pub fn json(&self) -> Result<serde_json::Value, serde_json::Error> {
         serde_json::from_str(&self.body)
+    }
+
+    /// First header value matching `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -52,7 +63,33 @@ pub fn request_with_headers(
     headers: &[(&str, &str)],
     body: Option<&str>,
 ) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect(addr)?;
+    request_with_timeouts(addr, method, path, headers, body, None, None)
+}
+
+/// [`request_with_headers`] with explicit connect and read timeouts, so a
+/// hung or black-holed peer surfaces as a prompt I/O error instead of
+/// stalling the calling thread indefinitely. `None` keeps the OS default
+/// (blocking without limit).
+///
+/// # Errors
+///
+/// Connection and I/O failures (including `TimedOut`/`WouldBlock` when a
+/// timeout fires), or an unparsable status line.
+pub fn request_with_timeouts(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = match connect_timeout {
+        Some(limit) => TcpStream::connect_timeout(&addr, limit)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_read_timeout(read_timeout)?;
+    stream.set_write_timeout(read_timeout)?;
     let body = body.unwrap_or("");
     write!(
         stream,
@@ -72,11 +109,22 @@ pub fn request_with_headers(
 
 fn parse_response(raw: &str) -> Option<ClientResponse> {
     let status: u16 = raw.split_whitespace().nth(1)?.parse().ok()?;
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_owned())
-        .unwrap_or_default();
-    Some(ClientResponse { status, body })
+        .map_or((raw, String::new()), |(h, b)| (h, b.to_owned()));
+    let headers = head
+        .lines()
+        .skip(1) // status line
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_owned(), value.trim().to_owned()))
+        })
+        .collect();
+    Some(ClientResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 /// Issue a streaming query and collect the SSE frames as
@@ -131,6 +179,8 @@ mod tests {
         let r = parse_response("HTTP/1.1 201 Created\r\nContent-Length: 2\r\n\r\n{}").unwrap();
         assert_eq!(r.status, 201);
         assert_eq!(r.body, "{}");
+        assert_eq!(r.header("content-length"), Some("2"), "case-insensitive");
+        assert_eq!(r.header("Retry-After"), None);
         assert!(parse_response("garbage").is_none());
     }
 

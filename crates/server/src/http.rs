@@ -261,6 +261,7 @@ fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
         503 => "Service Unavailable",
@@ -297,6 +298,7 @@ mod tests {
     fn reason_phrases() {
         assert_eq!(reason_phrase(200), "OK");
         assert_eq!(reason_phrase(404), "Not Found");
+        assert_eq!(reason_phrase(429), "Too Many Requests");
         assert_eq!(reason_phrase(599), "Unknown");
     }
 

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod client;
 pub mod http;
 pub mod remote;
@@ -30,9 +31,14 @@ pub mod server;
 pub mod service;
 pub mod sse;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionPermit, Rejection, TenantQuota, DEFAULT_TENANT,
+};
 pub use remote::RemoteModel;
 pub use server::{Server, ServerConfig};
-pub use service::{AppService, GenerateRequest, GenerateResponse, QueryRequest, ServiceError};
+pub use service::{
+    AppService, GenerateRequest, GenerateResponse, QueryContext, QueryRequest, ServiceError,
+};
 
 #[cfg(test)]
 mod tests {
@@ -61,6 +67,7 @@ mod tests {
         fn query(
             &self,
             request: &QueryRequest,
+            ctx: &QueryContext,
             sink: Option<Sender<OrchestrationEvent>>,
         ) -> Result<OrchestrationResult, ServiceError> {
             match request.question.as_str() {
@@ -101,8 +108,9 @@ mod tests {
                 total_tokens: 3,
                 rounds: 1,
                 budget_exhausted: false,
-                degraded: false,
+                degraded: ctx.brownout_level > 0,
                 deadline_exceeded: false,
+                brownout_level: ctx.brownout_level,
                 events: Vec::new(),
             })
         }
@@ -641,6 +649,131 @@ mod tests {
         assert_eq!(r.status, 404);
         let r = client::request(server.addr(), "GET", "/debug/traces/not-hex", None).unwrap();
         assert_eq!(r.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_quota_tenant_gets_429_with_computed_retry_after() {
+        let mut config = server::ServerConfig::default();
+        // One burst token, no refill: the second query must be refused.
+        config.admission.default_quota = TenantQuota {
+            rate_per_sec: 0.0,
+            burst: 1.0,
+            max_concurrent: 8,
+        };
+        let server =
+            Server::start_with(Arc::new(StubService::new()), "127.0.0.1:0", config).unwrap();
+        let body = r#"{"question":"hi"}"#;
+        let ok = client::request(server.addr(), "POST", "/api/query", Some(body)).unwrap();
+        assert_eq!(ok.status, 200);
+        let refused = client::request(server.addr(), "POST", "/api/query", Some(body)).unwrap();
+        assert_eq!(refused.status, 429, "{}", refused.body);
+        assert!(refused.body.contains("quota"), "{}", refused.body);
+        // Zero refill rate clamps the hint to the 30s ceiling.
+        assert_eq!(
+            refused.header("Retry-After"),
+            Some("30"),
+            "{:?}",
+            refused.headers
+        );
+        // Probes are not admission-controlled.
+        let probe = client::request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(probe.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tenant_header_selects_an_independent_bucket() {
+        let mut config = server::ServerConfig::default();
+        config.admission.default_quota = TenantQuota {
+            rate_per_sec: 0.0,
+            burst: 1.0,
+            max_concurrent: 8,
+        };
+        let server =
+            Server::start_with(Arc::new(StubService::new()), "127.0.0.1:0", config).unwrap();
+        let body = r#"{"question":"hi"}"#;
+        let spend = |tenant: &str| {
+            client::request_with_headers(
+                server.addr(),
+                "POST",
+                "/api/query",
+                &[("X-LLMMS-Tenant", tenant)],
+                Some(body),
+            )
+            .unwrap()
+        };
+        assert_eq!(spend("alpha").status, 200);
+        assert_eq!(spend("alpha").status, 429, "alpha's burst is spent");
+        // A different tenant — and the headerless default bucket — still get
+        // through: one tenant's exhaustion never starves another.
+        assert_eq!(spend("beta").status, 200);
+        let default = client::request(server.addr(), "POST", "/api/query", Some(body)).unwrap();
+        assert_eq!(default.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn hopeless_deadline_is_rejected_fast_with_504() {
+        let server = start();
+        // Seed the service-time EWMA with a ~300ms query.
+        let slow = client::request(
+            server.addr(),
+            "POST",
+            "/api/query",
+            Some(r#"{"question":"sleep"}"#),
+        )
+        .unwrap();
+        assert_eq!(slow.status, 200);
+        // A 1ms budget is far below the ~300ms estimate: refused up front.
+        let started = std::time::Instant::now();
+        let r = client::request_with_headers(
+            server.addr(),
+            "POST",
+            "/api/query",
+            &[("X-LLMMS-Deadline-Ms", "1")],
+            Some(r#"{"question":"hi"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 504, "{}", r.body);
+        assert!(r.body.contains("estimated service time"), "{}", r.body);
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(250),
+            "504-fast must not wait out the budget ({:?})",
+            started.elapsed()
+        );
+        // A generous budget still goes through.
+        let r = client::request_with_headers(
+            server.addr(),
+            "POST",
+            "/api/query",
+            &[("X-LLMMS-Deadline-Ms", "60000")],
+            Some(r#"{"question":"hi"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_expose_the_overload_block() {
+        let mut config = server::ServerConfig::default();
+        config.admission.default_quota = TenantQuota {
+            rate_per_sec: 0.0,
+            burst: 1.0,
+            max_concurrent: 8,
+        };
+        let server =
+            Server::start_with(Arc::new(StubService::new()), "127.0.0.1:0", config).unwrap();
+        let body = r#"{"question":"hi"}"#;
+        let _ = client::request(server.addr(), "POST", "/api/query", Some(body)).unwrap();
+        let _ = client::request(server.addr(), "POST", "/api/query", Some(body)).unwrap();
+        let r = client::request(server.addr(), "GET", "/stats", None).unwrap();
+        let v = r.json().unwrap();
+        let overload = v.get("overload").expect("overload block");
+        assert!(overload["admitted"].as_u64().unwrap() >= 1, "{v}");
+        assert!(overload["rejected"]["rate"].as_u64().unwrap() >= 1, "{v}");
+        assert!(overload.get("brownout").is_some(), "{v}");
         server.shutdown();
     }
 

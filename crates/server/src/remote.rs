@@ -23,6 +23,12 @@ use llmms_models::{
 use std::net::SocketAddr;
 use std::time::Duration;
 
+/// Default time allowed to establish the TCP connection to a peer.
+const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Default time allowed for the peer to produce the full response.
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// A model living behind another node's API.
 pub struct RemoteModel {
     /// Address of the remote llmms node.
@@ -32,6 +38,11 @@ pub struct RemoteModel {
     /// Name this model appears under locally (defaults to
     /// `"<remote_name>@<addr>"`).
     local_name: String,
+    /// TCP connect budget: a black-holed peer fails this fast instead of
+    /// hanging the orchestrator's round.
+    connect_timeout: Duration,
+    /// Socket read/write budget for the exchange itself.
+    read_timeout: Duration,
 }
 
 impl RemoteModel {
@@ -41,6 +52,8 @@ impl RemoteModel {
             addr,
             remote_name: remote_name.to_owned(),
             local_name: format!("{remote_name}@{addr}"),
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            read_timeout: DEFAULT_READ_TIMEOUT,
         }
     }
 
@@ -48,6 +61,14 @@ impl RemoteModel {
     #[must_use]
     pub fn with_local_name(mut self, name: &str) -> Self {
         self.local_name = name.to_owned();
+        self
+    }
+
+    /// Override the connect and read socket timeouts.
+    #[must_use]
+    pub fn with_timeouts(mut self, connect: Duration, read: Duration) -> Self {
+        self.connect_timeout = connect;
+        self.read_timeout = read;
         self
     }
 
@@ -83,14 +104,38 @@ impl RemoteModel {
         })
         .map_err(|e| e.to_string())?;
         let trace_hex = tctx.trace_id().map(|id| id.to_hex());
-        let headers: Vec<(&str, &str)> = trace_hex
+        // Deadline propagation: whatever budget remains of the query's
+        // ambient deadline rides along, so the peer sees the *remaining*
+        // time, not the client's original budget. An already-expired
+        // deadline fails here without a wasted round-trip.
+        let remaining_ms = llmms_core::deadline::remaining_ms();
+        if remaining_ms == Some(0) {
+            return Err("query deadline exhausted before remote call".to_owned());
+        }
+        let deadline_value = remaining_ms.map(|ms| ms.to_string());
+        let mut headers: Vec<(&str, &str)> = trace_hex
             .as_deref()
             .map(|hex| ("X-LLMMS-Trace-Id", hex))
             .into_iter()
             .collect();
-        let response =
-            client::request_with_headers(self.addr, "POST", "/api/generate", &headers, Some(&body))
-                .map_err(|e| e.to_string())?;
+        if let Some(value) = deadline_value.as_deref() {
+            headers.push(("X-LLMMS-Deadline-Ms", value));
+        }
+        // Never wait on the socket longer than the remaining deadline.
+        let read_timeout = match remaining_ms {
+            Some(ms) => self.read_timeout.min(Duration::from_millis(ms)),
+            None => self.read_timeout,
+        };
+        let response = client::request_with_timeouts(
+            self.addr,
+            "POST",
+            "/api/generate",
+            &headers,
+            Some(&body),
+            Some(self.connect_timeout),
+            Some(read_timeout),
+        )
+        .map_err(|e| e.to_string())?;
         if response.status != 200 {
             return Err(format!(
                 "remote returned {}: {}",

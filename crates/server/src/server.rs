@@ -1,11 +1,13 @@
 //! The threaded HTTP server and its route dispatch.
 
+use crate::admission::{AdmissionConfig, AdmissionController, DEFAULT_TENANT};
 use crate::http::{
     read_request, write_response, write_response_with, write_sse_header, Method, Request,
 };
-use crate::service::{AppService, GenerateRequest, QueryRequest, ServiceError};
+use crate::service::{AppService, GenerateRequest, QueryContext, QueryRequest, ServiceError};
 use crate::sse;
 use crossbeam_channel::TrySendError;
+use llmms_core::{BrownoutConfig, BrownoutController, PressureInputs};
 use llmms_obs::{SpanRecord, SpanStatus, TraceData, TraceId, TraceStore, TraceStoreConfig, Tracer};
 use parking_lot::Mutex;
 use serde_json::{json, Value};
@@ -14,10 +16,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Transport-level robustness knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// How long a client may take to deliver a complete request before the
     /// connection is answered with 408 (slowloris protection).
@@ -34,6 +36,16 @@ pub struct ServerConfig {
     /// pool. When it is full the acceptor answers 503 + `Retry-After`
     /// itself — shedding happens before any per-connection resources exist.
     pub queue_depth: usize,
+    /// Per-tenant admission quotas (`X-LLMMS-Tenant` header picks the
+    /// bucket). Over-quota requests are answered 429 with a computed
+    /// `Retry-After` before any orchestration work starts.
+    pub admission: AdmissionConfig,
+    /// Brownout thresholds driving the stepwise degradation ladder.
+    pub brownout: BrownoutConfig,
+    /// The p99 request latency (milliseconds) the operator considers
+    /// healthy; the latency component of the brownout pressure signal is
+    /// observed p99 over this target.
+    pub target_p99_ms: u64,
     /// Ring-buffer capacity of the tail-sampled trace store behind
     /// `/debug/traces` (0 disables retention).
     pub trace_buffer_len: usize,
@@ -52,10 +64,72 @@ impl Default for ServerConfig {
             max_in_flight: 256,
             worker_threads: 8,
             queue_depth: 64,
+            admission: AdmissionConfig::default(),
+            brownout: BrownoutConfig::default(),
+            target_p99_ms: 2_000,
             trace_buffer_len: traces.capacity,
             trace_sample_rate: traces.sample_rate,
             trace_slow_threshold_ms: traces.slow_threshold_ms,
         }
+    }
+}
+
+/// Shared overload bookkeeping: the admission controller, the brownout
+/// ladder, and the live occupancy counters its pressure signal reads.
+struct OverloadState {
+    admission: Arc<AdmissionController>,
+    brownout: BrownoutController,
+    /// Requests currently being handled by workers.
+    in_flight: AtomicUsize,
+    /// Connections sitting in the acceptor→worker handoff queue.
+    queued: AtomicUsize,
+    queue_capacity: usize,
+    max_in_flight: usize,
+    target_p99_ms: u64,
+}
+
+impl OverloadState {
+    fn new(config: &ServerConfig) -> Self {
+        Self {
+            admission: Arc::new(AdmissionController::new(config.admission.clone())),
+            brownout: BrownoutController::new(config.brownout.clone()),
+            in_flight: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            queue_capacity: config.queue_depth.max(1),
+            max_in_flight: config.max_in_flight,
+            target_p99_ms: config.target_p99_ms,
+        }
+    }
+
+    /// Feed the brownout controller one pressure sample built from live
+    /// occupancy, queue depth, and the measured `/api/query` p99.
+    fn observe_brownout(&self) -> u8 {
+        let registry = llmms_obs::Registry::global();
+        let p99_ms = if registry.enabled() {
+            registry
+                .histogram_with("http_request_duration_us", &[("route", "/api/query")])
+                .metric
+                .quantile(0.99)
+                / 1000.0
+        } else {
+            0.0
+        };
+        self.brownout.observe(PressureInputs {
+            in_flight: self.in_flight.load(Ordering::SeqCst),
+            capacity: self.max_in_flight,
+            queued: self.queued.load(Ordering::SeqCst),
+            queue_capacity: self.queue_capacity,
+            p99_ms,
+            target_p99_ms: self.target_p99_ms as f64,
+        })
+    }
+
+    /// `Retry-After` seconds for a 503 shed, derived from the measured
+    /// completion drain rate against everything currently pending (1 until
+    /// a rate is measurable — the old hardcoded value, now the floor).
+    fn retry_after_secs(&self) -> u64 {
+        let pending = self.in_flight.load(Ordering::SeqCst) + self.queued.load(Ordering::SeqCst);
+        self.admission.retry_after_secs(pending)
     }
 }
 
@@ -105,7 +179,8 @@ impl Server {
         });
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let in_flight = Arc::new(AtomicUsize::new(0));
+        let overload = Arc::new(OverloadState::new(&config));
+        let config = Arc::new(config);
         let (tx, rx) = crossbeam_channel::bounded::<TcpStream>(config.queue_depth.max(1));
         // The vendored Receiver is single-consumer; workers share it behind
         // a mutex, holding the lock only for the dequeue itself.
@@ -114,7 +189,8 @@ impl Server {
         for i in 0..config.worker_threads.max(1) {
             let rx = Arc::clone(&rx);
             let service = Arc::clone(&service);
-            let in_flight = Arc::clone(&in_flight);
+            let config = Arc::clone(&config);
+            let overload = Arc::clone(&overload);
             let worker = std::thread::Builder::new()
                 .name(format!("llmms-http-{i}"))
                 .spawn(move || loop {
@@ -122,21 +198,29 @@ impl Server {
                     let Ok(mut stream) = next else {
                         break; // acceptor gone and queue drained
                     };
-                    let _guard = InFlightGuard::enter(&in_flight);
-                    handle_connection(&*service, &config, &in_flight, &mut stream);
+                    overload.queued.fetch_sub(1, Ordering::SeqCst);
+                    let _guard = InFlightGuard::enter(&overload.in_flight);
+                    handle_connection(&*service, &config, &overload, &mut stream);
                 })
                 .expect("spawn http worker");
             workers.push(worker);
         }
+        let acceptor_overload = Arc::clone(&overload);
         let handle = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Count the queue slot before the handoff so a racing
+                // worker's decrement never underflows.
+                acceptor_overload.queued.fetch_add(1, Ordering::SeqCst);
                 match tx.try_send(stream) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(stream)) => shed_at_acceptor(stream),
+                    Err(TrySendError::Full(stream)) => {
+                        acceptor_overload.queued.fetch_sub(1, Ordering::SeqCst);
+                        shed_at_acceptor(stream, &acceptor_overload);
+                    }
                     Err(TrySendError::Disconnected(_)) => break,
                 }
             }
@@ -172,7 +256,7 @@ impl Server {
 /// Queue-full shed, answered on the acceptor thread before any worker (let
 /// alone a fresh thread) is committed to the connection. The short write
 /// timeout keeps a slow client from stalling the accept loop.
-fn shed_at_acceptor(mut stream: TcpStream) {
+fn shed_at_acceptor(mut stream: TcpStream, overload: &OverloadState) {
     let registry = llmms_obs::Registry::global();
     if registry.enabled() {
         registry
@@ -181,12 +265,13 @@ fn shed_at_acceptor(mut stream: TcpStream) {
             .inc();
     }
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let retry_after = overload.retry_after_secs().to_string();
     let body = json!({ "error": "server overloaded, retry shortly" }).to_string();
     let _ = write_response_with(
         &mut stream,
         503,
         "application/json",
-        &[("Retry-After", "1")],
+        &[("Retry-After", retry_after.as_str())],
         body.as_bytes(),
     );
 }
@@ -221,10 +306,102 @@ fn shed_exempt(route: &str) -> bool {
     )
 }
 
+/// Routes that go through per-tenant admission: the ones that fan out to
+/// models. Everything else (config, sessions, probes) is cheap enough that
+/// quota accounting would only add noise.
+fn admission_controlled(route: &str) -> bool {
+    matches!(route, "/api/query" | "/api/generate")
+}
+
+/// The admission gate in front of model-fanning routes, in rejection-cost
+/// order: 504-fast (one estimate comparison) before the token-bucket check
+/// (one map entry) before any orchestration work.
+fn admit_and_dispatch<S: AppService>(
+    service: &S,
+    stream: &mut TcpStream,
+    request: &Request,
+    route: &'static str,
+    overload: &OverloadState,
+    root: &mut llmms_obs::Span,
+) -> u16 {
+    let registry = llmms_obs::Registry::global();
+    let tenant = request
+        .headers
+        .get("x-llmms-tenant")
+        .map_or(DEFAULT_TENANT, String::as_str);
+    let deadline_ms: Option<u64> = request
+        .headers
+        .get("x-llmms-deadline-ms")
+        .and_then(|v| v.trim().parse().ok());
+    root.set_attr("tenant", tenant.to_owned());
+
+    // 504-fast: when the EWMA says a full query takes longer than the
+    // client has left, fail in microseconds instead of burning the budget
+    // to discover the same thing.
+    if let (Some(budget), Some(est)) = (deadline_ms, overload.admission.estimated_service_ms()) {
+        if est > budget {
+            if registry.enabled() {
+                registry
+                    .counter_with("deadline_rejects_total", &[("route", route)])
+                    .metric
+                    .inc();
+            }
+            root.set_attr("deadline_reject", est);
+            return respond_json(
+                stream,
+                504,
+                &json!({
+                    "error": format!(
+                        "deadline budget {budget}ms is below the estimated service time {est}ms"
+                    ),
+                }),
+            );
+        }
+    }
+
+    let permit = match overload.admission.admit(tenant) {
+        Ok(permit) => permit,
+        Err(rejection) => {
+            let retry_after = rejection.retry_after_secs().to_string();
+            let body = json!({
+                "error": format!("tenant {tenant:?} over {} quota, retry later", rejection.reason()),
+                "tenant": tenant,
+            })
+            .to_string();
+            let _ = write_response_with(
+                stream,
+                429,
+                "application/json",
+                &[("Retry-After", retry_after.as_str())],
+                body.as_bytes(),
+            );
+            return 429;
+        }
+    };
+
+    let brownout_level = overload.observe_brownout();
+    if brownout_level > 0 {
+        root.set_attr("brownout_level", u64::from(brownout_level));
+    }
+    let ctx = QueryContext {
+        tenant: permit.tenant().to_owned(),
+        deadline_ms,
+        brownout_level,
+    };
+    let started = Instant::now();
+    let status = dispatch(service, stream, request, &ctx);
+    // Every completed admission feeds the service-time EWMA (504-fast) and
+    // the drain window (Retry-After); the permit drop frees the tenant's
+    // concurrency slot.
+    overload.admission.record_completion(started.elapsed());
+    drop(permit);
+    status
+}
+
 fn handle_connection<S: AppService>(
     service: &S,
     config: &ServerConfig,
-    in_flight: &AtomicUsize,
+    overload: &OverloadState,
     stream: &mut TcpStream,
 ) {
     let registry = llmms_obs::Registry::global();
@@ -254,7 +431,7 @@ fn handle_connection<S: AppService>(
             root.set_attr("route", route);
             let status = {
                 let _guard = llmms_obs::trace::set_current(root.context());
-                let occupancy = in_flight.load(Ordering::SeqCst);
+                let occupancy = overload.in_flight.load(Ordering::SeqCst);
                 if occupancy > config.max_in_flight && !shed_exempt(route) {
                     if observing {
                         registry
@@ -262,17 +439,20 @@ fn handle_connection<S: AppService>(
                             .metric
                             .inc();
                     }
+                    let retry_after = overload.retry_after_secs().to_string();
                     let body = json!({ "error": "server overloaded, retry shortly" }).to_string();
                     let _ = write_response_with(
                         stream,
                         503,
                         "application/json",
-                        &[("Retry-After", "1")],
+                        &[("Retry-After", retry_after.as_str())],
                         body.as_bytes(),
                     );
                     503
+                } else if admission_controlled(route) {
+                    admit_and_dispatch(service, stream, &request, route, overload, &mut root)
                 } else {
-                    dispatch(service, stream, &request)
+                    dispatch(service, stream, &request, &QueryContext::default())
                 }
             };
             if status >= 500 {
@@ -344,7 +524,12 @@ fn route_label(path: &str) -> &'static str {
 /// Serve one request; returns the HTTP status that was written, so the
 /// caller can label `http_requests_total{route,status}` and close out the
 /// request span.
-fn dispatch<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
+fn dispatch<S: AppService>(
+    service: &S,
+    stream: &mut TcpStream,
+    request: &Request,
+    ctx: &QueryContext,
+) -> u16 {
     let path = request.path.as_str();
     match (request.method, path) {
         (Method::Get, "/healthz") => respond_json(stream, 200, &json!({ "status": "ok" })),
@@ -367,7 +552,7 @@ fn dispatch<S: AppService>(service: &S, stream: &mut TcpStream, request: &Reques
         ),
         (Method::Get, "/api/config") => respond_json(stream, 200, &service.config_json()),
         (Method::Post, "/api/config") => handle_configure(service, stream, request),
-        (Method::Post, "/api/query") => handle_query(service, stream, request),
+        (Method::Post, "/api/query") => handle_query(service, stream, request, ctx),
         (Method::Post, "/api/generate") => handle_generate(service, stream, request),
         (Method::Post, "/api/ingest") => handle_ingest(service, stream, request),
         (Method::Post, "/api/sessions") => {
@@ -550,7 +735,12 @@ fn handle_ingest<S: AppService>(service: &S, stream: &mut TcpStream, request: &R
     }
 }
 
-fn handle_query<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
+fn handle_query<S: AppService>(
+    service: &S,
+    stream: &mut TcpStream,
+    request: &Request,
+    ctx: &QueryContext,
+) -> u16 {
     let query: QueryRequest = match serde_json::from_str(&request.body_str()) {
         Ok(q) => q,
         Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
@@ -559,7 +749,7 @@ fn handle_query<S: AppService>(service: &S, stream: &mut TcpStream, request: &Re
         return respond_json(stream, 400, &json!({ "error": "question is required" }));
     }
     if !query.stream {
-        return match service.query(&query, None) {
+        return match service.query(&query, ctx, None) {
             Ok(result) => respond_json(
                 stream,
                 200,
@@ -592,7 +782,7 @@ fn handle_query<S: AppService>(service: &S, stream: &mut TcpStream, request: &Re
             // The worker inherits the request's span context so the
             // orchestration spans stay inside the request's tree.
             let _guard = llmms_obs::trace::set_current(tctx);
-            service.query(query, Some(tx))
+            service.query(query, ctx, Some(tx))
         });
         for event in rx.iter() {
             let frame = sse::event_frame(&event);

@@ -34,6 +34,20 @@ fn default_top_k() -> usize {
     3
 }
 
+/// Per-request context the transport layer extracts from headers and the
+/// admission/brownout machinery, threaded alongside the parsed body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryContext {
+    /// Admission tenant (`X-LLMMS-Tenant` header, or [`crate::admission::DEFAULT_TENANT`]).
+    pub tenant: String,
+    /// Client deadline budget in milliseconds (`X-LLMMS-Deadline-Ms`
+    /// header). Tightens — never loosens — the configured query deadline.
+    pub deadline_ms: Option<u64>,
+    /// Brownout degradation level the server chose for this request
+    /// (0 = none, up to [`llmms_core::brownout::MAX_LEVEL`]).
+    pub brownout_level: u8,
+}
+
 /// A service-layer failure carrying the HTTP status it should surface as,
 /// so orchestration failure modes map to meaningful statuses instead of a
 /// blanket 400: every model failed → 502 (the upstream pool is the broken
@@ -122,6 +136,7 @@ pub trait AppService: Send + Sync + 'static {
     fn query(
         &self,
         request: &QueryRequest,
+        ctx: &QueryContext,
         sink: Option<Sender<OrchestrationEvent>>,
     ) -> Result<OrchestrationResult, ServiceError>;
 
@@ -407,6 +422,55 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
             .map_or(0, |g| g.value),
     });
 
+    // Overload control plane: admission decisions, computed sheds, the
+    // brownout ladder's current level/pressure, and how often each level
+    // actually degraded a query.
+    let gauge_of = |name: &str| {
+        snapshot
+            .gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map_or(0, |g| g.value)
+    };
+    let mut rejected = Map::new();
+    for c in &snapshot.counters {
+        if c.name != "admission_rejected_total" {
+            continue;
+        }
+        let reason = c
+            .labels
+            .iter()
+            .find(|(k, _)| k == "reason")
+            .map_or_else(|| "unknown".to_owned(), |(_, v)| v.clone());
+        let prior = rejected.get(&reason).and_then(Value::as_u64).unwrap_or(0);
+        rejected.insert(reason, json!(prior + c.value));
+    }
+    let mut brownout_queries = Map::new();
+    for c in &snapshot.counters {
+        if c.name != "brownout_queries_total" {
+            continue;
+        }
+        let level = c
+            .labels
+            .iter()
+            .find(|(k, _)| k == "level")
+            .map_or_else(|| "unknown".to_owned(), |(_, v)| v.clone());
+        brownout_queries.insert(level, json!(c.value));
+    }
+    let overload = json!({
+        "admitted": counter_total("admission_admitted_total"),
+        "rejected": Value::Object(rejected),
+        "shed": counter_total("http_shed_total"),
+        "deadline_rejects": counter_total("deadline_rejects_total"),
+        "estimated_service_ms": gauge_of("admission_estimated_service_ms"),
+        "brownout": {
+            "level": gauge_of("brownout_level"),
+            "pressure": gauge_of("overload_pressure_x1000") as f64 / 1000.0,
+            "transitions": counter_total("brownout_transitions_total"),
+            "queries_by_level": Value::Object(brownout_queries),
+        },
+    });
+
     json!({
         "models": Value::Object(model_map),
         "requests": Value::Object(routes),
@@ -415,6 +479,7 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         "parallel": parallel,
         "storage": storage,
         "tracing": tracing,
+        "overload": overload,
     })
 }
 

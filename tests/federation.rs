@@ -143,3 +143,164 @@ fn dead_remote_degrades_gracefully() {
     assert!(dead.failed);
     assert!(dead.retries > 0, "transient faults are retried first");
 }
+
+/// A fake federated peer speaking just enough HTTP to serve
+/// `/api/generate`: it captures each request's raw head (start line +
+/// headers) into a channel and answers with a canned completion.
+fn capturing_peer() -> (std::net::SocketAddr, std::sync::mpsc::Receiver<String>) {
+    use std::io::{Read, Write};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let mut raw = Vec::new();
+            let mut buf = [0u8; 1024];
+            // Read until the blank line; the body length doesn't matter to
+            // the capture.
+            while !raw.windows(4).any(|w| w == b"\r\n\r\n") {
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => raw.extend_from_slice(&buf[..n]),
+                }
+            }
+            let head = String::from_utf8_lossy(&raw).to_string();
+            let _ = tx.send(head);
+            let body = r#"{"model":"qwen2-7b","text":"the peer answers briefly","tokens":4,"done_reason":"stop","latency_ms":1.0}"#;
+            let _ = write!(
+                stream,
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            let _ = stream.flush();
+        }
+    });
+    (addr, rx)
+}
+
+/// Deadline header value captured by the peer, if any.
+fn deadline_header(head: &str) -> Option<u64> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("x-llmms-deadline-ms")
+            .then(|| value.trim().parse().ok())?
+    })
+}
+
+#[test]
+fn remote_call_forwards_the_remaining_deadline_budget() {
+    use llmms::core::deadline;
+
+    let (addr, rx) = capturing_peer();
+    let remote = RemoteModel::new(addr, "qwen2-7b");
+
+    // No ambient deadline: no header rides along.
+    let done = remote.complete("hello", &GenOptions::default());
+    assert!(!done.text.is_empty());
+    let head = rx.recv().unwrap();
+    assert_eq!(deadline_header(&head), None, "head: {head}");
+
+    // Under a 5s ambient deadline, the peer sees the *remaining* budget —
+    // strictly smaller than the original after some time has elapsed.
+    let budget_ms = 5_000;
+    let _guard = deadline::scope(deadline::Deadline::new(Some(budget_ms)).expires_at());
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let done = remote.complete("hello again", &GenOptions::default());
+    assert!(!done.text.is_empty());
+    let head = rx.recv().unwrap();
+    let forwarded = deadline_header(&head).expect("deadline header must ride along");
+    assert!(
+        forwarded < budget_ms,
+        "peer must see remaining budget, got {forwarded} of {budget_ms}"
+    );
+    assert!(forwarded > 3_000, "budget unreasonably shrunk: {forwarded}");
+}
+
+#[test]
+fn orchestrated_query_propagates_a_shrunken_deadline_to_the_peer() {
+    let (addr, rx) = capturing_peer();
+    let local_platform = Platform::evaluation_default();
+    let mut pool: Vec<SharedModel> = local_platform.models()[..1].to_vec();
+    pool.push(Arc::new(RemoteModel::new(addr, "qwen2-7b")));
+
+    let orchestrator = Orchestrator::new(
+        llmms::embed::default_embedder(),
+        OrchestratorConfig {
+            temperature: 0.0,
+            ..OrchestratorConfig::default()
+        },
+    );
+    let budget_ms = 30_000;
+    let result = orchestrator
+        .run_with(
+            &pool,
+            "What is the capital of France?",
+            llmms::core::QueryOverrides {
+                deadline_ms: Some(budget_ms),
+                brownout_level: 0,
+            },
+        )
+        .unwrap();
+    assert!(!result.response().is_empty());
+    let head = rx.recv().unwrap();
+    let forwarded = deadline_header(&head).expect("orchestrated remote call carries the deadline");
+    assert!(
+        forwarded <= budget_ms,
+        "peer must never see more than the client budget: {forwarded}"
+    );
+}
+
+#[test]
+fn hung_peer_times_out_fast_as_a_transient_fault() {
+    use llmms::models::ModelError;
+
+    // A listener that accepts connections but never answers.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let _keep = std::thread::spawn(move || {
+        let mut parked = Vec::new();
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            parked.push(stream); // hold the socket open, say nothing
+        }
+    });
+
+    let remote = RemoteModel::new(addr, "qwen2-7b").with_timeouts(
+        std::time::Duration::from_millis(200),
+        std::time::Duration::from_millis(300),
+    );
+    let started = std::time::Instant::now();
+    let mut session = remote.start("hello", &GenOptions::default());
+    let err = session.next_chunk(8).expect_err("hung peer must fail");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(3),
+        "socket timeouts must bound the wait, took {:?}",
+        started.elapsed()
+    );
+    assert!(
+        matches!(err, ModelError::Transient { .. }),
+        "hung peer maps to a transient fault: {err:?}"
+    );
+}
+
+#[test]
+fn expired_deadline_skips_the_remote_round_trip() {
+    use llmms::core::deadline;
+    use llmms::models::ModelError;
+
+    let (addr, rx) = capturing_peer();
+    let remote = RemoteModel::new(addr, "qwen2-7b");
+    let _guard = deadline::scope(deadline::Deadline::new(Some(0)).expires_at());
+    let mut session = remote.start("hello", &GenOptions::default());
+    let err = session
+        .next_chunk(8)
+        .expect_err("expired deadline must fail the arm");
+    assert!(matches!(err, ModelError::Transient { .. }), "{err:?}");
+    // The peer never saw a request: the budget died before the socket.
+    assert!(
+        rx.try_recv().is_err(),
+        "no request must reach the peer once the deadline is spent"
+    );
+}
