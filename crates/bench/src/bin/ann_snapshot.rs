@@ -1,0 +1,357 @@
+//! ANN fast-path cost snapshot: SIMD kernels, segmented search, reopen.
+//!
+//! Measures the three layers of the million-vector fast path:
+//!
+//! * **kernel** — unrolled 8-lane `dot` vs the serial scalar oracle, on
+//!   1024-dim vectors (ns per call and the speedup ratio);
+//! * **scale cases** — recall@10 against exact brute force and query
+//!   throughput (QPS) over a sealed-segment collection at 100k (and 1M in
+//!   full mode), for both HNSW segments and int8-quantized flat segments;
+//! * **reopen vs rebuild** — at 100k vectors, `Database::open` reading the
+//!   persisted binary index sidecar vs the same open with the sidecar
+//!   deleted (forcing a replay-rebuild from records), plus the sidecar
+//!   size as the index memory-footprint proxy.
+//!
+//! Writes `BENCH_ann.json` at the given path (default `BENCH_ann.json` in
+//! the working directory).
+//!
+//! Usage:
+//!   cargo run -p llmms-bench --release --bin ann_snapshot [out.json]
+//!   cargo run -p llmms-bench --release --bin ann_snapshot -- --check
+//!
+//! `--check` runs the 100k cases only and exits nonzero unless (a) the
+//! SIMD kernel is ≥ 2x the scalar oracle, (b) sidecar reopen is ≥ 10x
+//! faster than replay-rebuild at 100k vectors, and (c) recall@10 ≥ 0.95
+//! for both the HNSW and the quantized segmented case — the CI ANN gate.
+
+use llmms::embed::similarity::{dot, scalar};
+use llmms::embed::Embedding;
+use llmms::vectordb::{CollectionConfig, Database, Record, SegmentConfig, StorageConfig};
+use serde_json::json;
+use std::time::Instant;
+
+const DIM: usize = 32;
+const KERNEL_DIM: usize = 1024;
+const QUERIES: usize = 100;
+const K: usize = 10;
+
+/// Deterministic unit vectors from an xorshift stream.
+fn unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u32 << 24) as f32 - 0.5
+    };
+    (0..n)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..dim).map(|_| next()).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            for x in &mut v {
+                *x /= norm;
+            }
+            v
+        })
+        .collect()
+}
+
+struct KernelResult {
+    simd_ns: f64,
+    scalar_ns: f64,
+    speedup: f64,
+}
+
+/// Time the unrolled dot kernel against the scalar oracle on 1024-dim
+/// pairs. `black_box` keeps the compiler from folding the loop away.
+fn bench_kernel() -> KernelResult {
+    let pairs = unit_vectors(512, KERNEL_DIM, 0xace1_0003);
+    let reps = 40usize;
+    let time = |f: &dyn Fn(&[f32], &[f32]) -> f32| -> f64 {
+        // Warm-up pass.
+        let mut acc = 0.0f32;
+        for w in pairs.chunks_exact(2) {
+            acc += f(&w[0], &w[1]);
+        }
+        std::hint::black_box(acc);
+        let start = Instant::now();
+        let mut acc = 0.0f32;
+        for _ in 0..reps {
+            for w in pairs.chunks_exact(2) {
+                acc += f(&w[0], &w[1]);
+            }
+        }
+        std::hint::black_box(acc);
+        start.elapsed().as_secs_f64() * 1e9 / (reps * pairs.len() / 2) as f64
+    };
+    let simd_ns = time(&|a, b| dot(a, b));
+    let scalar_ns = time(&|a, b| scalar::dot(a, b));
+    KernelResult {
+        simd_ns,
+        scalar_ns,
+        speedup: scalar_ns / simd_ns,
+    }
+}
+
+/// Exact top-k ids by brute force over the raw vectors (the recall oracle).
+fn ground_truth(vectors: &[Vec<f32>], queries: &[Vec<f32>], k: usize) -> Vec<Vec<usize>> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut scored: Vec<(f32, usize)> = vectors
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (dot(q, v), i))
+                .collect();
+            // Same tie-break as the index: score desc, then id asc.
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            scored.truncate(k);
+            scored.into_iter().map(|(_, i)| i).collect()
+        })
+        .collect()
+}
+
+struct ScaleCase {
+    label: String,
+    n: usize,
+    ingest_s: f64,
+    recall_at_10: f64,
+    qps: f64,
+    sealed_segments: usize,
+    /// Only measured for the durable (100k HNSW) case.
+    reopen_ms: Option<f64>,
+    rebuild_ms: Option<f64>,
+    index_bytes: Option<u64>,
+}
+
+fn scale_config(quantize: bool) -> CollectionConfig {
+    let mut config = if quantize {
+        CollectionConfig::flat(DIM)
+    } else {
+        CollectionConfig::hnsw(DIM)
+    };
+    config.segment = SegmentConfig {
+        seal_threshold: 8192,
+        quantize_sealed: quantize,
+        compact_min_live: 2048,
+    };
+    config
+}
+
+/// Build a segmented collection of `n` vectors, measure recall@10 and QPS;
+/// when `durable`, additionally checkpoint and measure sidecar reopen vs
+/// forced replay-rebuild.
+fn bench_scale(label: &str, n: usize, quantize: bool, durable: bool) -> ScaleCase {
+    let vectors = unit_vectors(n, DIM, 0x5eed_0001);
+    let queries = unit_vectors(QUERIES, DIM, 0xfeed_0002);
+    let truth = ground_truth(&vectors, &queries, K);
+
+    let dir = std::env::temp_dir().join(format!("llmms-bench-ann-{}-{label}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let db = if durable {
+        Database::open_with(
+            &dir,
+            StorageConfig {
+                fsync_every: 0, // isolate index cost from fsync latency
+                snapshot_every: 0,
+            },
+        )
+        .expect("bench dir must be writable")
+    } else {
+        Database::new()
+    };
+    let coll = db
+        .create_collection("bench", scale_config(quantize))
+        .expect("fresh collection");
+
+    let start = Instant::now();
+    for (i, v) in vectors.iter().enumerate() {
+        coll.write()
+            .upsert(Record::new(format!("v{i}"), Embedding::new(v.clone())))
+            .expect("upsert");
+    }
+    let ingest_s = start.elapsed().as_secs_f64();
+    let sealed_segments = coll.read().stats().sealed_segments;
+
+    // Recall@10 against the exact oracle.
+    let mut found = 0usize;
+    for (q, truth_ids) in queries.iter().zip(&truth) {
+        let hits = coll
+            .read()
+            .query(&Embedding::new(q.clone()), K, None)
+            .expect("query");
+        found += hits
+            .iter()
+            .filter(|h| {
+                let id: usize = h.id[1..].parse().expect("bench ids are v<n>");
+                truth_ids.contains(&id)
+            })
+            .count();
+    }
+    let recall_at_10 = found as f64 / (QUERIES * K) as f64;
+
+    // Throughput: replay the query set until ~2000 queries have run.
+    let rounds = (2000 / QUERIES).max(1);
+    let embedded: Vec<Embedding> = queries.iter().map(|q| Embedding::new(q.clone())).collect();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in &embedded {
+            std::hint::black_box(coll.read().query(q, K, None).expect("query"));
+        }
+    }
+    let qps = (rounds * QUERIES) as f64 / start.elapsed().as_secs_f64();
+
+    let (mut reopen_ms, mut rebuild_ms, mut index_bytes) = (None, None, None);
+    if durable {
+        db.checkpoint().expect("checkpoint");
+        drop(coll);
+        drop(db);
+        let sidecar = dir.join("bench.idx.bin");
+        index_bytes = Some(std::fs::metadata(&sidecar).expect("sidecar written").len());
+
+        let start = Instant::now();
+        let reopened = Database::open(&dir).expect("reopen");
+        reopen_ms = Some(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            reopened.collection("bench").unwrap().read().len(),
+            n,
+            "sidecar reopen lost records"
+        );
+        drop(reopened);
+
+        // Delete the sidecar: open must now rebuild the index from records.
+        std::fs::remove_file(&sidecar).expect("remove sidecar");
+        let start = Instant::now();
+        let rebuilt = Database::open(&dir).expect("rebuild");
+        rebuild_ms = Some(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            rebuilt.collection("bench").unwrap().read().len(),
+            n,
+            "rebuild lost records"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    ScaleCase {
+        label: label.to_owned(),
+        n,
+        ingest_s,
+        recall_at_10,
+        qps,
+        sealed_segments,
+        reopen_ms,
+        rebuild_ms,
+        index_bytes,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let check_mode = arg.as_deref() == Some("--check");
+
+    let kernel = bench_kernel();
+    eprintln!(
+        "kernel: simd {:.2}ns scalar {:.2}ns speedup {:.2}x (dim {KERNEL_DIM})",
+        kernel.simd_ns, kernel.scalar_ns, kernel.speedup
+    );
+
+    let mut cases = vec![
+        bench_scale("hnsw-100k", 100_000, false, true),
+        bench_scale("quantized-100k", 100_000, true, false),
+    ];
+    if !check_mode {
+        cases.push(bench_scale("hnsw-1m", 1_000_000, false, false));
+    }
+    for c in &cases {
+        eprintln!(
+            "{}: n={} ingest {:.1}s recall@10 {:.4} qps {:.0} segments {}{}",
+            c.label,
+            c.n,
+            c.ingest_s,
+            c.recall_at_10,
+            c.qps,
+            c.sealed_segments,
+            match (c.reopen_ms, c.rebuild_ms) {
+                (Some(reopen), Some(rebuild)) => format!(
+                    " reopen {reopen:.1}ms rebuild {rebuild:.1}ms ({:.1}x)",
+                    rebuild / reopen
+                ),
+                _ => String::new(),
+            }
+        );
+    }
+
+    if check_mode {
+        let mut failed = false;
+        if kernel.speedup < 2.0 {
+            eprintln!(
+                "FAIL: SIMD kernel speedup {:.2}x < 2x over the scalar oracle",
+                kernel.speedup
+            );
+            failed = true;
+        }
+        for c in &cases {
+            if c.recall_at_10 < 0.95 {
+                eprintln!("FAIL: {} recall@10 {:.4} < 0.95", c.label, c.recall_at_10);
+                failed = true;
+            }
+        }
+        let durable = cases
+            .iter()
+            .find(|c| c.reopen_ms.is_some())
+            .expect("a durable case ran");
+        let (reopen, rebuild) = (durable.reopen_ms.unwrap(), durable.rebuild_ms.unwrap());
+        if reopen * 10.0 > rebuild {
+            eprintln!(
+                "FAIL: sidecar reopen ({reopen:.1}ms) not 10x faster than rebuild ({rebuild:.1}ms)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "OK: kernel {:.2}x, reopen {reopen:.1}ms vs rebuild {rebuild:.1}ms ({:.1}x), recall@10 {}",
+            kernel.speedup,
+            rebuild / reopen,
+            cases
+                .iter()
+                .map(|c| format!("{}={:.4}", c.label, c.recall_at_10))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        return;
+    }
+
+    let out = json!({
+        "bench": "ann_snapshot",
+        "dim": DIM,
+        "k": K,
+        "queries": QUERIES,
+        "kernel": {
+            "dim": KERNEL_DIM,
+            "simd_ns_per_dot": kernel.simd_ns,
+            "scalar_ns_per_dot": kernel.scalar_ns,
+            "speedup": kernel.speedup,
+        },
+        "cases": cases.iter().map(|c| json!({
+            "label": c.label,
+            "vectors": c.n,
+            "ingest_s": c.ingest_s,
+            "recall_at_10": c.recall_at_10,
+            "qps": c.qps,
+            "sealed_segments": c.sealed_segments,
+            "reopen_ms": c.reopen_ms,
+            "rebuild_ms": c.rebuild_ms,
+            "reopen_speedup": match (c.reopen_ms, c.rebuild_ms) {
+                (Some(reopen), Some(rebuild)) => Some(rebuild / reopen),
+                _ => None,
+            },
+            "index_bytes": c.index_bytes,
+        })).collect::<Vec<_>>(),
+    });
+    let path = arg.unwrap_or_else(|| "BENCH_ann.json".to_owned());
+    let pretty = serde_json::to_string_pretty(&out).expect("bench json serializes");
+    std::fs::write(&path, pretty).expect("bench file must be writable");
+    eprintln!("ann snapshot written to {path}");
+}

@@ -1,116 +1,23 @@
-//! Shared worker pool for per-round parallel work: generation fan-out and
-//! embedding refreshes.
+//! Core-side façade over the shared worker pool ([`llmms_exec`]).
 //!
-//! The pool started life as the scoring pool of the incremental engine
-//! (independent per-arm embed jobs fanned out so round latency tracks the
-//! largest dirty chunk instead of their sum). The parallel round engine
-//! generalized it: any indexed, self-contained task can run here, and the
-//! dominant customer is now per-arm *generation* — tasks that mostly wait on
-//! (simulated) backend latency rather than burning CPU.
-//!
-//! That workload shape drives two choices:
-//!
-//! * Workers are spawned **on demand**, sized by the largest batch ever
-//!   submitted (capped at [`MAX_WORKERS`]), not by core count — latency-bound
-//!   tasks overlap usefully well past the core count.
-//! * The pool is global and lives for the process: rounds are short bursts,
-//!   and spinning threads up and down per round would cost more than it
-//!   saves.
+//! The pool started life here as the scoring pool of the incremental engine,
+//! was generalized by the parallel round engine, and now also serves the
+//! vector store's sealed-segment fan-out — so the generic machinery moved to
+//! the dependency-light `llmms-exec` crate. This module keeps the core-only
+//! pieces: the embed-job entry point and the serial/parallel cutover
+//! threshold.
 
 use crate::runpool::{EmbedDone, EmbedJob};
-use crossbeam_channel::{unbounded, Receiver, Sender};
 use llmms_embed::SharedEmbedder;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
+
+pub(crate) use llmms_exec::run_indexed;
+#[cfg(test)]
+use llmms_exec::MAX_WORKERS;
 
 /// Below this much pending (un-embedded) text across all dirty arms the
 /// dispatch overhead outweighs the parallelism; callers embed serially.
 pub(crate) const MIN_PARALLEL_BYTES: usize = 1024;
-
-/// Hard cap on pool threads. Generation tasks sleep on backend latency, so
-/// the useful worker count is set by round fan-out (arms per round), not by
-/// cores; the cap merely bounds a pathological pool size.
-pub(crate) const MAX_WORKERS: usize = 16;
-
-type Task = Box<dyn FnOnce() + Send + 'static>;
-
-struct Pool {
-    tx: Sender<Task>,
-    // The vendored channel's Receiver is not Clone; workers pull from one
-    // receiver behind a mutex. Tasks are coarse enough that the lock is
-    // uncontended in practice.
-    rx: Arc<Mutex<Receiver<Task>>>,
-    workers: AtomicUsize,
-}
-
-static POOL: OnceLock<Pool> = OnceLock::new();
-
-fn pool() -> &'static Pool {
-    POOL.get_or_init(|| {
-        let (tx, rx) = unbounded::<Task>();
-        Pool {
-            tx,
-            rx: Arc::new(Mutex::new(rx)),
-            workers: AtomicUsize::new(0),
-        }
-    })
-}
-
-/// Grow the pool to at least `want` workers (clamped to [`MAX_WORKERS`]).
-fn ensure_workers(p: &'static Pool, want: usize) {
-    let want = want.clamp(1, MAX_WORKERS);
-    loop {
-        let current = p.workers.load(Ordering::Relaxed);
-        if current >= want {
-            return;
-        }
-        if p.workers
-            .compare_exchange(current, current + 1, Ordering::Relaxed, Ordering::Relaxed)
-            .is_err()
-        {
-            continue;
-        }
-        let rx = Arc::clone(&p.rx);
-        std::thread::Builder::new()
-            .name(format!("llmms-exec-{current}"))
-            .spawn(move || loop {
-                // Take the task while holding the lock, run it after the
-                // guard drops so workers overlap.
-                let task = match rx.lock().expect("executor receiver").recv() {
-                    Ok(task) => task,
-                    Err(_) => break,
-                };
-                task();
-            })
-            .expect("spawn executor worker");
-    }
-}
-
-/// Run every task on the pool and collect `(index, result)` pairs. Result
-/// order is completion order; callers match results to their work items by
-/// the carried index. Tasks must be self-contained (own everything they
-/// touch) — that is what makes their execution order irrelevant.
-pub(crate) fn run_indexed<T, F>(tasks: Vec<(usize, F)>) -> Vec<(usize, T)>
-where
-    T: Send + 'static,
-    F: FnOnce() -> T + Send + 'static,
-{
-    let p = pool();
-    ensure_workers(p, tasks.len());
-    let (done_tx, done_rx) = unbounded::<(usize, T)>();
-    let n = tasks.len();
-    for (idx, task) in tasks {
-        let done_tx = done_tx.clone();
-        let sent = p.tx.send(Box::new(move || {
-            let _ = done_tx.send((idx, task()));
-        }));
-        assert!(sent.is_ok(), "executor alive");
-    }
-    drop(done_tx);
-    (0..n)
-        .map(|_| done_rx.recv().expect("executor worker delivered"))
-        .collect()
-}
 
 /// Run the embed jobs on the pool and collect every result (the scoring
 /// engine's entry point, unchanged from the original scoring pool).

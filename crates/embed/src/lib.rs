@@ -29,6 +29,7 @@ pub mod embedder;
 pub mod embedding;
 pub mod hashed;
 pub mod incremental;
+pub mod quant;
 pub mod similarity;
 pub mod tfidf;
 
@@ -36,8 +37,9 @@ pub use embedder::{CachedEmbedder, Embedder};
 pub use embedding::Embedding;
 pub use hashed::{HashedEmbedderConfig, HashedNgramEmbedder};
 pub use incremental::{IncrementalAccumulator, ResponseAccumulator};
+pub use quant::QuantizedEmbedding;
 pub use similarity::{
-    cosine, cosine_embeddings, dot, euclidean, mean_similarity_to_others, Metric,
+    cosine, cosine_embeddings, dot, dot_norms, euclidean, mean_similarity_to_others, Metric,
 };
 pub use tfidf::{TfIdfConfig, TfIdfEmbedder};
 

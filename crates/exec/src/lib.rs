@@ -1,0 +1,185 @@
+//! # llmms-exec
+//!
+//! The process-wide shared worker pool.
+//!
+//! The pool started life inside `llmms-core` as the scoring pool of the
+//! incremental engine, was generalized by the parallel round engine into the
+//! per-round generation executor, and now also serves the vector store's
+//! sealed-segment fan-out — which sits *below* `llmms-core` in the crate
+//! graph. Extracting the pool into this dependency-light crate lets every
+//! layer share one fleet of workers instead of each spinning its own:
+//! generation jobs, embedding refreshes and segment searches all interleave
+//! on the same threads.
+//!
+//! Workload shape drives two choices (unchanged from the original pool):
+//!
+//! * Workers are spawned **on demand**, sized by the largest batch ever
+//!   submitted (capped at [`MAX_WORKERS`]), not by core count — latency-bound
+//!   tasks overlap usefully well past the core count.
+//! * The pool is global and lives for the process: bursts are short, and
+//!   spinning threads up and down per burst would cost more than it saves.
+
+#![warn(missing_docs)]
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Hard cap on pool threads. Generation tasks sleep on backend latency, so
+/// the useful worker count is set by fan-out (arms per round, segments per
+/// search), not by cores; the cap merely bounds a pathological pool size.
+pub const MAX_WORKERS: usize = 16;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    tx: Sender<Task>,
+    // The vendored channel's Receiver is not Clone; workers pull from one
+    // receiver behind a mutex. Tasks are coarse enough that the lock is
+    // uncontended in practice.
+    rx: Arc<Mutex<Receiver<Task>>>,
+    workers: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded::<Task>();
+        Pool {
+            tx,
+            rx: Arc::new(Mutex::new(rx)),
+            workers: AtomicUsize::new(0),
+        }
+    })
+}
+
+/// Grow the pool to at least `want` workers (clamped to [`MAX_WORKERS`]).
+fn ensure_workers(p: &'static Pool, want: usize) {
+    let want = want.clamp(1, MAX_WORKERS);
+    loop {
+        let current = p.workers.load(Ordering::Relaxed);
+        if current >= want {
+            return;
+        }
+        if p.workers
+            .compare_exchange(current, current + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        let rx = Arc::clone(&p.rx);
+        std::thread::Builder::new()
+            .name(format!("llmms-exec-{current}"))
+            .spawn(move || loop {
+                // Take the task while holding the lock, run it after the
+                // guard drops so workers overlap.
+                let task = match rx.lock().expect("executor receiver").recv() {
+                    Ok(task) => task,
+                    Err(_) => break,
+                };
+                task();
+            })
+            .expect("spawn executor worker");
+    }
+}
+
+/// An in-flight batch of submitted tasks; [`Batch::wait`] collects every
+/// result. Lets the submitter overlap its own work (e.g. searching the
+/// mutable head segment) with the pool draining the batch.
+pub struct Batch<T> {
+    rx: Receiver<(usize, T)>,
+    n: usize,
+}
+
+impl<T> Batch<T> {
+    /// Block until every task has finished and return `(index, result)`
+    /// pairs in completion order.
+    pub fn wait(self) -> Vec<(usize, T)> {
+        (0..self.n)
+            .map(|_| self.rx.recv().expect("executor worker delivered"))
+            .collect()
+    }
+}
+
+/// Submit every task to the pool without waiting. Tasks must be
+/// self-contained (own everything they touch) — that is what makes their
+/// execution order irrelevant.
+pub fn submit_indexed<T, F>(tasks: Vec<(usize, F)>) -> Batch<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let p = pool();
+    ensure_workers(p, tasks.len());
+    let (done_tx, done_rx) = unbounded::<(usize, T)>();
+    let n = tasks.len();
+    for (idx, task) in tasks {
+        let done_tx = done_tx.clone();
+        let sent = p.tx.send(Box::new(move || {
+            let _ = done_tx.send((idx, task()));
+        }));
+        assert!(sent.is_ok(), "executor alive");
+    }
+    Batch { rx: done_rx, n }
+}
+
+/// Run every task on the pool and collect `(index, result)` pairs. Result
+/// order is completion order; callers match results to their work items by
+/// the carried index.
+pub fn run_indexed<T, F>(tasks: Vec<(usize, F)>) -> Vec<(usize, T)>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    submit_indexed(tasks).wait()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_returns_every_result_with_its_index() {
+        let tasks: Vec<(usize, _)> = (0..24).map(|i| (i, move || i * i)).collect();
+        let mut done = run_indexed(tasks);
+        done.sort_by_key(|&(i, _)| i);
+        assert_eq!(done.len(), 24);
+        for (i, v) in done {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn submit_overlaps_with_caller_work() {
+        // The batch drains while the submitter is busy; wait() still
+        // delivers every result.
+        let tasks: Vec<(usize, _)> = (0..6).map(|i| (i, move || i + 100)).collect();
+        let batch = submit_indexed(tasks);
+        let local: usize = (0..1000).sum(); // caller-side work
+        assert_eq!(local, 499_500);
+        let mut done = batch.wait();
+        done.sort_by_key(|&(i, _)| i);
+        assert_eq!(done, (0..6).map(|i| (i, i + 100)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_scale_with_demand_up_to_the_cap() {
+        // Every task blocks until all of them started, which only resolves
+        // if at least `n` workers run concurrently.
+        use std::sync::Barrier;
+        let n = 8usize.min(MAX_WORKERS);
+        let barrier = Arc::new(Barrier::new(n));
+        let tasks: Vec<(usize, _)> = (0..n)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                (i, move || {
+                    barrier.wait();
+                    i
+                })
+            })
+            .collect();
+        let done = run_indexed(tasks);
+        assert_eq!(done.len(), n);
+    }
+}

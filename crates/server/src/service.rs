@@ -471,6 +471,20 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         },
     });
 
+    // ANN fast path: segment lifecycle (seals, compactions, fan-out per
+    // search) and how indexes came back on the last recovery — read from
+    // the persisted sidecar or rebuilt from records.
+    let ann = json!({
+        "seals": counter_total("ann_seals_total"),
+        "segment_compactions": counter_total("ann_segment_compactions_total"),
+        "segments_searched": hist_of("ann_segments_searched").map_or_else(
+            || json!({ "count": 0 }),
+            |h| json!({ "count": h.count, "mean": h.mean, "p99": h.p99 }),
+        ),
+        "indexes_reopened": counter_total("ann_index_reopened_total"),
+        "indexes_rebuilt": counter_total("ann_index_rebuilt_total"),
+    });
+
     json!({
         "models": Value::Object(model_map),
         "requests": Value::Object(routes),
@@ -478,6 +492,7 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         "scoring": scoring,
         "parallel": parallel,
         "storage": storage,
+        "ann": ann,
         "tracing": tracing,
         "overload": overload,
     })

@@ -3,11 +3,12 @@
 
 use crate::error::DbError;
 use crate::filter::Filter;
-use crate::index::{FlatIndex, HnswConfig, HnswIndex, IndexKind, InternalId, VectorIndex};
+use crate::index::{HnswConfig, IndexKind, InternalId, VectorIndex};
 use crate::metadata::Metadata;
+use crate::segment::{SegmentConfig, SegmentedIndex};
 use crate::wal::{CollectionStorage, WalOp};
 use llmms_embed::{Embedding, Metric};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::HashMap;
 
 /// Configuration a collection is created with.
@@ -21,6 +22,9 @@ pub struct CollectionConfig {
     pub index: IndexKind,
     /// HNSW parameters (ignored for [`IndexKind::Flat`]).
     pub hnsw: HnswConfig,
+    /// Sealed-segment knobs (see [`SegmentConfig`]).
+    #[serde(default)]
+    pub segment: SegmentConfig,
 }
 
 impl CollectionConfig {
@@ -32,6 +36,7 @@ impl CollectionConfig {
             metric: Metric::Cosine,
             index: IndexKind::Flat,
             hnsw: HnswConfig::default(),
+            segment: SegmentConfig::default(),
         }
     }
 
@@ -96,55 +101,58 @@ pub struct QueryResult {
     pub metadata: Metadata,
 }
 
-#[derive(Serialize, Deserialize)]
-enum IndexState {
-    Flat(FlatIndex),
-    Hnsw(HnswIndex),
-}
-
-impl IndexState {
-    fn as_dyn(&self) -> &dyn VectorIndex {
-        match self {
-            IndexState::Flat(i) => i,
-            IndexState::Hnsw(i) => i,
-        }
-    }
-
-    fn as_dyn_mut(&mut self) -> &mut dyn VectorIndex {
-        match self {
-            IndexState::Flat(i) => i,
-            IndexState::Hnsw(i) => i,
-        }
-    }
-}
-
 /// A named, indexed set of records.
-#[derive(Serialize, Deserialize)]
+#[derive(Serialize)]
 pub struct Collection {
     name: String,
     config: CollectionConfig,
     records: HashMap<InternalId, Record>,
     id_map: HashMap<String, InternalId>,
-    index: IndexState,
+    index: SegmentedIndex,
     next_internal: InternalId,
     /// Durability state (WAL + snapshot paths) when the owning database is
     /// persistent; `None` for in-memory collections. Not part of the
     /// serialized snapshot.
     #[serde(skip)]
     storage: Option<CollectionStorage>,
+    /// Set when a snapshot was deserialized without its `index` field (the
+    /// checkpoint path persists it as a binary sidecar instead). The index
+    /// is empty and unusable until [`Collection::install_index`] (sidecar
+    /// read back) or [`Collection::rebuild_index_from_records`] runs.
+    #[serde(skip)]
+    pending_index_rebuild: bool,
+}
+
+/// The snapshot body mirrors the derived layout, except `index` may be
+/// absent: durable checkpoints strip it from the JSON and persist it as a
+/// binary sidecar (`crate::persist`), which recovery installs separately.
+impl Deserialize for Collection {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let get = |key: &str| -> Result<&Value, Error> {
+            value.get(key).ok_or_else(|| Error::missing_field(key))
+        };
+        let config = CollectionConfig::deserialize(get("config")?)?;
+        let (index, pending_index_rebuild) = match value.get("index") {
+            Some(v) => (SegmentedIndex::deserialize(v)?, false),
+            None => (Self::fresh_index(&config), true),
+        };
+        Ok(Self {
+            name: String::deserialize(get("name")?)?,
+            config,
+            records: Deserialize::deserialize(get("records")?)?,
+            id_map: Deserialize::deserialize(get("id_map")?)?,
+            index,
+            next_internal: InternalId::deserialize(get("next_internal")?)?,
+            storage: None,
+            pending_index_rebuild,
+        })
+    }
 }
 
 impl Collection {
     /// Create an empty collection.
     pub fn new(name: impl Into<String>, config: CollectionConfig) -> Self {
-        let index = match config.index {
-            IndexKind::Flat => IndexState::Flat(FlatIndex::new(config.dim, config.metric)),
-            IndexKind::Hnsw => IndexState::Hnsw(HnswIndex::new(
-                config.dim,
-                config.metric,
-                config.hnsw.clone(),
-            )),
-        };
+        let index = Self::fresh_index(&config);
         Self {
             name: name.into(),
             config,
@@ -153,7 +161,47 @@ impl Collection {
             index,
             next_internal: 0,
             storage: None,
+            pending_index_rebuild: false,
         }
+    }
+
+    fn fresh_index(config: &CollectionConfig) -> SegmentedIndex {
+        SegmentedIndex::new(
+            config.index,
+            config.dim,
+            config.metric,
+            config.hnsw.clone(),
+            config.segment.clone(),
+        )
+    }
+
+    /// Whether this collection still needs its index installed or rebuilt
+    /// (see the `Deserialize` impl).
+    pub(crate) fn index_pending_rebuild(&self) -> bool {
+        self.pending_index_rebuild
+    }
+
+    /// Install an index read back from the binary sidecar — the reopen fast
+    /// path. The caller has verified the sidecar's sequence number matches
+    /// the snapshot this collection came from.
+    pub(crate) fn install_index(&mut self, index: SegmentedIndex) {
+        self.index = index;
+        self.pending_index_rebuild = false;
+    }
+
+    /// Rebuild the index from live records in internal-id order — the slow
+    /// recovery fallback when no usable sidecar exists. Tombstones are gone
+    /// (only live records exist), so the result is a *compacted* equivalent
+    /// of the lost index: same live vectors, same ids, deterministic.
+    pub(crate) fn rebuild_index_from_records(&mut self) {
+        let mut index = Self::fresh_index(&self.config);
+        let mut ids: Vec<InternalId> = self.records.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            index.insert(id, self.records[&id].embedding.as_slice());
+        }
+        self.index = index;
+        self.pending_index_rebuild = false;
     }
 
     /// Attach durability state (recovery and persistent-database wiring).
@@ -210,14 +258,12 @@ impl Collection {
     /// are never reused, matching the tombstone design).
     pub(crate) fn apply_upsert(&mut self, record: Record) {
         if let Some(&old) = self.id_map.get(&record.id) {
-            self.index.as_dyn_mut().remove(old);
+            self.index.remove(old);
             self.records.remove(&old);
         }
         let internal = self.next_internal;
         self.next_internal += 1;
-        self.index
-            .as_dyn_mut()
-            .insert(internal, record.embedding.as_slice());
+        self.index.insert(internal, record.embedding.as_slice());
         self.id_map.insert(record.id.clone(), internal);
         self.records.insert(internal, record);
     }
@@ -227,7 +273,7 @@ impl Collection {
         let Some(internal) = self.id_map.remove(id) else {
             return false;
         };
-        self.index.as_dyn_mut().remove(internal);
+        self.index.remove(internal);
         self.records.remove(&internal);
         true
     }
@@ -357,12 +403,19 @@ impl Collection {
         // field anyway) cannot alias the mutable borrow below.
         let result = serde_json::to_value(&*self)
             .map_err(|e| DbError::Persistence(e.to_string()))
-            .and_then(|collection| {
+            .and_then(|mut collection| {
+                // The index goes into the binary sidecar, not the JSON:
+                // reopen then *reads* graphs and code arenas back instead
+                // of rebuilding them, and the JSON stays record-sized.
+                if let serde_json::Value::Object(obj) = &mut collection {
+                    obj.remove("index");
+                }
+                let index_blob = crate::persist::encode_index(&self.index, storage.last_seq());
                 let snapshot = serde_json::json!({
                     "last_seq": storage.last_seq(),
                     "collection": collection,
                 });
-                storage.checkpoint(&snapshot.to_string(), &self.name, &self.config)
+                storage.checkpoint(&snapshot.to_string(), &index_blob, &self.name, &self.config)
             });
         self.storage = Some(storage);
         result
@@ -415,7 +468,7 @@ impl Collection {
             let records = &self.records;
             move |id: InternalId| records.get(&id).is_some_and(|r| f.matches(&r.metadata))
         });
-        let hits = self.index.as_dyn().search(
+        let hits = self.index.search(
             query.as_slice(),
             k,
             accept.as_ref().map(|f| f as &dyn Fn(InternalId) -> bool),
@@ -467,16 +520,7 @@ impl Collection {
         // Deterministic rebuild order.
         records.sort_by(|a, b| a.id.cmp(&b.id));
         self.id_map.clear();
-        self.index = match self.config.index {
-            IndexKind::Flat => {
-                IndexState::Flat(FlatIndex::new(self.config.dim, self.config.metric))
-            }
-            IndexKind::Hnsw => IndexState::Hnsw(HnswIndex::new(
-                self.config.dim,
-                self.config.metric,
-                self.config.hnsw.clone(),
-            )),
-        };
+        self.index = Self::fresh_index(&self.config);
         self.next_internal = 0;
         // Rebuild through the no-log apply path: compaction changes no
         // logical state, so durable collections must not re-log records.
@@ -484,6 +528,20 @@ impl Collection {
             self.apply_upsert(record);
         }
         before - live
+    }
+
+    /// Merge adjacent underfilled *sealed segments* in place (dropping
+    /// their tombstones) without touching record state or internal ids —
+    /// the cheap, incremental sibling of [`Collection::compact`], safe to
+    /// run from the background compactor under the write guard. Returns the
+    /// number of segment merges performed.
+    pub fn compact_segments(&mut self) -> usize {
+        self.index.compact_segments()
+    }
+
+    /// Whether [`Collection::compact_segments`] currently has work to do.
+    pub fn needs_segment_compaction(&self) -> bool {
+        self.index.needs_compaction()
     }
 
     /// Point-in-time statistics for monitoring dashboards.
@@ -498,12 +556,15 @@ impl Collection {
             .values()
             .flat_map(|r| r.metadata.keys().map(String::as_str))
             .collect();
+        let (live, slots) = self.index.occupancy();
         CollectionStats {
             records: self.records.len(),
             with_documents: documents,
             dim: self.config.dim,
             index: self.config.index,
             metadata_keys: metadata_keys.into_iter().map(str::to_owned).collect(),
+            sealed_segments: self.index.sealed_count(),
+            tombstones: slots - live,
         }
     }
 }
@@ -521,6 +582,12 @@ pub struct CollectionStats {
     pub index: IndexKind,
     /// Distinct metadata keys in use, sorted.
     pub metadata_keys: Vec<String>,
+    /// Immutable sealed segments currently backing the index.
+    #[serde(default)]
+    pub sealed_segments: usize,
+    /// Logically-deleted index slots awaiting compaction.
+    #[serde(default)]
+    pub tombstones: usize,
 }
 
 #[cfg(test)]

@@ -169,6 +169,8 @@ impl Database {
             std::fs::remove_file(durable.dir.join(format!("{base}.wal"))).ok();
             std::fs::remove_file(durable.dir.join(format!("{base}.snap.json"))).ok();
             std::fs::remove_file(durable.dir.join(format!("{base}.snap.tmp"))).ok();
+            std::fs::remove_file(durable.dir.join(format!("{base}.idx.bin"))).ok();
+            std::fs::remove_file(durable.dir.join(format!("{base}.idx.tmp"))).ok();
         }
         Ok(())
     }
@@ -260,6 +262,59 @@ impl Database {
         Ok(db)
     }
 
+    /// Run one sweep of segment compaction across all collections: each
+    /// collection that has merge-eligible sealed segments is compacted
+    /// under its own write guard (other collections stay fully available).
+    /// Returns the total number of segment merges performed.
+    pub fn compact_segments(&self) -> usize {
+        let collections: Vec<Arc<RwLock<Collection>>> =
+            self.collections.read().values().cloned().collect();
+        let mut merges = 0usize;
+        for coll in collections {
+            // Cheap read-locked check first so idle collections never take
+            // the write lock.
+            if coll.read().needs_segment_compaction() {
+                merges += coll.write().compact_segments();
+            }
+        }
+        merges
+    }
+
+    /// Spawn the background segment compactor: a thread that sweeps
+    /// [`Database::compact_segments`] every `interval`. The thread holds
+    /// only a [`Weak`] reference, so dropping the database (and the
+    /// returned handle) stops it; the handle's [`Drop`] also stops it
+    /// eagerly and joins.
+    pub fn spawn_compactor(self: &Arc<Self>, interval: std::time::Duration) -> CompactorHandle {
+        let stop = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let weak = Arc::downgrade(self);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("llmms-compactor".into())
+            .spawn(move || loop {
+                {
+                    let (lock, cvar) = &*thread_stop;
+                    let mut stopped = lock.lock().expect("compactor stop lock");
+                    if !*stopped {
+                        stopped = cvar
+                            .wait_timeout(stopped, interval)
+                            .expect("compactor stop lock")
+                            .0;
+                    }
+                    if *stopped {
+                        return;
+                    }
+                }
+                let Some(db) = weak.upgrade() else { return };
+                db.compact_segments();
+            })
+            .expect("spawn compactor thread");
+        CompactorHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
     /// Write a snapshot to `path`.
     ///
     /// # Errors
@@ -279,6 +334,24 @@ impl Database {
         let snapshot =
             std::fs::read_to_string(path).map_err(|e| DbError::Persistence(e.to_string()))?;
         Self::restore(&snapshot)
+    }
+}
+
+/// Handle to the background segment compactor spawned by
+/// [`Database::spawn_compactor`]. Dropping it stops the thread and joins.
+pub struct CompactorHandle {
+    stop: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("compactor stop lock") = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -313,6 +386,35 @@ fn recover_collection(
                 "read {}: {e}",
                 snap_path.display()
             )))
+        }
+    }
+
+    // The checkpoint persisted the index separately as a binary sidecar;
+    // install it when it is exactly as new as the snapshot (the embedded
+    // sequence numbers must agree), otherwise fall back to rebuilding the
+    // index from the snapshot's records. Either way the WAL suffix below
+    // replays on top.
+    if let Some(c) = &mut collection {
+        if c.index_pending_rebuild() {
+            let idx_path = dir.join(format!("{base}.idx.bin"));
+            let reopened = std::fs::read(&idx_path)
+                .ok()
+                .and_then(|bytes| crate::persist::decode_index(&bytes).ok())
+                .filter(|(seq, _)| Some(*seq) == last_seq)
+                .map(|(_, index)| c.install_index(index))
+                .is_some();
+            if !reopened {
+                c.rebuild_index_from_records();
+            }
+            let registry = llmms_obs::Registry::global();
+            if registry.enabled() {
+                let counter = if reopened {
+                    "ann_index_reopened_total"
+                } else {
+                    "ann_index_rebuilt_total"
+                };
+                registry.counter(counter).metric.inc();
+            }
         }
     }
 

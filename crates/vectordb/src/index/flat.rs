@@ -1,18 +1,8 @@
 //! Exact brute-force index.
 
-use super::{top_k, Hit, InternalId, VectorIndex};
+use super::{is_unit_norm, Hit, InternalId, TopK, VectorIndex};
 use llmms_embed::{dot, Metric};
 use serde::{Deserialize, Serialize};
-
-/// How far from 1.0 a vector's L2 norm may be and still count as unit for
-/// the cosine fast path. Platform embeddings are normalized to within f32
-/// rounding (~1e-7); deliberately unnormalized vectors miss by far more.
-const UNIT_NORM_TOL: f32 = 1e-4;
-
-fn is_unit_norm(v: &[f32]) -> bool {
-    let norm_sq: f32 = v.iter().map(|x| x * x).sum();
-    (norm_sq.sqrt() - 1.0).abs() <= UNIT_NORM_TOL
-}
 
 /// Exact top-k index: a contiguous vector arena scanned linearly.
 ///
@@ -23,21 +13,22 @@ fn is_unit_norm(v: &[f32]) -> bool {
 /// is frequently faster than HNSW and is always the recall reference.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlatIndex {
-    metric: Metric,
-    dim: usize,
+    pub(crate) metric: Metric,
+    pub(crate) dim: usize,
     /// Contiguous vector storage; vector `i` occupies `i*dim..(i+1)*dim`.
-    data: Vec<f32>,
+    pub(crate) data: Vec<f32>,
     /// `ids[i]` is the external internal-id of slot `i`.
-    ids: Vec<InternalId>,
+    pub(crate) ids: Vec<InternalId>,
     /// Tombstone flags parallel to `ids`.
-    deleted: Vec<bool>,
-    live: usize,
-    /// Every inserted vector so far had unit L2 norm — the platform's
-    /// normalized-embedding invariant. While it holds, a cosine scan needs
-    /// only dot products. Defaults to `false` when absent (indexes persisted
-    /// before the field existed simply keep the general path).
+    pub(crate) deleted: Vec<bool>,
+    pub(crate) live: usize,
+    /// Count of *live* vectors whose L2 norm is not unit. While zero, the
+    /// platform's normalized-embedding invariant holds and a cosine scan
+    /// needs only dot products. Maintained incrementally on insert *and*
+    /// delete (deleting the last offender re-enables the fast path), never
+    /// by rescanning.
     #[serde(default)]
-    all_unit: bool,
+    pub(crate) non_unit_live: usize,
 }
 
 impl FlatIndex {
@@ -50,8 +41,18 @@ impl FlatIndex {
             ids: Vec::new(),
             deleted: Vec::new(),
             live: 0,
-            all_unit: true,
+            non_unit_live: 0,
         }
+    }
+
+    /// Every live vector has unit L2 norm (the cosine fast-path invariant).
+    pub(crate) fn all_unit(&self) -> bool {
+        self.non_unit_live == 0
+    }
+
+    /// The stored vector at `slot` (live or tombstoned).
+    pub(crate) fn vector_at(&self, slot: usize) -> &[f32] {
+        &self.data[slot * self.dim..(slot + 1) * self.dim]
     }
 
     /// The configured metric.
@@ -86,7 +87,9 @@ impl VectorIndex for FlatIndex {
         );
         self.ids.push(id);
         self.deleted.push(false);
-        self.all_unit = self.all_unit && is_unit_norm(vector);
+        if !is_unit_norm(vector) {
+            self.non_unit_live += 1;
+        }
         self.data.extend_from_slice(vector);
         self.live += 1;
     }
@@ -96,6 +99,12 @@ impl VectorIndex for FlatIndex {
             Some(slot) if !self.deleted[slot] => {
                 self.deleted[slot] = true;
                 self.live -= 1;
+                // One norm pass over the dying vector keeps the fast-path
+                // counter exact; deleting the last non-unit vector turns
+                // the dot-product scan back on.
+                if !is_unit_norm(self.vector_at(slot)) {
+                    self.non_unit_live -= 1;
+                }
                 true
             }
             _ => false,
@@ -118,13 +127,16 @@ impl VectorIndex for FlatIndex {
         // Cosine over unit vectors divides by two norms that are both 1:
         // with the stored side pinned by `all_unit`, only the query's norm
         // must be derived — once, not per slot.
-        let query_inv_norm = if self.metric == Metric::Cosine && self.all_unit {
+        let query_inv_norm = if self.metric == Metric::Cosine && self.all_unit() {
             let norm = query.iter().map(|x| x * x).sum::<f32>().sqrt();
             (norm > 0.0).then(|| 1.0 / norm)
         } else {
             None
         };
-        let mut candidates = Vec::with_capacity(self.live.min(4096));
+        // Stream straight into the bounded collector: O(n log k) and no
+        // candidate buffer, so a million-vector scan allocates only the
+        // k-slot heap.
+        let mut collector = TopK::new(k);
         for (slot, &id) in self.ids.iter().enumerate() {
             if self.deleted[slot] {
                 continue;
@@ -139,9 +151,9 @@ impl VectorIndex for FlatIndex {
                 Some(inv) => (dot(query, v) * inv).clamp(-1.0, 1.0),
                 None => self.metric.similarity(query, v),
             };
-            candidates.push(Hit { id, score });
+            collector.push(Hit { id, score });
         }
-        top_k(candidates, k)
+        collector.into_sorted()
     }
 }
 
@@ -239,7 +251,7 @@ mod tests {
         for (i, v) in vecs.iter().enumerate() {
             idx.insert(i as InternalId, v);
         }
-        assert!(idx.all_unit);
+        assert!(idx.all_unit());
         let query = [2.0f32, 1.0, -0.5]; // deliberately non-unit query
         let hits = idx.search(&query, 3, None);
         for hit in &hits {
@@ -252,11 +264,27 @@ mod tests {
     fn non_unit_insert_disables_fast_path() {
         let mut idx = FlatIndex::new(2, Metric::Cosine);
         idx.insert(0, &[1.0, 0.0]);
-        assert!(idx.all_unit);
+        assert!(idx.all_unit());
         idx.insert(1, &[0.7, 0.7]);
-        assert!(!idx.all_unit, "norm 0.99 is outside the unit tolerance");
+        assert!(!idx.all_unit(), "norm 0.99 is outside the unit tolerance");
         // Scores keep exact cosine semantics once the flag drops.
         let hits = idx.search(&[1.0, 0.0], 2, None);
+        assert_eq!(hits[0].id, 0);
+        assert!((hits[0].score - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deleting_last_non_unit_vector_restores_fast_path() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.insert(0, &[1.0, 0.0]);
+        idx.insert(1, &[0.7, 0.7]); // non-unit
+        assert!(!idx.all_unit());
+        assert!(idx.remove(1));
+        assert!(
+            idx.all_unit(),
+            "tombstoning the only non-unit vector must re-enable the dot scan"
+        );
+        let hits = idx.search(&[2.0, 0.0], 1, None);
         assert_eq!(hits[0].id, 0);
         assert!((hits[0].score - 1.0).abs() < 1e-6);
     }

@@ -11,8 +11,8 @@
 //! results — are reproducible run-to-run, which the evaluation harness
 //! depends on.
 
-use super::{top_k, Hit, InternalId, VectorIndex};
-use llmms_embed::Metric;
+use super::{is_unit_norm, top_k, Hit, InternalId, VectorIndex};
+use llmms_embed::{dot, Metric};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -43,11 +43,11 @@ impl Default for HnswConfig {
 
 /// A graph node: its external id, tombstone flag and per-layer adjacency.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct Node {
-    id: InternalId,
-    deleted: bool,
+pub(crate) struct Node {
+    pub(crate) id: InternalId,
+    pub(crate) deleted: bool,
     /// `neighbors[l]` is the adjacency list at layer `l`; length = level+1.
-    neighbors: Vec<Vec<u32>>,
+    pub(crate) neighbors: Vec<Vec<u32>>,
 }
 
 /// Score wrapper giving `f32` a total order for use in heaps.
@@ -76,17 +76,22 @@ impl Ord for Scored {
 /// The HNSW index. See the module docs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HnswIndex {
-    config: HnswConfig,
-    metric: Metric,
-    dim: usize,
+    pub(crate) config: HnswConfig,
+    pub(crate) metric: Metric,
+    pub(crate) dim: usize,
     /// Contiguous vector arena; slot `i` occupies `i*dim..(i+1)*dim`.
-    data: Vec<f32>,
-    nodes: Vec<Node>,
-    id_to_slot: HashMap<InternalId, u32>,
-    entry: Option<u32>,
-    max_level: usize,
-    rng_state: u64,
-    live: usize,
+    pub(crate) data: Vec<f32>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) id_to_slot: HashMap<InternalId, u32>,
+    pub(crate) entry: Option<u32>,
+    pub(crate) max_level: usize,
+    pub(crate) rng_state: u64,
+    pub(crate) live: usize,
+    /// Count of vectors ever inserted whose L2 norm was not unit
+    /// (tombstoned ones included — they still participate in traversal
+    /// scoring, so the cosine fast path must stay off while any exist).
+    #[serde(default)]
+    pub(crate) non_unit: usize,
 }
 
 impl HnswIndex {
@@ -109,6 +114,7 @@ impl HnswIndex {
             max_level: 0,
             rng_state,
             live: 0,
+            non_unit: 0,
         }
     }
 
@@ -122,8 +128,26 @@ impl HnswIndex {
         &self.data[s..s + self.dim]
     }
 
-    fn score(&self, query: &[f32], slot: u32) -> f32 {
-        self.metric.similarity(query, self.vector(slot))
+    /// Score `query` against `slot`. `inv` is the query's precomputed
+    /// inverse norm when the cosine unit fast path applies (every stored
+    /// vector unit-norm): cosine then collapses to one dot-product kernel
+    /// pass per edge instead of the fused three-reduction pass.
+    fn score(&self, query: &[f32], inv: Option<f32>, slot: u32) -> f32 {
+        match inv {
+            Some(inv) => (dot(query, self.vector(slot)) * inv).clamp(-1.0, 1.0),
+            None => self.metric.similarity(query, self.vector(slot)),
+        }
+    }
+
+    /// The query inverse norm for the unit fast path, or `None` when the
+    /// general metric path must run.
+    fn query_inv_norm(&self, query: &[f32]) -> Option<f32> {
+        if self.metric == Metric::Cosine && self.non_unit == 0 {
+            let norm = query.iter().map(|x| x * x).sum::<f32>().sqrt();
+            (norm > 0.0).then(|| 1.0 / norm)
+        } else {
+            None
+        }
     }
 
     /// xorshift64* — deterministic, serializable level sampling.
@@ -147,12 +171,12 @@ impl HnswIndex {
 
     /// Greedy descent through one layer: move to the best neighbor until no
     /// improvement.
-    fn greedy_step(&self, query: &[f32], mut current: u32, layer: usize) -> u32 {
-        let mut best = self.score(query, current);
+    fn greedy_step(&self, query: &[f32], inv: Option<f32>, mut current: u32, layer: usize) -> u32 {
+        let mut best = self.score(query, inv, current);
         loop {
             let mut improved = false;
             for &n in &self.nodes[current as usize].neighbors[layer] {
-                let s = self.score(query, n);
+                let s = self.score(query, inv, n);
                 if s > best {
                     best = s;
                     current = n;
@@ -166,11 +190,18 @@ impl HnswIndex {
     }
 
     /// Beam search within `layer`, returning up to `ef` best slots.
-    fn search_layer(&self, query: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Scored> {
+    fn search_layer(
+        &self,
+        query: &[f32],
+        inv: Option<f32>,
+        entry: u32,
+        ef: usize,
+        layer: usize,
+    ) -> Vec<Scored> {
         let mut visited = vec![false; self.nodes.len()];
         visited[entry as usize] = true;
         let entry_scored = Scored {
-            score: self.score(query, entry),
+            score: self.score(query, inv, entry),
             slot: entry,
         };
         // Max-heap of frontier candidates (best first).
@@ -188,7 +219,7 @@ impl HnswIndex {
                     continue;
                 }
                 let scored = Scored {
-                    score: self.score(query, n),
+                    score: self.score(query, inv, n),
                     slot: n,
                 };
                 let worst = results.peek().map_or(f32::NEG_INFINITY, |r| r.0.score);
@@ -260,6 +291,9 @@ impl VectorIndex for HnswIndex {
         );
         let slot = self.nodes.len() as u32;
         let level = self.sample_level();
+        if !is_unit_norm(vector) {
+            self.non_unit += 1;
+        }
         self.data.extend_from_slice(vector);
         self.nodes.push(Node {
             id,
@@ -276,12 +310,13 @@ impl VectorIndex for HnswIndex {
         };
 
         // Descend through layers above the new node's level.
+        let inv = self.query_inv_norm(vector);
         for layer in (level + 1..=self.max_level).rev() {
-            ep = self.greedy_step(vector, ep, layer);
+            ep = self.greedy_step(vector, inv, ep, layer);
         }
         // Insert on each layer from min(level, max_level) down to 0.
         for layer in (0..=level.min(self.max_level)).rev() {
-            let candidates = self.search_layer(vector, ep, self.config.ef_construction, layer);
+            let candidates = self.search_layer(vector, inv, ep, self.config.ef_construction, layer);
             self.connect(slot, &candidates, layer);
             if let Some(best) = candidates.first() {
                 ep = best.slot;
@@ -320,8 +355,9 @@ impl VectorIndex for HnswIndex {
             return Vec::new();
         }
         let mut ep = self.entry.expect("live > 0 implies an entry point");
+        let inv = self.query_inv_norm(query);
         for layer in (1..=self.max_level).rev() {
-            ep = self.greedy_step(query, ep, layer);
+            ep = self.greedy_step(query, inv, ep, layer);
         }
         // Tombstoned or filtered-out nodes still participate in traversal but
         // not in results, so widen the beam when a filter is present.
@@ -329,7 +365,7 @@ impl VectorIndex for HnswIndex {
         if accept.is_some() || self.live < self.nodes.len() {
             ef = ef.max(k * 8);
         }
-        let found = self.search_layer(query, ep, ef, 0);
+        let found = self.search_layer(query, inv, ep, ef, 0);
         let candidates: Vec<Hit> = found
             .into_iter()
             .filter(|s| !self.nodes[s.slot as usize].deleted)
@@ -468,6 +504,27 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    #[test]
+    fn unit_fast_path_scores_match_exact_cosine() {
+        let mut vs = test_vectors(200, 8);
+        for v in &mut vs {
+            let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            for x in v.iter_mut() {
+                *x /= n;
+            }
+        }
+        let mut hnsw = HnswIndex::new(8, Metric::Cosine, HnswConfig::default());
+        for (i, v) in vs.iter().enumerate() {
+            hnsw.insert(i as InternalId, v);
+        }
+        assert_eq!(hnsw.non_unit, 0, "all inserts unit-norm");
+        let query = [0.5f32, -0.25, 0.1, 0.3, -0.7, 0.2, 0.05, 0.9]; // non-unit
+        for hit in hnsw.search(&query, 5, None) {
+            let exact = llmms_embed::cosine(&query, &vs[hit.id as usize]);
+            assert!((hit.score - exact).abs() < 1e-5);
+        }
     }
 
     #[test]

@@ -12,9 +12,11 @@
 
 pub mod flat;
 pub mod hnsw;
+pub mod quantized;
 
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
+pub use quantized::QuantizedFlatIndex;
 
 use serde::{Deserialize, Serialize};
 
@@ -73,17 +75,107 @@ pub trait VectorIndex: Send + Sync {
     ) -> Vec<Hit>;
 }
 
-/// Keep the best `k` hits from a scored candidate stream. Shared by both
-/// index implementations; sorting happens once at the end.
-pub(crate) fn top_k(mut candidates: Vec<Hit>, k: usize) -> Vec<Hit> {
-    candidates.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
-    });
-    candidates.truncate(k);
-    candidates
+/// How far from 1.0 a vector's L2 norm may be and still count as unit for
+/// the cosine fast path. Platform embeddings are normalized to within f32
+/// rounding (~1e-7); deliberately unnormalized vectors miss by far more.
+pub(crate) const UNIT_NORM_TOL: f32 = 1e-4;
+
+pub(crate) fn is_unit_norm(v: &[f32]) -> bool {
+    let norm_sq: f32 = v.iter().map(|x| x * x).sum();
+    (norm_sq.sqrt() - 1.0).abs() <= UNIT_NORM_TOL
+}
+
+/// Total order on hits, best first: score descending, then id ascending.
+/// (`total_cmp` so the order is defined even for NaN scores, which the
+/// heap's invariants require; real scores are always finite.)
+pub(crate) fn hit_cmp(a: &Hit, b: &Hit) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then(a.id.cmp(&b.id))
+}
+
+/// The current *worst* kept hit sits on top of the max-heap so one
+/// comparison decides eviction: "worse" = lower score, then larger id —
+/// exactly the inverse of [`hit_cmp`], preserving the full-sort tie-break.
+struct WorstFirst(Hit);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for WorstFirst {}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Under `hit_cmp`, Less = better; the heap's max is therefore the
+        // worst kept hit, which is what `peek`/`pop` must yield.
+        hit_cmp(&self.0, &other.0)
+    }
+}
+
+/// Streaming bounded top-k collector: a size-`k` max-heap keyed on the
+/// worst kept hit, O(n log k) instead of the former collect-then-full-sort
+/// O(n log n). Used by the index scans and reused verbatim as the
+/// cross-segment merge (feeding per-segment results through one collector
+/// yields exactly the global top-k, since any global winner is necessarily
+/// in its own segment's top-k).
+pub(crate) struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<WorstFirst>,
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer a hit; keeps it only if it beats the current worst (or the
+    /// collector is not yet full).
+    pub(crate) fn push(&mut self, hit: Hit) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(WorstFirst(hit));
+        } else if let Some(worst) = self.heap.peek() {
+            if hit_cmp(&hit, &worst.0) == std::cmp::Ordering::Less {
+                self.heap.pop();
+                self.heap.push(WorstFirst(hit));
+            }
+        }
+    }
+
+    /// The score a candidate must beat to be kept, once full. `None` while
+    /// the collector still has room.
+    #[cfg(test)]
+    pub(crate) fn threshold(&self) -> Option<f32> {
+        (self.heap.len() >= self.k)
+            .then(|| self.heap.peek().map(|w| w.0.score))
+            .flatten()
+    }
+
+    /// Finish: the kept hits, best first.
+    pub(crate) fn into_sorted(self) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self.heap.into_iter().map(|w| w.0).collect();
+        hits.sort_by(hit_cmp);
+        hits
+    }
+}
+
+/// Keep the best `k` hits from a scored candidate batch. Shared by both
+/// index implementations.
+pub(crate) fn top_k(candidates: Vec<Hit>, k: usize) -> Vec<Hit> {
+    let mut collector = TopK::new(k);
+    for hit in candidates {
+        collector.push(hit);
+    }
+    collector.into_sorted()
 }
 
 #[cfg(test)]
@@ -115,5 +207,50 @@ mod tests {
     fn top_k_with_k_larger_than_input() {
         let hits = vec![Hit { id: 0, score: 1.0 }];
         assert_eq!(top_k(hits, 10).len(), 1);
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        let hits = vec![Hit { id: 0, score: 1.0 }];
+        assert!(top_k(hits, 0).is_empty());
+    }
+
+    #[test]
+    fn bounded_heap_matches_full_sort() {
+        // Deterministic pseudo-random stream with duplicate scores; the
+        // heap path must agree with the reference full sort exactly,
+        // including tie order.
+        let mut state = 0x9e37_79b9u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let hits: Vec<Hit> = (0..500)
+            .map(|i| Hit {
+                id: i,
+                // Bucketed scores force many exact ties.
+                score: (next() % 17) as f32 / 16.0,
+            })
+            .collect();
+        for k in [1usize, 3, 10, 499, 500, 600] {
+            let mut oracle = hits.clone();
+            oracle.sort_by(hit_cmp);
+            oracle.truncate(k);
+            assert_eq!(top_k(hits.clone(), k), oracle, "k={k}");
+        }
+    }
+
+    #[test]
+    fn threshold_reports_current_worst() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.threshold(), None);
+        tk.push(Hit { id: 0, score: 0.9 });
+        assert_eq!(tk.threshold(), None, "not full yet");
+        tk.push(Hit { id: 1, score: 0.5 });
+        assert_eq!(tk.threshold(), Some(0.5));
+        tk.push(Hit { id: 2, score: 0.7 });
+        assert_eq!(tk.threshold(), Some(0.7));
     }
 }

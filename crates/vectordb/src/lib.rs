@@ -46,6 +46,8 @@ pub mod error;
 pub mod filter;
 pub mod index;
 pub mod metadata;
+mod persist;
+pub mod segment;
 pub mod wal;
 
 pub use collection::{Collection, CollectionConfig, CollectionStats, QueryResult, Record};
@@ -54,6 +56,7 @@ pub use error::DbError;
 pub use filter::Filter;
 pub use index::{HnswConfig, IndexKind};
 pub use metadata::{meta, MetaValue, Metadata};
+pub use segment::SegmentConfig;
 pub use wal::StorageConfig;
 
 #[cfg(test)]

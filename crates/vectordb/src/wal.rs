@@ -320,6 +320,21 @@ pub(crate) struct SnapshotFile {
     pub collection: Collection,
 }
 
+/// Write `bytes` to `path` via tmp + fsync + rename so readers see either
+/// the old complete file or the new one, never a torn mix.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DbError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)
+            .map_err(|e| DbError::Persistence(format!("create {}: {e}", tmp.display())))?;
+        f.write_all(bytes)
+            .and_then(|()| f.sync_data())
+            .map_err(|e| DbError::Persistence(format!("write {}: {e}", tmp.display())))?;
+    }
+    std::fs::rename(&tmp, path)
+        .map_err(|e| DbError::Persistence(format!("rename {}: {e}", path.display())))
+}
+
 /// Encode a collection name into a filesystem-safe base name: ASCII
 /// alphanumerics, `-`, `_` and `.` pass through, everything else becomes
 /// `%XX`. Injective, so distinct names never collide on disk.
@@ -340,6 +355,7 @@ pub(crate) fn encode_name(name: &str) -> String {
 pub struct CollectionStorage {
     wal: Wal,
     snapshot_path: PathBuf,
+    index_path: PathBuf,
     dir: PathBuf,
     snapshot_every: u64,
     appends_since_snapshot: u64,
@@ -366,6 +382,7 @@ impl CollectionStorage {
         Ok(Self {
             wal,
             snapshot_path: dir.join(format!("{base}.snap.json")),
+            index_path: dir.join(format!("{base}.idx.bin")),
             dir: dir.to_owned(),
             snapshot_every: storage_config.snapshot_every,
             appends_since_snapshot: 0,
@@ -392,6 +409,7 @@ impl CollectionStorage {
         Ok(Self {
             wal,
             snapshot_path: dir.join(format!("{base}.snap.json")),
+            index_path: dir.join(format!("{base}.idx.bin")),
             dir: dir.to_owned(),
             snapshot_every: storage_config.snapshot_every,
             appends_since_snapshot: 0,
@@ -411,18 +429,21 @@ impl CollectionStorage {
         self.wal.fsync()
     }
 
-    /// Write `snapshot` atomically (tmp + rename + dir fsync), then start a
-    /// fresh WAL generation seeded with a `Create` frame.
+    /// Write the binary index sidecar and `snapshot` atomically (tmp +
+    /// rename + dir fsync each), then start a fresh WAL generation seeded
+    /// with a `Create` frame.
     pub(crate) fn checkpoint(
         &mut self,
         snapshot_json: &str,
+        index_blob: &[u8],
         name: &str,
         config: &CollectionConfig,
     ) -> Result<(), DbError> {
         let mut tspan = llmms_obs::trace::span_here("snapshot");
         tspan.attr_with("collection", || name.to_owned());
         tspan.set_attr("bytes", snapshot_json.len());
-        let result = self.checkpoint_inner(snapshot_json, name, config);
+        tspan.set_attr("index_bytes", index_blob.len());
+        let result = self.checkpoint_inner(snapshot_json, index_blob, name, config);
         if let Err(e) = &result {
             tspan.set_status(llmms_obs::SpanStatus::Error);
             tspan.attr_with("error", || e.to_string());
@@ -434,6 +455,7 @@ impl CollectionStorage {
     fn checkpoint_inner(
         &mut self,
         snapshot_json: &str,
+        index_blob: &[u8],
         name: &str,
         config: &CollectionConfig,
     ) -> Result<(), DbError> {
@@ -441,17 +463,13 @@ impl CollectionStorage {
         // Make the log durable first: the snapshot must never be *ahead* of
         // the WAL it claims to subsume.
         self.wal.fsync()?;
-        let tmp = self.snapshot_path.with_extension("tmp");
-        {
-            let mut f = File::create(&tmp)
-                .map_err(|e| DbError::Persistence(format!("create {}: {e}", tmp.display())))?;
-            f.write_all(snapshot_json.as_bytes())
-                .and_then(|()| f.sync_data())
-                .map_err(|e| DbError::Persistence(format!("write {}: {e}", tmp.display())))?;
-        }
-        std::fs::rename(&tmp, &self.snapshot_path).map_err(|e| {
-            DbError::Persistence(format!("rename {}: {e}", self.snapshot_path.display()))
-        })?;
+        // Index sidecar first, snapshot second. Recovery trusts the sidecar
+        // only when its embedded sequence number equals the snapshot's, so
+        // a crash between the two renames leaves a mismatched pair and
+        // degrades to an index rebuild — never to a stale index silently
+        // serving a newer snapshot.
+        write_atomic(&self.index_path, index_blob)?;
+        write_atomic(&self.snapshot_path, snapshot_json.as_bytes())?;
         // Persist the rename itself (the directory entry).
         if let Ok(d) = File::open(&self.dir) {
             let _ = d.sync_all();
