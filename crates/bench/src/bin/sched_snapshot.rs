@@ -1,0 +1,228 @@
+//! Machine-readable scheduler snapshot: drives the shared execution
+//! runtime with an adversarial cross-query mix — a few "elephant" queries
+//! with hundreds of jobs submitted *first*, then a crowd of single-job
+//! "mice" — and measures per-query latency and first-dispatch wait under
+//! the FIFO baseline versus the deficit-round-robin scheduler.
+//!
+//! Under FIFO every mouse sits behind the full elephant backlog, so the
+//! p99 query latency and the worst first-dispatch wait are both roughly
+//! the whole backlog drain time. DRR interleaves: each queued query gets
+//! its quantum per round, so mice dispatch within one round of arriving
+//! regardless of how much elephant work is queued ahead. Aggregate
+//! throughput is identical up to scheduling overhead — the same jobs run
+//! on the same workers — which is exactly what `--check` gates: strictly
+//! better p99 and max wait at 1k concurrent queries, throughput no worse
+//! than 0.95×.
+//!
+//! Usage: `cargo run -p llmms-bench --release --bin sched_snapshot [out.json] [--check]`
+
+use llmms::exec::{self, Priority, QueryHandle, SchedMode};
+use serde_json::json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock cost of one job — stands in for a slow-backend generation
+/// chunk. Small enough that the 10k-query level stays fast, large enough
+/// that scheduling order (not dispatch overhead) dominates the numbers.
+const JOB_SLEEP_US: u64 = 500;
+
+/// Jobs per elephant query. One elephant carries as much work as 200 mice.
+const ELEPHANT_JOBS: usize = 200;
+
+/// Concurrency levels measured. The `--check` gate reads the 1000-query
+/// level; the others are context.
+const LEVELS: [usize; 3] = [100, 1_000, 10_000];
+
+/// The level the CI gate is evaluated at.
+const GATE_LEVEL: usize = 1_000;
+
+/// What one (mode, level) run measured.
+struct ModeReport {
+    /// Per-query time from workload start to the query's last job
+    /// finishing, sorted ascending (µs).
+    latencies_us: Vec<u64>,
+    /// Worst first-dispatch delay any query saw (µs).
+    max_wait_us: u64,
+    jobs: usize,
+    wall: Duration,
+}
+
+impl ModeReport {
+    fn p(&self, q: f64) -> u64 {
+        let idx = ((self.latencies_us.len() as f64 - 1.0) * q).round() as usize;
+        self.latencies_us[idx]
+    }
+
+    fn throughput_jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.wall.as_secs_f64()
+    }
+
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "jobs": self.jobs,
+            "wall_ms": self.wall.as_millis() as u64,
+            "throughput_jobs_per_s": self.throughput_jobs_per_s(),
+            "query_latency_ms": {
+                "p50": self.p(0.50) as f64 / 1000.0,
+                "p99": self.p(0.99) as f64 / 1000.0,
+                "max": self.p(1.0) as f64 / 1000.0,
+            },
+            "max_query_wait_ms": self.max_wait_us as f64 / 1000.0,
+        })
+    }
+}
+
+/// Run the elephants-first workload at `queries` concurrent queries in the
+/// given scheduler mode and measure every query's completion latency and
+/// first-dispatch wait.
+fn run_mode(mode: SchedMode, queries: usize) -> ModeReport {
+    assert!(
+        exec::set_mode(mode),
+        "scheduler queue must be idle between bench modes"
+    );
+
+    let elephants = (queries / 100).max(1);
+    let jobs_of = |q: usize| if q < elephants { ELEPHANT_JOBS } else { 1 };
+    let total_jobs: usize = (0..queries).map(jobs_of).sum();
+
+    // Per-query first-dispatch and completion timestamps (µs since t0),
+    // written by the jobs themselves so no waiter-side ordering skews them.
+    let first_dispatch: Arc<Vec<AtomicU64>> =
+        Arc::new((0..queries).map(|_| AtomicU64::new(u64::MAX)).collect());
+    let done_at: Arc<Vec<AtomicU64>> = Arc::new((0..queries).map(|_| AtomicU64::new(0)).collect());
+    let remaining: Arc<Vec<AtomicU64>> = Arc::new(
+        (0..queries)
+            .map(|q| AtomicU64::new(jobs_of(q) as u64))
+            .collect(),
+    );
+
+    let t0 = Instant::now();
+    // Elephants first: the adversarial arrival order a FIFO queue is worst
+    // at. Handles must outlive the waits so no query unregisters early.
+    let mut handles: Vec<QueryHandle> = Vec::with_capacity(queries);
+    let mut batches = Vec::with_capacity(queries);
+    for q in 0..queries {
+        let handle = QueryHandle::register("bench", Priority::Normal, None);
+        let tasks: Vec<(usize, _)> = (0..jobs_of(q))
+            .map(|j| {
+                let first_dispatch = Arc::clone(&first_dispatch);
+                let done_at = Arc::clone(&done_at);
+                let remaining = Arc::clone(&remaining);
+                let task = move || {
+                    let now = t0.elapsed().as_micros() as u64;
+                    let _ = first_dispatch[q].compare_exchange(
+                        u64::MAX,
+                        now,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    std::thread::sleep(Duration::from_micros(JOB_SLEEP_US));
+                    if remaining[q].fetch_sub(1, Ordering::Relaxed) == 1 {
+                        done_at[q].store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    }
+                };
+                (j, task)
+            })
+            .collect();
+        batches.push(exec::submit_on(&handle, tasks));
+        handles.push(handle);
+    }
+    for batch in batches {
+        for (_, result) in batch.wait() {
+            result.expect("bench jobs must not panic");
+        }
+    }
+    let wall = t0.elapsed();
+    drop(handles);
+
+    let mut latencies_us: Vec<u64> = done_at.iter().map(|t| t.load(Ordering::Relaxed)).collect();
+    latencies_us.sort_unstable();
+    let max_wait_us = first_dispatch
+        .iter()
+        .map(|t| t.load(Ordering::Relaxed))
+        .max()
+        .expect("at least one query");
+    assert_ne!(max_wait_us, u64::MAX, "every query must have dispatched");
+    ModeReport {
+        latencies_us,
+        max_wait_us,
+        jobs: total_jobs,
+        wall,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args.iter().find(|a| !a.starts_with("--"));
+
+    let mut levels = Vec::new();
+    let mut gate_passed = true;
+    let mut gate_detail = String::new();
+    for &queries in &LEVELS {
+        eprintln!("sched snapshot: {queries} concurrent queries, FIFO baseline...");
+        let fifo = run_mode(SchedMode::Fifo, queries);
+        eprintln!(
+            "  fifo: p99 {:.1}ms, max wait {:.1}ms, {:.0} jobs/s",
+            fifo.p(0.99) as f64 / 1000.0,
+            fifo.max_wait_us as f64 / 1000.0,
+            fifo.throughput_jobs_per_s()
+        );
+        eprintln!("sched snapshot: {queries} concurrent queries, DRR scheduler...");
+        let drr = run_mode(SchedMode::Drr, queries);
+        eprintln!(
+            "  drr:  p99 {:.1}ms, max wait {:.1}ms, {:.0} jobs/s",
+            drr.p(0.99) as f64 / 1000.0,
+            drr.max_wait_us as f64 / 1000.0,
+            drr.throughput_jobs_per_s()
+        );
+
+        if queries == GATE_LEVEL {
+            let p99_ok = drr.p(0.99) < fifo.p(0.99);
+            let wait_ok = drr.max_wait_us < fifo.max_wait_us;
+            let tput_ok = drr.throughput_jobs_per_s() >= 0.95 * fifo.throughput_jobs_per_s();
+            gate_passed = p99_ok && wait_ok && tput_ok;
+            gate_detail = format!(
+                "at {queries} queries: p99 {:.1}ms vs {:.1}ms (strictly better: {p99_ok}), \
+                 max wait {:.1}ms vs {:.1}ms (strictly better: {wait_ok}), \
+                 throughput {:.0} vs {:.0} jobs/s (>= 0.95x: {tput_ok})",
+                drr.p(0.99) as f64 / 1000.0,
+                fifo.p(0.99) as f64 / 1000.0,
+                drr.max_wait_us as f64 / 1000.0,
+                fifo.max_wait_us as f64 / 1000.0,
+                drr.throughput_jobs_per_s(),
+                fifo.throughput_jobs_per_s(),
+            );
+        }
+        levels.push(json!({
+            "queries": queries,
+            "elephants": (queries / 100).max(1),
+            "fifo": fifo.to_json(),
+            "drr": drr.to_json(),
+        }));
+    }
+
+    // Restore the default mode for anything else in the process.
+    assert!(exec::set_mode(SchedMode::Drr));
+
+    let snapshot = json!({
+        "job_sleep_us": JOB_SLEEP_US,
+        "elephant_jobs": ELEPHANT_JOBS,
+        "gate_level": GATE_LEVEL,
+        "gate": gate_detail,
+        "levels": levels,
+    });
+    let out = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &out).expect("snapshot file must be writable");
+            eprintln!("sched snapshot written to {path}");
+        }
+        None => println!("{out}"),
+    }
+    if check {
+        assert!(gate_passed, "scheduler gate failed: {gate_detail}");
+        eprintln!("check passed: {gate_detail}");
+    }
+}

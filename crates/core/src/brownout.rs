@@ -116,17 +116,26 @@ pub struct PressureInputs {
     pub p99_ms: f64,
     /// The p99 the operator considers healthy, in milliseconds.
     pub target_p99_ms: f64,
+    /// Jobs queued (not yet dispatched) on the shared cross-query executor
+    /// ([`llmms_exec::queue_depth`]). 0 when the caller does not sample it.
+    pub sched_depth: usize,
+    /// Executor queue depth the operator considers healthy. 0 disables the
+    /// component, so callers that never configure it see no behaviour
+    /// change.
+    pub sched_depth_target: usize,
 }
 
 impl PressureInputs {
-    /// The composite pressure: max of occupancy, queue fill, and latency
-    /// ratios. `>= 1.0` means at least one resource is saturated.
+    /// The composite pressure: max of occupancy, queue fill, latency, and
+    /// executor-backlog ratios. `>= 1.0` means at least one resource is
+    /// saturated.
     pub fn pressure(&self) -> f64 {
         let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
         let occupancy = ratio(self.in_flight as f64, self.capacity as f64);
         let queue = ratio(self.queued as f64, self.queue_capacity as f64);
         let latency = ratio(self.p99_ms, self.target_p99_ms);
-        occupancy.max(queue).max(latency)
+        let sched = ratio(self.sched_depth as f64, self.sched_depth_target as f64);
+        occupancy.max(queue).max(latency).max(sched)
     }
 }
 
@@ -240,6 +249,7 @@ mod tests {
             queue_capacity: 64,
             p99_ms: p * 1000.0,
             target_p99_ms: 1000.0,
+            ..PressureInputs::default()
         }
     }
 
@@ -259,6 +269,7 @@ mod tests {
             queue_capacity: 64,
             p99_ms: 100.0,
             target_p99_ms: 1000.0,
+            ..PressureInputs::default()
         };
         assert!((p.pressure() - 60.0 / 64.0).abs() < 1e-9);
     }

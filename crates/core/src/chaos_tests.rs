@@ -679,6 +679,7 @@ fn per_query_deadline_cuts_rounds_degraded_not_failed() {
                 QueryOverrides {
                     deadline_ms: Some(60),
                     brownout_level: 0,
+                    ..QueryOverrides::default()
                 },
             )
             .unwrap();
@@ -720,6 +721,7 @@ fn brownout_level_survives_faulty_pool_and_stamps_result() {
             QueryOverrides {
                 deadline_ms: None,
                 brownout_level: 2,
+                ..QueryOverrides::default()
             },
         )
         .unwrap();
@@ -727,4 +729,48 @@ fn brownout_level_survives_faulty_pool_and_stamps_result() {
     assert!(r.degraded, "brownout alone must flag degradation");
     assert!(!r.response().is_empty());
     assert!(r.total_tokens <= 96);
+}
+
+/// A backend whose session *panics* (an adapter bug, not a reported error)
+/// must not crash the query: the executor catches the unwind, the round
+/// barrier fails the poisoned arm in place — without committing its budget
+/// lease — and the survivors answer. Runs the parallel OUA path, where the
+/// panic unwinds on a pool worker rather than the coordinator thread.
+#[test]
+fn panicking_backend_fails_its_arm_not_the_query() {
+    let store = knowledge();
+    let models = vec![
+        sim("healthy-a", &store),
+        sim("healthy-b", &store),
+        faulty("buggy-adapter", FaultKind::PanicAfterN { n: 1 }, 16, &store),
+    ];
+    let o = orchestrator(Strategy::Oua(OuaConfig::default()), 96, Some(5_000));
+    let r = o.run(&models, QUESTION).unwrap();
+    assert!(r.total_tokens <= 96, "no overspend past the lost lease");
+    let sum: usize = r.outcomes.iter().map(|o| o.tokens).sum();
+    assert_eq!(sum, r.total_tokens, "accounting survives a poisoned arm");
+    let winner = &r.outcomes[r.best];
+    assert!(
+        winner.model.starts_with("healthy"),
+        "healthy arm wins, got {}",
+        winner.model
+    );
+    assert!(r.response().contains("Paris"), "answer: {}", r.response());
+    let buggy = r
+        .outcomes
+        .iter()
+        .find(|o| o.model == "buggy-adapter")
+        .expect("buggy arm reported");
+    if buggy.failed {
+        assert!(r.degraded, "a lost arm must mark the result degraded");
+        assert!(
+            buggy
+                .error
+                .as_deref()
+                .unwrap_or_default()
+                .contains("poisoned"),
+            "failure names the poison: {:?}",
+            buggy.error
+        );
+    }
 }

@@ -85,6 +85,7 @@ pub use config::{
 pub use error::OrchestratorError;
 pub use events::{EventRecorder, OrchestrationEvent};
 pub use hybrid::HybridConfig;
+pub use llmms_exec::Priority as QueryPriority;
 pub use orchestrator::{Orchestrator, QueryOverrides};
 pub use result::{ModelOutcome, OrchestrationResult};
 pub use reward::{combined_score, inter_model_agreement, score_all, RewardWeights};

@@ -7,21 +7,33 @@ use crate::events::EventRecorder;
 use crate::result::OrchestrationResult;
 use crate::{deadline, hybrid, mab, oua, routed, single};
 use llmms_embed::SharedEmbedder;
+use llmms_exec::Priority as QueryPriority;
 use llmms_models::{HealthRegistry, SharedModel};
 use std::sync::Arc;
 
 /// Per-query adjustments the serving layer stacks on top of the base
-/// configuration: the client's remaining deadline and the brownout level
-/// the admission plane decided this query runs under.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// configuration: the client's remaining deadline, the brownout level the
+/// admission plane decided this query runs under, and the scheduling
+/// identity (tenant + priority class) the query's jobs dispatch under on
+/// the shared executor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryOverrides {
     /// Remaining client deadline in milliseconds (from
     /// `X-LLMMS-Deadline-Ms`); combined with any configured query deadline
-    /// by taking the smaller of the two.
+    /// by taking the smaller of the two, and propagated into the shared
+    /// executor's earliest-deadline-first dispatch order.
     pub deadline_ms: Option<u64>,
     /// Brownout level `0..=`[`crate::brownout::MAX_LEVEL`]; see
     /// [`crate::brownout`] for the degradation ladder.
     pub brownout_level: u8,
+    /// Tenant the query's executor jobs are attributed to (from
+    /// `X-LLMMS-Tenant`); `None` schedules under the shared default
+    /// tenant. Weighted shares are configured with
+    /// [`llmms_exec::set_tenant_share`].
+    pub tenant: Option<String>,
+    /// Scheduling priority class (from `X-LLMMS-Priority`); partitions the
+    /// deadline order within the tenant's share.
+    pub priority: QueryPriority,
 }
 
 /// Drives a pool of candidate models through the configured strategy for
@@ -139,7 +151,7 @@ impl Orchestrator {
     /// caps (level ≥ 2 caps rounds, level ≥ 3 caps the token budget;
     /// level ≥ 1's pool cut happens in `run_inner` because it shrinks the
     /// model slice, not the config).
-    fn effective_config(&self, overrides: QueryOverrides) -> OrchestratorConfig {
+    fn effective_config(&self, overrides: &QueryOverrides) -> OrchestratorConfig {
         let mut cfg = self.config.clone();
         if let Some(client_ms) = overrides.deadline_ms {
             cfg.query_deadline_ms = Some(match cfg.query_deadline_ms {
@@ -260,7 +272,7 @@ impl Orchestrator {
         if self.config.token_budget == 0 {
             return Err(OrchestratorError::ZeroBudget);
         }
-        let config = self.effective_config(overrides);
+        let config = self.effective_config(&overrides);
         // Brownout level ≥ 1: cut the arm pool to its top-k prefix (pool
         // order is the operator's preference order). Never below one arm.
         let models = if overrides.brownout_level >= 1 {
@@ -280,6 +292,25 @@ impl Orchestrator {
         // federation client, which forwards the *remaining* budget to peers.
         let query_deadline = Deadline::new(config.query_deadline_ms);
         let dguard = deadline::scope(query_deadline.expires_at());
+        // Register this query with the cross-query scheduler so its
+        // generation/embed/segment-search jobs dispatch under the right
+        // tenant share, priority class and deadline. When the serving layer
+        // already registered (platform scopes the whole request, RAG
+        // included), reuse its ambient handle instead of double-counting.
+        let _sched_scope = if llmms_exec::current_query().is_none() {
+            let handle = llmms_exec::QueryHandle::register(
+                overrides
+                    .tenant
+                    .as_deref()
+                    .unwrap_or(llmms_exec::DEFAULT_TENANT),
+                overrides.priority,
+                query_deadline.expires_at(),
+            );
+            let scope = handle.enter();
+            Some((scope, handle))
+        } else {
+            None
+        };
         let result = match &config.strategy {
             Strategy::Single => {
                 if models.len() != 1 {
@@ -823,6 +854,7 @@ mod tests {
                 QueryOverrides {
                     deadline_ms: None,
                     brownout_level: 1,
+                    ..QueryOverrides::default()
                 },
             )
             .unwrap();
@@ -847,6 +879,7 @@ mod tests {
                 QueryOverrides {
                     deadline_ms: None,
                     brownout_level: 2,
+                    ..QueryOverrides::default()
                 },
             )
             .unwrap();
@@ -872,6 +905,7 @@ mod tests {
                 QueryOverrides {
                     deadline_ms: None,
                     brownout_level: 3,
+                    ..QueryOverrides::default()
                 },
             )
             .unwrap();
@@ -932,6 +966,7 @@ mod tests {
                 QueryOverrides {
                     deadline_ms: Some(0),
                     brownout_level: 0,
+                    ..QueryOverrides::default()
                 },
             )
             .unwrap_err();

@@ -134,6 +134,12 @@ pub(crate) struct ModelRun {
     health: Arc<HealthRegistry>,
     /// Whether this run already reported its terminal verdict to `health`.
     reported: bool,
+    /// Token count snapshotted each time the session leaves the run for an
+    /// off-thread [`GenJob`]. If the job panics the session is lost with it
+    /// and the permanent [`DeadSession`] reports zero; the floor keeps the
+    /// already-budget-charged tokens visible in [`ModelRun::tokens`] so
+    /// accounting still balances for a poisoned arm.
+    tokens_floor: usize,
 }
 
 impl ModelRun {
@@ -167,6 +173,7 @@ impl ModelRun {
                         policy,
                         health: Arc::clone(health),
                         reported: false,
+                        tokens_floor: 0,
                     }
                 } else {
                     failure_metric(&name, "breaker_open");
@@ -187,6 +194,7 @@ impl ModelRun {
                         // A breaker skip is not new evidence about the
                         // backend: don't extend the failure streak.
                         reported: true,
+                        tokens_floor: 0,
                     }
                 }
             })
@@ -294,6 +302,7 @@ impl ModelRun {
         } else {
             None
         };
+        self.tokens_floor = self.session.tokens_generated();
         Some(GenJob {
             session: std::mem::replace(&mut self.session, Box::new(DeadSession)),
             lease,
@@ -492,7 +501,10 @@ impl ModelRun {
 
     /// Tokens generated by this model.
     pub fn tokens(&self) -> usize {
-        self.session.tokens_generated()
+        // A reinstalled session always counts at least as many tokens as the
+        // floor snapshot; only a poisoned arm stuck with [`DeadSession`]
+        // actually falls back to it.
+        self.session.tokens_generated().max(self.tokens_floor)
     }
 
     /// Done reason, if finished. A failed run reports
@@ -771,13 +783,25 @@ pub(crate) fn generate_round(
     }
     let fan_out = jobs.len();
     let wall = Instant::now();
-    let done = crate::executor::run_indexed(jobs);
+    let done = llmms_exec::submit_indexed(jobs).wait();
     let wall = wall.elapsed();
-    let busy: Duration = done.iter().map(|(_, (d, _))| d.busy).sum();
+    let busy: Duration = done
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok())
+        .map(|(d, _)| d.busy)
+        .sum();
     let mut by_arm: Vec<Option<(GenDone, Option<llmms_obs::trace::TickMark>)>> =
         (0..runs.len()).map(|_| None).collect();
-    for (i, d) in done {
-        by_arm[i] = Some(d);
+    // Arms whose job died on a worker (panic) instead of returning. Their
+    // session is gone with the task, so they cannot replay sequentially —
+    // they fail in place at the barrier.
+    let mut poisoned: Vec<Option<llmms_exec::TaskPoisoned>> =
+        (0..runs.len()).map(|_| None).collect();
+    for (i, result) in done {
+        match result {
+            Ok(d) => by_arm[i] = Some(d),
+            Err(p) => poisoned[i] = Some(p),
+        }
     }
     parallel_round_metrics(fan_out, busy, wall);
     targets
@@ -848,7 +872,30 @@ pub(crate) fn generate_round(
                     }
                     chunk
                 }
-                None => traced_generate(&mut runs[i], request, budget, trace),
+                None => match poisoned[i].take() {
+                    // The lease was planned but never committed: leaving it
+                    // ungranted only strands headroom for this round, so the
+                    // budget invariant (granted leases commit in full, in arm
+                    // order) holds without touching the accountant.
+                    Some(p) => {
+                        runs[i].fail("panic", p.to_string());
+                        if recording {
+                            let now = llmms_obs::trace::tick_mark();
+                            let mut attrs = llmms_obs::trace::AttrList::new();
+                            attrs.push("model", Arc::clone(&runs[i].shared_name).into());
+                            attrs.push("error", p.to_string().into());
+                            trace.record_span(
+                                "arm_failed",
+                                now,
+                                now,
+                                llmms_obs::SpanStatus::Error,
+                                attrs,
+                            );
+                        }
+                        Chunk::finished(DoneReason::Failed)
+                    }
+                    None => traced_generate(&mut runs[i], request, budget, trace),
+                },
             };
             (i, chunk)
         })

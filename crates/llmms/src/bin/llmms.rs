@@ -7,6 +7,7 @@
 //! llmms dataset --out FILE [--items N] [--seed N]
 //! llmms serve [--addr HOST:PORT] [--persist DIR] [--fsync-every N]
 //!             [--tenant-quota RATE:BURST:CONCURRENT] [--max-in-flight N] [--target-p99-ms N]
+//!             [--sched-shares TENANT:WEIGHT[,...]] [--sched-shed-depth N]
 //! llmms models
 //! ```
 
@@ -46,7 +47,8 @@ fn print_usage() {
          llmms eval [--items N] [--budget N]\n  \
          llmms dataset --out FILE [--items N] [--seed N]\n  \
          llmms serve [--addr HOST:PORT] [--persist DIR] [--fsync-every N]\n              \
-         [--tenant-quota RATE:BURST:CONCURRENT] [--max-in-flight N] [--target-p99-ms N]\n  \
+         [--tenant-quota RATE:BURST:CONCURRENT] [--max-in-flight N] [--target-p99-ms N]\n              \
+         [--sched-shares TENANT:WEIGHT[,...]] [--sched-shed-depth N]\n  \
          llmms models"
     );
 }
@@ -316,6 +318,41 @@ fn cmd_serve(args: &[String]) -> i32 {
             Ok(n) => server_config.target_p99_ms = n,
             Err(_) => {
                 eprintln!("serve: --target-p99-ms expects an integer, got {n:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(spec) = flag_value(args, "--sched-shares") {
+        // TENANT:WEIGHT[,TENANT:WEIGHT...], e.g. `--sched-shares
+        // acme:3,trial:1` — acme's queries get 3× the executor dispatch
+        // share of trial's whenever both have work queued.
+        for pair in spec.split(',') {
+            let parsed = match pair.split_once(':') {
+                Some((tenant, weight)) if !tenant.trim().is_empty() => weight
+                    .trim()
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|w| *w > 0)
+                    .map(|w| (tenant.trim(), w)),
+                _ => None,
+            };
+            match parsed {
+                Some((tenant, weight)) => llmms::exec::set_tenant_share(tenant, weight),
+                None => {
+                    eprintln!(
+                        "serve: --sched-shares expects TENANT:WEIGHT[,TENANT:WEIGHT...] \
+                         with positive weights, got {pair:?}"
+                    );
+                    return 2;
+                }
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--sched-shed-depth") {
+        match n.parse() {
+            Ok(n) => server_config.sched_shed_depth = n,
+            Err(_) => {
+                eprintln!("serve: --sched-shed-depth expects an integer, got {n:?}");
                 return 2;
             }
         }

@@ -30,6 +30,7 @@
 pub use llmms_core as core;
 pub use llmms_embed as embed;
 pub use llmms_eval as eval;
+pub use llmms_exec as exec;
 pub use llmms_models as models;
 pub use llmms_obs as obs;
 pub use llmms_rag as rag;

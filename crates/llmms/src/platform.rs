@@ -95,6 +95,12 @@ pub struct AskOptions {
     /// Brownout degradation level chosen by the serving layer (0 = none).
     /// Level ≥ 3 additionally skips RAG retrieval here.
     pub brownout_level: u8,
+    /// Tenant this query is billed to in the cross-query scheduler
+    /// (`None` → the shared `"default"` tenant).
+    pub tenant: Option<String>,
+    /// Scheduler priority class: `High` jumps the EDF queue within the
+    /// tenant's share, `Batch` yields to interactive traffic.
+    pub priority: llmms_core::QueryPriority,
 }
 
 impl Default for AskOptions {
@@ -106,6 +112,8 @@ impl Default for AskOptions {
             recall_memory: 0,
             deadline_ms: None,
             brownout_level: 0,
+            tenant: None,
+            priority: llmms_core::QueryPriority::default(),
         }
     }
 }
@@ -342,6 +350,28 @@ impl Platform {
         options: &AskOptions,
         sink: Option<crossbeam_channel::Sender<llmms_core::OrchestrationEvent>>,
     ) -> Result<OrchestrationResult, PlatformError> {
+        // Register this query with the cross-query scheduler before
+        // retrieval so segment-search and embed jobs are billed to the
+        // tenant too, not just generation rounds. The ambient scope makes
+        // the orchestrator reuse this handle instead of registering its
+        // own.
+        let _sched_scope = if llmms_exec::current_query().is_none() {
+            let handle = llmms_exec::QueryHandle::register(
+                options
+                    .tenant
+                    .as_deref()
+                    .unwrap_or(llmms_exec::DEFAULT_TENANT),
+                options.priority,
+                options
+                    .deadline_ms
+                    .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            );
+            let scope = handle.enter();
+            Some((scope, handle))
+        } else {
+            None
+        };
+
         // Brownout level 3 skips retrieval entirely: under that much
         // pressure the embedding + search cost buys too little.
         let context = if options.top_k > 0 && options.brownout_level < 3 {
@@ -398,6 +428,8 @@ impl Platform {
             let overrides = llmms_core::QueryOverrides {
                 deadline_ms: options.deadline_ms,
                 brownout_level: options.brownout_level,
+                tenant: options.tenant.clone(),
+                priority: options.priority,
             };
             match sink {
                 Some(sink) => orchestrator.run_streaming_with(&pool, &prompt, sink, overrides)?,

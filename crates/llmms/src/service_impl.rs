@@ -42,6 +42,8 @@ impl AppService for Platform {
             document_id: request.document_id.clone(),
             deadline_ms: ctx.deadline_ms,
             brownout_level: ctx.brownout_level,
+            tenant: Some(ctx.tenant.clone()),
+            priority: ctx.priority,
             ..Default::default()
         };
         let result = match sink {

@@ -44,6 +44,15 @@ pub enum FaultKind {
     /// Generates fluent nonsense instead of the wrapped model's output —
     /// no errors, just a confidently wrong answer for scoring to reject.
     Garbage,
+    /// Healthy for the first `n` chunks, then the session *panics* instead
+    /// of returning an error (a bug in a backend adapter rather than a
+    /// failure it reports). Exercises the executor's poisoned-task path:
+    /// the arm must fail in place without crashing the query or leaking a
+    /// pool worker.
+    PanicAfterN {
+        /// Chunks served before the panic.
+        n: usize,
+    },
 }
 
 /// A [`LanguageModel`] wrapper that injects the configured fault plan into
@@ -170,6 +179,13 @@ impl GenerationSession for ChaosSession {
                 }
                 self.served += 1;
                 self.inner.next_chunk(max_tokens)
+            }
+            FaultKind::PanicAfterN { n } => {
+                if self.served < n {
+                    self.served += 1;
+                    return self.inner.next_chunk(max_tokens);
+                }
+                panic!("chaos: backend adapter bug in {}", self.model);
             }
             FaultKind::Garbage => {
                 if let Some(reason) = self.done {

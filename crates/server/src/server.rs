@@ -54,6 +54,15 @@ pub struct ServerConfig {
     pub trace_sample_rate: f64,
     /// Traces at least this slow are always retained.
     pub trace_slow_threshold_ms: u64,
+    /// Executor queue depth the brownout pressure signal normalizes
+    /// against: a scheduler backlog at this size contributes pressure 1.0
+    /// (full brownout). 0 disables the scheduler component.
+    pub sched_depth_target: usize,
+    /// Hard shed threshold on the executor queue depth: model-fanning
+    /// requests are answered 503 + `Retry-After` while the shared scheduler
+    /// backlog exceeds this. 0 disables the shed (brownout degradation
+    /// still applies via `sched_depth_target`).
+    pub sched_shed_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +79,8 @@ impl Default for ServerConfig {
             trace_buffer_len: traces.capacity,
             trace_sample_rate: traces.sample_rate,
             trace_slow_threshold_ms: traces.slow_threshold_ms,
+            sched_depth_target: 1024,
+            sched_shed_depth: 0,
         }
     }
 }
@@ -86,6 +97,8 @@ struct OverloadState {
     queue_capacity: usize,
     max_in_flight: usize,
     target_p99_ms: u64,
+    sched_depth_target: usize,
+    sched_shed_depth: usize,
 }
 
 impl OverloadState {
@@ -98,6 +111,8 @@ impl OverloadState {
             queue_capacity: config.queue_depth.max(1),
             max_in_flight: config.max_in_flight,
             target_p99_ms: config.target_p99_ms,
+            sched_depth_target: config.sched_depth_target,
+            sched_shed_depth: config.sched_shed_depth,
         }
     }
 
@@ -121,6 +136,8 @@ impl OverloadState {
             queue_capacity: self.queue_capacity,
             p99_ms,
             target_p99_ms: self.target_p99_ms as f64,
+            sched_depth: llmms_exec::queue_depth(),
+            sched_depth_target: self.sched_depth_target,
         })
     }
 
@@ -333,7 +350,46 @@ fn admit_and_dispatch<S: AppService>(
         .headers
         .get("x-llmms-deadline-ms")
         .and_then(|v| v.trim().parse().ok());
+    // Unknown priority names fall back to `Normal` rather than erroring:
+    // the header is a scheduling hint, not part of the request contract.
+    let priority = request
+        .headers
+        .get("x-llmms-priority")
+        .and_then(|v| llmms_exec::Priority::parse(v))
+        .unwrap_or_default();
     root.set_attr("tenant", tenant.to_owned());
+    if priority != llmms_exec::Priority::Normal {
+        root.set_attr("priority", priority.as_str().to_owned());
+    }
+
+    // Scheduler backpressure shed: when the shared executor's backlog is
+    // past the operator's hard limit, more admitted queries only deepen
+    // every tenant's queue — answer 503 before any orchestration work.
+    if overload.sched_shed_depth > 0 {
+        let depth = llmms_exec::queue_depth();
+        if depth > overload.sched_shed_depth {
+            if registry.enabled() {
+                registry
+                    .counter_with("http_shed_total", &[("route", route), ("reason", "sched")])
+                    .metric
+                    .inc();
+            }
+            root.set_attr("sched_shed_depth", depth as u64);
+            let retry_after = overload.retry_after_secs().to_string();
+            let body = json!({
+                "error": format!("scheduler backlog {depth} over limit, retry later"),
+            })
+            .to_string();
+            let _ = write_response_with(
+                stream,
+                503,
+                "application/json",
+                &[("Retry-After", retry_after.as_str())],
+                body.as_bytes(),
+            );
+            return 503;
+        }
+    }
 
     // 504-fast: when the EWMA says a full query takes longer than the
     // client has left, fail in microseconds instead of burning the budget
@@ -387,6 +443,7 @@ fn admit_and_dispatch<S: AppService>(
         tenant: permit.tenant().to_owned(),
         deadline_ms,
         brownout_level,
+        priority,
     };
     let started = Instant::now();
     let status = dispatch(service, stream, request, &ctx);

@@ -46,6 +46,10 @@ pub struct QueryContext {
     /// Brownout degradation level the server chose for this request
     /// (0 = none, up to [`llmms_core::brownout::MAX_LEVEL`]).
     pub brownout_level: u8,
+    /// Scheduler priority class (`X-LLMMS-Priority` header: `high` /
+    /// `normal` / `batch`). Orders this query's jobs relative to the
+    /// tenant's other in-flight queries in the shared executor.
+    pub priority: llmms_exec::Priority,
 }
 
 /// A service-layer failure carrying the HTTP status it should surface as,
@@ -485,6 +489,33 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         "indexes_rebuilt": counter_total("ann_index_rebuilt_total"),
     });
 
+    // Cross-query scheduler: live backlog/active-query gauges, worker-level
+    // dispatch accounting per tenant, queue run-delay percentiles, and the
+    // poisoned-task counter from the panic-isolation path.
+    let mut dispatched = Map::new();
+    for c in &snapshot.counters {
+        if c.name != "sched_dispatch_total" {
+            continue;
+        }
+        let tenant = c
+            .labels
+            .iter()
+            .find(|(k, _)| k == "tenant")
+            .map_or_else(|| "unknown".to_owned(), |(_, v)| v.clone());
+        let prior = dispatched.get(&tenant).and_then(Value::as_u64).unwrap_or(0);
+        dispatched.insert(tenant, json!(prior + c.value));
+    }
+    let sched = json!({
+        "queue_depth": gauge_of("sched_queue_depth"),
+        "active_queries": gauge_of("sched_active_queries"),
+        "dispatched_by_tenant": Value::Object(dispatched),
+        "run_delay_us": hist_of("sched_run_delay_us").map_or_else(
+            || json!({ "count": 0 }),
+            |h| json!({ "count": h.count, "mean": h.mean, "p50": h.p50, "p99": h.p99 }),
+        ),
+        "task_panics": counter_total("exec_task_panics_total"),
+    });
+
     json!({
         "models": Value::Object(model_map),
         "requests": Value::Object(routes),
@@ -495,6 +526,7 @@ pub fn stats_from(snapshot: &llmms_obs::Snapshot) -> serde_json::Value {
         "ann": ann,
         "tracing": tracing,
         "overload": overload,
+        "sched": sched,
     })
 }
 

@@ -415,7 +415,12 @@ impl VectorIndex for SegmentedIndex {
             for hit in self.head.as_dyn().search(query, k, accept) {
                 collector.push(hit);
             }
-            for (_, hits) in batch.wait() {
+            for (_, result) in batch.wait() {
+                // A poisoned slot means that segment's search task died on
+                // a worker; degrade to the surviving segments' hits rather
+                // than failing the whole query. `exec_task_panics_total`
+                // accounts for the loss.
+                let Ok(hits) = result else { continue };
                 for hit in hits {
                     collector.push(hit);
                 }

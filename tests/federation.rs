@@ -240,6 +240,7 @@ fn orchestrated_query_propagates_a_shrunken_deadline_to_the_peer() {
             llmms::core::QueryOverrides {
                 deadline_ms: Some(budget_ms),
                 brownout_level: 0,
+                ..llmms::core::QueryOverrides::default()
             },
         )
         .unwrap();

@@ -176,6 +176,25 @@ fn metrics_and_stats_reflect_a_query() {
         "request totals must include /api/query: {}",
         st.body
     );
+    // The cross-query scheduler block: the query above dispatched jobs
+    // through the shared executor under the default tenant, and nothing
+    // panicked.
+    let sched = &v["sched"];
+    assert!(
+        sched.as_object().is_some(),
+        "stats must have a sched block: {}",
+        st.body
+    );
+    let by_tenant = sched["dispatched_by_tenant"]
+        .as_object()
+        .expect("dispatched_by_tenant object");
+    let dispatched: u64 = by_tenant.values().map(|c| c.as_u64().unwrap()).sum();
+    assert!(
+        dispatched >= 1,
+        "the query's jobs must be billed to a tenant: {}",
+        st.body
+    );
+    assert_eq!(sched["task_panics"].as_u64(), Some(0), "{}", st.body);
     s.shutdown();
 }
 
