@@ -8,6 +8,8 @@
 //! llmms serve [--addr HOST:PORT] [--persist DIR] [--fsync-every N]
 //!             [--tenant-quota RATE:BURST:CONCURRENT] [--max-in-flight N] [--target-p99-ms N]
 //!             [--sched-shares TENANT:WEIGHT[,...]] [--sched-shed-depth N]
+//!             [--transport edge|threads] [--edge-max-conns N] [--edge-idle-timeout-ms N]
+//!             [--edge-max-keepalive-requests N]
 //! llmms models
 //! ```
 
@@ -48,7 +50,9 @@ fn print_usage() {
          llmms dataset --out FILE [--items N] [--seed N]\n  \
          llmms serve [--addr HOST:PORT] [--persist DIR] [--fsync-every N]\n              \
          [--tenant-quota RATE:BURST:CONCURRENT] [--max-in-flight N] [--target-p99-ms N]\n              \
-         [--sched-shares TENANT:WEIGHT[,...]] [--sched-shed-depth N]\n  \
+         [--sched-shares TENANT:WEIGHT[,...]] [--sched-shed-depth N]\n              \
+         [--transport edge|threads] [--edge-max-conns N] [--edge-idle-timeout-ms N]\n              \
+         [--edge-max-keepalive-requests N]\n  \
          llmms models"
     );
 }
@@ -353,6 +357,49 @@ fn cmd_serve(args: &[String]) -> i32 {
             Ok(n) => server_config.sched_shed_depth = n,
             Err(_) => {
                 eprintln!("serve: --sched-shed-depth expects an integer, got {n:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(name) = flag_value(args, "--transport") {
+        server_config.transport = match name {
+            "edge" => {
+                if !cfg!(target_os = "linux") {
+                    eprintln!("serve: the edge transport is Linux-only");
+                    return 2;
+                }
+                llmms::server::Transport::EventLoop
+            }
+            "threads" => llmms::server::Transport::ThreadPool,
+            other => {
+                eprintln!("serve: --transport expects edge|threads, got {other:?}");
+                return 2;
+            }
+        };
+    }
+    if let Some(n) = flag_value(args, "--edge-max-conns") {
+        match n.parse() {
+            Ok(n) => server_config.edge.max_conns = n,
+            Err(_) => {
+                eprintln!("serve: --edge-max-conns expects an integer, got {n:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--edge-idle-timeout-ms") {
+        match n.parse() {
+            Ok(ms) => server_config.edge.idle_timeout = std::time::Duration::from_millis(ms),
+            Err(_) => {
+                eprintln!("serve: --edge-idle-timeout-ms expects milliseconds, got {n:?}");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--edge-max-keepalive-requests") {
+        match n.parse() {
+            Ok(n) => server_config.edge.max_keepalive_requests = n,
+            Err(_) => {
+                eprintln!("serve: --edge-max-keepalive-requests expects an integer, got {n:?}");
                 return 2;
             }
         }

@@ -35,8 +35,9 @@ impl ClientResponse {
     }
 }
 
-/// Issue one request and read the whole response (the server closes the
-/// connection after each exchange).
+/// Issue one request and read the whole response. The client sends
+/// `Connection: close` so that reading to EOF terminates even against the
+/// keep-alive edge transport.
 ///
 /// # Errors
 ///
@@ -93,7 +94,7 @@ pub fn request_with_timeouts(
     let body = body.unwrap_or("");
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: llmms\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: llmms\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         body.len()
     )?;
     for (name, value) in headers {

@@ -1,0 +1,248 @@
+//! The bounded per-connection outbox: the handoff buffer between a
+//! dispatch worker producing response bytes (or SSE frames) and the event
+//! loop draining them to the socket on writability.
+//!
+//! This is where "a slow client costs a few KiB, not a thread" lives. The
+//! producer pushes; when the buffer is full it blocks on a condvar with a
+//! stall timeout — backpressure propagates to orchestration instead of
+//! buffering unboundedly. The event loop never blocks: it takes whatever
+//! is available and is re-notified through the dirty list + waker when
+//! more arrives.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutboxError {
+    /// The event loop closed the connection (client gone, write stall,
+    /// shutdown); no more bytes will ever drain.
+    Closed,
+    /// The buffer stayed full past the stall timeout — the client isn't
+    /// consuming and the producer must give up.
+    Stalled,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    buf: VecDeque<u8>,
+    /// Producer is done: once `buf` drains, the response is complete.
+    eof: bool,
+    /// Producer's verdict on connection reuse once `eof` is reached.
+    keep_alive_after: bool,
+    /// Loop's verdict that the connection is gone.
+    closed: bool,
+}
+
+/// What [`Outbox::take`] reports alongside the drained bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct TakeStatus {
+    /// The producer finished and everything it wrote has been taken.
+    pub complete: bool,
+    /// The producer's keep-alive verdict (meaningful when `complete`).
+    pub keep_alive: bool,
+}
+
+/// The bounded byte queue. One per in-flight request on an edge
+/// connection.
+pub struct Outbox {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    /// Signaled by the consumer when space frees up (and on close).
+    space: Condvar,
+    /// Invoked every time bytes land in the buffer. An oversize push
+    /// blocks *inside* `push` waiting for the consumer, so notifying only
+    /// after `push` returns would deadlock producer and consumer — each
+    /// chunk must wake the consumer itself.
+    notify: Option<Box<dyn Fn() + Send + Sync>>,
+}
+
+impl Outbox {
+    /// An empty outbox holding at most `capacity` bytes.
+    pub fn new(capacity: usize) -> Outbox {
+        Outbox {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            space: Condvar::new(),
+            notify: None,
+        }
+    }
+
+    /// An outbox that calls `notify` whenever bytes become available to
+    /// take (the event loop's drain signal).
+    pub fn with_notifier(capacity: usize, notify: impl Fn() + Send + Sync + 'static) -> Outbox {
+        Outbox {
+            notify: Some(Box::new(notify)),
+            ..Outbox::new(capacity)
+        }
+    }
+
+    /// Append `bytes`, blocking while the buffer is full. Oversize writes
+    /// stream through in capacity-sized chunks, so the bound holds no
+    /// matter what the producer hands over in one call.
+    ///
+    /// # Errors
+    ///
+    /// [`OutboxError::Closed`] once the loop abandons the connection;
+    /// [`OutboxError::Stalled`] when no space frees within
+    /// `stall_timeout`.
+    pub fn push(&self, bytes: &[u8], stall_timeout: Duration) -> Result<(), OutboxError> {
+        let mut rest = bytes;
+        let mut inner = self.inner.lock().expect("outbox lock");
+        while !rest.is_empty() {
+            if inner.closed {
+                return Err(OutboxError::Closed);
+            }
+            let available = self.capacity - inner.buf.len().min(self.capacity);
+            if available == 0 {
+                let (guard, wait) = self
+                    .space
+                    .wait_timeout(inner, stall_timeout)
+                    .expect("outbox lock");
+                inner = guard;
+                if inner.closed {
+                    return Err(OutboxError::Closed);
+                }
+                if wait.timed_out() && inner.buf.len() >= self.capacity {
+                    return Err(OutboxError::Stalled);
+                }
+                continue;
+            }
+            let n = available.min(rest.len());
+            inner.buf.extend(&rest[..n]);
+            rest = &rest[n..];
+            if let Some(notify) = &self.notify {
+                notify();
+            }
+        }
+        Ok(())
+    }
+
+    /// Producer is done with this response; `keep_alive` is its verdict on
+    /// reusing the connection afterwards.
+    pub fn finish(&self, keep_alive: bool) {
+        let mut inner = self.inner.lock().expect("outbox lock");
+        inner.eof = true;
+        inner.keep_alive_after = keep_alive;
+    }
+
+    /// Consumer side: move up to `max` bytes into `out`, freeing space for
+    /// the producer. Never blocks.
+    pub fn take(&self, max: usize, out: &mut Vec<u8>) -> TakeStatus {
+        let mut inner = self.inner.lock().expect("outbox lock");
+        let n = max.min(inner.buf.len());
+        out.extend(inner.buf.drain(..n));
+        if n > 0 {
+            self.space.notify_one();
+        }
+        TakeStatus {
+            complete: inner.eof && inner.buf.is_empty(),
+            keep_alive: inner.keep_alive_after,
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("outbox lock").buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Loop side: the connection is gone; unblock and fail the producer.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("outbox lock");
+        inner.closed = true;
+        inner.buf.clear();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_take_roundtrip_with_eof() {
+        let outbox = Outbox::new(1024);
+        outbox.push(b"hello ", Duration::from_secs(1)).unwrap();
+        outbox.push(b"world", Duration::from_secs(1)).unwrap();
+        outbox.finish(true);
+        let mut out = Vec::new();
+        let status = outbox.take(6, &mut out);
+        assert_eq!(out, b"hello ");
+        assert!(!status.complete, "bytes remain");
+        let status = outbox.take(1024, &mut out);
+        assert_eq!(out, b"hello world");
+        assert!(status.complete);
+        assert!(status.keep_alive);
+    }
+
+    #[test]
+    fn full_outbox_blocks_producer_until_consumer_drains() {
+        let outbox = Arc::new(Outbox::new(8));
+        outbox.push(b"12345678", Duration::from_secs(1)).unwrap();
+        let producer = {
+            let outbox = Arc::clone(&outbox);
+            std::thread::spawn(move || outbox.push(b"abcdefgh", Duration::from_secs(10)))
+        };
+        // Give the producer time to block on the full buffer.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!producer.is_finished());
+        let mut out = Vec::new();
+        while out.len() < 16 {
+            outbox.take(4, &mut out);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        producer.join().unwrap().unwrap();
+        assert_eq!(out, b"12345678abcdefgh");
+    }
+
+    #[test]
+    fn oversize_write_streams_through_in_chunks() {
+        let outbox = Arc::new(Outbox::new(16));
+        let big: Vec<u8> = (0..200u8).collect();
+        let producer = {
+            let outbox = Arc::clone(&outbox);
+            let big = big.clone();
+            std::thread::spawn(move || outbox.push(&big, Duration::from_secs(10)))
+        };
+        let mut out = Vec::new();
+        while out.len() < big.len() {
+            outbox.take(7, &mut out);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        producer.join().unwrap().unwrap();
+        assert_eq!(out, big);
+    }
+
+    #[test]
+    fn stalled_consumer_times_the_producer_out() {
+        let outbox = Outbox::new(4);
+        outbox.push(b"full", Duration::from_millis(10)).unwrap();
+        let err = outbox.push(b"more", Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, OutboxError::Stalled);
+    }
+
+    #[test]
+    fn close_fails_blocked_producer_immediately() {
+        let outbox = Arc::new(Outbox::new(4));
+        outbox.push(b"full", Duration::from_secs(1)).unwrap();
+        let producer = {
+            let outbox = Arc::clone(&outbox);
+            std::thread::spawn(move || outbox.push(b"more", Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        outbox.close();
+        assert_eq!(producer.join().unwrap().unwrap_err(), OutboxError::Closed);
+        // And every later push fails fast.
+        assert_eq!(
+            outbox.push(b"x", Duration::from_secs(1)).unwrap_err(),
+            OutboxError::Closed
+        );
+    }
+}

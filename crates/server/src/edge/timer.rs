@@ -1,0 +1,162 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The edge needs one armed deadline per connection (idle, read, or
+//! write-stall depending on state) across up to tens of thousands of
+//! connections, rescheduled on every state change. A wheel makes both
+//! operations O(1): schedule hashes the deadline into a slot, and each
+//! tick sweeps exactly one slot. Cancellation is lazy — entries carry the
+//! generation the connection was in when armed, and the event loop ignores
+//! expirations whose generation is stale — so rescheduling never searches
+//! the wheel.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    generation: u64,
+    /// Full wheel revolutions remaining before this entry actually fires.
+    rounds: u32,
+}
+
+/// The wheel. Default geometry (256 slots × 50 ms) covers 12.8 s per
+/// revolution; longer deadlines ride the `rounds` counter.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick: Duration,
+    /// Slot the next tick will sweep.
+    cursor: usize,
+    /// Wheel-time high water: ticks fully processed since `started`.
+    ticks_done: u64,
+    started: Instant,
+}
+
+impl TimerWheel {
+    /// A wheel with `slots` buckets of `tick` width each.
+    pub fn new(slots: usize, tick: Duration) -> TimerWheel {
+        TimerWheel {
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            tick: tick.max(Duration::from_millis(1)),
+            cursor: 0,
+            ticks_done: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Default geometry: 256 × 50 ms.
+    pub fn with_defaults() -> TimerWheel {
+        TimerWheel::new(256, Duration::from_millis(50))
+    }
+
+    /// Arm a deadline `after` from now for `(token, generation)`. Deadlines
+    /// round *up* to the next tick so nothing fires early.
+    pub fn schedule(&mut self, token: u64, generation: u64, after: Duration) {
+        let ticks_ahead = (after.as_nanos().div_ceil(self.tick.as_nanos()).max(1)) as u64;
+        let due_tick = self.ticks_done + ticks_ahead;
+        let n = self.slots.len() as u64;
+        // Distance from the cursor decides rounds; the slot is absolute.
+        let slot = ((self.cursor as u64 + ticks_ahead) % n) as usize;
+        let rounds = (ticks_ahead / n) as u32;
+        let _ = due_tick;
+        self.slots[slot].push(Entry {
+            token,
+            generation,
+            rounds,
+        });
+    }
+
+    /// How long until the next tick boundary — the natural poll timeout.
+    pub fn next_timeout(&self) -> Duration {
+        let elapsed = self.started.elapsed();
+        let next_edge = self.tick * u32::try_from(self.ticks_done + 1).unwrap_or(u32::MAX);
+        next_edge
+            .saturating_sub(elapsed)
+            .max(Duration::from_millis(1))
+    }
+
+    /// Sweep every tick boundary `now` has crossed, appending expired
+    /// `(token, generation)` pairs for the caller to validate against each
+    /// connection's live generation.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<(u64, u64)>) {
+        let elapsed = now.saturating_duration_since(self.started);
+        let target = (elapsed.as_nanos() / self.tick.as_nanos()) as u64;
+        while self.ticks_done < target {
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            self.ticks_done += 1;
+            let slot = &mut self.slots[self.cursor];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].rounds == 0 {
+                    let e = slot.swap_remove(i);
+                    expired.push((e.token, e.generation));
+                } else {
+                    slot[i].rounds -= 1;
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the wheel with synthetic time by calling advance with
+    /// fabricated instants.
+    #[test]
+    fn fires_after_deadline_not_before() {
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        let t0 = wheel.started;
+        wheel.schedule(1, 100, Duration::from_millis(25));
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(20), &mut expired);
+        assert!(expired.is_empty(), "nothing fires before the deadline");
+        wheel.advance(t0 + Duration::from_millis(40), &mut expired);
+        assert_eq!(expired, vec![(1, 100)]);
+    }
+
+    #[test]
+    fn long_deadlines_ride_rounds() {
+        // 8 slots × 10ms = 80ms per revolution; 250ms needs 3 revolutions.
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        let t0 = wheel.started;
+        wheel.schedule(9, 1, Duration::from_millis(250));
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(240), &mut expired);
+        assert!(expired.is_empty());
+        wheel.advance(t0 + Duration::from_millis(260), &mut expired);
+        assert_eq!(expired, vec![(9, 1)]);
+    }
+
+    #[test]
+    fn stale_generations_are_the_callers_problem() {
+        // The wheel reports every armed entry; lazy cancellation means the
+        // caller drops pairs whose generation no longer matches.
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        let t0 = wheel.started;
+        wheel.schedule(4, 1, Duration::from_millis(10));
+        wheel.schedule(4, 2, Duration::from_millis(30));
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(50), &mut expired);
+        assert!(expired.contains(&(4, 1)));
+        assert!(expired.contains(&(4, 2)));
+    }
+
+    #[test]
+    fn zero_deadline_fires_on_next_tick() {
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        let t0 = wheel.started;
+        wheel.schedule(2, 7, Duration::ZERO);
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(15), &mut expired);
+        assert_eq!(expired, vec![(2, 7)]);
+    }
+
+    #[test]
+    fn next_timeout_is_bounded_by_tick() {
+        let wheel = TimerWheel::new(8, Duration::from_millis(10));
+        assert!(wheel.next_timeout() <= Duration::from_millis(10));
+        assert!(wheel.next_timeout() >= Duration::from_millis(1));
+    }
+}

@@ -25,6 +25,8 @@
 
 pub mod admission;
 pub mod client;
+#[cfg(target_os = "linux")]
+pub mod edge;
 pub mod http;
 pub mod remote;
 pub mod server;
@@ -35,7 +37,7 @@ pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionPermit, Rejection, TenantQuota, DEFAULT_TENANT,
 };
 pub use remote::RemoteModel;
-pub use server::{Server, ServerConfig};
+pub use server::{EdgeConfig, Server, ServerConfig, Transport};
 pub use service::{
     AppService, GenerateRequest, GenerateResponse, QueryContext, QueryRequest, ServiceError,
 };
@@ -468,7 +470,7 @@ mod tests {
         let body = r#"{"question":"hi"}"#;
         write!(
             stream,
-            "POST /api/query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST /api/query HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .unwrap();
@@ -489,10 +491,14 @@ mod tests {
     #[test]
     fn full_handoff_queue_is_shed_at_the_acceptor() {
         use std::io::Read;
+        // Thread-pool-specific: the acceptor sheds a *connection* parked in
+        // the handoff queue. The edge parks connections for free and sheds
+        // at the request boundary instead (covered by the edge tests).
         let server = Server::start_with(
             Arc::new(StubService::new()),
             "127.0.0.1:0",
             server::ServerConfig {
+                transport: server::Transport::ThreadPool,
                 worker_threads: 1,
                 queue_depth: 1,
                 ..server::ServerConfig::default()
@@ -793,5 +799,349 @@ mod tests {
         assert_eq!(id.len(), 16, "{id}");
         assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
         server.shutdown();
+    }
+
+    /// The shed boundary admits *exactly* `max_in_flight` concurrent
+    /// requests: the post-increment occupancy from `InFlightGuard::enter`
+    /// gives every overlapping request a distinct count, so with 6 overlapped
+    /// queries against a limit of 2 the split is deterministically 2 / 4 —
+    /// never an extra admission from a checked-then-entered race, never an
+    /// all-shed stampede where every racer sees everyone else.
+    #[test]
+    fn shed_boundary_admits_exactly_max_in_flight() {
+        let server = Server::start_with(
+            Arc::new(StubService::new()),
+            "127.0.0.1:0",
+            server::ServerConfig {
+                max_in_flight: 2,
+                worker_threads: 6,
+                ..server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    client::request(addr, "POST", "/api/query", Some(r#"{"question":"sleep"}"#))
+                        .unwrap()
+                        .status
+                })
+            })
+            .collect();
+        let mut statuses: Vec<u16> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        statuses.sort_unstable();
+        assert_eq!(statuses, [200, 200, 503, 503, 503, 503]);
+        server.shutdown();
+    }
+
+    /// The thread-pool transport must keep working where it is no longer the
+    /// default (it is the portability fallback and the bench baseline).
+    #[test]
+    fn thread_pool_transport_still_serves() {
+        let server = Server::start_with(
+            Arc::new(StubService::new()),
+            "127.0.0.1:0",
+            server::ServerConfig {
+                transport: server::Transport::ThreadPool,
+                ..server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let r = client::request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(r.status, 200);
+        let r = client::request(
+            server.addr(),
+            "POST",
+            "/api/query",
+            Some(r#"{"question":"hi"}"#),
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        let events = client::sse_request(
+            server.addr(),
+            "/api/query",
+            r#"{"question":"hi","stream":true}"#,
+        )
+        .unwrap();
+        assert_eq!(events.last().unwrap().0, "result");
+        server.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    mod edge_transport {
+        use super::*;
+        use std::io::{Read, Write};
+        use std::net::TcpStream;
+        use std::time::Duration;
+
+        fn start_edge(config: server::ServerConfig) -> Server {
+            assert_eq!(config.transport, server::Transport::EventLoop);
+            Server::start_with(Arc::new(StubService::new()), "127.0.0.1:0", config).unwrap()
+        }
+
+        #[test]
+        fn keep_alive_serves_pipelined_requests_on_one_connection() {
+            let server = start_edge(server::ServerConfig::default());
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            // Two requests in one write; the second opts out of keep-alive so
+            // reading to EOF terminates.
+            stream
+                .write_all(
+                    b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                      GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                )
+                .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert_eq!(response.matches("HTTP/1.1 200 OK").count(), 2, "{response}");
+            assert!(response.contains("Connection: keep-alive"), "{response}");
+            assert!(response.contains("Connection: close"), "{response}");
+            server.shutdown();
+        }
+
+        #[test]
+        fn sequential_requests_reuse_the_connection() {
+            let server = start_edge(server::ServerConfig::default());
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            for i in 0..3 {
+                stream
+                    .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                    .unwrap();
+                let response = read_one_response(&mut stream);
+                assert!(
+                    response.starts_with("HTTP/1.1 200 OK"),
+                    "req {i}: {response}"
+                );
+            }
+            server.shutdown();
+        }
+
+        /// Read exactly one Content-Length-framed response off a keep-alive
+        /// connection.
+        fn read_one_response(stream: &mut TcpStream) -> String {
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 1024];
+            loop {
+                if let Some(head_end) = find_subslice(&buf, b"\r\n\r\n") {
+                    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+                    let content_length: usize = head
+                        .lines()
+                        .find_map(|l| {
+                            l.to_ascii_lowercase()
+                                .strip_prefix("content-length:")
+                                .map(|v| v.trim().parse().unwrap())
+                        })
+                        .unwrap_or(0);
+                    let body_end = head_end + 4 + content_length;
+                    if buf.len() >= body_end {
+                        let text = String::from_utf8_lossy(&buf[..body_end]).into_owned();
+                        buf.drain(..body_end);
+                        assert!(buf.is_empty(), "unexpected trailing bytes");
+                        return text;
+                    }
+                }
+                let n = stream.read(&mut chunk).expect("read response");
+                assert!(n > 0, "connection closed mid-response");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+
+        fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+            haystack.windows(needle.len()).position(|w| w == needle)
+        }
+
+        #[test]
+        fn connection_cap_sheds_fresh_accepts_with_503() {
+            let server = start_edge(server::ServerConfig {
+                edge: server::EdgeConfig {
+                    max_conns: 1,
+                    ..server::EdgeConfig::default()
+                },
+                ..server::ServerConfig::default()
+            });
+            // Occupy the only slot with an idle keep-alive connection…
+            let _parked = TcpStream::connect(server.addr()).unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+            // …then the next accept is shed before any request is read.
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.starts_with("HTTP/1.1 503 Service Unavailable"),
+                "{response}"
+            );
+            assert!(response.contains("Retry-After:"), "{response}");
+            server.shutdown();
+        }
+
+        #[test]
+        fn header_bomb_is_431_over_the_wire() {
+            let server = start_edge(server::ServerConfig::default());
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nX-Bomb: ")
+                .unwrap();
+            let filler = vec![b'a'; crate::http::MAX_HEAD_BYTES + 64];
+            stream.write_all(&filler).unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.starts_with("HTTP/1.1 431 Request Header Fields Too Large"),
+                "{response}"
+            );
+            server.shutdown();
+        }
+
+        #[test]
+        fn malformed_content_length_is_400_over_the_wire() {
+            let server = start_edge(server::ServerConfig::default());
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream
+                .write_all(b"POST /api/query HTTP/1.1\r\nHost: t\r\nContent-Length: banana\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.starts_with("HTTP/1.1 400 Bad Request"),
+                "{response}"
+            );
+            assert!(response.contains("content-length"), "{response}");
+            server.shutdown();
+        }
+
+        /// A slow-but-alive SSE reader gets the whole stream: write-stall
+        /// teardown must only fire on *zero* progress, not slow progress.
+        #[test]
+        fn slow_sse_client_receives_the_full_stream() {
+            let server = start_edge(server::ServerConfig {
+                edge: server::EdgeConfig {
+                    write_stall_timeout: Duration::from_millis(500),
+                    outbox_capacity: 2 * 1024,
+                    ..server::EdgeConfig::default()
+                },
+                ..server::ServerConfig::default()
+            });
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            // A fat question makes the result frame dwarf the outbox, forcing
+            // the producer through many fill/drain cycles.
+            let question = "q".repeat(16 * 1024);
+            let body = format!(r#"{{"question":"{question}","stream":true}}"#);
+            write!(
+                stream,
+                "POST /api/query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .unwrap();
+            let mut raw = Vec::new();
+            let mut chunk = [0u8; 512];
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        raw.extend_from_slice(&chunk[..n]);
+                        // Dawdle between reads, but never past the stall cap.
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) => panic!("read failed after {} bytes: {e}", raw.len()),
+                }
+            }
+            let text = String::from_utf8_lossy(&raw);
+            assert!(
+                text.contains("event: result"),
+                "no result frame in {} bytes",
+                raw.len()
+            );
+            assert!(
+                text.contains(&question),
+                "result frame truncated at {} bytes",
+                raw.len()
+            );
+            server.shutdown();
+        }
+
+        /// A stalled SSE client is abandoned at the write-stall deadline and
+        /// the dispatch worker survives to serve the next request.
+        #[test]
+        fn stalled_sse_client_is_abandoned_and_the_worker_survives() {
+            let server = start_edge(server::ServerConfig {
+                worker_threads: 1,
+                edge: server::EdgeConfig {
+                    write_stall_timeout: Duration::from_millis(200),
+                    outbox_capacity: 2 * 1024,
+                    so_sndbuf: Some(4 * 1024),
+                    ..server::EdgeConfig::default()
+                },
+                ..server::ServerConfig::default()
+            });
+            let addr = server.addr();
+            let mut stalled = TcpStream::connect(addr).unwrap();
+            let question = "q".repeat(256 * 1024);
+            let body = format!(r#"{{"question":"{question}","stream":true}}"#);
+            write!(
+                stalled,
+                "POST /api/query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .unwrap();
+            stalled.flush().unwrap();
+            // Never read: outbox fills, socket buffer fills, stall timer
+            // fires, the loop destroys the connection and fails the producer.
+            // The single worker must come back for the next query.
+            let r = client::request_with_timeouts(
+                addr,
+                "POST",
+                "/api/query",
+                &[],
+                Some(r#"{"question":"hi"}"#),
+                Some(Duration::from_secs(5)),
+                Some(Duration::from_secs(10)),
+            )
+            .unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+            drop(stalled);
+            server.shutdown();
+        }
+
+        /// SSE stream outcomes land on the `sse_streams_total` counter with
+        /// an honest label per terminal state.
+        #[test]
+        fn sse_stream_outcomes_are_counted() {
+            let registry = llmms_obs::Registry::global();
+            let server = start_edge(server::ServerConfig::default());
+            let ok_before = registry
+                .snapshot()
+                .counter_value("sse_streams_total", &[("outcome", "ok")]);
+            let err_before = registry
+                .snapshot()
+                .counter_value("sse_streams_total", &[("outcome", "error")]);
+            let events = client::sse_request(
+                server.addr(),
+                "/api/query",
+                r#"{"question":"hello","stream":true}"#,
+            )
+            .unwrap();
+            assert_eq!(events.last().unwrap().0, "result");
+            let events = client::sse_request(
+                server.addr(),
+                "/api/query",
+                r#"{"question":"all-models-down","stream":true}"#,
+            )
+            .unwrap();
+            assert_eq!(events.last().unwrap().0, "error");
+            let snapshot = registry.snapshot();
+            assert!(
+                snapshot.counter_value("sse_streams_total", &[("outcome", "ok")]) > ok_before,
+                "ok outcome not counted"
+            );
+            assert!(
+                snapshot.counter_value("sse_streams_total", &[("outcome", "error")]) > err_before,
+                "error outcome not counted"
+            );
+            server.shutdown();
+        }
     }
 }

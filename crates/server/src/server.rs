@@ -1,8 +1,24 @@
-//! The threaded HTTP server and its route dispatch.
+//! HTTP serving: route dispatch, overload bookkeeping, and the two
+//! transports that feed it.
+//!
+//! Everything from "a parsed [`Request`] plus somewhere to write the
+//! response" down — tracing, shedding, admission, dispatch, metrics — is
+//! transport-agnostic ([`process_parsed`], generic over
+//! [`ResponseSink`]). Two transports feed it:
+//!
+//! * [`Transport::EventLoop`] (default on Linux) — the nonblocking epoll
+//!   edge in [`crate::edge`]: readiness-driven connection state machines,
+//!   HTTP keep-alive, and SSE frames drained from a bounded per-connection
+//!   outbox, so thousands of idle or streaming connections cost no
+//!   threads.
+//! * [`Transport::ThreadPool`] — the original blocking accept loop with a
+//!   bounded worker pool, kept as the portability fallback and the bench
+//!   baseline the edge is gated against.
 
 use crate::admission::{AdmissionConfig, AdmissionController, DEFAULT_TENANT};
 use crate::http::{
     read_request, write_response, write_response_with, write_sse_header, Method, Request,
+    ResponseSink,
 };
 use crate::service::{AppService, GenerateRequest, QueryContext, QueryRequest, ServiceError};
 use crate::sse;
@@ -11,12 +27,72 @@ use llmms_core::{BrownoutConfig, BrownoutController, PressureInputs};
 use llmms_obs::{SpanRecord, SpanStatus, TraceData, TraceId, TraceStore, TraceStoreConfig, Tracer};
 use parking_lot::Mutex;
 use serde_json::{json, Value};
-use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which transport serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Nonblocking epoll event loop (`crates/server/src/edge`): connection
+    /// state machines, keep-alive, outbox-buffered SSE. Linux only.
+    EventLoop,
+    /// Blocking accept loop + bounded worker pool; one thread per in-flight
+    /// connection, `Connection: close` always.
+    ThreadPool,
+}
+
+impl Default for Transport {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            Transport::EventLoop
+        } else {
+            Transport::ThreadPool
+        }
+    }
+}
+
+/// Knobs of the event-driven edge (ignored by [`Transport::ThreadPool`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeConfig {
+    /// Maximum simultaneously open connections; at the cap, fresh accepts
+    /// are answered 503 + `Retry-After` and closed immediately.
+    pub max_conns: usize,
+    /// How long a keep-alive connection may sit with no request in flight
+    /// and no bytes buffered before it is silently closed.
+    pub idle_timeout: Duration,
+    /// How long a response (or SSE stream) may make zero write progress
+    /// against an unwritable socket before the connection is abandoned.
+    pub write_stall_timeout: Duration,
+    /// Requests served per connection before the edge forces
+    /// `Connection: close` (bounds per-connection state lifetime).
+    pub max_keepalive_requests: u32,
+    /// Bytes buffered per connection between the dispatch worker and the
+    /// socket; a full outbox blocks the producing worker (bounded by
+    /// `write_stall_timeout`), so a slow client costs memory, not threads.
+    pub outbox_capacity: usize,
+    /// Kernel send-buffer size clamp (`SO_SNDBUF`) applied to accepted
+    /// sockets; `None` keeps the system default. Honoured by *both*
+    /// transports on Linux (so the capacity bench measures the transport
+    /// architecture, not kernel buffering): live streams park in the edge
+    /// outbox — or block a thread-pool worker — instead of the kernel.
+    pub so_sndbuf: Option<usize>,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        Self {
+            max_conns: 10_000,
+            idle_timeout: Duration::from_secs(30),
+            write_stall_timeout: Duration::from_secs(20),
+            max_keepalive_requests: 1_000,
+            outbox_capacity: 128 * 1024,
+            so_sndbuf: None,
+        }
+    }
+}
 
 /// Transport-level robustness knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,14 +103,16 @@ pub struct ServerConfig {
     /// Maximum concurrently handled requests before new ones are shed with
     /// 503 + `Retry-After` (health and metrics probes are exempt).
     pub max_in_flight: usize,
-    /// Size of the reusable worker pool that serves accepted connections.
-    /// Connections are handed off to these threads instead of spawning one
-    /// thread per connection, so a connection flood cannot exhaust process
-    /// threads before the in-flight shed even sees the request.
+    /// Size of the dispatch worker pool. Under [`Transport::ThreadPool`]
+    /// these threads own connections end to end; under
+    /// [`Transport::EventLoop`] they run request handling and SSE
+    /// orchestration for requests the event loop has already parsed, so
+    /// connection count is decoupled from thread count.
     pub worker_threads: usize,
-    /// Capacity of the handoff queue between the acceptor and the worker
-    /// pool. When it is full the acceptor answers 503 + `Retry-After`
-    /// itself — shedding happens before any per-connection resources exist.
+    /// Capacity of the handoff queue in front of the worker pool. When it
+    /// is full the transport answers 503 + `Retry-After` itself — at the
+    /// acceptor (thread pool) or at request parse (edge) — so overload is
+    /// shed before any dispatch resources exist.
     pub queue_depth: usize,
     /// Per-tenant admission quotas (`X-LLMMS-Tenant` header picks the
     /// bucket). Over-quota requests are answered 429 with a computed
@@ -63,6 +141,10 @@ pub struct ServerConfig {
     /// backlog exceeds this. 0 disables the shed (brownout degradation
     /// still applies via `sched_depth_target`).
     pub sched_shed_depth: usize,
+    /// Which transport serves connections.
+    pub transport: Transport,
+    /// Event-loop edge knobs (ignored by [`Transport::ThreadPool`]).
+    pub edge: EdgeConfig,
 }
 
 impl Default for ServerConfig {
@@ -81,19 +163,21 @@ impl Default for ServerConfig {
             trace_slow_threshold_ms: traces.slow_threshold_ms,
             sched_depth_target: 1024,
             sched_shed_depth: 0,
+            transport: Transport::default(),
+            edge: EdgeConfig::default(),
         }
     }
 }
 
 /// Shared overload bookkeeping: the admission controller, the brownout
 /// ladder, and the live occupancy counters its pressure signal reads.
-struct OverloadState {
-    admission: Arc<AdmissionController>,
+pub(crate) struct OverloadState {
+    pub(crate) admission: Arc<AdmissionController>,
     brownout: BrownoutController,
     /// Requests currently being handled by workers.
-    in_flight: AtomicUsize,
-    /// Connections sitting in the acceptor→worker handoff queue.
-    queued: AtomicUsize,
+    pub(crate) in_flight: AtomicUsize,
+    /// Connections/requests sitting in the handoff queue.
+    pub(crate) queued: AtomicUsize,
     queue_capacity: usize,
     max_in_flight: usize,
     target_p99_ms: u64,
@@ -144,7 +228,7 @@ impl OverloadState {
     /// `Retry-After` seconds for a 503 shed, derived from the measured
     /// completion drain rate against everything currently pending (1 until
     /// a rate is measurable — the old hardcoded value, now the floor).
-    fn retry_after_secs(&self) -> u64 {
+    pub(crate) fn retry_after_secs(&self) -> u64 {
         let pending = self.in_flight.load(Ordering::SeqCst) + self.queued.load(Ordering::SeqCst);
         self.admission.retry_after_secs(pending)
     }
@@ -158,12 +242,15 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Wakes the edge event loop so it can observe `stop`; `None` under
+    /// the thread-pool transport (a connect nudge unblocks that acceptor).
+    #[cfg(target_os = "linux")]
+    edge_waker: Option<Arc<crate::edge::poller::Waker>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// serving `service` on a bounded worker pool with default robustness
-    /// settings.
+    /// serving `service` with default robustness settings.
     ///
     /// # Errors
     ///
@@ -173,11 +260,6 @@ impl Server {
     }
 
     /// [`Server::start`] with explicit [`ServerConfig`].
-    ///
-    /// Accepted connections are pushed onto a bounded queue drained by
-    /// [`ServerConfig::worker_threads`] long-lived workers. A full queue is
-    /// answered 503 by the acceptor itself, so overload never translates
-    /// into unbounded thread creation.
     ///
     /// # Errors
     ///
@@ -195,9 +277,43 @@ impl Server {
             slow_threshold_ms: config.trace_slow_threshold_ms,
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
         let overload = Arc::new(OverloadState::new(&config));
         let config = Arc::new(config);
+
+        #[cfg(target_os = "linux")]
+        if config.transport == Transport::EventLoop {
+            let parts = crate::edge::start(
+                listener,
+                service,
+                Arc::clone(&config),
+                overload,
+                Arc::clone(&stop),
+            )?;
+            return Ok(Server {
+                addr: local,
+                stop,
+                handle: Some(parts.event_loop),
+                workers: parts.workers,
+                edge_waker: Some(parts.waker),
+            });
+        }
+
+        Self::start_thread_pool(listener, local, service, config, overload, stop)
+    }
+
+    /// The blocking transport: accepted connections are pushed onto a
+    /// bounded queue drained by [`ServerConfig::worker_threads`] long-lived
+    /// workers. A full queue is answered 503 by the acceptor itself, so
+    /// overload never translates into unbounded thread creation.
+    fn start_thread_pool<S: AppService>(
+        listener: TcpListener,
+        local: SocketAddr,
+        service: Arc<S>,
+        config: Arc<ServerConfig>,
+        overload: Arc<OverloadState>,
+        stop: Arc<AtomicBool>,
+    ) -> std::io::Result<Server> {
+        let stop_flag = Arc::clone(&stop);
         let (tx, rx) = crossbeam_channel::bounded::<TcpStream>(config.queue_depth.max(1));
         // The vendored Receiver is single-consumer; workers share it behind
         // a mutex, holding the lock only for the dequeue itself.
@@ -216,19 +332,29 @@ impl Server {
                         break; // acceptor gone and queue drained
                     };
                     overload.queued.fetch_sub(1, Ordering::SeqCst);
-                    let _guard = InFlightGuard::enter(&overload.in_flight);
-                    handle_connection(&*service, &config, &overload, &mut stream);
+                    // The guard's own post-increment count is the occupancy
+                    // the shed decision uses: deterministic (no load racing
+                    // other arrivals) and inclusive of this request.
+                    let (_guard, occupancy) = InFlightGuard::enter(&overload.in_flight);
+                    handle_connection(&*service, &config, &overload, &mut stream, occupancy);
                 })
                 .expect("spawn http worker");
             workers.push(worker);
         }
         let acceptor_overload = Arc::clone(&overload);
+        #[cfg(target_os = "linux")]
+        let acceptor_sndbuf = config.edge.so_sndbuf;
         let handle = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                #[cfg(target_os = "linux")]
+                if let Some(bytes) = acceptor_sndbuf {
+                    use std::os::fd::AsRawFd;
+                    let _ = crate::edge::poller::set_send_buffer(stream.as_raw_fd(), bytes);
+                }
                 // Count the queue slot before the handoff so a racing
                 // worker's decrement never underflows.
                 acceptor_overload.queued.fetch_add(1, Ordering::SeqCst);
@@ -248,6 +374,8 @@ impl Server {
             stop,
             handle: Some(handle),
             workers,
+            #[cfg(target_os = "linux")]
+            edge_waker: None,
         })
     }
 
@@ -256,11 +384,23 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting connections, then join the listener and worker pool.
+    /// Stop accepting connections, then join the transport threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Nudge the blocking accept with one last connection.
-        let _ = TcpStream::connect(self.addr);
+        #[cfg(target_os = "linux")]
+        let nudge = match &self.edge_waker {
+            Some(waker) => {
+                waker.wake();
+                false
+            }
+            None => true,
+        };
+        #[cfg(not(target_os = "linux"))]
+        let nudge = true;
+        if nudge {
+            // Nudge the blocking accept with one last connection.
+            let _ = TcpStream::connect(self.addr);
+        }
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -293,17 +433,24 @@ fn shed_at_acceptor(mut stream: TcpStream, overload: &OverloadState) {
     );
 }
 
-/// RAII in-flight connection counter: increments on entry, decrements on
+/// RAII in-flight request counter: increments on entry, decrements on
 /// drop (including panics and early returns), so shed decisions always see
 /// an accurate count.
-struct InFlightGuard<'a> {
+pub(crate) struct InFlightGuard<'a> {
     counter: &'a AtomicUsize,
 }
 
 impl<'a> InFlightGuard<'a> {
-    fn enter(counter: &'a AtomicUsize) -> Self {
-        counter.fetch_add(1, Ordering::SeqCst);
-        Self { counter }
+    /// Enter, returning the guard and the post-increment occupancy
+    /// (inclusive of this request). Shed decisions must use this returned
+    /// count, not a separate `load`: under N simultaneous arrivals the
+    /// atomic `fetch_add` hands each request a distinct rank, so exactly
+    /// `max_in_flight` of them observe a count within the limit — a
+    /// separate load could see every arrival's increment and shed all of
+    /// them (or, checked before increment, admit one too many).
+    pub(crate) fn enter(counter: &'a AtomicUsize) -> (Self, usize) {
+        let occupancy = counter.fetch_add(1, Ordering::SeqCst) + 1;
+        (Self { counter }, occupancy)
     }
 }
 
@@ -330,16 +477,31 @@ fn admission_controlled(route: &str) -> bool {
     matches!(route, "/api/query" | "/api/generate")
 }
 
+/// How a committed SSE stream actually ended — the wire status is 200 the
+/// moment the header goes out, so this is the only honest record of
+/// streaming failures. Feeds the request span and
+/// `sse_streams_total{outcome}`.
+pub(crate) struct SseOutcome {
+    /// `"ok"`, `"degraded"`, `"error"`, or `"client_gone"`.
+    outcome: &'static str,
+    /// The `ServiceError` status carried by a terminal `error` frame.
+    error_status: Option<u16>,
+    /// The winning model's `DoneReason` wire string, when one finished.
+    done_reason: Option<&'static str>,
+}
+
 /// The admission gate in front of model-fanning routes, in rejection-cost
 /// order: 504-fast (one estimate comparison) before the token-bucket check
 /// (one map entry) before any orchestration work.
-fn admit_and_dispatch<S: AppService>(
+#[allow(clippy::too_many_lines)]
+fn admit_and_dispatch<S: AppService, W: ResponseSink + ?Sized>(
     service: &S,
-    stream: &mut TcpStream,
+    sink: &mut W,
     request: &Request,
     route: &'static str,
     overload: &OverloadState,
     root: &mut llmms_obs::Span,
+    sse: &mut Option<SseOutcome>,
 ) -> u16 {
     let registry = llmms_obs::Registry::global();
     let tenant = request
@@ -381,7 +543,7 @@ fn admit_and_dispatch<S: AppService>(
             })
             .to_string();
             let _ = write_response_with(
-                stream,
+                sink,
                 503,
                 "application/json",
                 &[("Retry-After", retry_after.as_str())],
@@ -404,7 +566,7 @@ fn admit_and_dispatch<S: AppService>(
             }
             root.set_attr("deadline_reject", est);
             return respond_json(
-                stream,
+                sink,
                 504,
                 &json!({
                     "error": format!(
@@ -425,7 +587,7 @@ fn admit_and_dispatch<S: AppService>(
             })
             .to_string();
             let _ = write_response_with(
-                stream,
+                sink,
                 429,
                 "application/json",
                 &[("Retry-After", retry_after.as_str())],
@@ -446,7 +608,7 @@ fn admit_and_dispatch<S: AppService>(
         priority,
     };
     let started = Instant::now();
-    let status = dispatch(service, stream, request, &ctx);
+    let status = dispatch(service, sink, request, &ctx, sse);
     // Every completed admission feeds the service-time EWMA (504-fast) and
     // the drain window (Retry-After); the permit drop frees the tenant's
     // concurrency slot.
@@ -455,88 +617,106 @@ fn admit_and_dispatch<S: AppService>(
     status
 }
 
-fn handle_connection<S: AppService>(
+/// Serve one already-parsed request into `sink`: span-tree root, in-flight
+/// shed, admission, dispatch, tail sampling, and the request metrics tail.
+/// The transport-agnostic core shared by the thread-pool connection
+/// handler and the edge dispatch workers; returns the written status.
+///
+/// `occupancy` is the caller's post-increment in-flight count (from
+/// [`InFlightGuard::enter`]), inclusive of this request.
+pub(crate) fn process_parsed<S: AppService, W: ResponseSink + ?Sized>(
     service: &S,
-    config: &ServerConfig,
     overload: &OverloadState,
-    stream: &mut TcpStream,
-) {
+    sink: &mut W,
+    request: &Request,
+    occupancy: usize,
+    start: Instant,
+) -> u16 {
     let registry = llmms_obs::Registry::global();
     let observing = registry.enabled();
-    if observing {
-        registry.gauge("http_in_flight").metric.inc();
-    }
-    let start = std::time::Instant::now();
-
-    // Slowloris guard: a client gets `read_timeout` to deliver the request.
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-
-    let (route, status, trace) = match read_request(stream) {
-        Ok(request) => {
-            let route = route_label(&request.path);
-            // Root of the per-request span tree. An `X-LLMMS-Trace-Id`
-            // header joins a federated caller's trace; otherwise the id is
-            // fresh. When tracing is globally disabled the tracer records
-            // nothing and allocates nothing.
-            let trace_id = request
-                .headers
-                .get("x-llmms-trace-id")
-                .and_then(|v| TraceId::from_hex(v))
-                .unwrap_or_else(TraceId::generate);
-            let tracer = Tracer::new(trace_id);
-            let mut root = tracer.root_span("request");
-            root.set_attr("route", route);
-            let status = {
-                let _guard = llmms_obs::trace::set_current(root.context());
-                let occupancy = overload.in_flight.load(Ordering::SeqCst);
-                if occupancy > config.max_in_flight && !shed_exempt(route) {
-                    if observing {
-                        registry
-                            .counter_with("http_shed_total", &[("route", route)])
-                            .metric
-                            .inc();
-                    }
-                    let retry_after = overload.retry_after_secs().to_string();
-                    let body = json!({ "error": "server overloaded, retry shortly" }).to_string();
-                    let _ = write_response_with(
-                        stream,
-                        503,
-                        "application/json",
-                        &[("Retry-After", retry_after.as_str())],
-                        body.as_bytes(),
-                    );
-                    503
-                } else if admission_controlled(route) {
-                    admit_and_dispatch(service, stream, &request, route, overload, &mut root)
-                } else {
-                    dispatch(service, stream, &request, &QueryContext::default())
-                }
-            };
-            if status >= 500 {
-                root.set_status(SpanStatus::Error);
+    let route = route_label(&request.path);
+    // Root of the per-request span tree. An `X-LLMMS-Trace-Id` header joins
+    // a federated caller's trace; otherwise the id is fresh. When tracing
+    // is globally disabled the tracer records nothing and allocates
+    // nothing.
+    let trace_id = request
+        .headers
+        .get("x-llmms-trace-id")
+        .and_then(|v| TraceId::from_hex(v))
+        .unwrap_or_else(TraceId::generate);
+    let tracer = Tracer::new(trace_id);
+    let mut root = tracer.root_span("request");
+    root.set_attr("route", route);
+    let mut sse = None;
+    let status = {
+        let _guard = llmms_obs::trace::set_current(root.context());
+        if occupancy > overload.max_in_flight && !shed_exempt(route) {
+            if observing {
+                registry
+                    .counter_with("http_shed_total", &[("route", route)])
+                    .metric
+                    .inc();
             }
-            root.set_attr("status", u64::from(status));
-            root.end();
-            (route, status, tracer.finish())
-        }
-        Err(e) => {
-            let status = match e {
-                crate::http::HttpError::BodyTooLarge => 413,
-                crate::http::HttpError::Timeout => 408,
-                _ => 400,
-            };
-            respond_json(stream, status, &json!({ "error": e.to_string() }));
-            ("bad_request", status, None)
+            let retry_after = overload.retry_after_secs().to_string();
+            let body = json!({ "error": "server overloaded, retry shortly" }).to_string();
+            let _ = write_response_with(
+                sink,
+                503,
+                "application/json",
+                &[("Retry-After", retry_after.as_str())],
+                body.as_bytes(),
+            );
+            503
+        } else if admission_controlled(route) {
+            admit_and_dispatch(service, sink, request, route, overload, &mut root, &mut sse)
+        } else {
+            dispatch(service, sink, request, &QueryContext::default(), &mut sse)
         }
     };
+    if let Some(sse) = sse {
+        root.set_attr("sse_outcome", sse.outcome.to_owned());
+        if let Some(error_status) = sse.error_status {
+            root.set_attr("sse_error_status", u64::from(error_status));
+        }
+        if let Some(done) = sse.done_reason {
+            root.set_attr("sse_done_reason", done.to_owned());
+        }
+        match sse.outcome {
+            "error" => root.set_status(SpanStatus::Error),
+            "degraded" => root.set_status(SpanStatus::Degraded),
+            _ => {}
+        }
+        if observing {
+            registry
+                .counter_with("sse_streams_total", &[("outcome", sse.outcome)])
+                .metric
+                .inc();
+        }
+    }
+    if status >= 500 {
+        root.set_status(SpanStatus::Error);
+    }
+    root.set_attr("status", u64::from(status));
+    root.end();
+    record_request_tail(route, status, start, tracer.finish());
+    status
+}
 
-    // Tail sampling happens here, once outcome and duration are known. A
-    // retained trace's id is attached to the latency histogram as an
-    // exemplar, so a p99 spike in /metrics links to an inspectable trace.
+/// The shared metrics tail of every request: tail-sample the trace, count
+/// `http_requests_total{route,status}`, and record the latency histogram
+/// (with the retained trace id as an exemplar, so a p99 spike in
+/// `/metrics` links to an inspectable trace).
+pub(crate) fn record_request_tail(
+    route: &str,
+    status: u16,
+    start: Instant,
+    trace: Option<llmms_obs::TraceData>,
+) {
+    let registry = llmms_obs::Registry::global();
     let retained = trace
         .map(|t| (t.trace_id, TraceStore::global().offer(t)))
         .filter(|(_, kept)| *kept);
-    if observing {
+    if registry.enabled() {
         let status_label = status.to_string();
         registry
             .counter_with(
@@ -552,6 +732,37 @@ fn handle_connection<S: AppService>(
                 .record_duration_with_exemplar(start.elapsed(), trace_id),
             None => latency.metric.record_duration(start.elapsed()),
         }
+    }
+}
+
+fn handle_connection<S: AppService>(
+    service: &S,
+    config: &ServerConfig,
+    overload: &OverloadState,
+    stream: &mut TcpStream,
+    occupancy: usize,
+) {
+    let registry = llmms_obs::Registry::global();
+    let observing = registry.enabled();
+    if observing {
+        registry.gauge("http_in_flight").metric.inc();
+    }
+    let start = std::time::Instant::now();
+
+    // Slowloris guard: a client gets `read_timeout` to deliver the request.
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+
+    match read_request(stream) {
+        Ok(request) => {
+            process_parsed(service, overload, stream, &request, occupancy, start);
+        }
+        Err(e) => {
+            let status = e.status();
+            respond_json(stream, status, &json!({ "error": e.to_string() }));
+            record_request_tail("bad_request", status, start, None);
+        }
+    }
+    if observing {
         registry.gauge("http_in_flight").metric.dec();
     }
 }
@@ -559,7 +770,7 @@ fn handle_connection<S: AppService>(
 /// Normalize a request path to a bounded label set: parameterized routes
 /// collapse (`/api/sessions/{id}` → `/api/sessions/:id`) and unknown paths
 /// share one label so arbitrary clients cannot explode metric cardinality.
-fn route_label(path: &str) -> &'static str {
+pub(crate) fn route_label(path: &str) -> &'static str {
     match path {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
@@ -581,40 +792,41 @@ fn route_label(path: &str) -> &'static str {
 /// Serve one request; returns the HTTP status that was written, so the
 /// caller can label `http_requests_total{route,status}` and close out the
 /// request span.
-fn dispatch<S: AppService>(
+fn dispatch<S: AppService, W: ResponseSink + ?Sized>(
     service: &S,
-    stream: &mut TcpStream,
+    sink: &mut W,
     request: &Request,
     ctx: &QueryContext,
+    sse: &mut Option<SseOutcome>,
 ) -> u16 {
     let path = request.path.as_str();
     match (request.method, path) {
-        (Method::Get, "/healthz") => respond_json(stream, 200, &json!({ "status": "ok" })),
+        (Method::Get, "/healthz") => respond_json(sink, 200, &json!({ "status": "ok" })),
         (Method::Get, "/metrics") => {
             let text = service.metrics_text();
-            let _ = write_response(stream, 200, "text/plain; version=0.0.4", text.as_bytes());
+            let _ = write_response(sink, 200, "text/plain; version=0.0.4", text.as_bytes());
             200
         }
-        (Method::Get, "/stats") => respond_json(stream, 200, &service.stats_json()),
-        (Method::Get, "/debug/traces") => handle_trace_index(stream),
-        (Method::Get, p) if p.starts_with("/debug/traces/") => handle_trace_get(stream, request),
+        (Method::Get, "/stats") => respond_json(sink, 200, &service.stats_json()),
+        (Method::Get, "/debug/traces") => handle_trace_index(sink),
+        (Method::Get, p) if p.starts_with("/debug/traces/") => handle_trace_get(sink, request),
         (Method::Get, "/api/models") => {
             let models = service.list_models();
-            respond_json(stream, 200, &json!({ "models": models }))
+            respond_json(sink, 200, &json!({ "models": models }))
         }
         (Method::Get, "/api/hardware") => respond_json(
-            stream,
+            sink,
             200,
             &serde_json::to_value(service.hardware()).unwrap_or(Value::Null),
         ),
-        (Method::Get, "/api/config") => respond_json(stream, 200, &service.config_json()),
-        (Method::Post, "/api/config") => handle_configure(service, stream, request),
-        (Method::Post, "/api/query") => handle_query(service, stream, request, ctx),
-        (Method::Post, "/api/generate") => handle_generate(service, stream, request),
-        (Method::Post, "/api/ingest") => handle_ingest(service, stream, request),
+        (Method::Get, "/api/config") => respond_json(sink, 200, &service.config_json()),
+        (Method::Post, "/api/config") => handle_configure(service, sink, request),
+        (Method::Post, "/api/query") => handle_query(service, sink, request, ctx, sse),
+        (Method::Post, "/api/generate") => handle_generate(service, sink, request),
+        (Method::Post, "/api/ingest") => handle_ingest(service, sink, request),
         (Method::Post, "/api/sessions") => {
             let id = service.create_session();
-            respond_json(stream, 201, &json!({ "id": id }))
+            respond_json(sink, 201, &json!({ "id": id }))
         }
         (Method::Get, "/api/sessions") => {
             let sessions: Vec<Value> = service
@@ -622,23 +834,23 @@ fn dispatch<S: AppService>(
                 .into_iter()
                 .map(|(id, title)| json!({ "id": id, "title": title }))
                 .collect();
-            respond_json(stream, 200, &json!({ "sessions": sessions }))
+            respond_json(sink, 200, &json!({ "sessions": sessions }))
         }
         (Method::Delete, p) if p.starts_with("/api/sessions/") => {
             let id = &p["/api/sessions/".len()..];
             match service.delete_session(id) {
-                Ok(()) => respond_json(stream, 200, &json!({ "deleted": id })),
-                Err(e) => respond_json(stream, 404, &json!({ "error": e })),
+                Ok(()) => respond_json(sink, 200, &json!({ "deleted": id })),
+                Err(e) => respond_json(sink, 404, &json!({ "error": e })),
             }
         }
-        (Method::Other, _) => respond_json(stream, 405, &json!({ "error": "method not allowed" })),
-        _ => respond_json(stream, 404, &json!({ "error": "not found" })),
+        (Method::Other, _) => respond_json(sink, 405, &json!({ "error": "method not allowed" })),
+        _ => respond_json(sink, 404, &json!({ "error": "not found" })),
     }
 }
 
 /// `GET /debug/traces` — index of retained traces, newest first, without
 /// span bodies.
-fn handle_trace_index(stream: &mut TcpStream) -> u16 {
+fn handle_trace_index<W: ResponseSink + ?Sized>(sink: &mut W) -> u16 {
     let store = TraceStore::global();
     let rows: Vec<Value> = store
         .index()
@@ -657,7 +869,7 @@ fn handle_trace_index(stream: &mut TcpStream) -> u16 {
         .collect();
     let stats = store.stats();
     respond_json(
-        stream,
+        sink,
         200,
         &json!({
             "traces": rows,
@@ -675,13 +887,13 @@ fn handle_trace_index(stream: &mut TcpStream) -> u16 {
 /// `GET /debug/traces/{id}` — one retained trace as a nested span tree, or
 /// as Chrome trace-event JSON (loadable in `chrome://tracing` / Perfetto)
 /// with `?format=chrome`.
-fn handle_trace_get(stream: &mut TcpStream, request: &Request) -> u16 {
+fn handle_trace_get<W: ResponseSink + ?Sized>(sink: &mut W, request: &Request) -> u16 {
     let hex = &request.path["/debug/traces/".len()..];
     let Some(id) = TraceId::from_hex(hex) else {
-        return respond_json(stream, 400, &json!({ "error": "bad trace id" }));
+        return respond_json(sink, 400, &json!({ "error": "bad trace id" }));
     };
     let Some(stored) = TraceStore::global().get(id.get()) else {
-        return respond_json(stream, 404, &json!({ "error": "trace not retained" }));
+        return respond_json(sink, 404, &json!({ "error": "trace not retained" }));
     };
     if request.query.get("format").map(String::as_str) == Some("chrome") {
         let data = TraceData {
@@ -691,11 +903,11 @@ fn handle_trace_get(stream: &mut TcpStream, request: &Request) -> u16 {
         // Chrome JSON Object Format, loadable as-is in chrome://tracing
         // and Perfetto.
         let body = format!("{{\"traceEvents\":{}}}", data.chrome_json());
-        let _ = write_response(stream, 200, "application/json", body.as_bytes());
+        let _ = write_response(sink, 200, "application/json", body.as_bytes());
         return 200;
     }
     respond_json(
-        stream,
+        sink,
         200,
         &json!({
             "trace_id": format!("{:016x}", stored.trace_id),
@@ -740,10 +952,14 @@ fn span_tree(spans: &[SpanRecord], parent: u64) -> Vec<Value> {
         .collect()
 }
 
-fn handle_configure<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
+fn handle_configure<S: AppService, W: ResponseSink + ?Sized>(
+    service: &S,
+    sink: &mut W,
+    request: &Request,
+) -> u16 {
     let body: Value = match serde_json::from_str(&request.body_str()) {
         Ok(v) => v,
-        Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
+        Err(e) => return respond_json(sink, 400, &json!({ "error": format!("bad json: {e}") })),
     };
     let strategy = body.get("strategy").and_then(Value::as_str);
     let budget = body
@@ -751,86 +967,107 @@ fn handle_configure<S: AppService>(service: &S, stream: &mut TcpStream, request:
         .and_then(Value::as_u64)
         .map(|v| v as usize);
     match service.configure(strategy, budget) {
-        Ok(()) => respond_json(stream, 200, &service.config_json()),
-        Err(e) => respond_json(stream, 400, &json!({ "error": e })),
+        Ok(()) => respond_json(sink, 200, &service.config_json()),
+        Err(e) => respond_json(sink, 400, &json!({ "error": e })),
     }
 }
 
-fn handle_generate<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
+fn handle_generate<S: AppService, W: ResponseSink + ?Sized>(
+    service: &S,
+    sink: &mut W,
+    request: &Request,
+) -> u16 {
     let req: GenerateRequest = match serde_json::from_str(&request.body_str()) {
         Ok(r) => r,
-        Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
+        Err(e) => return respond_json(sink, 400, &json!({ "error": format!("bad json: {e}") })),
     };
     match service.generate(&req) {
         Ok(response) => respond_json(
-            stream,
+            sink,
             200,
             &serde_json::to_value(&response).unwrap_or(Value::Null),
         ),
-        Err(e) => respond_json(stream, 400, &json!({ "error": e })),
+        Err(e) => respond_json(sink, 400, &json!({ "error": e })),
     }
 }
 
-fn handle_ingest<S: AppService>(service: &S, stream: &mut TcpStream, request: &Request) -> u16 {
+fn handle_ingest<S: AppService, W: ResponseSink + ?Sized>(
+    service: &S,
+    sink: &mut W,
+    request: &Request,
+) -> u16 {
     let body: Value = match serde_json::from_str(&request.body_str()) {
         Ok(v) => v,
-        Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
+        Err(e) => return respond_json(sink, 400, &json!({ "error": format!("bad json: {e}") })),
     };
     let (Some(id), Some(text)) = (
         body.get("document_id").and_then(Value::as_str),
         body.get("text").and_then(Value::as_str),
     ) else {
         return respond_json(
-            stream,
+            sink,
             400,
             &json!({ "error": "document_id and text are required" }),
         );
     };
     match service.ingest(id, text) {
-        Ok(chunks) => respond_json(stream, 201, &json!({ "document_id": id, "chunks": chunks })),
-        Err(e) => respond_json(stream, 400, &json!({ "error": e })),
+        Ok(chunks) => respond_json(sink, 201, &json!({ "document_id": id, "chunks": chunks })),
+        Err(e) => respond_json(sink, 400, &json!({ "error": e })),
     }
 }
 
-fn handle_query<S: AppService>(
+fn handle_query<S: AppService, W: ResponseSink + ?Sized>(
     service: &S,
-    stream: &mut TcpStream,
+    sink: &mut W,
     request: &Request,
     ctx: &QueryContext,
+    sse: &mut Option<SseOutcome>,
 ) -> u16 {
     let query: QueryRequest = match serde_json::from_str(&request.body_str()) {
         Ok(q) => q,
-        Err(e) => return respond_json(stream, 400, &json!({ "error": format!("bad json: {e}") })),
+        Err(e) => return respond_json(sink, 400, &json!({ "error": format!("bad json: {e}") })),
     };
     if query.question.trim().is_empty() {
-        return respond_json(stream, 400, &json!({ "error": "question is required" }));
+        return respond_json(sink, 400, &json!({ "error": "question is required" }));
     }
     if !query.stream {
         return match service.query(&query, ctx, None) {
             Ok(result) => respond_json(
-                stream,
+                sink,
                 200,
                 &serde_json::to_value(&result).unwrap_or(Value::Null),
             ),
-            Err(e) => respond_json(stream, e.status, &json!({ "error": e.message })),
+            Err(e) => respond_json(sink, e.status, &json!({ "error": e.message })),
         };
     }
 
     // Streaming: run the orchestration on a worker thread, forward events as
     // SSE frames while it runs, then emit a final `result` frame. The wire
-    // status is committed as 200 the moment the SSE header goes out.
-    if write_sse_header(stream).is_err() {
+    // status is committed as 200 the moment the SSE header goes out; the
+    // stream's real fate is reported through `sse` instead.
+    sink.mark_streaming();
+    if write_sse_header(sink).is_err() {
+        *sse = Some(SseOutcome {
+            outcome: "client_gone",
+            error_status: None,
+            done_reason: None,
+        });
         return 200;
     }
+    let mut client_gone = false;
     // First frame: the trace id, so a streaming client can pull
     // `/debug/traces/{id}` once the stream ends.
     let tctx = llmms_obs::trace::current();
     if let Some(id) = tctx.trace_id() {
         let frame = sse::frame("trace", &json!({ "trace_id": id.to_hex() }).to_string());
-        if stream.write_all(frame.as_bytes()).is_err() {
+        if sink.write_all(frame.as_bytes()).is_err() || sink.flush().is_err() {
+            *sse = Some(SseOutcome {
+                outcome: "client_gone",
+                error_status: None,
+                done_reason: None,
+            });
             return 200;
         }
-        let _ = stream.flush();
     }
     let (tx, rx) = crossbeam_channel::unbounded();
     let result = std::thread::scope(|scope| {
@@ -843,33 +1080,60 @@ fn handle_query<S: AppService>(
         });
         for event in rx.iter() {
             let frame = sse::event_frame(&event);
-            if stream.write_all(frame.as_bytes()).is_err() {
+            if sink.write_all(frame.as_bytes()).is_err() || sink.flush().is_err() {
+                client_gone = true;
                 break; // client hung up; drain and let the worker finish
             }
-            let _ = stream.flush();
         }
         worker
             .join()
             .unwrap_or_else(|_| Err(ServiceError::internal("orchestration worker panicked")))
     });
-    let final_frame = match result {
-        Ok(result) => sse::frame(
-            "result",
-            &serde_json::to_string(&result).unwrap_or_else(|_| "{}".into()),
-        ),
-        Err(e) => sse::frame(
-            "error",
-            &json!({ "error": e.message, "status": e.status }).to_string(),
+    let (final_frame, mut outcome) = match result {
+        Ok(result) => {
+            let done_reason = result
+                .outcomes
+                .get(result.best)
+                .and_then(|o| o.done)
+                .map(|d| d.as_str());
+            let frame = sse::frame(
+                "result",
+                &serde_json::to_string(&result).unwrap_or_else(|_| "{}".into()),
+            );
+            let outcome = SseOutcome {
+                outcome: if result.degraded { "degraded" } else { "ok" },
+                error_status: None,
+                done_reason,
+            };
+            (frame, outcome)
+        }
+        Err(e) => (
+            sse::frame(
+                "error",
+                &json!({ "error": e.message, "status": e.status }).to_string(),
+            ),
+            SseOutcome {
+                outcome: "error",
+                error_status: Some(e.status),
+                done_reason: None,
+            },
         ),
     };
-    let _ = stream.write_all(final_frame.as_bytes());
-    let _ = stream.flush();
+    if sink.write_all(final_frame.as_bytes()).is_err() || sink.flush().is_err() {
+        client_gone = true;
+    }
+    // An orchestration failure outranks the client leaving: the dashboards
+    // exist to surface failing streams, not bored clients.
+    if client_gone && outcome.outcome != "error" {
+        outcome.outcome = "client_gone";
+    }
+    *sse = Some(outcome);
     200
 }
 
-fn respond_json(stream: &mut TcpStream, status: u16, body: &Value) -> u16 {
+fn respond_json<W: ResponseSink + ?Sized>(sink: &mut W, status: u16, body: &Value) -> u16 {
     let _ = write_response(
-        stream,
+        sink,
         status,
         "application/json",
         body.to_string().as_bytes(),

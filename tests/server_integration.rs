@@ -199,6 +199,30 @@ fn metrics_and_stats_reflect_a_query() {
 }
 
 #[test]
+fn sse_stream_outcome_is_labelled_on_metrics() {
+    let s = server();
+    let addr = s.addr();
+    let events = client::sse_request(
+        addr,
+        "/api/query",
+        r#"{"question":"What is the capital of France?","stream":true}"#,
+    )
+    .unwrap();
+    assert_eq!(events.last().unwrap().0, "result");
+    let m = client::request(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(m.status, 200);
+    // The stream's terminal state lands on the outcome-labelled counter —
+    // streaming requests are no longer blanket "200 OK" regardless of how
+    // the stream actually ended.
+    assert!(
+        m.body.contains("sse_streams_total{outcome=\"ok\"}"),
+        "missing sse outcome counter:\n{}",
+        m.body
+    );
+    s.shutdown();
+}
+
+#[test]
 fn concurrent_clients_are_served() {
     let s = server();
     let addr = s.addr();
